@@ -1,0 +1,91 @@
+// Ablation (beyond the paper): per-engine contribution on the detailed
+// simulator. The paper disables *all* prefetchers per platform; here we
+// flip each of the four MSR 0x1A4 bits individually to see which engine
+// buys the coverage and which burns the bandwidth — the finer-grained
+// control §7.1 contrasts Limoncello against.
+#include <cstdio>
+#include <string>
+
+#include "msr/prefetch_control.h"
+#include "sim/machine/socket.h"
+#include "util/table.h"
+#include "workloads/function_catalog.h"
+
+namespace limoncello::bench {
+namespace {
+
+using namespace limoncello;  // NOLINT: bench-local convenience
+
+struct Row {
+  std::string label;
+  double bytes_per_instr = 0.0;
+  double mpki = 0.0;
+  double ipc = 0.0;
+};
+
+Row RunConfig(const std::string& label, int disabled_engine /* -1 none,
+               4 = all */) {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.peak_gbps = 32.0;
+  config.memory.jitter_fraction = 0.0;
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  Socket socket(config, catalog.size(), Rng(123));
+  PrefetchControl control(&socket.msr_device(),
+                          PlatformMsrLayout::kIntelStyle, 0,
+                          config.num_cores);
+  if (disabled_engine == 4) {
+    control.DisableAll();
+  } else if (disabled_engine >= 0) {
+    control.SetEngine(static_cast<PrefetchEngine>(disabled_engine), false);
+  }
+  for (int core = 0; core < config.num_cores; ++core) {
+    socket.SetWorkload(core, catalog.MakeFleetMix(Rng(123).Fork(
+                                 static_cast<std::uint64_t>(core))));
+  }
+  for (int epoch = 0; epoch < 50; ++epoch) socket.Step(100 * kNsPerUs);
+
+  const PmuCounters& c = socket.counters();
+  Row row;
+  row.label = label;
+  row.bytes_per_instr = static_cast<double>(c.DramTotalBytes()) /
+                        static_cast<double>(c.instructions);
+  row.mpki = c.LlcMpki();
+  row.ipc = static_cast<double>(c.instructions) /
+            static_cast<double>(c.core_cycles);
+  return row;
+}
+
+void Run() {
+  Table table({"configuration", "dram_bytes/instr", "llc_mpki", "ipc"});
+  Row rows[] = {
+      RunConfig("all engines on", -1),
+      RunConfig("- l2_stream off", 0),
+      RunConfig("- l2_adjacent_line off", 1),
+      RunConfig("- dcu_streamer off", 2),
+      RunConfig("- dcu_ip_stride off", 3),
+      RunConfig("all engines off", 4),
+  };
+  for (const Row& row : rows) {
+    table.AddRow({row.label, Table::Num(row.bytes_per_instr, 4),
+                  Table::Num(row.mpki, 2), Table::Num(row.ipc, 3)});
+  }
+  table.Print("Ablation: per-engine prefetcher contribution (fleet mix)");
+  std::printf(
+      "\nExpected: no single engine explains the paper's tradeoff — the "
+      "IP-stride\nengine carries the most coverage on this mix (disabling "
+      "it costs the most MPKI\nand IPC), while the DCU streamer and "
+      "adjacent-line engines carry most of the\nwasted traffic on "
+      "scattered access (disabling either cuts bytes/instr with\nlittle "
+      "MPKI cost). This is why Limoncello toggles all engines together "
+      "and\nrecovers coverage in software instead of micro-managing "
+      "engines.\n");
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation (beyond the paper): what does each hysteresis mechanism buy?
+//
+// Paper §3 introduces two forms of hysteresis — separate upper/lower
+// thresholds and a sustain duration Δ. We drive four controller variants
+// with the same volatile bandwidth signal (the Fig. 7 shape) and count
+// prefetcher toggles. Excess toggling is the failure mode hysteresis
+// exists to prevent ("constantly toggling prefetchers ... may lead to
+// unstable performance").
+#include <algorithm>
+#include <cstdio>
+
+#include "core/hysteresis_controller.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace limoncello::bench {
+namespace {
+
+using limoncello::ControllerConfig;
+using limoncello::HysteresisController;
+using limoncello::Rng;
+using limoncello::Table;
+using limoncello::kNsPerSec;
+
+struct Variant {
+  const char* name;
+  double lower;
+  double upper;
+  int sustain_ticks;
+};
+
+void Run() {
+  const Variant variants[] = {
+      {"none (single threshold, act immediately)", 0.699, 0.70, 0},
+      {"dual thresholds only (60/80)", 0.60, 0.80, 0},
+      {"sustain only (5 ticks)", 0.699, 0.70, 5},
+      {"both (deployed: 60/80 + 5 ticks)", 0.60, 0.80, 5},
+  };
+
+  constexpr int kTicks = 86400;  // one simulated day of 1 s samples
+
+  Table table({"variant", "toggles", "toggles/hour", "off_time(%)"});
+  for (const Variant& v : variants) {
+    ControllerConfig config;
+    config.lower_threshold = v.lower;
+    config.upper_threshold = v.upper;
+    config.tick_period_ns = kNsPerSec;
+    config.sustain_duration_ns = v.sustain_ticks * kNsPerSec;
+    HysteresisController controller(config);
+
+    // The same volatile signal for every variant: AR(1) noise around a
+    // slowly moving diurnal level that crosses the thresholds.
+    Rng rng(7);
+    double noise = 0.0;
+    int off_ticks = 0;
+    for (int t = 0; t < kTicks; ++t) {
+      const double diurnal =
+          0.70 + 0.12 * std::sin(2.0 * 3.14159265358979 * t / 86400.0);
+      noise = 0.9 * noise + 0.436 * rng.NextGaussian(0.0, 0.06);
+      const double u = std::clamp(diurnal + noise, 0.0, 1.2);
+      controller.Tick(u);
+      if (!controller.PrefetchersShouldBeEnabled()) ++off_ticks;
+    }
+    table.AddRow(
+        {v.name,
+         Table::Num(static_cast<std::int64_t>(controller.toggle_count())),
+         Table::Num(static_cast<double>(controller.toggle_count()) /
+                        (kTicks / 3600.0),
+                    1),
+         Table::Num(100.0 * off_ticks / kTicks, 1)});
+  }
+  table.Print("Ablation: hysteresis mechanisms vs controller toggling");
+  std::printf(
+      "\nExpected: each mechanism alone cuts toggling by an order of "
+      "magnitude;\ncombined (the deployed design) the controller acts a "
+      "handful of times per day\nwhile spending a similar fraction of "
+      "time in the off state.\n");
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

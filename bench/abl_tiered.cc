@@ -1,0 +1,96 @@
+// Ablation (beyond the paper, §8 future-work direction): does a middle
+// tier — disabling only the noisy engines — beat the binary all-on/
+// all-off choice at moderate utilization?
+//
+// Static comparison on the detailed simulator under a moderately loaded
+// fleet mix: all engines on (tier 0), noisy engines off (tier 1), all
+// engines off (tier 2). The interesting regime is where tier 1 keeps
+// most of tier 0's coverage at a fraction of its traffic.
+#include <cstdio>
+
+#include "core/tiered_policy.h"
+#include "sim/machine/socket.h"
+#include "util/table.h"
+#include "workloads/function_catalog.h"
+
+namespace limoncello::bench {
+namespace {
+
+using namespace limoncello;  // NOLINT: bench-local convenience
+
+struct Result {
+  double bytes_per_instr = 0.0;
+  double mpki = 0.0;
+  double ipc = 0.0;
+  double latency_ns = 0.0;
+};
+
+Result RunTier(int tier, double peak_gbps) {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.peak_gbps = peak_gbps;
+  config.memory.jitter_fraction = 0.0;
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  Socket socket(config, catalog.size(), Rng(321));
+  PrefetchControl control(&socket.msr_device(),
+                          PlatformMsrLayout::kIntelStyle, 0,
+                          config.num_cores);
+  if (tier >= 1) {
+    control.SetEngine(PrefetchEngine::kDcuStreamer, false);
+    control.SetEngine(PrefetchEngine::kL2AdjacentLine, false);
+  }
+  if (tier >= 2) {
+    control.SetEngine(PrefetchEngine::kDcuIpStride, false);
+    control.SetEngine(PrefetchEngine::kL2Stream, false);
+  }
+  for (int core = 0; core < config.num_cores; ++core) {
+    socket.SetWorkload(core, catalog.MakeFleetMix(Rng(321).Fork(
+                                 static_cast<std::uint64_t>(core))));
+  }
+  for (int epoch = 0; epoch < 50; ++epoch) socket.Step(100 * kNsPerUs);
+
+  const PmuCounters& c = socket.counters();
+  Result r;
+  r.bytes_per_instr = static_cast<double>(c.DramTotalBytes()) /
+                      static_cast<double>(c.instructions);
+  r.mpki = c.LlcMpki();
+  r.ipc = static_cast<double>(c.instructions) /
+          static_cast<double>(c.core_cycles);
+  r.latency_ns = c.AvgDramLatencyNs();
+  return r;
+}
+
+void Run() {
+  const char* tier_names[] = {"tier 0: all engines on",
+                              "tier 1: noisy engines off",
+                              "tier 2: all engines off"};
+  for (double peak : {32.0, 14.0}) {
+    Table table({"configuration", "dram_bytes/instr", "llc_mpki", "ipc",
+                 "avg_dram_latency(ns)"});
+    for (int tier = 0; tier < 3; ++tier) {
+      const Result r = RunTier(tier, peak);
+      table.AddRow({tier_names[tier], Table::Num(r.bytes_per_instr, 4),
+                    Table::Num(r.mpki, 2), Table::Num(r.ipc, 3),
+                    Table::Num(r.latency_ns, 1)});
+    }
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "Ablation: tiered engine modulation (peak %.0f GB/s)",
+                  peak);
+    table.Print(title);
+  }
+  std::printf(
+      "\nExpected: tier 1 cuts a large share of tier 0's traffic while "
+      "keeping most\nof its coverage, making it attractive at moderate "
+      "contention (the lower peak);\ntier 2 minimizes traffic and "
+      "latency but gives up all coverage — the paper's\nchoice for the "
+      "saturated regime, where Soft Limoncello fills the gap.\n");
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

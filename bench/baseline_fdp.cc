@@ -1,0 +1,158 @@
+// Baseline comparison (paper §7.1): Hard Limoncello vs. classic
+// feedback-directed hardware throttling (FDP, Srinath et al. HPCA'07) vs.
+// static prefetchers-always-on, on the detailed socket simulator under a
+// three-phase load (light → saturating → light).
+//
+// The paper's argument: reactive hardware throttling and Limoncello both
+// relieve bandwidth pressure, but Limoncello's software half then
+// restores coverage for the prefetch-friendly functions (Fig. 20) —
+// something a pure hardware ladder cannot target.
+#include <cstdio>
+#include <memory>
+
+#include "core/daemon.h"
+#include "sim/prefetch/fdp_throttle.h"
+#include "telemetry/telemetry.h"
+#include "util/table.h"
+#include "workloads/function_catalog.h"
+
+namespace limoncello::bench {
+namespace {
+
+using namespace limoncello;  // NOLINT: bench-local convenience
+
+constexpr SimTimeNs kTick = 100 * kNsPerUs;
+// Controller decisions run once per kEpochsPerTick socket epochs, so each
+// telemetry sample averages over the socket's internal (epoch-scale)
+// dynamics — as a 1 Hz perf sample does on real hardware.
+constexpr int kEpochsPerTick = 5;
+constexpr int kPhaseTicks = 40;
+
+SocketConfig BenchSocket() {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.peak_gbps = 14.0;  // saturates in the heavy phase
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+// Light load = 1 active core; heavy = all 4.
+void SetPhaseLoad(Socket& socket, const FunctionCatalog& catalog,
+                  bool heavy, std::uint64_t seed) {
+  for (int core = 0; core < socket.config().num_cores; ++core) {
+    if (core == 0 || heavy) {
+      socket.SetWorkload(core, catalog.MakeFleetMix(Rng(seed).Fork(
+                                   static_cast<std::uint64_t>(core))));
+    } else {
+      socket.SetWorkload(core, nullptr);
+    }
+  }
+}
+
+struct PhaseMetrics {
+  double latency_ns = 0.0;
+  double bytes_per_instr = 0.0;
+  double ipc = 0.0;
+};
+
+struct RunResult {
+  PhaseMetrics phases[3];
+};
+
+enum class Mode { kStatic, kFdp, kLimoncello };
+
+RunResult Run(Mode mode) {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  Socket socket(BenchSocket(), catalog.size(), Rng(77));
+
+  std::unique_ptr<FdpThrottle> fdp;
+  std::unique_ptr<PrefetchControl> control;
+  std::unique_ptr<MsrPrefetchActuator> actuator;
+  std::unique_ptr<SocketUtilizationSource> telemetry;
+  std::unique_ptr<LimoncelloDaemon> daemon;
+  if (mode == Mode::kFdp) {
+    fdp = std::make_unique<FdpThrottle>(FdpConfig{}, &socket);
+  } else if (mode == Mode::kLimoncello) {
+    control = std::make_unique<PrefetchControl>(
+        &socket.msr_device(), PlatformMsrLayout::kIntelStyle, 0,
+        socket.config().num_cores);
+    actuator = std::make_unique<MsrPrefetchActuator>(
+        control.get(), socket.config().num_cores);
+    telemetry = std::make_unique<SocketUtilizationSource>(&socket);
+    ControllerConfig config;
+    config.tick_period_ns = kEpochsPerTick * kTick;
+    config.sustain_duration_ns = 3 * kEpochsPerTick * kTick;
+    daemon = std::make_unique<LimoncelloDaemon>(config, telemetry.get(),
+                                                actuator.get());
+  }
+
+  RunResult result;
+  for (int phase = 0; phase < 3; ++phase) {
+    SetPhaseLoad(socket, catalog, /*heavy=*/phase == 1,
+                 100 + static_cast<std::uint64_t>(phase));
+    const PmuCounters before = socket.counters();
+    for (int t = 0; t < kPhaseTicks; ++t) {
+      for (int e = 0; e < kEpochsPerTick; ++e) socket.Step(kTick);
+      if (fdp != nullptr) fdp->Tick();
+      if (daemon != nullptr) daemon->RunTick(socket.now());
+    }
+    const PmuCounters& after = socket.counters();
+    PhaseMetrics& m = result.phases[phase];
+    const double requests =
+        static_cast<double>(after.dram_requests - before.dram_requests);
+    m.latency_ns = requests > 0
+                       ? (after.dram_latency_ns_sum -
+                          before.dram_latency_ns_sum) /
+                             requests
+                       : 0.0;
+    const double instructions =
+        static_cast<double>(after.instructions - before.instructions);
+    m.bytes_per_instr =
+        static_cast<double>(after.DramTotalBytes() -
+                            before.DramTotalBytes()) /
+        instructions;
+    m.ipc = instructions /
+            static_cast<double>(after.core_cycles - before.core_cycles);
+  }
+  return result;
+}
+
+void Run() {
+  const char* phase_names[] = {"light", "heavy (saturating)",
+                               "light again"};
+  const RunResult static_on = Run(Mode::kStatic);
+  const RunResult fdp = Run(Mode::kFdp);
+  const RunResult limoncello = Run(Mode::kLimoncello);
+
+  for (int phase = 0; phase < 3; ++phase) {
+    Table table({"controller", "avg_dram_latency(ns)", "dram_bytes/instr",
+                 "ipc"});
+    auto row = [&](const char* name, const PhaseMetrics& m) {
+      table.AddRow({name, Table::Num(m.latency_ns, 1),
+                    Table::Num(m.bytes_per_instr, 3),
+                    Table::Num(m.ipc, 3)});
+    };
+    row("always-on prefetchers", static_on.phases[phase]);
+    row("FDP throttling (HPCA'07)", fdp.phases[phase]);
+    row("Hard Limoncello", limoncello.phases[phase]);
+    char title[64];
+    std::snprintf(title, sizeof(title), "Baseline comparison: phase %d (%s)",
+                  phase, phase_names[phase]);
+    table.Print(title);
+  }
+  std::printf(
+      "\nExpected shape: all three tie in the light phases (Limoncello "
+      "leaves\nprefetchers alone below the threshold); in the saturating "
+      "phase both\nthrottlers cut latency and traffic vs always-on, with "
+      "Limoncello acting\ndecisively (all engines) and FDP stepping its "
+      "ladder. The application-level\ndifference — recovering tax-function "
+      "coverage in software — is measured\nfleet-wide in fig20.\n");
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

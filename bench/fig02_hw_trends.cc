@@ -1,0 +1,35 @@
+// Reproduces paper Fig. 2: total memory bandwidth growth vs. per-core
+// bandwidth plateau across server generations (2010-2022), from the
+// platform catalog.
+#include <cstdio>
+
+#include "fleet/platform.h"
+#include "util/table.h"
+
+int main() {
+  using limoncello::HistoricalGenerations;
+  using limoncello::ServerGeneration;
+  using limoncello::Table;
+
+  const auto generations = HistoricalGenerations();
+  const ServerGeneration& base = generations.front();
+
+  Table table({"year", "cores", "membw(GB/s)", "membw_growth",
+               "membw_per_core(GB/s)", "per_core_growth"});
+  for (const ServerGeneration& gen : generations) {
+    table.AddRow({Table::Num(static_cast<std::int64_t>(gen.year)),
+                  Table::Num(static_cast<std::int64_t>(gen.cores)),
+                  Table::Num(gen.membw_gbps, 1),
+                  Table::Num(gen.membw_gbps / base.membw_gbps, 2),
+                  Table::Num(gen.MembwPerCore(), 2),
+                  Table::Num(gen.MembwPerCore() / base.MembwPerCore(), 2)});
+  }
+  table.Print("Fig. 2: memory bandwidth per core has plateaued");
+  std::printf(
+      "\nSummary: total bandwidth grew %.1fx while per-core bandwidth "
+      "grew only %.2fx\n(paper: total membw up ~6x, per-core membw "
+      "roughly flat).\n",
+      generations.back().membw_gbps / base.membw_gbps,
+      generations.back().MembwPerCore() / base.MembwPerCore());
+  return 0;
+}

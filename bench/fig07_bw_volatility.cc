@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 7: memory-bandwidth volatility of one machine
+// over an hour (1-minute samples). This volatility is why the controller
+// needs hysteresis: reacting to every burst would thrash the prefetchers.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/hysteresis_controller.h"
+#include "fleet/machine_model.h"
+#include "stats/time_series.h"
+#include "util/table.h"
+
+namespace limoncello::bench {
+namespace {
+
+void Run() {
+  const PlatformConfig platform = PlatformConfig::Platform1();
+  MachineModel machine(platform, DeploymentMode::kBaseline,
+                       DeployedControllerConfig(), Rng(17));
+  const auto services = ServiceSpec::FleetArchetypes();
+  // A moderately loaded machine running a few services (enough headroom
+  // that load swings show up as bandwidth swings, not as load shedding).
+  for (int i = 0; i < 6; ++i) {
+    MachineModel::Task task;
+    task.service_index = i;
+    task.spec = &services[static_cast<std::size_t>(i)];
+    task.share = 0.7;
+    machine.AddTask(task);
+  }
+  LoadProcess::Options lp;
+  lp.diurnal_period_ns = 3600LL * kNsPerSec;
+  lp.noise_stddev = 0.10;
+  lp.burst_probability = 0.02;
+  std::vector<std::unique_ptr<LoadProcess>> loads;
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    loads.push_back(
+        std::make_unique<LoadProcess>(lp, Rng(17).Fork(40 + s)));
+  }
+
+  TimeSeries bandwidth;
+  std::vector<double> factors(services.size(), 1.0);
+  for (int second = 0; second < 3600; ++second) {
+    const SimTimeNs now = static_cast<SimTimeNs>(second) * kNsPerSec;
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      factors[s] = loads[s]->Tick(now);
+    }
+    const auto r = machine.Tick(now, factors);
+    bandwidth.Add(now, r.bandwidth_gbps);
+  }
+
+  const TimeSeries per_minute = bandwidth.Resample(60 * kNsPerSec);
+  Table table({"minute", "bandwidth(GB/s)"});
+  for (const auto& point : per_minute.points()) {
+    table.AddRow({Table::Num(point.time_ns / (60 * kNsPerSec)),
+                  Table::Num(point.value, 1)});
+  }
+  table.Print("Fig. 7: memory bandwidth variability over one hour");
+  const Summary s = per_minute.Summarize();
+  std::printf(
+      "\nSummary: mean %.1f GB/s, stddev %.1f GB/s (%.0f%% of mean), "
+      "range [%.1f, %.1f]\n(paper: volatile minute-scale swings that "
+      "motivate hysteresis).\n",
+      s.mean(), s.stddev(), 100.0 * s.stddev() / s.mean(), s.min(),
+      s.max());
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces paper Fig. 15c: LLVM-libc-style memcpy distribution
+// benchmarks under the four prefetcher states, relative to +HW,-SW.
+// Runs on the detailed simulator, which (unlike the host) lets us
+// actually disable the hardware prefetchers.
+//
+// Expected shape: software prefetching recovers (and slightly exceeds)
+// the loss from disabling hardware prefetchers on the copy path:
+// (-HW,+SW) > (-HW,-SW), and (+HW,+SW) is close to neutral.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/table.h"
+#include "workloads/generators.h"
+
+namespace limoncello::bench {
+namespace {
+
+// Builds the fixed sequence of memcpy calls (sizes from the fleet
+// distribution) as one concatenated finite trace.
+std::unique_ptr<AccessGenerator> MemcpySequence(bool sw_prefetch,
+                                                std::uint64_t seed) {
+  // LLVM-libc style: each sampled copy is re-run several times over the
+  // same buffers (the benchmark loops), so the steady state is cache-warm
+  // for small copies; only the heavy tail streams from memory.
+  constexpr int kDistinctCalls = 80;
+  constexpr int kRepeats = 100;
+  // The LLVM-libc sweep covers 0.25 KB - 1000 KB (paper Fig. 15a/b), so
+  // cap the tail accordingly.
+  MemcpySizeDistribution::Options size_options;
+  size_options.max_bytes = 512 * 1024;
+  MemcpySizeDistribution dist(size_options);
+  Rng rng(seed);
+  std::vector<MixGenerator::Element> elements;
+  Addr src_base = 0;
+  Addr dst_base = 2ULL * kGiB;
+  for (int call = 0; call < kDistinctCalls; ++call) {
+    MemcpyTraceGenerator::Options o;
+    o.bytes = dist.Sample(rng);
+    o.src = src_base;
+    o.dst = dst_base;
+    o.function = 0;
+    if (sw_prefetch) {
+      o.sw_prefetch_distance_bytes = 512;
+      o.sw_prefetch_degree_bytes = 256;
+      o.sw_prefetch_min_size_bytes = 2048;  // deployed size gate
+      o.sw_prefetch_dst = true;             // memcpy knows both streams
+    }
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      MixGenerator::Element e;
+      e.generator = std::make_unique<MemcpyTraceGenerator>(o);
+      e.weight = 1.0;
+      e.burst_length = 1u << 30;  // run each copy to completion in order
+      elements.push_back(std::move(e));
+    }
+    src_base += (o.bytes / kCacheLineBytes + 2) * kCacheLineBytes;
+    dst_base += (o.bytes / kCacheLineBytes + 2) * kCacheLineBytes;
+    if (src_base > 1ULL * kGiB) src_base = 0;
+    if (dst_base > 3ULL * kGiB) dst_base = 2ULL * kGiB;
+  }
+  return std::make_unique<MixGenerator>(std::move(elements),
+                                        Rng(seed).Fork(9));
+}
+
+double RunCycles(bool hw_on, bool sw_on) {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.memory.peak_gbps = 6.0;
+  config.memory.jitter_fraction = 0.0;
+  // Server-class LLC: the benchmark's working set fits once warm, as in
+  // the looping LLVM-libc harness.
+  config.llc_bytes_per_core = 16 * kMiB;
+  Socket socket(config, 4, Rng(3));
+  socket.SetAllPrefetchersEnabled(hw_on);
+  socket.SetWorkload(0, MemcpySequence(sw_on, 77));
+  while (!socket.WorkloadExhausted(0)) socket.Step(100 * kNsPerUs);
+  return static_cast<double>(socket.core_active_cycles(0));
+}
+
+void Run() {
+  const double baseline = RunCycles(/*hw_on=*/true, /*sw_on=*/false);
+  struct State {
+    const char* label;
+    bool hw;
+    bool sw;
+  };
+  const State states[] = {
+      {"-HW,-SW", false, false},
+      {"-HW,+SW", false, true},
+      {"+HW,+SW", true, true},
+  };
+  Table table({"prefetcher_state", "speedup_vs(+HW,-SW)(%)"});
+  table.AddRow({"+HW,-SW (baseline)", "0.00"});
+  for (const State& s : states) {
+    const double cycles = RunCycles(s.hw, s.sw);
+    table.AddRow({s.label, Table::Num(100.0 * (baseline / cycles - 1.0), 2)});
+  }
+  table.Print(
+      "Fig. 15c: libc-distribution memcpy benchmarks across prefetcher "
+      "states");
+  std::printf(
+      "\nPaper shape: (-HW,+SW) beats (-HW,-SW) — software prefetch "
+      "recovers the\nloss from disabling hardware prefetchers on the "
+      "copy path; (+HW,+SW) is\nroughly neutral.\n");
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces paper Fig. 16: Limoncello's application-throughput gain by
+// CPU-utilization band. Machines are bucketed by their *baseline* average
+// CPU utilization; throughput is compared machine-by-machine between the
+// baseline and full-Limoncello arms (same seeds, same placement).
+//
+// Paper: +6-13 % depending on band, ~10 % at the 70/80 % bands, no
+// regression at 60 %.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/table.h"
+
+namespace limoncello::bench {
+namespace {
+
+void Run() {
+  FleetOptions options = DefaultFleetOptions(29);
+  options.fill = 0.62;
+  const FleetAb ab = RunFleetAb(
+      PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+      DeploymentMode::kFullLimoncello, DeployedControllerConfig(), options);
+
+  struct Band {
+    const char* label;
+    double lo;
+    double hi;
+    double before = 0.0;
+    double after = 0.0;
+    int machines = 0;
+  };
+  Band bands[] = {
+      {"<50%", 0.0, 0.5}, {"50-60%", 0.5, 0.6}, {"60-70%", 0.6, 0.7},
+      {"70-80%", 0.7, 0.8}, {">80%", 0.8, 10.0},
+  };
+  // Per-arm banding (the paper compares fleet telemetry per band across
+  // the rollout; machines are not paired, since placement evolves).
+  int before_machines[5] = {0};
+  int after_machines[5] = {0};
+  auto accumulate = [&](const FleetMetrics& metrics, bool is_after) {
+    for (const MachineAggregate& m : metrics.machines) {
+      const double cpu = m.AvgCpu();
+      for (std::size_t b = 0; b < 5; ++b) {
+        if (cpu >= bands[b].lo && cpu < bands[b].hi) {
+          if (is_after) {
+            bands[b].after += m.served_qps_sum;
+            ++after_machines[b];
+          } else {
+            bands[b].before += m.served_qps_sum;
+            ++before_machines[b];
+          }
+          break;
+        }
+      }
+    }
+  };
+  accumulate(ab.before, false);
+  accumulate(ab.after, true);
+
+  Table table({"cpu_band", "machines(before/after)",
+               "throughput_change(%)"});
+  for (std::size_t b = 0; b < 5; ++b) {
+    const Band& band = bands[b];
+    if (before_machines[b] == 0 || after_machines[b] == 0 ||
+        band.before <= 0.0) {
+      continue;
+    }
+    const double before_avg = band.before / before_machines[b];
+    const double after_avg = band.after / after_machines[b];
+    table.AddRow({band.label,
+                  std::to_string(before_machines[b]) + "/" +
+                      std::to_string(after_machines[b]),
+                  Table::Num(100.0 * (after_avg / before_avg - 1.0), 2)});
+  }
+  table.Print("Fig. 16: Limoncello throughput gain by CPU band");
+  std::printf(
+      "\nFleet-wide: %.2f%% (paper: +10%% at peak utilization; gains "
+      "concentrate in\nthe high-utilization bands, no regression at "
+      "moderate load).\n",
+      100.0 * (ab.after.served_qps_sum / ab.before.served_qps_sum - 1.0));
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

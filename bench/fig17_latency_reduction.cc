@@ -1,0 +1,41 @@
+// Reproduces paper Fig. 17: reduction in memory (L3 miss) latency after
+// the Limoncello rollout, by percentile across machine-tick samples.
+// Paper: ~-13 % at the median, ~-10 % at P99.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/table.h"
+
+namespace limoncello::bench {
+namespace {
+
+void Run() {
+  FleetOptions options = DefaultFleetOptions(37);
+  options.fill = 0.62;
+  const FleetAb ab = RunFleetAb(
+      PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+      DeploymentMode::kFullLimoncello, DeployedControllerConfig(), options);
+
+  Table table({"percentile", "before(ns)", "after(ns)", "change(%)"});
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double before = ab.before.latency_ns.Percentile(p);
+    const double after = ab.after.latency_ns.Percentile(p);
+    char label[8];
+    std::snprintf(label, sizeof(label), "P%.0f", p);
+    table.AddRow({label, Table::Num(before, 1), Table::Num(after, 1),
+                  Table::Num(100.0 * (after / before - 1.0), 2)});
+  }
+  table.Print("Fig. 17: memory latency reduction from Limoncello");
+  std::printf(
+      "\nPaper: -13%% median, -10%% P99 L3 latency. Expected shape: "
+      "latency falls at\nevery percentile because prefetch traffic no "
+      "longer queues behind demand\nat loaded sockets.\n");
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main() {
+  limoncello::bench::Run();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// google-benchmark microbenchmarks for the native data-center-tax
+// library: data movement, hashing, compression, and serialization, each
+// with software prefetching off and on (deployed parameters).
+//
+// These are the library-level microbenchmarks §4.2 uses to evaluate a
+// candidate prefetch configuration before load testing.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "softpf/soft_prefetch_config.h"
+#include "tax/block_compressor.h"
+#include "tax/block_hash.h"
+#include "tax/prefetching_memcpy.h"
+#include "tax/wire_serializer.h"
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+SoftPrefetchConfig SweepConfig(bool enabled) {
+  if (!enabled) return SoftPrefetchConfig::Disabled();
+  SoftPrefetchConfig config;
+  config.distance_bytes = 512;
+  config.degree_bytes = 256;
+  config.min_size_bytes = 0;
+  return config;
+}
+
+std::string MakePayload(std::size_t n, bool compressible) {
+  std::string s;
+  s.reserve(n);
+  Rng rng(n);
+  const char* phrase = "limoncello prefetchers for scale ";
+  while (s.size() < n) {
+    if (compressible && rng.NextBernoulli(0.7)) {
+      s += phrase;
+    } else {
+      s += static_cast<char>(rng.NextU64());
+    }
+  }
+  s.resize(n);
+  return s;
+}
+
+void BM_Memcpy(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  std::vector<char> src(size, 'x');
+  std::vector<char> dst(size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PrefetchingMemcpy(dst.data(), src.data(), size, config));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Memcpy)
+    ->ArgsProduct({{4096, 65536, 1 << 20}, {0, 1}});
+
+void BM_Memmove_Overlapping(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  std::vector<char> buf(size + 64, 'y');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PrefetchingMemmove(buf.data() + 64, buf.data(), size, config));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Memmove_Overlapping)->ArgsProduct({{65536}, {0, 1}});
+
+void BM_BlockHash64(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  const std::string data = MakePayload(size, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BlockHash64(data.data(), data.size(), 0, config));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_BlockHash64)->ArgsProduct({{4096, 1 << 20}, {0, 1}});
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  const std::string data = MakePayload(size, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size(), config));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Crc32c)->ArgsProduct({{65536}, {0, 1}});
+
+void BM_Compress(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const BlockCompressor codec(SweepConfig(state.range(1) != 0));
+  const std::string input = MakePayload(size, true);
+  std::string output;
+  for (auto _ : state) {
+    codec.Compress(input, &output);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Compress)->ArgsProduct({{65536, 1 << 20}, {0, 1}});
+
+void BM_Decompress(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const BlockCompressor codec(SweepConfig(state.range(1) != 0));
+  const std::string input = MakePayload(size, true);
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  std::string output;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decompress(compressed, &output));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Decompress)->ArgsProduct({{1 << 20}, {0, 1}});
+
+void BM_Serialize(benchmark::State& state) {
+  const WireSerializer serializer(SweepConfig(state.range(0) != 0));
+  WireMessage message;
+  for (std::uint32_t f = 1; f <= 8; ++f) {
+    message.push_back({f, MakePayload(16 * 1024, false)});
+  }
+  std::string wire;
+  for (auto _ : state) {
+    serializer.Serialize(message, &wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(WireSerializer::EncodedSize(message)));
+}
+BENCHMARK(BM_Serialize)->Arg(0)->Arg(1);
+
+void BM_Parse(benchmark::State& state) {
+  const WireSerializer serializer(SweepConfig(state.range(0) != 0));
+  WireMessage message;
+  for (std::uint32_t f = 1; f <= 8; ++f) {
+    message.push_back({f, MakePayload(16 * 1024, false)});
+  }
+  std::string wire;
+  serializer.Serialize(message, &wire);
+  WireMessage parsed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serializer.Parse(wire, &parsed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace limoncello
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// The hardware-ablation methodology (paper §4.1): run experiment
+// (prefetchers off) and control (prefetchers on) machine populations on
+// the detailed simulator, profile per function with the sampling
+// profiler, diff the populations, and derive the software-prefetch
+// target registry.
+#include <algorithm>
+#include <cstdio>
+
+#include "profiling/profile.h"
+#include "profiling/sampling_profiler.h"
+#include "sim/machine/socket.h"
+#include "softpf/prefetch_site_registry.h"
+#include "workloads/function_catalog.h"
+
+using namespace limoncello;
+
+namespace {
+
+ProfileAggregate ProfilePopulation(const FunctionCatalog& catalog,
+                                   bool prefetchers_on, int machines) {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.peak_gbps = 32.0;  // moderate fleet-average load point
+
+  ProfileAggregate aggregate(catalog.size());
+  SamplingProfiler::Options po;
+  po.machine_sample_probability = 1.0;
+  po.event_sample_fraction = 0.25;
+  SamplingProfiler profiler(po, Rng(99));
+  for (int m = 0; m < machines; ++m) {
+    Socket socket(config, catalog.size(), Rng(500 + m));
+    socket.SetAllPrefetchersEnabled(prefetchers_on);
+    for (int core = 0; core < config.num_cores; ++core) {
+      socket.SetWorkload(core,
+                         catalog.MakeFleetMix(Rng(500 + m).Fork(core)));
+    }
+    for (int epoch = 0; epoch < 30; ++epoch) socket.Step(100 * kNsPerUs);
+    profiler.CollectFrom(socket.function_profile(), &aggregate);
+  }
+  return aggregate;
+}
+
+}  // namespace
+
+int main() {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+
+  std::printf("profiling control population (prefetchers ON)...\n");
+  const ProfileAggregate control = ProfilePopulation(catalog, true, 6);
+  std::printf("profiling experiment population (prefetchers OFF)...\n");
+  const ProfileAggregate experiment = ProfilePopulation(catalog, false, 6);
+
+  auto deltas = CompareAblation(control, experiment, catalog);
+  std::sort(deltas.begin(), deltas.end(),
+            [](const FunctionDelta& a, const FunctionDelta& b) {
+              return a.cycles_change_pct > b.cycles_change_pct;
+            });
+
+  std::printf("\n%-18s %-18s %10s %10s\n", "function", "category",
+              "d_cycles%", "d_mpki%");
+  for (const FunctionDelta& d : deltas) {
+    std::printf("%-18s %-18s %+10.1f %+10.1f\n", d.name.c_str(),
+                FunctionCategoryName(d.category), d.cycles_change_pct,
+                d.mpki_change_pct);
+  }
+
+  // Select software-prefetch targets and build the deployment registry.
+  const auto targets = SelectPrefetchTargets(deltas,
+                                             /*min_regression_pct=*/5.0,
+                                             /*min_cycle_share=*/0.002);
+  PrefetchSiteRegistry registry;
+  for (const FunctionDelta& target : targets) {
+    registry.Register(target.name, SoftPrefetchConfig::DeployedDefault());
+  }
+  std::printf("\nselected %zu software-prefetch targets:\n",
+              targets.size());
+  for (const FunctionDelta& target : targets) {
+    std::printf("  %-18s (%s, %+.1f%% cycles when PF disabled)\n",
+                target.name.c_str(),
+                FunctionCategoryName(target.category),
+                target.cycles_change_pct);
+  }
+  std::printf(
+      "\nexpected: the targets are data-center-tax functions "
+      "(compression, data\ntransmission, hashing, data movement) - paper "
+      "§4.1.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fleet rollout (paper §6): run a loaded fleet before and after deploying
+// Full Limoncello with identical seeds, and report the headline metrics:
+// application throughput, memory latency percentiles, socket bandwidth,
+// and saturated-socket fraction.
+#include <cstdio>
+
+#include "fleet/fleet_simulator.h"
+
+using namespace limoncello;
+
+int main() {
+  FleetOptions options;
+  options.num_machines = 100;
+  options.ticks = 600;
+  options.fill = 0.72;
+  options.seed = 2024;
+  options.diurnal_period_ns = 600LL * kNsPerSec;
+
+  ControllerConfig controller;
+  controller.upper_threshold = 0.80;  // the deployed 60/80 config
+  controller.lower_threshold = 0.60;
+  controller.sustain_duration_ns = 5 * kNsPerSec;
+
+  std::printf("running baseline arm (hardware prefetchers always on)...\n");
+  const FleetMetrics before =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  controller, options);
+  std::printf("running Limoncello arm (hard + soft)...\n\n");
+  const FleetMetrics after = RunFleetArm(PlatformConfig::Platform1(),
+                                         DeploymentMode::kFullLimoncello,
+                                         controller, options);
+
+  auto pct = [](double b, double a) { return 100.0 * (a / b - 1.0); };
+  std::printf("%-34s %12s %12s %9s\n", "metric", "before", "after",
+              "change");
+  std::printf("%-34s %12.0f %12.0f %+8.2f%%\n", "application throughput (qps)",
+              before.served_qps_sum / options.ticks,
+              after.served_qps_sum / options.ticks,
+              pct(before.served_qps_sum, after.served_qps_sum));
+  std::printf("%-34s %12.1f %12.1f %+8.2f%%\n", "median memory latency (ns)",
+              before.latency_ns.Percentile(50),
+              after.latency_ns.Percentile(50),
+              pct(before.latency_ns.Percentile(50),
+                  after.latency_ns.Percentile(50)));
+  std::printf("%-34s %12.1f %12.1f %+8.2f%%\n", "p99 memory latency (ns)",
+              before.latency_ns.Percentile(99),
+              after.latency_ns.Percentile(99),
+              pct(before.latency_ns.Percentile(99),
+                  after.latency_ns.Percentile(99)));
+  std::printf("%-34s %12.1f %12.1f %+8.2f%%\n", "avg socket bandwidth (GB/s)",
+              before.bandwidth_gbps.Mean(), after.bandwidth_gbps.Mean(),
+              pct(before.bandwidth_gbps.Mean(),
+                  after.bandwidth_gbps.Mean()));
+  std::printf("%-34s %11.1f%% %11.1f%%\n", "saturated socket ticks",
+              100.0 * before.SaturatedFraction(),
+              100.0 * after.SaturatedFraction());
+  std::printf("%-34s %12llu %12llu\n", "controller toggles",
+              0ULL,
+              static_cast<unsigned long long>(after.controller_toggles));
+  std::printf(
+      "\npaper: +10%% throughput at peak utilization, -13%% median / -10%% "
+      "P99 memory\nlatency, -15%% average socket bandwidth, saturated "
+      "sockets down ~8%%.\n");
+  return 0;
+}

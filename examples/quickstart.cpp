@@ -1,0 +1,96 @@
+// Quickstart: run the full Limoncello control loop on one simulated
+// socket.
+//
+//   telemetry (1 Hz bandwidth) -> hysteresis controller -> MSR writes ->
+//   prefetch engines toggle -> latency and traffic respond.
+//
+// The socket starts under heavy memory load (prefetchers get disabled),
+// then goes quiet (prefetchers come back).
+#include <cstdio>
+#include <memory>
+
+#include "core/daemon.h"
+#include "telemetry/telemetry.h"
+#include "workloads/generators.h"
+
+using namespace limoncello;
+
+int main() {
+  // 1. A simulated 4-core socket with a 6 GB/s memory system.
+  SocketConfig socket_config;
+  socket_config.num_cores = 4;
+  socket_config.memory.peak_gbps = 6.0;
+  Socket socket(socket_config, /*num_functions=*/4, Rng(1));
+
+  // 2. The Limoncello stack: telemetry, controller, MSR actuator.
+  //    (One controller tick per 100 us socket epoch; the controller only
+  //    cares about tick counts, not absolute time.)
+  ControllerConfig controller_config;
+  controller_config.upper_threshold = 0.80;
+  controller_config.lower_threshold = 0.60;
+  controller_config.tick_period_ns = 100 * kNsPerUs;
+  controller_config.sustain_duration_ns = 5 * 100 * kNsPerUs;
+
+  PrefetchControl control(&socket.msr_device(),
+                          PlatformMsrLayout::kIntelStyle, 0,
+                          socket_config.num_cores);
+  MsrPrefetchActuator actuator(&control, socket_config.num_cores);
+  SocketUtilizationSource telemetry(&socket);
+  LimoncelloDaemon daemon(controller_config, &telemetry, &actuator);
+
+  // 3. Heavy phase: every core hammers memory with random accesses.
+  for (int core = 0; core < socket_config.num_cores; ++core) {
+    RandomAccessGenerator::Options o;
+    o.working_set_bytes = 256 * kMiB;
+    o.gap_instructions_mean = 2.0;
+    o.function = 0;
+    socket.SetWorkload(core, std::make_unique<RandomAccessGenerator>(
+                                 o, Rng(10 + core)));
+  }
+
+  std::printf("phase 1: heavy load\n");
+  for (int tick = 0; tick < 40; ++tick) {
+    socket.Step(100 * kNsPerUs);
+    const auto record = daemon.RunTick(socket.now());
+    if (record.action != ControllerAction::kNone || tick % 10 == 0) {
+      std::printf(
+          "  t=%2d  util=%5.1f%%  latency=%6.1f ns  prefetchers=%s%s\n",
+          tick, 100.0 * record.utilization,
+          socket.memory().CurrentLatencyNs(),
+          socket.AllPrefetchersEnabled() ? "on " : "off",
+          record.action == ControllerAction::kDisablePrefetchers
+              ? "   <-- DISABLED (sustained high bandwidth)"
+              : "");
+    }
+  }
+
+  // 4. Quiet phase: the load disappears.
+  std::printf("phase 2: idle\n");
+  for (int core = 0; core < socket_config.num_cores; ++core) {
+    socket.SetWorkload(core, nullptr);
+  }
+  for (int tick = 40; tick < 80; ++tick) {
+    socket.Step(100 * kNsPerUs);
+    const auto record = daemon.RunTick(socket.now());
+    if (record.action != ControllerAction::kNone || tick % 10 == 0) {
+      std::printf(
+          "  t=%2d  util=%5.1f%%  latency=%6.1f ns  prefetchers=%s%s\n",
+          tick, 100.0 * record.utilization,
+          socket.memory().CurrentLatencyNs(),
+          socket.AllPrefetchersEnabled() ? "on " : "off",
+          record.action == ControllerAction::kEnablePrefetchers
+              ? "   <-- RE-ENABLED (sustained low bandwidth)"
+              : "");
+    }
+  }
+
+  const auto& stats = daemon.stats();
+  std::printf(
+      "\ndone: %llu ticks, %llu disable(s), %llu enable(s), "
+      "prefetchers now %s\n",
+      static_cast<unsigned long long>(stats.ticks),
+      static_cast<unsigned long long>(stats.disables),
+      static_cast<unsigned long long>(stats.enables),
+      socket.AllPrefetchersEnabled() ? "on" : "off");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "core/actuator.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+MsrPrefetchActuator::MsrPrefetchActuator(PrefetchControl* control,
+                                         int expected_cpus)
+    : control_(control), expected_cpus_(expected_cpus) {
+  LIMONCELLO_CHECK(control != nullptr);
+  LIMONCELLO_CHECK_GT(expected_cpus, 0);
+}
+
+bool MsrPrefetchActuator::DisablePrefetchers() {
+  return control_->DisableAll() == expected_cpus_;
+}
+
+bool MsrPrefetchActuator::EnablePrefetchers() {
+  return control_->EnableAll() == expected_cpus_;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,38 @@
+// Prefetcher actuation interface and the MSR-backed implementation.
+#ifndef LIMONCELLO_CORE_ACTUATOR_H_
+#define LIMONCELLO_CORE_ACTUATOR_H_
+
+#include "msr/prefetch_control.h"
+
+namespace limoncello {
+
+// Applies the controller's decision to the hardware. Implementations must
+// be idempotent; the daemon retries failed actuations on later ticks.
+class PrefetchActuator {
+ public:
+  virtual ~PrefetchActuator() = default;
+
+  // Returns true when the new state was applied to every core.
+  virtual bool DisablePrefetchers() = 0;
+  virtual bool EnablePrefetchers() = 0;
+};
+
+// Actuates through per-core MSR writes (the deployment path, paper §3
+// "Actuating Prefetcher Controls").
+class MsrPrefetchActuator : public PrefetchActuator {
+ public:
+  // `control` must outlive the actuator. expected_cpus is the number of
+  // CPUs that must acknowledge a write for it to count as success.
+  MsrPrefetchActuator(PrefetchControl* control, int expected_cpus);
+
+  bool DisablePrefetchers() override;
+  bool EnablePrefetchers() override;
+
+ private:
+  PrefetchControl* control_;
+  int expected_cpus_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CORE_ACTUATOR_H_

@@ -1,0 +1,36 @@
+// Configuration for the Hard Limoncello controller.
+#ifndef LIMONCELLO_CORE_CONTROLLER_CONFIG_H_
+#define LIMONCELLO_CORE_CONTROLLER_CONFIG_H_
+
+#include "util/units.h"
+
+namespace limoncello {
+
+// Thresholds are fractions of the platform's memory-bandwidth saturation
+// threshold (the machine-qualification capacity, paper §3 "Thresholds").
+// The deployed configuration is 60 % lower / 80 % upper (paper §5).
+struct ControllerConfig {
+  double upper_threshold = 0.80;  // disable prefetchers above this
+  double lower_threshold = 0.60;  // re-enable prefetchers below this
+
+  // Δ: how long utilization must stay beyond a threshold before the
+  // controller acts (hysteresis in time, paper Fig. 8).
+  SimTimeNs sustain_duration_ns = 5 * kNsPerSec;
+
+  // Telemetry cadence (paper: perf sampled every 1 s).
+  SimTimeNs tick_period_ns = 1 * kNsPerSec;
+
+  // Daemon fail-safe: after this many consecutive missing/invalid
+  // telemetry samples, force prefetchers back on and reset.
+  int max_missed_samples = 5;
+
+  bool Valid() const {
+    return upper_threshold > lower_threshold && lower_threshold >= 0.0 &&
+           upper_threshold <= 1.5 && sustain_duration_ns >= 0 &&
+           tick_period_ns > 0 && max_missed_samples > 0;
+  }
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CORE_CONTROLLER_CONFIG_H_

@@ -1,0 +1,97 @@
+#include "core/daemon.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+LimoncelloDaemon::LimoncelloDaemon(const ControllerConfig& config,
+                                   UtilizationSource* telemetry,
+                                   PrefetchActuator* actuator)
+    : config_(config),
+      telemetry_(telemetry),
+      actuator_(actuator),
+      controller_(config) {
+  LIMONCELLO_CHECK(telemetry != nullptr);
+  LIMONCELLO_CHECK(actuator != nullptr);
+}
+
+bool LimoncelloDaemon::Actuate(ControllerAction action) {
+  bool ok = true;
+  switch (action) {
+    case ControllerAction::kNone:
+      return true;
+    case ControllerAction::kDisablePrefetchers:
+      ++stats_.disables;
+      ok = actuator_->DisablePrefetchers();
+      if (ok && state_listener_) state_listener_(false);
+      return ok;
+    case ControllerAction::kEnablePrefetchers:
+      ++stats_.enables;
+      ok = actuator_->EnablePrefetchers();
+      if (ok && state_listener_) state_listener_(true);
+      return ok;
+  }
+  LIMONCELLO_CHECK(false);
+  return false;
+}
+
+LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
+  TickRecord record;
+  record.time_ns = now_ns;
+  ++stats_.ticks;
+
+  // Retry a previously failed actuation before anything else so the
+  // hardware state converges to the FSM's view.
+  if (pending_retry_ != ControllerAction::kNone) {
+    if (Actuate(pending_retry_)) {
+      pending_retry_ = ControllerAction::kNone;
+    } else {
+      ++stats_.actuation_failures;
+    }
+  }
+
+  const std::optional<double> sample = telemetry_->SampleUtilization();
+  if (!sample.has_value() || *sample < 0.0) {
+    ++stats_.missed_samples;
+    ++consecutive_missed_;
+    if (consecutive_missed_ >= config_.max_missed_samples) {
+      // Fail safe: force the hardware default (prefetchers enabled).
+      consecutive_missed_ = 0;
+      ++stats_.failsafe_resets;
+      if (!controller_.PrefetchersShouldBeEnabled() ||
+          pending_retry_ != ControllerAction::kNone) {
+        if (Actuate(ControllerAction::kEnablePrefetchers)) {
+          pending_retry_ = ControllerAction::kNone;
+        } else {
+          ++stats_.actuation_failures;
+          pending_retry_ = ControllerAction::kEnablePrefetchers;
+        }
+      }
+      controller_.Reset();
+    }
+    record.sample_ok = false;
+    record.state = controller_.state();
+    state_trace_.Add(now_ns,
+                     controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);
+    return record;
+  }
+
+  consecutive_missed_ = 0;
+  record.sample_ok = true;
+  record.utilization = *sample;
+  record.action = controller_.Tick(*sample);
+  record.state = controller_.state();
+  if (record.action != ControllerAction::kNone) {
+    record.actuation_ok = Actuate(record.action);
+    if (!record.actuation_ok) {
+      ++stats_.actuation_failures;
+      pending_retry_ = record.action;
+    }
+  }
+  utilization_trace_.Add(now_ns, *sample);
+  state_trace_.Add(now_ns,
+                   controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);
+  return record;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,86 @@
+// The Limoncello controller daemon: telemetry → FSM → actuation.
+//
+// One daemon instance manages one socket. Each tick (1 s in production) it
+// samples memory-bandwidth utilization, advances the hysteresis FSM, and
+// applies any resulting prefetcher toggle via the actuator.
+//
+// Robustness behaviour (beyond the paper's happy path, but required for a
+// deployable daemon):
+//   * Missing/invalid telemetry: after max_missed_samples consecutive
+//     failures the daemon fails safe — prefetchers are forced back on
+//     (the hardware default) and the FSM resets.
+//   * Failed actuation (core offline, MSR write error): the intent is
+//     remembered and retried on subsequent ticks until it succeeds.
+#ifndef LIMONCELLO_CORE_DAEMON_H_
+#define LIMONCELLO_CORE_DAEMON_H_
+
+#include <cstdint>
+
+#include "core/actuator.h"
+#include "core/hysteresis_controller.h"
+#include "stats/time_series.h"
+#include "telemetry/telemetry.h"
+
+namespace limoncello {
+
+class LimoncelloDaemon {
+ public:
+  struct TickRecord {
+    SimTimeNs time_ns = 0;
+    double utilization = 0.0;     // NaN-free; 0 when sample missing
+    bool sample_ok = false;
+    ControllerAction action = ControllerAction::kNone;
+    ControllerState state = ControllerState::kEnabledSteady;
+    bool actuation_ok = true;
+  };
+
+  struct Stats {
+    std::uint64_t ticks = 0;
+    std::uint64_t missed_samples = 0;
+    std::uint64_t failsafe_resets = 0;
+    std::uint64_t actuation_failures = 0;
+    std::uint64_t disables = 0;
+    std::uint64_t enables = 0;
+  };
+
+  // `telemetry` and `actuator` must outlive the daemon.
+  LimoncelloDaemon(const ControllerConfig& config,
+                   UtilizationSource* telemetry, PrefetchActuator* actuator);
+
+  // Executes one controller tick at the given simulated time.
+  TickRecord RunTick(SimTimeNs now_ns);
+
+  // Observer invoked after every *successful* prefetcher-state change
+  // (true = enabled). This is how Soft Limoncello learns the hardware
+  // state (wire it to SoftPrefetchRuntime::SetHwPrefetchersEnabled).
+  using StateListener = std::function<void(bool prefetchers_enabled)>;
+  void SetStateListener(StateListener listener) {
+    state_listener_ = std::move(listener);
+  }
+
+  const HysteresisController& controller() const { return controller_; }
+  const Stats& stats() const { return stats_; }
+
+  // 1 = prefetchers commanded on, 0 = commanded off (for Fig. 9 traces).
+  const TimeSeries& state_trace() const { return state_trace_; }
+  const TimeSeries& utilization_trace() const { return utilization_trace_; }
+
+ private:
+  bool Actuate(ControllerAction action);
+
+  ControllerConfig config_;
+  UtilizationSource* telemetry_;
+  PrefetchActuator* actuator_;
+  HysteresisController controller_;
+  Stats stats_;
+  int consecutive_missed_ = 0;
+  // Pending actuation that previously failed and must be retried.
+  ControllerAction pending_retry_ = ControllerAction::kNone;
+  StateListener state_listener_;
+  TimeSeries state_trace_;
+  TimeSeries utilization_trace_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CORE_DAEMON_H_

@@ -1,0 +1,44 @@
+#include "core/file_utilization_source.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace limoncello {
+
+FileUtilizationSource::FileUtilizationSource(std::string path)
+    : path_(std::move(path)) {}
+
+std::optional<double> ParseLastUtilizationLine(
+    const std::string& contents) {
+  // Find the last non-empty line.
+  std::size_t end = contents.size();
+  while (end > 0 &&
+         (contents[end - 1] == '\n' || contents[end - 1] == '\r')) {
+    --end;
+  }
+  if (end == 0) return std::nullopt;
+  std::size_t begin = contents.rfind('\n', end - 1);
+  begin = begin == std::string::npos ? 0 : begin + 1;
+  const std::string line = contents.substr(begin, end - begin);
+
+  char* parse_end = nullptr;
+  const double value = std::strtod(line.c_str(), &parse_end);
+  if (parse_end == line.c_str()) return std::nullopt;
+  // Trailing junk after the number (other than whitespace) is malformed.
+  for (const char* p = parse_end; *p != '\0'; ++p) {
+    if (*p != ' ' && *p != '\t') return std::nullopt;
+  }
+  if (value < 0.0 || value >= 10.0) return std::nullopt;
+  return value;
+}
+
+std::optional<double> FileUtilizationSource::SampleUtilization() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLastUtilizationLine(buffer.str());
+}
+
+}  // namespace limoncello

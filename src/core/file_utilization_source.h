@@ -1,0 +1,36 @@
+// Telemetry source that reads utilization samples from a file.
+//
+// The deployment integration point for real hardware: a sidecar (e.g. a
+// `perf stat` wrapper or a PCM exporter) appends one utilization sample
+// (fraction of saturation, e.g. "0.83") per line; the daemon reads the
+// most recent line each tick. Missing file, empty file, or an unparsable
+// last line reports a failed sample, which feeds the daemon's fail-safe
+// logic.
+#ifndef LIMONCELLO_CORE_FILE_UTILIZATION_SOURCE_H_
+#define LIMONCELLO_CORE_FILE_UTILIZATION_SOURCE_H_
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace limoncello {
+
+class FileUtilizationSource : public UtilizationSource {
+ public:
+  explicit FileUtilizationSource(std::string path);
+
+  std::optional<double> SampleUtilization() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Parses the last non-empty line of `contents` as a double in [0, 10).
+// Exposed for testing.
+std::optional<double> ParseLastUtilizationLine(const std::string& contents);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CORE_FILE_UTILIZATION_SOURCE_H_

@@ -1,0 +1,98 @@
+#include "core/hysteresis_controller.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+const char* ControllerStateName(ControllerState state) {
+  switch (state) {
+    case ControllerState::kEnabledSteady:
+      return "enabled_steady";
+    case ControllerState::kEnabledArming:
+      return "enabled_arming";
+    case ControllerState::kDisabledSteady:
+      return "disabled_steady";
+    case ControllerState::kDisabledArming:
+      return "disabled_arming";
+  }
+  return "unknown";
+}
+
+HysteresisController::HysteresisController(const ControllerConfig& config)
+    : config_(config) {
+  LIMONCELLO_CHECK(config.Valid());
+}
+
+void HysteresisController::Reset() {
+  state_ = ControllerState::kEnabledSteady;
+  timer_ns_ = 0;
+}
+
+ControllerAction HysteresisController::Tick(double utilization) {
+  LIMONCELLO_DCHECK(utilization >= 0.0);
+  const double ut = config_.upper_threshold;
+  const double lt = config_.lower_threshold;
+
+  switch (state_) {
+    case ControllerState::kEnabledSteady:
+      if (utilization > ut) {
+        state_ = ControllerState::kEnabledArming;
+        timer_ns_ = config_.tick_period_ns;
+        if (timer_ns_ >= config_.sustain_duration_ns) {
+          state_ = ControllerState::kDisabledSteady;
+          timer_ns_ = 0;
+          ++toggle_count_;
+          return ControllerAction::kDisablePrefetchers;
+        }
+      }
+      return ControllerAction::kNone;
+
+    case ControllerState::kEnabledArming:
+      if (utilization <= ut) {
+        // Excursion ended before Δ: back to steady, timer cleared.
+        state_ = ControllerState::kEnabledSteady;
+        timer_ns_ = 0;
+        return ControllerAction::kNone;
+      }
+      timer_ns_ += config_.tick_period_ns;
+      if (timer_ns_ >= config_.sustain_duration_ns) {
+        state_ = ControllerState::kDisabledSteady;
+        timer_ns_ = 0;
+        ++toggle_count_;
+        return ControllerAction::kDisablePrefetchers;
+      }
+      return ControllerAction::kNone;
+
+    case ControllerState::kDisabledSteady:
+      if (utilization < lt) {
+        state_ = ControllerState::kDisabledArming;
+        timer_ns_ = config_.tick_period_ns;
+        if (timer_ns_ >= config_.sustain_duration_ns) {
+          state_ = ControllerState::kEnabledSteady;
+          timer_ns_ = 0;
+          ++toggle_count_;
+          return ControllerAction::kEnablePrefetchers;
+        }
+      }
+      return ControllerAction::kNone;
+
+    case ControllerState::kDisabledArming:
+      if (utilization >= lt) {
+        state_ = ControllerState::kDisabledSteady;
+        timer_ns_ = 0;
+        return ControllerAction::kNone;
+      }
+      timer_ns_ += config_.tick_period_ns;
+      if (timer_ns_ >= config_.sustain_duration_ns) {
+        state_ = ControllerState::kEnabledSteady;
+        timer_ns_ = 0;
+        ++toggle_count_;
+        return ControllerAction::kEnablePrefetchers;
+      }
+      return ControllerAction::kNone;
+  }
+  LIMONCELLO_CHECK(false);
+  return ControllerAction::kNone;
+}
+
+}  // namespace limoncello

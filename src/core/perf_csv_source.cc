@@ -1,0 +1,103 @@
+#include "core/perf_csv_source.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+// Splits one CSV line on commas (perf never quotes these fields).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+std::optional<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nullopt;
+  return v;
+}
+
+// Converts a perf counter value+unit to bytes. perf reports memory
+// controller counters in MiB (or as raw cacheline counts with an empty
+// unit on some kernels).
+std::optional<double> ToBytes(double value, const std::string& unit) {
+  if (unit == "MiB") return value * 1024.0 * 1024.0;
+  if (unit == "KiB") return value * 1024.0;
+  if (unit == "GiB") return value * 1024.0 * 1024.0 * 1024.0;
+  if (unit.empty()) return value * kCacheLineBytes;  // raw line count
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> ParsePerfCsvBandwidth(const std::string& contents,
+                                            const PerfCsvOptions& options) {
+  // Collect (timestamp, bytes) per event; keep the latest timestamp at
+  // which both events were seen.
+  struct Interval {
+    double timestamp = -1.0;
+    double read_bytes = -1.0;
+    double write_bytes = -1.0;
+  };
+  Interval current;
+  Interval last_complete;
+
+  std::istringstream in(contents);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = SplitCsv(line);
+    // -I -x, layout: time, value, unit, event, run-time, pct, [...]
+    if (fields.size() < 4) continue;
+    const auto timestamp = ParseDouble(fields[0]);
+    const auto value = ParseDouble(fields[1]);
+    if (!timestamp.has_value() || !value.has_value()) continue;
+    const auto bytes = ToBytes(*value, fields[2]);
+    if (!bytes.has_value()) continue;
+    const std::string& event = fields[3];
+
+    if (*timestamp != current.timestamp) {
+      current = Interval{};
+      current.timestamp = *timestamp;
+    }
+    if (event == options.read_event) current.read_bytes = *bytes;
+    if (event == options.write_event) current.write_bytes = *bytes;
+    if (current.read_bytes >= 0.0 && current.write_bytes >= 0.0) {
+      last_complete = current;
+    }
+  }
+  if (last_complete.timestamp < 0.0) return std::nullopt;
+  const double interval_s =
+      static_cast<double>(options.interval_ns) / 1e9;
+  if (interval_s <= 0.0) return std::nullopt;
+  const double bytes_per_sec =
+      (last_complete.read_bytes + last_complete.write_bytes) / interval_s;
+  return bytes_per_sec / 1e9;  // GB/s
+}
+
+PerfCsvUtilizationSource::PerfCsvUtilizationSource(
+    std::string path, const PerfCsvOptions& options)
+    : path_(std::move(path)), options_(options) {
+  LIMONCELLO_CHECK_GT(options.saturation_gbps, 0.0);
+}
+
+std::optional<double> PerfCsvUtilizationSource::SampleUtilization() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto gbps = ParsePerfCsvBandwidth(buffer.str(), options_);
+  if (!gbps.has_value()) return std::nullopt;
+  return *gbps / options_.saturation_gbps;
+}
+
+}  // namespace limoncello

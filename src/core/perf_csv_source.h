@@ -1,0 +1,55 @@
+// Telemetry source for real hardware: parses `perf stat` interval-mode
+// CSV output to estimate socket memory bandwidth.
+//
+// Deployment pattern (paper §3: "We use the perf tool to profile memory
+// bandwidth levels on every socket every 1s"):
+//
+//   perf stat -I 1000 -x, \
+//     -e uncore_imc/data_reads/,uncore_imc/data_writes/ \
+//     -o /run/limoncello/perf.csv --append &
+//   limoncellod --mode=real --perf-csv=/run/limoncello/perf.csv ...
+//
+// perf's -I -x, lines look like:
+//   1.001036918,12345.67,MiB,uncore_imc/data_reads/,...
+// The source sums the configured read+write counters of the *last
+// complete interval* and converts MiB-per-interval to a fraction of the
+// platform's saturation bandwidth.
+#ifndef LIMONCELLO_CORE_PERF_CSV_SOURCE_H_
+#define LIMONCELLO_CORE_PERF_CSV_SOURCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "util/units.h"
+
+namespace limoncello {
+
+struct PerfCsvOptions {
+  std::string read_event = "uncore_imc/data_reads/";
+  std::string write_event = "uncore_imc/data_writes/";
+  double saturation_gbps = 100.0;
+  SimTimeNs interval_ns = 1 * kNsPerSec;
+};
+
+// Parses perf -I -x, output and returns the bandwidth (GB/s, decimal) of
+// the last timestamp for which both events are present. nullopt if the
+// content has no complete interval or is malformed.
+std::optional<double> ParsePerfCsvBandwidth(const std::string& contents,
+                                            const PerfCsvOptions& options);
+
+class PerfCsvUtilizationSource : public UtilizationSource {
+ public:
+  PerfCsvUtilizationSource(std::string path, const PerfCsvOptions& options);
+
+  std::optional<double> SampleUtilization() override;
+
+ private:
+  std::string path_;
+  PerfCsvOptions options_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CORE_PERF_CSV_SOURCE_H_

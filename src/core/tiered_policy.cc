@@ -1,0 +1,67 @@
+#include "core/tiered_policy.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+TieredPolicy::TieredPolicy(const TieredPolicyConfig& config,
+                           PrefetchControl* control, int expected_cpus)
+    : config_(config),
+      control_(control),
+      expected_cpus_(expected_cpus),
+      noisy_controller_(config.noisy),
+      all_controller_(config.all) {
+  LIMONCELLO_CHECK(config.Valid());
+  LIMONCELLO_CHECK(control != nullptr);
+  LIMONCELLO_CHECK_GT(expected_cpus, 0);
+  // The tiers must nest: the all-off thresholds sit above the noisy-off
+  // thresholds, otherwise tier 2 could engage before tier 1.
+  LIMONCELLO_CHECK_LE(config.noisy.upper_threshold,
+                      config.all.upper_threshold);
+  LIMONCELLO_CHECK_LE(config.noisy.lower_threshold,
+                      config.all.lower_threshold);
+}
+
+bool TieredPolicy::Apply(int tier) {
+  const bool noisy_on = tier < 1;
+  const bool targeted_on = tier < 2;
+  int ok = 0;
+  ok += control_->SetEngine(PrefetchEngine::kDcuStreamer, noisy_on) ==
+                expected_cpus_
+            ? 1
+            : 0;
+  ok += control_->SetEngine(PrefetchEngine::kL2AdjacentLine, noisy_on) ==
+                expected_cpus_
+            ? 1
+            : 0;
+  ok += control_->SetEngine(PrefetchEngine::kDcuIpStride, targeted_on) ==
+                expected_cpus_
+            ? 1
+            : 0;
+  ok += control_->SetEngine(PrefetchEngine::kL2Stream, targeted_on) ==
+                expected_cpus_
+            ? 1
+            : 0;
+  return ok == 4;
+}
+
+int TieredPolicy::Tick(double utilization) {
+  // Both controllers see every sample; their independent hysteresis
+  // determines each tier boundary.
+  noisy_controller_.Tick(utilization);
+  all_controller_.Tick(utilization);
+  int desired = 0;
+  if (!all_controller_.PrefetchersShouldBeEnabled()) {
+    desired = 2;
+  } else if (!noisy_controller_.PrefetchersShouldBeEnabled()) {
+    desired = 1;
+  }
+  if (desired != tier_) {
+    Apply(desired);
+    tier_ = desired;
+    ++transitions_;
+  }
+  return tier_;
+}
+
+}  // namespace limoncello

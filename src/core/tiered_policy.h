@@ -1,0 +1,70 @@
+// Tiered prefetcher modulation — an experimental extension beyond the
+// paper (§8.1/§8.3 future-work direction: finer-grained collaboration).
+//
+// Instead of Limoncello's binary all-on/all-off decision, the tiered
+// policy inserts a middle tier that disables only the *noisy* engines
+// (the L1 next-line streamer and L2 adjacent-line — high traffic, low
+// accuracy on scattered access) while keeping the *targeted* engines
+// (IP-stride, L2 stream detector) running:
+//
+//   tier 0: all engines on           (low utilization)
+//   tier 1: noisy engines off        (moderate utilization)
+//   tier 2: all engines off          (high utilization — Hard Limoncello)
+//
+// Built by stacking two HysteresisControllers with nested thresholds, so
+// every transition inherits the paper's two-axis hysteresis.
+#ifndef LIMONCELLO_CORE_TIERED_POLICY_H_
+#define LIMONCELLO_CORE_TIERED_POLICY_H_
+
+#include "core/hysteresis_controller.h"
+#include "msr/prefetch_control.h"
+
+namespace limoncello {
+
+struct TieredPolicyConfig {
+  // Tier-1 thresholds (noisy engines): trip earlier.
+  ControllerConfig noisy;
+  // Tier-2 thresholds (everything): the standard Hard Limoncello pair.
+  ControllerConfig all;
+
+  static TieredPolicyConfig Default() {
+    TieredPolicyConfig config;
+    config.noisy.lower_threshold = 0.45;
+    config.noisy.upper_threshold = 0.65;
+    config.all.lower_threshold = 0.60;
+    config.all.upper_threshold = 0.80;
+    return config;
+  }
+
+  bool Valid() const { return noisy.Valid() && all.Valid(); }
+};
+
+class TieredPolicy {
+ public:
+  // `control` must outlive the policy; expected_cpus as in the actuator.
+  TieredPolicy(const TieredPolicyConfig& config, PrefetchControl* control,
+               int expected_cpus);
+
+  // Feeds one utilization sample; applies any tier change via per-engine
+  // MSR writes. Returns the tier now in effect (0, 1, or 2).
+  int Tick(double utilization);
+
+  int tier() const { return tier_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  // Applies the engine states for a tier; returns true on full success.
+  bool Apply(int tier);
+
+  TieredPolicyConfig config_;
+  PrefetchControl* control_;
+  int expected_cpus_;
+  HysteresisController noisy_controller_;
+  HysteresisController all_controller_;
+  int tier_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CORE_TIERED_POLICY_H_

@@ -1,0 +1,174 @@
+#include "fleet/fleet_simulator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+FleetSimulator::FleetSimulator(const PlatformConfig& platform,
+                               DeploymentMode mode,
+                               const ControllerConfig& controller,
+                               const FleetOptions& options)
+    : platform_(platform),
+      mode_(mode),
+      controller_(controller),
+      options_(options),
+      rng_(options.seed),
+      services_(ServiceSpec::FleetArchetypes()),
+      scheduler_(options.scheduler, rng_.Fork(0x5c)) {
+  LIMONCELLO_CHECK_GT(options.num_machines, 0);
+  LIMONCELLO_CHECK_GT(options.ticks, 0);
+  LIMONCELLO_CHECK_GT(options.memory_intensity_scale, 0.0);
+  for (ServiceSpec& spec : services_) {
+    spec.base_mpki *= options.memory_intensity_scale;
+  }
+
+  // Load processes are seeded independently of everything else so that
+  // two arms with the same fleet seed see identical load sequences.
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    LoadProcess::Options lp;
+    lp.diurnal_period_ns = options.diurnal_period_ns;
+    lp.phase = 2.0 * 3.14159265358979 * static_cast<double>(s) /
+               static_cast<double>(services_.size());
+    load_processes_.push_back(std::make_unique<LoadProcess>(
+        lp, Rng(options.seed).Fork(0x700 + s)));
+  }
+
+  machines_.reserve(static_cast<std::size_t>(options.num_machines));
+  for (int m = 0; m < options.num_machines; ++m) {
+    machines_.push_back(std::make_unique<MachineModel>(
+        platform, mode, controller,
+        Rng(options.seed).Fork(0x9000 + static_cast<std::uint64_t>(m))));
+  }
+  PlaceWorkloads();
+}
+
+void FleetSimulator::PlaceWorkloads() {
+  scheduler_.AssignCaps(machines_.size());
+  std::vector<MachineModel*> raw;
+  raw.reserve(machines_.size());
+  for (auto& machine : machines_) raw.push_back(machine.get());
+
+  // Size the task population to the target fill: compute the CPU cost of
+  // one average-size shard of each service and replicate shards until the
+  // target total is reached.
+  double cost_one_round = 0.0;
+  for (const ServiceSpec& spec : services_) {
+    cost_one_round += raw[0]->EstimateCpuCost(spec, 1.0);
+  }
+  LIMONCELLO_CHECK_GT(cost_one_round, 0.0);
+  const double target_total =
+      options_.fill * static_cast<double>(options_.num_machines);
+  const int rounds = std::max(
+      1, static_cast<int>(std::round(target_total / cost_one_round)));
+
+  // Placement happens in waves with warm-up ticks in between, so the
+  // scheduler sees live bandwidth telemetry and stops feeding machines
+  // that reach memory-bandwidth saturation (paper §2.1: this avoidance
+  // is what caps CPU utilization on bandwidth-bound machines).
+  //
+  // The waves run against *shadow* baseline-mode machines so placement is
+  // a pure function of the seed: every deployment arm starts from the
+  // identical pre-rollout placement, and only runtime behaviour (and
+  // later rebalancing) differs.
+  std::vector<std::unique_ptr<MachineModel>> shadows;
+  std::vector<MachineModel*> shadow_raw;
+  shadows.reserve(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    shadows.push_back(std::make_unique<MachineModel>(
+        platform_, DeploymentMode::kBaseline, controller_,
+        Rng(options_.seed).Fork(0x9000 + m)));
+    shadow_raw.push_back(shadows.back().get());
+  }
+
+  constexpr int kWaves = 6;
+  const std::vector<double> unit_load(services_.size(), 1.0);
+  int placed_rounds = 0;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    const int wave_rounds =
+        (rounds * (wave + 1)) / kWaves - placed_rounds;
+    placed_rounds += wave_rounds;
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      scheduler_.PlaceService(static_cast<int>(s), services_[s],
+                              wave_rounds, shadow_raw);
+    }
+    // Warm-up ticks on the shadows: telemetry catches up.
+    for (int t = 0; t < 4; ++t) {
+      for (auto& shadow : shadows) {
+        shadow->Tick(-kNsPerSec * (4LL * kWaves - 4 * wave - t),
+                     unit_load);
+      }
+    }
+  }
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    for (const MachineModel::Task& task : shadows[m]->tasks()) {
+      raw[m]->AddTask(task);
+    }
+  }
+}
+
+FleetMetrics FleetSimulator::Run() {
+  FleetMetrics metrics;
+  metrics.machines.resize(machines_.size());
+  std::vector<MachineModel*> raw;
+  raw.reserve(machines_.size());
+  for (auto& machine : machines_) raw.push_back(machine.get());
+
+  std::vector<double> load_factors(services_.size(), 1.0);
+  for (int tick = 0; tick < options_.ticks; ++tick) {
+    const SimTimeNs now =
+        static_cast<SimTimeNs>(tick) * options_.tick_ns;
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      load_factors[s] = load_processes_[s]->Tick(now);
+    }
+    if (options_.rebalance_period_ticks > 0 && tick > 0 &&
+        tick % options_.rebalance_period_ticks == 0) {
+      scheduler_.Rebalance(raw);
+    }
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      const MachineModel::TickResult r =
+          machines_[m]->Tick(now, load_factors);
+      metrics.bandwidth_gbps.Add(r.bandwidth_gbps);
+      metrics.bandwidth_utilization.Add(r.bandwidth_utilization);
+      metrics.latency_ns.Add(r.latency_ns);
+      metrics.served_qps_sum += r.served_qps;
+      metrics.offered_qps_sum += r.offered_qps;
+      for (int c = 0; c < kNumCategories; ++c) {
+        metrics.category_cycles[static_cast<size_t>(c)] +=
+            r.category_cycles[static_cast<size_t>(c)];
+      }
+      ++metrics.machine_ticks;
+      if (r.bandwidth_utilization >= 0.95) {
+        ++metrics.saturated_machine_ticks;
+      }
+      if (!r.prefetchers_on) ++metrics.prefetcher_off_ticks;
+
+      MachineAggregate& agg = metrics.machines[m];
+      agg.cpu_utilization_sum += r.cpu_utilization;
+      agg.bw_utilization_sum += r.bandwidth_utilization;
+      agg.latency_ns_sum += r.latency_ns;
+      agg.served_qps_sum += r.served_qps;
+      agg.offered_qps_sum += r.offered_qps;
+      ++agg.ticks;
+      if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
+    }
+  }
+  for (const auto& machine : machines_) {
+    if (machine->daemon() != nullptr) {
+      metrics.controller_toggles +=
+          machine->daemon()->controller().toggle_count();
+    }
+  }
+  return metrics;
+}
+
+FleetMetrics RunFleetArm(const PlatformConfig& platform,
+                         DeploymentMode mode,
+                         const ControllerConfig& controller,
+                         const FleetOptions& options) {
+  FleetSimulator sim(platform, mode, controller, options);
+  return sim.Run();
+}
+
+}  // namespace limoncello

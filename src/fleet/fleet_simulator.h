@@ -1,0 +1,127 @@
+// Fleet simulator and A/B experiment harness.
+//
+// Runs a population of analytic machines under a deployment mode over a
+// span of 1-second telemetry ticks, with diurnal+bursty service load and
+// scheduler rebalancing, and collects the machine-level and
+// workload-level metrics the paper reports (§5 "Metrics"): memory
+// bandwidth, memory latency, CPU utilization, and application throughput.
+//
+// Experiments compare arms run with identical seeds (identical load
+// sequences and placements) that differ only in deployment mode — the
+// paper's experiment/control methodology.
+#ifndef LIMONCELLO_FLEET_FLEET_SIMULATOR_H_
+#define LIMONCELLO_FLEET_FLEET_SIMULATOR_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/controller_config.h"
+#include "fleet/machine_model.h"
+#include "fleet/platform.h"
+#include "fleet/scheduler.h"
+#include "fleet/service.h"
+#include "stats/histogram.h"
+#include "util/rng.h"
+
+namespace limoncello {
+
+struct FleetOptions {
+  int num_machines = 200;
+  // Target average CPU fill used to size the task population.
+  double fill = 0.55;
+  SimTimeNs tick_ns = 1 * kNsPerSec;
+  int ticks = 1800;
+  int rebalance_period_ticks = 60;
+  std::uint64_t seed = 42;
+  // Scales every service's memory intensity (base MPKI); models the
+  // year-on-year growth in workload data intensity behind paper Fig. 3.
+  double memory_intensity_scale = 1.0;
+  ClusterScheduler::Options scheduler;
+  // Compresses the diurnal cycle so short runs still sweep load levels.
+  SimTimeNs diurnal_period_ns = 1800LL * kNsPerSec;
+};
+
+// Per-machine aggregates over a run (for bucketed comparisons).
+struct MachineAggregate {
+  double cpu_utilization_sum = 0.0;
+  double bw_utilization_sum = 0.0;
+  double latency_ns_sum = 0.0;
+  double served_qps_sum = 0.0;
+  double offered_qps_sum = 0.0;
+  std::uint64_t ticks = 0;
+  std::uint64_t prefetcher_off_ticks = 0;
+
+  double AvgCpu() const {
+    return ticks ? cpu_utilization_sum / static_cast<double>(ticks) : 0.0;
+  }
+  double AvgBwUtil() const {
+    return ticks ? bw_utilization_sum / static_cast<double>(ticks) : 0.0;
+  }
+  double AvgLatencyNs() const {
+    return ticks ? latency_ns_sum / static_cast<double>(ticks) : 0.0;
+  }
+};
+
+struct FleetMetrics {
+  Histogram bandwidth_gbps{0.5, 1.02};
+  Histogram bandwidth_utilization{0.001, 1.02};
+  Histogram latency_ns{1.0, 1.01};
+  double served_qps_sum = 0.0;
+  double offered_qps_sum = 0.0;
+  std::array<double, kNumCategories> category_cycles{};
+  std::uint64_t saturated_machine_ticks = 0;
+  std::uint64_t machine_ticks = 0;
+  std::uint64_t prefetcher_off_ticks = 0;
+  std::uint64_t controller_toggles = 0;
+  std::vector<MachineAggregate> machines;
+
+  double SaturatedFraction() const {
+    return machine_ticks ? static_cast<double>(saturated_machine_ticks) /
+                               static_cast<double>(machine_ticks)
+                         : 0.0;
+  }
+  double TotalCategoryCycles() const {
+    double total = 0.0;
+    for (double c : category_cycles) total += c;
+    return total;
+  }
+};
+
+class FleetSimulator {
+ public:
+  FleetSimulator(const PlatformConfig& platform, DeploymentMode mode,
+                 const ControllerConfig& controller,
+                 const FleetOptions& options);
+
+  // Runs the configured span and returns the collected metrics.
+  FleetMetrics Run();
+
+  const std::vector<std::unique_ptr<MachineModel>>& machines() const {
+    return machines_;
+  }
+
+ private:
+  void PlaceWorkloads();
+
+  PlatformConfig platform_;
+  DeploymentMode mode_;
+  ControllerConfig controller_;
+  FleetOptions options_;
+  Rng rng_;
+  std::vector<ServiceSpec> services_;
+  std::vector<std::unique_ptr<LoadProcess>> load_processes_;
+  std::vector<std::unique_ptr<MachineModel>> machines_;
+  ClusterScheduler scheduler_;
+};
+
+// Convenience: runs one arm with the given mode, all other parameters
+// identical (used by every fleet bench).
+FleetMetrics RunFleetArm(const PlatformConfig& platform,
+                         DeploymentMode mode,
+                         const ControllerConfig& controller,
+                         const FleetOptions& options);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FLEET_FLEET_SIMULATOR_H_

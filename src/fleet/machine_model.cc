@@ -1,0 +1,253 @@
+#include "fleet/machine_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+const char* DeploymentModeName(DeploymentMode mode) {
+  switch (mode) {
+    case DeploymentMode::kBaseline:
+      return "baseline";
+    case DeploymentMode::kAblationOff:
+      return "ablation_off";
+    case DeploymentMode::kHardLimoncello:
+      return "hard_limoncello";
+    case DeploymentMode::kFullLimoncello:
+      return "full_limoncello";
+  }
+  return "unknown";
+}
+
+std::optional<double> MachineModel::TelemetryAdapter::SampleUtilization() {
+  double u = machine_->last_utilization_;
+  if (machine_->telemetry_noise_stddev_ > 0.0) {
+    u += machine_->rng_.NextGaussian(0.0,
+                                     machine_->telemetry_noise_stddev_);
+  }
+  return std::max(0.0, u);
+}
+
+MachineModel::MachineModel(const PlatformConfig& platform,
+                           DeploymentMode mode,
+                           const ControllerConfig& controller_config,
+                           Rng rng)
+    : platform_(platform),
+      mode_(mode),
+      rng_(rng),
+      msr_(platform.cores),
+      prefetch_control_(&msr_, platform.msr_layout, 0, platform.cores) {
+  // Wire register bits to the machine's prefetcher state: the machine is
+  // "on" only when every engine on every core is enabled. (One observer
+  // per machine; reads back through PrefetchControl.)
+  msr_.AddWriteObserver([this](int, MsrRegister, std::uint64_t) {
+    const std::optional<bool> all_on = prefetch_control_.AllEnabled();
+    prefetchers_on_ = all_on.value_or(true);
+  });
+  // Power-on state: prefetchers enabled. On enable-bit layouts this
+  // requires setting the bits (the register file zero-initializes).
+  prefetch_control_.EnableAll();
+  prefetchers_on_ = true;
+
+  switch (mode_) {
+    case DeploymentMode::kBaseline:
+      prefetchers_on_ = true;
+      break;
+    case DeploymentMode::kAblationOff:
+      prefetch_control_.DisableAll();
+      break;
+    case DeploymentMode::kFullLimoncello:
+      soft_prefetch_on_ = true;
+      [[fallthrough]];
+    case DeploymentMode::kHardLimoncello:
+      telemetry_ = std::make_unique<TelemetryAdapter>(this);
+      actuator_ = std::make_unique<MsrPrefetchActuator>(&prefetch_control_,
+                                                        platform_.cores);
+      daemon_ = std::make_unique<LimoncelloDaemon>(
+          controller_config, telemetry_.get(), actuator_.get());
+      break;
+  }
+}
+
+void MachineModel::AddTask(const Task& task) {
+  LIMONCELLO_CHECK(task.spec != nullptr);
+  LIMONCELLO_CHECK_GT(task.share, 0.0);
+  tasks_.push_back(task);
+}
+
+void MachineModel::ClearTasks() { tasks_.clear(); }
+
+void MachineModel::CategoryMissModel(int category, double base_misses,
+                                     CategoryLoad* out) const {
+  const PrefetchResponse& r = platform_.prefetch;
+  const bool tax = category != kNonTaxCategoryIndex;
+  double misses = base_misses;
+  if (prefetchers_on_) {
+    const double coverage =
+        tax ? r.hw_coverage_tax : r.hw_coverage_nontax;
+    const double covered = misses * coverage;
+    misses -= covered;
+    if (!tax) misses *= r.hw_pollution_nontax;
+    out->hw_covered += covered;
+  } else if (soft_prefetch_on_ && tax) {
+    const double covered = misses * r.sw_coverage_tax;
+    misses -= covered;
+    out->sw_covered += covered;
+  }
+  out->misses += misses;
+}
+
+double MachineModel::EstimateCpuCost(const ServiceSpec& spec,
+                                     double share) const {
+  // Optimistic estimate at unloaded latency with prefetchers on.
+  const double latency_ns = platform_.latency.unloaded_ns;
+  const double mpki = spec.base_mpki * 0.7;  // rough coverage discount
+  const double cpi = platform_.base_cpi +
+                     mpki / 1000.0 * latency_ns * platform_.freq_ghz /
+                         platform_.mlp;
+  const double instr_per_sec =
+      spec.nominal_qps * share * spec.instructions_per_request;
+  const double cores_needed =
+      instr_per_sec * cpi / (platform_.freq_ghz * 1e9);
+  return cores_needed / static_cast<double>(platform_.cores);
+}
+
+MachineModel::TickResult MachineModel::Tick(
+    SimTimeNs now_ns, const std::vector<double>& load_factors) {
+  // 1. Control plane: the daemon observes last tick's telemetry and may
+  // toggle the prefetchers via MSR writes before this tick's work runs.
+  if (daemon_ != nullptr) daemon_->RunTick(now_ns);
+
+  TickResult result;
+  result.prefetchers_on = prefetchers_on_;
+
+  // 2. Demand model: per-task miss mix (latency-independent).
+  struct TaskLoad {
+    double offered_qps = 0.0;
+    double instr_per_req = 0.0;
+    double mpki_eff = 0.0;
+    double traffic_per_kinstr = 0.0;  // demand + prefetch lines
+    double cpi = 0.0;
+    std::array<CategoryLoad, kNumCategories> categories{};
+  };
+  std::vector<TaskLoad> loads(tasks_.size());
+
+  const PrefetchResponse& r = platform_.prefetch;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& task = tasks_[i];
+    TaskLoad& load = loads[i];
+    const double factor =
+        task.service_index < static_cast<int>(load_factors.size())
+            ? load_factors[static_cast<std::size_t>(task.service_index)]
+            : 1.0;
+    load.offered_qps = task.spec->nominal_qps * task.share * factor;
+    load.instr_per_req = task.spec->instructions_per_request;
+    for (int c = 0; c < kNumCategories; ++c) {
+      const double mix = task.spec->category_mix[static_cast<size_t>(c)];
+      CategoryLoad& cat = load.categories[static_cast<size_t>(c)];
+      cat.instructions = mix;  // provisional: per-instruction weights
+      CategoryMissModel(c, task.spec->base_mpki * mix, &cat);
+      const bool tax = c != kNonTaxCategoryIndex;
+      load.mpki_eff += cat.misses;
+      load.traffic_per_kinstr +=
+          cat.misses +
+          cat.hw_covered /
+              (tax ? r.hw_accuracy_tax : r.hw_accuracy_nontax) +
+          cat.sw_covered / r.sw_accuracy;
+    }
+  }
+
+  // 3. Fixed point: latency depends on utilization, utilization depends
+  // on served work, served work depends on latency (via CPI). The map
+  // u -> utilization(latency(u)) is monotone decreasing, so the
+  // self-consistent operating point is found by bisection (damped
+  // iteration oscillates on the steep part of the curve).
+  const double cores = static_cast<double>(platform_.cores);
+  const double saturation_bytes = platform_.saturation_gbps * 1e9;
+  // Memory-bandwidth ceiling: the qualification threshold is a derated
+  // operating point, not the physical channel limit — sockets can burst
+  // well past it (at terrible latency) before throughput hard-caps.
+  const double max_ratio = 1.35;
+
+  double required_cores = 0.0;
+  double scale = 1.0;
+  double total_bytes = 0.0;
+  // Evaluates served load and traffic at the given assumed utilization;
+  // returns the utilization that load would actually generate.
+  auto evaluate = [&](double u_assumed) {
+    const double latency =
+        LatencyAtUtilization(platform_.latency, u_assumed);
+    const double penalty = latency * platform_.freq_ghz / platform_.mlp;
+    required_cores = 0.0;
+    double bytes_at_full = 0.0;
+    for (TaskLoad& load : loads) {
+      load.cpi = platform_.base_cpi + load.mpki_eff / 1000.0 * penalty;
+      required_cores += load.offered_qps * load.instr_per_req * load.cpi /
+                        (platform_.freq_ghz * 1e9);
+      bytes_at_full += load.offered_qps * load.instr_per_req *
+                       load.traffic_per_kinstr / 1000.0 *
+                       static_cast<double>(kCacheLineBytes);
+    }
+    scale = required_cores > cores ? cores / required_cores : 1.0;
+    total_bytes = bytes_at_full * scale;
+    if (total_bytes > saturation_bytes * max_ratio) {
+      scale *= saturation_bytes * max_ratio / total_bytes;
+      total_bytes = saturation_bytes * max_ratio;
+    }
+    return total_bytes / saturation_bytes;
+  };
+
+  double lo = 0.0;
+  double hi = max_ratio;
+  if (evaluate(lo) <= lo) {
+    hi = lo;  // idle machine: fixed point at zero
+  } else {
+    for (int iter = 0; iter < 20; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (evaluate(mid) > mid) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  const double u_star = hi;
+  (void)evaluate(u_star);  // leave loads/scale/total_bytes at the solution
+  const double latency_ns =
+      LatencyAtUtilization(platform_.latency, u_star);
+  result.latency_ns = latency_ns;
+  const double miss_penalty_cycles =
+      latency_ns * platform_.freq_ghz / platform_.mlp;
+
+  // 4. Outputs.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskLoad& load = loads[i];
+    result.offered_qps += load.offered_qps;
+    result.served_qps += load.offered_qps * scale;
+    const double instr_rate = load.offered_qps * scale * load.instr_per_req;
+    for (int c = 0; c < kNumCategories; ++c) {
+      const CategoryLoad& cat = load.categories[static_cast<size_t>(c)];
+      // cycles = instructions * base_cpi + misses * penalty
+      const double instr_cat = instr_rate * cat.instructions;
+      const double misses_cat = instr_rate * cat.misses / 1000.0;
+      result.category_cycles[static_cast<size_t>(c)] +=
+          instr_cat * platform_.base_cpi +
+          misses_cat * miss_penalty_cycles;
+    }
+  }
+  const double busy_cores = std::min(required_cores * scale, cores);
+  result.cpu_utilization = busy_cores / cores;
+  result.bandwidth_gbps = total_bytes / 1e9;
+  result.bandwidth_utilization = total_bytes / saturation_bytes;
+
+  // 5. Close the loop for the next tick.
+  last_utilization_ = result.bandwidth_utilization;
+  last_cpu_utilization_ = result.cpu_utilization;
+  utilization_ewma_ += 0.35 * (result.bandwidth_utilization -
+                               utilization_ewma_);
+  return result;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,136 @@
+// Analytic per-machine performance model for fleet-scale simulation.
+//
+// The detailed socket simulator (sim/) is too slow for thousands of
+// machines over hours of simulated time, so the fleet uses this analytic
+// twin. It shares the bandwidth→latency curve with the detailed model and
+// summarizes prefetcher behaviour with the per-platform PrefetchResponse
+// scalars (coverage/accuracy/pollution — the quantities the detailed
+// model measures).
+//
+// Crucially the *control path is real*: each machine owns a simulated MSR
+// device; Hard Limoncello's daemon writes the platform's prefetch-control
+// register through PrefetchControl, and the machine derives its
+// prefetchers-on/off state from those register bits — the same
+// actuation chain as the detailed simulator and real hardware.
+#ifndef LIMONCELLO_FLEET_MACHINE_MODEL_H_
+#define LIMONCELLO_FLEET_MACHINE_MODEL_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/actuator.h"
+#include "core/controller_config.h"
+#include "core/daemon.h"
+#include "fleet/platform.h"
+#include "fleet/service.h"
+#include "msr/simulated_msr_device.h"
+#include "telemetry/telemetry.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace limoncello {
+
+enum class DeploymentMode {
+  kBaseline,        // hardware prefetchers always on (pre-rollout fleet)
+  kAblationOff,     // hardware prefetchers always off (ablation arm)
+  kHardLimoncello,  // dynamic modulation only
+  kFullLimoncello,  // dynamic modulation + software prefetching
+};
+
+const char* DeploymentModeName(DeploymentMode mode);
+
+class MachineModel {
+ public:
+  struct Task {
+    int service_index = 0;
+    const ServiceSpec* spec = nullptr;
+    // Fraction of the service's nominal QPS placed on this machine.
+    double share = 0.0;
+  };
+
+  struct TickResult {
+    double cpu_utilization = 0.0;        // busy cores / cores
+    double bandwidth_gbps = 0.0;         // total traffic
+    double bandwidth_utilization = 0.0;  // vs saturation threshold
+    double latency_ns = 0.0;             // load-to-use latency this tick
+    double offered_qps = 0.0;
+    double served_qps = 0.0;
+    bool prefetchers_on = true;
+    // Cycles spent per function category this tick (for Fig. 20).
+    std::array<double, kNumCategories> category_cycles{};
+  };
+
+  MachineModel(const PlatformConfig& platform, DeploymentMode mode,
+               const ControllerConfig& controller_config, Rng rng);
+
+  // Non-copyable, non-movable: the MSR observer and telemetry adapter
+  // hold back-pointers to this object.
+  MachineModel(const MachineModel&) = delete;
+  MachineModel& operator=(const MachineModel&) = delete;
+
+  void AddTask(const Task& task);
+  void ClearTasks();
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  // Advances one telemetry tick. load_factors is indexed by service_index.
+  TickResult Tick(SimTimeNs now_ns,
+                  const std::vector<double>& load_factors);
+
+  bool prefetchers_on() const { return prefetchers_on_; }
+  DeploymentMode mode() const { return mode_; }
+  const PlatformConfig& platform() const { return platform_; }
+  const LimoncelloDaemon* daemon() const { return daemon_.get(); }
+
+  // Estimated additional CPU-utilization cost of adding `share` of the
+  // given service (used by the scheduler for placement).
+  double EstimateCpuCost(const ServiceSpec& spec, double share) const;
+  double last_bandwidth_utilization() const { return last_utilization_; }
+  double last_cpu_utilization() const { return last_cpu_utilization_; }
+
+ private:
+  // Telemetry adapter: reports the last completed tick's utilization.
+  class TelemetryAdapter : public UtilizationSource {
+   public:
+    explicit TelemetryAdapter(MachineModel* machine) : machine_(machine) {}
+    std::optional<double> SampleUtilization() override;
+
+   private:
+    MachineModel* machine_;
+  };
+
+  struct CategoryLoad {
+    double instructions = 0.0;
+    double misses = 0.0;        // after coverage effects
+    double hw_covered = 0.0;    // misses covered by HW prefetch
+    double sw_covered = 0.0;    // misses covered by SW prefetch
+  };
+
+  // Effective per-category miss multiplier given the current prefetcher
+  // state and deployment mode.
+  void CategoryMissModel(int category, double base_misses,
+                         CategoryLoad* out) const;
+
+  PlatformConfig platform_;
+  DeploymentMode mode_;
+  Rng rng_;
+  std::vector<Task> tasks_;
+
+  // Control plane (real Limoncello components).
+  SimulatedMsrDevice msr_;
+  PrefetchControl prefetch_control_;
+  std::unique_ptr<TelemetryAdapter> telemetry_;
+  std::unique_ptr<MsrPrefetchActuator> actuator_;
+  std::unique_ptr<LimoncelloDaemon> daemon_;
+
+  bool prefetchers_on_ = true;
+  bool soft_prefetch_on_ = false;
+  double utilization_ewma_ = 0.0;
+  double last_utilization_ = 0.0;
+  double last_cpu_utilization_ = 0.0;
+  double telemetry_noise_stddev_ = 0.01;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FLEET_MACHINE_MODEL_H_

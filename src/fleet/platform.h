@@ -1,0 +1,82 @@
+// Server platform catalog for the fleet simulator.
+//
+// PlatformConfig carries both the physical parameters (cores, bandwidth,
+// latency curve) and the calibrated prefetcher response scalars used by
+// the analytic machine model. The scalars (coverage, accuracy, pollution)
+// summarize what the detailed socket simulator measures for the same
+// engines; keeping them per-platform lets us express the vendor trend of
+// rising prefetch aggressiveness (paper Fig. 5: +30 % traffic in older
+// generations growing to +40 % in the newest).
+#ifndef LIMONCELLO_FLEET_PLATFORM_H_
+#define LIMONCELLO_FLEET_PLATFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "msr/prefetch_control.h"
+#include "sim/memory/latency_curve.h"
+
+namespace limoncello {
+
+// How effectively hardware/software prefetching converts misses into
+// covered fetches per function category, and at what traffic cost.
+struct PrefetchResponse {
+  // Fraction of a category's LLC misses the HW prefetchers cover.
+  double hw_coverage_tax = 0.75;
+  double hw_coverage_nontax = 0.05;
+  // Useful-fetch fraction of HW prefetch traffic (lower = more waste).
+  double hw_accuracy_tax = 0.70;
+  double hw_accuracy_nontax = 0.35;
+  // Multiplier on non-tax misses from prefetch-induced cache pollution.
+  double hw_pollution_nontax = 1.08;
+  // Soft Limoncello: coverage of tax misses when HW prefetchers are off,
+  // and its (near-perfect) accuracy.
+  double sw_coverage_tax = 0.65;
+  double sw_accuracy = 0.95;
+};
+
+struct PlatformConfig {
+  std::string name;
+  int cores = 64;
+  double freq_ghz = 2.5;
+  double base_cpi = 0.55;
+  double mlp = 4.0;
+  // Machine-qualification memory bandwidth saturation threshold.
+  double saturation_gbps = 192.0;  // cores * ~3 GB/s per core
+  LatencyCurveConfig latency;
+  PlatformMsrLayout msr_layout = PlatformMsrLayout::kIntelStyle;
+  PrefetchResponse prefetch;
+
+  // The two evaluation platforms (paper §5: "two different generations of
+  // large x86 out-of-order multicores").
+  static PlatformConfig Platform1();
+  static PlatformConfig Platform2();
+};
+
+// Historical server-generation data points behind paper Fig. 2 (memory
+// bandwidth growth vs. per-core plateau, 2010-2022) and the three
+// generations whose prefetcher aggressiveness Fig. 5 compares.
+struct ServerGeneration {
+  std::string name;
+  int year = 0;
+  int cores = 0;
+  double membw_gbps = 0.0;
+  // Detailed-simulator stream-prefetcher aggressiveness for this
+  // generation (degree/distance grow with generation).
+  int stream_degree = 2;
+  int stream_distance = 4;
+
+  double MembwPerCore() const {
+    return cores > 0 ? membw_gbps / cores : 0.0;
+  }
+};
+
+// Seven generations, 2010-2022 (Fig. 2's x-axis).
+std::vector<ServerGeneration> HistoricalGenerations();
+
+// The last three generations (Fig. 5's x-axis).
+std::vector<ServerGeneration> RecentGenerations();
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FLEET_PLATFORM_H_

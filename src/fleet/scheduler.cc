@@ -1,0 +1,119 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+ClusterScheduler::ClusterScheduler(const Options& options, Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GT(options.bw_avoid_threshold, 0.0);
+  LIMONCELLO_CHECK_LT(options.min_allocation_cap,
+                      options.max_allocation_cap);
+}
+
+void ClusterScheduler::AssignCaps(std::size_t num_machines) {
+  caps_.resize(num_machines);
+  projected_cpu_.assign(num_machines, 0.0);
+  for (double& cap : caps_) {
+    cap = rng_.NextDouble(options_.min_allocation_cap,
+                          options_.max_allocation_cap);
+  }
+}
+
+double ClusterScheduler::cap(std::size_t machine) const {
+  LIMONCELLO_CHECK_LT(machine, caps_.size());
+  return caps_[machine];
+}
+
+double ClusterScheduler::ProjectedCpu(const MachineModel& machine,
+                                      double add_cost) const {
+  (void)machine;
+  return add_cost;
+}
+
+int ClusterScheduler::PlaceService(int service_index,
+                                   const ServiceSpec& spec, int shards,
+                                   std::vector<MachineModel*>& machines) {
+  LIMONCELLO_CHECK_EQ(caps_.size(), machines.size());
+  int unplaced = 0;
+  for (int s = 0; s < shards; ++s) {
+    // Shards vary in size: mix of small and large replicas.
+    const double share = rng_.NextDouble(0.4, 1.6);
+    const double cost = machines.empty()
+                            ? 0.0
+                            : machines[0]->EstimateCpuCost(spec, share);
+    // Pick the machine with the most headroom under its cap that is not
+    // bandwidth-saturated.
+    std::size_t best = machines.size();
+    double best_headroom = -std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (machines[m]->last_bandwidth_utilization() >
+          options_.bw_avoid_threshold) {
+        continue;
+      }
+      const double headroom = caps_[m] - (projected_cpu_[m] + cost);
+      if (headroom > best_headroom) {
+        best_headroom = headroom;
+        best = m;
+      }
+    }
+    if (best == machines.size() || best_headroom < 0.0) {
+      ++unplaced;
+      continue;
+    }
+    MachineModel::Task task;
+    task.service_index = service_index;
+    task.spec = &spec;
+    task.share = share;
+    machines[best]->AddTask(task);
+    projected_cpu_[best] += cost;
+  }
+  return unplaced;
+}
+
+int ClusterScheduler::Rebalance(std::vector<MachineModel*>& machines) {
+  LIMONCELLO_CHECK_EQ(caps_.size(), machines.size());
+  int migrations = 0;
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    MachineModel& source = *machines[m];
+    if (source.last_bandwidth_utilization() <=
+            options_.bw_avoid_threshold ||
+        source.tasks().empty()) {
+      continue;
+    }
+    // Move the smallest task to the machine with the lowest bandwidth
+    // utilization that has CPU headroom.
+    const auto& tasks = source.tasks();
+    std::size_t smallest = 0;
+    for (std::size_t t = 1; t < tasks.size(); ++t) {
+      if (tasks[t].share < tasks[smallest].share) smallest = t;
+    }
+    std::size_t target = machines.size();
+    double best_bw = options_.bw_avoid_threshold;
+    for (std::size_t n = 0; n < machines.size(); ++n) {
+      if (n == m) continue;
+      const MachineModel& candidate = *machines[n];
+      if (candidate.last_cpu_utilization() >= caps_[n]) continue;
+      if (candidate.last_bandwidth_utilization() < best_bw) {
+        best_bw = candidate.last_bandwidth_utilization();
+        target = n;
+      }
+    }
+    if (target == machines.size()) continue;
+    const MachineModel::Task moved = tasks[smallest];
+    // Rebuild the source task list without the moved task.
+    std::vector<MachineModel::Task> remaining(tasks.begin(), tasks.end());
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(smallest));
+    source.ClearTasks();
+    for (const auto& task : remaining) source.AddTask(task);
+    machines[target]->AddTask(moved);
+    ++migrations;
+  }
+  return migrations;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,61 @@
+// Cluster scheduler with memory-bandwidth-saturation avoidance.
+//
+// Mirrors the behaviour described in paper §2.1: "When a server starts
+// reaching memory bandwidth saturation, the cluster scheduler avoids
+// scheduling workloads on the machine to prevent workloads from
+// encountering performance cliffs due to memory bandwidth contention."
+#ifndef LIMONCELLO_FLEET_SCHEDULER_H_
+#define LIMONCELLO_FLEET_SCHEDULER_H_
+
+#include <vector>
+
+#include "fleet/machine_model.h"
+#include "fleet/service.h"
+#include "util/rng.h"
+
+namespace limoncello {
+
+class ClusterScheduler {
+ public:
+  struct Options {
+    // Machines whose bandwidth utilization exceeds this are not given new
+    // work. Set below the qualification threshold so normal diurnal
+    // swings, not steady placement, are what push a socket to saturation.
+    double bw_avoid_threshold = 0.80;
+    // Per-machine CPU allocation cap range: heterogeneous headroom across
+    // the fleet (spreads machines over the CPU-utilization buckets).
+    double min_allocation_cap = 0.30;
+    double max_allocation_cap = 0.95;
+  };
+
+  ClusterScheduler(const Options& options, Rng rng);
+
+  // Draws per-machine allocation caps; call once per fleet.
+  void AssignCaps(std::size_t num_machines);
+  double cap(std::size_t machine) const;
+
+  // Places `shards` shards (each a share in [share_min, share_max] of the
+  // service's nominal QPS) onto the machines greedily by projected CPU,
+  // honouring caps and the bandwidth avoidance rule. Returns the number of
+  // shards that could not be placed.
+  int PlaceService(int service_index, const ServiceSpec& spec, int shards,
+                   std::vector<MachineModel*>& machines);
+
+  // One rebalancing pass: moves a task off each saturated machine
+  // (bandwidth above the avoid threshold) to the least-loaded eligible
+  // machine. Returns the number of migrations performed.
+  int Rebalance(std::vector<MachineModel*>& machines);
+
+ private:
+  // Projected CPU after adding cost to the machine's current estimate.
+  double ProjectedCpu(const MachineModel& machine, double add_cost) const;
+
+  Options options_;
+  Rng rng_;
+  std::vector<double> caps_;
+  std::vector<double> projected_cpu_;  // placement-time running estimate
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FLEET_SCHEDULER_H_

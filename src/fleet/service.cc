@@ -1,0 +1,70 @@
+#include "fleet/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+std::vector<ServiceSpec> ServiceSpec::FleetArchetypes() {
+  std::vector<ServiceSpec> services;
+  auto add = [&](const char* name, double qps, double ipr, double mpki,
+                 std::array<double, kNumCategories> mix) {
+    ServiceSpec s;
+    s.name = name;
+    s.nominal_qps = qps;
+    s.instructions_per_request = ipr;
+    s.base_mpki = mpki;
+    s.category_mix = mix;
+    services.push_back(std::move(s));
+  };
+  // Mixes: {compression, transmission, hashing, movement, non-tax}.
+  // Tax fractions follow the 30-40 %-of-cycles datacenter-tax finding.
+  // base_mpki values sit in the 8-25 band typical of memory-bound
+  // warehouse workloads (~40 % of cycles stalled on memory, §1), which is
+  // what lets memory bandwidth saturate before CPU does (Fig. 4).
+  add("websearch", 4000, 3.0e6, 22.0, {0.04, 0.10, 0.05, 0.10, 0.71});
+  add("ml_server", 800, 8.0e6, 30.0, {0.02, 0.12, 0.02, 0.16, 0.68});
+  add("database", 2500, 2.5e6, 14.0, {0.08, 0.09, 0.05, 0.09, 0.69});
+  add("video_transcode", 300, 2.0e7, 34.0, {0.18, 0.04, 0.03, 0.14, 0.61});
+  add("kv_cache", 6000, 8.0e5, 20.0, {0.03, 0.14, 0.07, 0.12, 0.64});
+  add("batch_analytics", 500, 1.2e7, 28.0, {0.12, 0.06, 0.06, 0.10, 0.66});
+  add("rpc_frontend", 5000, 1.0e6, 10.0, {0.03, 0.16, 0.04, 0.10, 0.67});
+  add("storage_server", 1200, 4.0e6, 32.0, {0.14, 0.08, 0.08, 0.12, 0.58});
+  return services;
+}
+
+LoadProcess::LoadProcess(const Options& options, Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GT(options.diurnal_period_ns, 0);
+  LIMONCELLO_CHECK_GE(options.noise_rho, 0.0);
+  LIMONCELLO_CHECK_LT(options.noise_rho, 1.0);
+  LIMONCELLO_CHECK_LT(options.min_factor, options.max_factor);
+}
+
+double LoadProcess::Tick(SimTimeNs now_ns) {
+  const double t = static_cast<double>(now_ns) /
+                   static_cast<double>(options_.diurnal_period_ns);
+  const double diurnal =
+      1.0 + options_.diurnal_amplitude *
+                std::sin(2.0 * std::numbers::pi * t + options_.phase);
+  // AR(1): x' = rho x + sqrt(1-rho^2) eps — stationary stddev preserved.
+  noise_state_ =
+      options_.noise_rho * noise_state_ +
+      std::sqrt(1.0 - options_.noise_rho * options_.noise_rho) *
+          rng_.NextGaussian(0.0, options_.noise_stddev);
+  double burst = 0.0;
+  if (burst_remaining_ticks_ > 0) {
+    burst = options_.burst_magnitude;
+    burst_remaining_ticks_ -= 1;
+  } else if (rng_.NextBernoulli(options_.burst_probability)) {
+    burst_remaining_ticks_ = rng_.NextInRange(3, 20);
+    burst = options_.burst_magnitude;
+  }
+  return std::clamp(diurnal + noise_state_ + burst, options_.min_factor,
+                    options_.max_factor);
+}
+
+}  // namespace limoncello

@@ -1,0 +1,70 @@
+// Service (workload) models and the load process driving them.
+//
+// A service is described by its per-request cost, its memory intensity,
+// and its instruction mix over the five function categories (four tax
+// categories + non-tax). The load process combines a diurnal sinusoid
+// with AR(1) burst noise — the volatility visible in paper Fig. 7.
+#ifndef LIMONCELLO_FLEET_SERVICE_H_
+#define LIMONCELLO_FLEET_SERVICE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace limoncello {
+
+inline constexpr int kNumCategories = 5;  // matches FunctionCategory
+inline constexpr int kNonTaxCategoryIndex = 4;
+
+struct ServiceSpec {
+  std::string name;
+  // Offered load at load factor 1.0.
+  double nominal_qps = 1000.0;
+  double instructions_per_request = 2.0e6;
+  // LLC misses per kilo-instruction with hardware prefetchers *off* and
+  // no software prefetching (the base memory intensity).
+  double base_mpki = 3.0;
+  // Instruction mix across {compression, transmission, hashing,
+  // movement, non-tax}; sums to 1.
+  std::array<double, kNumCategories> category_mix = {0.05, 0.08, 0.04,
+                                                     0.08, 0.75};
+
+  // Canonical service archetypes used in the evaluation.
+  static std::vector<ServiceSpec> FleetArchetypes();
+};
+
+// Per-service multiplicative load factor over time: diurnal sinusoid,
+// AR(1) noise, and occasional bursts.
+class LoadProcess {
+ public:
+  struct Options {
+    double diurnal_amplitude = 0.25;  // +/- swing around 1.0
+    SimTimeNs diurnal_period_ns = 24LL * 3600 * kNsPerSec;
+    double noise_stddev = 0.08;
+    double noise_rho = 0.9;  // AR(1) persistence per tick
+    double burst_probability = 0.01;
+    double burst_magnitude = 0.6;
+    double min_factor = 0.2;
+    double max_factor = 2.5;
+    // Phase offset so different services peak at different times.
+    double phase = 0.0;
+  };
+
+  LoadProcess(const Options& options, Rng rng);
+
+  // Advances one tick and returns the current load factor.
+  double Tick(SimTimeNs now_ns);
+
+ private:
+  Options options_;
+  Rng rng_;
+  double noise_state_ = 0.0;
+  double burst_remaining_ticks_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FLEET_SERVICE_H_

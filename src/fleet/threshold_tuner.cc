@@ -1,0 +1,69 @@
+#include "fleet/threshold_tuner.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+ThresholdTuner::ThresholdTuner(const PlatformConfig& platform,
+                               const FleetOptions& options)
+    : platform_(platform), options_(options) {}
+
+std::vector<ThresholdCandidate> ThresholdTuner::PaperGrid() {
+  return {
+      {0.60, 0.80, 5 * kNsPerSec},
+      {0.50, 0.70, 5 * kNsPerSec},
+      {0.70, 0.90, 5 * kNsPerSec},
+  };
+}
+
+TunerResult ThresholdTuner::Tune(
+    const std::vector<ThresholdCandidate>& candidates) {
+  LIMONCELLO_CHECK(!candidates.empty());
+
+  ControllerConfig baseline_config;  // unused by the baseline arm
+  const FleetMetrics baseline =
+      RunFleetArm(platform_, DeploymentMode::kBaseline, baseline_config,
+                  options_);
+  LIMONCELLO_CHECK_GT(baseline.served_qps_sum, 0.0);
+
+  TunerResult result;
+  const ThresholdEvaluation* best = nullptr;
+  for (const ThresholdCandidate& candidate : candidates) {
+    ControllerConfig config;
+    config.lower_threshold = candidate.lower;
+    config.upper_threshold = candidate.upper;
+    config.sustain_duration_ns = candidate.sustain_ns;
+    LIMONCELLO_CHECK(config.Valid());
+    const FleetMetrics metrics = RunFleetArm(
+        platform_, DeploymentMode::kFullLimoncello, config, options_);
+
+    ThresholdEvaluation evaluation;
+    evaluation.candidate = candidate;
+    evaluation.throughput_gain_pct =
+        100.0 * (metrics.served_qps_sum / baseline.served_qps_sum - 1.0);
+    evaluation.toggles = metrics.controller_toggles;
+    evaluation.prefetcher_off_fraction =
+        metrics.machine_ticks
+            ? static_cast<double>(metrics.prefetcher_off_ticks) /
+                  static_cast<double>(metrics.machine_ticks)
+            : 0.0;
+    result.evaluations.push_back(evaluation);
+  }
+
+  for (const ThresholdEvaluation& evaluation : result.evaluations) {
+    if (best == nullptr ||
+        evaluation.throughput_gain_pct >
+            best->throughput_gain_pct + 0.25 ||
+        (evaluation.throughput_gain_pct >
+             best->throughput_gain_pct - 0.25 &&
+         evaluation.toggles < best->toggles)) {
+      best = &evaluation;
+    }
+  }
+  result.best.lower_threshold = best->candidate.lower;
+  result.best.upper_threshold = best->candidate.upper;
+  result.best.sustain_duration_ns = best->candidate.sustain_ns;
+  return result;
+}
+
+}  // namespace limoncello

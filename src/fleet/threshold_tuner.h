@@ -1,0 +1,54 @@
+// Automated threshold selection (paper §3 "Thresholds"): the deployed
+// 60/80 configuration was "determined through fleetwide experimentation
+// and analysis" — an A/B sweep over candidate (lower, upper, Δ) triples.
+// ThresholdTuner runs that sweep on the fleet simulator: one baseline
+// arm, then one Full-Limoncello arm per candidate (identical seeds), and
+// picks the candidate with the best application throughput, breaking
+// ties toward fewer prefetcher toggles (stability).
+#ifndef LIMONCELLO_FLEET_THRESHOLD_TUNER_H_
+#define LIMONCELLO_FLEET_THRESHOLD_TUNER_H_
+
+#include <vector>
+
+#include "core/controller_config.h"
+#include "fleet/fleet_simulator.h"
+
+namespace limoncello {
+
+struct ThresholdCandidate {
+  double lower = 0.6;
+  double upper = 0.8;
+  SimTimeNs sustain_ns = 5 * kNsPerSec;
+};
+
+struct ThresholdEvaluation {
+  ThresholdCandidate candidate;
+  double throughput_gain_pct = 0.0;  // vs. the baseline arm
+  std::uint64_t toggles = 0;
+  double prefetcher_off_fraction = 0.0;
+};
+
+struct TunerResult {
+  ControllerConfig best;
+  std::vector<ThresholdEvaluation> evaluations;
+};
+
+class ThresholdTuner {
+ public:
+  ThresholdTuner(const PlatformConfig& platform,
+                 const FleetOptions& options);
+
+  // Evaluates every candidate; candidates must be non-empty and valid.
+  TunerResult Tune(const std::vector<ThresholdCandidate>& candidates);
+
+  // The paper's Fig. 10 grid: 60/80, 50/70, 70/90 (all at 5 s sustain).
+  static std::vector<ThresholdCandidate> PaperGrid();
+
+ private:
+  PlatformConfig platform_;
+  FleetOptions options_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FLEET_THRESHOLD_TUNER_H_

@@ -1,0 +1,50 @@
+#include "msr/linux_msr_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace limoncello {
+
+namespace {
+
+int OpenMsrNode(int cpu, int flags) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/dev/cpu/%d/msr", cpu);
+  return ::open(path, flags);
+}
+
+}  // namespace
+
+LinuxMsrDevice::LinuxMsrDevice() {
+  // Count contiguous CPUs with an openable msr node.
+  for (int cpu = 0;; ++cpu) {
+    const int fd = OpenMsrNode(cpu, O_RDONLY);
+    if (fd < 0) break;
+    ::close(fd);
+    num_cpus_ = cpu + 1;
+  }
+}
+
+std::optional<std::uint64_t> LinuxMsrDevice::Read(int cpu, MsrRegister reg) {
+  if (cpu < 0 || cpu >= num_cpus_) return std::nullopt;
+  const int fd = OpenMsrNode(cpu, O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::uint64_t value = 0;
+  const ssize_t n = ::pread(fd, &value, sizeof(value), reg);
+  ::close(fd);
+  if (n != sizeof(value)) return std::nullopt;
+  return value;
+}
+
+bool LinuxMsrDevice::Write(int cpu, MsrRegister reg, std::uint64_t value) {
+  if (cpu < 0 || cpu >= num_cpus_) return false;
+  const int fd = OpenMsrNode(cpu, O_WRONLY);
+  if (fd < 0) return false;
+  const ssize_t n = ::pwrite(fd, &value, sizeof(value), reg);
+  ::close(fd);
+  return n == sizeof(value);
+}
+
+}  // namespace limoncello

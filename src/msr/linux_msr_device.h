@@ -1,0 +1,35 @@
+// Real-hardware MSR backend over /dev/cpu/N/msr (Linux `msr` module).
+//
+// This is the backend a production deployment would use. It degrades
+// gracefully: if the device nodes are absent or unreadable (no msr module,
+// no root, container sandbox), every operation reports failure and the
+// daemon falls back to fail-safe behaviour. All CI runs in this repository
+// use SimulatedMsrDevice; this backend is compiled to keep it honest.
+#ifndef LIMONCELLO_MSR_LINUX_MSR_DEVICE_H_
+#define LIMONCELLO_MSR_LINUX_MSR_DEVICE_H_
+
+#include <optional>
+
+#include "msr/msr_device.h"
+
+namespace limoncello {
+
+class LinuxMsrDevice : public MsrDevice {
+ public:
+  // Probes /dev/cpu to count CPUs; num_cpus() is 0 when unavailable.
+  LinuxMsrDevice();
+
+  int num_cpus() const override { return num_cpus_; }
+  std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) override;
+  bool Write(int cpu, MsrRegister reg, std::uint64_t value) override;
+
+  // True if at least one MSR device node could be opened for reading.
+  bool available() const { return num_cpus_ > 0; }
+
+ private:
+  int num_cpus_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_MSR_LINUX_MSR_DEVICE_H_

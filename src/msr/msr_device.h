@@ -1,0 +1,34 @@
+// Model-specific-register access abstraction.
+//
+// Hard Limoncello actuates hardware prefetchers by read-modify-writing
+// per-core MSRs. This interface hides whether the registers belong to a
+// simulated machine, a real Linux host (/dev/cpu/N/msr), or a test double.
+// All operations are fallible: production deployments must tolerate cores
+// going offline and permission errors.
+#ifndef LIMONCELLO_MSR_MSR_DEVICE_H_
+#define LIMONCELLO_MSR_MSR_DEVICE_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace limoncello {
+
+using MsrRegister = std::uint32_t;
+
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+
+  // Number of logical CPUs addressable through this device.
+  virtual int num_cpus() const = 0;
+
+  // Reads the register on the given CPU. nullopt on failure.
+  virtual std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) = 0;
+
+  // Writes the register on the given CPU. false on failure.
+  virtual bool Write(int cpu, MsrRegister reg, std::uint64_t value) = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_MSR_MSR_DEVICE_H_

@@ -1,0 +1,58 @@
+#include "msr/simulated_msr_device.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+SimulatedMsrDevice::SimulatedMsrDevice(int num_cpus)
+    : regs_(static_cast<std::size_t>(num_cpus)),
+      failed_(static_cast<std::size_t>(num_cpus), false) {
+  LIMONCELLO_CHECK_GT(num_cpus, 0);
+}
+
+bool SimulatedMsrDevice::CpuOk(int cpu) const {
+  return cpu >= 0 && cpu < num_cpus() &&
+         !failed_[static_cast<std::size_t>(cpu)];
+}
+
+std::optional<std::uint64_t> SimulatedMsrDevice::Read(int cpu,
+                                                      MsrRegister reg) {
+  if (!CpuOk(cpu)) return std::nullopt;
+  const auto& file = regs_[static_cast<std::size_t>(cpu)];
+  const auto it = file.find(reg);
+  // Unwritten registers read as zero, matching the "all prefetchers
+  // enabled" power-on default of Intel's 0x1A4 (disable bits clear).
+  return it == file.end() ? 0 : it->second;
+}
+
+bool SimulatedMsrDevice::Write(int cpu, MsrRegister reg,
+                               std::uint64_t value) {
+  if (!CpuOk(cpu)) return false;
+  regs_[static_cast<std::size_t>(cpu)][reg] = value;
+  ++write_count_;
+  for (const auto& observer : observers_) observer(cpu, reg, value);
+  return true;
+}
+
+void SimulatedMsrDevice::AddWriteObserver(WriteObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void SimulatedMsrDevice::FailCpu(int cpu) {
+  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
+  failed_[static_cast<std::size_t>(cpu)] = true;
+}
+
+void SimulatedMsrDevice::UnfailCpu(int cpu) {
+  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
+  failed_[static_cast<std::size_t>(cpu)] = false;
+}
+
+std::uint64_t SimulatedMsrDevice::PeekRaw(int cpu, MsrRegister reg) const {
+  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
+  const auto& file = regs_[static_cast<std::size_t>(cpu)];
+  const auto it = file.find(reg);
+  return it == file.end() ? 0 : it->second;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,52 @@
+// In-memory MSR register file with write observers and failure injection.
+//
+// The simulated machine registers an observer so that controller writes to
+// the prefetch-control MSR take effect on the simulated prefetch engines —
+// the same actuation path Limoncello uses on real hardware.
+#ifndef LIMONCELLO_MSR_SIMULATED_MSR_DEVICE_H_
+#define LIMONCELLO_MSR_SIMULATED_MSR_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "msr/msr_device.h"
+
+namespace limoncello {
+
+class SimulatedMsrDevice : public MsrDevice {
+ public:
+  // Observer invoked after a successful write: (cpu, reg, new value).
+  using WriteObserver =
+      std::function<void(int cpu, MsrRegister reg, std::uint64_t value)>;
+
+  explicit SimulatedMsrDevice(int num_cpus);
+
+  int num_cpus() const override { return static_cast<int>(regs_.size()); }
+  std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) override;
+  bool Write(int cpu, MsrRegister reg, std::uint64_t value) override;
+
+  void AddWriteObserver(WriteObserver observer);
+
+  // Failure injection: reads/writes to the given CPU fail until cleared.
+  void FailCpu(int cpu);
+  void UnfailCpu(int cpu);
+
+  // Test introspection: value last written (0 if never), write count.
+  std::uint64_t PeekRaw(int cpu, MsrRegister reg) const;
+  std::uint64_t write_count() const { return write_count_; }
+
+ private:
+  bool CpuOk(int cpu) const;
+
+  std::vector<std::map<MsrRegister, std::uint64_t>> regs_;
+  std::vector<bool> failed_;
+  std::vector<WriteObserver> observers_;
+  std::uint64_t write_count_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_MSR_SIMULATED_MSR_DEVICE_H_

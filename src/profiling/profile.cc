@@ -1,0 +1,140 @@
+#include "profiling/profile.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+ProfileAggregate::ProfileAggregate(std::size_t num_functions)
+    : entries_(num_functions) {}
+
+void ProfileAggregate::Accumulate(
+    const std::vector<FunctionProfileEntry>& socket_profile) {
+  // The socket table has one overflow slot past the catalog; ignore it
+  // when it is beyond our size.
+  const std::size_t n = std::min(entries_.size(), socket_profile.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    entries_[i].cycles += socket_profile[i].cycles;
+    entries_[i].instructions += socket_profile[i].instructions;
+    entries_[i].llc_misses += socket_profile[i].llc_misses;
+  }
+}
+
+void ProfileAggregate::Merge(const ProfileAggregate& other) {
+  LIMONCELLO_CHECK_EQ(entries_.size(), other.entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].cycles += other.entries_[i].cycles;
+    entries_[i].instructions += other.entries_[i].instructions;
+    entries_[i].llc_misses += other.entries_[i].llc_misses;
+  }
+}
+
+const FunctionProfileEntry& ProfileAggregate::entry(FunctionId id) const {
+  LIMONCELLO_CHECK_LT(id, entries_.size());
+  return entries_[id];
+}
+
+double ProfileAggregate::TotalCycles() const {
+  double total = 0.0;
+  for (const auto& e : entries_) total += e.cycles;
+  return total;
+}
+
+double ProfileAggregate::CycleShare(FunctionId id) const {
+  const double total = TotalCycles();
+  return total > 0.0 ? entry(id).cycles / total : 0.0;
+}
+
+double ProfileAggregate::Cpi(FunctionId id) const {
+  const FunctionProfileEntry& e = entry(id);
+  return e.instructions ? e.cycles / static_cast<double>(e.instructions)
+                        : 0.0;
+}
+
+double ProfileAggregate::Mpki(FunctionId id) const {
+  const FunctionProfileEntry& e = entry(id);
+  return e.instructions ? 1000.0 * static_cast<double>(e.llc_misses) /
+                              static_cast<double>(e.instructions)
+                        : 0.0;
+}
+
+std::vector<FunctionDelta> CompareAblation(const ProfileAggregate& control,
+                                           const ProfileAggregate& experiment,
+                                           const FunctionCatalog& catalog) {
+  LIMONCELLO_CHECK_EQ(control.num_functions(), experiment.num_functions());
+  LIMONCELLO_CHECK_LE(catalog.size(), control.num_functions());
+  std::vector<FunctionDelta> deltas;
+  deltas.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto id = static_cast<FunctionId>(i);
+    FunctionDelta d;
+    d.id = id;
+    d.name = catalog.spec(id).name;
+    d.category = catalog.spec(id).category;
+    const double control_cpi = control.Cpi(id);
+    const double experiment_cpi = experiment.Cpi(id);
+    d.cycles_change_pct =
+        control_cpi > 0.0
+            ? 100.0 * (experiment_cpi - control_cpi) / control_cpi
+            : 0.0;
+    const double control_mpki = control.Mpki(id);
+    const double experiment_mpki = experiment.Mpki(id);
+    d.mpki_change_pct =
+        control_mpki > 1e-9
+            ? 100.0 * (experiment_mpki - control_mpki) / control_mpki
+            : (experiment_mpki > 1e-9 ? 1000.0 : 0.0);
+    d.control_cycle_share = control.CycleShare(id);
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+std::vector<CategoryDelta> AggregateByCategory(
+    const std::vector<FunctionDelta>& deltas) {
+  struct Accumulator {
+    double weighted_cycles = 0.0;
+    double weighted_mpki = 0.0;
+    double share = 0.0;
+  };
+  // Indexed by the enum's underlying value.
+  Accumulator accumulators[5];
+  for (const FunctionDelta& d : deltas) {
+    Accumulator& a = accumulators[static_cast<int>(d.category)];
+    a.weighted_cycles += d.cycles_change_pct * d.control_cycle_share;
+    a.weighted_mpki += d.mpki_change_pct * d.control_cycle_share;
+    a.share += d.control_cycle_share;
+  }
+  std::vector<CategoryDelta> out;
+  for (int c = 0; c < 5; ++c) {
+    const Accumulator& a = accumulators[c];
+    if (a.share <= 0.0) continue;
+    CategoryDelta d;
+    d.category = static_cast<FunctionCategory>(c);
+    d.cycles_change_pct = a.weighted_cycles / a.share;
+    d.mpki_change_pct = a.weighted_mpki / a.share;
+    d.control_cycle_share = a.share;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<FunctionDelta> SelectPrefetchTargets(
+    const std::vector<FunctionDelta>& deltas, double min_regression_pct,
+    double min_cycle_share) {
+  std::vector<FunctionDelta> targets;
+  for (const FunctionDelta& d : deltas) {
+    if (d.cycles_change_pct >= min_regression_pct &&
+        d.control_cycle_share >= min_cycle_share) {
+      targets.push_back(d);
+    }
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const FunctionDelta& a, const FunctionDelta& b) {
+              return a.cycles_change_pct * a.control_cycle_share >
+                     b.cycles_change_pct * b.control_cycle_share;
+            });
+  return targets;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,81 @@
+// Fleet-wide function profiles and ablation-study comparison.
+//
+// The paper's methodology (§4.1): profile the experiment population
+// (prefetchers disabled) and the control population (prefetchers enabled)
+// simultaneously, aggregate per-function cycles and LLC misses, and diff
+// the two to find functions that regress (prefetch-friendly — software
+// prefetch targets) and functions that improve (prefetch-unfriendly).
+#ifndef LIMONCELLO_PROFILING_PROFILE_H_
+#define LIMONCELLO_PROFILING_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine/socket.h"
+#include "workloads/function_catalog.h"
+
+namespace limoncello {
+
+// Aggregated per-function counters across many sampled machines.
+class ProfileAggregate {
+ public:
+  explicit ProfileAggregate(std::size_t num_functions);
+
+  // Folds one socket's attribution table into the aggregate.
+  void Accumulate(const std::vector<FunctionProfileEntry>& socket_profile);
+  void Merge(const ProfileAggregate& other);
+
+  std::size_t num_functions() const { return entries_.size(); }
+  const FunctionProfileEntry& entry(FunctionId id) const;
+
+  double TotalCycles() const;
+  // Fraction of all profiled cycles spent in this function.
+  double CycleShare(FunctionId id) const;
+  // Cycles per instruction within the function (performance proxy).
+  double Cpi(FunctionId id) const;
+  // LLC misses per kilo-instruction within the function.
+  double Mpki(FunctionId id) const;
+
+ private:
+  std::vector<FunctionProfileEntry> entries_;
+};
+
+// Per-function ablation delta: experiment (PF off) relative to control
+// (PF on). Positive cycles_change_pct = function regressed when hardware
+// prefetchers were disabled = prefetch-friendly.
+struct FunctionDelta {
+  FunctionId id = kInvalidFunctionId;
+  std::string name;
+  FunctionCategory category = FunctionCategory::kNonTax;
+  double cycles_change_pct = 0.0;  // ΔCPI as a percentage
+  double mpki_change_pct = 0.0;    // ΔMPKI as a percentage
+  double control_cycle_share = 0.0;
+};
+
+std::vector<FunctionDelta> CompareAblation(const ProfileAggregate& control,
+                                           const ProfileAggregate& experiment,
+                                           const FunctionCatalog& catalog);
+
+// Category-level rollup (paper Fig. 12 / Fig. 20): cycle-share-weighted
+// CPI change per category.
+struct CategoryDelta {
+  FunctionCategory category = FunctionCategory::kNonTax;
+  double cycles_change_pct = 0.0;
+  double mpki_change_pct = 0.0;
+  double control_cycle_share = 0.0;
+};
+
+std::vector<CategoryDelta> AggregateByCategory(
+    const std::vector<FunctionDelta>& deltas);
+
+// Selects software-prefetch targets: functions whose CPI regressed by at
+// least `min_regression_pct` and whose cycle share is at least
+// `min_cycle_share` (hot enough to warrant standalone optimization, §4.1).
+std::vector<FunctionDelta> SelectPrefetchTargets(
+    const std::vector<FunctionDelta>& deltas, double min_regression_pct,
+    double min_cycle_share);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_PROFILING_PROFILE_H_

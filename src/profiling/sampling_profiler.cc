@@ -1,0 +1,61 @@
+#include "profiling/sampling_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+SamplingProfiler::SamplingProfiler(const Options& options, Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GT(options.machine_sample_probability, 0.0);
+  LIMONCELLO_CHECK_LE(options.machine_sample_probability, 1.0);
+  LIMONCELLO_CHECK_GT(options.event_sample_fraction, 0.0);
+  LIMONCELLO_CHECK_LE(options.event_sample_fraction, 1.0);
+}
+
+std::uint64_t SamplingProfiler::Thin(std::uint64_t count) {
+  const double p = options_.event_sample_fraction;
+  if (count == 0 || p >= 1.0) return count;
+  if (count < 64) {
+    std::uint64_t kept = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (rng_.NextBernoulli(p)) ++kept;
+    }
+    return kept;
+  }
+  const double n = static_cast<double>(count);
+  const double mean = n * p;
+  const double stddev = std::sqrt(n * p * (1.0 - p));
+  const double sample = rng_.NextGaussian(mean, stddev);
+  return static_cast<std::uint64_t>(
+      std::clamp(sample, 0.0, n));
+}
+
+double SamplingProfiler::ThinDouble(double value) {
+  const double p = options_.event_sample_fraction;
+  if (value <= 0.0 || p >= 1.0) return std::max(0.0, value) * 1.0;
+  const double mean = value * p;
+  const double stddev = std::sqrt(std::max(0.0, value * p * (1.0 - p)));
+  return std::clamp(rng_.NextGaussian(mean, stddev), 0.0, value);
+}
+
+bool SamplingProfiler::CollectFrom(
+    const std::vector<FunctionProfileEntry>& socket_profile,
+    ProfileAggregate* aggregate) {
+  LIMONCELLO_CHECK(aggregate != nullptr);
+  if (!rng_.NextBernoulli(options_.machine_sample_probability)) {
+    return false;
+  }
+  std::vector<FunctionProfileEntry> thinned(socket_profile.size());
+  for (std::size_t i = 0; i < socket_profile.size(); ++i) {
+    thinned[i].cycles = ThinDouble(socket_profile[i].cycles);
+    thinned[i].instructions = Thin(socket_profile[i].instructions);
+    thinned[i].llc_misses = Thin(socket_profile[i].llc_misses);
+  }
+  aggregate->Accumulate(thinned);
+  return true;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,52 @@
+// Sampling layer modelling the fleetwide profiler (GWP-like).
+//
+// "The profiler samples a limited number of random machines at any given
+// time and it is activated only for small time intervals ... the fleet is
+// large enough such that aggregated samples can effectively capture the
+// impact of code changes" (paper §4.1). We model that by (a) selecting
+// each machine with a sampling probability and (b) thinning its counters
+// with binomial noise, so an individual sample is noisy but the aggregate
+// converges.
+#ifndef LIMONCELLO_PROFILING_SAMPLING_PROFILER_H_
+#define LIMONCELLO_PROFILING_SAMPLING_PROFILER_H_
+
+#include <vector>
+
+#include "profiling/profile.h"
+#include "sim/machine/socket.h"
+#include "util/rng.h"
+
+namespace limoncello {
+
+class SamplingProfiler {
+ public:
+  struct Options {
+    // Probability a given machine is selected in a collection round.
+    double machine_sample_probability = 0.1;
+    // Fraction of events captured while profiling is active on a machine
+    // (short activation window).
+    double event_sample_fraction = 0.05;
+  };
+
+  SamplingProfiler(const Options& options, Rng rng);
+
+  // Possibly samples one socket's profile into the aggregate; returns
+  // true if the machine was selected this round.
+  bool CollectFrom(const std::vector<FunctionProfileEntry>& socket_profile,
+                   ProfileAggregate* aggregate);
+
+  const Options& options() const { return options_; }
+
+ private:
+  // Thins a counter: binomial(count, fraction) via normal approximation
+  // for large counts, exact Bernoulli summation for small ones.
+  std::uint64_t Thin(std::uint64_t count);
+  double ThinDouble(double value);
+
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_PROFILING_SAMPLING_PROFILER_H_

@@ -1,0 +1,146 @@
+#include "sim/cache/cache.h"
+
+#include <bit>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace limoncello {
+
+Cache::Cache(const CacheConfig& config, std::string name)
+    : name_(std::move(name)), policy_(config.policy), ways_(config.ways) {
+  LIMONCELLO_CHECK_GT(config.ways, 0);
+  LIMONCELLO_CHECK_GE(config.size_bytes, kCacheLineBytes);
+  const std::uint64_t lines = config.size_bytes / kCacheLineBytes;
+  num_sets_ = lines / static_cast<std::uint64_t>(config.ways);
+  LIMONCELLO_CHECK_GT(num_sets_, 0u);
+  // Power-of-two sets keep index extraction a mask.
+  LIMONCELLO_CHECK(std::has_single_bit(num_sets_));
+  sets_.assign(num_sets_, std::vector<Line>(
+                              static_cast<std::size_t>(config.ways)));
+}
+
+std::vector<Cache::Line>& Cache::SetFor(Addr line_addr, Addr* tag) {
+  const std::uint64_t index = line_addr & (num_sets_ - 1);
+  *tag = line_addr >> std::countr_zero(num_sets_);
+  return sets_[index];
+}
+
+const std::vector<Cache::Line>* Cache::SetForConst(Addr line_addr,
+                                                   Addr* tag) const {
+  const std::uint64_t index = line_addr & (num_sets_ - 1);
+  *tag = line_addr >> std::countr_zero(num_sets_);
+  return &sets_[index];
+}
+
+bool Cache::LookupDemand(Addr line_addr, bool is_store,
+                         bool* was_prefetched) {
+  if (was_prefetched != nullptr) *was_prefetched = false;
+  Addr tag = 0;
+  auto& set = SetFor(line_addr, &tag);
+  for (Line& line : set) {
+    if (line.valid && line.tag == tag) {
+      ++stats_.demand_hits;
+      if (line.prefetched) {
+        ++stats_.prefetch_covered_hits;
+        line.prefetched = false;
+        if (was_prefetched != nullptr) *was_prefetched = true;
+      }
+      if (is_store) line.dirty = true;
+      line.last_use = ++use_clock_;
+      line.rrpv = 0;  // SRRIP: proven re-referenced
+      return true;
+    }
+  }
+  ++stats_.demand_misses;
+  return false;
+}
+
+bool Cache::Contains(Addr line_addr) const {
+  Addr tag = 0;
+  const auto* set = SetForConst(line_addr, &tag);
+  for (const Line& line : *set) {
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+Cache::Eviction Cache::Fill(Addr line_addr, bool is_prefetch, bool dirty) {
+  Addr tag = 0;
+  auto& set = SetFor(line_addr, &tag);
+  // If already present (fill race with another path), refresh in place.
+  for (Line& line : set) {
+    if (line.valid && line.tag == tag) {
+      line.dirty = line.dirty || dirty;
+      line.last_use = ++use_clock_;
+      return Eviction{};
+    }
+  }
+  if (is_prefetch) {
+    ++stats_.prefetch_fills;
+  } else {
+    ++stats_.demand_fills;
+  }
+  Line* victim = PickVictim(set);
+  Eviction evicted;
+  if (victim->valid) {
+    evicted.valid = true;
+    evicted.dirty = victim->dirty;
+    evicted.unused_prefetch = victim->prefetched;
+    evicted.line_addr =
+        (victim->tag << std::countr_zero(num_sets_)) |
+        (line_addr & (num_sets_ - 1));
+    if (victim->prefetched) ++stats_.prefetch_pollution_evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->tag = tag;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetched = is_prefetch;
+  victim->last_use = ++use_clock_;
+  // SRRIP insertion: demand fills are "long" re-reference (2), prefetch
+  // fills "distant" (3) — an unproven prefetch is the first to go.
+  victim->rrpv = is_prefetch ? 3 : 2;
+  return evicted;
+}
+
+Cache::Line* Cache::PickVictim(std::vector<Line>& set) {
+  // Invalid ways first under every policy.
+  for (Line& line : set) {
+    if (!line.valid) return &line;
+  }
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      Line* victim = &set[0];
+      for (Line& line : set) {
+        if (line.last_use < victim->last_use) victim = &line;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kRandom: {
+      // Deterministic pseudo-random pick from the access clock.
+      std::uint64_t h = ++use_clock_;
+      h = SplitMix64(h);
+      return &set[h % set.size()];
+    }
+    case ReplacementPolicy::kSrrip: {
+      for (;;) {
+        for (Line& line : set) {
+          if (line.rrpv >= 3) return &line;
+        }
+        for (Line& line : set) {
+          ++line.rrpv;
+        }
+      }
+    }
+  }
+  return &set[0];
+}
+
+void Cache::Flush() {
+  for (auto& set : sets_) {
+    for (Line& line : set) line = Line{};
+  }
+}
+
+}  // namespace limoncello

@@ -1,0 +1,115 @@
+// Set-associative cache with LRU replacement and prefetch-fill tracking.
+//
+// Each line carries a `prefetched` bit so the simulator can account
+// prefetch usefulness (prefetched line later demanded = covered miss) and
+// pollution (prefetched line evicted untouched). These are the quantities
+// behind the paper's coverage/accuracy discussion (§2.1, §7.1).
+#ifndef LIMONCELLO_SIM_CACHE_CACHE_H_
+#define LIMONCELLO_SIM_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace limoncello {
+
+enum class ReplacementPolicy {
+  kLru,     // true LRU (default)
+  kRandom,  // pseudo-random victim (deterministic hash of an access clock)
+  kSrrip,   // 2-bit SRRIP; prefetch fills insert at distant re-reference,
+            // which bounds prefetch pollution (Jaleel et al., ISCA'10)
+};
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * kKiB;
+  int ways = 8;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+};
+
+class Cache {
+ public:
+  struct Eviction {
+    bool valid = false;       // an occupied line was evicted
+    bool dirty = false;       // needs a writeback
+    bool unused_prefetch = false;  // prefetched, never demanded (pollution)
+    Addr line_addr = 0;
+  };
+
+  struct Stats {
+    std::uint64_t demand_hits = 0;
+    std::uint64_t demand_misses = 0;
+    // Demand hits on lines brought in by a prefetch (covered misses).
+    std::uint64_t prefetch_covered_hits = 0;
+    std::uint64_t prefetch_fills = 0;
+    std::uint64_t demand_fills = 0;
+    // Prefetched lines evicted without ever being demanded.
+    std::uint64_t prefetch_pollution_evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    double DemandMissRate() const {
+      const std::uint64_t total = demand_hits + demand_misses;
+      return total ? static_cast<double>(demand_misses) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+    // Fraction of prefetch fills that ended up demanded (accuracy proxy).
+    double PrefetchAccuracy() const {
+      return prefetch_fills ? static_cast<double>(prefetch_covered_hits) /
+                                  static_cast<double>(prefetch_fills)
+                            : 0.0;
+    }
+  };
+
+  Cache(const CacheConfig& config, std::string name);
+
+  // Demand lookup. Updates LRU and stats; clears the prefetched bit on hit
+  // (the prefetch is now proven useful). If was_prefetched is non-null it
+  // is set to true when the hit line was brought in by a prefetch and had
+  // not been demanded before (used for timeliness modeling).
+  bool LookupDemand(Addr line_addr, bool is_store,
+                    bool* was_prefetched = nullptr);
+
+  // Probe without side effects (used to filter redundant prefetches).
+  bool Contains(Addr line_addr) const;
+
+  // Inserts a line (after a miss was serviced below). Returns the eviction
+  // it caused, if any.
+  Eviction Fill(Addr line_addr, bool is_prefetch, bool dirty);
+
+  // Invalidates every line (used between independent experiment runs).
+  void Flush();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+  const std::string& name() const { return name_; }
+  std::uint64_t num_sets() const { return num_sets_; }
+  int ways() const { return ways_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t last_use = 0;
+    std::uint8_t rrpv = 3;  // SRRIP re-reference prediction value
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+
+  std::vector<Line>& SetFor(Addr line_addr, Addr* tag);
+  const std::vector<Line>* SetForConst(Addr line_addr, Addr* tag) const;
+  Line* PickVictim(std::vector<Line>& set);
+
+  std::string name_;
+  ReplacementPolicy policy_;
+  std::uint64_t num_sets_;
+  int ways_;
+  std::vector<std::vector<Line>> sets_;
+  std::uint64_t use_clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SIM_CACHE_CACHE_H_

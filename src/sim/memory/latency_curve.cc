@@ -1,0 +1,30 @@
+#include "sim/memory/latency_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+double LatencyAtUtilization(const LatencyCurveConfig& config,
+                            double utilization) {
+  LIMONCELLO_DCHECK(utilization >= 0.0);
+  LIMONCELLO_DCHECK(config.max_utilization > 0.0 &&
+                    config.max_utilization < 1.0);
+  const double u = std::clamp(utilization, 0.0, config.max_utilization);
+  const double queuing =
+      config.queue_coeff_ns * std::pow(u, config.exponent) / (1.0 - u);
+  double latency = config.unloaded_ns + queuing;
+  if (utilization > config.max_utilization) {
+    // Past the clamp the queue is effectively unstable; grow linearly
+    // (bounded) instead of exploding, so over-saturated operating points
+    // still order correctly.
+    const double excess =
+        std::min(utilization, 2.0) - config.max_utilization;
+    latency *= 1.0 + excess;
+  }
+  return latency;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,34 @@
+// The bandwidth-utilization → load-to-use-latency curve.
+//
+// This is the paper's central physical phenomenon (Fig. 1): load-to-use
+// latency of a DRAM request roughly doubles as bandwidth utilization
+// approaches saturation, because requests queue in the memory controller.
+// We model it as unloaded latency plus an M/M/1-flavoured queuing term:
+//
+//   L(u) = L0 + Lq * u^k / (1 - min(u, u_max))
+//
+// Utilization u counts *all* traffic — demand plus prefetch — which is why
+// hardware prefetchers sit higher on the curve at the same demand level.
+// The same curve is shared by the detailed socket simulator and the
+// fleet-scale analytic machine model, so both substrates agree by
+// construction.
+#ifndef LIMONCELLO_SIM_MEMORY_LATENCY_CURVE_H_
+#define LIMONCELLO_SIM_MEMORY_LATENCY_CURVE_H_
+
+namespace limoncello {
+
+struct LatencyCurveConfig {
+  double unloaded_ns = 90.0;   // idle DRAM load-to-use latency
+  double queue_coeff_ns = 14.0;
+  double exponent = 2.2;
+  double max_utilization = 0.96;  // queuing clamp (curve stays finite)
+};
+
+// Latency (ns) at the given utilization in [0, +inf); utilization above 1
+// is clamped by max_utilization inside the queuing term.
+double LatencyAtUtilization(const LatencyCurveConfig& config,
+                            double utilization);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SIM_MEMORY_LATENCY_CURVE_H_

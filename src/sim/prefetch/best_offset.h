@@ -1,0 +1,68 @@
+// Best-offset prefetcher (Michaud, HPCA 2016 — the paper's reference
+// [4] for state-of-the-art hardware prefetching).
+//
+// Instead of assuming +1 streams, the engine *learns* the best prefetch
+// offset: it keeps a recent-requests table (RR) of lines demanded in the
+// near past and scores a list of candidate offsets — offset d earns a
+// point when, for a current access to line X, line X - d is found in the
+// RR table (meaning a prefetch at offset d issued back then would have
+// been timely). At the end of a learning round the highest-scoring
+// offset becomes the prefetch offset if it clears a threshold; otherwise
+// prefetching is paused (built-in throttling — exactly the accuracy
+// self-regulation §8.1 asks of future hardware).
+#ifndef LIMONCELLO_SIM_PREFETCH_BEST_OFFSET_H_
+#define LIMONCELLO_SIM_PREFETCH_BEST_OFFSET_H_
+
+#include <vector>
+
+#include "sim/prefetch/prefetcher.h"
+
+namespace limoncello {
+
+class BestOffsetPrefetcher : public HwPrefetchEngine {
+ public:
+  struct Options {
+    // Candidate offsets scored each round (Michaud uses ~52 offsets with
+    // small prime factors; we keep a compact subset).
+    std::vector<int> candidates = {1,  2,  3,  4,  5,  6,  8,
+                                   9,  10, 12, 15, 16, 20, 24,
+                                   30, 32, 40, 48, 60, 64};
+    int rr_table_size = 256;    // recent-requests entries
+    int score_max = 31;         // round ends when a score reaches this
+    int round_max = 100;        // ... or after this many accesses
+    int bad_score = 10;         // below this, prefetching pauses
+  };
+
+  BestOffsetPrefetcher() : BestOffsetPrefetcher(Options()) {}
+  explicit BestOffsetPrefetcher(const Options& options);
+
+  // Reports as the L2 stream engine so the MSR bit that disables the
+  // stream prefetcher controls this engine when it is swapped in.
+  PrefetchEngine kind() const override { return PrefetchEngine::kL2Stream; }
+
+  void Observe(const PrefetchObservation& obs,
+               std::vector<Addr>* out) override;
+  void ResetState() override;
+
+  // Introspection for tests/benches.
+  int current_offset() const { return current_offset_; }
+  bool prefetching_paused() const { return current_offset_ == 0; }
+  int rounds_completed() const { return rounds_completed_; }
+
+ private:
+  void InsertRecent(Addr line);
+  bool InRecent(Addr line) const;
+  void FinishRound();
+
+  Options options_;
+  std::vector<Addr> rr_table_;   // direct-mapped by line hash
+  std::vector<bool> rr_valid_;
+  std::vector<int> scores_;
+  int round_accesses_ = 0;
+  int current_offset_ = 1;  // 0 = paused
+  int rounds_completed_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SIM_PREFETCH_BEST_OFFSET_H_

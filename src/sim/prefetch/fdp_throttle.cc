@@ -1,0 +1,97 @@
+#include "sim/prefetch/fdp_throttle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+FdpThrottle::FdpThrottle(const FdpConfig& config, Socket* socket)
+    : config_(config), socket_(socket), level_(config.initial_level) {
+  LIMONCELLO_CHECK(socket != nullptr);
+  LIMONCELLO_CHECK_GE(config.initial_level, 0);
+  LIMONCELLO_CHECK_LE(config.initial_level, 3);
+  LIMONCELLO_CHECK_LT(config.low_accuracy, config.high_accuracy);
+  last_counters_ = socket->counters();
+  last_time_ = socket->now();
+}
+
+std::uint64_t FdpThrottle::DisableBitsForLevel(int level) {
+  // Intel 0x1A4 polarity: a set bit disables the engine.
+  const std::uint64_t stream = 1ULL
+                               << static_cast<int>(PrefetchEngine::kL2Stream);
+  const std::uint64_t adjacent =
+      1ULL << static_cast<int>(PrefetchEngine::kL2AdjacentLine);
+  const std::uint64_t dcu =
+      1ULL << static_cast<int>(PrefetchEngine::kDcuStreamer);
+  const std::uint64_t ip =
+      1ULL << static_cast<int>(PrefetchEngine::kDcuIpStride);
+  switch (level) {
+    case 0:
+      return stream | adjacent | dcu | ip;
+    case 1:
+      return adjacent | dcu;
+    case 2:
+      return adjacent;
+    default:
+      return 0;
+  }
+}
+
+double FdpThrottle::IntervalAccuracy() {
+  // Useful prefetches (first demand hit on a prefetched line, at any
+  // level) per prefetch *sent to memory* — the quantities real FDP
+  // hardware counts.
+  const Cache::Stats l1 = socket_->AggregateL1Stats();
+  const Cache::Stats l2 = socket_->AggregateL2Stats();
+  const Cache::Stats& llc = socket_->LlcStats();
+  const std::uint64_t covered = l1.prefetch_covered_hits +
+                                l2.prefetch_covered_hits +
+                                llc.prefetch_covered_hits;
+  const std::uint64_t issued =
+      socket_->counters().dram_bytes[static_cast<int>(
+          TrafficClass::kHwPrefetch)] /
+      kCacheLineBytes;
+  const std::uint64_t d_covered = covered - last_covered_;
+  const std::uint64_t d_issued = issued - last_fills_;
+  last_covered_ = covered;
+  last_fills_ = issued;
+  if (d_issued == 0) return 1.0;  // nothing issued: don't punish
+  return std::min(
+      1.0, static_cast<double>(d_covered) / static_cast<double>(d_issued));
+}
+
+int FdpThrottle::Tick() {
+  const PmuCounters& now = socket_->counters();
+  const SimTimeNs interval_ns = socket_->now() - last_time_;
+  const double bytes = static_cast<double>(now.DramTotalBytes() -
+                                           last_counters_.DramTotalBytes());
+  last_counters_ = now;
+  last_time_ = socket_->now();
+  const double utilization =
+      interval_ns > 0
+          ? bytes / static_cast<double>(interval_ns) /
+                socket_->memory().config().peak_gbps
+          : 0.0;
+  const double accuracy = IntervalAccuracy();
+
+  int desired = level_;
+  if (utilization > config_.high_pressure ||
+      accuracy < config_.low_accuracy) {
+    desired = std::max(0, level_ - 1);
+  } else if (accuracy > config_.high_accuracy &&
+             utilization < config_.high_pressure) {
+    desired = std::min(3, level_ + 1);
+  }
+  if (desired != level_) {
+    level_ = desired;
+    ++adjustments_;
+    const std::uint64_t bits = DisableBitsForLevel(level_);
+    for (int cpu = 0; cpu < socket_->config().num_cores; ++cpu) {
+      socket_->msr_device().Write(cpu, 0x1a4, bits);
+    }
+  }
+  return level_;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,65 @@
+// Feedback-directed prefetch throttling — the classic *hardware*
+// alternative to Limoncello (Srinath et al., HPCA 2007; the paper's §7.1
+// "hardware prefetcher throttling" class).
+//
+// FDP periodically measures prefetch accuracy (useful fills / issued
+// prefetches) and memory-bandwidth pressure, and moves an aggressiveness
+// level up or down: high accuracy + low pressure → more aggressive;
+// low accuracy or high pressure → less aggressive (possibly off).
+// Limoncello's §7.1 critique is that such throttling is reactive and
+// coarse-grained — it cannot tell prefetch-friendly code from unfriendly
+// code running interleaved. The baseline bench quantifies that.
+#ifndef LIMONCELLO_SIM_PREFETCH_FDP_THROTTLE_H_
+#define LIMONCELLO_SIM_PREFETCH_FDP_THROTTLE_H_
+
+#include "sim/machine/socket.h"
+
+namespace limoncello {
+
+// Aggressiveness ladder applied to the socket's engines per level:
+//   0: all engines off
+//   1: IP-stride + L2 stream only (conservative)
+//   2: + DCU streamer (default)
+//   3: + adjacent line (aggressive)
+struct FdpConfig {
+  double high_accuracy = 0.60;  // above: consider ramping up
+  double low_accuracy = 0.30;   // below: ramp down
+  double high_pressure = 0.85;  // bandwidth utilization: forces down
+  int initial_level = 2;
+};
+
+class FdpThrottle {
+ public:
+  // Reads the socket's prefetch accuracy and bandwidth each interval and
+  // adjusts engine enables through the socket's MSR device (so it uses
+  // the same actuation path as Limoncello).
+  FdpThrottle(const FdpConfig& config, Socket* socket);
+
+  // Call once per control interval (after socket.Step). Returns the
+  // aggressiveness level now in effect.
+  int Tick();
+
+  int level() const { return level_; }
+  std::uint64_t adjustments() const { return adjustments_; }
+
+  // The engine mask (MSR 0x1A4 disable bits, Intel layout) for a level.
+  static std::uint64_t DisableBitsForLevel(int level);
+
+ private:
+  // Accuracy of hardware prefetching over the last interval.
+  double IntervalAccuracy();
+
+  FdpConfig config_;
+  Socket* socket_;
+  int level_;
+  std::uint64_t adjustments_ = 0;
+  // Previous-interval snapshots for delta computation.
+  std::uint64_t last_covered_ = 0;
+  std::uint64_t last_fills_ = 0;
+  PmuCounters last_counters_{};
+  SimTimeNs last_time_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SIM_PREFETCH_FDP_THROTTLE_H_

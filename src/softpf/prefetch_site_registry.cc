@@ -1,0 +1,54 @@
+#include "softpf/prefetch_site_registry.h"
+
+namespace limoncello {
+
+PrefetchSiteRegistry PrefetchSiteRegistry::DeployedDefault() {
+  PrefetchSiteRegistry registry;
+  SoftPrefetchConfig movement = SoftPrefetchConfig::DeployedDefault();
+  registry.Register("memcpy", movement);
+  registry.Register("memmove", movement);
+  registry.Register("memset", movement);
+
+  // Compression streams through input and output; the codec's inner loop
+  // tolerates a slightly shorter distance (it does more work per byte).
+  SoftPrefetchConfig compression;
+  compression.distance_bytes = 384;
+  compression.degree_bytes = 256;
+  compression.min_size_bytes = 4096;
+  registry.Register("snappy_compress", compression);
+  registry.Register("snappy_uncompress", compression);
+  registry.Register("zlib_inflate", compression);
+
+  SoftPrefetchConfig hashing;
+  hashing.distance_bytes = 512;
+  hashing.degree_bytes = 128;
+  hashing.min_size_bytes = 2048;
+  registry.Register("crc32c", hashing);
+  registry.Register("fingerprint2011", hashing);
+
+  SoftPrefetchConfig transmission;
+  transmission.distance_bytes = 256;
+  transmission.degree_bytes = 128;
+  transmission.min_size_bytes = 1024;
+  registry.Register("proto_serialize", transmission);
+  registry.Register("proto_parse", transmission);
+  return registry;
+}
+
+void PrefetchSiteRegistry::Register(const std::string& function_name,
+                                    const SoftPrefetchConfig& config) {
+  sites_[function_name] = config;
+}
+
+void PrefetchSiteRegistry::Unregister(const std::string& function_name) {
+  sites_.erase(function_name);
+}
+
+std::optional<SoftPrefetchConfig> PrefetchSiteRegistry::Lookup(
+    const std::string& function_name) const {
+  const auto it = sites_.find(function_name);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace limoncello

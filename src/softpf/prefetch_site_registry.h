@@ -1,0 +1,40 @@
+// Registry of software-prefetch insertion sites.
+//
+// Maps target function names (the data-center-tax functions surfaced by the
+// ablation study, §4.1) to their tuned SoftPrefetchConfig. The fleet
+// deployment consults this registry when Soft Limoncello is active; the
+// native tax library reads per-call configs directly.
+#ifndef LIMONCELLO_SOFTPF_PREFETCH_SITE_REGISTRY_H_
+#define LIMONCELLO_SOFTPF_PREFETCH_SITE_REGISTRY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+class PrefetchSiteRegistry {
+ public:
+  // The deployed target set: every tax function from the fleet catalog,
+  // each with the tuned deployment parameters.
+  static PrefetchSiteRegistry DeployedDefault();
+
+  void Register(const std::string& function_name,
+                const SoftPrefetchConfig& config);
+  void Unregister(const std::string& function_name);
+
+  // nullopt when the function is not a software-prefetch target.
+  std::optional<SoftPrefetchConfig> Lookup(
+      const std::string& function_name) const;
+
+  std::size_t size() const { return sites_.size(); }
+
+ private:
+  std::map<std::string, SoftPrefetchConfig> sites_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SOFTPF_PREFETCH_SITE_REGISTRY_H_

@@ -1,0 +1,34 @@
+#include "softpf/runtime.h"
+
+namespace limoncello {
+
+SoftPrefetchRuntime::SoftPrefetchRuntime(PrefetchSiteRegistry registry,
+                                         SoftPrefetchActivation activation)
+    : registry_(std::move(registry)),
+      activation_(static_cast<int>(activation)) {}
+
+SoftPrefetchConfig SoftPrefetchRuntime::ConfigFor(
+    const std::string& function_name, std::uint64_t call_size) const {
+  const SoftPrefetchActivation policy = activation();
+  if (policy == SoftPrefetchActivation::kNever) {
+    return SoftPrefetchConfig::Disabled();
+  }
+  if (policy == SoftPrefetchActivation::kWhenHwOff &&
+      hw_prefetchers_enabled()) {
+    return SoftPrefetchConfig::Disabled();
+  }
+  const auto config = registry_.Lookup(function_name);
+  if (!config.has_value() || !config->AppliesTo(call_size)) {
+    return SoftPrefetchConfig::Disabled();
+  }
+  return *config;
+}
+
+SoftPrefetchRuntime& SoftPrefetchRuntime::Global() {
+  // Function-local static reference: constructed on first use, never
+  // destroyed (safe against shutdown ordering).
+  static auto& instance = *new SoftPrefetchRuntime();
+  return instance;
+}
+
+}  // namespace limoncello

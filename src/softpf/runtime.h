@@ -1,0 +1,81 @@
+// Process-wide Soft Limoncello runtime: the hardware/software handshake.
+//
+// The paper's vertical integration works because the software half knows
+// what the hardware half is doing: software prefetches matter most while
+// the hardware prefetchers are disabled (paper Fig. 20 — Soft Limoncello
+// recovers exactly the coverage Hard Limoncello gives up). This runtime
+// is the in-process coordination point:
+//
+//   * the controller daemon publishes the hardware prefetcher state into
+//     the runtime (via LimoncelloDaemon::SetStateListener), and
+//   * instrumented library functions ask the runtime for their prefetch
+//     configuration on each (large) call.
+//
+// Activation policies let a site prefetch always, only while hardware
+// prefetching is off, or never (kill switch). All state is atomic and
+// lock-free on the read path: tax functions are the hottest code in the
+// fleet and must not take locks.
+#ifndef LIMONCELLO_SOFTPF_RUNTIME_H_
+#define LIMONCELLO_SOFTPF_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "softpf/prefetch_site_registry.h"
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+enum class SoftPrefetchActivation : int {
+  kAlways,     // prefetch whenever the size gate passes
+  kWhenHwOff,  // deployed policy: only while HW prefetchers are disabled
+  kNever,      // kill switch
+};
+
+class SoftPrefetchRuntime {
+ public:
+  explicit SoftPrefetchRuntime(
+      PrefetchSiteRegistry registry = PrefetchSiteRegistry::DeployedDefault(),
+      SoftPrefetchActivation activation =
+          SoftPrefetchActivation::kWhenHwOff);
+
+  // Published by the control plane (daemon actuations).
+  void SetHwPrefetchersEnabled(bool enabled) {
+    hw_prefetchers_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool hw_prefetchers_enabled() const {
+    return hw_prefetchers_enabled_.load(std::memory_order_relaxed);
+  }
+
+  void SetActivation(SoftPrefetchActivation activation) {
+    activation_.store(static_cast<int>(activation),
+                      std::memory_order_relaxed);
+  }
+  SoftPrefetchActivation activation() const {
+    return static_cast<SoftPrefetchActivation>(
+        activation_.load(std::memory_order_relaxed));
+  }
+
+  // Hot path: the configuration a site should use for a call of
+  // `call_size` bytes right now. Disabled config when the site is not
+  // registered, the size gate fails, or the activation policy says no.
+  SoftPrefetchConfig ConfigFor(const std::string& function_name,
+                               std::uint64_t call_size) const;
+
+  // Registry management (cold path; not thread-safe against ConfigFor —
+  // reconfigure at startup or behind external synchronization).
+  PrefetchSiteRegistry& registry() { return registry_; }
+  const PrefetchSiteRegistry& registry() const { return registry_; }
+
+  // The process-wide instance used by the instrumented tax wrappers.
+  static SoftPrefetchRuntime& Global();
+
+ private:
+  PrefetchSiteRegistry registry_;
+  std::atomic<bool> hw_prefetchers_enabled_{true};
+  std::atomic<int> activation_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SOFTPF_RUNTIME_H_

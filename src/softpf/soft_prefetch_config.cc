@@ -1,0 +1,35 @@
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+std::vector<SweepPoint> DistanceSweep(
+    const std::vector<std::uint32_t>& distances,
+    std::uint32_t fixed_degree) {
+  std::vector<SweepPoint> points;
+  points.reserve(distances.size());
+  for (std::uint32_t d : distances) {
+    SoftPrefetchConfig config;
+    config.distance_bytes = d;
+    config.degree_bytes = fixed_degree;
+    config.min_size_bytes = 0;  // sweeps probe every size bucket
+    points.push_back({config, "distance=" + std::to_string(d)});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> DegreeSweep(
+    std::uint32_t fixed_distance,
+    const std::vector<std::uint32_t>& degrees) {
+  std::vector<SweepPoint> points;
+  points.reserve(degrees.size());
+  for (std::uint32_t g : degrees) {
+    SoftPrefetchConfig config;
+    config.distance_bytes = fixed_distance;
+    config.degree_bytes = g;
+    config.min_size_bytes = 0;
+    points.push_back({config, "degree=" + std::to_string(g)});
+  }
+  return points;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,58 @@
+// Soft Limoncello: software-prefetch insertion policy.
+//
+// Paper §4.2 identifies three design parameters for an inserted prefetch:
+// address (implicit in the insertion site), distance (how far ahead of the
+// access cursor), and degree (how many bytes per prefetch trigger). §4.3
+// adds a size condition: only calls over a minimum size are prefetched,
+// because small scattered accesses neither need nor reward prefetching.
+#ifndef LIMONCELLO_SOFTPF_SOFT_PREFETCH_CONFIG_H_
+#define LIMONCELLO_SOFTPF_SOFT_PREFETCH_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace limoncello {
+
+struct SoftPrefetchConfig {
+  bool enabled = true;
+  // How far ahead of the access cursor the prefetched address sits.
+  std::uint32_t distance_bytes = 512;
+  // Bytes fetched per prefetch trigger (issued as consecutive lines).
+  std::uint32_t degree_bytes = 256;
+  // Calls smaller than this are left to the hardware (or to nothing).
+  std::uint64_t min_size_bytes = 2048;
+
+  static SoftPrefetchConfig Disabled() {
+    SoftPrefetchConfig config;
+    config.enabled = false;
+    return config;
+  }
+
+  // The configuration Soft Limoncello deployed for data-movement
+  // functions after the Fig. 15 sweeps: distance 512 B, degree 256 B,
+  // conditioned on large calls.
+  static SoftPrefetchConfig DeployedDefault() { return {}; }
+
+  bool AppliesTo(std::uint64_t call_size_bytes) const {
+    return enabled && distance_bytes > 0 && degree_bytes > 0 &&
+           call_size_bytes >= min_size_bytes;
+  }
+};
+
+// Grid of candidate configurations for the §4.2 sweep methodology: sweep
+// distances at fixed degree (Fig. 15a), then degrees at fixed distance
+// (Fig. 15b), microbenchmark each, and keep the best for load testing.
+struct SweepPoint {
+  SoftPrefetchConfig config;
+  std::string label;
+};
+
+std::vector<SweepPoint> DistanceSweep(
+    const std::vector<std::uint32_t>& distances, std::uint32_t fixed_degree);
+std::vector<SweepPoint> DegreeSweep(std::uint32_t fixed_distance,
+                                    const std::vector<std::uint32_t>& degrees);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SOFTPF_SOFT_PREFETCH_CONFIG_H_

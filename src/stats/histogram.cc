@@ -1,0 +1,98 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  LIMONCELLO_CHECK_GT(min_value, 0.0);
+  LIMONCELLO_CHECK_GT(growth, 1.0);
+}
+
+std::size_t Histogram::BucketFor(double value) const {
+  if (value <= min_value_) return 0;
+  const double idx = std::log(value / min_value_) / log_growth_;
+  return static_cast<std::size_t>(idx) + 1;
+}
+
+double Histogram::BucketUpperEdge(std::size_t bucket) const {
+  if (bucket == 0) return min_value_;
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(bucket));
+}
+
+double Histogram::BucketLowerEdge(std::size_t bucket) const {
+  if (bucket == 0) return 0.0;
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(bucket - 1));
+}
+
+void Histogram::Add(double value) { AddN(value, 1); }
+
+void Histogram::AddN(double value, std::uint64_t n) {
+  if (n == 0) return;
+  LIMONCELLO_DCHECK(value >= 0.0);
+  const std::size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += n;
+  for (std::uint64_t i = 0; i < n; ++i) summary_.Add(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  LIMONCELLO_CHECK_EQ(min_value_, other.min_value_);
+  LIMONCELLO_CHECK_EQ(log_growth_, other.log_growth_);
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  summary_.Merge(other.summary_);
+}
+
+double Histogram::Percentile(double p) const {
+  LIMONCELLO_CHECK_GE(p, 0.0);
+  LIMONCELLO_CHECK_LE(p, 100.0);
+  const std::uint64_t total = summary_.count();
+  if (total == 0) return 0.0;
+  // Rank of the target sample, 1-based, ceil semantics.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank && buckets_[b] > 0) {
+      // Clamp to observed extremes so P0/P100 are exact.
+      const double edge = BucketUpperEdge(b);
+      if (edge < summary_.min()) return summary_.min();
+      if (edge > summary_.max()) return summary_.max();
+      return edge;
+    }
+  }
+  return summary_.max();
+}
+
+double Histogram::MassBetween(double lo, double hi) const {
+  const std::uint64_t total = summary_.count();
+  if (total == 0 || hi <= lo) return 0.0;
+  std::uint64_t in_range = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    // Count a bucket by the overlap fraction of its span with [lo, hi).
+    const double b_lo = BucketLowerEdge(b);
+    const double b_hi = BucketUpperEdge(b);
+    const double overlap =
+        std::max(0.0, std::min(hi, b_hi) - std::max(lo, b_lo));
+    const double span = b_hi - b_lo;
+    if (span <= 0.0) {
+      if (b_lo >= lo && b_lo < hi) in_range += buckets_[b];
+    } else {
+      in_range += static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(buckets_[b]) * overlap / span));
+    }
+  }
+  return static_cast<double>(in_range) / static_cast<double>(total);
+}
+
+}  // namespace limoncello

@@ -1,0 +1,54 @@
+// Log-bucketed streaming histogram with percentile queries.
+//
+// Buckets grow geometrically, giving a bounded relative error on percentile
+// queries (HdrHistogram-flavoured). Used for fleet-scale distributions:
+// socket bandwidth, memory latency, memcpy sizes.
+#ifndef LIMONCELLO_STATS_HISTOGRAM_H_
+#define LIMONCELLO_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace limoncello {
+
+class Histogram {
+ public:
+  // growth: per-bucket geometric growth factor (> 1). The default 1.02
+  // bounds percentile error to ~2 %. min_value: values at or below this
+  // land in bucket 0.
+  explicit Histogram(double min_value = 1.0, double growth = 1.02);
+
+  void Add(double value);
+  void AddN(double value, std::uint64_t n);
+  void Merge(const Histogram& other);
+
+  // p in [0, 100]. Returns an upper-edge estimate of the p-th percentile.
+  // Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  double Mean() const { return summary_.mean(); }
+  double Min() const { return summary_.min(); }
+  double Max() const { return summary_.max(); }
+  double Stddev() const { return summary_.stddev(); }
+  std::uint64_t Count() const { return summary_.count(); }
+  const Summary& summary() const { return summary_; }
+
+  // Probability mass falling in [lo, hi). Used to render PDFs (Fig. 14).
+  double MassBetween(double lo, double hi) const;
+
+ private:
+  std::size_t BucketFor(double value) const;
+  double BucketUpperEdge(std::size_t bucket) const;
+  double BucketLowerEdge(std::size_t bucket) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  Summary summary_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_STATS_HISTOGRAM_H_

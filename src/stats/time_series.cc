@@ -1,0 +1,52 @@
+#include "stats/time_series.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+void TimeSeries::Add(SimTimeNs time_ns, double value) {
+  if (!points_.empty()) {
+    LIMONCELLO_CHECK_GE(time_ns, points_.back().time_ns);
+  }
+  points_.push_back({time_ns, value});
+}
+
+Summary TimeSeries::Summarize() const {
+  Summary s;
+  for (const Point& p : points_) s.Add(p.value);
+  return s;
+}
+
+double TimeSeries::FractionAbove(double threshold) const {
+  if (points_.empty()) return 0.0;
+  std::size_t above = 0;
+  for (const Point& p : points_) {
+    if (p.value > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(points_.size());
+}
+
+TimeSeries TimeSeries::Resample(SimTimeNs window_ns) const {
+  LIMONCELLO_CHECK_GT(window_ns, 0);
+  TimeSeries out;
+  if (points_.empty()) return out;
+  SimTimeNs window_start = points_.front().time_ns;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    while (p.time_ns >= window_start + window_ns) {
+      if (n > 0) {
+        out.Add(window_start, sum / static_cast<double>(n));
+        sum = 0.0;
+        n = 0;
+      }
+      window_start += window_ns;
+    }
+    sum += p.value;
+    ++n;
+  }
+  if (n > 0) out.Add(window_start, sum / static_cast<double>(n));
+  return out;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,45 @@
+// A simple (time, value) series with aggregation helpers.
+//
+// Used for telemetry traces (socket bandwidth over time, controller state
+// over time) and for rendering the time-series figures (Figs. 7 and 9).
+#ifndef LIMONCELLO_STATS_TIME_SERIES_H_
+#define LIMONCELLO_STATS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.h"
+#include "util/units.h"
+
+namespace limoncello {
+
+class TimeSeries {
+ public:
+  struct Point {
+    SimTimeNs time_ns;
+    double value;
+  };
+
+  // Appends a point; time must be non-decreasing.
+  void Add(SimTimeNs time_ns, double value);
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  Summary Summarize() const;
+
+  // Fraction of samples with value above the threshold.
+  double FractionAbove(double threshold) const;
+
+  // Downsamples by averaging over fixed windows of width window_ns; the
+  // emitted point carries the window's start time.
+  TimeSeries Resample(SimTimeNs window_ns) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_STATS_TIME_SERIES_H_

@@ -1,0 +1,51 @@
+#include "tax/adaptive.h"
+
+#include "softpf/runtime.h"
+#include "tax/block_compressor.h"
+#include "tax/block_hash.h"
+#include "tax/prefetching_memcpy.h"
+
+namespace limoncello {
+
+namespace {
+
+SoftPrefetchConfig ConfigFor(const char* site, std::size_t n) {
+  return SoftPrefetchRuntime::Global().ConfigFor(site, n);
+}
+
+}  // namespace
+
+void* AdaptiveMemcpy(void* dst, const void* src, std::size_t n) {
+  return PrefetchingMemcpy(dst, src, n, ConfigFor("memcpy", n));
+}
+
+void* AdaptiveMemmove(void* dst, const void* src, std::size_t n) {
+  return PrefetchingMemmove(dst, src, n, ConfigFor("memmove", n));
+}
+
+void* AdaptiveMemset(void* dst, int value, std::size_t n) {
+  return PrefetchingMemset(dst, value, n, ConfigFor("memset", n));
+}
+
+std::uint64_t AdaptiveBlockHash64(const void* data, std::size_t n,
+                                  std::uint64_t seed) {
+  return BlockHash64(data, n, seed, ConfigFor("fingerprint2011", n));
+}
+
+std::uint32_t AdaptiveCrc32c(const void* data, std::size_t n) {
+  return Crc32c(data, n, ConfigFor("crc32c", n));
+}
+
+void AdaptiveCompress(std::string_view input, std::string* output) {
+  const BlockCompressor codec(
+      ConfigFor("snappy_compress", input.size()));
+  codec.Compress(input, output);
+}
+
+bool AdaptiveDecompress(std::string_view compressed, std::string* output) {
+  const BlockCompressor codec(
+      ConfigFor("snappy_uncompress", compressed.size()));
+  return codec.Decompress(compressed, output);
+}
+
+}  // namespace limoncello

@@ -1,0 +1,30 @@
+// Adaptive tax-function entry points: the drop-in wrappers applications
+// link against. Each call consults the global SoftPrefetchRuntime, so
+// software prefetching switches on exactly when the Limoncello daemon
+// disables the hardware prefetchers (and off again when they return) —
+// the full hardware/software collaboration loop of the paper.
+#ifndef LIMONCELLO_TAX_ADAPTIVE_H_
+#define LIMONCELLO_TAX_ADAPTIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace limoncello {
+
+void* AdaptiveMemcpy(void* dst, const void* src, std::size_t n);
+void* AdaptiveMemmove(void* dst, const void* src, std::size_t n);
+void* AdaptiveMemset(void* dst, int value, std::size_t n);
+
+std::uint64_t AdaptiveBlockHash64(const void* data, std::size_t n,
+                                  std::uint64_t seed = 0);
+std::uint32_t AdaptiveCrc32c(const void* data, std::size_t n);
+
+// Compression/serialization take their config per call internally.
+void AdaptiveCompress(std::string_view input, std::string* output);
+bool AdaptiveDecompress(std::string_view compressed, std::string* output);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_ADAPTIVE_H_

@@ -1,0 +1,190 @@
+#include "tax/block_compressor.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace limoncello {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1 << 16;
+constexpr int kHashBits = 14;
+
+constexpr std::uint8_t kLiteralTag = 0x00;
+constexpr std::uint8_t kMatchTag = 0x01;
+
+inline std::uint32_t Hash4(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 0x9e3779b1u) >> (32 - kHashBits);
+}
+
+inline void PrefetchAhead(const char* cursor, const char* end,
+                          const SoftPrefetchConfig& config) {
+  const char* target = cursor + config.distance_bytes;
+  for (std::uint32_t off = 0; off < config.degree_bytes;
+       off += kCacheLineBytes) {
+    if (target + off >= end) return;
+    __builtin_prefetch(target + off, 0, 3);
+  }
+}
+
+void EmitLiterals(const char* begin, std::size_t len, std::string* out) {
+  if (len == 0) return;
+  out->push_back(static_cast<char>(kLiteralTag));
+  AppendVarint(len, out);
+  out->append(begin, len);
+}
+
+void EmitMatch(std::size_t offset, std::size_t len, std::string* out) {
+  out->push_back(static_cast<char>(kMatchTag));
+  AppendVarint(offset, out);
+  AppendVarint(len, out);
+}
+
+}  // namespace
+
+void AppendVarint(std::uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+std::size_t ParseVarint(std::string_view in, std::uint64_t* value) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < in.size() && i < 10; ++i) {
+    const auto byte = static_cast<std::uint8_t>(in[i]);
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return i + 1;
+    }
+    shift += 7;
+  }
+  return 0;  // truncated or over-long
+}
+
+std::size_t BlockCompressor::MaxCompressedSize(std::size_t input_size) {
+  // Worst case: one literal run (2 tag+varint overhead per 2^64) plus the
+  // uncompressed-length header; be generous.
+  return input_size + input_size / 128 + 32;
+}
+
+void BlockCompressor::Compress(std::string_view input,
+                               std::string* output) const {
+  output->clear();
+  output->reserve(input.size() / 2 + 32);
+  AppendVarint(input.size(), output);
+  if (input.empty()) return;
+
+  const char* const base = input.data();
+  const char* const end = base + input.size();
+  const bool prefetch = config_.AppliesTo(input.size());
+
+  std::vector<std::int64_t> table(1u << kHashBits, -1);
+  const char* cursor = base;
+  const char* literal_start = base;
+  std::size_t since_prefetch = 0;
+
+  while (cursor + kMinMatch <= end) {
+    if (prefetch && since_prefetch >= config_.degree_bytes) {
+      PrefetchAhead(cursor, end, config_);
+      since_prefetch = 0;
+    }
+    const std::uint32_t h = Hash4(cursor);
+    const std::int64_t candidate = table[h];
+    table[h] = cursor - base;
+    if (candidate >= 0 &&
+        std::memcmp(base + candidate, cursor, kMinMatch) == 0) {
+      // Extend the match forward.
+      const char* match = base + candidate;
+      std::size_t len = kMinMatch;
+      const std::size_t max_len = std::min<std::size_t>(
+          kMaxMatch, static_cast<std::size_t>(end - cursor));
+      while (len < max_len && match[len] == cursor[len]) ++len;
+
+      EmitLiterals(literal_start,
+                   static_cast<std::size_t>(cursor - literal_start),
+                   output);
+      EmitMatch(static_cast<std::size_t>(cursor - match), len, output);
+      // Seed the table sparsely inside the match for future references.
+      for (std::size_t i = 1; i < len && cursor + i + kMinMatch <= end;
+           i += 7) {
+        table[Hash4(cursor + i)] = (cursor + i) - base;
+      }
+      cursor += len;
+      since_prefetch += len;
+      literal_start = cursor;
+    } else {
+      ++cursor;
+      ++since_prefetch;
+    }
+  }
+  EmitLiterals(literal_start, static_cast<std::size_t>(end - literal_start),
+               output);
+}
+
+bool BlockCompressor::Decompress(std::string_view compressed,
+                                 std::string* output) const {
+  output->clear();
+  std::uint64_t uncompressed_size = 0;
+  std::size_t consumed = ParseVarint(compressed, &uncompressed_size);
+  if (consumed == 0) return false;
+  // Refuse absurd sizes (corrupt header) before reserving memory.
+  if (uncompressed_size > (1ULL << 36)) return false;
+  compressed.remove_prefix(consumed);
+  output->reserve(uncompressed_size);
+
+  const bool prefetch = config_.AppliesTo(compressed.size());
+  std::size_t since_prefetch = 0;
+
+  while (!compressed.empty()) {
+    if (prefetch && since_prefetch >= config_.degree_bytes) {
+      PrefetchAhead(compressed.data(),
+                    compressed.data() + compressed.size(), config_);
+      since_prefetch = 0;
+    }
+    const auto tag = static_cast<std::uint8_t>(compressed[0]);
+    compressed.remove_prefix(1);
+    if (tag == kLiteralTag) {
+      std::uint64_t len = 0;
+      consumed = ParseVarint(compressed, &len);
+      if (consumed == 0) return false;
+      compressed.remove_prefix(consumed);
+      if (len > compressed.size()) return false;
+      if (output->size() + len > uncompressed_size) return false;
+      output->append(compressed.data(), len);
+      compressed.remove_prefix(len);
+      since_prefetch += len;
+    } else if (tag == kMatchTag) {
+      std::uint64_t offset = 0;
+      std::uint64_t len = 0;
+      consumed = ParseVarint(compressed, &offset);
+      if (consumed == 0) return false;
+      compressed.remove_prefix(consumed);
+      consumed = ParseVarint(compressed, &len);
+      if (consumed == 0) return false;
+      compressed.remove_prefix(consumed);
+      if (offset == 0 || offset > output->size()) return false;
+      if (output->size() + len > uncompressed_size) return false;
+      // Byte-wise copy: offsets smaller than len self-overlap (RLE).
+      std::size_t src = output->size() - offset;
+      for (std::uint64_t i = 0; i < len; ++i) {
+        output->push_back((*output)[src + i]);
+      }
+      since_prefetch += len;
+    } else {
+      return false;
+    }
+  }
+  return output->size() == uncompressed_size;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,46 @@
+// LZ-class block compressor — the "compression" tax category.
+//
+// A real greedy LZ77 codec (4-byte hash-table match finder, literal/match
+// token stream, varint lengths) in the spirit of Snappy/LZ4: optimized for
+// speed, streaming through input and output buffers — exactly the access
+// shape paper §4.1 calls prefetch-friendly. Both directions optionally
+// prefetch the input stream at the configured distance/degree.
+#ifndef LIMONCELLO_TAX_BLOCK_COMPRESSOR_H_
+#define LIMONCELLO_TAX_BLOCK_COMPRESSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+class BlockCompressor {
+ public:
+  explicit BlockCompressor(
+      const SoftPrefetchConfig& config = SoftPrefetchConfig::Disabled())
+      : config_(config) {}
+
+  // Compresses `input`, appending to *output (cleared first).
+  void Compress(std::string_view input, std::string* output) const;
+
+  // Decompresses; returns false on malformed input (never reads out of
+  // bounds, never writes beyond the encoded uncompressed size).
+  bool Decompress(std::string_view compressed, std::string* output) const;
+
+  // Upper bound on compressed size for buffer sizing.
+  static std::size_t MaxCompressedSize(std::size_t input_size);
+
+ private:
+  SoftPrefetchConfig config_;
+};
+
+// Varint helpers shared with the wire serializer (little-endian base-128).
+void AppendVarint(std::uint64_t value, std::string* out);
+// Returns bytes consumed, 0 on malformed/truncated input.
+std::size_t ParseVarint(std::string_view in, std::uint64_t* value);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_BLOCK_COMPRESSOR_H_

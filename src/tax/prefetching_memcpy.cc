@@ -1,0 +1,114 @@
+#include "tax/prefetching_memcpy.h"
+
+#include <cstring>
+
+#include "util/units.h"
+
+namespace limoncello {
+
+namespace {
+
+// Issues prefetches covering [addr, addr + degree) line by line.
+inline void PrefetchSpan(const char* addr, std::size_t degree,
+                         const char* limit) {
+  for (std::size_t off = 0; off < degree; off += kCacheLineBytes) {
+    const char* p = addr + off;
+    if (p >= limit) break;
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+  }
+}
+
+inline void PrefetchSpanWrite(char* addr, std::size_t degree, char* limit) {
+  for (std::size_t off = 0; off < degree; off += kCacheLineBytes) {
+    char* p = addr + off;
+    if (p >= limit) break;
+    __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+  }
+}
+
+// Forward copy in chunks with periodic source prefetch: every time the
+// cursor crosses a degree boundary, the next `degree` bytes at `distance`
+// ahead are requested.
+void CopyForwardPrefetched(char* dst, const char* src, std::size_t n,
+                           std::size_t distance, std::size_t degree) {
+  const char* const src_end = src + n;
+  std::size_t offset = 0;
+  std::size_t next_prefetch = 0;
+  while (offset < n) {
+    if (offset >= next_prefetch) {
+      PrefetchSpan(src + offset + distance, degree, src_end);
+      next_prefetch = offset + degree;
+    }
+    const std::size_t chunk = std::min<std::size_t>(degree, n - offset);
+    std::memcpy(dst + offset, src + offset, chunk);
+    offset += chunk;
+  }
+}
+
+void CopyBackwardPrefetched(char* dst, const char* src, std::size_t n,
+                            std::size_t distance, std::size_t degree) {
+  std::size_t remaining = n;
+  std::size_t next_prefetch = n;
+  while (remaining > 0) {
+    if (remaining <= next_prefetch) {
+      // Prefetch the span `distance` *behind* the (backward-moving) cursor.
+      const std::size_t ahead =
+          remaining > distance + degree ? remaining - distance - degree : 0;
+      PrefetchSpan(src + ahead, degree, src + n);
+      next_prefetch = remaining > degree ? remaining - degree : 0;
+    }
+    const std::size_t chunk = std::min<std::size_t>(degree, remaining);
+    remaining -= chunk;
+    std::memmove(dst + remaining, src + remaining, chunk);
+  }
+}
+
+}  // namespace
+
+void* PrefetchingMemcpy(void* dst, const void* src, std::size_t n,
+                        const SoftPrefetchConfig& config) {
+  if (!config.AppliesTo(n)) return std::memcpy(dst, src, n);
+  CopyForwardPrefetched(static_cast<char*>(dst),
+                        static_cast<const char*>(src), n,
+                        config.distance_bytes, config.degree_bytes);
+  return dst;
+}
+
+void* PrefetchingMemmove(void* dst, const void* src, std::size_t n,
+                         const SoftPrefetchConfig& config) {
+  if (!config.AppliesTo(n)) return std::memmove(dst, src, n);
+  auto* d = static_cast<char*>(dst);
+  const auto* s = static_cast<const char*>(src);
+  if (d == s || n == 0) return dst;
+  if (d < s || d >= s + n) {
+    CopyForwardPrefetched(d, s, n, config.distance_bytes,
+                          config.degree_bytes);
+  } else {
+    CopyBackwardPrefetched(d, s, n, config.distance_bytes,
+                           config.degree_bytes);
+  }
+  return dst;
+}
+
+void* PrefetchingMemset(void* dst, int value, std::size_t n,
+                        const SoftPrefetchConfig& config) {
+  if (!config.AppliesTo(n)) return std::memset(dst, value, n);
+  auto* d = static_cast<char*>(dst);
+  char* const end = d + n;
+  std::size_t offset = 0;
+  std::size_t next_prefetch = 0;
+  while (offset < n) {
+    if (offset >= next_prefetch) {
+      PrefetchSpanWrite(d + offset + config.distance_bytes,
+                        config.degree_bytes, end);
+      next_prefetch = offset + config.degree_bytes;
+    }
+    const std::size_t chunk =
+        std::min<std::size_t>(config.degree_bytes, n - offset);
+    std::memset(d + offset, value, chunk);
+    offset += chunk;
+  }
+  return dst;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,71 @@
+#include "tax/wire_serializer.h"
+
+#include "tax/block_compressor.h"  // varint helpers
+#include "tax/prefetching_memcpy.h"
+
+namespace limoncello {
+
+namespace {
+
+std::size_t VarintSize(std::uint64_t value) {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+}  // namespace
+
+std::size_t WireSerializer::EncodedSize(const WireMessage& message) {
+  std::size_t total = 0;
+  for (const WireField& field : message) {
+    total += VarintSize(field.field_number);
+    total += VarintSize(field.payload.size());
+    total += field.payload.size();
+  }
+  return total;
+}
+
+void WireSerializer::Serialize(const WireMessage& message,
+                               std::string* out) const {
+  out->clear();
+  out->reserve(EncodedSize(message));
+  for (const WireField& field : message) {
+    AppendVarint(field.field_number, out);
+    AppendVarint(field.payload.size(), out);
+    // Large payload copies go through the prefetching copy path.
+    const std::size_t offset = out->size();
+    out->resize(offset + field.payload.size());
+    PrefetchingMemcpy(out->data() + offset, field.payload.data(),
+                      field.payload.size(), config_);
+  }
+}
+
+bool WireSerializer::Parse(std::string_view data,
+                           WireMessage* message) const {
+  message->clear();
+  while (!data.empty()) {
+    std::uint64_t field_number = 0;
+    std::size_t consumed = ParseVarint(data, &field_number);
+    if (consumed == 0 || field_number > 0xffffffffULL) return false;
+    data.remove_prefix(consumed);
+
+    std::uint64_t length = 0;
+    consumed = ParseVarint(data, &length);
+    if (consumed == 0) return false;
+    data.remove_prefix(consumed);
+    if (length > data.size()) return false;
+
+    WireField field;
+    field.field_number = static_cast<std::uint32_t>(field_number);
+    field.payload.resize(length);
+    PrefetchingMemcpy(field.payload.data(), data.data(), length, config_);
+    data.remove_prefix(length);
+    message->push_back(std::move(field));
+  }
+  return true;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,50 @@
+// Wire serializer — the "data transmission" tax category.
+//
+// A protobuf-flavoured length-delimited format: messages are sequences of
+// (field number, payload) pairs, each encoded as varint key, varint
+// length, raw bytes. Serialization and parsing stream through contiguous
+// buffers, the access shape §4.1 identifies as prefetch-friendly; large
+// payload copies are prefetched per the configured policy.
+#ifndef LIMONCELLO_TAX_WIRE_SERIALIZER_H_
+#define LIMONCELLO_TAX_WIRE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+struct WireField {
+  std::uint32_t field_number = 0;
+  std::string payload;
+
+  bool operator==(const WireField&) const = default;
+};
+
+using WireMessage = std::vector<WireField>;
+
+class WireSerializer {
+ public:
+  explicit WireSerializer(
+      const SoftPrefetchConfig& config = SoftPrefetchConfig::Disabled())
+      : config_(config) {}
+
+  // Appends the encoded message to *out (cleared first).
+  void Serialize(const WireMessage& message, std::string* out) const;
+
+  // Parses an encoded message; false on malformed input.
+  bool Parse(std::string_view data, WireMessage* message) const;
+
+  // Encoded size without producing the bytes (for buffer sizing).
+  static std::size_t EncodedSize(const WireMessage& message);
+
+ private:
+  SoftPrefetchConfig config_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_WIRE_SERIALIZER_H_

@@ -1,0 +1,55 @@
+#include "telemetry/telemetry.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+PmuSampler::PmuSampler(const Socket* socket) : socket_(socket) {
+  LIMONCELLO_CHECK(socket != nullptr);
+  last_ = socket->counters();
+  last_time_ = socket->now();
+}
+
+PmuDelta PmuSampler::Sample() {
+  const PmuCounters& now = socket_->counters();
+  PmuDelta delta;
+  delta.interval_ns = socket_->now() - last_time_;
+  delta.instructions = now.instructions - last_.instructions;
+  delta.core_cycles = now.core_cycles - last_.core_cycles;
+  delta.llc_demand_misses =
+      now.llc_demand_misses - last_.llc_demand_misses;
+  delta.dram_bytes = now.DramTotalBytes() - last_.DramTotalBytes();
+  delta.dram_demand_bytes =
+      now.dram_bytes[static_cast<int>(TrafficClass::kDemand)] -
+      last_.dram_bytes[static_cast<int>(TrafficClass::kDemand)];
+  delta.dram_prefetch_bytes =
+      (now.dram_bytes[static_cast<int>(TrafficClass::kHwPrefetch)] -
+       last_.dram_bytes[static_cast<int>(TrafficClass::kHwPrefetch)]) +
+      (now.dram_bytes[static_cast<int>(TrafficClass::kSwPrefetch)] -
+       last_.dram_bytes[static_cast<int>(TrafficClass::kSwPrefetch)]);
+  delta.dram_requests = now.dram_requests - last_.dram_requests;
+  delta.dram_latency_ns_sum =
+      now.dram_latency_ns_sum - last_.dram_latency_ns_sum;
+  last_ = now;
+  last_time_ = socket_->now();
+  return delta;
+}
+
+SocketUtilizationSource::SocketUtilizationSource(Socket* socket,
+                                                 double saturation_gbps)
+    : socket_(socket),
+      saturation_gbps_(saturation_gbps > 0.0
+                           ? saturation_gbps
+                           : socket->memory().config().peak_gbps),
+      sampler_(socket) {
+  LIMONCELLO_CHECK_GT(saturation_gbps_, 0.0);
+}
+
+std::optional<double> SocketUtilizationSource::SampleUtilization() {
+  const PmuDelta delta = sampler_.Sample();
+  if (failed_) return std::nullopt;
+  if (delta.interval_ns <= 0) return std::nullopt;
+  return delta.BandwidthGBps() / saturation_gbps_;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,98 @@
+// Socket-level telemetry: the 1 Hz bandwidth signal Hard Limoncello
+// consumes (paper §3, "Telemetry").
+//
+// In production this is `perf` reading uncore counters; here it is a PMU
+// snapshot/delta over the simulated socket's counters. The controller only
+// depends on the UtilizationSource interface, so tests can inject scripted
+// or faulty signals.
+#ifndef LIMONCELLO_TELEMETRY_TELEMETRY_H_
+#define LIMONCELLO_TELEMETRY_TELEMETRY_H_
+
+#include <optional>
+
+#include "sim/machine/socket.h"
+#include "util/units.h"
+
+namespace limoncello {
+
+// Produces the fraction-of-saturation memory bandwidth utilization for one
+// socket, sampled once per controller tick. nullopt models telemetry
+// failure (perf hiccup, counter wrap) — consumers must fail safe.
+class UtilizationSource {
+ public:
+  virtual ~UtilizationSource() = default;
+  virtual std::optional<double> SampleUtilization() = 0;
+};
+
+// Delta between two PMU snapshots over a wall-clock interval.
+struct PmuDelta {
+  SimTimeNs interval_ns = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t core_cycles = 0;
+  std::uint64_t llc_demand_misses = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t dram_demand_bytes = 0;
+  std::uint64_t dram_prefetch_bytes = 0;  // hw + sw prefetch
+  std::uint64_t dram_requests = 0;
+  double dram_latency_ns_sum = 0.0;
+
+  double BandwidthGBps() const {
+    return interval_ns > 0 ? static_cast<double>(dram_bytes) /
+                                 static_cast<double>(interval_ns)
+                           : 0.0;
+  }
+  double AvgLatencyNs() const {
+    return dram_requests
+               ? dram_latency_ns_sum / static_cast<double>(dram_requests)
+               : 0.0;
+  }
+  double Ipc() const {
+    return core_cycles ? static_cast<double>(instructions) /
+                             static_cast<double>(core_cycles)
+                       : 0.0;
+  }
+  double LlcMpki() const {
+    return instructions ? 1000.0 * static_cast<double>(llc_demand_misses) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+};
+
+// Differencing sampler over a socket's cumulative PMU counters.
+class PmuSampler {
+ public:
+  explicit PmuSampler(const Socket* socket);
+
+  // Computes the delta since the previous Sample() (or construction).
+  PmuDelta Sample();
+
+ private:
+  const Socket* socket_;
+  PmuCounters last_{};
+  SimTimeNs last_time_ = 0;
+};
+
+// UtilizationSource reading a simulated socket: bandwidth over the last
+// sampling interval divided by the platform's saturation bandwidth.
+class SocketUtilizationSource : public UtilizationSource {
+ public:
+  // saturation_gbps: the machine-qualification saturation threshold;
+  // defaults to the socket's configured peak bandwidth.
+  explicit SocketUtilizationSource(Socket* socket,
+                                   double saturation_gbps = 0.0);
+
+  std::optional<double> SampleUtilization() override;
+
+  // Failure injection for daemon fail-safe tests.
+  void set_failed(bool failed) { failed_ = failed; }
+
+ private:
+  Socket* socket_;
+  double saturation_gbps_;
+  PmuSampler sampler_;
+  bool failed_ = false;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TELEMETRY_TELEMETRY_H_

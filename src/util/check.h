@@ -1,0 +1,47 @@
+// Fatal assertion macros.
+//
+// LIMONCELLO_CHECK is active in all build modes: the invariants it guards
+// (controller state-machine consistency, simulator accounting) are cheap
+// relative to simulation work, and silent corruption of a simulation is far
+// worse than an abort. LIMONCELLO_DCHECK compiles out in NDEBUG builds and
+// is for hot-path checks.
+#ifndef LIMONCELLO_UTIL_CHECK_H_
+#define LIMONCELLO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace limoncello::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace limoncello::internal
+
+#define LIMONCELLO_CHECK(expr)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::limoncello::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                 \
+  } while (false)
+
+#define LIMONCELLO_CHECK_OP(op, a, b) LIMONCELLO_CHECK((a)op(b))
+#define LIMONCELLO_CHECK_EQ(a, b) LIMONCELLO_CHECK_OP(==, a, b)
+#define LIMONCELLO_CHECK_NE(a, b) LIMONCELLO_CHECK_OP(!=, a, b)
+#define LIMONCELLO_CHECK_LT(a, b) LIMONCELLO_CHECK_OP(<, a, b)
+#define LIMONCELLO_CHECK_LE(a, b) LIMONCELLO_CHECK_OP(<=, a, b)
+#define LIMONCELLO_CHECK_GT(a, b) LIMONCELLO_CHECK_OP(>, a, b)
+#define LIMONCELLO_CHECK_GE(a, b) LIMONCELLO_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define LIMONCELLO_DCHECK(expr) \
+  do {                          \
+  } while (false)
+#else
+#define LIMONCELLO_DCHECK(expr) LIMONCELLO_CHECK(expr)
+#endif
+
+#endif  // LIMONCELLO_UTIL_CHECK_H_

@@ -1,0 +1,95 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace limoncello {
+
+FlagParser& FlagParser::Define(const std::string& name,
+                               const std::string& help) {
+  defined_[name] = help;
+  return *this;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  values_.clear();
+  positional_.clear();
+  error_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    if (defined_.find(name) == defined_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    if (!has_value) {
+      // --name value form, unless the next token is another flag (then
+      // treat as a bare boolean).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::optional<std::string> FlagParser::GetString(
+    const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> FlagParser::GetInt(
+    const std::string& name) const {
+  const auto s = GetString(name);
+  if (!s.has_value()) return std::nullopt;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> FlagParser::GetDouble(const std::string& name) const {
+  const auto s = GetString(name);
+  if (!s.has_value()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<bool> FlagParser::GetBool(const std::string& name) const {
+  const auto s = GetString(name);
+  if (!s.has_value()) return std::nullopt;
+  if (*s == "true" || *s == "1" || *s == "yes") return true;
+  if (*s == "false" || *s == "0" || *s == "no") return false;
+  return std::nullopt;
+}
+
+std::string FlagParser::Help(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, help] : defined_) {
+    out << "  --" << name << "\n      " << help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace limoncello

@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the tool binaries.
+//
+// Supports --name=value and --name value forms, plus bare --bool-flag.
+// Unknown flags are errors (a daemon must not silently ignore a typo'd
+// configuration knob). Positional arguments are collected in order.
+#ifndef LIMONCELLO_UTIL_FLAGS_H_
+#define LIMONCELLO_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace limoncello {
+
+class FlagParser {
+ public:
+  // Registers a flag with a help string; returns *this for chaining.
+  FlagParser& Define(const std::string& name, const std::string& help);
+
+  // Parses argv. Returns false (and sets error()) on unknown flags or
+  // malformed input.
+  bool Parse(int argc, const char* const* argv);
+
+  // Accessors return nullopt when the flag was not supplied.
+  std::optional<std::string> GetString(const std::string& name) const;
+  std::optional<std::int64_t> GetInt(const std::string& name) const;
+  std::optional<double> GetDouble(const std::string& name) const;
+  // A bare --flag (no value) reads as true; --flag=false/0/no as false.
+  std::optional<bool> GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  // Formatted help text listing all defined flags.
+  std::string Help(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> defined_;  // name -> help
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_FLAGS_H_

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace limoncello {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+LogSink* g_sink = nullptr;  // function-local static pointer pattern
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogSink(LogSink sink) {
+  static LogSink storage;
+  if (sink) {
+    storage = std::move(sink);
+    g_sink = &storage;
+  } else {
+    g_sink = nullptr;
+  }
+}
+
+void Logf(LogLevel level, const char* format, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  char buffer[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (g_sink != nullptr) {
+    (*g_sink)(level, buffer);
+  } else {
+    DefaultSink(level, buffer);
+  }
+}
+
+}  // namespace limoncello

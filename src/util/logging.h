@@ -1,0 +1,46 @@
+// Leveled logging for the daemon and tools.
+//
+// Deliberately tiny: a global level, timestamped lines to stderr, and a
+// pluggable sink for tests. The library itself stays silent below kWarn
+// so embedding applications control their own output.
+#ifndef LIMONCELLO_UTIL_LOGGING_H_
+#define LIMONCELLO_UTIL_LOGGING_H_
+
+#include <functional>
+#include <string>
+
+namespace limoncello {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Global minimum level (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Replaces the output sink (default: stderr). Pass nullptr to restore.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+// printf-style logging; drops messages below the global level.
+void Logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define LIMONCELLO_LOG_DEBUG(...) \
+  ::limoncello::Logf(::limoncello::LogLevel::kDebug, __VA_ARGS__)
+#define LIMONCELLO_LOG_INFO(...) \
+  ::limoncello::Logf(::limoncello::LogLevel::kInfo, __VA_ARGS__)
+#define LIMONCELLO_LOG_WARN(...) \
+  ::limoncello::Logf(::limoncello::LogLevel::kWarn, __VA_ARGS__)
+#define LIMONCELLO_LOG_ERROR(...) \
+  ::limoncello::Logf(::limoncello::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_LOGGING_H_

@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so that simulations and benchmarks reproduce bit-for-bit. The core
+// generator is xoshiro256**, seeded via SplitMix64 per Blackman & Vigna's
+// recommendation.
+#ifndef LIMONCELLO_UTIL_RNG_H_
+#define LIMONCELLO_UTIL_RNG_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** with convenience distributions. Copyable: forking an Rng by
+// copy is an explicit, visible operation at the call site.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Uniform over all 64-bit values.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero. Uses rejection sampling
+  // to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    LIMONCELLO_DCHECK(bound != 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    LIMONCELLO_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(NextBounded(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller (one value per call; the spare is kept).
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  // Lognormal: exp(N(mu, sigma)). Used for memcpy call-size modeling
+  // (paper Fig. 14: small body, heavy tail).
+  double NextLognormal(double mu, double sigma) {
+    return std::exp(NextGaussian(mu, sigma));
+  }
+
+  // Exponential with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  // Pareto (heavy tail) with scale xm and shape alpha.
+  double NextPareto(double xm, double alpha) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  // Forks an independent stream: deterministic function of current state
+  // and the label, without disturbing this generator's sequence.
+  Rng Fork(std::uint64_t label) const {
+    std::uint64_t s = state_[0] ^ Rotl(state_[3], 13) ^ label;
+    return Rng(SplitMix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_RNG_H_

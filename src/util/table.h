@@ -1,0 +1,41 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every bench binary reproduces a paper table/figure by printing rows; this
+// helper keeps the output format uniform (aligned columns to stdout, and
+// optional CSV for downstream plotting).
+#ifndef LIMONCELLO_UTIL_TABLE_H_
+#define LIMONCELLO_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace limoncello {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; the cell count must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+  static std::string Num(std::int64_t value);
+
+  // Renders with aligned columns, ready for stdout.
+  std::string ToAligned() const;
+
+  // Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
+  std::string ToCsv() const;
+
+  // Prints the aligned form to stdout with a title line.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_TABLE_H_

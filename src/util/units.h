@@ -1,0 +1,40 @@
+// Common units and strong-ish typedefs used across the library.
+#ifndef LIMONCELLO_UTIL_UNITS_H_
+#define LIMONCELLO_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace limoncello {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+// All simulated caches and memory operate on 64-byte lines.
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+inline constexpr int kCacheLineShift = 6;
+
+// Simulated time is kept in nanoseconds.
+using SimTimeNs = std::int64_t;
+inline constexpr SimTimeNs kNsPerUs = 1000;
+inline constexpr SimTimeNs kNsPerMs = 1000 * kNsPerUs;
+inline constexpr SimTimeNs kNsPerSec = 1000 * kNsPerMs;
+
+// Physical-ish addresses in the simulator.
+using Addr = std::uint64_t;
+
+inline constexpr Addr LineAddr(Addr byte_addr) {
+  return byte_addr >> kCacheLineShift;
+}
+inline constexpr Addr LineBase(Addr byte_addr) {
+  return byte_addr & ~(kCacheLineBytes - 1);
+}
+
+// Converts bytes transferred over a nanosecond interval to GB/s (decimal).
+inline constexpr double BytesPerNsToGBps(double bytes, double ns) {
+  return ns > 0 ? bytes / ns : 0.0;  // bytes/ns == GB/s
+}
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_UNITS_H_

@@ -1,0 +1,47 @@
+// Memory-access records: the interface between workload generators and the
+// machine simulator.
+#ifndef LIMONCELLO_WORKLOADS_ACCESS_H_
+#define LIMONCELLO_WORKLOADS_ACCESS_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace limoncello {
+
+enum class MemOp : std::uint8_t {
+  kLoad,
+  kStore,
+  // An explicit software-prefetch instruction (PREFETCHT0-like): brings the
+  // line toward the core but never blocks it.
+  kSoftwarePrefetch,
+};
+
+// Identifies the function a memory access is attributed to; indexes the
+// FunctionCatalog. Profilers aggregate cycles/misses by FunctionId.
+using FunctionId = std::uint16_t;
+inline constexpr FunctionId kInvalidFunctionId = 0xffff;
+
+struct MemRef {
+  Addr addr = 0;                // byte address
+  std::uint32_t size = kCacheLineBytes;  // bytes touched (may span lines)
+  MemOp op = MemOp::kLoad;
+  FunctionId function = kInvalidFunctionId;
+  // Instructions retired between the previous access and this one
+  // (compute gap); drives the non-memory CPI component.
+  std::uint16_t gap_instructions = 1;
+};
+
+// Pull-based access stream. Generators are deterministic given their seed.
+class AccessGenerator {
+ public:
+  virtual ~AccessGenerator() = default;
+
+  // Produces the next access. Returns false when the stream is exhausted
+  // (finite traces); infinite generators always return true.
+  virtual bool Next(MemRef* out) = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_WORKLOADS_ACCESS_H_

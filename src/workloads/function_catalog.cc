@@ -1,0 +1,167 @@
+#include "workloads/function_catalog.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+const char* FunctionCategoryName(FunctionCategory category) {
+  switch (category) {
+    case FunctionCategory::kCompression:
+      return "compression";
+    case FunctionCategory::kDataTransmission:
+      return "data_transmission";
+    case FunctionCategory::kHashing:
+      return "hashing";
+    case FunctionCategory::kDataMovement:
+      return "data_movement";
+    case FunctionCategory::kNonTax:
+      return "non_dc_tax";
+  }
+  return "unknown";
+}
+
+bool IsTaxCategory(FunctionCategory category) {
+  return category != FunctionCategory::kNonTax;
+}
+
+FunctionId FunctionCatalog::Add(FunctionSpec spec) {
+  LIMONCELLO_CHECK_LT(specs_.size(), kInvalidFunctionId);
+  specs_.push_back(std::move(spec));
+  return static_cast<FunctionId>(specs_.size() - 1);
+}
+
+const FunctionSpec& FunctionCatalog::spec(FunctionId id) const {
+  LIMONCELLO_CHECK_LT(id, specs_.size());
+  return specs_[id];
+}
+
+std::vector<FunctionId> FunctionCatalog::InCategory(
+    FunctionCategory category) const {
+  std::vector<FunctionId> ids;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].category == category) {
+      ids.push_back(static_cast<FunctionId>(i));
+    }
+  }
+  return ids;
+}
+
+std::unique_ptr<AccessGenerator> FunctionCatalog::MakeGenerator(
+    FunctionId id, Rng rng) const {
+  const FunctionSpec& s = spec(id);
+  switch (s.pattern) {
+    case AccessPattern::kSequentialStream: {
+      SequentialStreamGenerator::Options o;
+      o.working_set_bytes = s.working_set_bytes;
+      o.mean_stream_bytes = s.mean_stream_bytes;
+      o.stream_sigma = s.stream_sigma;
+      o.store_fraction = s.store_fraction;
+      o.gap_instructions_mean = s.gap_instructions_mean;
+      o.function = id;
+      return std::make_unique<SequentialStreamGenerator>(o, rng);
+    }
+    case AccessPattern::kStrided: {
+      StridedGenerator::Options o;
+      o.working_set_bytes = s.working_set_bytes;
+      o.stride_lines = s.stride_lines;
+      o.gap_instructions_mean = s.gap_instructions_mean;
+      o.function = id;
+      return std::make_unique<StridedGenerator>(o, rng);
+    }
+    case AccessPattern::kRandom: {
+      RandomAccessGenerator::Options o;
+      o.working_set_bytes = s.working_set_bytes;
+      o.store_fraction = s.store_fraction;
+      o.gap_instructions_mean = s.gap_instructions_mean;
+      o.function = id;
+      return std::make_unique<RandomAccessGenerator>(o, rng);
+    }
+  }
+  LIMONCELLO_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<AccessGenerator> FunctionCatalog::MakeFleetMix(Rng rng) const {
+  LIMONCELLO_CHECK(!specs_.empty());
+  std::vector<MixGenerator::Element> elements;
+  elements.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    MixGenerator::Element e;
+    e.generator =
+        MakeGenerator(static_cast<FunctionId>(i), rng.Fork(0x1000 + i));
+    e.weight = specs_[i].fleet_cycle_weight;
+    e.burst_length = 96;
+    elements.push_back(std::move(e));
+  }
+  return std::make_unique<MixGenerator>(std::move(elements),
+                                        rng.Fork(0xfeed));
+}
+
+FunctionCatalog FunctionCatalog::FleetDefault() {
+  FunctionCatalog catalog;
+  auto add = [&](const char* name, FunctionCategory cat, AccessPattern pat,
+                 double stream_bytes, double store_frac, int stride,
+                 std::uint64_t ws, double gap, double weight) {
+    FunctionSpec s;
+    s.name = name;
+    s.category = cat;
+    s.pattern = pat;
+    s.mean_stream_bytes = stream_bytes;
+    s.store_fraction = store_frac;
+    s.stride_lines = stride;
+    s.working_set_bytes = ws;
+    s.gap_instructions_mean = gap;
+    s.fleet_cycle_weight = weight;
+    catalog.Add(std::move(s));
+  };
+
+  using FC = FunctionCategory;
+  using AP = AccessPattern;
+
+  // --- Data-center tax: long-ish sequential streams, memory-latency bound
+  // (low compute gap), highly prefetch-friendly. Weights loosely follow the
+  // paper's observation that tax ops are 30-40 % of fleet cycles.
+  // Data movement.
+  add("memcpy", FC::kDataMovement, AP::kSequentialStream, 12 * 1024, 1.0, 1,
+      96 * kMiB, 2.0, 7.0);
+  add("memmove", FC::kDataMovement, AP::kSequentialStream, 6 * 1024, 1.0, 1,
+      64 * kMiB, 2.0, 2.5);
+  add("memset", FC::kDataMovement, AP::kSequentialStream, 8 * 1024, 1.0, 1,
+      64 * kMiB, 1.5, 2.0);
+  // Compression (block codecs stream through input and output buffers).
+  add("snappy_compress", FC::kCompression, AP::kSequentialStream, 16 * 1024,
+      0.5, 1, 64 * kMiB, 3.0, 4.0);
+  add("snappy_uncompress", FC::kCompression, AP::kSequentialStream, 24 * 1024,
+      0.7, 1, 64 * kMiB, 2.5, 4.0);
+  add("zlib_inflate", FC::kCompression, AP::kSequentialStream, 10 * 1024, 0.5,
+      1, 48 * kMiB, 4.0, 2.0);
+  // Hashing (block-sequenced data processing).
+  add("crc32c", FC::kHashing, AP::kSequentialStream, 8 * 1024, 0.0, 1,
+      64 * kMiB, 2.0, 2.5);
+  add("fingerprint2011", FC::kHashing, AP::kSequentialStream, 4 * 1024, 0.0,
+      1, 48 * kMiB, 3.0, 2.0);
+  // Data transmission (RPC serialize/deserialize: predictable copies).
+  add("proto_serialize", FC::kDataTransmission, AP::kSequentialStream,
+      3 * 1024, 0.8, 1, 48 * kMiB, 5.0, 4.5);
+  add("proto_parse", FC::kDataTransmission, AP::kSequentialStream, 3 * 1024,
+      0.4, 1, 48 * kMiB, 5.0, 4.5);
+
+  // --- Non-tax: scattered access over large working sets; hardware
+  // prefetchers guess poorly here and mostly add pollution + traffic.
+  add("btree_lookup", FC::kNonTax, AP::kRandom, 0, 0.05, 1, 512 * kMiB, 10.0,
+      12.0);
+  add("hashtable_probe", FC::kNonTax, AP::kRandom, 0, 0.15, 1, 384 * kMiB,
+      8.0, 10.0);
+  add("tcmalloc_alloc", FC::kNonTax, AP::kRandom, 0, 0.5, 1, 128 * kMiB, 9.0,
+      7.0);
+  add("graph_walk", FC::kNonTax, AP::kRandom, 0, 0.02, 1, 768 * kMiB, 6.0,
+      9.0);
+  add("columnar_scan", FC::kNonTax, AP::kStrided, 0, 0.0, 7, 256 * kMiB, 5.0,
+      6.0);
+  add("leaf_compute", FC::kNonTax, AP::kRandom, 0, 0.1, 1, 8 * kMiB, 30.0,
+      11.0);
+
+  return catalog;
+}
+
+}  // namespace limoncello

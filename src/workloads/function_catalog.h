@@ -1,0 +1,86 @@
+// Catalog of hot fleet functions and their access-pattern archetypes.
+//
+// Paper §4.1 identifies four data-center-tax categories (compression, data
+// transmission, hashing, data movement) as prefetch-friendly, and finds
+// that many non-tax functions *improve* when hardware prefetchers are
+// disabled. The catalog encodes each hot function's access-pattern
+// parameters; prefetch friendliness is an emergent property of the pattern
+// (long sequential streams benefit from prefetching, scattered/random
+// access suffers from the pollution and bandwidth waste).
+#ifndef LIMONCELLO_WORKLOADS_FUNCTION_CATALOG_H_
+#define LIMONCELLO_WORKLOADS_FUNCTION_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workloads/access.h"
+#include "workloads/generators.h"
+
+namespace limoncello {
+
+enum class FunctionCategory {
+  kCompression,
+  kDataTransmission,
+  kHashing,
+  kDataMovement,
+  kNonTax,
+};
+
+const char* FunctionCategoryName(FunctionCategory category);
+bool IsTaxCategory(FunctionCategory category);
+
+enum class AccessPattern {
+  kSequentialStream,  // long forward streams
+  kStrided,           // fixed non-unit stride
+  kRandom,            // uniform random over a working set
+};
+
+struct FunctionSpec {
+  std::string name;
+  FunctionCategory category = FunctionCategory::kNonTax;
+  AccessPattern pattern = AccessPattern::kSequentialStream;
+
+  // Pattern parameters (interpretation depends on `pattern`).
+  double mean_stream_bytes = 8 * 1024;
+  double stream_sigma = 0.8;
+  double store_fraction = 0.0;
+  int stride_lines = 1;
+  std::uint64_t working_set_bytes = 64 * kMiB;
+  double gap_instructions_mean = 4.0;
+
+  // Fraction of fleet cycles attributed to this function (relative weight).
+  double fleet_cycle_weight = 1.0;
+};
+
+class FunctionCatalog {
+ public:
+  // The default hot-function population used throughout the evaluation:
+  // ten data-center-tax functions spanning the four categories plus six
+  // non-tax functions with prefetch-hostile patterns.
+  static FunctionCatalog FleetDefault();
+
+  FunctionId Add(FunctionSpec spec);
+
+  const FunctionSpec& spec(FunctionId id) const;
+  std::size_t size() const { return specs_.size(); }
+
+  // All function ids in a category.
+  std::vector<FunctionId> InCategory(FunctionCategory category) const;
+
+  // Builds the trace generator realizing a function's pattern.
+  std::unique_ptr<AccessGenerator> MakeGenerator(FunctionId id,
+                                                 Rng rng) const;
+
+  // Builds a weighted mix over every catalog function (weights =
+  // fleet_cycle_weight), modelling a machine running hundreds of services.
+  std::unique_ptr<AccessGenerator> MakeFleetMix(Rng rng) const;
+
+ private:
+  std::vector<FunctionSpec> specs_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_WORKLOADS_FUNCTION_CATALOG_H_

@@ -1,0 +1,256 @@
+#include "workloads/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+// Draws a compute-gap instruction count around the configured mean.
+std::uint16_t DrawGap(Rng& rng, double mean) {
+  const double g = rng.NextExponential(std::max(0.5, mean));
+  return static_cast<std::uint16_t>(std::clamp(g, 1.0, 255.0));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SequentialStreamGenerator
+
+SequentialStreamGenerator::SequentialStreamGenerator(const Options& options,
+                                                     Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GE(options_.working_set_bytes, 4 * kCacheLineBytes);
+  LIMONCELLO_CHECK_GE(options_.store_fraction, 0.0);
+  LIMONCELLO_CHECK_LE(options_.store_fraction, 1.0);
+  StartNewStream();
+}
+
+void SequentialStreamGenerator::StartNewStream() {
+  const double mu = std::log(options_.mean_stream_bytes) -
+                    0.5 * options_.stream_sigma * options_.stream_sigma;
+  double bytes = rng_.NextLognormal(mu, options_.stream_sigma);
+  bytes = std::clamp(bytes, static_cast<double>(options_.min_stream_bytes),
+                     static_cast<double>(options_.working_set_bytes / 2));
+  remaining_lines_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(bytes) / kCacheLineBytes);
+  const std::uint64_t ws_lines = options_.working_set_bytes / kCacheLineBytes;
+  src_cursor_ = rng_.NextBounded(ws_lines) * kCacheLineBytes;
+  dst_cursor_ = rng_.NextBounded(ws_lines) * kCacheLineBytes +
+                options_.working_set_bytes;  // disjoint region
+  emit_store_next_ = false;
+}
+
+bool SequentialStreamGenerator::Next(MemRef* out) {
+  if (emit_store_next_) {
+    emit_store_next_ = false;
+    out->addr = dst_cursor_;
+    out->size = kCacheLineBytes;
+    out->op = MemOp::kStore;
+    out->function = options_.function;
+    out->gap_instructions = 1;
+    dst_cursor_ += kCacheLineBytes;
+    return true;
+  }
+  if (remaining_lines_ == 0) StartNewStream();
+  out->addr = src_cursor_;
+  out->size = kCacheLineBytes;
+  out->op = MemOp::kLoad;
+  out->function = options_.function;
+  out->gap_instructions = DrawGap(rng_, options_.gap_instructions_mean);
+  src_cursor_ += kCacheLineBytes;
+  --remaining_lines_;
+  if (options_.store_fraction > 0.0 &&
+      rng_.NextBernoulli(options_.store_fraction)) {
+    emit_store_next_ = true;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// StridedGenerator
+
+StridedGenerator::StridedGenerator(const Options& options, Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GT(options_.stride_lines, 0);
+  LIMONCELLO_CHECK_GE(options_.working_set_bytes,
+                      static_cast<std::uint64_t>(options_.stride_lines) *
+                          kCacheLineBytes * 4);
+  cursor_ = rng_.NextBounded(options_.working_set_bytes / kCacheLineBytes) *
+            kCacheLineBytes;
+}
+
+bool StridedGenerator::Next(MemRef* out) {
+  out->addr = cursor_;
+  out->size = kCacheLineBytes;
+  out->op = MemOp::kLoad;
+  out->function = options_.function;
+  out->gap_instructions = DrawGap(rng_, options_.gap_instructions_mean);
+  cursor_ += static_cast<Addr>(options_.stride_lines) * kCacheLineBytes;
+  if (cursor_ >= options_.working_set_bytes) {
+    cursor_ %= kCacheLineBytes * static_cast<Addr>(options_.stride_lines);
+    cursor_ += kCacheLineBytes;  // rotate start to touch other lines
+    cursor_ %= options_.working_set_bytes;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RandomAccessGenerator
+
+RandomAccessGenerator::RandomAccessGenerator(const Options& options, Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GE(options_.working_set_bytes, 4 * kCacheLineBytes);
+}
+
+bool RandomAccessGenerator::Next(MemRef* out) {
+  const std::uint64_t ws_lines = options_.working_set_bytes / kCacheLineBytes;
+  out->addr = rng_.NextBounded(ws_lines) * kCacheLineBytes;
+  out->size = kCacheLineBytes;
+  out->op = rng_.NextBernoulli(options_.store_fraction) ? MemOp::kStore
+                                                        : MemOp::kLoad;
+  out->function = options_.function;
+  out->gap_instructions = DrawGap(rng_, options_.gap_instructions_mean);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MemcpyTraceGenerator
+
+MemcpyTraceGenerator::MemcpyTraceGenerator(const Options& options)
+    : options_(options) {
+  total_lines_ = (options_.bytes + kCacheLineBytes - 1) / kCacheLineBytes;
+  sw_prefetch_active_ = options_.sw_prefetch_distance_bytes > 0 &&
+                        options_.sw_prefetch_degree_bytes > 0 &&
+                        options_.bytes >= options_.sw_prefetch_min_size_bytes;
+  next_prefetch_addr_ = LineBase(options_.src);
+  next_dst_prefetch_addr_ = LineBase(options_.dst);
+  phase_ = 0;
+}
+
+bool MemcpyTraceGenerator::Next(MemRef* out) {
+  if (line_index_ >= total_lines_) return false;
+  const Addr src_line = LineBase(options_.src) + line_index_ * kCacheLineBytes;
+  const Addr dst_line = LineBase(options_.dst) + line_index_ * kCacheLineBytes;
+  const Addr src_end = LineBase(options_.src) + total_lines_ * kCacheLineBytes;
+
+  if (phase_ == 0) {
+    phase_ = 1;
+    if (sw_prefetch_active_) {
+      // Keep the prefetch cursor `distance` ahead of the load cursor; each
+      // emitted prefetch covers `degree` bytes rounded to one line here —
+      // multi-line degrees emit on consecutive calls until caught up.
+      const Addr target = src_line + options_.sw_prefetch_distance_bytes +
+                          options_.sw_prefetch_degree_bytes;
+      if (next_prefetch_addr_ < std::min(target, src_end)) {
+        out->addr = next_prefetch_addr_;
+        out->size = kCacheLineBytes;
+        out->op = MemOp::kSoftwarePrefetch;
+        out->function = options_.function;
+        out->gap_instructions = 1;
+        next_prefetch_addr_ += kCacheLineBytes;
+        phase_ = 0;  // keep issuing prefetches until the window is full
+        return true;
+      }
+      if (options_.sw_prefetch_dst) {
+        const Addr dst_end =
+            LineBase(options_.dst) + total_lines_ * kCacheLineBytes;
+        const Addr dst_target = dst_line +
+                                options_.sw_prefetch_distance_bytes +
+                                options_.sw_prefetch_degree_bytes;
+        if (next_dst_prefetch_addr_ < std::min(dst_target, dst_end)) {
+          out->addr = next_dst_prefetch_addr_;
+          out->size = kCacheLineBytes;
+          out->op = MemOp::kSoftwarePrefetch;
+          out->function = options_.function;
+          out->gap_instructions = 1;
+          next_dst_prefetch_addr_ += kCacheLineBytes;
+          phase_ = 0;
+          return true;
+        }
+      }
+    }
+  }
+  if (phase_ == 1) {
+    phase_ = 2;
+    out->addr = src_line;
+    out->size = kCacheLineBytes;
+    out->op = MemOp::kLoad;
+    out->function = options_.function;
+    out->gap_instructions = 2;
+    return true;
+  }
+  // phase_ == 2: store, then advance to the next line.
+  phase_ = 0;
+  out->addr = dst_line;
+  out->size = kCacheLineBytes;
+  out->op = MemOp::kStore;
+  out->function = options_.function;
+  out->gap_instructions = 2;
+  ++line_index_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MixGenerator
+
+MixGenerator::MixGenerator(std::vector<Element> elements, Rng rng)
+    : elements_(std::move(elements)), rng_(rng) {
+  LIMONCELLO_CHECK(!elements_.empty());
+  for (const Element& e : elements_) {
+    LIMONCELLO_CHECK(e.generator != nullptr);
+    LIMONCELLO_CHECK_GT(e.weight, 0.0);
+    LIMONCELLO_CHECK_GT(e.burst_length, 0u);
+    total_weight_ += e.weight;
+  }
+  PickElement();
+}
+
+void MixGenerator::PickElement() {
+  double r = rng_.NextDouble() * total_weight_;
+  current_ = elements_.size() - 1;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    r -= elements_[i].weight;
+    if (r <= 0.0) {
+      current_ = i;
+      break;
+    }
+  }
+  remaining_in_burst_ = elements_[current_].burst_length;
+}
+
+bool MixGenerator::Next(MemRef* out) {
+  for (std::size_t attempts = 0; attempts <= elements_.size(); ++attempts) {
+    if (remaining_in_burst_ == 0) PickElement();
+    if (elements_[current_].generator->Next(out)) {
+      --remaining_in_burst_;
+      return true;
+    }
+    // Child exhausted (finite trace): drop it from rotation.
+    total_weight_ -= elements_[current_].weight;
+    elements_.erase(elements_.begin() +
+                    static_cast<std::ptrdiff_t>(current_));
+    if (elements_.empty()) return false;
+    remaining_in_burst_ = 0;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// MemcpySizeDistribution
+
+std::uint64_t MemcpySizeDistribution::Sample(Rng& rng) const {
+  double bytes;
+  if (rng.NextBernoulli(options_.tail_probability)) {
+    bytes = rng.NextPareto(options_.tail_scale_bytes, options_.tail_alpha);
+  } else {
+    bytes = rng.NextLognormal(options_.body_log_mean, options_.body_log_sigma);
+  }
+  bytes = std::clamp(bytes, 1.0, static_cast<double>(options_.max_bytes));
+  return static_cast<std::uint64_t>(bytes);
+}
+
+}  // namespace limoncello

@@ -1,0 +1,177 @@
+// Synthetic memory-access trace generators.
+//
+// These model the access-pattern archetypes the paper's function-level
+// profiling distinguishes: long sequential streams (data-center tax:
+// memcpy, compression, hashing over blocks), short scattered streams,
+// strided walks, and cache-unfriendly random/pointer-chasing access (the
+// functions that *improve* when hardware prefetchers are disabled).
+#ifndef LIMONCELLO_WORKLOADS_GENERATORS_H_
+#define LIMONCELLO_WORKLOADS_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "workloads/access.h"
+
+namespace limoncello {
+
+// Endless sequence of sequential streams: each burst picks a fresh base in
+// the working set and walks `stream_bytes` forward line by line. With
+// store_fraction > 0 a matching destination stream is interleaved
+// (memcpy-shaped: load src line, store dst line).
+class SequentialStreamGenerator : public AccessGenerator {
+ public:
+  struct Options {
+    std::uint64_t working_set_bytes = 64 * kMiB;
+    // Stream length is lognormal with this mean (bytes); clamped to
+    // [min_stream_bytes, working_set/2].
+    double mean_stream_bytes = 8 * 1024;
+    double stream_sigma = 0.8;
+    std::uint64_t min_stream_bytes = 128;
+    double store_fraction = 0.0;  // 1.0 => every load paired with a store
+    double gap_instructions_mean = 4.0;
+    FunctionId function = kInvalidFunctionId;
+  };
+
+  SequentialStreamGenerator(const Options& options, Rng rng);
+  bool Next(MemRef* out) override;
+
+ private:
+  void StartNewStream();
+
+  Options options_;
+  Rng rng_;
+  Addr src_cursor_ = 0;
+  Addr dst_cursor_ = 0;
+  std::uint64_t remaining_lines_ = 0;
+  bool emit_store_next_ = false;
+};
+
+// Fixed-stride walk (in lines) over a working set; detectable by the
+// IP-stride engine but not by adjacent-line prefetching when stride > 1.
+class StridedGenerator : public AccessGenerator {
+ public:
+  struct Options {
+    std::uint64_t working_set_bytes = 64 * kMiB;
+    int stride_lines = 4;
+    double gap_instructions_mean = 6.0;
+    FunctionId function = kInvalidFunctionId;
+  };
+
+  StridedGenerator(const Options& options, Rng rng);
+  bool Next(MemRef* out) override;
+
+ private:
+  Options options_;
+  Rng rng_;
+  Addr cursor_ = 0;
+};
+
+// Uniform random lines over a working set — the prefetch-hostile pattern.
+// Hardware prefetchers achieve near-zero accuracy here; their speculative
+// traffic is pure bandwidth waste and cache pollution.
+class RandomAccessGenerator : public AccessGenerator {
+ public:
+  struct Options {
+    std::uint64_t working_set_bytes = 256 * kMiB;
+    double store_fraction = 0.1;
+    double gap_instructions_mean = 12.0;
+    FunctionId function = kInvalidFunctionId;
+  };
+
+  RandomAccessGenerator(const Options& options, Rng rng);
+  bool Next(MemRef* out) override;
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+// Finite memcpy trace: loads walk [src, src+bytes), stores walk
+// [dst, dst+bytes), interleaved line by line. Optionally emits software
+// prefetches `distance_bytes` ahead of the load cursor in chunks of
+// `degree_bytes` (Soft Limoncello's insertion shape, paper Fig. 13).
+class MemcpyTraceGenerator : public AccessGenerator {
+ public:
+  struct Options {
+    Addr src = 0;
+    Addr dst = 0;
+    std::uint64_t bytes = 0;
+    FunctionId function = kInvalidFunctionId;
+    // Software prefetch configuration; distance 0 disables SW prefetch.
+    std::uint32_t sw_prefetch_distance_bytes = 0;
+    std::uint32_t sw_prefetch_degree_bytes = 0;
+    std::uint64_t sw_prefetch_min_size_bytes = 0;
+    // Also prefetch the destination stream (prefetch-for-write ahead of
+    // the store cursor); memcpy knows both addresses (paper §4.3).
+    bool sw_prefetch_dst = false;
+  };
+
+  explicit MemcpyTraceGenerator(const Options& options);
+  bool Next(MemRef* out) override;
+
+ private:
+  Options options_;
+  std::uint64_t line_index_ = 0;
+  std::uint64_t total_lines_ = 0;
+  Addr next_prefetch_addr_ = 0;
+  Addr next_dst_prefetch_addr_ = 0;
+  int phase_ = 0;  // 0 = maybe-prefetch, 1 = load, 2 = store
+  bool sw_prefetch_active_ = false;
+};
+
+// Weighted round-robin over child generators in bursts, modelling a server
+// that interleaves many functions. Weights are relative burst frequencies.
+class MixGenerator : public AccessGenerator {
+ public:
+  struct Element {
+    std::unique_ptr<AccessGenerator> generator;
+    double weight = 1.0;
+    // Accesses emitted per burst before re-drawing.
+    std::uint32_t burst_length = 64;
+  };
+
+  MixGenerator(std::vector<Element> elements, Rng rng);
+  bool Next(MemRef* out) override;
+
+ private:
+  void PickElement();
+
+  std::vector<Element> elements_;
+  double total_weight_ = 0.0;
+  Rng rng_;
+  std::size_t current_ = 0;
+  std::uint32_t remaining_in_burst_ = 0;
+};
+
+// Samples memcpy call sizes with the fleet's shape (paper Fig. 14): a
+// lognormal body of small copies plus a Pareto tail of large ones.
+class MemcpySizeDistribution {
+ public:
+  struct Options {
+    double body_log_mean = 3.8;   // exp(3.8) ~ 45 bytes median body
+    double body_log_sigma = 1.4;
+    double tail_probability = 0.04;
+    double tail_scale_bytes = 4096;
+    double tail_alpha = 0.9;
+    std::uint64_t max_bytes = 64 * kMiB;
+  };
+
+  MemcpySizeDistribution() : options_() {}
+  explicit MemcpySizeDistribution(const Options& options)
+      : options_(options) {}
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_WORKLOADS_GENERATORS_H_

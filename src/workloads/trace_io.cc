@@ -1,0 +1,157 @@
+#include "workloads/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+// Record layout: addr(8) size(4) op(1) function(2) gap(2) = 17 bytes.
+constexpr std::size_t kRecordBytes = 17;
+constexpr std::size_t kHeaderBytes = 16;  // magic, version, count, pad
+
+void PutU32(std::string* out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t GetU32(const std::string& in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter() {
+  buffer_.assign(kHeaderBytes, '\0');
+  PutU32(&buffer_, 0, kTraceMagic);
+  PutU32(&buffer_, 4, kTraceVersion);
+  PutU32(&buffer_, 8, 0);  // count, patched in Append
+}
+
+void TraceWriter::Append(const MemRef& ref) {
+  char record[kRecordBytes];
+  for (int i = 0; i < 8; ++i) {
+    record[i] = static_cast<char>((ref.addr >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 4; ++i) {
+    record[8 + i] = static_cast<char>((ref.size >> (8 * i)) & 0xff);
+  }
+  record[12] = static_cast<char>(ref.op);
+  record[13] = static_cast<char>(ref.function & 0xff);
+  record[14] = static_cast<char>((ref.function >> 8) & 0xff);
+  record[15] = static_cast<char>(ref.gap_instructions & 0xff);
+  record[16] = static_cast<char>((ref.gap_instructions >> 8) & 0xff);
+  buffer_.append(record, kRecordBytes);
+  ++count_;
+  PutU32(&buffer_, 8, static_cast<std::uint32_t>(count_));
+}
+
+bool TraceWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out.write(buffer_.data(),
+            static_cast<std::streamsize>(buffer_.size()));
+  return out.good();
+}
+
+void TraceWriter::RecordAll(AccessGenerator* generator,
+                            std::size_t max_records) {
+  LIMONCELLO_CHECK(generator != nullptr);
+  MemRef ref;
+  for (std::size_t i = 0; i < max_records && generator->Next(&ref); ++i) {
+    Append(ref);
+  }
+}
+
+bool TraceReader::Parse(const std::string& data) {
+  refs_.clear();
+  error_.clear();
+  if (data.size() < kHeaderBytes) {
+    error_ = "truncated header";
+    return false;
+  }
+  if (GetU32(data, 0) != kTraceMagic) {
+    error_ = "bad magic";
+    return false;
+  }
+  if (GetU32(data, 4) != kTraceVersion) {
+    error_ = "unsupported version";
+    return false;
+  }
+  const std::uint32_t count = GetU32(data, 8);
+  const std::size_t expected =
+      kHeaderBytes + static_cast<std::size_t>(count) * kRecordBytes;
+  if (data.size() != expected) {
+    error_ = "record count does not match file size";
+    return false;
+  }
+  refs_.reserve(count);
+  for (std::uint32_t r = 0; r < count; ++r) {
+    const std::size_t at = kHeaderBytes + r * kRecordBytes;
+    MemRef ref;
+    ref.addr = GetU64(data, at);
+    ref.size = GetU32(data, at + 8);
+    const auto op = static_cast<std::uint8_t>(data[at + 12]);
+    if (op > static_cast<std::uint8_t>(MemOp::kSoftwarePrefetch)) {
+      error_ = "invalid op";
+      refs_.clear();
+      return false;
+    }
+    ref.op = static_cast<MemOp>(op);
+    ref.function = static_cast<FunctionId>(
+        static_cast<std::uint8_t>(data[at + 13]) |
+        (static_cast<std::uint16_t>(
+             static_cast<std::uint8_t>(data[at + 14]))
+         << 8));
+    ref.gap_instructions = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data[at + 15]) |
+        (static_cast<std::uint16_t>(
+             static_cast<std::uint8_t>(data[at + 16]))
+         << 8));
+    refs_.push_back(ref);
+  }
+  return true;
+}
+
+bool TraceReader::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    error_ = "cannot open file";
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Parse(data);
+}
+
+TraceReplayGenerator::TraceReplayGenerator(std::vector<MemRef> refs,
+                                           bool loop)
+    : refs_(std::move(refs)), loop_(loop) {}
+
+bool TraceReplayGenerator::Next(MemRef* out) {
+  if (cursor_ >= refs_.size()) {
+    if (!loop_ || refs_.empty()) return false;
+    cursor_ = 0;
+  }
+  *out = refs_[cursor_++];
+  return true;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,77 @@
+// Binary access-trace recording and replay.
+//
+// Lets users capture a generator's access stream once and replay it
+// deterministically (for cross-machine reproducibility, or to feed the
+// simulator with traces collected elsewhere). The format is a small
+// fixed header plus fixed-width little-endian records; versioned so
+// readers can reject incompatible files.
+#ifndef LIMONCELLO_WORKLOADS_TRACE_IO_H_
+#define LIMONCELLO_WORKLOADS_TRACE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/access.h"
+
+namespace limoncello {
+
+inline constexpr std::uint32_t kTraceMagic = 0x4c4d4354;  // "TCML"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+// Serializes MemRefs to a buffer/file.
+class TraceWriter {
+ public:
+  TraceWriter();
+
+  void Append(const MemRef& ref);
+  std::size_t size() const { return count_; }
+
+  // The complete serialized trace (header + records).
+  const std::string& buffer() const { return buffer_; }
+
+  // Writes the buffer to a file. False on I/O error.
+  bool WriteFile(const std::string& path) const;
+
+  // Records everything `generator` produces (up to max_records).
+  void RecordAll(AccessGenerator* generator, std::size_t max_records);
+
+ private:
+  std::string buffer_;
+  std::size_t count_ = 0;
+};
+
+// Parses a serialized trace. Rejects wrong magic/version or truncated
+// records.
+class TraceReader {
+ public:
+  // False on malformed input; error() explains.
+  bool Parse(const std::string& data);
+  bool ReadFile(const std::string& path);
+
+  const std::vector<MemRef>& refs() const { return refs_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<MemRef> refs_;
+  std::string error_;
+};
+
+// AccessGenerator replaying a parsed trace (optionally looped).
+class TraceReplayGenerator : public AccessGenerator {
+ public:
+  explicit TraceReplayGenerator(std::vector<MemRef> refs,
+                                bool loop = false);
+
+  bool Next(MemRef* out) override;
+
+ private:
+  std::vector<MemRef> refs_;
+  std::size_t cursor_ = 0;
+  bool loop_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_WORKLOADS_TRACE_IO_H_

@@ -1,0 +1,258 @@
+#include "core/hysteresis_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+ControllerConfig TestConfig(SimTimeNs sustain_ticks = 3) {
+  ControllerConfig config;
+  config.upper_threshold = 0.80;
+  config.lower_threshold = 0.60;
+  config.tick_period_ns = kNsPerSec;
+  config.sustain_duration_ns = sustain_ticks * kNsPerSec;
+  return config;
+}
+
+TEST(HysteresisControllerTest, StartsEnabled) {
+  HysteresisController controller(TestConfig());
+  EXPECT_EQ(controller.state(), ControllerState::kEnabledSteady);
+  EXPECT_TRUE(controller.PrefetchersShouldBeEnabled());
+}
+
+TEST(HysteresisControllerTest, BelowUpperThresholdNeverDisables) {
+  HysteresisController controller(TestConfig());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(controller.Tick(0.79), ControllerAction::kNone);
+  }
+  EXPECT_TRUE(controller.PrefetchersShouldBeEnabled());
+  EXPECT_EQ(controller.toggle_count(), 0u);
+}
+
+TEST(HysteresisControllerTest, SustainedHighDisablesAfterDelta) {
+  HysteresisController controller(TestConfig(/*sustain_ticks=*/3));
+  EXPECT_EQ(controller.Tick(0.9), ControllerAction::kNone);  // timer = 1
+  EXPECT_EQ(controller.state(), ControllerState::kEnabledArming);
+  EXPECT_EQ(controller.Tick(0.9), ControllerAction::kNone);  // timer = 2
+  EXPECT_EQ(controller.Tick(0.9),
+            ControllerAction::kDisablePrefetchers);  // timer = 3 >= Δ
+  EXPECT_EQ(controller.state(), ControllerState::kDisabledSteady);
+  EXPECT_FALSE(controller.PrefetchersShouldBeEnabled());
+}
+
+TEST(HysteresisControllerTest, ShortBurstDoesNotDisable) {
+  HysteresisController controller(TestConfig(/*sustain_ticks=*/3));
+  controller.Tick(0.9);
+  controller.Tick(0.9);
+  // Excursion ends one tick before Δ: timer must fully reset.
+  EXPECT_EQ(controller.Tick(0.7), ControllerAction::kNone);
+  EXPECT_EQ(controller.state(), ControllerState::kEnabledSteady);
+  // A new excursion starts from zero.
+  controller.Tick(0.9);
+  controller.Tick(0.9);
+  EXPECT_TRUE(controller.PrefetchersShouldBeEnabled());
+  EXPECT_EQ(controller.Tick(0.9), ControllerAction::kDisablePrefetchers);
+}
+
+TEST(HysteresisControllerTest, BetweenThresholdsHoldsDisabledState) {
+  // Paper Fig. 9: after disabling, utilization between LT and UT must NOT
+  // re-enable (that is the two-threshold hysteresis).
+  HysteresisController controller(TestConfig(1));
+  controller.Tick(0.9);  // disable (Δ = 1 tick)
+  EXPECT_FALSE(controller.PrefetchersShouldBeEnabled());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(controller.Tick(0.7), ControllerAction::kNone);
+  }
+  EXPECT_EQ(controller.state(), ControllerState::kDisabledSteady);
+}
+
+TEST(HysteresisControllerTest, SustainedLowReenables) {
+  HysteresisController controller(TestConfig(3));
+  controller.Tick(0.9);
+  controller.Tick(0.9);
+  controller.Tick(0.9);  // disabled
+  EXPECT_EQ(controller.Tick(0.5), ControllerAction::kNone);  // arming 1
+  EXPECT_EQ(controller.state(), ControllerState::kDisabledArming);
+  EXPECT_EQ(controller.Tick(0.5), ControllerAction::kNone);  // arming 2
+  EXPECT_EQ(controller.Tick(0.5), ControllerAction::kEnablePrefetchers);
+  EXPECT_TRUE(controller.PrefetchersShouldBeEnabled());
+  EXPECT_EQ(controller.toggle_count(), 2u);
+}
+
+TEST(HysteresisControllerTest, BounceAboveLowerThresholdResetsEnableTimer) {
+  HysteresisController controller(TestConfig(3));
+  controller.Tick(0.9);
+  controller.Tick(0.9);
+  controller.Tick(0.9);  // disabled
+  controller.Tick(0.5);
+  controller.Tick(0.5);
+  // Bounce back above LT one tick before re-enable: full reset.
+  EXPECT_EQ(controller.Tick(0.65), ControllerAction::kNone);
+  EXPECT_EQ(controller.state(), ControllerState::kDisabledSteady);
+  controller.Tick(0.5);
+  controller.Tick(0.5);
+  EXPECT_FALSE(controller.PrefetchersShouldBeEnabled());
+  EXPECT_EQ(controller.Tick(0.5), ControllerAction::kEnablePrefetchers);
+}
+
+TEST(HysteresisControllerTest, ZeroSustainActsImmediately) {
+  HysteresisController controller(TestConfig(0));
+  EXPECT_EQ(controller.Tick(0.81), ControllerAction::kDisablePrefetchers);
+  EXPECT_EQ(controller.Tick(0.59), ControllerAction::kEnablePrefetchers);
+}
+
+TEST(HysteresisControllerTest, ExactThresholdValuesDoNotTrigger) {
+  HysteresisController controller(TestConfig(1));
+  // Exactly at UT: not "above", no disable.
+  EXPECT_EQ(controller.Tick(0.80), ControllerAction::kNone);
+  EXPECT_EQ(controller.state(), ControllerState::kEnabledSteady);
+  controller.Tick(0.81);  // disable
+  ASSERT_FALSE(controller.PrefetchersShouldBeEnabled());
+  // Exactly at LT: not "below", no enable.
+  EXPECT_EQ(controller.Tick(0.60), ControllerAction::kNone);
+  EXPECT_EQ(controller.state(), ControllerState::kDisabledSteady);
+}
+
+TEST(HysteresisControllerTest, ResetRestoresPowerOnState) {
+  HysteresisController controller(TestConfig(1));
+  controller.Tick(0.9);
+  EXPECT_FALSE(controller.PrefetchersShouldBeEnabled());
+  controller.Reset();
+  EXPECT_EQ(controller.state(), ControllerState::kEnabledSteady);
+  EXPECT_EQ(controller.timer_ns(), 0);
+}
+
+TEST(HysteresisControllerTest, Fig9Scenario) {
+  // Reproduces the paper's worked example (§3): UT 80 %, LT 60 %.
+  // t=0..: sustained above UT => disable; dip below UT but above LT at
+  // t=7.5 => stays disabled; below LT at t=10 => enable; between LT and
+  // UT before t=20 => stays enabled.
+  HysteresisController controller(TestConfig(2));
+  controller.Tick(0.85);
+  EXPECT_EQ(controller.Tick(0.86), ControllerAction::kDisablePrefetchers);
+  // Falls below UT (but not LT): remains disabled.
+  controller.Tick(0.75);
+  controller.Tick(0.72);
+  EXPECT_FALSE(controller.PrefetchersShouldBeEnabled());
+  // Falls below LT for a sustained period: re-enabled.
+  controller.Tick(0.55);
+  EXPECT_EQ(controller.Tick(0.52), ControllerAction::kEnablePrefetchers);
+  // Exceeds LT but not UT: remains enabled.
+  controller.Tick(0.7);
+  controller.Tick(0.75);
+  EXPECT_TRUE(controller.PrefetchersShouldBeEnabled());
+  EXPECT_EQ(controller.toggle_count(), 2u);
+}
+
+TEST(HysteresisControllerDeathTest, InvalidConfigAborts) {
+  ControllerConfig bad = TestConfig();
+  bad.lower_threshold = 0.9;  // above upper
+  EXPECT_DEATH(HysteresisController{bad}, "CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over random utilization walks.
+
+struct WalkParams {
+  std::uint64_t seed;
+  SimTimeNs sustain_ticks;
+};
+
+class ControllerPropertyTest
+    : public ::testing::TestWithParam<WalkParams> {};
+
+TEST_P(ControllerPropertyTest, InvariantsHoldOnRandomWalk) {
+  const WalkParams params = GetParam();
+  const ControllerConfig config = TestConfig(params.sustain_ticks);
+  HysteresisController controller(config);
+  Rng rng(params.seed);
+
+  double u = 0.5;
+  int consecutive_above_ut = 0;
+  int consecutive_below_lt = 0;
+  std::uint64_t last_toggles = 0;
+
+  for (int tick = 0; tick < 20000; ++tick) {
+    u = std::clamp(u + rng.NextGaussian(0.0, 0.08), 0.0, 1.2);
+    const bool was_enabled = controller.PrefetchersShouldBeEnabled();
+    const ControllerAction action = controller.Tick(u);
+    const bool now_enabled = controller.PrefetchersShouldBeEnabled();
+
+    if (u > config.upper_threshold) {
+      ++consecutive_above_ut;
+    } else {
+      consecutive_above_ut = 0;
+    }
+    if (u < config.lower_threshold) {
+      ++consecutive_below_lt;
+    } else {
+      consecutive_below_lt = 0;
+    }
+
+    // Invariant 1: action matches the state transition.
+    if (action == ControllerAction::kDisablePrefetchers) {
+      EXPECT_TRUE(was_enabled);
+      EXPECT_FALSE(now_enabled);
+    } else if (action == ControllerAction::kEnablePrefetchers) {
+      EXPECT_FALSE(was_enabled);
+      EXPECT_TRUE(now_enabled);
+    } else {
+      EXPECT_EQ(was_enabled, now_enabled);
+    }
+
+    // Invariant 2: a disable only fires after Δ consecutive ticks above
+    // UT; an enable only after Δ consecutive ticks below LT.
+    const int required =
+        static_cast<int>(config.sustain_duration_ns / config.tick_period_ns);
+    if (action == ControllerAction::kDisablePrefetchers) {
+      EXPECT_GE(consecutive_above_ut, std::max(required, 1));
+    }
+    if (action == ControllerAction::kEnablePrefetchers) {
+      EXPECT_GE(consecutive_below_lt, std::max(required, 1));
+    }
+
+    // Invariant 3: toggle count increments exactly on actions.
+    const std::uint64_t toggles = controller.toggle_count();
+    if (action == ControllerAction::kNone) {
+      EXPECT_EQ(toggles, last_toggles);
+    } else {
+      EXPECT_EQ(toggles, last_toggles + 1);
+    }
+    last_toggles = toggles;
+
+    // Invariant 4: the timer never exceeds Δ.
+    EXPECT_LE(controller.timer_ns(), config.sustain_duration_ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWalks, ControllerPropertyTest,
+    ::testing::Values(WalkParams{1, 1}, WalkParams{2, 3}, WalkParams{3, 5},
+                      WalkParams{4, 10}, WalkParams{5, 3}, WalkParams{6, 0},
+                      WalkParams{7, 7}, WalkParams{8, 2}));
+
+// Hysteresis effectiveness: with wider thresholds or longer Δ, the
+// controller toggles no more often on the same signal.
+TEST(HysteresisControllerTest, LongerSustainTogglesNoMore) {
+  auto run = [](SimTimeNs sustain_ticks) {
+    HysteresisController controller(TestConfig(sustain_ticks));
+    Rng rng(99);
+    double u = 0.7;
+    for (int i = 0; i < 50000; ++i) {
+      u = std::clamp(u + rng.NextGaussian(0.0, 0.10), 0.0, 1.2);
+      controller.Tick(u);
+    }
+    return controller.toggle_count();
+  };
+  const std::uint64_t fast = run(1);
+  const std::uint64_t slow = run(8);
+  EXPECT_LE(slow, fast);
+  EXPECT_GT(fast, 0u);
+}
+
+}  // namespace
+}  // namespace limoncello

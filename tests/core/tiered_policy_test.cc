@@ -1,0 +1,114 @@
+#include "core/tiered_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "msr/simulated_msr_device.h"
+
+namespace limoncello {
+namespace {
+
+TieredPolicyConfig FastConfig() {
+  TieredPolicyConfig config = TieredPolicyConfig::Default();
+  config.noisy.sustain_duration_ns = 2 * kNsPerSec;
+  config.all.sustain_duration_ns = 2 * kNsPerSec;
+  return config;
+}
+
+class TieredPolicyTest : public ::testing::Test {
+ protected:
+  TieredPolicyTest()
+      : device_(4),
+        control_(&device_, PlatformMsrLayout::kIntelStyle, 0, 4),
+        policy_(FastConfig(), &control_, 4) {}
+
+  bool EngineOn(PrefetchEngine engine) {
+    return control_.EngineEnabled(0, engine).value();
+  }
+
+  void TickN(double utilization, int n) {
+    for (int i = 0; i < n; ++i) policy_.Tick(utilization);
+  }
+
+  SimulatedMsrDevice device_;
+  PrefetchControl control_;
+  TieredPolicy policy_;
+};
+
+TEST_F(TieredPolicyTest, StartsAtTierZero) {
+  EXPECT_EQ(policy_.tier(), 0);
+  TickN(0.30, 10);
+  EXPECT_EQ(policy_.tier(), 0);
+  EXPECT_TRUE(EngineOn(PrefetchEngine::kDcuStreamer));
+  EXPECT_TRUE(EngineOn(PrefetchEngine::kDcuIpStride));
+}
+
+TEST_F(TieredPolicyTest, ModerateLoadDisablesOnlyNoisyEngines) {
+  // Above the noisy upper (0.65) but below the all upper (0.80).
+  TickN(0.70, 5);
+  EXPECT_EQ(policy_.tier(), 1);
+  EXPECT_FALSE(EngineOn(PrefetchEngine::kDcuStreamer));
+  EXPECT_FALSE(EngineOn(PrefetchEngine::kL2AdjacentLine));
+  EXPECT_TRUE(EngineOn(PrefetchEngine::kDcuIpStride));
+  EXPECT_TRUE(EngineOn(PrefetchEngine::kL2Stream));
+}
+
+TEST_F(TieredPolicyTest, HighLoadDisablesEverything) {
+  TickN(0.90, 5);
+  EXPECT_EQ(policy_.tier(), 2);
+  for (int e = 0; e < kNumPrefetchEngines; ++e) {
+    EXPECT_FALSE(EngineOn(static_cast<PrefetchEngine>(e))) << e;
+  }
+}
+
+TEST_F(TieredPolicyTest, RecoveryStepsBackThroughTiers) {
+  TickN(0.90, 5);
+  ASSERT_EQ(policy_.tier(), 2);
+  // Between the two lower thresholds (0.45 / 0.60): the all-engines
+  // controller re-enables, the noisy controller stays tripped -> tier 1.
+  TickN(0.50, 5);
+  EXPECT_EQ(policy_.tier(), 1);
+  EXPECT_TRUE(EngineOn(PrefetchEngine::kDcuIpStride));
+  EXPECT_FALSE(EngineOn(PrefetchEngine::kDcuStreamer));
+  // Deep idle: everything back on.
+  TickN(0.20, 5);
+  EXPECT_EQ(policy_.tier(), 0);
+  EXPECT_TRUE(EngineOn(PrefetchEngine::kDcuStreamer));
+}
+
+TEST_F(TieredPolicyTest, HysteresisHoldsBetweenThresholds) {
+  TickN(0.70, 5);
+  ASSERT_EQ(policy_.tier(), 1);
+  // Dips below the noisy upper but above its lower: tier holds.
+  TickN(0.55, 20);
+  EXPECT_EQ(policy_.tier(), 1);
+}
+
+TEST_F(TieredPolicyTest, TransitionsCounted) {
+  TickN(0.70, 5);   // -> 1
+  TickN(0.90, 5);   // -> 2
+  TickN(0.20, 10);  // -> 0 (may pass through 1)
+  EXPECT_GE(policy_.transitions(), 3u);
+  EXPECT_EQ(policy_.tier(), 0);
+}
+
+TEST_F(TieredPolicyTest, ShortBurstsDoNotChangeTier) {
+  // One-tick spikes never satisfy the 2-tick sustain.
+  for (int i = 0; i < 20; ++i) {
+    policy_.Tick(0.95);
+    policy_.Tick(0.30);
+  }
+  EXPECT_EQ(policy_.tier(), 0);
+  EXPECT_EQ(policy_.transitions(), 0u);
+}
+
+TEST(TieredPolicyDeathTest, NonNestedThresholdsAbort) {
+  SimulatedMsrDevice device(2);
+  PrefetchControl control(&device, PlatformMsrLayout::kIntelStyle, 0, 2);
+  TieredPolicyConfig config = TieredPolicyConfig::Default();
+  config.noisy.upper_threshold = 0.95;  // above the all-engines upper
+  config.noisy.lower_threshold = 0.90;
+  EXPECT_DEATH(TieredPolicy(config, &control, 2), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

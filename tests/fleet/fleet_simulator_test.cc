@@ -1,0 +1,160 @@
+#include "fleet/fleet_simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+FleetOptions SmallFleet(std::uint64_t seed = 42) {
+  FleetOptions options;
+  options.num_machines = 40;
+  options.ticks = 240;
+  options.fill = 0.55;
+  options.seed = seed;
+  options.diurnal_period_ns = 240LL * kNsPerSec;
+  return options;
+}
+
+ControllerConfig DefaultController() {
+  ControllerConfig config;
+  config.sustain_duration_ns = 3 * kNsPerSec;
+  return config;
+}
+
+TEST(FleetSimulatorTest, CollectsMetricsForEveryMachineTick) {
+  const FleetOptions options = SmallFleet();
+  const FleetMetrics metrics =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), options);
+  EXPECT_EQ(metrics.machine_ticks,
+            static_cast<std::uint64_t>(options.num_machines) *
+                static_cast<std::uint64_t>(options.ticks));
+  EXPECT_EQ(metrics.bandwidth_gbps.Count(), metrics.machine_ticks);
+  EXPECT_EQ(metrics.machines.size(),
+            static_cast<std::size_t>(options.num_machines));
+  EXPECT_GT(metrics.served_qps_sum, 0.0);
+}
+
+TEST(FleetSimulatorTest, FillTargetApproximatelyMet) {
+  const FleetMetrics metrics =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), SmallFleet());
+  double cpu_sum = 0.0;
+  for (const MachineAggregate& m : metrics.machines) {
+    cpu_sum += m.AvgCpu();
+  }
+  const double avg_cpu = cpu_sum / static_cast<double>(metrics.machines.size());
+  EXPECT_GT(avg_cpu, 0.25);
+  EXPECT_LT(avg_cpu, 0.85);
+}
+
+TEST(FleetSimulatorTest, MachinesSpreadAcrossCpuBuckets) {
+  const FleetMetrics metrics =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), SmallFleet());
+  int buckets_hit[11] = {0};
+  for (const MachineAggregate& m : metrics.machines) {
+    const int bucket =
+        std::min(10, static_cast<int>(m.AvgCpu() * 10.0));
+    ++buckets_hit[bucket];
+  }
+  int distinct = 0;
+  for (int count : buckets_hit) {
+    if (count > 0) ++distinct;
+  }
+  EXPECT_GE(distinct, 3);  // heterogeneous caps spread the population
+}
+
+TEST(FleetSimulatorTest, IdenticalSeedsIdenticalBaselineArms) {
+  const FleetMetrics a =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), SmallFleet(7));
+  const FleetMetrics b =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), SmallFleet(7));
+  EXPECT_DOUBLE_EQ(a.served_qps_sum, b.served_qps_sum);
+  EXPECT_DOUBLE_EQ(a.bandwidth_gbps.Mean(), b.bandwidth_gbps.Mean());
+}
+
+TEST(FleetSimulatorTest, AblationArmUsesLessBandwidth) {
+  // Paper Table 1: prefetchers off => fleet bandwidth drops.
+  const FleetMetrics on =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), SmallFleet());
+  const FleetMetrics off =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kAblationOff,
+                  DefaultController(), SmallFleet());
+  EXPECT_LT(off.bandwidth_gbps.Mean(), on.bandwidth_gbps.Mean());
+  const double reduction = 1.0 - off.bandwidth_gbps.Mean() /
+                                     on.bandwidth_gbps.Mean();
+  EXPECT_GT(reduction, 0.05);
+  EXPECT_LT(reduction, 0.30);
+}
+
+TEST(FleetSimulatorTest, HardLimoncelloTogglesOnlyWhereLoadIsHigh) {
+  FleetOptions options = SmallFleet();
+  options.fill = 0.35;  // lightly loaded fleet: only the hottest machines trip
+  const FleetMetrics metrics = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kHardLimoncello,
+      DefaultController(), options);
+  // Hot machines trip the controller...
+  EXPECT_GT(metrics.prefetcher_off_ticks, 0u);
+  EXPECT_GT(metrics.controller_toggles, 0u);
+  // ...but the decision is per-socket: lightly loaded machines keep their
+  // prefetchers on the whole time, and the fleet is not uniformly off.
+  int never_off = 0;
+  for (const MachineAggregate& m : metrics.machines) {
+    if (m.prefetcher_off_ticks == 0) ++never_off;
+  }
+  EXPECT_GT(never_off, 0);
+  EXPECT_LT(metrics.prefetcher_off_ticks, metrics.machine_ticks * 9 / 10);
+}
+
+TEST(FleetSimulatorTest, FullLimoncelloImprovesFleetThroughput) {
+  // The headline result (paper Fig. 16): Limoncello improves throughput.
+  FleetOptions options = SmallFleet();
+  options.fill = 0.75;  // loaded fleet, where it matters
+  const FleetMetrics before =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), options);
+  const FleetMetrics after = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), options);
+  EXPECT_GT(after.served_qps_sum, before.served_qps_sum);
+}
+
+TEST(FleetSimulatorTest, FullLimoncelloReducesLatency) {
+  FleetOptions options = SmallFleet();
+  options.fill = 0.75;
+  const FleetMetrics before =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), options);
+  const FleetMetrics after = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), options);
+  EXPECT_LT(after.latency_ns.Percentile(50),
+            before.latency_ns.Percentile(50));
+}
+
+TEST(FleetSimulatorTest, CategoryCyclesPopulated) {
+  const FleetMetrics metrics =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), SmallFleet());
+  EXPECT_GT(metrics.TotalCategoryCycles(), 0.0);
+  const double nontax_share =
+      metrics.category_cycles[kNonTaxCategoryIndex] /
+      metrics.TotalCategoryCycles();
+  EXPECT_GT(nontax_share, 0.5);
+  EXPECT_LT(nontax_share, 0.92);
+}
+
+TEST(FleetMetricsTest, SaturatedFractionBounds) {
+  FleetMetrics metrics;
+  EXPECT_EQ(metrics.SaturatedFraction(), 0.0);
+  metrics.machine_ticks = 100;
+  metrics.saturated_machine_ticks = 25;
+  EXPECT_DOUBLE_EQ(metrics.SaturatedFraction(), 0.25);
+}
+
+}  // namespace
+}  // namespace limoncello

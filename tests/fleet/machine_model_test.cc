@@ -1,0 +1,194 @@
+#include "fleet/machine_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace limoncello {
+namespace {
+
+ControllerConfig FastController() {
+  ControllerConfig config;
+  config.sustain_duration_ns = 2 * kNsPerSec;
+  return config;
+}
+
+const std::vector<ServiceSpec>& Services() {
+  static const auto* services =
+      new std::vector<ServiceSpec>(ServiceSpec::FleetArchetypes());
+  return *services;
+}
+
+std::unique_ptr<MachineModel> MakeMachine(DeploymentMode mode,
+                                          double share = 4.0) {
+  auto machine = std::make_unique<MachineModel>(
+      PlatformConfig::Platform1(), mode, FastController(), Rng(1));
+  MachineModel::Task task;
+  task.service_index = 0;
+  task.spec = &Services()[0];
+  task.share = share;
+  machine->AddTask(task);
+  return machine;
+}
+
+std::vector<double> UnitLoad() { return std::vector<double>(8, 1.0); }
+
+TEST(MachineModelTest, BaselineKeepsPrefetchersOn) {
+  auto machine = MakeMachine(DeploymentMode::kBaseline);
+  for (int t = 0; t < 10; ++t) {
+    const auto r = machine->Tick(t * kNsPerSec, UnitLoad());
+    EXPECT_TRUE(r.prefetchers_on);
+  }
+}
+
+TEST(MachineModelTest, AblationKeepsPrefetchersOff) {
+  auto machine = MakeMachine(DeploymentMode::kAblationOff);
+  for (int t = 0; t < 10; ++t) {
+    const auto r = machine->Tick(t * kNsPerSec, UnitLoad());
+    EXPECT_FALSE(r.prefetchers_on);
+  }
+}
+
+TEST(MachineModelTest, PrefetchersOnUseMoreBandwidth) {
+  auto on = MakeMachine(DeploymentMode::kBaseline);
+  auto off = MakeMachine(DeploymentMode::kAblationOff);
+  double bw_on = 0.0;
+  double bw_off = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    bw_on += on->Tick(t * kNsPerSec, UnitLoad()).bandwidth_gbps;
+    bw_off += off->Tick(t * kNsPerSec, UnitLoad()).bandwidth_gbps;
+  }
+  // Paper Table 1: disabling prefetchers cuts bandwidth by ~11-16 %.
+  EXPECT_LT(bw_off, bw_on);
+  const double reduction = (bw_on - bw_off) / bw_on;
+  EXPECT_GT(reduction, 0.05);
+  EXPECT_LT(reduction, 0.30);
+}
+
+TEST(MachineModelTest, PrefetchersOnLowerMpkiMeansLowerCpuPerQps) {
+  // At low load, prefetchers help: same served QPS with fewer busy cores.
+  auto on = MakeMachine(DeploymentMode::kBaseline, 1.0);
+  auto off = MakeMachine(DeploymentMode::kAblationOff, 1.0);
+  MachineModel::TickResult r_on;
+  MachineModel::TickResult r_off;
+  for (int t = 0; t < 10; ++t) {
+    r_on = on->Tick(t * kNsPerSec, UnitLoad());
+    r_off = off->Tick(t * kNsPerSec, UnitLoad());
+  }
+  EXPECT_DOUBLE_EQ(r_on.served_qps, r_off.served_qps);  // both unsaturated
+  EXPECT_LT(r_on.cpu_utilization, r_off.cpu_utilization);
+}
+
+TEST(MachineModelTest, OverloadShedsLoad) {
+  auto machine = MakeMachine(DeploymentMode::kBaseline, 100.0);
+  MachineModel::TickResult r;
+  for (int t = 0; t < 10; ++t) r = machine->Tick(t * kNsPerSec, UnitLoad());
+  EXPECT_LT(r.served_qps, r.offered_qps);
+  // The machine is pinned at whichever resource binds first: either the
+  // cores are fully busy or the memory channel is at its ceiling.
+  EXPECT_TRUE(r.cpu_utilization > 0.99 || r.bandwidth_utilization > 0.99)
+      << "cpu=" << r.cpu_utilization << " bw=" << r.bandwidth_utilization;
+}
+
+TEST(MachineModelTest, LatencyRisesWithUtilization) {
+  auto light = MakeMachine(DeploymentMode::kBaseline, 1.0);
+  auto heavy = MakeMachine(DeploymentMode::kBaseline, 30.0);
+  MachineModel::TickResult r_light;
+  MachineModel::TickResult r_heavy;
+  for (int t = 0; t < 20; ++t) {
+    r_light = light->Tick(t * kNsPerSec, UnitLoad());
+    r_heavy = heavy->Tick(t * kNsPerSec, UnitLoad());
+  }
+  EXPECT_GT(r_heavy.bandwidth_utilization,
+            r_light.bandwidth_utilization * 2);
+  EXPECT_GT(r_heavy.latency_ns, r_light.latency_ns * 1.2);
+}
+
+TEST(MachineModelTest, HardLimoncelloDisablesUnderSustainedHighLoad) {
+  auto machine = MakeMachine(DeploymentMode::kHardLimoncello, 30.0);
+  bool saw_off = false;
+  for (int t = 0; t < 30; ++t) {
+    const auto r = machine->Tick(t * kNsPerSec, UnitLoad());
+    if (!r.prefetchers_on) saw_off = true;
+  }
+  EXPECT_TRUE(saw_off);
+  ASSERT_NE(machine->daemon(), nullptr);
+  EXPECT_GT(machine->daemon()->stats().disables, 0u);
+}
+
+TEST(MachineModelTest, HardLimoncelloStaysOnUnderLightLoad) {
+  auto machine = MakeMachine(DeploymentMode::kHardLimoncello, 1.0);
+  for (int t = 0; t < 30; ++t) {
+    const auto r = machine->Tick(t * kNsPerSec, UnitLoad());
+    EXPECT_TRUE(r.prefetchers_on);
+  }
+  EXPECT_EQ(machine->daemon()->stats().disables, 0u);
+}
+
+TEST(MachineModelTest, FullLimoncelloRecoversThroughputVsHardOnly) {
+  // Under sustained high load both disable prefetchers; Full Limoncello's
+  // software prefetching keeps tax-function misses low, so it serves the
+  // same load with fewer busy cores (and at saturation, serves more).
+  auto hard = MakeMachine(DeploymentMode::kHardLimoncello, 40.0);
+  auto full = MakeMachine(DeploymentMode::kFullLimoncello, 40.0);
+  double served_hard = 0.0;
+  double served_full = 0.0;
+  for (int t = 0; t < 40; ++t) {
+    served_hard += hard->Tick(t * kNsPerSec, UnitLoad()).served_qps;
+    served_full += full->Tick(t * kNsPerSec, UnitLoad()).served_qps;
+  }
+  EXPECT_GT(served_full, served_hard * 1.005);
+}
+
+TEST(MachineModelTest, CategoryCyclesCoverAllCategories) {
+  auto machine = MakeMachine(DeploymentMode::kBaseline, 4.0);
+  const auto r = machine->Tick(0, UnitLoad());
+  double total = 0.0;
+  for (double c : r.category_cycles) {
+    EXPECT_GT(c, 0.0);
+    total += c;
+  }
+  // Non-tax dominates cycle share (paper: tax is 30-40 %).
+  EXPECT_GT(r.category_cycles[kNonTaxCategoryIndex] / total, 0.5);
+}
+
+TEST(MachineModelTest, LoadFactorScalesOfferedQps) {
+  auto machine = MakeMachine(DeploymentMode::kBaseline, 1.0);
+  const auto r1 = machine->Tick(0, std::vector<double>(8, 1.0));
+  const auto r2 = machine->Tick(kNsPerSec, std::vector<double>(8, 2.0));
+  EXPECT_NEAR(r2.offered_qps, 2.0 * r1.offered_qps, 1e-6);
+}
+
+TEST(MachineModelTest, EstimateCpuCostScalesWithShare) {
+  auto machine = MakeMachine(DeploymentMode::kBaseline);
+  const ServiceSpec& spec = Services()[0];
+  const double c1 = machine->EstimateCpuCost(spec, 1.0);
+  const double c2 = machine->EstimateCpuCost(spec, 2.0);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-12);
+  EXPECT_GT(c1, 0.0);
+}
+
+TEST(MachineModelTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    auto machine = MakeMachine(DeploymentMode::kHardLimoncello, 25.0);
+    double sum = 0.0;
+    for (int t = 0; t < 30; ++t) {
+      sum += machine->Tick(t * kNsPerSec, UnitLoad()).bandwidth_gbps;
+    }
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(MachineModelTest, ClearTasksEmptiesMachine) {
+  auto machine = MakeMachine(DeploymentMode::kBaseline);
+  EXPECT_EQ(machine->tasks().size(), 1u);
+  machine->ClearTasks();
+  EXPECT_TRUE(machine->tasks().empty());
+  const auto r = machine->Tick(0, UnitLoad());
+  EXPECT_EQ(r.offered_qps, 0.0);
+  EXPECT_EQ(r.cpu_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace limoncello

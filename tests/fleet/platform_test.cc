@@ -1,0 +1,71 @@
+#include "fleet/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+TEST(PlatformTest, EvaluationPlatformsDiffer) {
+  const PlatformConfig p1 = PlatformConfig::Platform1();
+  const PlatformConfig p2 = PlatformConfig::Platform2();
+  EXPECT_NE(p1.name, p2.name);
+  EXPECT_NE(p1.msr_layout, p2.msr_layout);
+  // Platform 1 (newer) prefetches more aggressively: lower accuracy.
+  EXPECT_LT(p1.prefetch.hw_accuracy_tax, p2.prefetch.hw_accuracy_tax);
+}
+
+TEST(PlatformTest, QualificationThresholdBelowAchievablePeak) {
+  // Achievable bandwidth is ~3 GB/s per core (paper §2.1); the
+  // qualification saturation threshold is derated below that so the
+  // scheduler backs off before the latency cliff.
+  for (const PlatformConfig& p :
+       {PlatformConfig::Platform1(), PlatformConfig::Platform2()}) {
+    const double per_core = p.saturation_gbps / p.cores;
+    EXPECT_GE(per_core, 1.5) << p.name;
+    EXPECT_LE(per_core, 3.0) << p.name;
+  }
+}
+
+TEST(PlatformTest, PrefetchResponseScalarsInRange) {
+  for (const PlatformConfig& p :
+       {PlatformConfig::Platform1(), PlatformConfig::Platform2()}) {
+    const PrefetchResponse& r = p.prefetch;
+    EXPECT_GT(r.hw_coverage_tax, r.hw_coverage_nontax);
+    EXPECT_GT(r.hw_accuracy_tax, r.hw_accuracy_nontax);
+    EXPECT_GE(r.hw_pollution_nontax, 1.0);
+    EXPECT_GT(r.sw_accuracy, r.hw_accuracy_tax);  // SW is more precise
+    for (double v : {r.hw_coverage_tax, r.hw_coverage_nontax,
+                     r.hw_accuracy_tax, r.hw_accuracy_nontax,
+                     r.sw_coverage_tax, r.sw_accuracy}) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(HistoricalGenerationsTest, PerCoreBandwidthPlateaus) {
+  // Paper Fig. 2: total bandwidth grows across generations but per-core
+  // bandwidth stagnates.
+  const auto gens = HistoricalGenerations();
+  ASSERT_GE(gens.size(), 5u);
+  EXPECT_GT(gens.back().membw_gbps / gens.front().membw_gbps, 4.0);
+  const double per_core_growth =
+      gens.back().MembwPerCore() / gens.front().MembwPerCore();
+  EXPECT_LT(per_core_growth, 1.5);
+  // Years strictly increasing.
+  for (std::size_t i = 1; i < gens.size(); ++i) {
+    EXPECT_GT(gens[i].year, gens[i - 1].year);
+    EXPECT_GE(gens[i].cores, gens[i - 1].cores);
+  }
+}
+
+TEST(RecentGenerationsTest, AggressivenessGrows) {
+  // Paper Fig. 5: prefetcher aggressiveness increased each generation.
+  const auto gens = RecentGenerations();
+  ASSERT_EQ(gens.size(), 3u);
+  EXPECT_LT(gens[0].stream_degree, gens[2].stream_degree);
+  EXPECT_LT(gens[0].stream_distance, gens[2].stream_distance);
+}
+
+}  // namespace
+}  // namespace limoncello

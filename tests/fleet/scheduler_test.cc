@@ -1,0 +1,136 @@
+#include "fleet/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace limoncello {
+namespace {
+
+struct Cluster {
+  std::vector<std::unique_ptr<MachineModel>> owned;
+  std::vector<MachineModel*> machines;
+  std::vector<ServiceSpec> services = ServiceSpec::FleetArchetypes();
+
+  explicit Cluster(int n) {
+    ControllerConfig controller;
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(std::make_unique<MachineModel>(
+          PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+          controller, Rng(100 + static_cast<std::uint64_t>(i))));
+      machines.push_back(owned.back().get());
+    }
+  }
+};
+
+ClusterScheduler::Options DefaultOptions() { return {}; }
+
+TEST(ClusterSchedulerTest, CapsWithinConfiguredRange) {
+  ClusterScheduler scheduler(DefaultOptions(), Rng(1));
+  scheduler.AssignCaps(100);
+  for (std::size_t m = 0; m < 100; ++m) {
+    EXPECT_GE(scheduler.cap(m), 0.30);
+    EXPECT_LE(scheduler.cap(m), 0.95);
+  }
+}
+
+TEST(ClusterSchedulerTest, PlacesShardsAcrossMachines) {
+  Cluster cluster(10);
+  ClusterScheduler scheduler(DefaultOptions(), Rng(2));
+  scheduler.AssignCaps(10);
+  const int unplaced =
+      scheduler.PlaceService(0, cluster.services[0], 20, cluster.machines);
+  EXPECT_EQ(unplaced, 0);
+  int machines_with_work = 0;
+  int total_tasks = 0;
+  for (const auto* m : cluster.machines) {
+    if (!m->tasks().empty()) ++machines_with_work;
+    total_tasks += static_cast<int>(m->tasks().size());
+  }
+  EXPECT_EQ(total_tasks, 20);
+  EXPECT_GE(machines_with_work, 5);  // spread, not piled on one machine
+}
+
+TEST(ClusterSchedulerTest, AvoidsSaturatedMachines) {
+  Cluster cluster(3);
+  ClusterScheduler scheduler(DefaultOptions(), Rng(3));  // avoid at 0.80
+  scheduler.AssignCaps(3);
+  // Saturate machine 0's bandwidth signal by overloading it and ticking.
+  MachineModel::Task heavy;
+  heavy.service_index = 0;
+  heavy.spec = &cluster.services[1];  // ml_server: memory heavy
+  heavy.share = 60.0;
+  cluster.machines[0]->AddTask(heavy);
+  std::vector<double> unit(cluster.services.size(), 1.0);
+  for (int t = 0; t < 10; ++t) {
+    for (auto* m : cluster.machines) m->Tick(t * kNsPerSec, unit);
+  }
+  ASSERT_GT(cluster.machines[0]->last_bandwidth_utilization(), 0.80);
+  const std::size_t machine0_tasks = cluster.machines[0]->tasks().size();
+  scheduler.PlaceService(0, cluster.services[0], 10, cluster.machines);
+  // No new work landed on the saturated machine.
+  EXPECT_EQ(cluster.machines[0]->tasks().size(), machine0_tasks);
+}
+
+TEST(ClusterSchedulerTest, ReportsUnplaceableShards) {
+  Cluster cluster(2);
+  ClusterScheduler::Options options;
+  options.min_allocation_cap = 0.31;
+  options.max_allocation_cap = 0.32;  // tiny caps
+  ClusterScheduler scheduler(options, Rng(4));
+  scheduler.AssignCaps(2);
+  // ml_server shards are expensive; 200 of them cannot fit in 2 machines.
+  const int unplaced =
+      scheduler.PlaceService(1, cluster.services[1], 200, cluster.machines);
+  EXPECT_GT(unplaced, 100);
+}
+
+TEST(ClusterSchedulerTest, RebalanceMovesWorkOffSaturatedMachine) {
+  Cluster cluster(4);
+  ClusterScheduler scheduler(DefaultOptions(), Rng(5));  // avoid at 0.80
+  scheduler.AssignCaps(4);
+  // Overload machine 0 with several tasks.
+  for (int i = 0; i < 6; ++i) {
+    MachineModel::Task task;
+    task.service_index = 1;
+    task.spec = &cluster.services[1];
+    task.share = 10.0;
+    cluster.machines[0]->AddTask(task);
+  }
+  std::vector<double> unit(cluster.services.size(), 1.0);
+  for (int t = 0; t < 10; ++t) {
+    for (auto* m : cluster.machines) m->Tick(t * kNsPerSec, unit);
+  }
+  ASSERT_GT(cluster.machines[0]->last_bandwidth_utilization(), 0.80);
+  const int migrations = scheduler.Rebalance(cluster.machines);
+  EXPECT_EQ(migrations, 1);
+  EXPECT_EQ(cluster.machines[0]->tasks().size(), 5u);
+  std::size_t elsewhere = 0;
+  for (int m = 1; m < 4; ++m) {
+    elsewhere += cluster.machines[static_cast<std::size_t>(m)]->tasks().size();
+  }
+  EXPECT_EQ(elsewhere, 1u);
+}
+
+TEST(ClusterSchedulerTest, RebalanceNoOpWhenHealthy) {
+  Cluster cluster(4);
+  ClusterScheduler scheduler(DefaultOptions(), Rng(6));
+  scheduler.AssignCaps(4);
+  scheduler.PlaceService(0, cluster.services[0], 4, cluster.machines);
+  std::vector<double> unit(cluster.services.size(), 1.0);
+  for (int t = 0; t < 5; ++t) {
+    for (auto* m : cluster.machines) m->Tick(t * kNsPerSec, unit);
+  }
+  EXPECT_EQ(scheduler.Rebalance(cluster.machines), 0);
+}
+
+TEST(ClusterSchedulerDeathTest, PlaceBeforeAssignCapsAborts) {
+  Cluster cluster(2);
+  ClusterScheduler scheduler(DefaultOptions(), Rng(7));
+  EXPECT_DEATH(
+      scheduler.PlaceService(0, cluster.services[0], 1, cluster.machines),
+      "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,110 @@
+#include "fleet/service.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+
+namespace limoncello {
+namespace {
+
+TEST(ServiceSpecTest, ArchetypeMixesSumToOne) {
+  for (const ServiceSpec& s : ServiceSpec::FleetArchetypes()) {
+    double total = 0.0;
+    for (double m : s.category_mix) total += m;
+    EXPECT_NEAR(total, 1.0, 1e-9) << s.name;
+  }
+}
+
+TEST(ServiceSpecTest, TaxShareInPaperBand) {
+  // Data-center tax is 30-40 % of cycles fleet-wide; per service it
+  // should sit in a plausible 25-45 % band.
+  for (const ServiceSpec& s : ServiceSpec::FleetArchetypes()) {
+    const double tax = 1.0 - s.category_mix[kNonTaxCategoryIndex];
+    EXPECT_GE(tax, 0.25) << s.name;
+    EXPECT_LE(tax, 0.45) << s.name;
+  }
+}
+
+TEST(ServiceSpecTest, ArchetypesAreDiverse) {
+  const auto services = ServiceSpec::FleetArchetypes();
+  EXPECT_GE(services.size(), 6u);
+  double min_mpki = 1e9;
+  double max_mpki = 0.0;
+  for (const ServiceSpec& s : services) {
+    min_mpki = std::min(min_mpki, s.base_mpki);
+    max_mpki = std::max(max_mpki, s.base_mpki);
+  }
+  EXPECT_GT(max_mpki / min_mpki, 2.0);  // memory intensity diversity
+}
+
+TEST(LoadProcessTest, StaysWithinBounds) {
+  LoadProcess::Options o;
+  LoadProcess load(o, Rng(1));
+  for (int i = 0; i < 100000; ++i) {
+    const double f = load.Tick(static_cast<SimTimeNs>(i) * kNsPerSec);
+    EXPECT_GE(f, o.min_factor);
+    EXPECT_LE(f, o.max_factor);
+  }
+}
+
+TEST(LoadProcessTest, DiurnalCycleVisible) {
+  LoadProcess::Options o;
+  o.noise_stddev = 0.0;
+  o.burst_probability = 0.0;
+  o.diurnal_period_ns = 1000 * kNsPerSec;
+  LoadProcess load(o, Rng(2));
+  // Peak at a quarter period (sin = 1), trough at three quarters.
+  double peak = 0.0;
+  double trough = 10.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double f = load.Tick(static_cast<SimTimeNs>(i) * kNsPerSec);
+    peak = std::max(peak, f);
+    trough = std::min(trough, f);
+  }
+  EXPECT_NEAR(peak, 1.0 + o.diurnal_amplitude, 0.01);
+  EXPECT_NEAR(trough, 1.0 - o.diurnal_amplitude, 0.01);
+}
+
+TEST(LoadProcessTest, BurstsRaiseLoad) {
+  LoadProcess::Options quiet;
+  quiet.burst_probability = 0.0;
+  quiet.noise_stddev = 0.0;
+  LoadProcess::Options bursty = quiet;
+  bursty.burst_probability = 0.05;
+  LoadProcess a(quiet, Rng(3));
+  LoadProcess b(bursty, Rng(3));
+  double sum_quiet = 0.0;
+  double sum_bursty = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTimeNs t = static_cast<SimTimeNs>(i) * kNsPerSec;
+    sum_quiet += a.Tick(t);
+    sum_bursty += b.Tick(t);
+  }
+  EXPECT_GT(sum_bursty, sum_quiet * 1.02);
+}
+
+TEST(LoadProcessTest, DeterministicPerSeed) {
+  LoadProcess::Options o;
+  LoadProcess a(o, Rng(9));
+  LoadProcess b(o, Rng(9));
+  for (int i = 0; i < 1000; ++i) {
+    const SimTimeNs t = static_cast<SimTimeNs>(i) * kNsPerSec;
+    EXPECT_DOUBLE_EQ(a.Tick(t), b.Tick(t));
+  }
+}
+
+TEST(LoadProcessTest, VolatilityResemblesFig7) {
+  // The bandwidth trace in paper Fig. 7 swings by tens of percent minute
+  // to minute; our load process should show meaningful variability.
+  LoadProcess::Options o;
+  LoadProcess load(o, Rng(11));
+  Summary s;
+  for (int i = 0; i < 3600; ++i) {
+    s.Add(load.Tick(static_cast<SimTimeNs>(i) * kNsPerSec));
+  }
+  EXPECT_GT(s.stddev() / s.mean(), 0.05);
+  EXPECT_LT(s.stddev() / s.mean(), 0.6);
+}
+
+}  // namespace
+}  // namespace limoncello

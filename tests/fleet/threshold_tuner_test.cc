@@ -1,0 +1,81 @@
+#include "fleet/threshold_tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+FleetOptions TinyFleet() {
+  FleetOptions options;
+  options.num_machines = 24;
+  options.ticks = 150;
+  options.fill = 0.65;
+  options.seed = 77;
+  options.diurnal_period_ns = 150LL * kNsPerSec;
+  return options;
+}
+
+TEST(ThresholdTunerTest, PaperGridHasThreeConfigs) {
+  const auto grid = ThresholdTuner::PaperGrid();
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_DOUBLE_EQ(grid[0].lower, 0.60);
+  EXPECT_DOUBLE_EQ(grid[0].upper, 0.80);
+  for (const ThresholdCandidate& c : grid) {
+    EXPECT_LT(c.lower, c.upper);
+    EXPECT_GT(c.sustain_ns, 0);
+  }
+}
+
+TEST(ThresholdTunerTest, EvaluatesEveryCandidate) {
+  ThresholdTuner tuner(PlatformConfig::Platform1(), TinyFleet());
+  const TunerResult result = tuner.Tune(ThresholdTuner::PaperGrid());
+  ASSERT_EQ(result.evaluations.size(), 3u);
+  for (const ThresholdEvaluation& e : result.evaluations) {
+    EXPECT_GE(e.prefetcher_off_fraction, 0.0);
+    EXPECT_LE(e.prefetcher_off_fraction, 1.0);
+  }
+}
+
+TEST(ThresholdTunerTest, BestComesFromTheCandidateSet) {
+  ThresholdTuner tuner(PlatformConfig::Platform1(), TinyFleet());
+  const auto grid = ThresholdTuner::PaperGrid();
+  const TunerResult result = tuner.Tune(grid);
+  bool found = false;
+  for (const ThresholdCandidate& c : grid) {
+    if (c.lower == result.best.lower_threshold &&
+        c.upper == result.best.upper_threshold &&
+        c.sustain_ns == result.best.sustain_duration_ns) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(result.best.Valid());
+}
+
+TEST(ThresholdTunerTest, DeterministicAcrossRuns) {
+  ThresholdTuner a(PlatformConfig::Platform1(), TinyFleet());
+  ThresholdTuner b(PlatformConfig::Platform1(), TinyFleet());
+  const TunerResult ra = a.Tune(ThresholdTuner::PaperGrid());
+  const TunerResult rb = b.Tune(ThresholdTuner::PaperGrid());
+  EXPECT_DOUBLE_EQ(ra.best.upper_threshold, rb.best.upper_threshold);
+  for (std::size_t i = 0; i < ra.evaluations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.evaluations[i].throughput_gain_pct,
+                     rb.evaluations[i].throughput_gain_pct);
+  }
+}
+
+TEST(ThresholdTunerTest, SingleCandidateWins) {
+  ThresholdTuner tuner(PlatformConfig::Platform1(), TinyFleet());
+  const TunerResult result = tuner.Tune({{0.55, 0.85, 3 * kNsPerSec}});
+  EXPECT_DOUBLE_EQ(result.best.lower_threshold, 0.55);
+  EXPECT_DOUBLE_EQ(result.best.upper_threshold, 0.85);
+  EXPECT_EQ(result.best.sustain_duration_ns, 3 * kNsPerSec);
+}
+
+TEST(ThresholdTunerDeathTest, EmptyCandidatesAbort) {
+  ThresholdTuner tuner(PlatformConfig::Platform1(), TinyFleet());
+  EXPECT_DEATH(tuner.Tune({}), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

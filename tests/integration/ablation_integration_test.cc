@@ -1,0 +1,183 @@
+// End-to-end ablation study on the detailed socket simulator: the
+// methodology of paper §4.1 (Figs. 11/12) — run the fleet function mix
+// with hardware prefetchers on (control) and off (experiment), profile
+// per function, and diff.
+#include <gtest/gtest.h>
+
+#include "profiling/profile.h"
+#include "profiling/sampling_profiler.h"
+#include "sim/machine/socket.h"
+#include "workloads/function_catalog.h"
+
+namespace limoncello {
+namespace {
+
+SocketConfig AblationSocket() {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.peak_gbps = 32.0;  // moderate fleet-average load point
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+// Runs `machines` simulated sockets with the fleet mix and aggregates
+// their function profiles through the sampling profiler.
+ProfileAggregate RunPopulation(const FunctionCatalog& catalog,
+                               bool prefetchers_on, int machines,
+                               std::uint64_t seed_base) {
+  ProfileAggregate aggregate(catalog.size());
+  SamplingProfiler::Options po;
+  po.machine_sample_probability = 1.0;
+  po.event_sample_fraction = 0.5;
+  SamplingProfiler profiler(po, Rng(seed_base));
+  for (int m = 0; m < machines; ++m) {
+    Socket socket(AblationSocket(), catalog.size(),
+                  Rng(seed_base + static_cast<std::uint64_t>(m)));
+    socket.SetAllPrefetchersEnabled(prefetchers_on);
+    for (int core = 0; core < 4; ++core) {
+      socket.SetWorkload(
+          core, catalog.MakeFleetMix(
+                    Rng(seed_base + static_cast<std::uint64_t>(m))
+                        .Fork(static_cast<std::uint64_t>(core))));
+    }
+    for (int epoch = 0; epoch < 40; ++epoch) {
+      socket.Step(100 * kNsPerUs);
+    }
+    profiler.CollectFrom(socket.function_profile(), &aggregate);
+  }
+  return aggregate;
+}
+
+class AblationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new FunctionCatalog(FunctionCatalog::FleetDefault());
+    control_ = new ProfileAggregate(
+        RunPopulation(*catalog_, /*prefetchers_on=*/true, 6, 1000));
+    experiment_ = new ProfileAggregate(
+        RunPopulation(*catalog_, /*prefetchers_on=*/false, 6, 1000));
+    deltas_ = new std::vector<FunctionDelta>(
+        CompareAblation(*control_, *experiment_, *catalog_));
+  }
+
+  static FunctionCatalog* catalog_;
+  static ProfileAggregate* control_;
+  static ProfileAggregate* experiment_;
+  static std::vector<FunctionDelta>* deltas_;
+};
+
+FunctionCatalog* AblationTest::catalog_ = nullptr;
+ProfileAggregate* AblationTest::control_ = nullptr;
+ProfileAggregate* AblationTest::experiment_ = nullptr;
+std::vector<FunctionDelta>* AblationTest::deltas_ = nullptr;
+
+TEST_F(AblationTest, TaxFunctionsRegressWhenPrefetchersDisabled) {
+  // Fig. 11: data-center tax functions lose performance (CPI up, MPKI up)
+  // when hardware prefetchers are turned off.
+  int tax_regressing = 0;
+  int tax_total = 0;
+  for (const FunctionDelta& d : *deltas_) {
+    if (!IsTaxCategory(d.category)) continue;
+    ++tax_total;
+    if (d.cycles_change_pct > 0.0 && d.mpki_change_pct > 0.0) {
+      ++tax_regressing;
+    }
+  }
+  ASSERT_GT(tax_total, 0);
+  EXPECT_GE(tax_regressing, tax_total - 1)
+      << "nearly all tax functions must regress";
+}
+
+TEST_F(AblationTest, TaxMpkiIncreasesSubstantially) {
+  // Streams lose their coverage: MPKI grows by a large factor.
+  double worst = 0.0;
+  for (const FunctionDelta& d : *deltas_) {
+    if (IsTaxCategory(d.category)) worst = std::max(worst, d.mpki_change_pct);
+  }
+  EXPECT_GT(worst, 100.0);  // at least one tax function doubles its MPKI
+}
+
+TEST_F(AblationTest, CategoryRollupMatchesFig12Shape) {
+  const auto categories = AggregateByCategory(*deltas_);
+  double nontax_change = 0.0;
+  bool saw_nontax = false;
+  for (const CategoryDelta& c : categories) {
+    if (c.category == FunctionCategory::kNonTax) {
+      nontax_change = c.cycles_change_pct;
+      saw_nontax = true;
+    } else {
+      EXPECT_GT(c.cycles_change_pct, 0.0)
+          << FunctionCategoryName(c.category);
+    }
+  }
+  ASSERT_TRUE(saw_nontax);
+  // Fig. 12: non-tax functions in aggregate improve (or at worst stay
+  // flat) when prefetchers are disabled.
+  EXPECT_LT(nontax_change, 2.0);
+}
+
+TEST_F(AblationTest, TargetSelectionFindsTaxFunctions) {
+  // Tax functions have small *control* cycle shares precisely because the
+  // prefetchers serve them well, so the hotness filter sits low.
+  const auto targets = SelectPrefetchTargets(*deltas_,
+                                             /*min_regression_pct=*/5.0,
+                                             /*min_cycle_share=*/0.002);
+  ASSERT_FALSE(targets.empty());
+  // The top targets must be data-center tax functions.
+  int tax_in_top = 0;
+  const std::size_t top_n = std::min<std::size_t>(5, targets.size());
+  for (std::size_t i = 0; i < top_n; ++i) {
+    if (IsTaxCategory(targets[i].category)) ++tax_in_top;
+  }
+  EXPECT_GE(tax_in_top, static_cast<int>(top_n) - 1);
+}
+
+TEST_F(AblationTest, DisablingPrefetchersReducesTrafficPerInstruction) {
+  // Re-run two single sockets to compare traffic (the aggregate profiles
+  // do not carry bandwidth).
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  auto run = [&](bool on) {
+    Socket socket(AblationSocket(), catalog.size(), Rng(55));
+    socket.SetAllPrefetchersEnabled(on);
+    for (int core = 0; core < 4; ++core) {
+      socket.SetWorkload(core, catalog.MakeFleetMix(Rng(55).Fork(
+                                   static_cast<std::uint64_t>(core))));
+    }
+    for (int epoch = 0; epoch < 60; ++epoch) socket.Step(100 * kNsPerUs);
+    return static_cast<double>(socket.counters().DramTotalBytes()) /
+           static_cast<double>(socket.counters().instructions);
+  };
+  const double traffic_on = run(true);
+  const double traffic_off = run(false);
+  EXPECT_LT(traffic_off, traffic_on);
+  const double reduction = 1.0 - traffic_off / traffic_on;
+  // The detailed engines sit at the aggressive end of the paper's band
+  // (Fig. 5 shows +30-40 % traffic from prefetching; the next-line
+  // streamer wastes heavily on the random-access functions).
+  EXPECT_GT(reduction, 0.05);
+  EXPECT_LT(reduction, 0.55);
+}
+
+TEST_F(AblationTest, FleetMpkiRisesWhenDisabled) {
+  // Paper §1: disabling prefetchers increases cache miss rates ~20 %.
+  double control_misses = 0.0;
+  double control_instr = 0.0;
+  double experiment_misses = 0.0;
+  double experiment_instr = 0.0;
+  for (std::size_t i = 0; i < catalog_->size(); ++i) {
+    const auto id = static_cast<FunctionId>(i);
+    control_misses += static_cast<double>(control_->entry(id).llc_misses);
+    control_instr +=
+        static_cast<double>(control_->entry(id).instructions);
+    experiment_misses +=
+        static_cast<double>(experiment_->entry(id).llc_misses);
+    experiment_instr +=
+        static_cast<double>(experiment_->entry(id).instructions);
+  }
+  const double mpki_control = control_misses / control_instr;
+  const double mpki_experiment = experiment_misses / experiment_instr;
+  EXPECT_GT(mpki_experiment, mpki_control * 1.08);
+}
+
+}  // namespace
+}  // namespace limoncello

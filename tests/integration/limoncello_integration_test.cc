@@ -1,0 +1,149 @@
+// Full vertical integration on the detailed simulator: telemetry sampled
+// from the socket PMU -> hysteresis controller -> MSR writes -> simulated
+// prefetch engines react -> traffic and latency change.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/daemon.h"
+#include "telemetry/telemetry.h"
+#include "workloads/generators.h"
+
+namespace limoncello {
+namespace {
+
+// Time scale: one controller tick == one socket epoch of 100 us. The
+// controller is agnostic to absolute time, so this compresses the
+// experiment without changing semantics.
+constexpr SimTimeNs kTick = 100 * kNsPerUs;
+
+SocketConfig LoadedSocket() {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.peak_gbps = 6.0;  // easy to saturate with 4 cores
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+ControllerConfig TickScaledController() {
+  ControllerConfig config;
+  config.upper_threshold = 0.80;
+  config.lower_threshold = 0.60;
+  config.tick_period_ns = kTick;
+  config.sustain_duration_ns = 5 * kTick;
+  return config;
+}
+
+std::unique_ptr<AccessGenerator> HeavyWorkload(std::uint64_t seed) {
+  RandomAccessGenerator::Options o;
+  o.working_set_bytes = 256 * kMiB;
+  o.gap_instructions_mean = 2.0;
+  o.function = 0;
+  return std::make_unique<RandomAccessGenerator>(o, Rng(seed));
+}
+
+class LimoncelloIntegrationTest : public ::testing::Test {
+ protected:
+  LimoncelloIntegrationTest()
+      : socket_(LoadedSocket(), 4, Rng(1)),
+        control_(&socket_.msr_device(), PlatformMsrLayout::kIntelStyle, 0,
+                 LoadedSocket().num_cores),
+        actuator_(&control_, LoadedSocket().num_cores),
+        telemetry_(&socket_),
+        daemon_(TickScaledController(), &telemetry_, &actuator_) {}
+
+  // Runs one combined socket-epoch + controller tick.
+  LimoncelloDaemon::TickRecord Step() {
+    socket_.Step(kTick);
+    return daemon_.RunTick(socket_.now());
+  }
+
+  Socket socket_;
+  PrefetchControl control_;
+  MsrPrefetchActuator actuator_;
+  SocketUtilizationSource telemetry_;
+  LimoncelloDaemon daemon_;
+};
+
+TEST_F(LimoncelloIntegrationTest, DisablesUnderLoadReenablesWhenIdle) {
+  for (int core = 0; core < 4; ++core) {
+    socket_.SetWorkload(core, HeavyWorkload(10 + core));
+  }
+  // Phase 1: heavy load drives utilization above the upper threshold and,
+  // after the sustain duration, the daemon disables the prefetchers.
+  bool disabled_at = false;
+  for (int t = 0; t < 60; ++t) {
+    const auto record = Step();
+    if (record.action == ControllerAction::kDisablePrefetchers) {
+      disabled_at = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(disabled_at);
+  EXPECT_FALSE(socket_.AllPrefetchersEnabled());
+  EXPECT_EQ(control_.AllDisabled(), true);
+
+  // Phase 2: load vanishes; utilization falls below the lower threshold
+  // and the daemon re-enables after the sustain duration.
+  for (int core = 0; core < 4; ++core) socket_.SetWorkload(core, nullptr);
+  bool reenabled = false;
+  for (int t = 0; t < 60; ++t) {
+    const auto record = Step();
+    if (record.action == ControllerAction::kEnablePrefetchers) {
+      reenabled = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(reenabled);
+  EXPECT_TRUE(socket_.AllPrefetchersEnabled());
+  EXPECT_EQ(control_.AllEnabled(), true);
+}
+
+TEST_F(LimoncelloIntegrationTest, PrefetchTrafficStopsWhileDisabled) {
+  for (int core = 0; core < 4; ++core) {
+    socket_.SetWorkload(core, HeavyWorkload(20 + core));
+  }
+  // Run until disabled.
+  for (int t = 0; t < 80 && socket_.AllPrefetchersEnabled(); ++t) Step();
+  ASSERT_FALSE(socket_.AllPrefetchersEnabled());
+  const std::uint64_t pf_bytes_at_disable =
+      socket_.counters().dram_bytes[static_cast<int>(
+          TrafficClass::kHwPrefetch)];
+  // Keep the load high: prefetchers stay off, no prefetch traffic accrues.
+  for (int t = 0; t < 30; ++t) Step();
+  EXPECT_FALSE(socket_.AllPrefetchersEnabled());
+  EXPECT_EQ(socket_.counters().dram_bytes[static_cast<int>(
+                TrafficClass::kHwPrefetch)],
+            pf_bytes_at_disable);
+}
+
+TEST_F(LimoncelloIntegrationTest, ModerateLoadNeverToggles) {
+  // One core of streamy work on a 6 GB/s socket stays under threshold.
+  SequentialStreamGenerator::Options o;
+  o.working_set_bytes = 64 * kMiB;
+  o.gap_instructions_mean = 150.0;  // compute heavy, light on memory
+  socket_.SetWorkload(0, std::make_unique<SequentialStreamGenerator>(
+                             o, Rng(30)));
+  for (int t = 0; t < 100; ++t) Step();
+  EXPECT_EQ(daemon_.controller().toggle_count(), 0u);
+  EXPECT_TRUE(socket_.AllPrefetchersEnabled());
+}
+
+TEST_F(LimoncelloIntegrationTest, StateTraceReflectsSocketState) {
+  for (int core = 0; core < 4; ++core) {
+    socket_.SetWorkload(core, HeavyWorkload(40 + core));
+  }
+  for (int t = 0; t < 50; ++t) Step();
+  const TimeSeries& trace = daemon_.state_trace();
+  ASSERT_FALSE(trace.empty());
+  // Trace ends in the off state under sustained load.
+  EXPECT_EQ(trace.points().back().value, 0.0);
+  // And the fraction of "on" samples is strictly between 0 and 1 (it ran
+  // enabled for the warm-up, disabled afterwards).
+  const double on_fraction = trace.FractionAbove(0.5);
+  EXPECT_GT(on_fraction, 0.0);
+  EXPECT_LT(on_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace limoncello

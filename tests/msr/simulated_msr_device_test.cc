@@ -1,0 +1,76 @@
+#include "msr/simulated_msr_device.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+constexpr MsrRegister kReg = 0x1a4;
+
+TEST(SimulatedMsrDeviceTest, UnwrittenRegisterReadsZero) {
+  SimulatedMsrDevice dev(4);
+  EXPECT_EQ(dev.Read(0, kReg), 0u);
+  EXPECT_EQ(dev.Read(3, 0xdead), 0u);
+}
+
+TEST(SimulatedMsrDeviceTest, WriteThenRead) {
+  SimulatedMsrDevice dev(2);
+  EXPECT_TRUE(dev.Write(1, kReg, 0xf));
+  EXPECT_EQ(dev.Read(1, kReg), 0xfu);
+  EXPECT_EQ(dev.Read(0, kReg), 0u);  // per-CPU isolation
+}
+
+TEST(SimulatedMsrDeviceTest, OutOfRangeCpuFails) {
+  SimulatedMsrDevice dev(2);
+  EXPECT_FALSE(dev.Read(2, kReg).has_value());
+  EXPECT_FALSE(dev.Read(-1, kReg).has_value());
+  EXPECT_FALSE(dev.Write(2, kReg, 1));
+}
+
+TEST(SimulatedMsrDeviceTest, FailureInjectionBlocksAccess) {
+  SimulatedMsrDevice dev(2);
+  dev.FailCpu(0);
+  EXPECT_FALSE(dev.Read(0, kReg).has_value());
+  EXPECT_FALSE(dev.Write(0, kReg, 1));
+  EXPECT_TRUE(dev.Write(1, kReg, 1));
+  dev.UnfailCpu(0);
+  EXPECT_TRUE(dev.Write(0, kReg, 1));
+}
+
+TEST(SimulatedMsrDeviceTest, ObserverSeesWrites) {
+  SimulatedMsrDevice dev(2);
+  int calls = 0;
+  int last_cpu = -1;
+  std::uint64_t last_value = 0;
+  dev.AddWriteObserver([&](int cpu, MsrRegister reg, std::uint64_t value) {
+    ++calls;
+    last_cpu = cpu;
+    last_value = value;
+    EXPECT_EQ(reg, kReg);
+  });
+  dev.Write(1, kReg, 0xa);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last_cpu, 1);
+  EXPECT_EQ(last_value, 0xau);
+}
+
+TEST(SimulatedMsrDeviceTest, ObserverNotCalledOnFailedWrite) {
+  SimulatedMsrDevice dev(1);
+  int calls = 0;
+  dev.AddWriteObserver([&](int, MsrRegister, std::uint64_t) { ++calls; });
+  dev.FailCpu(0);
+  dev.Write(0, kReg, 1);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SimulatedMsrDeviceTest, WriteCountTracksSuccesses) {
+  SimulatedMsrDevice dev(2);
+  dev.Write(0, kReg, 1);
+  dev.Write(1, kReg, 1);
+  dev.FailCpu(0);
+  dev.Write(0, kReg, 2);
+  EXPECT_EQ(dev.write_count(), 2u);
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,139 @@
+#include "profiling/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+std::vector<FunctionProfileEntry> MakeProfile(
+    std::initializer_list<FunctionProfileEntry> entries) {
+  return std::vector<FunctionProfileEntry>(entries);
+}
+
+TEST(ProfileAggregateTest, AccumulateAndDerivedMetrics) {
+  ProfileAggregate agg(2);
+  agg.Accumulate(MakeProfile({{1000.0, 500, 5}, {3000.0, 1000, 40}}));
+  EXPECT_DOUBLE_EQ(agg.TotalCycles(), 4000.0);
+  EXPECT_DOUBLE_EQ(agg.CycleShare(0), 0.25);
+  EXPECT_DOUBLE_EQ(agg.Cpi(0), 2.0);
+  EXPECT_DOUBLE_EQ(agg.Cpi(1), 3.0);
+  EXPECT_DOUBLE_EQ(agg.Mpki(0), 10.0);
+  EXPECT_DOUBLE_EQ(agg.Mpki(1), 40.0);
+}
+
+TEST(ProfileAggregateTest, AccumulateIgnoresOverflowSlot) {
+  ProfileAggregate agg(2);
+  // Socket profiles carry one extra overflow slot.
+  agg.Accumulate(MakeProfile({{1.0, 1, 0}, {2.0, 1, 0}, {99.0, 99, 99}}));
+  EXPECT_DOUBLE_EQ(agg.TotalCycles(), 3.0);
+}
+
+TEST(ProfileAggregateTest, MergeSums) {
+  ProfileAggregate a(1);
+  ProfileAggregate b(1);
+  a.Accumulate(MakeProfile({{10.0, 5, 1}}));
+  b.Accumulate(MakeProfile({{30.0, 15, 3}}));
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.entry(0).cycles, 40.0);
+  EXPECT_EQ(a.entry(0).instructions, 20u);
+  EXPECT_EQ(a.entry(0).llc_misses, 4u);
+}
+
+TEST(ProfileAggregateTest, EmptyEntriesYieldZeroMetrics) {
+  ProfileAggregate agg(3);
+  EXPECT_DOUBLE_EQ(agg.Cpi(0), 0.0);
+  EXPECT_DOUBLE_EQ(agg.Mpki(1), 0.0);
+  EXPECT_DOUBLE_EQ(agg.CycleShare(2), 0.0);
+}
+
+FunctionCatalog TwoFunctionCatalog() {
+  FunctionCatalog catalog;
+  FunctionSpec tax;
+  tax.name = "memcpy";
+  tax.category = FunctionCategory::kDataMovement;
+  catalog.Add(tax);
+  FunctionSpec other;
+  other.name = "btree";
+  other.category = FunctionCategory::kNonTax;
+  catalog.Add(other);
+  return catalog;
+}
+
+TEST(CompareAblationTest, SignsAndMagnitudes) {
+  const FunctionCatalog catalog = TwoFunctionCatalog();
+  ProfileAggregate control(2);
+  ProfileAggregate experiment(2);
+  // Control (PF on): memcpy cheap (covered), btree suffers pollution.
+  control.Accumulate(MakeProfile({{1000.0, 1000, 5}, {3000.0, 1000, 30}}));
+  // Experiment (PF off): memcpy regresses, btree improves.
+  experiment.Accumulate(
+      MakeProfile({{2000.0, 1000, 25}, {2500.0, 1000, 25}}));
+  const auto deltas = CompareAblation(control, experiment, catalog);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_NEAR(deltas[0].cycles_change_pct, 100.0, 1e-9);  // memcpy +100 %
+  EXPECT_NEAR(deltas[0].mpki_change_pct, 400.0, 1e-9);
+  EXPECT_NEAR(deltas[1].cycles_change_pct, -16.67, 0.01);  // btree improves
+  EXPECT_LT(deltas[1].mpki_change_pct, 0.0);
+  EXPECT_NEAR(deltas[0].control_cycle_share, 0.25, 1e-9);
+}
+
+TEST(AggregateByCategoryTest, WeightsByCycleShare) {
+  std::vector<FunctionDelta> deltas;
+  FunctionDelta a;
+  a.category = FunctionCategory::kDataMovement;
+  a.cycles_change_pct = 100.0;
+  a.control_cycle_share = 0.3;
+  FunctionDelta b;
+  b.category = FunctionCategory::kDataMovement;
+  b.cycles_change_pct = 50.0;
+  b.control_cycle_share = 0.1;
+  FunctionDelta c;
+  c.category = FunctionCategory::kNonTax;
+  c.cycles_change_pct = -10.0;
+  c.control_cycle_share = 0.6;
+  deltas = {a, b, c};
+  const auto categories = AggregateByCategory(deltas);
+  ASSERT_EQ(categories.size(), 2u);
+  const auto& movement = categories[0].category ==
+                                 FunctionCategory::kDataMovement
+                             ? categories[0]
+                             : categories[1];
+  const auto& nontax =
+      categories[0].category == FunctionCategory::kNonTax ? categories[0]
+                                                          : categories[1];
+  EXPECT_NEAR(movement.cycles_change_pct, (100.0 * 0.3 + 50.0 * 0.1) / 0.4,
+              1e-9);
+  EXPECT_NEAR(nontax.cycles_change_pct, -10.0, 1e-9);
+  EXPECT_NEAR(movement.control_cycle_share, 0.4, 1e-9);
+}
+
+TEST(SelectPrefetchTargetsTest, FiltersAndRanks) {
+  std::vector<FunctionDelta> deltas(4);
+  deltas[0].name = "big_regressor";
+  deltas[0].cycles_change_pct = 50.0;
+  deltas[0].control_cycle_share = 0.2;
+  deltas[1].name = "small_regressor";
+  deltas[1].cycles_change_pct = 40.0;
+  deltas[1].control_cycle_share = 0.001;  // too cold
+  deltas[2].name = "improver";
+  deltas[2].cycles_change_pct = -20.0;
+  deltas[2].control_cycle_share = 0.3;
+  deltas[3].name = "mild_regressor";
+  deltas[3].cycles_change_pct = 10.0;
+  deltas[3].control_cycle_share = 0.1;
+  const auto targets = SelectPrefetchTargets(deltas,
+                                             /*min_regression_pct=*/5.0,
+                                             /*min_cycle_share=*/0.01);
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0].name, "big_regressor");  // ranked by impact
+  EXPECT_EQ(targets[1].name, "mild_regressor");
+}
+
+TEST(CompareAblationDeathTest, MismatchedSizesAbort) {
+  ProfileAggregate a(2);
+  ProfileAggregate b(3);
+  EXPECT_DEATH(CompareAblation(a, b, TwoFunctionCatalog()), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

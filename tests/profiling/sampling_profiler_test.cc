@@ -1,0 +1,74 @@
+#include "profiling/sampling_profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+std::vector<FunctionProfileEntry> BigProfile() {
+  return {{1.0e6, 1000000, 10000}, {2.0e6, 2000000, 40000}};
+}
+
+TEST(SamplingProfilerTest, SelectsMachinesAtConfiguredRate) {
+  SamplingProfiler::Options options;
+  options.machine_sample_probability = 0.25;
+  SamplingProfiler profiler(options, Rng(1));
+  ProfileAggregate agg(2);
+  int selected = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    if (profiler.CollectFrom(BigProfile(), &agg)) ++selected;
+  }
+  EXPECT_NEAR(static_cast<double>(selected) / kN, 0.25, 0.03);
+}
+
+TEST(SamplingProfilerTest, ThinningPreservesRatiosInAggregate) {
+  SamplingProfiler::Options options;
+  options.machine_sample_probability = 1.0;
+  options.event_sample_fraction = 0.05;
+  SamplingProfiler profiler(options, Rng(2));
+  ProfileAggregate agg(2);
+  for (int i = 0; i < 500; ++i) profiler.CollectFrom(BigProfile(), &agg);
+  // Aggregated thinned profiles preserve the CPI and MPKI of the truth
+  // (sampling is unbiased).
+  EXPECT_NEAR(agg.Cpi(0), 1.0, 0.05);
+  EXPECT_NEAR(agg.Cpi(1), 1.0, 0.05);
+  EXPECT_NEAR(agg.Mpki(0), 10.0, 0.5);
+  EXPECT_NEAR(agg.Mpki(1), 20.0, 1.0);
+  // And the aggregate contains ~5 % of the events.
+  EXPECT_NEAR(static_cast<double>(agg.entry(0).instructions),
+              0.05 * 500 * 1.0e6, 0.05 * 500 * 1.0e6 * 0.05);
+}
+
+TEST(SamplingProfilerTest, SmallCountsThinnedExactly) {
+  SamplingProfiler::Options options;
+  options.machine_sample_probability = 1.0;
+  options.event_sample_fraction = 0.5;
+  SamplingProfiler profiler(options, Rng(3));
+  ProfileAggregate agg(1);
+  std::vector<FunctionProfileEntry> tiny = {{10.0, 10, 2}};
+  for (int i = 0; i < 2000; ++i) profiler.CollectFrom(tiny, &agg);
+  // Bernoulli thinning of tiny counters is unbiased too.
+  EXPECT_NEAR(static_cast<double>(agg.entry(0).instructions), 10000.0,
+              600.0);
+}
+
+TEST(SamplingProfilerTest, DeterministicForSameSeed) {
+  SamplingProfiler::Options options;
+  auto run = [&] {
+    SamplingProfiler profiler(options, Rng(7));
+    ProfileAggregate agg(2);
+    for (int i = 0; i < 100; ++i) profiler.CollectFrom(BigProfile(), &agg);
+    return agg.entry(0).instructions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SamplingProfilerDeathTest, InvalidOptionsAbort) {
+  SamplingProfiler::Options options;
+  options.machine_sample_probability = 0.0;
+  EXPECT_DEATH(SamplingProfiler(options, Rng(1)), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

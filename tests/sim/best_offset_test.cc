@@ -1,0 +1,120 @@
+#include "sim/prefetch/best_offset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+BestOffsetPrefetcher::Options FastOptions() {
+  BestOffsetPrefetcher::Options o;
+  o.score_max = 8;
+  o.round_max = 40;
+  o.bad_score = 4;
+  return o;
+}
+
+// Feeds a stride-`stride` stream of `n` accesses; returns the engine.
+void FeedStride(BestOffsetPrefetcher& pf, Addr start, int stride, int n,
+                std::vector<Addr>* sink) {
+  for (int i = 0; i < n; ++i) {
+    sink->clear();
+    pf.Observe({start + static_cast<Addr>(i * stride), 1, false, false},
+               sink);
+  }
+}
+
+TEST(BestOffsetTest, LearnsUnitStride) {
+  BestOffsetPrefetcher pf(FastOptions());
+  std::vector<Addr> out;
+  FeedStride(pf, 1000, 1, 100, &out);
+  EXPECT_EQ(pf.current_offset(), 1);
+  // Steady state: each access prefetches line+1.
+  out.clear();
+  pf.Observe({5000, 1, false, false}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 5001u);
+}
+
+TEST(BestOffsetTest, LearnsLargerStride) {
+  BestOffsetPrefetcher pf(FastOptions());
+  std::vector<Addr> out;
+  FeedStride(pf, 2000, 4, 200, &out);
+  EXPECT_EQ(pf.current_offset(), 4);
+  out.clear();
+  pf.Observe({8000, 1, false, false}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 8004u);
+}
+
+TEST(BestOffsetTest, AdaptsWhenStrideChanges) {
+  BestOffsetPrefetcher pf(FastOptions());
+  std::vector<Addr> out;
+  FeedStride(pf, 0, 1, 150, &out);
+  ASSERT_EQ(pf.current_offset(), 1);
+  // Switch to stride 8: after a couple of learning rounds the offset
+  // follows.
+  FeedStride(pf, 1 << 20, 8, 300, &out);
+  EXPECT_EQ(pf.current_offset(), 8);
+}
+
+TEST(BestOffsetTest, PausesOnRandomAccess) {
+  BestOffsetPrefetcher pf(FastOptions());
+  Rng rng(5);
+  std::vector<Addr> out;
+  // Enough random accesses to complete several scoring rounds.
+  for (int i = 0; i < 500; ++i) {
+    out.clear();
+    pf.Observe({rng.NextBounded(1 << 24), 1, false, false}, &out);
+  }
+  EXPECT_TRUE(pf.prefetching_paused());
+  out.clear();
+  pf.Observe({123, 1, false, false}, &out);
+  EXPECT_TRUE(out.empty());  // throttled: no speculative traffic
+  EXPECT_GE(pf.rounds_completed(), 5);
+}
+
+TEST(BestOffsetTest, RecoversFromPause) {
+  BestOffsetPrefetcher pf(FastOptions());
+  Rng rng(6);
+  std::vector<Addr> out;
+  for (int i = 0; i < 300; ++i) {
+    out.clear();
+    pf.Observe({rng.NextBounded(1 << 24), 1, false, false}, &out);
+  }
+  ASSERT_TRUE(pf.prefetching_paused());
+  FeedStride(pf, 1 << 22, 1, 200, &out);
+  EXPECT_EQ(pf.current_offset(), 1);
+}
+
+TEST(BestOffsetTest, ResetStateRestoresDefaults) {
+  BestOffsetPrefetcher pf(FastOptions());
+  std::vector<Addr> out;
+  FeedStride(pf, 0, 4, 200, &out);
+  ASSERT_EQ(pf.current_offset(), 4);
+  pf.ResetState();
+  EXPECT_EQ(pf.current_offset(), 1);
+}
+
+TEST(BestOffsetTest, ReportsAsL2StreamEngine) {
+  BestOffsetPrefetcher pf;
+  EXPECT_EQ(pf.kind(), PrefetchEngine::kL2Stream);
+}
+
+TEST(BestOffsetTest, NonCandidateStrideFallsBackToMultiple) {
+  // Stride 7 is not a candidate, but offset 'd' scores whenever line-d
+  // was recently accessed — multiples of 7 hit periodically; the engine
+  // should settle on *some* useful multiple or pause, never crash.
+  BestOffsetPrefetcher pf(FastOptions());
+  std::vector<Addr> out;
+  FeedStride(pf, 0, 7, 400, &out);
+  // Offsets that are not multiples of 7 can never score on this stream.
+  const int offset = pf.current_offset();
+  if (offset != 0) {
+    EXPECT_EQ(offset % 7, 0) << offset;
+  }
+}
+
+}  // namespace
+}  // namespace limoncello

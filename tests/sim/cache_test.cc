@@ -1,0 +1,184 @@
+#include "sim/cache/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+CacheConfig SmallCache() {
+  // 4 KiB, 4-way => 16 sets of 4 lines.
+  return CacheConfig{4 * kKiB, 4};
+}
+
+TEST(CacheTest, MissThenFillThenHit) {
+  Cache cache(SmallCache(), "test");
+  EXPECT_FALSE(cache.LookupDemand(100, false));
+  cache.Fill(100, /*is_prefetch=*/false, /*dirty=*/false);
+  EXPECT_TRUE(cache.LookupDemand(100, false));
+  EXPECT_EQ(cache.stats().demand_hits, 1u);
+  EXPECT_EQ(cache.stats().demand_misses, 1u);
+}
+
+TEST(CacheTest, ContainsHasNoSideEffects) {
+  Cache cache(SmallCache(), "test");
+  cache.Fill(7, false, false);
+  const auto before = cache.stats();
+  EXPECT_TRUE(cache.Contains(7));
+  EXPECT_FALSE(cache.Contains(8));
+  EXPECT_EQ(cache.stats().demand_hits, before.demand_hits);
+  EXPECT_EQ(cache.stats().demand_misses, before.demand_misses);
+}
+
+TEST(CacheTest, LruEvictionOrder) {
+  Cache cache(SmallCache(), "test");
+  const std::uint64_t sets = cache.num_sets();
+  // Fill one set completely: lines mapping to set 0.
+  for (int w = 0; w < 4; ++w) {
+    cache.Fill(static_cast<Addr>(w) * sets, false, false);
+  }
+  // Touch line 0 to make it MRU; way with line sets*1 is now LRU.
+  EXPECT_TRUE(cache.LookupDemand(0, false));
+  const auto evicted = cache.Fill(4 * sets, false, false);
+  ASSERT_TRUE(evicted.valid);
+  EXPECT_EQ(evicted.line_addr, sets);  // line 1*sets was LRU
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(sets));
+}
+
+TEST(CacheTest, DirtyEvictionSignalsWriteback) {
+  Cache cache(SmallCache(), "test");
+  const std::uint64_t sets = cache.num_sets();
+  cache.Fill(0, false, /*dirty=*/true);
+  for (int w = 1; w < 4; ++w) cache.Fill(static_cast<Addr>(w) * sets, false, false);
+  const auto evicted = cache.Fill(4 * sets, false, false);
+  ASSERT_TRUE(evicted.valid);
+  EXPECT_TRUE(evicted.dirty);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, StoreMarksLineDirty) {
+  Cache cache(SmallCache(), "test");
+  const std::uint64_t sets = cache.num_sets();
+  cache.Fill(0, false, false);
+  EXPECT_TRUE(cache.LookupDemand(0, /*is_store=*/true));
+  for (int w = 1; w < 4; ++w) cache.Fill(static_cast<Addr>(w) * sets, false, false);
+  const auto evicted = cache.Fill(4 * sets, false, false);
+  ASSERT_TRUE(evicted.valid);
+  EXPECT_TRUE(evicted.dirty);
+}
+
+TEST(CacheTest, PrefetchCoverageAccounting) {
+  Cache cache(SmallCache(), "test");
+  cache.Fill(42, /*is_prefetch=*/true, false);
+  EXPECT_EQ(cache.stats().prefetch_fills, 1u);
+  EXPECT_TRUE(cache.LookupDemand(42, false));
+  EXPECT_EQ(cache.stats().prefetch_covered_hits, 1u);
+  // Second hit no longer counts as covered (bit cleared).
+  EXPECT_TRUE(cache.LookupDemand(42, false));
+  EXPECT_EQ(cache.stats().prefetch_covered_hits, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().PrefetchAccuracy(), 1.0);
+}
+
+TEST(CacheTest, PollutionAccounting) {
+  Cache cache(SmallCache(), "test");
+  const std::uint64_t sets = cache.num_sets();
+  cache.Fill(0, /*is_prefetch=*/true, false);  // never demanded
+  for (int w = 1; w < 5; ++w) {
+    cache.Fill(static_cast<Addr>(w) * sets, false, false);
+  }
+  EXPECT_EQ(cache.stats().prefetch_pollution_evictions, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().PrefetchAccuracy(), 0.0);
+}
+
+TEST(CacheTest, RefillOfPresentLineDoesNotEvict) {
+  Cache cache(SmallCache(), "test");
+  cache.Fill(5, false, false);
+  const auto evicted = cache.Fill(5, false, /*dirty=*/true);
+  EXPECT_FALSE(evicted.valid);
+  // The refill merged dirtiness.
+  const std::uint64_t sets = cache.num_sets();
+  for (int w = 1; w < 4; ++w) {
+    cache.Fill(5 + static_cast<Addr>(w) * sets, false, false);
+  }
+  const auto second = cache.Fill(5 + 4 * sets, false, false);
+  ASSERT_TRUE(second.valid);
+  EXPECT_TRUE(second.dirty);
+}
+
+TEST(CacheTest, FlushEmptiesEverything) {
+  Cache cache(SmallCache(), "test");
+  for (Addr line = 0; line < 32; ++line) cache.Fill(line, false, false);
+  cache.Flush();
+  for (Addr line = 0; line < 32; ++line) {
+    EXPECT_FALSE(cache.Contains(line));
+  }
+}
+
+TEST(CacheTest, MissRateMetric) {
+  Cache cache(SmallCache(), "test");
+  cache.LookupDemand(1, false);  // miss
+  cache.Fill(1, false, false);
+  cache.LookupDemand(1, false);  // hit
+  cache.LookupDemand(1, false);  // hit
+  cache.LookupDemand(2, false);  // miss
+  EXPECT_DOUBLE_EQ(cache.stats().DemandMissRate(), 0.5);
+}
+
+TEST(CacheTest, WorkingSetBiggerThanCacheAlwaysMisses) {
+  Cache cache(SmallCache(), "test");  // 64 lines
+  // Cyclic sweep over 128 lines with LRU => every access misses.
+  int misses = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (Addr line = 0; line < 128; ++line) {
+      if (!cache.LookupDemand(line, false)) {
+        ++misses;
+        cache.Fill(line, false, false);
+      }
+    }
+  }
+  EXPECT_EQ(misses, 3 * 128);
+}
+
+TEST(CacheTest, WorkingSetFittingInCacheHitsAfterWarmup) {
+  Cache cache(SmallCache(), "test");  // 64 lines
+  for (Addr line = 0; line < 32; ++line) {
+    cache.LookupDemand(line, false);
+    cache.Fill(line, false, false);
+  }
+  cache.ResetStats();
+  for (int round = 0; round < 4; ++round) {
+    for (Addr line = 0; line < 32; ++line) {
+      EXPECT_TRUE(cache.LookupDemand(line, false));
+    }
+  }
+  EXPECT_EQ(cache.stats().demand_misses, 0u);
+}
+
+TEST(CacheDeathTest, NonPowerOfTwoSetsAborts) {
+  EXPECT_DEATH(Cache(CacheConfig{48 * kKiB, 5}, "bad"), "CHECK");
+}
+
+// Sweep over geometries: basic invariants hold for all of them.
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, int>> {};
+
+TEST_P(CacheGeometryTest, FillThenHitInvariant) {
+  const auto [size, ways] = GetParam();
+  Cache cache(CacheConfig{size, ways}, "geo");
+  for (Addr line = 0; line < 16; ++line) {
+    cache.Fill(line * 977, false, false);
+    EXPECT_TRUE(cache.Contains(line * 977));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_pair(std::uint64_t{32} * kKiB, 8),
+                      std::make_pair(std::uint64_t{256} * kKiB, 8),
+                      std::make_pair(std::uint64_t{1} * kMiB, 16),
+                      std::make_pair(std::uint64_t{8} * kMiB, 16),
+                      std::make_pair(std::uint64_t{4} * kKiB, 1),
+                      std::make_pair(std::uint64_t{16} * kMiB, 32)));
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,105 @@
+#include "sim/prefetch/fdp_throttle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workloads/generators.h"
+
+namespace limoncello {
+namespace {
+
+SocketConfig SmallSocket(double peak_gbps) {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.memory.peak_gbps = peak_gbps;
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+TEST(FdpThrottleTest, DisableBitsLadder) {
+  EXPECT_EQ(FdpThrottle::DisableBitsForLevel(0), 0xfu);
+  EXPECT_EQ(FdpThrottle::DisableBitsForLevel(3), 0x0u);
+  // Level 2 disables only the adjacent-line engine (bit 1).
+  EXPECT_EQ(FdpThrottle::DisableBitsForLevel(2), 0x2u);
+  // Level 1 additionally disables the DCU streamer (bit 2).
+  EXPECT_EQ(FdpThrottle::DisableBitsForLevel(1), 0x6u);
+}
+
+TEST(FdpThrottleTest, RampsUpOnAccurateStreams) {
+  Socket socket(SmallSocket(24.0), 2, Rng(1));
+  FdpConfig config;
+  config.initial_level = 1;
+  FdpThrottle throttle(config, &socket);
+  SequentialStreamGenerator::Options o;
+  o.working_set_bytes = 128 * kMiB;
+  o.mean_stream_bytes = 64 * 1024;
+  o.gap_instructions_mean = 20.0;  // light load, no pressure
+  socket.SetWorkload(0, std::make_unique<SequentialStreamGenerator>(
+                            o, Rng(2)));
+  for (int i = 0; i < 20; ++i) {
+    socket.Step(100 * kNsPerUs);
+    throttle.Tick();
+  }
+  // Accurate prefetching + bandwidth headroom: full aggressiveness.
+  EXPECT_EQ(throttle.level(), 3);
+  EXPECT_GT(throttle.adjustments(), 0u);
+}
+
+TEST(FdpThrottleTest, RampsDownUnderBandwidthPressure) {
+  Socket socket(SmallSocket(2.0), 2, Rng(3));  // scarce bandwidth
+  FdpConfig config;
+  config.initial_level = 3;
+  FdpThrottle throttle(config, &socket);
+  for (int core = 0; core < 2; ++core) {
+    RandomAccessGenerator::Options o;
+    o.working_set_bytes = 256 * kMiB;
+    o.gap_instructions_mean = 2.0;
+    socket.SetWorkload(core, std::make_unique<RandomAccessGenerator>(
+                                 o, Rng(4 + core)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    socket.Step(100 * kNsPerUs);
+    throttle.Tick();
+  }
+  // Random access = low accuracy, saturated channel = high pressure:
+  // the ladder walks down (typically to zero).
+  EXPECT_LE(throttle.level(), 1);
+}
+
+TEST(FdpThrottleTest, IdleSocketHoldsOrRises) {
+  Socket socket(SmallSocket(24.0), 2, Rng(5));
+  FdpConfig config;
+  FdpThrottle throttle(config, &socket);
+  for (int i = 0; i < 10; ++i) {
+    socket.Step(100 * kNsPerUs);
+    throttle.Tick();
+  }
+  // No fills issued => accuracy treated as perfect; never ramps down.
+  EXPECT_GE(throttle.level(), config.initial_level);
+}
+
+TEST(FdpThrottleTest, ActuatesThroughMsrPath) {
+  Socket socket(SmallSocket(2.0), 2, Rng(6));
+  FdpConfig config;
+  config.initial_level = 3;
+  FdpThrottle throttle(config, &socket);
+  for (int core = 0; core < 2; ++core) {
+    RandomAccessGenerator::Options o;
+    o.working_set_bytes = 256 * kMiB;
+    o.gap_instructions_mean = 2.0;
+    socket.SetWorkload(core, std::make_unique<RandomAccessGenerator>(
+                                 o, Rng(7 + core)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    socket.Step(100 * kNsPerUs);
+    throttle.Tick();
+  }
+  ASSERT_LE(throttle.level(), 1);
+  // The MSR register file reflects the ladder's engine mask.
+  const std::uint64_t raw = socket.msr_device().PeekRaw(0, 0x1a4);
+  EXPECT_EQ(raw, FdpThrottle::DisableBitsForLevel(throttle.level()));
+}
+
+}  // namespace
+}  // namespace limoncello

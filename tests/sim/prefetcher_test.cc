@@ -1,0 +1,211 @@
+#include "sim/prefetch/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+TEST(DcuStreamerTest, PrefetchesNextLine) {
+  DcuStreamerPrefetcher pf;
+  std::vector<Addr> out;
+  pf.Observe({100, 1, false, false}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 101u);
+  EXPECT_EQ(pf.issued(), 1u);
+}
+
+TEST(AdjacentLineTest, OnlyTriggersOnMiss) {
+  AdjacentLinePrefetcher pf;
+  std::vector<Addr> out;
+  pf.Observe({100, 1, /*was_hit=*/true, false}, &out);
+  EXPECT_TRUE(out.empty());
+  pf.Observe({100, 1, /*was_hit=*/false, false}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 101u);  // buddy of even line is +1
+  out.clear();
+  pf.Observe({101, 1, false, false}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 100u);  // buddy of odd line is -1
+}
+
+TEST(IpStrideTest, LearnsStrideAfterConfidenceThreshold) {
+  IpStridePrefetcher::Options o;
+  o.confidence_threshold = 2;
+  o.degree = 2;
+  IpStridePrefetcher pf(o);
+  std::vector<Addr> out;
+  // Stride-3 stream from one "PC" (function 5). The first delta sets the
+  // candidate stride; confidence counts subsequent confirmations.
+  for (Addr a : {100, 103, 106, 109}) {
+    out.clear();
+    pf.Observe({a, 5, false, false}, &out);
+  }
+  // After two confirmations of the stride, the threshold is met.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 112u);
+  EXPECT_EQ(out[1], 115u);
+}
+
+TEST(IpStrideTest, RandomAccessStaysQuiet) {
+  IpStridePrefetcher pf;
+  Rng rng(1);
+  std::vector<Addr> out;
+  std::size_t total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();
+    pf.Observe({rng.NextBounded(1 << 20), 5, false, false}, &out);
+    total += out.size();
+  }
+  // Random strides almost never repeat: few spurious prefetches.
+  EXPECT_LT(total, 40u);
+}
+
+TEST(IpStrideTest, DistinctFunctionsTrackedIndependently) {
+  IpStridePrefetcher::Options o;
+  o.confidence_threshold = 2;
+  o.degree = 1;
+  IpStridePrefetcher pf(o);
+  std::vector<Addr> out;
+  // Interleave two streams with different strides and PCs.
+  for (int i = 0; i < 4; ++i) {
+    out.clear();
+    pf.Observe({static_cast<Addr>(100 + 2 * i), 1, false, false}, &out);
+    out.clear();
+    pf.Observe({static_cast<Addr>(5000 + 7 * i), 2, false, false}, &out);
+  }
+  // Function 2's last observation should prefetch with stride 7.
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 5000u + 21u + 7u);
+}
+
+TEST(IpStrideTest, ResetStateForgetsTraining) {
+  IpStridePrefetcher::Options o;
+  o.confidence_threshold = 1;
+  IpStridePrefetcher pf(o);
+  std::vector<Addr> out;
+  pf.Observe({10, 1, false, false}, &out);
+  pf.Observe({12, 1, false, false}, &out);
+  pf.Observe({14, 1, false, false}, &out);
+  EXPECT_FALSE(out.empty());
+  pf.ResetState();
+  out.clear();
+  pf.Observe({16, 1, false, false}, &out);
+  EXPECT_TRUE(out.empty());  // must retrain from scratch
+}
+
+TEST(StreamPrefetcherTest, DetectsAscendingStreamWithDistanceAndDegree) {
+  StreamPrefetcher::Options o;
+  o.train_threshold = 2;
+  o.degree = 3;
+  o.distance = 4;
+  StreamPrefetcher pf(o);
+  std::vector<Addr> out;
+  for (Addr a : {1000, 1001, 1002}) {
+    out.clear();
+    pf.Observe({a, 1, false, false}, &out);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 1002u + 4 + 1);
+  EXPECT_EQ(out[1], 1002u + 4 + 2);
+  EXPECT_EQ(out[2], 1002u + 4 + 3);
+}
+
+TEST(StreamPrefetcherTest, DetectsDescendingStream) {
+  StreamPrefetcher::Options o;
+  o.train_threshold = 2;
+  o.degree = 1;
+  o.distance = 2;
+  StreamPrefetcher pf(o);
+  std::vector<Addr> out;
+  for (Addr a : {1010, 1009, 1008}) {
+    out.clear();
+    pf.Observe({a, 1, false, false}, &out);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1008u - 3);
+}
+
+TEST(StreamPrefetcherTest, DirectionFlipResetsTraining) {
+  StreamPrefetcher::Options o;
+  o.train_threshold = 3;
+  StreamPrefetcher pf(o);
+  std::vector<Addr> out;
+  for (Addr a : {1000, 1001, 1000, 1001, 1000}) {
+    out.clear();
+    pf.Observe({a, 1, false, false}, &out);
+    EXPECT_TRUE(out.empty());  // never 3 consecutive same-direction steps
+  }
+}
+
+TEST(StreamPrefetcherTest, TracksMultiplePagesIndependently) {
+  StreamPrefetcher::Options o;
+  o.train_threshold = 2;
+  o.degree = 1;
+  o.distance = 0;
+  o.tracker_size = 8;
+  StreamPrefetcher pf(o);
+  std::vector<Addr> out;
+  // Pages are 64 lines; interleave streams in two distant pages.
+  std::size_t hits = 0;
+  for (int i = 0; i < 6; ++i) {
+    out.clear();
+    pf.Observe({static_cast<Addr>(0 + i), 1, false, false}, &out);
+    hits += out.size();
+    out.clear();
+    pf.Observe({static_cast<Addr>(1 << 12) + static_cast<Addr>(i), 1,
+                false, false},
+               &out);
+    hits += out.size();
+  }
+  // Both streams train (threshold 2) and keep issuing.
+  EXPECT_GE(hits, 8u);
+}
+
+TEST(StreamPrefetcherTest, RandomTrafficTriggersRarely) {
+  StreamPrefetcher pf;
+  Rng rng(3);
+  std::vector<Addr> out;
+  std::size_t issued = 0;
+  for (int i = 0; i < 2000; ++i) {
+    out.clear();
+    pf.Observe({rng.NextBounded(1 << 22), 1, false, false}, &out);
+    issued += out.size();
+  }
+  EXPECT_LT(issued, 200u);
+}
+
+TEST(EnableDisableTest, ReenableResetsState) {
+  IpStridePrefetcher::Options o;
+  o.confidence_threshold = 1;
+  IpStridePrefetcher pf(o);
+  std::vector<Addr> out;
+  pf.Observe({10, 1, false, false}, &out);
+  pf.Observe({12, 1, false, false}, &out);
+  pf.set_enabled(false);
+  EXPECT_FALSE(pf.enabled());
+  pf.set_enabled(true);  // must clear training tables (warm-up cost)
+  out.clear();
+  pf.Observe({14, 1, false, false}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EnableDisableTest, EnableWhenAlreadyEnabledKeepsState) {
+  StreamPrefetcher::Options o;
+  o.train_threshold = 2;
+  o.degree = 1;
+  StreamPrefetcher pf(o);
+  std::vector<Addr> out;
+  pf.Observe({100, 1, false, false}, &out);
+  pf.Observe({101, 1, false, false}, &out);
+  pf.set_enabled(true);  // no-op: already enabled
+  out.clear();
+  pf.Observe({102, 1, false, false}, &out);
+  EXPECT_FALSE(out.empty());  // training survived
+}
+
+}  // namespace
+}  // namespace limoncello

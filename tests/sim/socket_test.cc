@@ -1,0 +1,233 @@
+#include "sim/machine/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workloads/function_catalog.h"
+#include "workloads/generators.h"
+
+namespace limoncello {
+namespace {
+
+SocketConfig SmallSocket() {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.l1 = {32 * kKiB, 8};
+  config.l2 = {256 * kKiB, 8};
+  config.llc_bytes_per_core = 1 * kMiB;
+  config.memory.peak_gbps = 6.0;  // 3 GB/s per core
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+std::unique_ptr<AccessGenerator> StreamWorkload(std::uint64_t seed,
+                                                FunctionId function = 0) {
+  SequentialStreamGenerator::Options o;
+  o.working_set_bytes = 64 * kMiB;
+  o.mean_stream_bytes = 16 * 1024;
+  o.function = function;
+  return std::make_unique<SequentialStreamGenerator>(o, Rng(seed));
+}
+
+std::unique_ptr<AccessGenerator> RandomWorkload(std::uint64_t seed,
+                                                FunctionId function = 1) {
+  RandomAccessGenerator::Options o;
+  o.working_set_bytes = 128 * kMiB;
+  o.function = function;
+  return std::make_unique<RandomAccessGenerator>(o, Rng(seed));
+}
+
+void RunEpochs(Socket& socket, int epochs,
+               SimTimeNs epoch_ns = 100 * kNsPerUs) {
+  for (int i = 0; i < epochs; ++i) socket.Step(epoch_ns);
+}
+
+TEST(SocketTest, StepAdvancesTimeAndRetiresInstructions) {
+  Socket socket(SmallSocket(), 4, Rng(1));
+  socket.SetWorkload(0, StreamWorkload(1));
+  RunEpochs(socket, 10);
+  EXPECT_EQ(socket.now(), 10 * 100 * kNsPerUs);
+  EXPECT_GT(socket.counters().instructions, 0u);
+  EXPECT_GT(socket.counters().core_cycles, 0u);
+}
+
+TEST(SocketTest, IdleCoresAccumulateIdleCycles) {
+  Socket socket(SmallSocket(), 4, Rng(1));
+  // No workload at all.
+  RunEpochs(socket, 5);
+  EXPECT_EQ(socket.counters().instructions, 0u);
+  EXPECT_GT(socket.counters().idle_cycles, 0u);
+}
+
+TEST(SocketTest, PrefetchersCoverSequentialStreams) {
+  Socket on(SmallSocket(), 4, Rng(2));
+  Socket off(SmallSocket(), 4, Rng(2));
+  off.SetAllPrefetchersEnabled(false);
+  on.SetWorkload(0, StreamWorkload(7));
+  off.SetWorkload(0, StreamWorkload(7));
+  RunEpochs(on, 50);
+  RunEpochs(off, 50);
+  const double mpki_on = on.counters().LlcMpki();
+  const double mpki_off = off.counters().LlcMpki();
+  // Streams are nearly fully covered by the DCU streamer.
+  EXPECT_LT(mpki_on, 0.5 * mpki_off);
+  EXPECT_GT(mpki_off, 1.0);
+}
+
+TEST(SocketTest, DisablingPrefetchersCutsTrafficOnRandomAccess) {
+  Socket on(SmallSocket(), 4, Rng(3));
+  Socket off(SmallSocket(), 4, Rng(3));
+  off.SetAllPrefetchersEnabled(false);
+  on.SetWorkload(0, RandomWorkload(9));
+  off.SetWorkload(0, RandomWorkload(9));
+  RunEpochs(on, 50);
+  RunEpochs(off, 50);
+  // Normalize traffic per instruction: prefetchers guess wrong on random
+  // access, adding pure waste.
+  const double bytes_per_instr_on =
+      static_cast<double>(on.counters().DramTotalBytes()) /
+      static_cast<double>(on.counters().instructions);
+  const double bytes_per_instr_off =
+      static_cast<double>(off.counters().DramTotalBytes()) /
+      static_cast<double>(off.counters().instructions);
+  EXPECT_LT(bytes_per_instr_off, 0.8 * bytes_per_instr_on);
+  // And with prefetchers on, a large share of traffic is prefetch.
+  const auto& c = on.counters();
+  EXPECT_GT(c.dram_bytes[static_cast<int>(TrafficClass::kHwPrefetch)],
+            c.DramTotalBytes() / 5);
+}
+
+TEST(SocketTest, MsrWriteDisablesEngines) {
+  Socket socket(SmallSocket(), 4, Rng(4));
+  EXPECT_TRUE(socket.AllPrefetchersEnabled());
+  // Intel-style: setting the low 4 bits of 0x1A4 disables all engines.
+  for (int cpu = 0; cpu < socket.config().num_cores; ++cpu) {
+    EXPECT_TRUE(socket.msr_device().Write(cpu, 0x1a4, 0xf));
+  }
+  EXPECT_FALSE(socket.AllPrefetchersEnabled());
+  for (int cpu = 0; cpu < socket.config().num_cores; ++cpu) {
+    EXPECT_TRUE(socket.msr_device().Write(cpu, 0x1a4, 0x0));
+  }
+  EXPECT_TRUE(socket.AllPrefetchersEnabled());
+}
+
+TEST(SocketTest, MsrPathAffectsTraffic) {
+  Socket socket(SmallSocket(), 4, Rng(5));
+  socket.SetWorkload(0, RandomWorkload(11));
+  RunEpochs(socket, 30);
+  const std::uint64_t pf_bytes_before =
+      socket.counters().dram_bytes[static_cast<int>(
+          TrafficClass::kHwPrefetch)];
+  EXPECT_GT(pf_bytes_before, 0u);
+  for (int cpu = 0; cpu < socket.config().num_cores; ++cpu) {
+    socket.msr_device().Write(cpu, 0x1a4, 0xf);
+  }
+  RunEpochs(socket, 30);
+  const std::uint64_t pf_bytes_after =
+      socket.counters().dram_bytes[static_cast<int>(
+          TrafficClass::kHwPrefetch)];
+  // No further hardware prefetch traffic accrues once disabled.
+  EXPECT_EQ(pf_bytes_after, pf_bytes_before);
+}
+
+TEST(SocketTest, SoftwarePrefetchCoversMemcpyWhenHwOff) {
+  auto make_trace = [](bool sw_prefetch) {
+    MemcpyTraceGenerator::Options o;
+    o.src = 0;
+    o.dst = 512 * kMiB;
+    o.bytes = 4 * kMiB;
+    o.function = 0;
+    if (sw_prefetch) {
+      o.sw_prefetch_distance_bytes = 512;
+      o.sw_prefetch_degree_bytes = 256;
+    }
+    return std::make_unique<MemcpyTraceGenerator>(o);
+  };
+  Socket plain(SmallSocket(), 4, Rng(6));
+  Socket prefetched(SmallSocket(), 4, Rng(6));
+  plain.SetAllPrefetchersEnabled(false);
+  prefetched.SetAllPrefetchersEnabled(false);
+  plain.SetWorkload(0, make_trace(false));
+  prefetched.SetWorkload(0, make_trace(true));
+  while (!plain.WorkloadExhausted(0)) plain.Step(100 * kNsPerUs);
+  while (!prefetched.WorkloadExhausted(0)) {
+    prefetched.Step(100 * kNsPerUs);
+  }
+  // SW prefetching converts demand misses into covered hits => fewer
+  // cycles to complete the same copy.
+  EXPECT_LT(prefetched.counters().LlcMpki(),
+            0.7 * plain.counters().LlcMpki());
+  EXPECT_LT(prefetched.core_active_cycles(0),
+            plain.core_active_cycles(0));
+  // And the SW prefetch traffic is visible in its own class.
+  EXPECT_GT(prefetched.counters().dram_bytes[static_cast<int>(
+                TrafficClass::kSwPrefetch)],
+            0u);
+}
+
+TEST(SocketTest, FiniteWorkloadExhausts) {
+  Socket socket(SmallSocket(), 4, Rng(7));
+  MemcpyTraceGenerator::Options o;
+  o.bytes = 64 * kCacheLineBytes;
+  o.dst = 1 * kMiB;
+  socket.SetWorkload(0, std::make_unique<MemcpyTraceGenerator>(o));
+  EXPECT_FALSE(socket.WorkloadExhausted(0));
+  RunEpochs(socket, 5);
+  EXPECT_TRUE(socket.WorkloadExhausted(0));
+  EXPECT_TRUE(socket.WorkloadExhausted(1));  // never had work
+}
+
+TEST(SocketTest, FunctionAttributionSeparatesWorkloads) {
+  Socket socket(SmallSocket(), 4, Rng(8));
+  socket.SetWorkload(0, StreamWorkload(1, /*function=*/2));
+  socket.SetWorkload(1, RandomWorkload(2, /*function=*/3));
+  RunEpochs(socket, 20);
+  const auto& profile = socket.function_profile();
+  EXPECT_GT(profile[2].instructions, 0u);
+  EXPECT_GT(profile[3].instructions, 0u);
+  EXPECT_GT(profile[3].llc_misses, 0u);
+  EXPECT_EQ(profile[0].instructions, 0u);
+  // Random access misses far more than covered streams (per instruction).
+  const double mpki2 = 1000.0 * static_cast<double>(profile[2].llc_misses) /
+                       static_cast<double>(profile[2].instructions);
+  const double mpki3 = 1000.0 * static_cast<double>(profile[3].llc_misses) /
+                       static_cast<double>(profile[3].instructions);
+  EXPECT_GT(mpki3, mpki2);
+}
+
+TEST(SocketTest, HighLoadRaisesMemoryLatency) {
+  SocketConfig config = SmallSocket();
+  config.memory.peak_gbps = 2.0;  // scarce bandwidth
+  Socket socket(config, 4, Rng(9));
+  const double unloaded_latency = socket.memory().CurrentLatencyNs();
+  socket.SetWorkload(0, RandomWorkload(1));
+  socket.SetWorkload(1, RandomWorkload(2));
+  RunEpochs(socket, 60);
+  const double loaded_latency = socket.memory().CurrentLatencyNs();
+  EXPECT_GT(loaded_latency, unloaded_latency * 1.3);
+}
+
+TEST(SocketTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Socket socket(SmallSocket(), 4, Rng(42));
+    socket.SetWorkload(0, StreamWorkload(3));
+    socket.SetWorkload(1, RandomWorkload(4));
+    RunEpochs(socket, 25);
+    return socket.counters();
+  };
+  const PmuCounters a = run();
+  const PmuCounters b = run();
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.core_cycles, b.core_cycles);
+  EXPECT_EQ(a.llc_demand_misses, b.llc_demand_misses);
+  EXPECT_EQ(a.DramTotalBytes(), b.DramTotalBytes());
+}
+
+TEST(SocketDeathTest, InvalidCoreIndexAborts) {
+  Socket socket(SmallSocket(), 4, Rng(1));
+  EXPECT_DEATH(socket.SetWorkload(99, nullptr), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

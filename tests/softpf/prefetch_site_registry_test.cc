@@ -1,0 +1,68 @@
+#include "softpf/prefetch_site_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/function_catalog.h"
+
+namespace limoncello {
+namespace {
+
+TEST(PrefetchSiteRegistryTest, DeployedDefaultCoversAllTaxFunctions) {
+  const PrefetchSiteRegistry registry =
+      PrefetchSiteRegistry::DeployedDefault();
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const FunctionSpec& spec = catalog.spec(static_cast<FunctionId>(i));
+    const auto config = registry.Lookup(spec.name);
+    if (IsTaxCategory(spec.category)) {
+      EXPECT_TRUE(config.has_value()) << spec.name;
+    } else {
+      EXPECT_FALSE(config.has_value()) << spec.name;
+    }
+  }
+}
+
+TEST(PrefetchSiteRegistryTest, LookupMissReturnsNullopt) {
+  const PrefetchSiteRegistry registry =
+      PrefetchSiteRegistry::DeployedDefault();
+  EXPECT_FALSE(registry.Lookup("btree_lookup").has_value());
+  EXPECT_FALSE(registry.Lookup("").has_value());
+}
+
+TEST(PrefetchSiteRegistryTest, RegisterOverridesExisting) {
+  PrefetchSiteRegistry registry = PrefetchSiteRegistry::DeployedDefault();
+  SoftPrefetchConfig custom;
+  custom.distance_bytes = 4096;
+  registry.Register("memcpy", custom);
+  const auto config = registry.Lookup("memcpy");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->distance_bytes, 4096u);
+}
+
+TEST(PrefetchSiteRegistryTest, UnregisterRemoves) {
+  PrefetchSiteRegistry registry = PrefetchSiteRegistry::DeployedDefault();
+  const std::size_t before = registry.size();
+  registry.Unregister("memcpy");
+  EXPECT_EQ(registry.size(), before - 1);
+  EXPECT_FALSE(registry.Lookup("memcpy").has_value());
+  registry.Unregister("memcpy");  // idempotent
+  EXPECT_EQ(registry.size(), before - 1);
+}
+
+TEST(PrefetchSiteRegistryTest, DeployedConfigsAreEnabledAndGated) {
+  const PrefetchSiteRegistry registry =
+      PrefetchSiteRegistry::DeployedDefault();
+  for (const char* name : {"memcpy", "snappy_compress", "crc32c",
+                           "proto_serialize"}) {
+    const auto config = registry.Lookup(name);
+    ASSERT_TRUE(config.has_value()) << name;
+    EXPECT_TRUE(config->enabled);
+    EXPECT_GT(config->distance_bytes, 0u);
+    EXPECT_GT(config->degree_bytes, 0u);
+    // Deployed sites only prefetch large calls (paper §4.3).
+    EXPECT_GT(config->min_size_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace limoncello

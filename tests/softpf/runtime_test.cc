@@ -1,0 +1,73 @@
+#include "softpf/runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+constexpr std::uint64_t kBigCall = 1 << 20;
+
+TEST(SoftPrefetchRuntimeTest, WhenHwOffPolicyFollowsHardwareState) {
+  SoftPrefetchRuntime runtime;  // deployed registry, kWhenHwOff
+  // Hardware prefetchers start enabled: software prefetching idle.
+  EXPECT_TRUE(runtime.hw_prefetchers_enabled());
+  EXPECT_FALSE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+
+  // Daemon disables the hardware: software prefetching activates.
+  runtime.SetHwPrefetchersEnabled(false);
+  const SoftPrefetchConfig active = runtime.ConfigFor("memcpy", kBigCall);
+  EXPECT_TRUE(active.AppliesTo(kBigCall));
+  EXPECT_EQ(active.distance_bytes, 512u);
+
+  // Hardware comes back: software prefetching stands down.
+  runtime.SetHwPrefetchersEnabled(true);
+  EXPECT_FALSE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+}
+
+TEST(SoftPrefetchRuntimeTest, AlwaysPolicyIgnoresHardwareState) {
+  SoftPrefetchRuntime runtime(PrefetchSiteRegistry::DeployedDefault(),
+                              SoftPrefetchActivation::kAlways);
+  EXPECT_TRUE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+  runtime.SetHwPrefetchersEnabled(false);
+  EXPECT_TRUE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+}
+
+TEST(SoftPrefetchRuntimeTest, NeverPolicyIsAKillSwitch) {
+  SoftPrefetchRuntime runtime(PrefetchSiteRegistry::DeployedDefault(),
+                              SoftPrefetchActivation::kNever);
+  runtime.SetHwPrefetchersEnabled(false);
+  EXPECT_FALSE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+}
+
+TEST(SoftPrefetchRuntimeTest, UnregisteredSiteNeverPrefetches) {
+  SoftPrefetchRuntime runtime(PrefetchSiteRegistry::DeployedDefault(),
+                              SoftPrefetchActivation::kAlways);
+  EXPECT_FALSE(
+      runtime.ConfigFor("btree_lookup", kBigCall).AppliesTo(kBigCall));
+}
+
+TEST(SoftPrefetchRuntimeTest, SizeGateApplies) {
+  SoftPrefetchRuntime runtime(PrefetchSiteRegistry::DeployedDefault(),
+                              SoftPrefetchActivation::kAlways);
+  // memcpy's deployed min size is 2 KiB.
+  EXPECT_FALSE(runtime.ConfigFor("memcpy", 100).AppliesTo(100));
+  EXPECT_TRUE(runtime.ConfigFor("memcpy", 4096).AppliesTo(4096));
+}
+
+TEST(SoftPrefetchRuntimeTest, ActivationCanBeChangedAtRuntime) {
+  SoftPrefetchRuntime runtime;
+  runtime.SetHwPrefetchersEnabled(false);
+  ASSERT_TRUE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+  runtime.SetActivation(SoftPrefetchActivation::kNever);
+  EXPECT_FALSE(runtime.ConfigFor("memcpy", kBigCall).AppliesTo(kBigCall));
+  EXPECT_EQ(runtime.activation(), SoftPrefetchActivation::kNever);
+}
+
+TEST(SoftPrefetchRuntimeTest, GlobalInstanceIsStable) {
+  SoftPrefetchRuntime& a = SoftPrefetchRuntime::Global();
+  SoftPrefetchRuntime& b = SoftPrefetchRuntime::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace limoncello

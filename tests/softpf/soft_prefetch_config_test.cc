@@ -1,0 +1,64 @@
+#include "softpf/soft_prefetch_config.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+TEST(SoftPrefetchConfigTest, DisabledNeverApplies) {
+  const SoftPrefetchConfig config = SoftPrefetchConfig::Disabled();
+  EXPECT_FALSE(config.AppliesTo(0));
+  EXPECT_FALSE(config.AppliesTo(1 << 20));
+}
+
+TEST(SoftPrefetchConfigTest, MinSizeGate) {
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 2048;
+  EXPECT_FALSE(config.AppliesTo(2047));
+  EXPECT_TRUE(config.AppliesTo(2048));
+  EXPECT_TRUE(config.AppliesTo(1 << 20));
+}
+
+TEST(SoftPrefetchConfigTest, ZeroDistanceOrDegreeNeverApplies) {
+  SoftPrefetchConfig config;
+  config.distance_bytes = 0;
+  EXPECT_FALSE(config.AppliesTo(1 << 20));
+  config = SoftPrefetchConfig{};
+  config.degree_bytes = 0;
+  EXPECT_FALSE(config.AppliesTo(1 << 20));
+}
+
+TEST(SoftPrefetchConfigTest, DeployedDefaultMatchesPaperChoice) {
+  // Fig. 15 sweeps settled on distance 512 B / degree 256 B.
+  const SoftPrefetchConfig config = SoftPrefetchConfig::DeployedDefault();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.distance_bytes, 512u);
+  EXPECT_EQ(config.degree_bytes, 256u);
+  EXPECT_GT(config.min_size_bytes, 0u);
+}
+
+TEST(SweepTest, DistanceSweepVariesOnlyDistance) {
+  const auto points = DistanceSweep({32, 64, 128, 256, 512}, 256);
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].config.degree_bytes, 256u);
+    EXPECT_EQ(points[i].config.min_size_bytes, 0u);
+    EXPECT_TRUE(points[i].config.enabled);
+  }
+  EXPECT_EQ(points[0].config.distance_bytes, 32u);
+  EXPECT_EQ(points[4].config.distance_bytes, 512u);
+  EXPECT_EQ(points[4].label, "distance=512");
+}
+
+TEST(SweepTest, DegreeSweepVariesOnlyDegree) {
+  const auto points = DegreeSweep(512, {64, 128, 256, 512, 1024, 2048});
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.config.distance_bytes, 512u);
+  }
+  EXPECT_EQ(points[5].config.degree_bytes, 2048u);
+  EXPECT_EQ(points[0].label, "degree=64");
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,134 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(HistogramTest, SingleValueAllPercentiles) {
+  Histogram h;
+  h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+  Histogram h(1.0, 1.02);
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  // P50 should be ~5000 within the 2 % bucket growth tolerance.
+  EXPECT_NEAR(h.Percentile(50), 5000.0, 5000.0 * 0.03);
+  EXPECT_NEAR(h.Percentile(99), 9900.0, 9900.0 * 0.03);
+  EXPECT_NEAR(h.Percentile(90), 9000.0, 9000.0 * 0.03);
+}
+
+TEST(HistogramTest, MeanAndExtremesExact) {
+  Histogram h;
+  h.Add(10.0);
+  h.Add(20.0);
+  h.Add(30.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 30.0);
+}
+
+TEST(HistogramTest, AddNEquivalentToRepeatedAdd) {
+  Histogram a;
+  Histogram b;
+  a.AddN(42.0, 100);
+  for (int i = 0; i < 100; ++i) b.Add(42.0);
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_DOUBLE_EQ(a.Percentile(50), b.Percentile(50));
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, MergeMatchesCombined) {
+  Rng rng(2);
+  Histogram all;
+  Histogram left;
+  Histogram right;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextLognormal(4.0, 1.0);
+    all.Add(v);
+    (i % 2 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_DOUBLE_EQ(left.Percentile(90), all.Percentile(90));
+}
+
+TEST(HistogramTest, PercentilesMonotonic) {
+  Rng rng(3);
+  Histogram h;
+  for (int i = 0; i < 2000; ++i) h.Add(rng.NextExponential(50.0));
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "at percentile " << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SmallValuesLandInFloorBucket) {
+  Histogram h(10.0, 1.1);
+  h.Add(0.001);
+  h.Add(5.0);
+  h.Add(9.9);
+  EXPECT_LE(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, MassBetweenSumsToOne) {
+  Rng rng(4);
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(rng.NextDouble(1.0, 1000.0));
+  const double total = h.MassBetween(0.0, 1e9);
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(HistogramTest, MassBetweenSelectsRange) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(10.0);
+  for (int i = 0; i < 300; ++i) h.Add(1000.0);
+  EXPECT_NEAR(h.MassBetween(5.0, 50.0), 0.25, 0.02);
+  EXPECT_NEAR(h.MassBetween(500.0, 2000.0), 0.75, 0.02);
+}
+
+TEST(HistogramDeathTest, MergeIncompatibleConfigsAborts) {
+  Histogram a(1.0, 1.02);
+  Histogram b(1.0, 1.05);
+  EXPECT_DEATH(a.Merge(b), "CHECK");
+}
+
+// Percentile accuracy property over a sweep of distributions.
+class HistogramDistributionTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramDistributionTest, P99WithinTolerance) {
+  Rng rng(GetParam());
+  Histogram h;
+  std::vector<double> values;
+  constexpr int kN = 20000;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.NextLognormal(3.0 + GetParam() % 3, 1.2);
+    h.Add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  const double exact = values[static_cast<std::size_t>(kN * 0.99) - 1];
+  EXPECT_NEAR(h.Percentile(99), exact, exact * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramDistributionTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,61 @@
+#include "stats/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+TEST(TimeSeriesTest, AddAndSummarize) {
+  TimeSeries ts;
+  ts.Add(0, 1.0);
+  ts.Add(kNsPerSec, 2.0);
+  ts.Add(2 * kNsPerSec, 3.0);
+  const Summary s = ts.Summarize();
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(TimeSeriesTest, FractionAbove) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.Add(i, i < 3 ? 10.0 : 1.0);
+  EXPECT_DOUBLE_EQ(ts.FractionAbove(5.0), 0.3);
+  EXPECT_DOUBLE_EQ(ts.FractionAbove(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.FractionAbove(0.0), 1.0);
+}
+
+TEST(TimeSeriesTest, EmptyFractionAboveIsZero) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.FractionAbove(1.0), 0.0);
+}
+
+TEST(TimeSeriesTest, ResampleAveragesWindows) {
+  TimeSeries ts;
+  // Two windows of 10ns: values 1,3 then 5,7.
+  ts.Add(0, 1.0);
+  ts.Add(5, 3.0);
+  ts.Add(10, 5.0);
+  ts.Add(15, 7.0);
+  const TimeSeries out = ts.Resample(10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.points()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(out.points()[1].value, 6.0);
+}
+
+TEST(TimeSeriesTest, ResampleSkipsEmptyWindows) {
+  TimeSeries ts;
+  ts.Add(0, 1.0);
+  ts.Add(100, 9.0);  // gap of several 10ns windows
+  const TimeSeries out = ts.Resample(10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.points()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(out.points()[1].value, 9.0);
+}
+
+TEST(TimeSeriesDeathTest, NonMonotonicTimeAborts) {
+  TimeSeries ts;
+  ts.Add(100, 1.0);
+  EXPECT_DEATH(ts.Add(50, 2.0), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,128 @@
+// End-to-end hardware/software collaboration: the daemon's state listener
+// drives the global SoftPrefetchRuntime, and the adaptive tax wrappers
+// switch their prefetch behaviour accordingly — while always producing
+// identical results.
+#include "tax/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+
+#include "core/daemon.h"
+#include "msr/simulated_msr_device.h"
+#include "softpf/runtime.h"
+#include "tax/block_hash.h"
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+std::string RandomString(std::size_t n, std::uint64_t seed) {
+  std::string s(n, '\0');
+  Rng rng(seed);
+  for (char& c : s) c = static_cast<char>(rng.NextBounded(256));
+  return s;
+}
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Reset the global runtime to a known state.
+    SoftPrefetchRuntime::Global().SetActivation(
+        SoftPrefetchActivation::kWhenHwOff);
+    SoftPrefetchRuntime::Global().SetHwPrefetchersEnabled(true);
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(AdaptiveTest, CorrectInBothHardwareStates) {
+  const std::string src = RandomString(100000, 1);
+  std::string dst(src.size(), '\0');
+  for (bool hw_on : {true, false}) {
+    SoftPrefetchRuntime::Global().SetHwPrefetchersEnabled(hw_on);
+    std::memset(dst.data(), 0, dst.size());
+    AdaptiveMemcpy(dst.data(), src.data(), src.size());
+    EXPECT_EQ(dst, src) << "hw_on=" << hw_on;
+    EXPECT_EQ(AdaptiveBlockHash64(src.data(), src.size()),
+              BlockHash64(src.data(), src.size()));
+    EXPECT_EQ(AdaptiveCrc32c(src.data(), src.size()),
+              Crc32c(src.data(), src.size()));
+  }
+}
+
+TEST_F(AdaptiveTest, CompressionRoundTripsInBothStates) {
+  const std::string input = RandomString(50000, 2);
+  for (bool hw_on : {true, false}) {
+    SoftPrefetchRuntime::Global().SetHwPrefetchersEnabled(hw_on);
+    std::string compressed;
+    AdaptiveCompress(input, &compressed);
+    std::string output;
+    ASSERT_TRUE(AdaptiveDecompress(compressed, &output));
+    EXPECT_EQ(output, input);
+  }
+}
+
+TEST_F(AdaptiveTest, MemmoveAndMemsetCorrect) {
+  SoftPrefetchRuntime::Global().SetHwPrefetchersEnabled(false);
+  std::string buf = RandomString(50000, 3);
+  std::string expected = buf;
+  std::memmove(expected.data() + 100, expected.data(), 40000);
+  AdaptiveMemmove(buf.data() + 100, buf.data(), 40000);
+  EXPECT_EQ(buf, expected);
+  AdaptiveMemset(buf.data(), 0x7f, 30000);
+  for (int i = 0; i < 30000; ++i) ASSERT_EQ(buf[static_cast<size_t>(i)], 0x7f);
+}
+
+// Fake actuator: always succeeds.
+class OkActuator : public PrefetchActuator {
+ public:
+  bool DisablePrefetchers() override { return true; }
+  bool EnablePrefetchers() override { return true; }
+};
+
+class ScriptedTelemetry : public UtilizationSource {
+ public:
+  explicit ScriptedTelemetry(std::deque<double> samples)
+      : samples_(std::move(samples)) {}
+  std::optional<double> SampleUtilization() override {
+    if (samples_.empty()) return 0.5;
+    const double s = samples_.front();
+    samples_.pop_front();
+    return s;
+  }
+
+ private:
+  std::deque<double> samples_;
+};
+
+TEST_F(AdaptiveTest, DaemonDrivesRuntimeThroughListener) {
+  ControllerConfig config;
+  config.sustain_duration_ns = 2 * kNsPerSec;
+  ScriptedTelemetry telemetry({0.9, 0.9, 0.5, 0.5});
+  OkActuator actuator;
+  LimoncelloDaemon daemon(config, &telemetry, &actuator);
+  daemon.SetStateListener([](bool enabled) {
+    SoftPrefetchRuntime::Global().SetHwPrefetchersEnabled(enabled);
+  });
+
+  // Sustained high utilization: daemon disables HW, runtime hears it,
+  // software prefetching activates.
+  daemon.RunTick(0);
+  daemon.RunTick(kNsPerSec);
+  EXPECT_FALSE(SoftPrefetchRuntime::Global().hw_prefetchers_enabled());
+  EXPECT_TRUE(SoftPrefetchRuntime::Global()
+                  .ConfigFor("memcpy", 1 << 20)
+                  .AppliesTo(1 << 20));
+
+  // Sustained low utilization: daemon re-enables, software stands down.
+  daemon.RunTick(2 * kNsPerSec);
+  daemon.RunTick(3 * kNsPerSec);
+  EXPECT_TRUE(SoftPrefetchRuntime::Global().hw_prefetchers_enabled());
+  EXPECT_FALSE(SoftPrefetchRuntime::Global()
+                   .ConfigFor("memcpy", 1 << 20)
+                   .AppliesTo(1 << 20));
+}
+
+}  // namespace
+}  // namespace limoncello

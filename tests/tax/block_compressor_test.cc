@@ -1,0 +1,199 @@
+#include "tax/block_compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+std::string RandomString(std::size_t n, std::uint64_t seed) {
+  std::string s(n, '\0');
+  Rng rng(seed);
+  for (char& c : s) c = static_cast<char>(rng.NextBounded(256));
+  return s;
+}
+
+std::string CompressibleString(std::size_t n, std::uint64_t seed) {
+  // Repeated phrases with some noise: realistic log-like content.
+  std::string s;
+  Rng rng(seed);
+  const std::string phrases[] = {
+      "GET /api/v1/search?q=prefetch HTTP/1.1 200 ",
+      "limoncello: prefetchers for scale ",
+      "memory bandwidth utilization high ",
+  };
+  while (s.size() < n) {
+    s += phrases[rng.NextBounded(3)];
+    if (rng.NextBernoulli(0.2)) s += static_cast<char>(rng.NextU64());
+  }
+  s.resize(n);
+  return s;
+}
+
+TEST(VarintTest, RoundTripValues) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xffffffffull, 0xffffffffffffffffull}) {
+    std::string buf;
+    AppendVarint(v, &buf);
+    std::uint64_t parsed = 0;
+    EXPECT_EQ(ParseVarint(buf, &parsed), buf.size());
+    EXPECT_EQ(parsed, v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputRejected) {
+  std::string buf;
+  AppendVarint(1 << 20, &buf);
+  std::uint64_t parsed = 0;
+  EXPECT_EQ(ParseVarint(std::string_view(buf).substr(0, 1), &parsed), 0u);
+  EXPECT_EQ(ParseVarint("", &parsed), 0u);
+}
+
+TEST(VarintTest, OverlongInputRejected) {
+  const std::string bad(11, '\x80');
+  std::uint64_t parsed = 0;
+  EXPECT_EQ(ParseVarint(bad, &parsed), 0u);
+}
+
+class CompressorRoundTripTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressorRoundTripTest, CompressibleData) {
+  BlockCompressor codec;
+  const std::string input = CompressibleString(GetParam(), GetParam());
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  std::string output;
+  ASSERT_TRUE(codec.Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST_P(CompressorRoundTripTest, RandomData) {
+  BlockCompressor codec;
+  const std::string input = RandomString(GetParam(), GetParam() + 17);
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  std::string output;
+  ASSERT_TRUE(codec.Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompressorRoundTripTest,
+                         ::testing::Values(0, 1, 3, 4, 5, 100, 1000, 4096,
+                                           65536, 1 << 20));
+
+TEST(BlockCompressorTest, CompressibleDataActuallyShrinks) {
+  BlockCompressor codec;
+  const std::string input = CompressibleString(1 << 16, 1);
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST(BlockCompressorTest, AllZerosCompressesExtremely) {
+  BlockCompressor codec;
+  const std::string input(1 << 16, '\0');
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  EXPECT_LT(compressed.size(), 2048u);
+  std::string output;
+  ASSERT_TRUE(codec.Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(BlockCompressorTest, RandomDataStaysUnderBound) {
+  BlockCompressor codec;
+  const std::string input = RandomString(1 << 16, 2);
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  EXPECT_LE(compressed.size(),
+            BlockCompressor::MaxCompressedSize(input.size()));
+}
+
+TEST(BlockCompressorTest, PrefetchingVariantIdenticalOutput) {
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 0;
+  BlockCompressor plain;
+  BlockCompressor prefetching(config);
+  const std::string input = CompressibleString(1 << 18, 3);
+  std::string a;
+  std::string b;
+  plain.Compress(input, &a);
+  prefetching.Compress(input, &b);
+  EXPECT_EQ(a, b);  // prefetching must never change the format
+  std::string out;
+  ASSERT_TRUE(prefetching.Decompress(a, &out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(BlockCompressorTest, DecompressRejectsCorruptTag) {
+  BlockCompressor codec;
+  std::string compressed;
+  codec.Compress("hello world hello world hello", &compressed);
+  // Find the first tag after the header varint and corrupt it.
+  compressed[1] = '\x7e';
+  std::string output;
+  EXPECT_FALSE(codec.Decompress(compressed, &output));
+}
+
+TEST(BlockCompressorTest, DecompressRejectsTruncatedInput) {
+  BlockCompressor codec;
+  std::string compressed;
+  codec.Compress(CompressibleString(1000, 4), &compressed);
+  std::string output;
+  for (std::size_t cut : {compressed.size() - 1, compressed.size() / 2,
+                          std::size_t{2}}) {
+    EXPECT_FALSE(codec.Decompress(
+        std::string_view(compressed).substr(0, cut), &output))
+        << "cut at " << cut;
+  }
+}
+
+TEST(BlockCompressorTest, DecompressRejectsBadMatchOffset) {
+  // Hand-crafted stream: header says 4 bytes, match offset points before
+  // the start of the output.
+  std::string bad;
+  AppendVarint(4, &bad);
+  bad.push_back('\x01');  // match tag
+  AppendVarint(9, &bad);  // offset 9 into empty output
+  AppendVarint(4, &bad);  // length
+  std::string output;
+  EXPECT_FALSE(BlockCompressor().Decompress(bad, &output));
+}
+
+TEST(BlockCompressorTest, DecompressRejectsOversizedHeader) {
+  std::string bad;
+  AppendVarint(1ULL << 62, &bad);
+  std::string output;
+  EXPECT_FALSE(BlockCompressor().Decompress(bad, &output));
+}
+
+TEST(BlockCompressorTest, DecompressRejectsLengthOverrun) {
+  // Literal run longer than the declared uncompressed size.
+  std::string bad;
+  AppendVarint(2, &bad);
+  bad.push_back('\x00');
+  AppendVarint(5, &bad);
+  bad += "abcde";
+  std::string output;
+  EXPECT_FALSE(BlockCompressor().Decompress(bad, &output));
+}
+
+TEST(BlockCompressorTest, SelfOverlappingMatchIsRunLengthEncoding) {
+  BlockCompressor codec;
+  std::string input = "ab";
+  for (int i = 0; i < 10; ++i) input += input;  // "abab..." 2048 chars
+  std::string compressed;
+  codec.Compress(input, &compressed);
+  EXPECT_LT(compressed.size(), 64u);
+  std::string output;
+  ASSERT_TRUE(codec.Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,129 @@
+#include "tax/prefetching_memcpy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+std::vector<char> RandomBuffer(std::size_t n, std::uint64_t seed) {
+  std::vector<char> buf(n);
+  Rng rng(seed);
+  for (char& c : buf) c = static_cast<char>(rng.NextU64());
+  return buf;
+}
+
+class MemcpyCorrectnessTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(MemcpyCorrectnessTest, MatchesStdMemcpy) {
+  const std::size_t n = GetParam();
+  const std::vector<char> src = RandomBuffer(n, n + 1);
+  std::vector<char> dst(n + 64, 0x5a);
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 0;
+  PrefetchingMemcpy(dst.data(), src.data(), n, config);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), n), 0);
+  // Guard bytes untouched.
+  for (std::size_t i = n; i < dst.size(); ++i) {
+    EXPECT_EQ(dst[i], 0x5a) << "overwrite at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MemcpyCorrectnessTest,
+                         ::testing::Values(0, 1, 7, 63, 64, 65, 255, 256,
+                                           1000, 4096, 65536, 1 << 20));
+
+TEST(PrefetchingMemcpyTest, SmallCallsBypassPrefetchPath) {
+  // Below min_size the call must still copy correctly (fallback path).
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 4096;
+  const std::vector<char> src = RandomBuffer(100, 3);
+  std::vector<char> dst(100);
+  PrefetchingMemcpy(dst.data(), src.data(), 100, config);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), 100), 0);
+}
+
+TEST(PrefetchingMemcpyTest, VariousDistancesAndDegreesAllCorrect) {
+  const std::size_t n = 100000;
+  const std::vector<char> src = RandomBuffer(n, 4);
+  for (std::uint32_t distance : {64u, 128u, 512u, 4096u}) {
+    for (std::uint32_t degree : {64u, 256u, 2048u}) {
+      SoftPrefetchConfig config;
+      config.distance_bytes = distance;
+      config.degree_bytes = degree;
+      config.min_size_bytes = 0;
+      std::vector<char> dst(n);
+      PrefetchingMemcpy(dst.data(), src.data(), n, config);
+      EXPECT_EQ(std::memcmp(dst.data(), src.data(), n), 0)
+          << "distance=" << distance << " degree=" << degree;
+    }
+  }
+}
+
+class MemmoveOverlapTest
+    : public ::testing::TestWithParam<std::ptrdiff_t> {};
+
+TEST_P(MemmoveOverlapTest, OverlappingRegionsMatchStdMemmove) {
+  const std::ptrdiff_t shift = GetParam();
+  const std::size_t n = 50000;
+  std::vector<char> expected = RandomBuffer(n + 8192, 5);
+  std::vector<char> actual = expected;
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 0;
+  char* eb = expected.data() + 4096;
+  char* ab = actual.data() + 4096;
+  std::memmove(eb + shift, eb, n);
+  PrefetchingMemmove(ab + shift, ab, n, config);
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(), expected.size()),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, MemmoveOverlapTest,
+                         ::testing::Values(-4096, -512, -64, -1, 0, 1, 63,
+                                           64, 511, 4096));
+
+TEST(PrefetchingMemmoveTest, DisjointRegions) {
+  const std::size_t n = 8192;
+  const std::vector<char> src = RandomBuffer(n, 6);
+  std::vector<char> dst(n);
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 0;
+  PrefetchingMemmove(dst.data(), src.data(), n, config);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), n), 0);
+}
+
+class MemsetSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MemsetSizeTest, MatchesStdMemset) {
+  const std::size_t n = GetParam();
+  std::vector<char> buf(n + 32, 0x11);
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 0;
+  PrefetchingMemset(buf.data(), 0xab, n, config);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(buf[i]), 0xab) << i;
+  }
+  for (std::size_t i = n; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], 0x11) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MemsetSizeTest,
+                         ::testing::Values(0, 1, 64, 100, 4096, 1 << 18));
+
+TEST(PrefetchingMemcpyTest, ReturnsDestination) {
+  char src[8] = "abcdefg";
+  char dst[8];
+  SoftPrefetchConfig config;
+  EXPECT_EQ(PrefetchingMemcpy(dst, src, 8, config), dst);
+  EXPECT_EQ(PrefetchingMemmove(dst, src, 8, config), dst);
+  EXPECT_EQ(PrefetchingMemset(dst, 0, 8, config), dst);
+}
+
+}  // namespace
+}  // namespace limoncello

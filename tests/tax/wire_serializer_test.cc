@@ -1,0 +1,140 @@
+#include "tax/wire_serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "tax/block_compressor.h"
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+std::string RandomString(std::size_t n, std::uint64_t seed) {
+  std::string s(n, '\0');
+  Rng rng(seed);
+  for (char& c : s) c = static_cast<char>(rng.NextBounded(256));
+  return s;
+}
+
+WireMessage SampleMessage() {
+  return {
+      {1, "hello"},
+      {2, ""},
+      {300, RandomString(10000, 1)},
+      {7, std::string(1, '\0')},
+  };
+}
+
+TEST(WireSerializerTest, RoundTrip) {
+  WireSerializer serializer;
+  std::string wire;
+  serializer.Serialize(SampleMessage(), &wire);
+  WireMessage parsed;
+  ASSERT_TRUE(serializer.Parse(wire, &parsed));
+  EXPECT_EQ(parsed, SampleMessage());
+}
+
+TEST(WireSerializerTest, EmptyMessage) {
+  WireSerializer serializer;
+  std::string wire;
+  serializer.Serialize({}, &wire);
+  EXPECT_TRUE(wire.empty());
+  WireMessage parsed;
+  ASSERT_TRUE(serializer.Parse(wire, &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(WireSerializerTest, EncodedSizeMatchesActual) {
+  WireSerializer serializer;
+  const WireMessage message = SampleMessage();
+  std::string wire;
+  serializer.Serialize(message, &wire);
+  EXPECT_EQ(wire.size(), WireSerializer::EncodedSize(message));
+}
+
+TEST(WireSerializerTest, PrefetchingVariantIdenticalBytes) {
+  SoftPrefetchConfig config;
+  config.min_size_bytes = 0;
+  WireSerializer plain;
+  WireSerializer prefetching(config);
+  std::string a;
+  std::string b;
+  plain.Serialize(SampleMessage(), &a);
+  prefetching.Serialize(SampleMessage(), &b);
+  EXPECT_EQ(a, b);
+  WireMessage parsed;
+  ASSERT_TRUE(prefetching.Parse(a, &parsed));
+  EXPECT_EQ(parsed, SampleMessage());
+}
+
+TEST(WireSerializerTest, ParseRejectsTruncatedPayload) {
+  WireSerializer serializer;
+  std::string wire;
+  serializer.Serialize({{1, "payload_that_gets_cut"}}, &wire);
+  WireMessage parsed;
+  EXPECT_FALSE(serializer.Parse(
+      std::string_view(wire).substr(0, wire.size() - 3), &parsed));
+}
+
+TEST(WireSerializerTest, ParseRejectsTruncatedHeader) {
+  WireSerializer serializer;
+  std::string wire;
+  serializer.Serialize({{1000000, "x"}}, &wire);  // multi-byte field key
+  WireMessage parsed;
+  EXPECT_FALSE(
+      serializer.Parse(std::string_view(wire).substr(0, 1), &parsed));
+}
+
+TEST(WireSerializerTest, ParseRejectsFieldNumberOverflow) {
+  std::string wire;
+  AppendVarint(1ULL << 40, &wire);  // field number > uint32
+  AppendVarint(0, &wire);
+  WireMessage parsed;
+  EXPECT_FALSE(WireSerializer().Parse(wire, &parsed));
+}
+
+TEST(WireSerializerTest, LargePayloadRoundTrip) {
+  WireSerializer serializer;
+  const WireMessage message = {{5, RandomString(2 * 1024 * 1024, 9)}};
+  std::string wire;
+  serializer.Serialize(message, &wire);
+  WireMessage parsed;
+  ASSERT_TRUE(serializer.Parse(wire, &parsed));
+  EXPECT_EQ(parsed, message);
+}
+
+class SerializerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerializerFuzzTest, RandomMessagesRoundTrip) {
+  Rng rng(GetParam());
+  WireMessage message;
+  const int fields = static_cast<int>(rng.NextBounded(20));
+  for (int f = 0; f < fields; ++f) {
+    WireField field;
+    field.field_number = static_cast<std::uint32_t>(rng.NextU64());
+    field.payload = RandomString(rng.NextBounded(5000), rng.NextU64());
+    message.push_back(std::move(field));
+  }
+  WireSerializer serializer;
+  std::string wire;
+  serializer.Serialize(message, &wire);
+  WireMessage parsed;
+  ASSERT_TRUE(serializer.Parse(wire, &parsed));
+  EXPECT_EQ(parsed, message);
+}
+
+TEST_P(SerializerFuzzTest, RandomBytesNeverCrashParse) {
+  Rng rng(GetParam() + 1000);
+  WireSerializer serializer;
+  for (int i = 0; i < 200; ++i) {
+    const std::string junk = RandomString(rng.NextBounded(300), rng.NextU64());
+    WireMessage parsed;
+    serializer.Parse(junk, &parsed);  // may fail, must not crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,120 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workloads/generators.h"
+
+namespace limoncello {
+namespace {
+
+SocketConfig SmallSocket() {
+  SocketConfig config;
+  config.num_cores = 2;
+  config.memory.peak_gbps = 4.0;
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+std::unique_ptr<AccessGenerator> Workload(std::uint64_t seed) {
+  RandomAccessGenerator::Options o;
+  o.working_set_bytes = 64 * kMiB;
+  o.function = 0;
+  return std::make_unique<RandomAccessGenerator>(o, Rng(seed));
+}
+
+TEST(PmuSamplerTest, DeltasMatchCounterDifferences) {
+  Socket socket(SmallSocket(), 2, Rng(1));
+  socket.SetWorkload(0, Workload(1));
+  PmuSampler sampler(&socket);
+  socket.Step(100 * kNsPerUs);
+  const PmuDelta d1 = sampler.Sample();
+  EXPECT_EQ(d1.interval_ns, 100 * kNsPerUs);
+  EXPECT_GT(d1.instructions, 0u);
+  EXPECT_GT(d1.dram_bytes, 0u);
+  EXPECT_EQ(d1.instructions, socket.counters().instructions);
+
+  // Second sample covers only the second step.
+  socket.Step(100 * kNsPerUs);
+  const PmuDelta d2 = sampler.Sample();
+  EXPECT_EQ(d1.instructions + d2.instructions,
+            socket.counters().instructions);
+}
+
+TEST(PmuSamplerTest, ZeroIntervalWhenNoStep) {
+  Socket socket(SmallSocket(), 2, Rng(1));
+  PmuSampler sampler(&socket);
+  const PmuDelta d = sampler.Sample();
+  EXPECT_EQ(d.interval_ns, 0);
+  EXPECT_EQ(d.instructions, 0u);
+}
+
+TEST(PmuDeltaTest, DerivedMetrics) {
+  PmuDelta d;
+  d.interval_ns = 1000;
+  d.dram_bytes = 5000;
+  d.instructions = 2000;
+  d.core_cycles = 1000;
+  d.llc_demand_misses = 10;
+  d.dram_requests = 4;
+  d.dram_latency_ns_sum = 800.0;
+  EXPECT_DOUBLE_EQ(d.BandwidthGBps(), 5.0);
+  EXPECT_DOUBLE_EQ(d.Ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(d.LlcMpki(), 5.0);
+  EXPECT_DOUBLE_EQ(d.AvgLatencyNs(), 200.0);
+}
+
+TEST(SocketUtilizationSourceTest, ReportsFractionOfSaturation) {
+  Socket socket(SmallSocket(), 2, Rng(2));
+  socket.SetWorkload(0, Workload(3));
+  socket.SetWorkload(1, Workload(4));
+  SocketUtilizationSource source(&socket);
+  socket.Step(100 * kNsPerUs);
+  const auto u = source.SampleUtilization();
+  ASSERT_TRUE(u.has_value());
+  EXPECT_GT(*u, 0.0);
+  // In the first (unloaded-latency) epoch the cores can oversubscribe the
+  // channel, so utilization may exceed 1 before queuing pushes back.
+  EXPECT_LT(*u, 4.0);
+  // Cross-check against the PMU math.
+  const double gbps =
+      static_cast<double>(socket.counters().DramTotalBytes()) /
+      static_cast<double>(100 * kNsPerUs);
+  EXPECT_NEAR(*u, gbps / 4.0, 1e-9);
+}
+
+TEST(SocketUtilizationSourceTest, CustomSaturationThreshold) {
+  Socket socket(SmallSocket(), 2, Rng(2));
+  socket.SetWorkload(0, Workload(3));
+  SocketUtilizationSource narrow(&socket, /*saturation_gbps=*/1.0);
+  SocketUtilizationSource wide(&socket, /*saturation_gbps=*/8.0);
+  socket.Step(100 * kNsPerUs);
+  const auto un = narrow.SampleUtilization();
+  // `wide` shares the socket but has its own sampler baseline; both read
+  // the same cumulative counters on their first sample.
+  const auto uw = wide.SampleUtilization();
+  ASSERT_TRUE(un.has_value());
+  ASSERT_TRUE(uw.has_value());
+  EXPECT_NEAR(*un / *uw, 8.0, 1e-6);
+}
+
+TEST(SocketUtilizationSourceTest, FailureInjectionReturnsNullopt) {
+  Socket socket(SmallSocket(), 2, Rng(2));
+  SocketUtilizationSource source(&socket);
+  source.set_failed(true);
+  socket.Step(100 * kNsPerUs);
+  EXPECT_FALSE(source.SampleUtilization().has_value());
+  source.set_failed(false);
+  socket.Step(100 * kNsPerUs);
+  EXPECT_TRUE(source.SampleUtilization().has_value());
+}
+
+TEST(SocketUtilizationSourceTest, NoTimeElapsedIsFailure) {
+  Socket socket(SmallSocket(), 2, Rng(2));
+  SocketUtilizationSource source(&socket);
+  EXPECT_FALSE(source.SampleUtilization().has_value());
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,102 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.Define("name", "a string")
+      .Define("count", "an int")
+      .Define("ratio", "a double")
+      .Define("enable", "a bool");
+  return flags;
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--name=widget", "--count=42",
+                        "--ratio=0.75"};
+  ASSERT_TRUE(flags.Parse(4, argv));
+  EXPECT_EQ(flags.GetString("name"), "widget");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_EQ(flags.GetDouble("ratio"), 0.75);
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--name", "widget", "--count", "7"};
+  ASSERT_TRUE(flags.Parse(5, argv));
+  EXPECT_EQ(flags.GetString("name"), "widget");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--enable", "--count=1"};
+  ASSERT_TRUE(flags.Parse(3, argv));
+  EXPECT_EQ(flags.GetBool("enable"), true);
+}
+
+TEST(FlagParserTest, ExplicitFalse) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--enable=false"};
+  ASSERT_TRUE(flags.Parse(2, argv));
+  EXPECT_EQ(flags.GetBool("enable"), false);
+  const char* argv2[] = {"prog", "--enable=0"};
+  ASSERT_TRUE(flags.Parse(2, argv2));
+  EXPECT_EQ(flags.GetBool("enable"), false);
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, argv));
+  EXPECT_NE(flags.error().find("bogus"), std::string::npos);
+}
+
+TEST(FlagParserTest, MissingFlagReturnsNullopt) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv));
+  EXPECT_FALSE(flags.GetString("name").has_value());
+  EXPECT_FALSE(flags.GetInt("count").has_value());
+  EXPECT_FALSE(flags.GetBool("enable").has_value());
+}
+
+TEST(FlagParserTest, MalformedNumbersReturnNullopt) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count=12abc", "--ratio=x"};
+  ASSERT_TRUE(flags.Parse(3, argv));
+  EXPECT_FALSE(flags.GetInt("count").has_value());
+  EXPECT_FALSE(flags.GetDouble("ratio").has_value());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "alpha", "--count=1", "beta"};
+  ASSERT_TRUE(flags.Parse(4, argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "alpha");
+  EXPECT_EQ(flags.positional()[1], "beta");
+}
+
+TEST(FlagParserTest, HelpListsAllFlags) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.Help("prog");
+  for (const char* name : {"name", "count", "ratio", "enable"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(FlagParserTest, NegativeNumberAsValue) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count=-5", "--ratio=-0.5"};
+  ASSERT_TRUE(flags.Parse(3, argv));
+  EXPECT_EQ(flags.GetInt("count"), -5);
+  EXPECT_EQ(flags.GetDouble("ratio"), -0.5);
+}
+
+}  // namespace
+}  // namespace limoncello

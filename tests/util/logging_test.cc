@@ -1,0 +1,72 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace limoncello {
+namespace {
+
+struct CapturedLog {
+  LogLevel level;
+  std::string message;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](LogLevel level, const std::string& message) {
+      captured_.push_back({level, message});
+    });
+    SetLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  std::vector<CapturedLog> captured_;
+};
+
+TEST_F(LoggingTest, FormatsMessages) {
+  LIMONCELLO_LOG_INFO("value=%d name=%s", 7, "x");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "value=7 name=x");
+  EXPECT_EQ(captured_[0].level, LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  LIMONCELLO_LOG_DEBUG("hidden");
+  LIMONCELLO_LOG_INFO("shown");
+  EXPECT_EQ(captured_.size(), 1u);
+
+  SetLogLevel(LogLevel::kError);
+  LIMONCELLO_LOG_WARN("hidden too");
+  LIMONCELLO_LOG_ERROR("error shown");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[1].message, "error shown");
+}
+
+TEST_F(LoggingTest, DebugLevelShowsEverything) {
+  SetLogLevel(LogLevel::kDebug);
+  LIMONCELLO_LOG_DEBUG("a");
+  LIMONCELLO_LOG_INFO("b");
+  LIMONCELLO_LOG_WARN("c");
+  LIMONCELLO_LOG_ERROR("d");
+  EXPECT_EQ(captured_.size(), 4u);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, GetLogLevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace limoncello

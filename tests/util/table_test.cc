@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+TEST(TableTest, AlignedOutputContainsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.ToAligned();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, AlignedColumnsLineUp) {
+  Table t({"col", "v"});
+  t.AddRow({"longer_cell", "1"});
+  t.AddRow({"x", "2"});
+  const std::string out = t.ToAligned();
+  // Both value cells must start at the same column.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainCellsUnquoted) {
+  Table t({"a"});
+  t.AddRow({"plain"});
+  EXPECT_EQ(t.ToCsv(), "a\nplain\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Num(static_cast<std::int64_t>(-12)), "-12");
+}
+
+TEST(TableDeathTest, RowSizeMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only_one"}), "CHECK");
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,101 @@
+#include "workloads/function_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace limoncello {
+namespace {
+
+TEST(FunctionCatalogTest, FleetDefaultHasAllCategories) {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  EXPECT_GE(catalog.size(), 16u);
+  for (FunctionCategory cat :
+       {FunctionCategory::kCompression, FunctionCategory::kDataTransmission,
+        FunctionCategory::kHashing, FunctionCategory::kDataMovement,
+        FunctionCategory::kNonTax}) {
+    EXPECT_FALSE(catalog.InCategory(cat).empty())
+        << FunctionCategoryName(cat);
+  }
+}
+
+TEST(FunctionCatalogTest, TaxFunctionsAreStreamy) {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  for (FunctionCategory cat :
+       {FunctionCategory::kCompression, FunctionCategory::kDataTransmission,
+        FunctionCategory::kHashing, FunctionCategory::kDataMovement}) {
+    for (FunctionId id : catalog.InCategory(cat)) {
+      EXPECT_EQ(catalog.spec(id).pattern, AccessPattern::kSequentialStream)
+          << catalog.spec(id).name;
+    }
+  }
+}
+
+TEST(FunctionCatalogTest, NamesUnique) {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    names.insert(catalog.spec(static_cast<FunctionId>(i)).name);
+  }
+  EXPECT_EQ(names.size(), catalog.size());
+}
+
+TEST(FunctionCatalogTest, TaxCycleWeightShareIn30To40PercentBand) {
+  // Paper: data-center tax is 30-40 % of fleet cycles.
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  double tax = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const FunctionSpec& spec = catalog.spec(static_cast<FunctionId>(i));
+    total += spec.fleet_cycle_weight;
+    if (IsTaxCategory(spec.category)) tax += spec.fleet_cycle_weight;
+  }
+  const double share = tax / total;
+  EXPECT_GE(share, 0.30);
+  EXPECT_LE(share, 0.45);
+}
+
+TEST(FunctionCatalogTest, GeneratorsTagTheirFunction) {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto id = static_cast<FunctionId>(i);
+    auto gen = catalog.MakeGenerator(id, Rng(1).Fork(i));
+    MemRef ref;
+    ASSERT_TRUE(gen->Next(&ref));
+    EXPECT_EQ(ref.function, id) << catalog.spec(id).name;
+  }
+}
+
+TEST(FunctionCatalogTest, FleetMixTouchesEveryFunction) {
+  const FunctionCatalog catalog = FunctionCatalog::FleetDefault();
+  auto mix = catalog.MakeFleetMix(Rng(7));
+  std::set<FunctionId> seen;
+  MemRef ref;
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(mix->Next(&ref));
+    seen.insert(ref.function);
+  }
+  EXPECT_EQ(seen.size(), catalog.size());
+}
+
+TEST(FunctionCatalogTest, AddAssignsSequentialIds) {
+  FunctionCatalog catalog;
+  FunctionSpec a;
+  a.name = "f0";
+  FunctionSpec b;
+  b.name = "f1";
+  EXPECT_EQ(catalog.Add(a), 0);
+  EXPECT_EQ(catalog.Add(b), 1);
+  EXPECT_EQ(catalog.spec(1).name, "f1");
+}
+
+TEST(FunctionCategoryTest, TaxPredicate) {
+  EXPECT_TRUE(IsTaxCategory(FunctionCategory::kCompression));
+  EXPECT_TRUE(IsTaxCategory(FunctionCategory::kDataMovement));
+  EXPECT_TRUE(IsTaxCategory(FunctionCategory::kHashing));
+  EXPECT_TRUE(IsTaxCategory(FunctionCategory::kDataTransmission));
+  EXPECT_FALSE(IsTaxCategory(FunctionCategory::kNonTax));
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,227 @@
+#include "workloads/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace limoncello {
+namespace {
+
+TEST(SequentialStreamGeneratorTest, ProducesForwardRuns) {
+  SequentialStreamGenerator::Options o;
+  o.working_set_bytes = 1 * kMiB;
+  o.mean_stream_bytes = 4096;
+  o.stream_sigma = 0.1;  // tight: nearly fixed stream length
+  SequentialStreamGenerator gen(o, Rng(1));
+  MemRef prev{};
+  ASSERT_TRUE(gen.Next(&prev));
+  int forward_steps = 0;
+  int total = 0;
+  MemRef ref;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(gen.Next(&ref));
+    if (ref.addr == prev.addr + kCacheLineBytes) ++forward_steps;
+    prev = ref;
+    ++total;
+  }
+  // Streams average 64 lines, so the overwhelming majority of steps are
+  // +1 line.
+  EXPECT_GT(forward_steps, total * 8 / 10);
+}
+
+TEST(SequentialStreamGeneratorTest, StoreFractionEmitsStores) {
+  SequentialStreamGenerator::Options o;
+  o.store_fraction = 1.0;
+  SequentialStreamGenerator gen(o, Rng(2));
+  int loads = 0;
+  int stores = 0;
+  MemRef ref;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(gen.Next(&ref));
+    (ref.op == MemOp::kStore ? stores : loads)++;
+  }
+  // store_fraction=1: every load paired with one store.
+  EXPECT_NEAR(static_cast<double>(stores) / loads, 1.0, 0.05);
+}
+
+TEST(SequentialStreamGeneratorTest, AttributesFunction) {
+  SequentialStreamGenerator::Options o;
+  o.function = 7;
+  SequentialStreamGenerator gen(o, Rng(3));
+  MemRef ref;
+  ASSERT_TRUE(gen.Next(&ref));
+  EXPECT_EQ(ref.function, 7);
+}
+
+TEST(StridedGeneratorTest, ConstantStride) {
+  StridedGenerator::Options o;
+  o.stride_lines = 4;
+  o.working_set_bytes = 1 * kMiB;
+  StridedGenerator gen(o, Rng(4));
+  MemRef prev{};
+  ASSERT_TRUE(gen.Next(&prev));
+  int strided = 0;
+  MemRef ref;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(gen.Next(&ref));
+    if (ref.addr == prev.addr + 4 * kCacheLineBytes) ++strided;
+    prev = ref;
+  }
+  EXPECT_GT(strided, 450);  // occasional wrap at the working-set end
+}
+
+TEST(RandomAccessGeneratorTest, StaysInWorkingSetAndSpreads) {
+  RandomAccessGenerator::Options o;
+  o.working_set_bytes = 64 * kKiB;  // 1024 lines
+  RandomAccessGenerator gen(o, Rng(5));
+  std::set<Addr> lines;
+  MemRef ref;
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(gen.Next(&ref));
+    EXPECT_LT(ref.addr, o.working_set_bytes);
+    lines.insert(LineAddr(ref.addr));
+  }
+  // Uniform over 1024 lines: nearly all lines touched after 4000 draws.
+  EXPECT_GT(lines.size(), 900u);
+}
+
+TEST(MemcpyTraceGeneratorTest, CoversSourceAndDestinationExactly) {
+  MemcpyTraceGenerator::Options o;
+  o.src = 0;
+  o.dst = 1 * kMiB;
+  o.bytes = 64 * kCacheLineBytes;
+  MemcpyTraceGenerator gen(o);
+  std::set<Addr> loads;
+  std::set<Addr> stores;
+  MemRef ref;
+  while (gen.Next(&ref)) {
+    if (ref.op == MemOp::kLoad) loads.insert(LineAddr(ref.addr));
+    if (ref.op == MemOp::kStore) stores.insert(LineAddr(ref.addr));
+  }
+  EXPECT_EQ(loads.size(), 64u);
+  EXPECT_EQ(stores.size(), 64u);
+  EXPECT_FALSE(gen.Next(&ref));  // stays exhausted
+}
+
+TEST(MemcpyTraceGeneratorTest, SoftwarePrefetchesLeadLoads) {
+  MemcpyTraceGenerator::Options o;
+  o.src = 0;
+  o.dst = 1 * kMiB;
+  o.bytes = 32 * kCacheLineBytes;
+  o.sw_prefetch_distance_bytes = 4 * kCacheLineBytes;
+  o.sw_prefetch_degree_bytes = 2 * kCacheLineBytes;
+  MemcpyTraceGenerator gen(o);
+  std::map<Addr, int> prefetch_order;
+  std::map<Addr, int> load_order;
+  int step = 0;
+  MemRef ref;
+  while (gen.Next(&ref)) {
+    ++step;
+    if (ref.op == MemOp::kSoftwarePrefetch) {
+      prefetch_order.emplace(LineAddr(ref.addr), step);
+    } else if (ref.op == MemOp::kLoad) {
+      load_order.emplace(LineAddr(ref.addr), step);
+    }
+  }
+  // Every loaded source line was software-prefetched first.
+  for (const auto& [line, when] : load_order) {
+    auto it = prefetch_order.find(line);
+    ASSERT_NE(it, prefetch_order.end()) << "line " << line;
+    EXPECT_LT(it->second, when);
+  }
+  // Prefetches never run past the source end.
+  for (const auto& [line, when] : prefetch_order) {
+    EXPECT_LT(line, LineAddr(o.src) + 32);
+  }
+}
+
+TEST(MemcpyTraceGeneratorTest, MinSizeGateSuppressesPrefetch) {
+  MemcpyTraceGenerator::Options o;
+  o.bytes = 16 * kCacheLineBytes;
+  o.dst = 1 * kMiB;
+  o.sw_prefetch_distance_bytes = 256;
+  o.sw_prefetch_degree_bytes = 128;
+  o.sw_prefetch_min_size_bytes = 1 * kMiB;  // call too small
+  MemcpyTraceGenerator gen(o);
+  MemRef ref;
+  while (gen.Next(&ref)) {
+    EXPECT_NE(ref.op, MemOp::kSoftwarePrefetch);
+  }
+}
+
+TEST(MemcpyTraceGeneratorTest, ZeroBytesYieldsEmptyTrace) {
+  MemcpyTraceGenerator::Options o;
+  o.bytes = 0;
+  MemcpyTraceGenerator gen(o);
+  MemRef ref;
+  EXPECT_FALSE(gen.Next(&ref));
+}
+
+TEST(MixGeneratorTest, RespectsWeightsApproximately) {
+  auto make = [](FunctionId id) {
+    SequentialStreamGenerator::Options o;
+    o.function = id;
+    return std::make_unique<SequentialStreamGenerator>(o, Rng(id));
+  };
+  std::vector<MixGenerator::Element> elems;
+  elems.push_back({make(1), 3.0, 16});
+  elems.push_back({make(2), 1.0, 16});
+  MixGenerator mix(std::move(elems), Rng(9));
+  int f1 = 0;
+  int f2 = 0;
+  MemRef ref;
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(mix.Next(&ref));
+    (ref.function == 1 ? f1 : f2)++;
+  }
+  EXPECT_NEAR(static_cast<double>(f1) / (f1 + f2), 0.75, 0.06);
+}
+
+TEST(MixGeneratorTest, DropsExhaustedChildrenAndFinishes) {
+  MemcpyTraceGenerator::Options a;
+  a.bytes = 8 * kCacheLineBytes;
+  a.function = 1;
+  MemcpyTraceGenerator::Options b;
+  b.bytes = 8 * kCacheLineBytes;
+  b.function = 2;
+  std::vector<MixGenerator::Element> elems;
+  elems.push_back({std::make_unique<MemcpyTraceGenerator>(a), 1.0, 4});
+  elems.push_back({std::make_unique<MemcpyTraceGenerator>(b), 1.0, 4});
+  MixGenerator mix(std::move(elems), Rng(10));
+  int count = 0;
+  MemRef ref;
+  while (mix.Next(&ref)) ++count;
+  // Both finite children fully drained: 8 lines x (load+store) each.
+  EXPECT_EQ(count, 2 * 8 * 2);
+}
+
+TEST(MemcpySizeDistributionTest, MostCopiesSmallWithHeavyTail) {
+  MemcpySizeDistribution dist;
+  Rng rng(11);
+  int small = 0;
+  int large = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t s = dist.Sample(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, dist.options().max_bytes);
+    if (s <= 1024) ++small;
+    if (s >= 64 * 1024) ++large;
+  }
+  // Paper Fig. 14: "Most copy sizes are small" with a long tail.
+  EXPECT_GT(small, kN * 3 / 4);
+  EXPECT_GT(large, 0);
+}
+
+TEST(MemcpySizeDistributionTest, Deterministic) {
+  MemcpySizeDistribution dist;
+  Rng a(1);
+  Rng b(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.Sample(a), dist.Sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace limoncello

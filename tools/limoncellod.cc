@@ -1,0 +1,242 @@
+// limoncellod — the Limoncello controller daemon.
+//
+// Modes:
+//   --mode=sim   (default) run against a simulated machine under bursty
+//                load; useful for demos, controller tuning, and CI.
+//   --mode=real  run against this host's MSRs (/dev/cpu/N/msr, needs the
+//                msr kernel module and root). Telemetry comes from a
+//                sample file that a sidecar appends utilization values
+//                to (--telemetry-file). Use --dry-run to log intended
+//                MSR writes without performing them.
+//
+// Examples:
+//   limoncellod --ticks=120 --upper=0.8 --lower=0.6 --sustain-sec=5
+//   limoncellod --mode=real --telemetry-file=/run/membw.txt --dry-run
+#include <cstdio>
+#include <memory>
+
+#include "core/daemon.h"
+#include "core/file_utilization_source.h"
+#include "core/perf_csv_source.h"
+#include "fleet/machine_model.h"
+#include "msr/linux_msr_device.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace limoncello {
+namespace {
+
+// Wraps an actuator to log (and optionally suppress) MSR writes.
+class LoggingActuator : public PrefetchActuator {
+ public:
+  LoggingActuator(PrefetchActuator* inner, bool dry_run)
+      : inner_(inner), dry_run_(dry_run) {}
+
+  bool DisablePrefetchers() override {
+    LIMONCELLO_LOG_INFO("actuate: DISABLE hardware prefetchers%s",
+                        dry_run_ ? " (dry run)" : "");
+    return dry_run_ ? true : inner_->DisablePrefetchers();
+  }
+  bool EnablePrefetchers() override {
+    LIMONCELLO_LOG_INFO("actuate: ENABLE hardware prefetchers%s",
+                        dry_run_ ? " (dry run)" : "");
+    return dry_run_ ? true : inner_->EnablePrefetchers();
+  }
+
+ private:
+  PrefetchActuator* inner_;
+  bool dry_run_;
+};
+
+ControllerConfig ConfigFromFlags(const FlagParser& flags) {
+  ControllerConfig config;
+  config.upper_threshold = flags.GetDouble("upper").value_or(0.80);
+  config.lower_threshold = flags.GetDouble("lower").value_or(0.60);
+  config.sustain_duration_ns =
+      flags.GetInt("sustain-sec").value_or(5) * kNsPerSec;
+  config.tick_period_ns = flags.GetInt("tick-sec").value_or(1) * kNsPerSec;
+  config.max_missed_samples =
+      static_cast<int>(flags.GetInt("max-missed-samples").value_or(5));
+  return config;
+}
+
+int RunSim(const FlagParser& flags) {
+  const int ticks = static_cast<int>(flags.GetInt("ticks").value_or(120));
+  const ControllerConfig config = ConfigFromFlags(flags);
+  if (!config.Valid()) {
+    LIMONCELLO_LOG_ERROR("invalid controller configuration");
+    return 2;
+  }
+
+  // A machine under bursty diurnal load; its daemon is the one we run.
+  MachineModel machine(PlatformConfig::Platform1(),
+                       DeploymentMode::kHardLimoncello, config, Rng(42));
+  const auto services = ServiceSpec::FleetArchetypes();
+  for (int i = 0; i < 5; ++i) {
+    MachineModel::Task task;
+    task.service_index = i;
+    task.spec = &services[static_cast<std::size_t>(i)];
+    task.share = 1.0;
+    machine.AddTask(task);
+  }
+  LoadProcess::Options lp;
+  lp.diurnal_period_ns = (ticks / 2) * kNsPerSec;
+  lp.burst_probability = 0.03;
+  std::vector<std::unique_ptr<LoadProcess>> loads;
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    loads.push_back(std::make_unique<LoadProcess>(lp, Rng(9).Fork(s)));
+  }
+
+  LIMONCELLO_LOG_INFO(
+      "sim mode: %d ticks, thresholds %.0f%%/%.0f%%, sustain %lld s",
+      ticks, 100.0 * config.lower_threshold,
+      100.0 * config.upper_threshold,
+      static_cast<long long>(config.sustain_duration_ns / kNsPerSec));
+
+  std::vector<double> factors(services.size(), 1.0);
+  bool last_state = true;
+  for (int t = 0; t < ticks; ++t) {
+    const SimTimeNs now = static_cast<SimTimeNs>(t) * config.tick_period_ns;
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      factors[s] = loads[s]->Tick(now);
+    }
+    const auto r = machine.Tick(now, factors);
+    if (r.prefetchers_on != last_state) {
+      LIMONCELLO_LOG_INFO("t=%4d s  prefetchers -> %s", t,
+                          r.prefetchers_on ? "ON" : "OFF");
+      last_state = r.prefetchers_on;
+    }
+    LIMONCELLO_LOG_DEBUG(
+        "t=%4d s  bw=%6.1f GB/s (util %5.1f%%)  latency=%6.1f ns  pf=%s",
+        t, r.bandwidth_gbps, 100.0 * r.bandwidth_utilization, r.latency_ns,
+        r.prefetchers_on ? "on" : "off");
+  }
+  const LimoncelloDaemon* daemon = machine.daemon();
+  LIMONCELLO_LOG_INFO(
+      "done: %llu ticks, %llu disables, %llu enables, %llu missed "
+      "samples, %llu fail-safes",
+      static_cast<unsigned long long>(daemon->stats().ticks),
+      static_cast<unsigned long long>(daemon->stats().disables),
+      static_cast<unsigned long long>(daemon->stats().enables),
+      static_cast<unsigned long long>(daemon->stats().missed_samples),
+      static_cast<unsigned long long>(daemon->stats().failsafe_resets));
+  return 0;
+}
+
+int RunReal(const FlagParser& flags) {
+  const auto telemetry_path = flags.GetString("telemetry-file");
+  const auto perf_csv_path = flags.GetString("perf-csv");
+  if (!telemetry_path.has_value() && !perf_csv_path.has_value()) {
+    LIMONCELLO_LOG_ERROR(
+        "--mode=real requires --telemetry-file=<path> or "
+        "--perf-csv=<path>");
+    return 2;
+  }
+  const bool dry_run = flags.GetBool("dry-run").value_or(false);
+  const ControllerConfig config = ConfigFromFlags(flags);
+  if (!config.Valid()) {
+    LIMONCELLO_LOG_ERROR("invalid controller configuration");
+    return 2;
+  }
+
+  LinuxMsrDevice device;
+  if (!device.available() && !dry_run) {
+    LIMONCELLO_LOG_ERROR(
+        "no /dev/cpu/*/msr access (need the msr module and root); "
+        "re-run with --dry-run to test the control loop");
+    return 3;
+  }
+  const int cpus = device.available() ? device.num_cpus() : 1;
+  PrefetchControl control(&device, PlatformMsrLayout::kIntelStyle, 0,
+                          std::max(1, cpus));
+  MsrPrefetchActuator msr_actuator(&control, std::max(1, cpus));
+  LoggingActuator actuator(&msr_actuator, dry_run);
+
+  std::unique_ptr<UtilizationSource> telemetry;
+  std::string telemetry_desc;
+  if (perf_csv_path.has_value()) {
+    PerfCsvOptions perf_options;
+    perf_options.saturation_gbps =
+        flags.GetDouble("saturation-gbps").value_or(100.0);
+    perf_options.interval_ns = config.tick_period_ns;
+    telemetry = std::make_unique<PerfCsvUtilizationSource>(*perf_csv_path,
+                                                           perf_options);
+    telemetry_desc = "perf csv " + *perf_csv_path;
+  } else {
+    telemetry = std::make_unique<FileUtilizationSource>(*telemetry_path);
+    telemetry_desc = "sample file " + *telemetry_path;
+  }
+  LimoncelloDaemon daemon(config, telemetry.get(), &actuator);
+
+  const int ticks = static_cast<int>(flags.GetInt("ticks").value_or(0));
+  LIMONCELLO_LOG_INFO(
+      "real mode (%s): %d cpus, telemetry from %s, %s",
+      dry_run ? "dry run" : "live", cpus, telemetry_desc.c_str(),
+      ticks > 0 ? "bounded run" : "running until interrupted");
+
+  // NOTE: this loop uses wall-clock sleeps; a bounded --ticks run is
+  // provided for testing.
+  for (int t = 0; ticks == 0 || t < ticks; ++t) {
+    const auto record =
+        daemon.RunTick(static_cast<SimTimeNs>(t) * config.tick_period_ns);
+    if (record.sample_ok) {
+      LIMONCELLO_LOG_DEBUG("t=%d util=%.1f%% state=%s", t,
+                           100.0 * record.utilization,
+                           ControllerStateName(record.state));
+    } else {
+      LIMONCELLO_LOG_WARN("t=%d telemetry sample missing", t);
+    }
+#ifndef LIMONCELLO_NO_SLEEP
+    // Sleep one tick period between samples.
+    const auto seconds =
+        static_cast<unsigned>(config.tick_period_ns / kNsPerSec);
+    if (seconds > 0 && !(ticks > 0 && t + 1 >= ticks)) {
+      // std::this_thread would drag in <thread>; keep it POSIX.
+      struct timespec ts = {static_cast<time_t>(seconds), 0};
+      nanosleep(&ts, nullptr);
+    }
+#endif
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("mode", "sim (default) or real")
+      .Define("ticks", "number of controller ticks (0 = forever in real mode)")
+      .Define("upper", "upper threshold as a fraction of saturation (0.80)")
+      .Define("lower", "lower threshold as a fraction of saturation (0.60)")
+      .Define("sustain-sec", "sustain duration in seconds (5)")
+      .Define("tick-sec", "telemetry period in seconds (1)")
+      .Define("max-missed-samples", "missed samples before fail-safe (5)")
+      .Define("telemetry-file", "real mode: file with utilization samples")
+      .Define("perf-csv", "real mode: perf stat -I -x, output file")
+      .Define("saturation-gbps",
+              "real mode with --perf-csv: socket saturation bandwidth (100)")
+      .Define("dry-run", "real mode: log MSR writes without performing them")
+      .Define("verbose", "log every tick")
+      .Define("help", "show this help");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").value_or(false)) {
+    std::fprintf(stdout, "%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+  if (flags.GetBool("verbose").value_or(false)) {
+    SetLogLevel(LogLevel::kDebug);
+  }
+  const std::string mode = flags.GetString("mode").value_or("sim");
+  if (mode == "sim") return RunSim(flags);
+  if (mode == "real") return RunReal(flags);
+  LIMONCELLO_LOG_ERROR("unknown --mode=%s (want sim or real)",
+                       mode.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace limoncello
+
+int main(int argc, char** argv) { return limoncello::Main(argc, argv); }
