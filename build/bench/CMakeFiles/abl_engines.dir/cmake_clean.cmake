@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_engines.dir/abl_engines.cc.o"
+  "CMakeFiles/abl_engines.dir/abl_engines.cc.o.d"
+  "abl_engines"
+  "abl_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hysteresis.dir/abl_hysteresis.cc.o"
+  "CMakeFiles/abl_hysteresis.dir/abl_hysteresis.cc.o.d"
+  "abl_hysteresis"
+  "abl_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tiered.dir/abl_tiered.cc.o"
+  "CMakeFiles/abl_tiered.dir/abl_tiered.cc.o.d"
+  "abl_tiered"
+  "abl_tiered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

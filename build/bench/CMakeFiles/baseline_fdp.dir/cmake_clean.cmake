@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_fdp.dir/baseline_fdp.cc.o"
+  "CMakeFiles/baseline_fdp.dir/baseline_fdp.cc.o.d"
+  "baseline_fdp"
+  "baseline_fdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_fdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_loaded_latency.dir/fig01_loaded_latency.cc.o"
+  "CMakeFiles/fig01_loaded_latency.dir/fig01_loaded_latency.cc.o.d"
+  "fig01_loaded_latency"
+  "fig01_loaded_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_loaded_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

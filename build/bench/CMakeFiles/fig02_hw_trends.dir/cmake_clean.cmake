@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_hw_trends.dir/fig02_hw_trends.cc.o"
+  "CMakeFiles/fig02_hw_trends.dir/fig02_hw_trends.cc.o.d"
+  "fig02_hw_trends"
+  "fig02_hw_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_hw_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fleet_bw_growth.dir/fig03_fleet_bw_growth.cc.o"
+  "CMakeFiles/fig03_fleet_bw_growth.dir/fig03_fleet_bw_growth.cc.o.d"
+  "fig03_fleet_bw_growth"
+  "fig03_fleet_bw_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fleet_bw_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

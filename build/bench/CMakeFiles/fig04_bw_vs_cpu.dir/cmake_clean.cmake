@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_bw_vs_cpu.dir/fig04_bw_vs_cpu.cc.o"
+  "CMakeFiles/fig04_bw_vs_cpu.dir/fig04_bw_vs_cpu.cc.o.d"
+  "fig04_bw_vs_cpu"
+  "fig04_bw_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bw_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_spec_bw.dir/fig05_spec_bw.cc.o"
+  "CMakeFiles/fig05_spec_bw.dir/fig05_spec_bw.cc.o.d"
+  "fig05_spec_bw"
+  "fig05_spec_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_spec_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

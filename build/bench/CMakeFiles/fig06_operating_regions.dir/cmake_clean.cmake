@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_operating_regions.dir/fig06_operating_regions.cc.o"
+  "CMakeFiles/fig06_operating_regions.dir/fig06_operating_regions.cc.o.d"
+  "fig06_operating_regions"
+  "fig06_operating_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_operating_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

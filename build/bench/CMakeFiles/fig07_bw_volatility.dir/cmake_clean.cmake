@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bw_volatility.dir/fig07_bw_volatility.cc.o"
+  "CMakeFiles/fig07_bw_volatility.dir/fig07_bw_volatility.cc.o.d"
+  "fig07_bw_volatility"
+  "fig07_bw_volatility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bw_volatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_distance_sweep.dir/fig15a_distance_sweep.cc.o"
+  "CMakeFiles/fig15a_distance_sweep.dir/fig15a_distance_sweep.cc.o.d"
+  "fig15a_distance_sweep"
+  "fig15a_distance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_distance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

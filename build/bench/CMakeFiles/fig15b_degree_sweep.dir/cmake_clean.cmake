@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_degree_sweep.dir/fig15b_degree_sweep.cc.o"
+  "CMakeFiles/fig15b_degree_sweep.dir/fig15b_degree_sweep.cc.o.d"
+  "fig15b_degree_sweep"
+  "fig15b_degree_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_degree_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15c_libc_distributions.dir/fig15c_libc_distributions.cc.o"
+  "CMakeFiles/fig15c_libc_distributions.dir/fig15c_libc_distributions.cc.o.d"
+  "fig15c_libc_distributions"
+  "fig15c_libc_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15c_libc_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_throughput_gain.dir/fig16_throughput_gain.cc.o"
+  "CMakeFiles/fig16_throughput_gain.dir/fig16_throughput_gain.cc.o.d"
+  "fig16_throughput_gain"
+  "fig16_throughput_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_throughput_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_bw_reduction.dir/fig18_bw_reduction.cc.o"
+  "CMakeFiles/fig18_bw_reduction.dir/fig18_bw_reduction.cc.o.d"
+  "fig18_bw_reduction"
+  "fig18_bw_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_bw_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_utilization_shift.dir/fig19_utilization_shift.cc.o"
+  "CMakeFiles/fig19_utilization_shift.dir/fig19_utilization_shift.cc.o.d"
+  "fig19_utilization_shift"
+  "fig19_utilization_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_utilization_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

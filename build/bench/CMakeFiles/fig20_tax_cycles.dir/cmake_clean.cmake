@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_tax_cycles.dir/fig20_tax_cycles.cc.o"
+  "CMakeFiles/fig20_tax_cycles.dir/fig20_tax_cycles.cc.o.d"
+  "fig20_tax_cycles"
+  "fig20_tax_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_tax_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/limoncello_bench_util.dir/bench_util.cc.o.d"
+  "liblimoncello_bench_util.a"
+  "liblimoncello_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench_tax.cc" "bench/CMakeFiles/microbench_tax.dir/microbench_tax.cc.o" "gcc" "bench/CMakeFiles/microbench_tax.dir/microbench_tax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tax/CMakeFiles/limoncello_tax.dir/DependInfo.cmake"
+  "/root/repo/build/src/softpf/CMakeFiles/limoncello_softpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

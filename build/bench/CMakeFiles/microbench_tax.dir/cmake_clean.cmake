@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_tax.dir/microbench_tax.cc.o"
+  "CMakeFiles/microbench_tax.dir/microbench_tax.cc.o.d"
+  "microbench_tax"
+  "microbench_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_bw_reduction.dir/tab01_bw_reduction.cc.o"
+  "CMakeFiles/tab01_bw_reduction.dir/tab01_bw_reduction.cc.o.d"
+  "tab01_bw_reduction"
+  "tab01_bw_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_bw_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_rollout.dir/fleet_rollout.cpp.o"
+  "CMakeFiles/fleet_rollout.dir/fleet_rollout.cpp.o.d"
+  "fleet_rollout"
+  "fleet_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_memcpy_prefetch.dir/tune_memcpy_prefetch.cpp.o"
+  "CMakeFiles/tune_memcpy_prefetch.dir/tune_memcpy_prefetch.cpp.o.d"
+  "tune_memcpy_prefetch"
+  "tune_memcpy_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_memcpy_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

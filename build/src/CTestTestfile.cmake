@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("msr")
+subdirs("workloads")
+subdirs("sim")
+subdirs("telemetry")
+subdirs("core")
+subdirs("softpf")
+subdirs("tax")
+subdirs("profiling")
+subdirs("fleet")

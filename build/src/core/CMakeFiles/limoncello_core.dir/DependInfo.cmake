@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actuator.cc" "src/core/CMakeFiles/limoncello_core.dir/actuator.cc.o" "gcc" "src/core/CMakeFiles/limoncello_core.dir/actuator.cc.o.d"
+  "/root/repo/src/core/daemon.cc" "src/core/CMakeFiles/limoncello_core.dir/daemon.cc.o" "gcc" "src/core/CMakeFiles/limoncello_core.dir/daemon.cc.o.d"
+  "/root/repo/src/core/file_utilization_source.cc" "src/core/CMakeFiles/limoncello_core.dir/file_utilization_source.cc.o" "gcc" "src/core/CMakeFiles/limoncello_core.dir/file_utilization_source.cc.o.d"
+  "/root/repo/src/core/hysteresis_controller.cc" "src/core/CMakeFiles/limoncello_core.dir/hysteresis_controller.cc.o" "gcc" "src/core/CMakeFiles/limoncello_core.dir/hysteresis_controller.cc.o.d"
+  "/root/repo/src/core/perf_csv_source.cc" "src/core/CMakeFiles/limoncello_core.dir/perf_csv_source.cc.o" "gcc" "src/core/CMakeFiles/limoncello_core.dir/perf_csv_source.cc.o.d"
+  "/root/repo/src/core/tiered_policy.cc" "src/core/CMakeFiles/limoncello_core.dir/tiered_policy.cc.o" "gcc" "src/core/CMakeFiles/limoncello_core.dir/tiered_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msr/CMakeFiles/limoncello_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/limoncello_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/limoncello_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/limoncello_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/limoncello_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_core.dir/actuator.cc.o"
+  "CMakeFiles/limoncello_core.dir/actuator.cc.o.d"
+  "CMakeFiles/limoncello_core.dir/daemon.cc.o"
+  "CMakeFiles/limoncello_core.dir/daemon.cc.o.d"
+  "CMakeFiles/limoncello_core.dir/file_utilization_source.cc.o"
+  "CMakeFiles/limoncello_core.dir/file_utilization_source.cc.o.d"
+  "CMakeFiles/limoncello_core.dir/hysteresis_controller.cc.o"
+  "CMakeFiles/limoncello_core.dir/hysteresis_controller.cc.o.d"
+  "CMakeFiles/limoncello_core.dir/perf_csv_source.cc.o"
+  "CMakeFiles/limoncello_core.dir/perf_csv_source.cc.o.d"
+  "CMakeFiles/limoncello_core.dir/tiered_policy.cc.o"
+  "CMakeFiles/limoncello_core.dir/tiered_policy.cc.o.d"
+  "liblimoncello_core.a"
+  "liblimoncello_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/fleet_simulator.cc" "src/fleet/CMakeFiles/limoncello_fleet.dir/fleet_simulator.cc.o" "gcc" "src/fleet/CMakeFiles/limoncello_fleet.dir/fleet_simulator.cc.o.d"
+  "/root/repo/src/fleet/machine_model.cc" "src/fleet/CMakeFiles/limoncello_fleet.dir/machine_model.cc.o" "gcc" "src/fleet/CMakeFiles/limoncello_fleet.dir/machine_model.cc.o.d"
+  "/root/repo/src/fleet/platform.cc" "src/fleet/CMakeFiles/limoncello_fleet.dir/platform.cc.o" "gcc" "src/fleet/CMakeFiles/limoncello_fleet.dir/platform.cc.o.d"
+  "/root/repo/src/fleet/scheduler.cc" "src/fleet/CMakeFiles/limoncello_fleet.dir/scheduler.cc.o" "gcc" "src/fleet/CMakeFiles/limoncello_fleet.dir/scheduler.cc.o.d"
+  "/root/repo/src/fleet/service.cc" "src/fleet/CMakeFiles/limoncello_fleet.dir/service.cc.o" "gcc" "src/fleet/CMakeFiles/limoncello_fleet.dir/service.cc.o.d"
+  "/root/repo/src/fleet/threshold_tuner.cc" "src/fleet/CMakeFiles/limoncello_fleet.dir/threshold_tuner.cc.o" "gcc" "src/fleet/CMakeFiles/limoncello_fleet.dir/threshold_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/limoncello_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/limoncello_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/limoncello_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/limoncello_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/limoncello_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/limoncello_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

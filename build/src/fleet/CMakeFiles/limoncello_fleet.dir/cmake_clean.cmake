@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_fleet.dir/fleet_simulator.cc.o"
+  "CMakeFiles/limoncello_fleet.dir/fleet_simulator.cc.o.d"
+  "CMakeFiles/limoncello_fleet.dir/machine_model.cc.o"
+  "CMakeFiles/limoncello_fleet.dir/machine_model.cc.o.d"
+  "CMakeFiles/limoncello_fleet.dir/platform.cc.o"
+  "CMakeFiles/limoncello_fleet.dir/platform.cc.o.d"
+  "CMakeFiles/limoncello_fleet.dir/scheduler.cc.o"
+  "CMakeFiles/limoncello_fleet.dir/scheduler.cc.o.d"
+  "CMakeFiles/limoncello_fleet.dir/service.cc.o"
+  "CMakeFiles/limoncello_fleet.dir/service.cc.o.d"
+  "CMakeFiles/limoncello_fleet.dir/threshold_tuner.cc.o"
+  "CMakeFiles/limoncello_fleet.dir/threshold_tuner.cc.o.d"
+  "liblimoncello_fleet.a"
+  "liblimoncello_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

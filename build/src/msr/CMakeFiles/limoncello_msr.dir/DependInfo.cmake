@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msr/linux_msr_device.cc" "src/msr/CMakeFiles/limoncello_msr.dir/linux_msr_device.cc.o" "gcc" "src/msr/CMakeFiles/limoncello_msr.dir/linux_msr_device.cc.o.d"
+  "/root/repo/src/msr/prefetch_control.cc" "src/msr/CMakeFiles/limoncello_msr.dir/prefetch_control.cc.o" "gcc" "src/msr/CMakeFiles/limoncello_msr.dir/prefetch_control.cc.o.d"
+  "/root/repo/src/msr/simulated_msr_device.cc" "src/msr/CMakeFiles/limoncello_msr.dir/simulated_msr_device.cc.o" "gcc" "src/msr/CMakeFiles/limoncello_msr.dir/simulated_msr_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

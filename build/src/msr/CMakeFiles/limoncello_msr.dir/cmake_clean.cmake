@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_msr.dir/linux_msr_device.cc.o"
+  "CMakeFiles/limoncello_msr.dir/linux_msr_device.cc.o.d"
+  "CMakeFiles/limoncello_msr.dir/prefetch_control.cc.o"
+  "CMakeFiles/limoncello_msr.dir/prefetch_control.cc.o.d"
+  "CMakeFiles/limoncello_msr.dir/simulated_msr_device.cc.o"
+  "CMakeFiles/limoncello_msr.dir/simulated_msr_device.cc.o.d"
+  "liblimoncello_msr.a"
+  "liblimoncello_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_profiling.dir/profile.cc.o"
+  "CMakeFiles/limoncello_profiling.dir/profile.cc.o.d"
+  "CMakeFiles/limoncello_profiling.dir/sampling_profiler.cc.o"
+  "CMakeFiles/limoncello_profiling.dir/sampling_profiler.cc.o.d"
+  "liblimoncello_profiling.a"
+  "liblimoncello_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache/cache.cc" "src/sim/CMakeFiles/limoncello_sim.dir/cache/cache.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/sim/machine/socket.cc" "src/sim/CMakeFiles/limoncello_sim.dir/machine/socket.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/machine/socket.cc.o.d"
+  "/root/repo/src/sim/memory/latency_curve.cc" "src/sim/CMakeFiles/limoncello_sim.dir/memory/latency_curve.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/memory/latency_curve.cc.o.d"
+  "/root/repo/src/sim/memory/memory_controller.cc" "src/sim/CMakeFiles/limoncello_sim.dir/memory/memory_controller.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/memory/memory_controller.cc.o.d"
+  "/root/repo/src/sim/prefetch/best_offset.cc" "src/sim/CMakeFiles/limoncello_sim.dir/prefetch/best_offset.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/prefetch/best_offset.cc.o.d"
+  "/root/repo/src/sim/prefetch/fdp_throttle.cc" "src/sim/CMakeFiles/limoncello_sim.dir/prefetch/fdp_throttle.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/prefetch/fdp_throttle.cc.o.d"
+  "/root/repo/src/sim/prefetch/prefetcher.cc" "src/sim/CMakeFiles/limoncello_sim.dir/prefetch/prefetcher.cc.o" "gcc" "src/sim/CMakeFiles/limoncello_sim.dir/prefetch/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/limoncello_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/limoncello_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

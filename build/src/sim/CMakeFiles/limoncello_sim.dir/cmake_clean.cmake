@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_sim.dir/cache/cache.cc.o"
+  "CMakeFiles/limoncello_sim.dir/cache/cache.cc.o.d"
+  "CMakeFiles/limoncello_sim.dir/machine/socket.cc.o"
+  "CMakeFiles/limoncello_sim.dir/machine/socket.cc.o.d"
+  "CMakeFiles/limoncello_sim.dir/memory/latency_curve.cc.o"
+  "CMakeFiles/limoncello_sim.dir/memory/latency_curve.cc.o.d"
+  "CMakeFiles/limoncello_sim.dir/memory/memory_controller.cc.o"
+  "CMakeFiles/limoncello_sim.dir/memory/memory_controller.cc.o.d"
+  "CMakeFiles/limoncello_sim.dir/prefetch/best_offset.cc.o"
+  "CMakeFiles/limoncello_sim.dir/prefetch/best_offset.cc.o.d"
+  "CMakeFiles/limoncello_sim.dir/prefetch/fdp_throttle.cc.o"
+  "CMakeFiles/limoncello_sim.dir/prefetch/fdp_throttle.cc.o.d"
+  "CMakeFiles/limoncello_sim.dir/prefetch/prefetcher.cc.o"
+  "CMakeFiles/limoncello_sim.dir/prefetch/prefetcher.cc.o.d"
+  "liblimoncello_sim.a"
+  "liblimoncello_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softpf/prefetch_site_registry.cc" "src/softpf/CMakeFiles/limoncello_softpf.dir/prefetch_site_registry.cc.o" "gcc" "src/softpf/CMakeFiles/limoncello_softpf.dir/prefetch_site_registry.cc.o.d"
+  "/root/repo/src/softpf/runtime.cc" "src/softpf/CMakeFiles/limoncello_softpf.dir/runtime.cc.o" "gcc" "src/softpf/CMakeFiles/limoncello_softpf.dir/runtime.cc.o.d"
+  "/root/repo/src/softpf/soft_prefetch_config.cc" "src/softpf/CMakeFiles/limoncello_softpf.dir/soft_prefetch_config.cc.o" "gcc" "src/softpf/CMakeFiles/limoncello_softpf.dir/soft_prefetch_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

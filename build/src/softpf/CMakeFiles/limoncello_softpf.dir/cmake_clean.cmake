@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_softpf.dir/prefetch_site_registry.cc.o"
+  "CMakeFiles/limoncello_softpf.dir/prefetch_site_registry.cc.o.d"
+  "CMakeFiles/limoncello_softpf.dir/runtime.cc.o"
+  "CMakeFiles/limoncello_softpf.dir/runtime.cc.o.d"
+  "CMakeFiles/limoncello_softpf.dir/soft_prefetch_config.cc.o"
+  "CMakeFiles/limoncello_softpf.dir/soft_prefetch_config.cc.o.d"
+  "liblimoncello_softpf.a"
+  "liblimoncello_softpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_softpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblimoncello_softpf.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_stats.dir/histogram.cc.o"
+  "CMakeFiles/limoncello_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/limoncello_stats.dir/time_series.cc.o"
+  "CMakeFiles/limoncello_stats.dir/time_series.cc.o.d"
+  "liblimoncello_stats.a"
+  "liblimoncello_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tax/adaptive.cc" "src/tax/CMakeFiles/limoncello_tax.dir/adaptive.cc.o" "gcc" "src/tax/CMakeFiles/limoncello_tax.dir/adaptive.cc.o.d"
+  "/root/repo/src/tax/block_compressor.cc" "src/tax/CMakeFiles/limoncello_tax.dir/block_compressor.cc.o" "gcc" "src/tax/CMakeFiles/limoncello_tax.dir/block_compressor.cc.o.d"
+  "/root/repo/src/tax/block_hash.cc" "src/tax/CMakeFiles/limoncello_tax.dir/block_hash.cc.o" "gcc" "src/tax/CMakeFiles/limoncello_tax.dir/block_hash.cc.o.d"
+  "/root/repo/src/tax/prefetching_memcpy.cc" "src/tax/CMakeFiles/limoncello_tax.dir/prefetching_memcpy.cc.o" "gcc" "src/tax/CMakeFiles/limoncello_tax.dir/prefetching_memcpy.cc.o.d"
+  "/root/repo/src/tax/wire_serializer.cc" "src/tax/CMakeFiles/limoncello_tax.dir/wire_serializer.cc.o" "gcc" "src/tax/CMakeFiles/limoncello_tax.dir/wire_serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/softpf/CMakeFiles/limoncello_softpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

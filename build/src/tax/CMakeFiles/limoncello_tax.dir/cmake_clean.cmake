@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_tax.dir/adaptive.cc.o"
+  "CMakeFiles/limoncello_tax.dir/adaptive.cc.o.d"
+  "CMakeFiles/limoncello_tax.dir/block_compressor.cc.o"
+  "CMakeFiles/limoncello_tax.dir/block_compressor.cc.o.d"
+  "CMakeFiles/limoncello_tax.dir/block_hash.cc.o"
+  "CMakeFiles/limoncello_tax.dir/block_hash.cc.o.d"
+  "CMakeFiles/limoncello_tax.dir/prefetching_memcpy.cc.o"
+  "CMakeFiles/limoncello_tax.dir/prefetching_memcpy.cc.o.d"
+  "CMakeFiles/limoncello_tax.dir/wire_serializer.cc.o"
+  "CMakeFiles/limoncello_tax.dir/wire_serializer.cc.o.d"
+  "liblimoncello_tax.a"
+  "liblimoncello_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

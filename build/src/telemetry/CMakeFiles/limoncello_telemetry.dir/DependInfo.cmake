@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/telemetry.cc" "src/telemetry/CMakeFiles/limoncello_telemetry.dir/telemetry.cc.o" "gcc" "src/telemetry/CMakeFiles/limoncello_telemetry.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/limoncello_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/limoncello_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/limoncello_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_telemetry.dir/telemetry.cc.o"
+  "CMakeFiles/limoncello_telemetry.dir/telemetry.cc.o.d"
+  "liblimoncello_telemetry.a"
+  "liblimoncello_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

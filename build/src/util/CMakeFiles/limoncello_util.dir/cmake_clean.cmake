@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_util.dir/flags.cc.o"
+  "CMakeFiles/limoncello_util.dir/flags.cc.o.d"
+  "CMakeFiles/limoncello_util.dir/logging.cc.o"
+  "CMakeFiles/limoncello_util.dir/logging.cc.o.d"
+  "CMakeFiles/limoncello_util.dir/table.cc.o"
+  "CMakeFiles/limoncello_util.dir/table.cc.o.d"
+  "liblimoncello_util.a"
+  "liblimoncello_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/function_catalog.cc" "src/workloads/CMakeFiles/limoncello_workloads.dir/function_catalog.cc.o" "gcc" "src/workloads/CMakeFiles/limoncello_workloads.dir/function_catalog.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/workloads/CMakeFiles/limoncello_workloads.dir/generators.cc.o" "gcc" "src/workloads/CMakeFiles/limoncello_workloads.dir/generators.cc.o.d"
+  "/root/repo/src/workloads/trace_io.cc" "src/workloads/CMakeFiles/limoncello_workloads.dir/trace_io.cc.o" "gcc" "src/workloads/CMakeFiles/limoncello_workloads.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

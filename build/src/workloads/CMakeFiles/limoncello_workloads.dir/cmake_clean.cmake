@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_workloads.dir/function_catalog.cc.o"
+  "CMakeFiles/limoncello_workloads.dir/function_catalog.cc.o.d"
+  "CMakeFiles/limoncello_workloads.dir/generators.cc.o"
+  "CMakeFiles/limoncello_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/limoncello_workloads.dir/trace_io.cc.o"
+  "CMakeFiles/limoncello_workloads.dir/trace_io.cc.o.d"
+  "liblimoncello_workloads.a"
+  "liblimoncello_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_integration_test.dir/integration/ablation_integration_test.cc.o"
+  "CMakeFiles/ablation_integration_test.dir/integration/ablation_integration_test.cc.o.d"
+  "ablation_integration_test"
+  "ablation_integration_test.pdb"
+  "ablation_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

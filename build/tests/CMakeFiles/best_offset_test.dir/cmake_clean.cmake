@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_offset_test.dir/sim/best_offset_test.cc.o"
+  "CMakeFiles/best_offset_test.dir/sim/best_offset_test.cc.o.d"
+  "best_offset_test"
+  "best_offset_test.pdb"
+  "best_offset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_offset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_compressor_test.dir/tax/block_compressor_test.cc.o"
+  "CMakeFiles/block_compressor_test.dir/tax/block_compressor_test.cc.o.d"
+  "block_compressor_test"
+  "block_compressor_test.pdb"
+  "block_compressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_compressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_hash_test.dir/tax/block_hash_test.cc.o"
+  "CMakeFiles/block_hash_test.dir/tax/block_hash_test.cc.o.d"
+  "block_hash_test"
+  "block_hash_test.pdb"
+  "block_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

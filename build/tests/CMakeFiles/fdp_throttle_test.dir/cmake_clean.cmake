@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_throttle_test.dir/sim/fdp_throttle_test.cc.o"
+  "CMakeFiles/fdp_throttle_test.dir/sim/fdp_throttle_test.cc.o.d"
+  "fdp_throttle_test"
+  "fdp_throttle_test.pdb"
+  "fdp_throttle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_throttle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

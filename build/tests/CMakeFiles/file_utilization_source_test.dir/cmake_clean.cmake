@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_utilization_source_test.dir/core/file_utilization_source_test.cc.o"
+  "CMakeFiles/file_utilization_source_test.dir/core/file_utilization_source_test.cc.o.d"
+  "file_utilization_source_test"
+  "file_utilization_source_test.pdb"
+  "file_utilization_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_utilization_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

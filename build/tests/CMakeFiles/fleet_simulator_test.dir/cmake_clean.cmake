@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_simulator_test.dir/fleet/fleet_simulator_test.cc.o"
+  "CMakeFiles/fleet_simulator_test.dir/fleet/fleet_simulator_test.cc.o.d"
+  "fleet_simulator_test"
+  "fleet_simulator_test.pdb"
+  "fleet_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

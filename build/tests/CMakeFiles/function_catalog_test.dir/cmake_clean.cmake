@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_catalog_test.dir/workloads/function_catalog_test.cc.o"
+  "CMakeFiles/function_catalog_test.dir/workloads/function_catalog_test.cc.o.d"
+  "function_catalog_test"
+  "function_catalog_test.pdb"
+  "function_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hysteresis_controller_test.dir/core/hysteresis_controller_test.cc.o"
+  "CMakeFiles/hysteresis_controller_test.dir/core/hysteresis_controller_test.cc.o.d"
+  "hysteresis_controller_test"
+  "hysteresis_controller_test.pdb"
+  "hysteresis_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hysteresis_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_curve_test.dir/sim/latency_curve_test.cc.o"
+  "CMakeFiles/latency_curve_test.dir/sim/latency_curve_test.cc.o.d"
+  "latency_curve_test"
+  "latency_curve_test.pdb"
+  "latency_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncello_integration_test.dir/integration/limoncello_integration_test.cc.o"
+  "CMakeFiles/limoncello_integration_test.dir/integration/limoncello_integration_test.cc.o.d"
+  "limoncello_integration_test"
+  "limoncello_integration_test.pdb"
+  "limoncello_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncello_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_controller_test.dir/sim/memory_controller_test.cc.o"
+  "CMakeFiles/memory_controller_test.dir/sim/memory_controller_test.cc.o.d"
+  "memory_controller_test"
+  "memory_controller_test.pdb"
+  "memory_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

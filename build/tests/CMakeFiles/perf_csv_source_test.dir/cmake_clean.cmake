@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_csv_source_test.dir/core/perf_csv_source_test.cc.o"
+  "CMakeFiles/perf_csv_source_test.dir/core/perf_csv_source_test.cc.o.d"
+  "perf_csv_source_test"
+  "perf_csv_source_test.pdb"
+  "perf_csv_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_csv_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

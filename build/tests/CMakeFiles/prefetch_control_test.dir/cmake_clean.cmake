@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_control_test.dir/msr/prefetch_control_test.cc.o"
+  "CMakeFiles/prefetch_control_test.dir/msr/prefetch_control_test.cc.o.d"
+  "prefetch_control_test"
+  "prefetch_control_test.pdb"
+  "prefetch_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

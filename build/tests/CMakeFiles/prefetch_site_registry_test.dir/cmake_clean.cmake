@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_site_registry_test.dir/softpf/prefetch_site_registry_test.cc.o"
+  "CMakeFiles/prefetch_site_registry_test.dir/softpf/prefetch_site_registry_test.cc.o.d"
+  "prefetch_site_registry_test"
+  "prefetch_site_registry_test.pdb"
+  "prefetch_site_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_site_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetching_memcpy_test.dir/tax/prefetching_memcpy_test.cc.o"
+  "CMakeFiles/prefetching_memcpy_test.dir/tax/prefetching_memcpy_test.cc.o.d"
+  "prefetching_memcpy_test"
+  "prefetching_memcpy_test.pdb"
+  "prefetching_memcpy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetching_memcpy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_profiler_test.dir/profiling/sampling_profiler_test.cc.o"
+  "CMakeFiles/sampling_profiler_test.dir/profiling/sampling_profiler_test.cc.o.d"
+  "sampling_profiler_test"
+  "sampling_profiler_test.pdb"
+  "sampling_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

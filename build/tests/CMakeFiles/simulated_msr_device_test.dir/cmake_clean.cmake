@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_msr_device_test.dir/msr/simulated_msr_device_test.cc.o"
+  "CMakeFiles/simulated_msr_device_test.dir/msr/simulated_msr_device_test.cc.o.d"
+  "simulated_msr_device_test"
+  "simulated_msr_device_test.pdb"
+  "simulated_msr_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_msr_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

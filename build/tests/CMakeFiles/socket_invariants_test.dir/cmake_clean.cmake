@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_invariants_test.dir/sim/socket_invariants_test.cc.o"
+  "CMakeFiles/socket_invariants_test.dir/sim/socket_invariants_test.cc.o.d"
+  "socket_invariants_test"
+  "socket_invariants_test.pdb"
+  "socket_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_prefetch_config_test.dir/softpf/soft_prefetch_config_test.cc.o"
+  "CMakeFiles/soft_prefetch_config_test.dir/softpf/soft_prefetch_config_test.cc.o.d"
+  "soft_prefetch_config_test"
+  "soft_prefetch_config_test.pdb"
+  "soft_prefetch_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_prefetch_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

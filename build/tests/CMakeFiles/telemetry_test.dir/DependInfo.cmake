@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/telemetry/telemetry_test.cc" "tests/CMakeFiles/telemetry_test.dir/telemetry/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/telemetry_test.dir/telemetry/telemetry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/limoncello_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/limoncello_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tax/CMakeFiles/limoncello_tax.dir/DependInfo.cmake"
+  "/root/repo/build/src/softpf/CMakeFiles/limoncello_softpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/limoncello_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/limoncello_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/limoncello_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/limoncello_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/limoncello_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/limoncello_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limoncello_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

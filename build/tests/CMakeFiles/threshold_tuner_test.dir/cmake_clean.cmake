@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_tuner_test.dir/fleet/threshold_tuner_test.cc.o"
+  "CMakeFiles/threshold_tuner_test.dir/fleet/threshold_tuner_test.cc.o.d"
+  "threshold_tuner_test"
+  "threshold_tuner_test.pdb"
+  "threshold_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_policy_test.dir/core/tiered_policy_test.cc.o"
+  "CMakeFiles/tiered_policy_test.dir/core/tiered_policy_test.cc.o.d"
+  "tiered_policy_test"
+  "tiered_policy_test.pdb"
+  "tiered_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_serializer_test.dir/tax/wire_serializer_test.cc.o"
+  "CMakeFiles/wire_serializer_test.dir/tax/wire_serializer_test.cc.o.d"
+  "wire_serializer_test"
+  "wire_serializer_test.pdb"
+  "wire_serializer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_serializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limoncellod.dir/limoncellod.cc.o"
+  "CMakeFiles/limoncellod.dir/limoncellod.cc.o.d"
+  "limoncellod"
+  "limoncellod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limoncellod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
