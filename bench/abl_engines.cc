@@ -4,11 +4,14 @@
 // buys the coverage and which burns the bandwidth — the finer-grained
 // control §7.1 contrasts Limoncello against.
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "msr/prefetch_control.h"
 #include "sim/machine/socket.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workloads/function_catalog.h"
 
 namespace limoncello::bench {
@@ -58,14 +61,24 @@ Row RunConfig(const std::string& label, int disabled_engine /* -1 none,
 
 void Run() {
   Table table({"configuration", "dram_bytes/instr", "llc_mpki", "ipc"});
-  Row rows[] = {
-      RunConfig("all engines on", -1),
-      RunConfig("- l2_stream off", 0),
-      RunConfig("- l2_adjacent_line off", 1),
-      RunConfig("- dcu_streamer off", 2),
-      RunConfig("- dcu_ip_stride off", 3),
-      RunConfig("all engines off", 4),
+  // Each configuration simulates an independent socket; run all six arms
+  // concurrently into ordered slots.
+  const struct {
+    const char* label;
+    int disabled_engine;
+  } configs[] = {
+      {"all engines on", -1},        {"- l2_stream off", 0},
+      {"- l2_adjacent_line off", 1}, {"- dcu_streamer off", 2},
+      {"- dcu_ip_stride off", 3},    {"all engines off", 4},
   };
+  Row rows[6];
+  std::vector<std::function<void()>> arms;
+  for (int i = 0; i < 6; ++i) {
+    arms.push_back([&, i] {
+      rows[i] = RunConfig(configs[i].label, configs[i].disabled_engine);
+    });
+  }
+  ParallelInvoke(std::move(arms));
   for (const Row& row : rows) {
     table.AddRow({row.label, Table::Num(row.bytes_per_instr, 4),
                   Table::Num(row.mpki, 2), Table::Num(row.ipc, 3)});

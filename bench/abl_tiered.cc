@@ -7,10 +7,13 @@
 // engines off (tier 2). The interesting regime is where tier 1 keeps
 // most of tier 0's coverage at a fraction of its traffic.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "core/tiered_policy.h"
 #include "sim/machine/socket.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workloads/function_catalog.h"
 
 namespace limoncello::bench {
@@ -64,11 +67,24 @@ void Run() {
   const char* tier_names[] = {"tier 0: all engines on",
                               "tier 1: noisy engines off",
                               "tier 2: all engines off"};
-  for (double peak : {32.0, 14.0}) {
+  const double peaks[] = {32.0, 14.0};
+  // All six (tier, peak) arms are independent sockets: run concurrently
+  // into ordered slots, then render the tables in the original order.
+  Result results[2][3];
+  std::vector<std::function<void()>> arms;
+  for (int p = 0; p < 2; ++p) {
+    for (int tier = 0; tier < 3; ++tier) {
+      arms.push_back(
+          [&, p, tier] { results[p][tier] = RunTier(tier, peaks[p]); });
+    }
+  }
+  ParallelInvoke(std::move(arms));
+  for (int p = 0; p < 2; ++p) {
+    const double peak = peaks[p];
     Table table({"configuration", "dram_bytes/instr", "llc_mpki", "ipc",
                  "avg_dram_latency(ns)"});
     for (int tier = 0; tier < 3; ++tier) {
-      const Result r = RunTier(tier, peak);
+      const Result& r = results[p][tier];
       table.AddRow({tier_names[tier], Table::Num(r.bytes_per_instr, 4),
                     Table::Num(r.mpki, 2), Table::Num(r.ipc, 3),
                     Table::Num(r.latency_ns, 1)});

@@ -1,0 +1,126 @@
+// Self-timing harness for the parallel fleet engine.
+//
+// Runs the same fleet at a sweep of thread counts, prints wall time and
+// machine-ticks/sec per count (plus speedup vs the serial engine), cross
+// checks that every thread count produced bit-identical metrics, and
+// emits BENCH_fleet.json so the numbers can be tracked across PRs.
+//
+//   bench_fleet_engine [--machines=N] [--ticks=N] [--threads=1,2,4]
+//                      [--json=BENCH_fleet.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace limoncello::bench {
+namespace {
+
+std::vector<int> ParseThreadList(const std::string& spec) {
+  std::vector<int> threads;
+  std::string token;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ',') {
+      if (!token.empty()) {
+        const int t = std::atoi(token.c_str());
+        if (t >= 1) threads.push_back(t);
+        token.clear();
+      }
+    } else {
+      token.push_back(spec[i]);
+    }
+  }
+  return threads;
+}
+
+int Run(const FlagParser& flags) {
+  FleetOptions options = DefaultFleetOptions(42);
+  options.num_machines =
+      static_cast<int>(flags.GetInt("machines").value_or(400));
+  options.ticks = static_cast<int>(flags.GetInt("ticks").value_or(120));
+  // Default sweep: serial engine, 2 and 4 lanes, and whatever the host
+  // (or LIMONCELLO_THREADS) resolves to.
+  std::string spec = flags.GetString("threads").value_or("1,2,4");
+  std::vector<int> threads = ParseThreadList(spec);
+  if (threads.empty()) {
+    std::fprintf(stderr, "error: bad --threads list '%s'\n", spec.c_str());
+    return 2;
+  }
+  const int resolved = ResolveThreadCount(0);
+  if (!flags.GetString("threads").has_value() &&
+      std::find(threads.begin(), threads.end(), resolved) == threads.end()) {
+    threads.push_back(resolved);
+  }
+
+  std::printf("fleet engine self-timing: %d machines x %d ticks (host has "
+              "%d hardware threads)\n",
+              options.num_machines, options.ticks, ResolveThreadCount(0));
+  std::vector<FleetEngineTiming> results;
+  for (int t : threads) {
+    results.push_back(TimeFleetEngine(PlatformConfig::Platform1(),
+                                      DeploymentMode::kFullLimoncello,
+                                      DeployedControllerConfig(), options,
+                                      t));
+  }
+
+  bool identical = true;
+  for (const FleetEngineTiming& r : results) {
+    if (r.served_qps_sum != results[0].served_qps_sum ||
+        r.machine_ticks != results[0].machine_ticks) {
+      identical = false;
+    }
+  }
+
+  Table table({"threads", "wall(s)", "machine_ticks/sec", "speedup_vs_1"});
+  double serial_rate = 0.0;
+  for (const FleetEngineTiming& r : results) {
+    if (r.threads == 1) serial_rate = r.machine_ticks_per_sec;
+  }
+  for (const FleetEngineTiming& r : results) {
+    table.AddRow({Table::Num(static_cast<std::int64_t>(r.threads)),
+                  Table::Num(r.seconds, 3),
+                  Table::Num(r.machine_ticks_per_sec, 0),
+                  serial_rate > 0.0
+                      ? Table::Num(r.machine_ticks_per_sec / serial_rate, 2)
+                      : "n/a"});
+  }
+  table.Print("Parallel fleet engine: machine-ticks/sec by thread count");
+  std::printf("\nmetrics across thread counts: %s\n",
+              identical ? "bit-identical" : "MISMATCH (engine bug!)");
+
+  const std::string json_path =
+      flags.GetString("json").value_or("BENCH_fleet.json");
+  if (!WriteFleetBenchJson(json_path, options, results)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main(int argc, char** argv) {
+  limoncello::FlagParser flags;
+  flags.Define("machines", "fleet size (default 400)")
+      .Define("ticks", "telemetry ticks to run (default 120)")
+      .Define("threads", "comma-separated thread counts (default 1,2,4 + host)")
+      .Define("json", "output path (default BENCH_fleet.json)")
+      .Define("help", "show this help");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").value_or(false)) {
+    std::printf("%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+  return limoncello::bench::Run(flags);
+}

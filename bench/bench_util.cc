@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "profiling/sampling_profiler.h"
+#include "util/thread_pool.h"
 #include "workloads/generators.h"
 
 namespace limoncello::bench {
@@ -89,7 +91,11 @@ std::vector<LoadedLatencyPoint> RunLoadedLatency(bool prefetchers_on,
 
 FleetOptions DefaultFleetOptions(std::uint64_t seed) {
   FleetOptions options;
-  options.num_machines = 120;
+  // Toward the paper's 10k-machine arms (§5): 1000 machines keeps every
+  // per-figure bench under a few seconds on one core now that the tick
+  // loop is parallel and allocation-free, while giving the distributions
+  // (Figs. 16-19) a fleet-scale population.
+  options.num_machines = 1000;
   options.ticks = 600;
   options.fill = 0.50;
   options.seed = seed;
@@ -108,10 +114,75 @@ ControllerConfig DeployedControllerConfig() {
 FleetAb RunFleetAb(const PlatformConfig& platform, DeploymentMode before,
                    DeploymentMode after, const ControllerConfig& controller,
                    const FleetOptions& options) {
+  const std::vector<FleetMetrics> arms =
+      RunFleetArms(platform, {before, after}, controller, options);
   FleetAb result;
-  result.before = RunFleetArm(platform, before, controller, options);
-  result.after = RunFleetArm(platform, after, controller, options);
+  result.before = arms[0];
+  result.after = arms[1];
   return result;
+}
+
+std::vector<FleetMetrics> RunFleetArms(
+    const PlatformConfig& platform, const std::vector<DeploymentMode>& modes,
+    const ControllerConfig& controller, const FleetOptions& options) {
+  std::vector<FleetMetrics> results(modes.size());
+  std::vector<std::function<void()>> arms;
+  arms.reserve(modes.size());
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    arms.push_back([&, i] {
+      results[i] = RunFleetArm(platform, modes[i], controller, options);
+    });
+  }
+  ParallelInvoke(std::move(arms));
+  return results;
+}
+
+FleetEngineTiming TimeFleetEngine(const PlatformConfig& platform,
+                                  DeploymentMode mode,
+                                  const ControllerConfig& controller,
+                                  FleetOptions options, int threads) {
+  using Clock = std::chrono::steady_clock;
+  options.num_threads = threads;
+  FleetSimulator sim(platform, mode, controller, options);
+  const auto start = Clock::now();
+  const FleetMetrics metrics = sim.Run();
+  const auto end = Clock::now();
+
+  FleetEngineTiming timing;
+  timing.threads = threads;
+  timing.seconds = std::chrono::duration<double>(end - start).count();
+  timing.machine_ticks = metrics.machine_ticks;
+  timing.machine_ticks_per_sec =
+      timing.seconds > 0.0
+          ? static_cast<double>(timing.machine_ticks) / timing.seconds
+          : 0.0;
+  timing.served_qps_sum = metrics.served_qps_sum;
+  return timing;
+}
+
+bool WriteFleetBenchJson(const std::string& path,
+                         const FleetOptions& options,
+                         const std::vector<FleetEngineTiming>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n  \"bench\": \"fleet_engine\",\n"
+               "  \"machines\": %d,\n  \"ticks\": %d,\n  \"results\": [\n",
+               options.num_machines, options.ticks);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FleetEngineTiming& r = results[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"machine_ticks\": %llu, "
+                 "\"machine_ticks_per_sec\": %.1f}%s\n",
+                 r.threads, r.seconds,
+                 static_cast<unsigned long long>(r.machine_ticks),
+                 r.machine_ticks_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 std::vector<CpuBucketRow> BucketByCpu(const FleetMetrics& metrics) {

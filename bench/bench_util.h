@@ -38,7 +38,9 @@ std::vector<LoadedLatencyPoint> RunLoadedLatency(bool prefetchers_on,
 FleetOptions DefaultFleetOptions(std::uint64_t seed = 42);
 ControllerConfig DeployedControllerConfig();
 
-// Runs an A/B pair (same seed) and returns {before, after}.
+// Runs an A/B pair (same seed) and returns {before, after}. The arms
+// share no mutable state and run concurrently (each with its own
+// simulator and tick-loop thread pool).
 struct FleetAb {
   FleetMetrics before;
   FleetMetrics after;
@@ -46,6 +48,38 @@ struct FleetAb {
 FleetAb RunFleetAb(const PlatformConfig& platform, DeploymentMode before,
                    DeploymentMode after, const ControllerConfig& controller,
                    const FleetOptions& options);
+
+// Generalization for the multi-arm benches (e.g. the three-deployment
+// Fig. 20 comparison): runs one arm per mode concurrently, returning
+// metrics in mode order.
+std::vector<FleetMetrics> RunFleetArms(const PlatformConfig& platform,
+                                       const std::vector<DeploymentMode>& modes,
+                                       const ControllerConfig& controller,
+                                       const FleetOptions& options);
+
+// ---------------------------------------------------------------------------
+// Fleet-engine self-timing (tracked across PRs via BENCH_fleet.json).
+
+struct FleetEngineTiming {
+  int threads = 1;
+  double seconds = 0.0;                 // wall time of Run() only
+  std::uint64_t machine_ticks = 0;
+  double machine_ticks_per_sec = 0.0;
+  double served_qps_sum = 0.0;          // determinism cross-check value
+};
+
+// Constructs the simulator (placement excluded from timing), times Run()
+// wall-clock, and reports machine-ticks/sec at the given thread count.
+FleetEngineTiming TimeFleetEngine(const PlatformConfig& platform,
+                                  DeploymentMode mode,
+                                  const ControllerConfig& controller,
+                                  FleetOptions options, int threads);
+
+// Writes the timing sweep as JSON (one object, results array ordered as
+// given) so CI can diff machine-ticks/sec across PRs.
+bool WriteFleetBenchJson(const std::string& path,
+                         const FleetOptions& options,
+                         const std::vector<FleetEngineTiming>& results);
 
 // Buckets machines of a run by their average CPU utilization (10 %-wide
 // buckets, 0-10 .. 100-110) and averages a metric over each bucket.

@@ -19,14 +19,12 @@ void Run() {
   options.fill = 0.62;
   const ControllerConfig controller = DeployedControllerConfig();
 
-  const DeploymentMode modes[] = {DeploymentMode::kBaseline,
-                                  DeploymentMode::kHardLimoncello,
-                                  DeploymentMode::kFullLimoncello};
-  FleetMetrics metrics[3];
-  for (int m = 0; m < 3; ++m) {
-    metrics[m] = RunFleetArm(PlatformConfig::Platform1(), modes[m],
-                             controller, options);
-  }
+  // The three deployment arms share no mutable state and run concurrently.
+  const std::vector<FleetMetrics> metrics = RunFleetArms(
+      PlatformConfig::Platform1(),
+      {DeploymentMode::kBaseline, DeploymentMode::kHardLimoncello,
+       DeploymentMode::kFullLimoncello},
+      controller, options);
 
   const char* category_names[] = {"compression", "data_transmission",
                                   "hashing", "data_movement"};

@@ -3,8 +3,11 @@
 // application throughput, memory latency percentiles, socket bandwidth,
 // and saturated-socket fraction.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "fleet/fleet_simulator.h"
+#include "util/thread_pool.h"
 
 using namespace limoncello;
 
@@ -21,14 +24,24 @@ int main() {
   controller.lower_threshold = 0.60;
   controller.sustain_duration_ns = 5 * kNsPerSec;
 
-  std::printf("running baseline arm (hardware prefetchers always on)...\n");
-  const FleetMetrics before =
-      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
-                  controller, options);
-  std::printf("running Limoncello arm (hard + soft)...\n\n");
-  const FleetMetrics after = RunFleetArm(PlatformConfig::Platform1(),
-                                         DeploymentMode::kFullLimoncello,
+  // The two arms share no mutable state (identical seeds, independent
+  // simulators), so they run concurrently; each arm's tick loop is itself
+  // parallel (options.num_threads, LIMONCELLO_THREADS).
+  std::printf(
+      "running baseline and Limoncello (hard + soft) arms concurrently"
+      "...\n\n");
+  FleetMetrics before;
+  FleetMetrics after;
+  ParallelInvoke({[&] {
+                    before = RunFleetArm(PlatformConfig::Platform1(),
+                                         DeploymentMode::kBaseline,
                                          controller, options);
+                  },
+                  [&] {
+                    after = RunFleetArm(PlatformConfig::Platform1(),
+                                        DeploymentMode::kFullLimoncello,
+                                        controller, options);
+                  }});
 
   auto pct = [](double b, double a) { return 100.0 * (a / b - 1.0); };
   std::printf("%-34s %12s %12s %9s\n", "metric", "before", "after",

@@ -3,8 +3,38 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace limoncello {
+
+namespace {
+
+// Machines per tick shard. Fixed (never derived from the thread count) so
+// the shard decomposition — and therefore every floating-point reduction
+// order — is identical no matter how many workers execute the shards.
+constexpr std::size_t kMachinesPerShard = 8;
+
+std::size_t NumShards(std::size_t num_machines) {
+  return (num_machines + kMachinesPerShard - 1) / kMachinesPerShard;
+}
+
+}  // namespace
+
+void FleetMetrics::Merge(const FleetMetrics& other) {
+  bandwidth_gbps.Merge(other.bandwidth_gbps);
+  bandwidth_utilization.Merge(other.bandwidth_utilization);
+  latency_ns.Merge(other.latency_ns);
+  served_qps_sum += other.served_qps_sum;
+  offered_qps_sum += other.offered_qps_sum;
+  for (int c = 0; c < kNumCategories; ++c) {
+    category_cycles[static_cast<size_t>(c)] +=
+        other.category_cycles[static_cast<size_t>(c)];
+  }
+  saturated_machine_ticks += other.saturated_machine_ticks;
+  machine_ticks += other.machine_ticks;
+  prefetcher_off_ticks += other.prefetcher_off_ticks;
+  controller_toggles += other.controller_toggles;
+}
 
 FleetSimulator::FleetSimulator(const PlatformConfig& platform,
                                DeploymentMode mode,
@@ -24,6 +54,11 @@ FleetSimulator::FleetSimulator(const PlatformConfig& platform,
     spec.base_mpki *= options.memory_intensity_scale;
   }
 
+  // rng_ is never advanced (Fork is const), so it doubles as the base
+  // generator: rng_.Fork(label) yields the same stream for a given seed
+  // and label as a freshly seeded Rng would, without re-seeding one per
+  // fork below.
+  //
   // Load processes are seeded independently of everything else so that
   // two arms with the same fleet seed see identical load sequences.
   for (std::size_t s = 0; s < services_.size(); ++s) {
@@ -31,18 +66,22 @@ FleetSimulator::FleetSimulator(const PlatformConfig& platform,
     lp.diurnal_period_ns = options.diurnal_period_ns;
     lp.phase = 2.0 * 3.14159265358979 * static_cast<double>(s) /
                static_cast<double>(services_.size());
-    load_processes_.push_back(std::make_unique<LoadProcess>(
-        lp, Rng(options.seed).Fork(0x700 + s)));
+    load_processes_.push_back(
+        std::make_unique<LoadProcess>(lp, rng_.Fork(0x700 + s)));
   }
 
   machines_.reserve(static_cast<std::size_t>(options.num_machines));
   for (int m = 0; m < options.num_machines; ++m) {
     machines_.push_back(std::make_unique<MachineModel>(
         platform, mode, controller,
-        Rng(options.seed).Fork(0x9000 + static_cast<std::uint64_t>(m))));
+        rng_.Fork(0x9000 + static_cast<std::uint64_t>(m))));
   }
+  pool_ = std::make_unique<ThreadPool>(
+      ResolveThreadCount(options.num_threads));
   PlaceWorkloads();
 }
+
+FleetSimulator::~FleetSimulator() = default;
 
 void FleetSimulator::PlaceWorkloads() {
   scheduler_.AssignCaps(machines_.size());
@@ -78,7 +117,7 @@ void FleetSimulator::PlaceWorkloads() {
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     shadows.push_back(std::make_unique<MachineModel>(
         platform_, DeploymentMode::kBaseline, controller_,
-        Rng(options_.seed).Fork(0x9000 + m)));
+        rng_.Fork(0x9000 + m)));
     shadow_raw.push_back(shadows.back().get());
   }
 
@@ -93,12 +132,19 @@ void FleetSimulator::PlaceWorkloads() {
       scheduler_.PlaceService(static_cast<int>(s), services_[s],
                               wave_rounds, shadow_raw);
     }
-    // Warm-up ticks on the shadows: telemetry catches up.
+    // Warm-up ticks on the shadows: telemetry catches up. Shadows are
+    // independent, so each warm-up tick is a parallel region (no metrics
+    // are collected here — only per-machine state advances).
     for (int t = 0; t < 4; ++t) {
-      for (auto& shadow : shadows) {
-        shadow->Tick(-kNsPerSec * (4LL * kWaves - 4 * wave - t),
-                     unit_load);
-      }
+      const SimTimeNs warm_now =
+          -kNsPerSec * (4LL * kWaves - 4 * wave - t);
+      pool_->ParallelFor(
+          0, static_cast<std::int64_t>(shadows.size()),
+          [&](std::int64_t m) {
+            shadows[static_cast<std::size_t>(m)]->Tick(warm_now,
+                                                       unit_load);
+          },
+          static_cast<std::int64_t>(kMachinesPerShard));
     }
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -115,10 +161,19 @@ FleetMetrics FleetSimulator::Run() {
   raw.reserve(machines_.size());
   for (auto& machine : machines_) raw.push_back(machine.get());
 
+  // Per-shard partial metrics, accumulated across the whole run and
+  // reduced in shard order at the end. A shard only ever touches its own
+  // partial and its own machines' aggregates, so the arithmetic — and
+  // the result — is independent of thread scheduling.
+  const std::size_t num_shards = NumShards(machines_.size());
+  std::vector<FleetMetrics> partials(num_shards);
+
   std::vector<double> load_factors(services_.size(), 1.0);
   for (int tick = 0; tick < options_.ticks; ++tick) {
     const SimTimeNs now =
         static_cast<SimTimeNs>(tick) * options_.tick_ns;
+    // Serial barrier phase: the load processes and the scheduler see a
+    // consistent fleet (every machine has finished the previous tick).
     for (std::size_t s = 0; s < services_.size(); ++s) {
       load_factors[s] = load_processes_[s]->Tick(now);
     }
@@ -126,34 +181,46 @@ FleetMetrics FleetSimulator::Run() {
         tick % options_.rebalance_period_ticks == 0) {
       scheduler_.Rebalance(raw);
     }
-    for (std::size_t m = 0; m < machines_.size(); ++m) {
-      const MachineModel::TickResult r =
-          machines_[m]->Tick(now, load_factors);
-      metrics.bandwidth_gbps.Add(r.bandwidth_gbps);
-      metrics.bandwidth_utilization.Add(r.bandwidth_utilization);
-      metrics.latency_ns.Add(r.latency_ns);
-      metrics.served_qps_sum += r.served_qps;
-      metrics.offered_qps_sum += r.offered_qps;
-      for (int c = 0; c < kNumCategories; ++c) {
-        metrics.category_cycles[static_cast<size_t>(c)] +=
-            r.category_cycles[static_cast<size_t>(c)];
-      }
-      ++metrics.machine_ticks;
-      if (r.bandwidth_utilization >= 0.95) {
-        ++metrics.saturated_machine_ticks;
-      }
-      if (!r.prefetchers_on) ++metrics.prefetcher_off_ticks;
+    // Parallel tick region: machines advance shard by shard.
+    pool_->ParallelFor(
+        0, static_cast<std::int64_t>(num_shards), [&](std::int64_t s) {
+          const std::size_t shard = static_cast<std::size_t>(s);
+          FleetMetrics& partial = partials[shard];
+          const std::size_t first = shard * kMachinesPerShard;
+          const std::size_t last = std::min(first + kMachinesPerShard,
+                                            machines_.size());
+          for (std::size_t m = first; m < last; ++m) {
+            const MachineModel::TickResult r =
+                machines_[m]->Tick(now, load_factors);
+            partial.bandwidth_gbps.Add(r.bandwidth_gbps);
+            partial.bandwidth_utilization.Add(r.bandwidth_utilization);
+            partial.latency_ns.Add(r.latency_ns);
+            partial.served_qps_sum += r.served_qps;
+            partial.offered_qps_sum += r.offered_qps;
+            for (int c = 0; c < kNumCategories; ++c) {
+              partial.category_cycles[static_cast<size_t>(c)] +=
+                  r.category_cycles[static_cast<size_t>(c)];
+            }
+            ++partial.machine_ticks;
+            if (r.bandwidth_utilization >= 0.95) {
+              ++partial.saturated_machine_ticks;
+            }
+            if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
 
-      MachineAggregate& agg = metrics.machines[m];
-      agg.cpu_utilization_sum += r.cpu_utilization;
-      agg.bw_utilization_sum += r.bandwidth_utilization;
-      agg.latency_ns_sum += r.latency_ns;
-      agg.served_qps_sum += r.served_qps;
-      agg.offered_qps_sum += r.offered_qps;
-      ++agg.ticks;
-      if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
-    }
+            MachineAggregate& agg = metrics.machines[m];
+            agg.cpu_utilization_sum += r.cpu_utilization;
+            agg.bw_utilization_sum += r.bandwidth_utilization;
+            agg.latency_ns_sum += r.latency_ns;
+            agg.served_qps_sum += r.served_qps;
+            agg.offered_qps_sum += r.offered_qps;
+            ++agg.ticks;
+            if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
+          }
+        });
   }
+  // Shard-order reduction (serial): fixed order regardless of thread
+  // count, so the merged metrics are bit-identical to the serial engine.
+  for (const FleetMetrics& partial : partials) metrics.Merge(partial);
   for (const auto& machine : machines_) {
     if (machine->daemon() != nullptr) {
       metrics.controller_toggles +=

@@ -26,6 +26,8 @@
 
 namespace limoncello {
 
+class ThreadPool;
+
 struct FleetOptions {
   int num_machines = 200;
   // Target average CPU fill used to size the task population.
@@ -40,6 +42,12 @@ struct FleetOptions {
   ClusterScheduler::Options scheduler;
   // Compresses the diurnal cycle so short runs still sweep load levels.
   SimTimeNs diurnal_period_ns = 1800LL * kNsPerSec;
+  // Worker threads for the tick loop. 0 = auto (LIMONCELLO_THREADS env,
+  // else hardware_concurrency); 1 = exact serial path (no workers).
+  // Results are bit-identical at any thread count: machines tick in
+  // static contiguous shards whose partial metrics are reduced in shard
+  // order, independent of which thread ran which shard.
+  int num_threads = 0;
 };
 
 // Per-machine aggregates over a run (for bucketed comparisons).
@@ -76,6 +84,12 @@ struct FleetMetrics {
   std::uint64_t controller_toggles = 0;
   std::vector<MachineAggregate> machines;
 
+  // Folds another partial into this one: histograms via Histogram::Merge,
+  // scalars by summation. Per-machine aggregates (`machines`) are NOT
+  // merged — shard partials carry fleet-wide totals only, while machine
+  // aggregates are written in place (disjoint per machine).
+  void Merge(const FleetMetrics& other);
+
   double SaturatedFraction() const {
     return machine_ticks ? static_cast<double>(saturated_machine_ticks) /
                                static_cast<double>(machine_ticks)
@@ -93,8 +107,12 @@ class FleetSimulator {
   FleetSimulator(const PlatformConfig& platform, DeploymentMode mode,
                  const ControllerConfig& controller,
                  const FleetOptions& options);
+  ~FleetSimulator();
 
-  // Runs the configured span and returns the collected metrics.
+  // Runs the configured span and returns the collected metrics. Machines
+  // tick concurrently (options.num_threads lanes) between serial barrier
+  // phases (load-process update, scheduler rebalance); see
+  // FleetOptions::num_threads for the determinism contract.
   FleetMetrics Run();
 
   const std::vector<std::unique_ptr<MachineModel>>& machines() const {
@@ -113,6 +131,7 @@ class FleetSimulator {
   std::vector<std::unique_ptr<LoadProcess>> load_processes_;
   std::vector<std::unique_ptr<MachineModel>> machines_;
   ClusterScheduler scheduler_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 // Convenience: runs one arm with the given mode, all other parameters

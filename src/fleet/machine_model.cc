@@ -124,15 +124,8 @@ MachineModel::TickResult MachineModel::Tick(
   result.prefetchers_on = prefetchers_on_;
 
   // 2. Demand model: per-task miss mix (latency-independent).
-  struct TaskLoad {
-    double offered_qps = 0.0;
-    double instr_per_req = 0.0;
-    double mpki_eff = 0.0;
-    double traffic_per_kinstr = 0.0;  // demand + prefetch lines
-    double cpi = 0.0;
-    std::array<CategoryLoad, kNumCategories> categories{};
-  };
-  std::vector<TaskLoad> loads(tasks_.size());
+  tick_loads_.assign(tasks_.size(), TaskLoad{});
+  std::vector<TaskLoad>& loads = tick_loads_;
 
   const PrefetchResponse& r = platform_.prefetch;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {

@@ -106,6 +106,16 @@ class MachineModel {
     double sw_covered = 0.0;    // misses covered by SW prefetch
   };
 
+  // Per-task demand computed during a tick (miss mix, traffic, CPI).
+  struct TaskLoad {
+    double offered_qps = 0.0;
+    double instr_per_req = 0.0;
+    double mpki_eff = 0.0;
+    double traffic_per_kinstr = 0.0;  // demand + prefetch lines
+    double cpi = 0.0;
+    std::array<CategoryLoad, kNumCategories> categories{};
+  };
+
   // Effective per-category miss multiplier given the current prefetcher
   // state and deployment mode.
   void CategoryMissModel(int category, double base_misses,
@@ -115,6 +125,9 @@ class MachineModel {
   DeploymentMode mode_;
   Rng rng_;
   std::vector<Task> tasks_;
+  // Tick-scratch buffer, reused so the fleet tick loop does not allocate
+  // per machine-tick (assign() keeps the capacity).
+  std::vector<TaskLoad> tick_loads_;
 
   // Control plane (real Limoncello components).
   SimulatedMsrDevice msr_;

@@ -1,6 +1,9 @@
 #include "fleet/threshold_tuner.h"
 
+#include <functional>
+
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace limoncello {
 
@@ -20,25 +23,36 @@ TunerResult ThresholdTuner::Tune(
     const std::vector<ThresholdCandidate>& candidates) {
   LIMONCELLO_CHECK(!candidates.empty());
 
-  ControllerConfig baseline_config;  // unused by the baseline arm
-  const FleetMetrics baseline =
-      RunFleetArm(platform_, DeploymentMode::kBaseline, baseline_config,
-                  options_);
+  // The baseline arm and every candidate arm share no mutable state, so
+  // they all run concurrently; results land in per-arm slots.
+  FleetMetrics baseline;
+  std::vector<FleetMetrics> candidate_metrics(candidates.size());
+  std::vector<std::function<void()>> arms;
+  arms.push_back([&] {
+    ControllerConfig baseline_config;  // unused by the baseline arm
+    baseline = RunFleetArm(platform_, DeploymentMode::kBaseline,
+                           baseline_config, options_);
+  });
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ControllerConfig config;
+    config.lower_threshold = candidates[i].lower;
+    config.upper_threshold = candidates[i].upper;
+    config.sustain_duration_ns = candidates[i].sustain_ns;
+    LIMONCELLO_CHECK(config.Valid());
+    arms.push_back([this, i, config, &candidate_metrics] {
+      candidate_metrics[i] = RunFleetArm(
+          platform_, DeploymentMode::kFullLimoncello, config, options_);
+    });
+  }
+  ParallelInvoke(std::move(arms));
   LIMONCELLO_CHECK_GT(baseline.served_qps_sum, 0.0);
 
   TunerResult result;
   const ThresholdEvaluation* best = nullptr;
-  for (const ThresholdCandidate& candidate : candidates) {
-    ControllerConfig config;
-    config.lower_threshold = candidate.lower;
-    config.upper_threshold = candidate.upper;
-    config.sustain_duration_ns = candidate.sustain_ns;
-    LIMONCELLO_CHECK(config.Valid());
-    const FleetMetrics metrics = RunFleetArm(
-        platform_, DeploymentMode::kFullLimoncello, config, options_);
-
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const FleetMetrics& metrics = candidate_metrics[i];
     ThresholdEvaluation evaluation;
-    evaluation.candidate = candidate;
+    evaluation.candidate = candidates[i];
     evaluation.throughput_gain_pct =
         100.0 * (metrics.served_qps_sum / baseline.served_qps_sum - 1.0);
     evaluation.toggles = metrics.controller_toggles;

@@ -1,0 +1,130 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+std::atomic<int> g_default_thread_count{0};
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int EnvThreadCount() {
+  const char* env = std::getenv("LIMONCELLO_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 0;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const int process_default = g_default_thread_count.load();
+  if (process_default >= 1) return process_default;
+  const int env = EnvThreadCount();
+  if (env >= 1) return env;
+  return HardwareThreads();
+}
+
+void SetDefaultThreadCount(int count) {
+  g_default_thread_count.store(count < 0 ? 0 : count);
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  LIMONCELLO_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainJob(const std::function<void(std::int64_t)>* fn) {
+  const std::int64_t end = job_end_;
+  const std::int64_t grain = job_grain_;
+  for (;;) {
+    const std::int64_t chunk = job_cursor_.fetch_add(grain);
+    if (chunk >= end) return;
+    const std::int64_t chunk_end =
+        chunk + grain < end ? chunk + grain : end;
+    for (std::int64_t i = chunk; i < chunk_end; ++i) (*fn)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      fn = job_fn_;
+      ++workers_in_job_;
+    }
+    DrainJob(fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_in_job_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
+                             const std::function<void(std::int64_t)>& fn,
+                             std::int64_t grain) {
+  if (begin >= end) return;
+  LIMONCELLO_CHECK_GE(grain, 1);
+  if (num_threads_ == 1) {
+    // Exact serial path: no cursor, no synchronization.
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_cursor_.store(begin);
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+  DrainJob(&fn);  // the caller is a lane too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_in_job_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ParallelInvoke(std::vector<std::function<void()>> thunks) {
+  if (thunks.empty()) return;
+  std::vector<std::thread> threads;
+  threads.reserve(thunks.size() - 1);
+  for (std::size_t i = 1; i < thunks.size(); ++i) {
+    threads.emplace_back(std::move(thunks[i]));
+  }
+  thunks[0]();
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace limoncello

@@ -1,0 +1,90 @@
+// Small reusable worker pool for the fleet layer's parallel tick loop.
+//
+// The pool hands out contiguous index chunks from an atomic cursor, so a
+// ParallelFor over N shards runs each shard exactly once on *some* thread.
+// Determinism is the caller's contract: a shard's work must depend only on
+// its index (never on which thread runs it or in what order shards are
+// claimed), and shards must write to disjoint state. Under that contract
+// results are identical at any thread count.
+//
+// A pool constructed with one thread spawns no workers at all: ParallelFor
+// degenerates to a plain loop on the caller — the exact serial path.
+#ifndef LIMONCELLO_UTIL_THREAD_POOL_H_
+#define LIMONCELLO_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace limoncello {
+
+// Resolves a requested thread count to an actual one:
+//   requested >= 1          use it as-is,
+//   requested == 0 (auto)   process default (SetDefaultThreadCount), else
+//                           the LIMONCELLO_THREADS environment variable,
+//                           else std::thread::hardware_concurrency().
+// Always returns >= 1.
+int ResolveThreadCount(int requested);
+
+// Sets the process-wide default used by ResolveThreadCount(0); tools wire
+// their --threads flag through this. 0 clears the default (back to the
+// environment / hardware).
+void SetDefaultThreadCount(int count);
+
+class ThreadPool {
+ public:
+  // num_threads must be >= 1 (pass through ResolveThreadCount first).
+  // Spawns num_threads - 1 workers; the calling thread is the remaining
+  // lane and participates in every ParallelFor.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Calls fn(i) exactly once for every i in [begin, end) and blocks until
+  // all calls have returned. fn is invoked concurrently for distinct i and
+  // must not throw. grain is the number of consecutive indices claimed per
+  // atomic cursor step (load-balance knob only — it never changes which
+  // calls are made).
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn,
+                   std::int64_t grain = 1);
+
+ private:
+  void WorkerLoop();
+  // Claims chunks of the current job until the cursor is exhausted.
+  void DrainJob(const std::function<void(std::int64_t)>* fn);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;  // caller waits for job completion
+  std::uint64_t job_generation_ = 0;
+  bool shutdown_ = false;
+
+  // Current job (valid while workers_in_job_ > 0 or cursor not drained).
+  const std::function<void(std::int64_t)>* job_fn_ = nullptr;
+  std::int64_t job_end_ = 0;
+  std::int64_t job_grain_ = 1;
+  std::atomic<std::int64_t> job_cursor_{0};
+  int workers_in_job_ = 0;
+};
+
+// Runs the given thunks concurrently — thunks[0] on the calling thread,
+// one spawned thread per remaining thunk — and returns when all complete.
+// Used for independent experiment arms (A/B deployments, threshold
+// candidates), which share no mutable state. Thunks must not throw.
+void ParallelInvoke(std::vector<std::function<void()>> thunks);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_THREAD_POOL_H_

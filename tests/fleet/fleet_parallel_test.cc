@@ -1,0 +1,131 @@
+// Determinism regression test for the parallel fleet engine: the sharded
+// tick loop must produce bit-identical FleetMetrics at any thread count
+// (the serial engine, num_threads = 1, is the reference). See
+// FleetOptions::num_threads for the contract.
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_simulator.h"
+
+namespace limoncello {
+namespace {
+
+FleetOptions ParallelFleet(int num_threads, std::uint64_t seed = 42) {
+  FleetOptions options;
+  options.num_machines = 50;  // not a multiple of the shard size
+  options.ticks = 150;
+  options.fill = 0.60;
+  options.seed = seed;
+  options.diurnal_period_ns = 150LL * kNsPerSec;
+  options.num_threads = num_threads;
+  return options;
+}
+
+ControllerConfig DefaultController() {
+  ControllerConfig config;
+  config.sustain_duration_ns = 3 * kNsPerSec;
+  return config;
+}
+
+// EXPECT_EQ on doubles: bit-identical, not approximately equal.
+void ExpectIdentical(const FleetMetrics& serial,
+                     const FleetMetrics& parallel) {
+  EXPECT_EQ(serial.machine_ticks, parallel.machine_ticks);
+  EXPECT_EQ(serial.saturated_machine_ticks,
+            parallel.saturated_machine_ticks);
+  EXPECT_EQ(serial.prefetcher_off_ticks, parallel.prefetcher_off_ticks);
+  EXPECT_EQ(serial.controller_toggles, parallel.controller_toggles);
+  EXPECT_EQ(serial.served_qps_sum, parallel.served_qps_sum);
+  EXPECT_EQ(serial.offered_qps_sum, parallel.offered_qps_sum);
+  for (int c = 0; c < kNumCategories; ++c) {
+    EXPECT_EQ(serial.category_cycles[static_cast<size_t>(c)],
+              parallel.category_cycles[static_cast<size_t>(c)]);
+  }
+  for (auto histogram_member :
+       {&FleetMetrics::bandwidth_gbps, &FleetMetrics::bandwidth_utilization,
+        &FleetMetrics::latency_ns}) {
+    const Histogram& a = serial.*histogram_member;
+    const Histogram& b = parallel.*histogram_member;
+    EXPECT_EQ(a.Count(), b.Count());
+    EXPECT_EQ(a.Mean(), b.Mean());
+    EXPECT_EQ(a.Stddev(), b.Stddev());
+    EXPECT_EQ(a.Min(), b.Min());
+    EXPECT_EQ(a.Max(), b.Max());
+    EXPECT_EQ(a.Percentile(50), b.Percentile(50));
+    EXPECT_EQ(a.Percentile(99), b.Percentile(99));
+  }
+  ASSERT_EQ(serial.machines.size(), parallel.machines.size());
+  for (std::size_t m = 0; m < serial.machines.size(); ++m) {
+    const MachineAggregate& a = serial.machines[m];
+    const MachineAggregate& b = parallel.machines[m];
+    EXPECT_EQ(a.cpu_utilization_sum, b.cpu_utilization_sum);
+    EXPECT_EQ(a.bw_utilization_sum, b.bw_utilization_sum);
+    EXPECT_EQ(a.latency_ns_sum, b.latency_ns_sum);
+    EXPECT_EQ(a.served_qps_sum, b.served_qps_sum);
+    EXPECT_EQ(a.offered_qps_sum, b.offered_qps_sum);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.prefetcher_off_ticks, b.prefetcher_off_ticks);
+  }
+}
+
+TEST(FleetParallelTest, BaselineSerialAndParallelBitIdentical) {
+  const FleetMetrics serial =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), ParallelFleet(1));
+  const FleetMetrics parallel =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), ParallelFleet(4));
+  ASSERT_GT(serial.machine_ticks, 0u);
+  ASSERT_GT(serial.served_qps_sum, 0.0);
+  ExpectIdentical(serial, parallel);
+}
+
+TEST(FleetParallelTest, FullLimoncelloSerialAndParallelBitIdentical) {
+  // The control path (daemon -> MSR writes -> toggle counts) must be just
+  // as deterministic as the performance model.
+  FleetOptions serial_options = ParallelFleet(1);
+  FleetOptions parallel_options = ParallelFleet(4);
+  serial_options.fill = parallel_options.fill = 0.75;  // make it toggle
+  const FleetMetrics serial = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), serial_options);
+  const FleetMetrics parallel = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), parallel_options);
+  ASSERT_GT(serial.machine_ticks, 0u);
+  EXPECT_GT(serial.controller_toggles, 0u);
+  ExpectIdentical(serial, parallel);
+}
+
+TEST(FleetParallelTest, OddThreadCountAlsoIdentical) {
+  const FleetMetrics serial =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), ParallelFleet(1, 9));
+  const FleetMetrics parallel =
+      RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
+                  DefaultController(), ParallelFleet(3, 9));
+  ExpectIdentical(serial, parallel);
+}
+
+TEST(FleetParallelTest, MetricsMergeAccumulatesPartials) {
+  FleetMetrics a;
+  FleetMetrics b;
+  a.bandwidth_gbps.Add(10.0);
+  b.bandwidth_gbps.Add(20.0);
+  a.served_qps_sum = 5.0;
+  b.served_qps_sum = 7.0;
+  a.machine_ticks = 3;
+  b.machine_ticks = 4;
+  b.controller_toggles = 2;
+  a.category_cycles[0] = 1.0;
+  b.category_cycles[0] = 2.5;
+  a.Merge(b);
+  EXPECT_EQ(a.bandwidth_gbps.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.bandwidth_gbps.Mean(), 15.0);
+  EXPECT_DOUBLE_EQ(a.served_qps_sum, 12.0);
+  EXPECT_EQ(a.machine_ticks, 7u);
+  EXPECT_EQ(a.controller_toggles, 2u);
+  EXPECT_DOUBLE_EQ(a.category_cycles[0], 3.5);
+}
+
+}  // namespace
+}  // namespace limoncello

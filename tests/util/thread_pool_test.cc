@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    constexpr int kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(0, kN, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsGrainAndNonzeroBegin) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(
+      10, 50,
+      [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+      8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), i < 10 ? 0 : 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](std::int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  pool.ParallelFor(0, 64, [&](std::int64_t) {
+    if (std::this_thread::get_id() != caller) all_on_caller = false;
+  });
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  for (int job = 0; job < 100; ++job) {
+    pool.ParallelFor(0, 10, [&](std::int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 100 * 45);
+}
+
+TEST(ThreadPoolTest, ParallelInvokeRunsAllThunks) {
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> thunks;
+  for (int i = 0; i < 5; ++i) {
+    thunks.push_back([&] { ran.fetch_add(1); });
+  }
+  ParallelInvoke(std::move(thunks));
+  EXPECT_EQ(ran.load(), 5);
+  ParallelInvoke({});  // empty is a no-op
+}
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  SetDefaultThreadCount(3);
+  setenv("LIMONCELLO_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(2), 2);
+  SetDefaultThreadCount(0);
+  unsetenv("LIMONCELLO_THREADS");
+}
+
+TEST(ResolveThreadCountTest, ProcessDefaultBeatsEnvironment) {
+  setenv("LIMONCELLO_THREADS", "5", 1);
+  SetDefaultThreadCount(3);
+  EXPECT_EQ(ResolveThreadCount(0), 3);
+  SetDefaultThreadCount(0);
+  EXPECT_EQ(ResolveThreadCount(0), 5);
+  unsetenv("LIMONCELLO_THREADS");
+}
+
+TEST(ResolveThreadCountTest, BadEnvironmentFallsBackToHardware) {
+  setenv("LIMONCELLO_THREADS", "not-a-number", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  setenv("LIMONCELLO_THREADS", "-2", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  unsetenv("LIMONCELLO_THREADS");
+  EXPECT_GE(ResolveThreadCount(0), 1);
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -22,6 +22,7 @@
 #include "msr/linux_msr_device.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace limoncello {
 namespace {
@@ -214,6 +215,9 @@ int Main(int argc, char** argv) {
       .Define("saturation-gbps",
               "real mode with --perf-csv: socket saturation bandwidth (100)")
       .Define("dry-run", "real mode: log MSR writes without performing them")
+      .Define("threads",
+              "worker threads for fleet simulations (0 = auto; overrides "
+              "LIMONCELLO_THREADS)")
       .Define("verbose", "log every tick")
       .Define("help", "show this help");
   if (!flags.Parse(argc, argv)) {
@@ -228,6 +232,10 @@ int Main(int argc, char** argv) {
   if (flags.GetBool("verbose").value_or(false)) {
     SetLogLevel(LogLevel::kDebug);
   }
+  // Process-wide default thread count: any FleetSimulator created with
+  // num_threads = 0 (auto) picks this up ahead of the environment.
+  SetDefaultThreadCount(
+      static_cast<int>(flags.GetInt("threads").value_or(0)));
   const std::string mode = flags.GetString("mode").value_or("sim");
   if (mode == "sim") return RunSim(flags);
   if (mode == "real") return RunReal(flags);
