@@ -1,0 +1,133 @@
+// Annotated mutual-exclusion primitives for clang Thread Safety Analysis.
+//
+// Everything outside util/ must synchronize through these wrappers (or the
+// ThreadPool built on them) — limolint enforces that raw std::mutex /
+// std::condition_variable / std::thread never appear elsewhere. On clang the
+// LIMONCELLO_* annotation macros expand to the thread-safety attributes, so
+// a build with -Wthread-safety turns lock-discipline mistakes (touching a
+// LIMONCELLO_GUARDED_BY member without the lock, unlocking a mutex you never
+// acquired) into compile errors. On other compilers they expand to nothing
+// and the wrappers cost exactly a std::mutex / std::condition_variable.
+//
+// Usage:
+//   class Counter {
+//    public:
+//     void Add(int d) {
+//       MutexLock lock(&mu_);
+//       total_ += d;
+//     }
+//    private:
+//     Mutex mu_;
+//     int total_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+//   };
+#ifndef LIMONCELLO_UTIL_MUTEX_H_
+#define LIMONCELLO_UTIL_MUTEX_H_
+
+#include <condition_variable>  // limolint:allow(raw-thread)
+#include <mutex>               // limolint:allow(raw-thread)
+
+// clang exposes the analysis attributes via __has_attribute; gcc and msvc
+// define neither, so every macro below becomes a no-op there.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LIMONCELLO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LIMONCELLO_THREAD_ANNOTATION
+#define LIMONCELLO_THREAD_ANNOTATION(x)
+#endif
+
+// Declares that the annotated field may only be read or written while the
+// given mutex is held.
+#define LIMONCELLO_GUARDED_BY(x) LIMONCELLO_THREAD_ANNOTATION(guarded_by(x))
+// Same, for data reached through the annotated pointer.
+#define LIMONCELLO_PT_GUARDED_BY(x) \
+  LIMONCELLO_THREAD_ANNOTATION(pt_guarded_by(x))
+// Declares that callers must hold the given mutex(es) when calling the
+// annotated function.
+#define LIMONCELLO_REQUIRES(...) \
+  LIMONCELLO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Declares that callers must NOT hold the given mutex(es); catches
+// self-deadlock on non-reentrant locks.
+#define LIMONCELLO_EXCLUDES(...) \
+  LIMONCELLO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// The annotated function acquires / releases the given mutex(es).
+#define LIMONCELLO_ACQUIRE(...) \
+  LIMONCELLO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LIMONCELLO_RELEASE(...) \
+  LIMONCELLO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Class-level markers used by the wrappers themselves.
+#define LIMONCELLO_CAPABILITY(x) LIMONCELLO_THREAD_ANNOTATION(capability(x))
+#define LIMONCELLO_SCOPED_CAPABILITY \
+  LIMONCELLO_THREAD_ANNOTATION(scoped_lockable)
+// Opts a function out of the analysis (rare; justify at the call site).
+#define LIMONCELLO_NO_THREAD_SAFETY_ANALYSIS \
+  LIMONCELLO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace limoncello {
+
+// A std::mutex carrying the `capability` attribute so clang can track which
+// code paths hold it. Non-reentrant, not copyable or movable.
+class LIMONCELLO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LIMONCELLO_ACQUIRE() { mu_.lock(); }
+  void Unlock() LIMONCELLO_RELEASE() { mu_.unlock(); }
+
+  // Escape hatch for CondVar and std interop; holding the returned reference
+  // does not register with the analysis.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;  // limolint:allow(raw-thread)
+};
+
+// RAII lock for Mutex, visible to the analysis as a scoped capability:
+// clang knows the mutex is held from construction to destruction.
+class LIMONCELLO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) LIMONCELLO_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() LIMONCELLO_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable paired with Mutex. Wait() takes the Mutex directly so
+// call sites never touch the underlying std types; the annotation tells
+// clang the mutex is held across the wait (released and reacquired inside,
+// like std::condition_variable).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until pred() is true. The caller must hold *mu; pred runs with
+  // *mu held.
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate pred) LIMONCELLO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->native_handle(),  // limolint:allow(raw-thread)
+                                      std::adopt_lock);
+    cv_.wait(lock, pred);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // limolint:allow(raw-thread)
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_MUTEX_H_

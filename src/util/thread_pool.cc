@@ -49,16 +49,15 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::DrainJob(const std::function<void(std::int64_t)>* fn) {
-  const std::int64_t end = job_end_;
-  const std::int64_t grain = job_grain_;
+void ThreadPool::DrainJob(const std::function<void(std::int64_t)>* fn,
+                          std::int64_t end, std::int64_t grain) {
   for (;;) {
     const std::int64_t chunk = job_cursor_.fetch_add(grain);
     if (chunk >= end) return;
@@ -72,22 +71,26 @@ void ThreadPool::WorkerLoop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::int64_t)>* fn = nullptr;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] {
+      MutexLock lock(&mu_);
+      job_cv_.Wait(&mu_, [&]() LIMONCELLO_REQUIRES(mu_) {
         return shutdown_ || job_generation_ != seen_generation;
       });
       if (shutdown_) return;
       seen_generation = job_generation_;
       fn = job_fn_;
+      end = job_end_;
+      grain = job_grain_;
       ++workers_in_job_;
     }
-    DrainJob(fn);
+    DrainJob(fn, end, grain);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --workers_in_job_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
@@ -102,23 +105,25 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_fn_ = &fn;
     job_end_ = end;
     job_grain_ = grain;
     job_cursor_.store(begin);
     ++job_generation_;
   }
-  job_cv_.notify_all();
-  DrainJob(&fn);  // the caller is a lane too
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return workers_in_job_ == 0; });
+  job_cv_.NotifyAll();
+  DrainJob(&fn, end, grain);  // the caller is a lane too
+  MutexLock lock(&mu_);
+  done_cv_.Wait(&mu_, [&]() LIMONCELLO_REQUIRES(mu_) {
+    return workers_in_job_ == 0;
+  });
   job_fn_ = nullptr;
 }
 
 void ParallelInvoke(std::vector<std::function<void()>> thunks) {
   if (thunks.empty()) return;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // limolint:allow(raw-thread)
   threads.reserve(thunks.size() - 1);
   for (std::size_t i = 1; i < thunks.size(); ++i) {
     threads.emplace_back(std::move(thunks[i]));

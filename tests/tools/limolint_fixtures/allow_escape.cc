@@ -1,0 +1,15 @@
+// Fixture: the per-line escape hatch. Line A is suppressed by a matching
+// allow; line B names the wrong rule, so it still fires. Linted as if at
+// src/fleet/allow_escape.cc.
+#include "util/mutex.h"
+
+namespace limoncello {
+
+struct Interop {
+  // Deliberate, justified raw usage — suppressed:
+  std::mutex raw_for_ffi;  // limolint:allow(raw-thread)
+  // Wrong rule name in the allow — NOT suppressed:
+  std::mutex still_flagged;  // limolint:allow(no-assert)
+};
+
+}  // namespace limoncello

@@ -1,0 +1,14 @@
+// Fixture: assert() is compiled out under NDEBUG; LIMONCELLO_CHECK is the
+// repo idiom. Linted as if at src/tax/bad_assert.cc.
+#include <cassert>
+
+namespace limoncello {
+
+int Halve(int v) {
+  assert(v % 2 == 0);
+  // static_assert is fine and must NOT be reported:
+  static_assert(sizeof(int) >= 4, "assumed below");
+  return v / 2;
+}
+
+}  // namespace limoncello

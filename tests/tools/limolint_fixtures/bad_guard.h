@@ -1,0 +1,8 @@
+// Fixture: include guard does not follow LIMONCELLO_<PATH>_H_. Linted as
+// if at src/sim/bad_guard.h (expected LIMONCELLO_SIM_BAD_GUARD_H_).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace limoncello {}
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,15 @@
+// Fixture: <iostream> in a src/ header drags static init into every TU.
+// Linted as if at src/workloads/bad_iostream.h (guard is correct, so only
+// iostream-header fires).
+#ifndef LIMONCELLO_WORKLOADS_BAD_IOSTREAM_H_
+#define LIMONCELLO_WORKLOADS_BAD_IOSTREAM_H_
+
+#include <iostream>
+
+namespace limoncello {
+
+inline void Shout() { std::cout << "hi\n"; }
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_WORKLOADS_BAD_IOSTREAM_H_

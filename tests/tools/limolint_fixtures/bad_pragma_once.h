@@ -1,0 +1,5 @@
+// Fixture: #pragma once instead of the canonical include guard. Linted as
+// if at src/sim/bad_pragma_once.h.
+#pragma once
+
+namespace limoncello {}

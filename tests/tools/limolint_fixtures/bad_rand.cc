@@ -1,0 +1,14 @@
+// Fixture: ambient RNG inside deterministic dirs must be flagged — all
+// randomness flows from util/rng.h. Linted as if at src/core/bad_rand.cc.
+#include <cstdlib>
+#include <random>
+
+namespace limoncello {
+
+int Jitter() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + std::rand();
+}
+
+}  // namespace limoncello

@@ -1,0 +1,19 @@
+// Fixture: raw std::mutex / <mutex> include outside util/ must be flagged.
+// Linted as if at src/fleet/bad_raw_mutex.cc.
+#include <mutex>
+
+namespace limoncello {
+
+class Racy {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace limoncello

@@ -1,0 +1,12 @@
+// Fixture: raw std::thread outside util/ must be flagged (use ThreadPool
+// or ParallelInvoke). Linted as if at tests/fleet/bad_raw_thread.cc.
+#include <thread>
+
+namespace limoncello {
+
+void SpawnDirectly() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace limoncello

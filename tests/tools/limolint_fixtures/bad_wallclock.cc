@@ -1,0 +1,14 @@
+// Fixture: host clocks inside the simulator break (config, seed) ->
+// results reproducibility. Linted as if at src/sim/bad_wallclock.cc.
+#include <chrono>
+#include <ctime>
+
+namespace limoncello {
+
+long StampNow() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace limoncello

@@ -1,0 +1,14 @@
+// Fixture: wall-clock timing is legitimate in bench/ — the determinism
+// rule scopes to src/{sim,fleet,core}/ only. Linted as if at
+// bench/good_bench_clock.cc.
+#include <chrono>
+
+namespace limoncello {
+
+double WallSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace limoncello

@@ -1,0 +1,16 @@
+// Fixture: LIMONCELLO_CHECK everywhere; assert( appears only in a comment
+// and a string, neither of which may fire. Linted as if at
+// src/tax/good_check.cc.
+#include "util/check.h"
+
+namespace limoncello {
+
+int Halve(int v) {
+  LIMONCELLO_CHECK_EQ(v % 2, 0);
+  // An old assert(v > 0) used to live here.
+  const char* msg = "assert(x) is banned";
+  (void)msg;
+  return v / 2;
+}
+
+}  // namespace limoncello

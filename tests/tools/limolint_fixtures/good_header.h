@@ -1,0 +1,12 @@
+// Fixture: canonical guard, no iostream — clean. Linted as if at
+// src/sim/good_header.h.
+#ifndef LIMONCELLO_SIM_GOOD_HEADER_H_
+#define LIMONCELLO_SIM_GOOD_HEADER_H_
+
+namespace limoncello {
+
+inline int Identity(int v) { return v; }
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SIM_GOOD_HEADER_H_

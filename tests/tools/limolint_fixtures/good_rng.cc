@@ -1,0 +1,13 @@
+// Fixture: the seeded repo Rng is the sanctioned randomness source — no
+// findings expected. Linted as if at src/sim/good_rng.cc.
+#include "util/rng.h"
+
+namespace limoncello {
+
+// Identifiers *containing* banned words (sim_time, randomize) must not
+// fire; the matcher is word-bounded.
+double sim_time(Rng& rng) { return rng.NextDouble(); }
+
+int randomize(Rng& rng) { return static_cast<int>(rng.NextU64() & 0xff); }
+
+}  // namespace limoncello

@@ -1,0 +1,23 @@
+// Fixture: the annotated wrapper is the sanctioned way to lock — no
+// findings expected. Linted as if at src/fleet/good_wrapper.cc.
+#include "util/mutex.h"
+
+namespace limoncello {
+
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+};
+
+// Prose mentioning std::mutex in a comment must not fire, nor may the
+// string literal below.
+const char* Describe() { return "std::mutex is banned here"; }
+
+}  // namespace limoncello

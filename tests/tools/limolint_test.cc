@@ -1,0 +1,188 @@
+// Fixture-driven self-tests for limolint: every rule has at least one bad
+// fixture that must be caught and one good fixture that must stay clean,
+// plus the limolint:allow escape hatch and rule scoping. Fixtures live in
+// limolint_fixtures/ (skipped by LintTree) and are linted here under
+// synthetic repo paths so scoping rules apply as they would in the tree.
+#include "limolint_lib.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace limoncello::limolint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(LIMOLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> Lint(const std::string& fixture,
+                          const std::string& as_path) {
+  return LintFile(as_path, ReadFixture(fixture));
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+TEST(LimolintRawThread, RawMutexOutsideUtilIsFlagged) {
+  const auto findings = Lint("bad_raw_mutex.cc", "src/fleet/bad_raw_mutex.cc");
+  EXPECT_GE(CountRule(findings, "raw-thread"), 3)
+      << FormatFindings(findings);  // <mutex> include, lock_guard, member
+  EXPECT_EQ(CountRule(findings, "raw-thread"),
+            static_cast<int>(findings.size()))
+      << "only raw-thread should fire: " << FormatFindings(findings);
+}
+
+TEST(LimolintRawThread, RawThreadInTestsIsFlagged) {
+  const auto findings =
+      Lint("bad_raw_thread.cc", "tests/fleet/bad_raw_thread.cc");
+  EXPECT_GE(CountRule(findings, "raw-thread"), 2) << FormatFindings(findings);
+}
+
+TEST(LimolintRawThread, UtilDirectoriesAreExempt) {
+  EXPECT_TRUE(Lint("bad_raw_mutex.cc", "src/util/bad_raw_mutex.cc").empty());
+  EXPECT_TRUE(
+      Lint("bad_raw_thread.cc", "tests/util/bad_raw_thread.cc").empty());
+}
+
+TEST(LimolintRawThread, AnnotatedWrapperIsClean) {
+  const auto findings = Lint("good_wrapper.cc", "src/fleet/good_wrapper.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintAssert, NakedAssertIsFlaggedOnce) {
+  const auto findings = Lint("bad_assert.cc", "src/tax/bad_assert.cc");
+  ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "no-assert");
+  EXPECT_EQ(findings[0].line, 8);  // static_assert two lines later is fine
+}
+
+TEST(LimolintAssert, ChecksCommentsAndStringsAreClean) {
+  const auto findings = Lint("good_check.cc", "src/tax/good_check.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintDeterminism, WallClockInSimIsFlagged) {
+  const auto findings =
+      Lint("bad_wallclock.cc", "src/sim/bad_wallclock.cc");
+  EXPECT_EQ(CountRule(findings, "determinism"), 2)  // system_clock, time()
+      << FormatFindings(findings);
+}
+
+TEST(LimolintDeterminism, AmbientRngInCoreIsFlagged) {
+  const auto findings = Lint("bad_rand.cc", "src/core/bad_rand.cc");
+  EXPECT_EQ(CountRule(findings, "determinism"), 3)
+      << FormatFindings(findings);  // random_device, mt19937, std::rand
+}
+
+TEST(LimolintDeterminism, ScopeIsLimitedToSimFleetCore) {
+  // The same wall-clock code is legitimate outside the deterministic dirs.
+  EXPECT_TRUE(Lint("bad_wallclock.cc", "bench/bad_wallclock.cc").empty());
+  EXPECT_TRUE(
+      Lint("good_bench_clock.cc", "bench/good_bench_clock.cc").empty());
+}
+
+TEST(LimolintDeterminism, WordBoundedMatcherIgnoresSubstrings) {
+  // sim_time(...) and randomize(...) contain banned words as substrings.
+  const auto findings = Lint("good_rng.cc", "src/sim/good_rng.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintIostream, IostreamInSrcHeaderIsFlagged) {
+  const auto findings =
+      Lint("bad_iostream.h", "src/workloads/bad_iostream.h");
+  ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "iostream-header");
+}
+
+TEST(LimolintGuard, WrongGuardNameIsFlagged) {
+  const auto findings = Lint("bad_guard.h", "src/sim/bad_guard.h");
+  ASSERT_EQ(CountRule(findings, "include-guard"), 1)
+      << FormatFindings(findings);
+  EXPECT_NE(findings[0].message.find("LIMONCELLO_SIM_BAD_GUARD_H_"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LimolintGuard, GuardIsCheckedAgainstTheLintPath) {
+  // The same header under a different name has a now-wrong guard.
+  const auto findings = Lint("bad_iostream.h", "src/workloads/renamed.h");
+  EXPECT_EQ(CountRule(findings, "include-guard"), 1)
+      << FormatFindings(findings);
+}
+
+TEST(LimolintGuard, PragmaOnceIsFlagged) {
+  const auto findings =
+      Lint("bad_pragma_once.h", "src/sim/bad_pragma_once.h");
+  EXPECT_EQ(CountRule(findings, "include-guard"), 1)
+      << FormatFindings(findings);
+}
+
+TEST(LimolintGuard, CanonicalGuardIsClean) {
+  const auto findings = Lint("good_header.h", "src/sim/good_header.h");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintAllow, MatchingAllowSuppressesAndWrongRuleDoesNot) {
+  const auto findings = Lint("allow_escape.cc", "src/fleet/allow_escape.cc");
+  ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "raw-thread");
+  EXPECT_EQ(findings[0].line, 12);  // the allow(no-assert) line still fires
+}
+
+TEST(LimolintMeta, EveryRuleHasAFailingFixture) {
+  std::set<std::string> caught;
+  for (const Finding& f :
+       Lint("bad_raw_mutex.cc", "src/fleet/bad_raw_mutex.cc")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f : Lint("bad_assert.cc", "src/tax/bad_assert.cc")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f :
+       Lint("bad_wallclock.cc", "src/sim/bad_wallclock.cc")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f :
+       Lint("bad_iostream.h", "src/workloads/bad_iostream.h")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f : Lint("bad_guard.h", "src/sim/bad_guard.h")) {
+    caught.insert(f.rule);
+  }
+  for (const Rule& rule : Rules()) {
+    EXPECT_TRUE(caught.count(rule.name) == 1)
+        << "no failing fixture exercises rule " << rule.name;
+  }
+}
+
+TEST(LimolintTree, RepoIsCleanAndFixturesAreSkipped) {
+  const auto findings = LintTree(LIMOLINT_SOURCE_ROOT);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintSummary, TableCountsPerRule) {
+  const auto findings = Lint("bad_rand.cc", "src/core/bad_rand.cc");
+  const std::string table = SummaryTable(findings);
+  for (const Rule& rule : Rules()) {
+    EXPECT_NE(table.find(rule.name), std::string::npos) << table;
+  }
+  EXPECT_NE(table.find("3"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace limoncello::limolint

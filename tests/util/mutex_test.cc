@@ -1,0 +1,116 @@
+// Exercises the annotated Mutex / MutexLock / CondVar wrappers under real
+// contention. Built with LIMONCELLO_TSAN=ON this is the ThreadSanitizer
+// coverage for the wrapper itself; built with clang -Wthread-safety the
+// LIMONCELLO_GUARDED_BY annotations here are compile-checked.
+#include "util/mutex.h"
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace limoncello {
+namespace {
+
+class GuardedCounter {
+ public:
+  void Add(int delta) {
+    MutexLock lock(&mu_);
+    total_ += delta;
+  }
+
+  int Get() {
+    MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  Mutex mu_;
+  int total_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::function<void()>> thunks;
+  for (int t = 0; t < kThreads; ++t) {
+    thunks.push_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add(1);
+    });
+  }
+  ParallelInvoke(std::move(thunks));
+  EXPECT_EQ(counter.Get(), kThreads * kIncrements);
+}
+
+TEST(MutexTest, ThreadPoolLanesShareAGuardedAccumulator) {
+  // ParallelFor normally writes disjoint state; here we deliberately share
+  // one guarded accumulator so pool + Mutex interact under TSAN.
+  ThreadPool pool(4);
+  GuardedCounter counter;
+  constexpr int kN = 10000;
+  pool.ParallelFor(0, kN, [&](std::int64_t) { counter.Add(1); });
+  EXPECT_EQ(counter.Get(), kN);
+}
+
+// Two-party handoff: the consumer waits on the CondVar for each token the
+// producer publishes, so Wait's release/reacquire cycle runs kTokens times.
+TEST(CondVarTest, HandoffDeliversEveryTokenInOrder) {
+  Mutex mu;
+  CondVar cv;
+  int published = 0;   // guarded by mu
+  long consumed_sum = 0;
+  constexpr int kTokens = 1000;
+
+  std::vector<std::function<void()>> thunks;
+  thunks.push_back([&] {  // consumer
+    for (int expect = 1; expect <= kTokens; ++expect) {
+      MutexLock lock(&mu);
+      cv.Wait(&mu, [&] { return published >= expect; });
+      consumed_sum += expect;
+    }
+  });
+  thunks.push_back([&] {  // producer
+    for (int i = 1; i <= kTokens; ++i) {
+      {
+        MutexLock lock(&mu);
+        published = i;
+      }
+      cv.NotifyOne();
+    }
+  });
+  ParallelInvoke(std::move(thunks));
+  EXPECT_EQ(consumed_sum, static_cast<long>(kTokens) * (kTokens + 1) / 2);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;  // guarded by mu
+  int awake = 0;    // guarded by mu
+  constexpr int kWaiters = 6;
+
+  std::vector<std::function<void()>> thunks;
+  for (int t = 0; t < kWaiters; ++t) {
+    thunks.push_back([&] {
+      MutexLock lock(&mu);
+      cv.Wait(&mu, [&] { return go; });
+      ++awake;
+    });
+  }
+  thunks.push_back([&] {
+    {
+      MutexLock lock(&mu);
+      go = true;
+    }
+    cv.NotifyAll();
+  });
+  ParallelInvoke(std::move(thunks));
+  MutexLock lock(&mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+}  // namespace
+}  // namespace limoncello

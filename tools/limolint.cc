@@ -1,0 +1,93 @@
+// limolint CLI — lints the Limoncello tree for repo invariants the
+// compiler can't check. Registered as a ctest, so `ctest` fails on any
+// new violation; tools/run_static_analysis.sh runs it as stage 1.
+//
+// Usage:
+//   limolint [--root=DIR] [--quiet] [FILE...]
+//
+// With no FILE arguments, walks src/ tests/ bench/ tools/ under --root
+// (default: the current directory), skipping limolint_fixtures/. Explicit
+// FILE arguments are linted as-is; their path relative to --root decides
+// which rules apply. Exits 0 when clean, 1 on findings, 2 on usage or
+// I/O errors.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "limolint_lib.h"
+
+namespace {
+
+namespace lint = limoncello::limolint;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: limolint [--root=DIR] [--quiet] [FILE...]\n"
+               "  --root=DIR  repo root to scan (default: .)\n"
+               "  --quiet     suppress the per-rule summary table\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<lint::Finding> findings;
+  if (files.empty()) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec)) {
+      std::fprintf(stderr, "limolint: no such directory: %s\n", root.c_str());
+      return 2;
+    }
+    findings = lint::LintTree(root);
+  } else {
+    for (const std::string& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "limolint: could not read: %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // Rule scoping keys off the repo-relative path.
+      std::error_code ec;
+      const std::filesystem::path rel =
+          std::filesystem::proximate(file, root, ec);
+      const std::string rel_path =
+          ec ? file : rel.generic_string();
+      const std::vector<lint::Finding> file_findings =
+          lint::LintFile(rel_path, buf.str());
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  if (!findings.empty()) {
+    std::fputs(lint::FormatFindings(findings).c_str(), stdout);
+  }
+  if (!quiet) {
+    std::printf("%s\n%zu finding(s)\n",
+                lint::SummaryTable(findings).c_str(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,458 @@
+#include "limolint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace limoncello::limolint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeaderPath(const std::string& rel) {
+  return EndsWith(rel, ".h") || EndsWith(rel, ".hpp");
+}
+
+// Directories whose code may use raw std threading primitives: the wrappers
+// themselves live here, along with their direct tests.
+bool InThreadingExemptDir(const std::string& rel) {
+  return StartsWith(rel, "src/util/") || StartsWith(rel, "tests/util/");
+}
+
+// Directories under the determinism contract: simulation results must be a
+// pure function of (config, seed), so ambient randomness and host clocks
+// are banned outright.
+bool InDeterministicDir(const std::string& rel) {
+  return StartsWith(rel, "src/sim/") || StartsWith(rel, "src/fleet/") ||
+         StartsWith(rel, "src/core/");
+}
+
+// One source line split into its code text and its comment text, with
+// string/char literals blanked out of the code portion.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+// Splits content into lines, routing comments into .comment and blanking
+// string/char literals so matchers only ever see real code tokens. Handles
+// // and /*...*/ comments, escapes, raw strings, and digit separators.
+std::vector<ScannedLine> Scan(const std::string& content) {
+  std::vector<ScannedLine> lines;
+  lines.emplace_back();
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // for raw strings: )delim"
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      // Block comments and raw strings continue across lines; everything
+      // else resets (an unterminated ordinary literal is a syntax error
+      // anyway).
+      if (state != State::kBlockComment && state != State::kRawString) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      continue;
+    }
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    ScannedLine& line = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          const std::size_t nl = content.find('\n', i);
+          const std::size_t len =
+              (nl == std::string::npos ? content.size() : nl) - i;
+          line.comment.append(content, i, len);
+          i += len - 1;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (line.code.empty() || !IsIdentChar(line.code.back()))) {
+          std::size_t paren = content.find('(', i + 2);
+          if (paren == std::string::npos) {
+            line.code += ' ';
+            break;
+          }
+          raw_terminator =
+              ")" + content.substr(i + 2, paren - (i + 2)) + "\"";
+          state = State::kRawString;
+          line.code += ' ';
+          i = paren;
+        } else if (c == '"') {
+          state = State::kString;
+          line.code += ' ';
+        } else if (c == '\'') {
+          // A quote between xdigits is a digit separator (1'000), not a
+          // character literal.
+          const bool separator =
+              !line.code.empty() &&
+              std::isxdigit(static_cast<unsigned char>(line.code.back())) &&
+              std::isxdigit(static_cast<unsigned char>(next));
+          if (separator) {
+            line.code += ' ';
+          } else {
+            state = State::kChar;
+            line.code += ' ';
+          }
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::kBlockComment:
+        line.comment += c;
+        if (c == '*' && next == '/') {
+          line.comment += '/';
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_terminator[0] &&
+            content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// Word-bounded search: the match must not be preceded or followed by an
+// identifier character. `word` may itself contain "::".
+bool FindWord(const std::string& code, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// Word-bounded `name` immediately followed (modulo whitespace) by '('.
+bool FindCall(const std::string& code, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    std::size_t end = pos + name.size();
+    if (left_ok && (end >= code.size() || !IsIdentChar(code[end]))) {
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+      if (end < code.size() && code[end] == '(') return true;
+    }
+    pos = pos + name.size();
+  }
+  return false;
+}
+
+bool HasAllow(const std::string& comment, const std::string& rule) {
+  const std::string needle = "limolint:allow(" + rule + ")";
+  return comment.find(needle) != std::string::npos;
+}
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string path = rel_path;
+  if (StartsWith(path, "src/")) path.erase(0, 4);
+  std::string guard = "LIMONCELLO_";
+  for (const char c : path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// First identifier token in `code` after `offset`, or "".
+std::string TokenAfter(const std::string& code, std::size_t offset) {
+  std::size_t begin = offset;
+  while (begin < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[begin]))) {
+    ++begin;
+  }
+  std::size_t end = begin;
+  while (end < code.size() && IsIdentChar(code[end])) ++end;
+  return code.substr(begin, end - begin);
+}
+
+constexpr const char* kRawThreadTokens[] = {
+    "std::mutex", "std::timed_mutex", "std::recursive_mutex",
+    "std::recursive_timed_mutex", "std::shared_mutex",
+    "std::shared_timed_mutex", "std::condition_variable",
+    "std::condition_variable_any", "std::thread", "std::jthread",
+    "std::lock_guard", "std::unique_lock", "std::scoped_lock",
+    "std::shared_lock", "std::call_once", "std::once_flag"};
+
+constexpr const char* kRawThreadIncludes[] = {"<mutex>", "<thread>",
+                                              "<condition_variable>",
+                                              "<shared_mutex>"};
+
+// Ambient RNG types: anything stochastic must draw from util/rng.h.
+constexpr const char* kRandomTypeTokens[] = {
+    "std::random_device", "std::mt19937", "std::mt19937_64",
+    "std::default_random_engine", "std::minstd_rand", "std::minstd_rand0"};
+
+// Host clock types: simulated time comes from the tick counter.
+constexpr const char* kClockTypeTokens[] = {
+    "std::chrono::system_clock", "std::chrono::steady_clock",
+    "std::chrono::high_resolution_clock"};
+
+// C-library randomness / wall-clock calls.
+constexpr const char* kNondeterministicCalls[] = {
+    "rand", "srand", "rand_r", "time", "clock", "gettimeofday",
+    "clock_gettime", "localtime", "gmtime"};
+
+void Emit(std::vector<Finding>* findings, const std::string& rel_path,
+          int line, const std::string& rule, const std::string& message,
+          const std::string& comment) {
+  if (HasAllow(comment, rule)) return;
+  findings->push_back(Finding{rel_path, line, rule, message});
+}
+
+void CheckIncludeGuard(const std::string& rel_path,
+                       const std::vector<ScannedLine>& lines,
+                       std::vector<Finding>* findings) {
+  const std::string expected = ExpectedGuard(rel_path);
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    const std::size_t hash = code.find_first_not_of(" \t");
+    if (hash == std::string::npos || code[hash] != '#') continue;
+    const std::size_t directive = code.find_first_not_of(" \t", hash + 1);
+    if (directive == std::string::npos) continue;
+    if (code.compare(directive, 6, "ifndef") == 0) {
+      const std::string guard = TokenAfter(code, directive + 6);
+      if (guard != expected) {
+        Emit(findings, rel_path, static_cast<int>(n + 1), "include-guard",
+             "include guard '" + guard + "' should be '" + expected + "'",
+             lines[n].comment);
+      }
+      return;  // only the opening guard is checked
+    }
+    if (code.compare(directive, 6, "pragma") == 0 &&
+        code.find("once", directive) != std::string::npos) {
+      Emit(findings, rel_path, static_cast<int>(n + 1), "include-guard",
+           "use an include guard named " + expected + ", not #pragma once",
+           lines[n].comment);
+      return;
+    }
+    // Any other directive before the guard (#include, #define) means the
+    // guard is missing or misplaced.
+    break;
+  }
+  Emit(findings, rel_path, 1, "include-guard",
+       "header has no include guard; expected #ifndef " + expected, "");
+}
+
+}  // namespace
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule>* rules = new std::vector<Rule>{
+      {"raw-thread", "all but */util/",
+       "raw std::mutex/std::thread/std::condition_variable; use "
+       "util/mutex.h or util/thread_pool.h"},
+      {"no-assert", "everywhere",
+       "assert(); use LIMONCELLO_CHECK / LIMONCELLO_DCHECK (util/check.h)"},
+      {"determinism", "src/{sim,fleet,core}/",
+       "ambient RNG or host clocks; use util/rng.h and simulated time"},
+      {"iostream-header", "src/ headers",
+       "#include <iostream> in a header; log via util/logging.h in a .cc"},
+      {"include-guard", "all headers",
+       "include guard must be LIMONCELLO_<PATH>_H_ (src/ prefix dropped)"},
+  };
+  return *rules;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& content) {
+  std::vector<Finding> findings;
+  const std::vector<ScannedLine> lines = Scan(content);
+  const bool header = IsHeaderPath(rel_path);
+  const bool check_raw_thread = !InThreadingExemptDir(rel_path);
+  const bool check_determinism = InDeterministicDir(rel_path);
+  const bool check_iostream = header && StartsWith(rel_path, "src/");
+
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    const std::string& comment = lines[n].comment;
+    const int line = static_cast<int>(n + 1);
+    if (code.empty()) continue;
+
+    if (check_raw_thread) {
+      for (const char* token : kRawThreadTokens) {
+        if (FindWord(code, token)) {
+          Emit(&findings, rel_path, line, "raw-thread",
+               std::string(token) +
+                   " outside util/; use Mutex/MutexLock/CondVar "
+                   "(util/mutex.h) or ThreadPool (util/thread_pool.h)",
+               comment);
+          break;
+        }
+      }
+      for (const char* inc : kRawThreadIncludes) {
+        if (code.find("include") != std::string::npos &&
+            code.find(inc) != std::string::npos) {
+          Emit(&findings, rel_path, line, "raw-thread",
+               "#include " + std::string(inc) +
+                   " outside util/; include util/mutex.h or "
+                   "util/thread_pool.h instead",
+               comment);
+          break;
+        }
+      }
+    }
+
+    if (FindCall(code, "assert")) {
+      Emit(&findings, rel_path, line, "no-assert",
+           "assert() is compiled out in release; use LIMONCELLO_CHECK or "
+           "LIMONCELLO_DCHECK from util/check.h",
+           comment);
+    }
+
+    if (check_determinism) {
+      for (const char* token : kRandomTypeTokens) {
+        if (FindWord(code, token)) {
+          Emit(&findings, rel_path, line, "determinism",
+               std::string(token) +
+                   " breaks reproducibility; draw from a seeded "
+                   "limoncello::Rng (util/rng.h)",
+               comment);
+          break;
+        }
+      }
+      for (const char* token : kClockTypeTokens) {
+        if (FindWord(code, token)) {
+          Emit(&findings, rel_path, line, "determinism",
+               std::string(token) +
+                   " reads the host clock; simulator code must use "
+                   "simulated ticks",
+               comment);
+          break;
+        }
+      }
+      // FindCall is word-bounded on the left by any non-identifier char,
+      // so this also matches the std:: / ::-qualified spellings.
+      for (const char* call : kNondeterministicCalls) {
+        if (FindCall(code, call)) {
+          Emit(&findings, rel_path, line, "determinism",
+               std::string(call) +
+                   "() is nondeterministic; use util/rng.h or simulated "
+                   "time",
+               comment);
+          break;
+        }
+      }
+    }
+
+    if (check_iostream && code.find("include") != std::string::npos &&
+        code.find("<iostream>") != std::string::npos) {
+      Emit(&findings, rel_path, line, "iostream-header",
+           "<iostream> in a header drags iostream static init into every "
+           "TU; include it in the .cc or use util/logging.h",
+           comment);
+    }
+  }
+
+  if (header) CheckIncludeGuard(rel_path, lines, &findings);
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rel_paths;
+  for (const char* top : {"src", "tests", "bench", "tools"}) {
+    const fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() &&
+          it->path().filename() == "limolint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp" &&
+          ext != ".inl") {
+        continue;
+      }
+      rel_paths.push_back(
+          fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{rel, 0, "io", "could not read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Finding> file_findings = LintFile(rel, buf.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string SummaryTable(const std::vector<Finding>& findings) {
+  Table table({"rule", "findings", "scope"});
+  for (const Rule& rule : Rules()) {
+    std::int64_t count = 0;
+    for (const Finding& f : findings) {
+      if (f.rule == rule.name) ++count;
+    }
+    table.AddRow({rule.name, Table::Num(count), rule.scope});
+  }
+  return table.ToAligned();
+}
+
+}  // namespace limoncello::limolint

@@ -1,0 +1,58 @@
+// limolint — repo-invariant checker for the Limoncello tree.
+//
+// Enforces the rules the compiler can't: concurrency primitives must go
+// through util/mutex.h / util/thread_pool.h, simulator code must stay
+// deterministic (no wall clocks, no ambient RNG), failed invariants abort
+// via LIMONCELLO_CHECK rather than assert, headers stay iostream-free and
+// carry canonical include guards. See DESIGN.md §8 for the rationale.
+//
+// The engine is a small line scanner, not a real parser: comments and
+// string literals are blanked before matching, and every match is
+// word-bounded, so `std::this_thread` or a mention of assert() in prose
+// never fires. A finding on a line carrying `// limolint:allow(<rule>)`
+// is suppressed — the escape hatch is per-line and per-rule.
+#ifndef LIMONCELLO_TOOLS_LIMOLINT_LIB_H_
+#define LIMONCELLO_TOOLS_LIMOLINT_LIB_H_
+
+#include <string>
+#include <vector>
+
+namespace limoncello::limolint {
+
+struct Finding {
+  std::string file;     // repo-relative path
+  int line = 0;         // 1-based
+  std::string rule;     // rule name, e.g. "raw-thread"
+  std::string message;  // human-readable explanation
+};
+
+struct Rule {
+  std::string name;
+  std::string scope;        // human-readable scope description
+  std::string description;  // what it enforces
+};
+
+// The full rule set, in reporting order.
+const std::vector<Rule>& Rules();
+
+// Lints one file's content. rel_path is the repo-relative path (e.g.
+// "src/fleet/scheduler.cc") and drives rule scoping; callers may pass a
+// synthetic path to lint fixture content as if it lived elsewhere.
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& content);
+
+// Walks src/ tests/ bench/ tools/ under root (deterministic order),
+// linting every C++ file. Directories named "limolint_fixtures" are
+// skipped: they hold deliberate violations for the self-tests. Missing
+// top-level directories are ignored.
+std::vector<Finding> LintTree(const std::string& root);
+
+// Renders findings one per line as "path:line: [rule] message".
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+// Per-rule summary using util/table (rule, findings, scope).
+std::string SummaryTable(const std::vector<Finding>& findings);
+
+}  // namespace limoncello::limolint
+
+#endif  // LIMONCELLO_TOOLS_LIMOLINT_LIB_H_
