@@ -39,10 +39,14 @@ std::vector<int> ParseThreadList(const std::string& spec) {
 }
 
 int Run(const FlagParser& flags) {
+  // Run at the same scale the figure benches use (DefaultFleetOptions:
+  // 1000 machines x 600 ticks), so the engine numbers here describe the
+  // configuration the rest of the suite actually pays for.
   FleetOptions options = DefaultFleetOptions(42);
-  options.num_machines =
-      static_cast<int>(flags.GetInt("machines").value_or(400));
-  options.ticks = static_cast<int>(flags.GetInt("ticks").value_or(120));
+  options.num_machines = static_cast<int>(
+      flags.GetInt("machines").value_or(options.num_machines));
+  options.ticks =
+      static_cast<int>(flags.GetInt("ticks").value_or(options.ticks));
   // Default sweep: serial engine, 2 and 4 lanes, and whatever the host
   // (or LIMONCELLO_THREADS) resolves to.
   std::string spec = flags.GetString("threads").value_or("1,2,4");
@@ -108,8 +112,8 @@ int Run(const FlagParser& flags) {
 
 int main(int argc, char** argv) {
   limoncello::FlagParser flags;
-  flags.Define("machines", "fleet size (default 400)")
-      .Define("ticks", "telemetry ticks to run (default 120)")
+  flags.Define("machines", "fleet size (default 1000)")
+      .Define("ticks", "telemetry ticks to run (default 600)")
       .Define("threads", "comma-separated thread counts (default 1,2,4 + host)")
       .Define("json", "output path (default BENCH_fleet.json)")
       .Define("help", "show this help");

@@ -1,0 +1,258 @@
+// Socket hot-path microbenchmark: end-to-end Socket::ProcessAccess
+// throughput (demand lines/sec through the full L1/L2/LLC/memory path,
+// prefetch engines on and off) plus a heap-allocation audit of the
+// steady-state access loop. Emits BENCH_socket.json, which also carries
+// the headline cache microbench (demand-hit-heavy LLC) and its recorded
+// pre-refactor baseline so the layout-refactor win stays a tracked
+// number.
+//
+//   bench_socket [--epochs=N] [--smoke] [--json=BENCH_socket.json]
+//                [--check-allocs] [--cache-baseline=APS]
+//                [--socket-baseline=LPS]
+//
+// --check-allocs exits non-zero if the steady-state tick loop performed
+// any heap allocation (the zero-alloc invariant of the access loop).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workloads/generators.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation probe. Every operator new in this binary funnels
+// through CountedAlloc; the steady-state window between warm-up and the
+// end of the timed loop must allocate nothing (the scratch-buffer
+// invariant in Socket::ProcessAccess).
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<bool> g_count_allocs{false};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace limoncello::bench {
+namespace {
+
+// Pre-refactor numbers recorded on this repo's reference machine before
+// the flat-layout / probe-once / zero-alloc refactor, so the emitted JSON
+// always shows the comparison. Override with --cache-baseline /
+// --socket-baseline when re-baselining on different hardware.
+constexpr double kPreRefactorCacheHitAps = 23234207.6;
+constexpr double kPreRefactorSocketLps = 2978325.3;
+
+struct SocketArmResult {
+  bool prefetchers_on = false;
+  std::uint64_t lines = 0;
+  std::uint64_t instructions = 0;
+  double seconds = 0.0;
+  double lines_per_sec = 0.0;
+  std::uint64_t steady_state_allocs = 0;
+};
+
+SocketConfig BenchSocketConfig() {
+  SocketConfig config;
+  config.num_cores = 4;
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+// One core per access-pattern archetype: stream, memcpy-shaped stream
+// with stores, strided walk, random (prefetch-hostile).
+void AttachWorkloads(Socket* socket, std::uint64_t seed) {
+  SequentialStreamGenerator::Options stream;
+  stream.working_set_bytes = 64 * kMiB;
+  stream.mean_stream_bytes = 32 * 1024;
+  stream.function = 0;
+  socket->SetWorkload(0, std::make_unique<SequentialStreamGenerator>(
+                             stream, Rng(seed).Fork(0)));
+  SequentialStreamGenerator::Options copy = stream;
+  copy.store_fraction = 1.0;
+  copy.function = 1;
+  socket->SetWorkload(1, std::make_unique<SequentialStreamGenerator>(
+                             copy, Rng(seed).Fork(1)));
+  StridedGenerator::Options strided;
+  strided.working_set_bytes = 64 * kMiB;
+  strided.stride_lines = 4;
+  strided.function = 2;
+  socket->SetWorkload(
+      2, std::make_unique<StridedGenerator>(strided, Rng(seed).Fork(2)));
+  RandomAccessGenerator::Options random;
+  random.working_set_bytes = 64 * kMiB;
+  random.function = 3;
+  socket->SetWorkload(3, std::make_unique<RandomAccessGenerator>(
+                             random, Rng(seed).Fork(3)));
+}
+
+SocketArmResult RunSocketArm(bool prefetchers_on, int epochs) {
+  using Clock = std::chrono::steady_clock;
+  Socket socket(BenchSocketConfig(), /*num_functions=*/8, Rng(0x50C7));
+  socket.SetAllPrefetchersEnabled(prefetchers_on);
+  AttachWorkloads(&socket, 0x50C7);
+
+  // Warm-up: trains the prefetch engines, fills the caches, and grows
+  // every scratch buffer to its steady-state capacity.
+  for (int epoch = 0; epoch < 12; ++epoch) socket.Step(100 * kNsPerUs);
+
+  const PmuCounters warm = socket.counters();
+  g_heap_allocs.store(0);
+  g_count_allocs.store(true);
+  const auto start = Clock::now();
+  for (int epoch = 0; epoch < epochs; ++epoch) socket.Step(100 * kNsPerUs);
+  const auto end = Clock::now();
+  g_count_allocs.store(false);
+  const PmuCounters& done = socket.counters();
+
+  SocketArmResult result;
+  result.prefetchers_on = prefetchers_on;
+  result.lines = done.lines_touched - warm.lines_touched;
+  result.instructions = done.instructions - warm.instructions;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.lines_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.lines) / result.seconds
+          : 0.0;
+  result.steady_state_allocs = g_heap_allocs.load();
+  return result;
+}
+
+int Run(const FlagParser& flags) {
+  const bool smoke = flags.GetBool("smoke").value_or(false);
+  const int epochs =
+      static_cast<int>(flags.GetInt("epochs").value_or(smoke ? 6 : 60));
+  const double cache_baseline =
+      flags.GetDouble("cache-baseline").value_or(kPreRefactorCacheHitAps);
+  const double socket_baseline =
+      flags.GetDouble("socket-baseline").value_or(kPreRefactorSocketLps);
+
+  // Headline cache microbench (same cell bench_cache reports): the
+  // acceptance number for the layout refactor lives in this JSON too.
+  const CacheBenchResult cache_hit = RunCacheMicrobench(
+      "llc", CacheConfig{16 * kMiB, 16, ReplacementPolicy::kLru},
+      "demand_hit", smoke ? 150000 : 4000000, smoke ? 1 : 3);
+
+  const SocketArmResult arms[] = {RunSocketArm(true, epochs),
+                                  RunSocketArm(false, epochs)};
+
+  Table table({"prefetchers", "Mlines/sec", "MIPS", "steady_allocs"});
+  for (const SocketArmResult& arm : arms) {
+    table.AddRow({arm.prefetchers_on ? "on" : "off",
+                  Table::Num(arm.lines_per_sec / 1e6, 2),
+                  Table::Num(static_cast<double>(arm.instructions) /
+                                 arm.seconds / 1e6,
+                             1),
+                  Table::Num(static_cast<std::int64_t>(
+                      arm.steady_state_allocs))});
+  }
+  table.Print("Socket::ProcessAccess throughput (demand lines/sec)");
+  std::printf("\ncache llc/lru/demand_hit: %.1f M accesses/sec",
+              cache_hit.accesses_per_sec / 1e6);
+  if (cache_baseline > 0.0) {
+    std::printf(" (%.2fx vs pre-refactor %.1f M/s)",
+                cache_hit.accesses_per_sec / cache_baseline,
+                cache_baseline / 1e6);
+  }
+  std::printf("\n");
+
+  const std::string json_path =
+      flags.GetString("json").value_or("BENCH_socket.json");
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"bench\": \"socket_hot_path\",\n  \"epochs\": %d,\n"
+      "  \"cache_demand_hit\": {\"level\": \"llc\", \"policy\": \"lru\", "
+      "\"accesses_per_sec\": %.1f, "
+      "\"pre_refactor_accesses_per_sec\": %.1f, "
+      "\"speedup_vs_pre_refactor\": %.3f},\n  \"socket\": [\n",
+      epochs, cache_hit.accesses_per_sec, cache_baseline,
+      cache_baseline > 0.0 ? cache_hit.accesses_per_sec / cache_baseline
+                           : 0.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const SocketArmResult& arm = arms[i];
+    std::fprintf(f,
+                 "    {\"prefetchers\": \"%s\", \"lines_per_sec\": %.1f, "
+                 "\"seconds\": %.6f, \"steady_state_allocs\": %llu}%s\n",
+                 arm.prefetchers_on ? "on" : "off", arm.lines_per_sec,
+                 arm.seconds,
+                 static_cast<unsigned long long>(arm.steady_state_allocs),
+                 i + 1 < 2 ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"pre_refactor_lines_per_sec_on\": %.1f,\n"
+               "  \"socket_speedup_vs_pre_refactor\": %.3f\n}\n",
+               socket_baseline,
+               socket_baseline > 0.0
+                   ? arms[0].lines_per_sec / socket_baseline
+                   : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (flags.GetBool("check-allocs").value_or(false)) {
+    for (const SocketArmResult& arm : arms) {
+      if (arm.steady_state_allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu heap allocations in the steady-state "
+                     "access loop (prefetchers %s); the hot path must be "
+                     "allocation-free\n",
+                     static_cast<unsigned long long>(
+                         arm.steady_state_allocs),
+                     arm.prefetchers_on ? "on" : "off");
+        return 1;
+      }
+    }
+    std::printf("steady-state allocation check: clean\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace limoncello::bench
+
+int main(int argc, char** argv) {
+  limoncello::FlagParser flags;
+  flags.Define("epochs", "timed 100us epochs per arm (default 60, smoke 6)")
+      .Define("smoke", "tiny sizes for CI (a few ms)")
+      .Define("json", "output path (default BENCH_socket.json)")
+      .Define("check-allocs", "fail if the steady-state loop allocates")
+      .Define("cache-baseline", "pre-refactor cache headline accesses/sec")
+      .Define("socket-baseline", "pre-refactor socket lines/sec (on-arm)")
+      .Define("help", "show this help");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").value_or(false)) {
+    std::printf("%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+  return limoncello::bench::Run(flags);
+}

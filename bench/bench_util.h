@@ -10,6 +10,7 @@
 #include "core/controller_config.h"
 #include "fleet/fleet_simulator.h"
 #include "profiling/profile.h"
+#include "sim/cache/cache.h"
 #include "sim/machine/socket.h"
 #include "workloads/function_catalog.h"
 
@@ -80,6 +81,31 @@ FleetEngineTiming TimeFleetEngine(const PlatformConfig& platform,
 bool WriteFleetBenchJson(const std::string& path,
                          const FleetOptions& options,
                          const std::vector<FleetEngineTiming>& results);
+
+// ---------------------------------------------------------------------------
+// Cache hot-path microbench (bench_cache / bench_socket, BENCH_socket.json
+// and BENCH_cache.json).
+
+struct CacheBenchResult {
+  std::string level;     // l1 / l2 / llc (geometry label)
+  std::string policy;    // lru / random / srrip
+  std::string scenario;  // demand_hit / demand_miss / prefetch_fill
+  std::uint64_t accesses = 0;
+  double seconds = 0.0;  // best-of-reps wall time of the timed loop
+  double accesses_per_sec = 0.0;
+};
+
+// Runs a deterministic (seeded-Rng) access trace against a cache of the
+// given geometry and returns best-of-`reps` throughput. Scenarios:
+//   demand_hit     working set = half the cache; mostly demand hits —
+//                  the probe/layout-bound case the refactor targets
+//   demand_miss    working set = 4x the cache; miss + victim-pick heavy
+//   prefetch_fill  demand misses each followed by a presence-filtered
+//                  buddy-line prefetch fill (the socket's fill shape)
+CacheBenchResult RunCacheMicrobench(const std::string& level,
+                                    const CacheConfig& config,
+                                    const std::string& scenario,
+                                    std::uint64_t accesses, int reps);
 
 // Buckets machines of a run by their average CPU utilization (10 %-wide
 // buckets, 0-10 .. 100-110) and averages a metric over each bucket.

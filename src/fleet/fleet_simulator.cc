@@ -18,6 +18,18 @@ std::size_t NumShards(std::size_t num_machines) {
   return (num_machines + kMachinesPerShard - 1) / kMachinesPerShard;
 }
 
+// Scheduling grain: each cursor claim hands a thread its proportional
+// slice of the shards (~machines/threads machines), so a tick costs O(1)
+// cursor operations per thread instead of one per shard. The grain only
+// changes how shards are batched onto threads — every shard still
+// accumulates into its own fixed partial, so results stay bit-identical
+// at any thread count (and any grain).
+std::int64_t ShardGrain(std::size_t num_shards, int num_threads) {
+  const std::size_t threads =
+      static_cast<std::size_t>(num_threads > 0 ? num_threads : 1);
+  return static_cast<std::int64_t>((num_shards + threads - 1) / threads);
+}
+
 }  // namespace
 
 void FleetMetrics::Merge(const FleetMetrics& other) {
@@ -135,6 +147,8 @@ void FleetSimulator::PlaceWorkloads() {
     // Warm-up ticks on the shadows: telemetry catches up. Shadows are
     // independent, so each warm-up tick is a parallel region (no metrics
     // are collected here — only per-machine state advances).
+    const std::int64_t warm_grain =
+        ShardGrain(shadows.size(), pool_->num_threads());
     for (int t = 0; t < 4; ++t) {
       const SimTimeNs warm_now =
           -kNsPerSec * (4LL * kWaves - 4 * wave - t);
@@ -144,7 +158,7 @@ void FleetSimulator::PlaceWorkloads() {
             shadows[static_cast<std::size_t>(m)]->Tick(warm_now,
                                                        unit_load);
           },
-          static_cast<std::int64_t>(kMachinesPerShard));
+          warm_grain);
     }
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -169,9 +183,48 @@ FleetMetrics FleetSimulator::Run() {
   std::vector<FleetMetrics> partials(num_shards);
 
   std::vector<double> load_factors(services_.size(), 1.0);
+  // The tick body is hoisted out of the loop (it captures `now` and
+  // `load_factors` by reference) so the std::function is constructed —
+  // and any capture storage allocated — once per run, not once per tick.
+  SimTimeNs now = 0;
+  const std::function<void(std::int64_t)> tick_shard =
+      [&](std::int64_t s) {
+        const std::size_t shard = static_cast<std::size_t>(s);
+        FleetMetrics& partial = partials[shard];
+        const std::size_t first = shard * kMachinesPerShard;
+        const std::size_t last = std::min(first + kMachinesPerShard,
+                                          machines_.size());
+        for (std::size_t m = first; m < last; ++m) {
+          const MachineModel::TickResult r =
+              machines_[m]->Tick(now, load_factors);
+          partial.bandwidth_gbps.Add(r.bandwidth_gbps);
+          partial.bandwidth_utilization.Add(r.bandwidth_utilization);
+          partial.latency_ns.Add(r.latency_ns);
+          partial.served_qps_sum += r.served_qps;
+          partial.offered_qps_sum += r.offered_qps;
+          for (int c = 0; c < kNumCategories; ++c) {
+            partial.category_cycles[static_cast<size_t>(c)] +=
+                r.category_cycles[static_cast<size_t>(c)];
+          }
+          ++partial.machine_ticks;
+          if (r.bandwidth_utilization >= 0.95) {
+            ++partial.saturated_machine_ticks;
+          }
+          if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
+
+          MachineAggregate& agg = metrics.machines[m];
+          agg.cpu_utilization_sum += r.cpu_utilization;
+          agg.bw_utilization_sum += r.bandwidth_utilization;
+          agg.latency_ns_sum += r.latency_ns;
+          agg.served_qps_sum += r.served_qps;
+          agg.offered_qps_sum += r.offered_qps;
+          ++agg.ticks;
+          if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
+        }
+      };
+  const std::int64_t grain = ShardGrain(num_shards, pool_->num_threads());
   for (int tick = 0; tick < options_.ticks; ++tick) {
-    const SimTimeNs now =
-        static_cast<SimTimeNs>(tick) * options_.tick_ns;
+    now = static_cast<SimTimeNs>(tick) * options_.tick_ns;
     // Serial barrier phase: the load processes and the scheduler see a
     // consistent fleet (every machine has finished the previous tick).
     for (std::size_t s = 0; s < services_.size(); ++s) {
@@ -181,42 +234,10 @@ FleetMetrics FleetSimulator::Run() {
         tick % options_.rebalance_period_ticks == 0) {
       scheduler_.Rebalance(raw);
     }
-    // Parallel tick region: machines advance shard by shard.
-    pool_->ParallelFor(
-        0, static_cast<std::int64_t>(num_shards), [&](std::int64_t s) {
-          const std::size_t shard = static_cast<std::size_t>(s);
-          FleetMetrics& partial = partials[shard];
-          const std::size_t first = shard * kMachinesPerShard;
-          const std::size_t last = std::min(first + kMachinesPerShard,
-                                            machines_.size());
-          for (std::size_t m = first; m < last; ++m) {
-            const MachineModel::TickResult r =
-                machines_[m]->Tick(now, load_factors);
-            partial.bandwidth_gbps.Add(r.bandwidth_gbps);
-            partial.bandwidth_utilization.Add(r.bandwidth_utilization);
-            partial.latency_ns.Add(r.latency_ns);
-            partial.served_qps_sum += r.served_qps;
-            partial.offered_qps_sum += r.offered_qps;
-            for (int c = 0; c < kNumCategories; ++c) {
-              partial.category_cycles[static_cast<size_t>(c)] +=
-                  r.category_cycles[static_cast<size_t>(c)];
-            }
-            ++partial.machine_ticks;
-            if (r.bandwidth_utilization >= 0.95) {
-              ++partial.saturated_machine_ticks;
-            }
-            if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
-
-            MachineAggregate& agg = metrics.machines[m];
-            agg.cpu_utilization_sum += r.cpu_utilization;
-            agg.bw_utilization_sum += r.bandwidth_utilization;
-            agg.latency_ns_sum += r.latency_ns;
-            agg.served_qps_sum += r.served_qps;
-            agg.offered_qps_sum += r.offered_qps;
-            ++agg.ticks;
-            if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
-          }
-        });
+    // Parallel tick region: machines advance shard by shard, each thread
+    // claiming its proportional slice of shards per cursor step.
+    pool_->ParallelFor(0, static_cast<std::int64_t>(num_shards),
+                       tick_shard, grain);
   }
   // Shard-order reduction (serial): fixed order regardless of thread
   // count, so the merged metrics are bit-identical to the serial engine.

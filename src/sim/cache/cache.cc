@@ -5,141 +5,379 @@
 #include "util/check.h"
 #include "util/rng.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LIMONCELLO_CACHE_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace limoncello {
+
+namespace {
+
+// Way-word layout, low to high:
+//   bit  0      valid
+//   bit  1      dirty
+//   bit  2      prefetched
+//   bits 3-4    rrpv (2-bit SRRIP counter)
+//   bits 5-11   LRU rank (a permutation of 0..ways-1 within the set;
+//               rank 0 = least recent, ways-1 = most recent; 7 bits
+//               covers fully-associative configs up to 128 ways)
+//   bits 12-63  tag (line_addr >> set_shift_; 52 bits, DCHECKed)
+// Invalid ways hold the all-ones sentinel in the tag field (a real tag
+// can never reach it), so both presence and free-way search are the same
+// masked compare against the tag field, and ranks stay a full
+// permutation even while ways are invalid (harmless: rank only
+// arbitrates among full sets).
+constexpr std::uint64_t kValidBit = 1ULL << 0;
+constexpr std::uint64_t kDirtyBit = 1ULL << 1;
+constexpr std::uint64_t kPrefetchedBit = 1ULL << 2;
+constexpr int kRrpvShift = 3;
+constexpr std::uint64_t kRrpvMask = 3ULL << kRrpvShift;
+constexpr int kRankShift = 5;
+constexpr std::uint64_t kRankMask = 127ULL << kRankShift;
+constexpr int kTagShift = 12;
+constexpr std::uint64_t kTagFieldMask = ~((1ULL << kTagShift) - 1);
+constexpr Addr kTagSentinel = (~Addr{0}) >> kTagShift;
+
+std::uint32_t WordRrpv(std::uint64_t word) {
+  return static_cast<std::uint32_t>((word & kRrpvMask) >> kRrpvShift);
+}
+std::uint64_t WordRank(std::uint64_t word) {
+  return (word & kRankMask) >> kRankShift;
+}
+
+// Finds the first index i in [0, n) with (words[i] & mask) == pattern,
+// or -1. One shape serves all three probe questions: pattern = shifted
+// tag for the hit scan, shifted sentinel for the free-way scan, and
+// rank 0 (mask = kRankMask, pattern = 0) for the LRU victim.
+int FindMaskedWordScalar(const std::uint64_t* words, int n,
+                         std::uint64_t mask, std::uint64_t pattern) {
+  for (int i = 0; i < n; ++i) {
+    if ((words[i] & mask) == pattern) return i;
+  }
+  return -1;
+}
+
+// Close-the-gap LRU rank update fused with the touched way's rewrite:
+// every way whose rank exceeds `way`'s old rank slides down one, and
+// `way`'s word becomes `new_word` (caller has already folded in rank
+// n - 1 and any flag changes). Fusing matters: doing the flag updates as
+// scalar stores first would make the SIMD pass's wide load overlap
+// narrow in-flight stores, a store-forward stall on every hit. All the
+// words involved are the ones the tag scan just loaded.
+void RankTouchScalar(std::uint64_t* words, int n, int way,
+                     std::uint64_t new_word) {
+  const std::uint64_t rank = words[static_cast<std::size_t>(way)] &
+                             kRankMask;  // pre-shifted compare key
+  for (int i = 0; i < n; ++i) {
+    words[i] -= ((words[i] & kRankMask) > rank ? 1ULL : 0ULL) << kRankShift;
+  }
+  words[way] = new_word;
+}
+
+#ifdef LIMONCELLO_CACHE_SIMD
+
+// 8 ways per compare; a masked load covers any tail without reading past
+// the array. Branch-free until the single (well-predicted) mask test.
+__attribute__((target("avx512f"))) int FindMaskedWordAvx512(
+    const std::uint64_t* words, int n, std::uint64_t mask,
+    std::uint64_t pattern) {
+  const __m512i vmask = _mm512_set1_epi64(static_cast<long long>(mask));
+  const __m512i vpat = _mm512_set1_epi64(static_cast<long long>(pattern));
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(words + i);
+    const __mmask8 eq =
+        _mm512_cmpeq_epi64_mask(_mm512_and_si512(v, vmask), vpat);
+    if (eq != 0) return i + std::countr_zero(static_cast<unsigned>(eq));
+  }
+  if (i < n) {
+    const __mmask8 lanes = static_cast<__mmask8>((1u << (n - i)) - 1u);
+    const __m512i v = _mm512_maskz_loadu_epi64(lanes, words + i);
+    const __mmask8 eq = _mm512_mask_cmpeq_epi64_mask(
+        lanes, _mm512_and_si512(v, vmask), vpat);
+    if (eq != 0) return i + std::countr_zero(static_cast<unsigned>(eq));
+  }
+  return -1;
+}
+
+__attribute__((target("avx512f"))) void RankTouchAvx512(
+    std::uint64_t* words, int n, int way, std::uint64_t new_word) {
+  const std::uint64_t rank = words[static_cast<std::size_t>(way)] &
+                             kRankMask;
+  const __m512i vrank = _mm512_set1_epi64(static_cast<long long>(rank));
+  const __m512i vmask =
+      _mm512_set1_epi64(static_cast<long long>(kRankMask));
+  const __m512i vdec = _mm512_set1_epi64(1LL << kRankShift);
+  for (int i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? static_cast<__mmask8>(0xff)
+                   : static_cast<__mmask8>((1u << (n - i)) - 1u);
+    __m512i v = _mm512_maskz_loadu_epi64(lanes, words + i);
+    const __mmask8 gt = _mm512_mask_cmp_epu64_mask(
+        lanes, _mm512_and_si512(v, vmask), vrank, _MM_CMPINT_GT);
+    v = _mm512_mask_sub_epi64(v, gt, v, vdec);
+    if (way >= i && way < i + 8) {
+      // Patch the touched lane in-register: the whole line goes out in
+      // one wide store, with no narrow stores for it to collide with.
+      v = _mm512_mask_set1_epi64(v, static_cast<__mmask8>(1u << (way - i)),
+                                 static_cast<long long>(new_word));
+    }
+    _mm512_mask_storeu_epi64(words + i, lanes, v);
+  }
+}
+
+__attribute__((target("avx2"))) int FindMaskedWordAvx2(
+    const std::uint64_t* words, int n, std::uint64_t mask,
+    std::uint64_t pattern) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vpat = _mm256_set1_epi64x(static_cast<long long>(pattern));
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    const __m256i eq = _mm256_cmpeq_epi64(_mm256_and_si256(v, vmask), vpat);
+    const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (bits != 0) return i + std::countr_zero(static_cast<unsigned>(bits));
+  }
+  for (; i < n; ++i) {
+    if ((words[i] & mask) == pattern) return i;
+  }
+  return -1;
+}
+
+// Signed compare is safe: masked ranks are < 2^10, far below the sign
+// bit. The touched lane is patched in-register (blend against a
+// broadcast of new_word) so the line leaves in one wide store — see the
+// store-forwarding note on the scalar version.
+__attribute__((target("avx2"))) void RankTouchAvx2(std::uint64_t* words,
+                                                   int n, int way,
+                                                   std::uint64_t new_word) {
+  const std::uint64_t rank = words[static_cast<std::size_t>(way)] &
+                             kRankMask;
+  const __m256i vrank = _mm256_set1_epi64x(static_cast<long long>(rank));
+  const __m256i vmask =
+      _mm256_set1_epi64x(static_cast<long long>(kRankMask));
+  const __m256i vdec = _mm256_set1_epi64x(1LL << kRankShift);
+  const __m256i vnew =
+      _mm256_set1_epi64x(static_cast<long long>(new_word));
+  const __m256i vlane = _mm256_setr_epi64x(0, 1, 2, 3);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(words + i));
+    const __m256i gt =
+        _mm256_cmpgt_epi64(_mm256_and_si256(v, vmask), vrank);
+    v = _mm256_sub_epi64(v, _mm256_and_si256(gt, vdec));
+    if (way >= i && way < i + 4) {
+      const __m256i is_way = _mm256_cmpeq_epi64(
+          vlane, _mm256_set1_epi64x(static_cast<long long>(way - i)));
+      v = _mm256_blendv_epi8(v, vnew, is_way);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + i), v);
+  }
+  for (; i < n; ++i) {
+    words[i] -= ((words[i] & kRankMask) > rank ? 1ULL : 0ULL) << kRankShift;
+    if (i == way) words[i] = new_word;
+  }
+}
+
+#endif  // LIMONCELLO_CACHE_SIMD
+
+using FindFn = int (*)(const std::uint64_t*, int, std::uint64_t,
+                       std::uint64_t);
+using TouchFn = void (*)(std::uint64_t*, int, int, std::uint64_t);
+
+FindFn ResolveFindFn() {
+#ifdef LIMONCELLO_CACHE_SIMD
+  if (__builtin_cpu_supports("avx512f")) return FindMaskedWordAvx512;
+  if (__builtin_cpu_supports("avx2")) return FindMaskedWordAvx2;
+#endif
+  return FindMaskedWordScalar;
+}
+
+TouchFn ResolveTouchFn() {
+#ifdef LIMONCELLO_CACHE_SIMD
+  if (__builtin_cpu_supports("avx512f")) return RankTouchAvx512;
+  if (__builtin_cpu_supports("avx2")) return RankTouchAvx2;
+#endif
+  return RankTouchScalar;
+}
+
+// Resolved once at startup; every cache shares the widest kernels the
+// host supports. The indirect calls are perfectly predicted on the hot
+// path.
+const FindFn g_find_word = ResolveFindFn();
+const TouchFn g_rank_touch = ResolveTouchFn();
+
+}  // namespace
 
 Cache::Cache(const CacheConfig& config, std::string name)
     : name_(std::move(name)), policy_(config.policy), ways_(config.ways) {
   LIMONCELLO_CHECK_GT(config.ways, 0);
+  LIMONCELLO_CHECK_LE(config.ways, 128);  // rank field is 7 bits
   LIMONCELLO_CHECK_GE(config.size_bytes, kCacheLineBytes);
   const std::uint64_t lines = config.size_bytes / kCacheLineBytes;
   num_sets_ = lines / static_cast<std::uint64_t>(config.ways);
   LIMONCELLO_CHECK_GT(num_sets_, 0u);
   // Power-of-two sets keep index extraction a mask.
   LIMONCELLO_CHECK(std::has_single_bit(num_sets_));
-  sets_.assign(num_sets_, std::vector<Line>(
-                              static_cast<std::size_t>(config.ways)));
+  set_shift_ = std::countr_zero(num_sets_);
+  words_.resize(static_cast<std::size_t>(num_sets_) *
+                static_cast<std::size_t>(ways_));
+  Flush();
 }
 
-std::vector<Cache::Line>& Cache::SetFor(Addr line_addr, Addr* tag) {
-  const std::uint64_t index = line_addr & (num_sets_ - 1);
-  *tag = line_addr >> std::countr_zero(num_sets_);
-  return sets_[index];
+Cache::ProbeResult Cache::Probe(Addr line_addr) const {
+  const std::uint64_t* set = &words_[SetBase(line_addr)];
+  ProbeResult result;
+  const int hit_way = g_find_word(set, ways_, kTagFieldMask,
+                                  TagFor(line_addr) << kTagShift);
+  if (hit_way >= 0) {
+    result.way = hit_way;
+    result.hit = true;
+    return result;
+  }
+  // Miss: record the first free way (the one a fill will claim). Same
+  // cache lines as the scan above, so this second pass is register/L1
+  // work, and the dominant hit path skips it entirely.
+  result.invalid_way =
+      g_find_word(set, ways_, kTagFieldMask, kTagSentinel << kTagShift);
+  return result;
 }
 
-const std::vector<Cache::Line>* Cache::SetForConst(Addr line_addr,
-                                                   Addr* tag) const {
-  const std::uint64_t index = line_addr & (num_sets_ - 1);
-  *tag = line_addr >> std::countr_zero(num_sets_);
-  return &sets_[index];
+void Cache::TouchLru(std::size_t base, int way, std::uint64_t new_word) {
+  g_rank_touch(&words_[base], ways_, way,
+               (new_word & ~kRankMask) |
+                   (static_cast<std::uint64_t>(ways_ - 1) << kRankShift));
 }
 
-bool Cache::LookupDemand(Addr line_addr, bool is_store,
-                         bool* was_prefetched) {
+bool Cache::LookupDemand(Addr line_addr, bool is_store, bool* was_prefetched,
+                         ProbeResult* probe_out) {
   if (was_prefetched != nullptr) *was_prefetched = false;
-  Addr tag = 0;
-  auto& set = SetFor(line_addr, &tag);
-  for (Line& line : set) {
-    if (line.valid && line.tag == tag) {
-      ++stats_.demand_hits;
-      if (line.prefetched) {
-        ++stats_.prefetch_covered_hits;
-        line.prefetched = false;
-        if (was_prefetched != nullptr) *was_prefetched = true;
-      }
-      if (is_store) line.dirty = true;
-      line.last_use = ++use_clock_;
-      line.rrpv = 0;  // SRRIP: proven re-referenced
-      return true;
-    }
+  const ProbeResult probe = Probe(line_addr);
+  if (probe_out != nullptr) *probe_out = probe;
+  if (!probe.hit) {
+    ++stats_.demand_misses;
+    return false;
   }
-  ++stats_.demand_misses;
-  return false;
+  const std::size_t base = SetBase(line_addr);
+  const std::size_t idx = base + static_cast<std::size_t>(probe.way);
+  const std::uint64_t word = words_[idx];
+  ++stats_.demand_hits;
+  if ((word & kPrefetchedBit) != 0) {
+    ++stats_.prefetch_covered_hits;
+    if (was_prefetched != nullptr) *was_prefetched = true;
+  }
+  // The updated word is built in a register and written exactly once
+  // (inside the rank-touch for LRU) — no read-modify-write stores for
+  // the SIMD pass to stall against.
+  std::uint64_t updated = word & ~(kPrefetchedBit | kRrpvMask);
+  if (is_store) updated |= kDirtyBit;
+  ++use_clock_;
+  if (policy_ == ReplacementPolicy::kLru) {
+    TouchLru(base, probe.way, updated);
+  } else {
+    words_[idx] = updated;
+  }
+  return true;
 }
 
-bool Cache::Contains(Addr line_addr) const {
-  Addr tag = 0;
-  const auto* set = SetForConst(line_addr, &tag);
-  for (const Line& line : *set) {
-    if (line.valid && line.tag == tag) return true;
-  }
-  return false;
-}
-
-Cache::Eviction Cache::Fill(Addr line_addr, bool is_prefetch, bool dirty) {
-  Addr tag = 0;
-  auto& set = SetFor(line_addr, &tag);
-  // If already present (fill race with another path), refresh in place.
-  for (Line& line : set) {
-    if (line.valid && line.tag == tag) {
-      line.dirty = line.dirty || dirty;
-      line.last_use = ++use_clock_;
-      return Eviction{};
+Cache::Eviction Cache::FillAt(const ProbeResult& probe, Addr line_addr,
+                              bool is_prefetch, bool dirty) {
+  const std::size_t base = SetBase(line_addr);
+  LIMONCELLO_DCHECK(TagFor(line_addr) < kTagSentinel);
+  // If already present (fill race with another path), refresh in place:
+  // merge the dirty bit and bump recency; SRRIP/prefetch state is
+  // untouched.
+  if (probe.hit) {
+    const std::size_t idx = base + static_cast<std::size_t>(probe.way);
+    LIMONCELLO_DCHECK((words_[idx] >> kTagShift) == TagFor(line_addr));
+    const std::uint64_t updated =
+        words_[idx] | (dirty ? kDirtyBit : 0ULL);
+    ++use_clock_;
+    if (policy_ == ReplacementPolicy::kLru) {
+      TouchLru(base, probe.way, updated);
+    } else {
+      words_[idx] = updated;
     }
+    return Eviction{};
   }
   if (is_prefetch) {
     ++stats_.prefetch_fills;
   } else {
     ++stats_.demand_fills;
   }
-  Line* victim = PickVictim(set);
+  // Invalid ways first under every policy (the probe recorded the first
+  // one during its tag scan); policies only arbitrate among full sets.
+  const int way =
+      probe.invalid_way >= 0 ? probe.invalid_way : PickVictimWay(base);
+  const std::size_t idx = base + static_cast<std::size_t>(way);
+  const std::uint64_t word = words_[idx];
   Eviction evicted;
-  if (victim->valid) {
+  if ((word & kValidBit) != 0) {
     evicted.valid = true;
-    evicted.dirty = victim->dirty;
-    evicted.unused_prefetch = victim->prefetched;
+    evicted.dirty = (word & kDirtyBit) != 0;
+    evicted.unused_prefetch = (word & kPrefetchedBit) != 0;
     evicted.line_addr =
-        (victim->tag << std::countr_zero(num_sets_)) |
-        (line_addr & (num_sets_ - 1));
-    if (victim->prefetched) ++stats_.prefetch_pollution_evictions;
-    if (victim->dirty) ++stats_.writebacks;
+        ((word >> kTagShift) << set_shift_) | (line_addr & (num_sets_ - 1));
+    if (evicted.unused_prefetch) ++stats_.prefetch_pollution_evictions;
+    if (evicted.dirty) ++stats_.writebacks;
   }
-  victim->tag = tag;
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->prefetched = is_prefetch;
-  victim->last_use = ++use_clock_;
   // SRRIP insertion: demand fills are "long" re-reference (2), prefetch
-  // fills "distant" (3) — an unproven prefetch is the first to go.
-  victim->rrpv = is_prefetch ? 3 : 2;
+  // fills "distant" (3) — an unproven prefetch is the first to go. The
+  // victim's rank is preserved (TouchLru re-ranks it in the same pass),
+  // keeping the set's rank permutation intact.
+  std::uint64_t flags = kValidBit;
+  if (dirty) flags |= kDirtyBit;
+  if (is_prefetch) flags |= kPrefetchedBit;
+  flags |= (is_prefetch ? 3ULL : 2ULL) << kRrpvShift;
+  const std::uint64_t installed =
+      (TagFor(line_addr) << kTagShift) | (word & kRankMask) | flags;
+  ++use_clock_;
+  if (policy_ == ReplacementPolicy::kLru) {
+    TouchLru(base, way, installed);
+  } else {
+    words_[idx] = installed;
+  }
   return evicted;
 }
 
-Cache::Line* Cache::PickVictim(std::vector<Line>& set) {
-  // Invalid ways first under every policy.
-  for (Line& line : set) {
-    if (!line.valid) return &line;
-  }
+int Cache::PickVictimWay(std::size_t base) {
+  std::uint64_t* set = &words_[base];
   switch (policy_) {
     case ReplacementPolicy::kLru: {
-      Line* victim = &set[0];
-      for (Line& line : set) {
-        if (line.last_use < victim->last_use) victim = &line;
-      }
-      return victim;
+      // Rank 0 is the least recently touched way — the same victim the
+      // timestamp formulation picks.
+      const int way = g_find_word(set, ways_, kRankMask, 0);
+      return way >= 0 ? way : 0;
     }
     case ReplacementPolicy::kRandom: {
       // Deterministic pseudo-random pick from the access clock.
       std::uint64_t h = ++use_clock_;
       h = SplitMix64(h);
-      return &set[h % set.size()];
+      return static_cast<int>(h % static_cast<std::uint64_t>(ways_));
     }
     case ReplacementPolicy::kSrrip: {
       for (;;) {
-        for (Line& line : set) {
-          if (line.rrpv >= 3) return &line;
-        }
-        for (Line& line : set) {
-          ++line.rrpv;
+        const int way = g_find_word(set, ways_, kRrpvMask, kRrpvMask);
+        if (way >= 0) return way;
+        for (int w = 0; w < ways_; ++w) {
+          set[w] += 1ULL << kRrpvShift;  // rrpv max 2 here: no carry
         }
       }
     }
   }
-  return &set[0];
+  return 0;
 }
 
 void Cache::Flush() {
-  for (auto& set : sets_) {
-    for (Line& line : set) line = Line{};
+  // Reset: invalid (sentinel tag), rrpv = 3 (distant), rank = the way
+  // index so each set starts with a valid rank permutation.
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t way = i % static_cast<std::size_t>(ways_);
+    words_[i] = (kTagSentinel << kTagShift) | (way << kRankShift) |
+                (3ULL << kRrpvShift);
   }
 }
 

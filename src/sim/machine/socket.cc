@@ -128,22 +128,29 @@ void Socket::OnLlcEviction(const Cache::Eviction& eviction) {
 
 void Socket::HandlePrefetchFill(CoreState& core, Addr line, int level,
                                 TrafficClass traffic) {
-  // Redundant prefetches are filtered at the target level.
-  if (level == 1 && core.l1->Contains(line)) return;
-  if (level == 2 && core.l2->Contains(line)) return;
+  // Redundant prefetches are filtered at the target level. Each level's
+  // tags are probed at most once; the probe result feeds the fill.
+  Cache::ProbeResult l1_probe;
+  if (level == 1) {
+    l1_probe = core.l1->Probe(line);
+    if (l1_probe.hit) return;
+  }
+  const Cache::ProbeResult l2_probe = core.l2->Probe(line);
+  if (level == 2 && l2_probe.hit) return;
 
-  const bool in_l2 = level == 1 && core.l2->Contains(line);
+  const bool in_l2 = level == 1 && l2_probe.hit;
   if (!in_l2) {
-    const bool in_llc = llc_.Contains(line);
-    if (!in_llc) {
+    const Cache::ProbeResult llc_probe = llc_.Probe(line);
+    if (!llc_probe.hit) {
       // Goes to memory: this is prefetch bandwidth.
       memory_.Access(traffic);
-      OnLlcEviction(llc_.Fill(line, /*is_prefetch=*/true, /*dirty=*/false));
+      OnLlcEviction(llc_.FillAt(llc_probe, line, /*is_prefetch=*/true,
+                                /*dirty=*/false));
     }
-    core.l2->Fill(line, /*is_prefetch=*/true, /*dirty=*/false);
+    core.l2->FillAt(l2_probe, line, /*is_prefetch=*/true, /*dirty=*/false);
   }
   if (level == 1) {
-    core.l1->Fill(line, /*is_prefetch=*/true, /*dirty=*/false);
+    core.l1->FillAt(l1_probe, line, /*is_prefetch=*/true, /*dirty=*/false);
   }
 }
 
@@ -160,32 +167,37 @@ double Socket::LatePrefetchPenaltyCycles() const {
   return lateness * memory_.CurrentLatencyNs() * cycles_per_ns_;
 }
 
-Socket::BelowL1Result Socket::AccessBelowL1(CoreState& core, Addr line,
-                                            bool is_store,
-                                            FunctionId function) {
+Socket::BelowL1Result Socket::AccessBelowL1(
+    CoreState& core, Addr line, bool is_store, FunctionId function,
+    const Cache::ProbeResult& l1_probe) {
   BelowL1Result result;
   bool covered = false;
-  const bool l2_hit = core.l2->LookupDemand(line, is_store, &covered);
+  Cache::ProbeResult l2_probe;
+  const bool l2_hit =
+      core.l2->LookupDemand(line, is_store, &covered, &l2_probe);
 
-  // L2 engines observe the access stream reaching L2.
-  core.prefetch_buffer.clear();
+  // L2 engines observe the access stream reaching L2. The L2 scratch is
+  // free here: the prefetch-fill loop below drains it before returning,
+  // and HandlePrefetchFill never touches it.
+  core.l2_prefetch_scratch.clear();
   if (core.l2_stream->enabled()) {
     core.l2_stream->Observe({line, function, l2_hit, is_store},
-                            &core.prefetch_buffer);
+                            &core.l2_prefetch_scratch);
   }
   if (core.l2_adjacent->enabled()) {
     core.l2_adjacent->Observe({line, function, l2_hit, is_store},
-                              &core.prefetch_buffer);
+                              &core.l2_prefetch_scratch);
   }
-  // Copy: HandlePrefetchFill may recurse into buffer-clearing paths.
-  const std::vector<Addr> l2_prefetches = core.prefetch_buffer;
 
   if (l2_hit) {
     result.penalty_cycles = config_.l2_hit_cycles;
     if (covered) result.penalty_cycles += LatePrefetchPenaltyCycles();
-    core.l1->Fill(line, /*is_prefetch=*/false, /*dirty=*/is_store);
+    core.l1->FillAt(l1_probe, line, /*is_prefetch=*/false,
+                    /*dirty=*/is_store);
   } else {
-    const bool llc_hit = llc_.LookupDemand(line, is_store, &covered);
+    Cache::ProbeResult llc_probe;
+    const bool llc_hit =
+        llc_.LookupDemand(line, is_store, &covered, &llc_probe);
     if (llc_hit) {
       ++counters_.llc_demand_hits;
       result.penalty_cycles = config_.llc_hit_cycles;
@@ -196,14 +208,16 @@ Socket::BelowL1Result Socket::AccessBelowL1(CoreState& core, Addr line,
       const double latency_ns = memory_.Access(TrafficClass::kDemand);
       result.penalty_cycles =
           config_.llc_hit_cycles + latency_ns * cycles_per_ns_;
-      OnLlcEviction(
-          llc_.Fill(line, /*is_prefetch=*/false, /*dirty=*/false));
+      OnLlcEviction(llc_.FillAt(llc_probe, line, /*is_prefetch=*/false,
+                                /*dirty=*/false));
     }
-    core.l2->Fill(line, /*is_prefetch=*/false, /*dirty=*/is_store);
-    core.l1->Fill(line, /*is_prefetch=*/false, /*dirty=*/is_store);
+    core.l2->FillAt(l2_probe, line, /*is_prefetch=*/false,
+                    /*dirty=*/is_store);
+    core.l1->FillAt(l1_probe, line, /*is_prefetch=*/false,
+                    /*dirty=*/is_store);
   }
 
-  for (Addr target : l2_prefetches) {
+  for (Addr target : core.l2_prefetch_scratch) {
     HandlePrefetchFill(core, target, /*level=*/2,
                        TrafficClass::kHwPrefetch);
   }
@@ -234,19 +248,22 @@ double Socket::ProcessAccess(CoreState& core, const MemRef& ref) {
     const bool is_store = ref.op == MemOp::kStore;
     ++counters_.lines_touched;
     bool l1_covered = false;
-    const bool l1_hit = core.l1->LookupDemand(line, is_store, &l1_covered);
+    Cache::ProbeResult l1_probe;
+    const bool l1_hit =
+        core.l1->LookupDemand(line, is_store, &l1_covered, &l1_probe);
 
-    // L1 engines observe every demand access.
-    core.prefetch_buffer.clear();
+    // L1 engines observe every demand access. The scratch holds the
+    // engines' output until the demand path settles; AccessBelowL1 only
+    // uses the separate L2 scratch, so no copy is needed.
+    core.l1_prefetch_scratch.clear();
     if (core.dcu_streamer->enabled()) {
       core.dcu_streamer->Observe({line, ref.function, l1_hit, is_store},
-                                 &core.prefetch_buffer);
+                                 &core.l1_prefetch_scratch);
     }
     if (core.ip_stride->enabled()) {
       core.ip_stride->Observe({line, ref.function, l1_hit, is_store},
-                              &core.prefetch_buffer);
+                              &core.l1_prefetch_scratch);
     }
-    const std::vector<Addr> l1_prefetches = core.prefetch_buffer;
 
     if (l1_hit) {
       if (l1_covered) {
@@ -255,15 +272,15 @@ double Socket::ProcessAccess(CoreState& core, const MemRef& ref) {
         cycles += penalty;
       }
     } else {
-      BelowL1Result below = AccessBelowL1(core, line, is_store,
-                                          ref.function);
+      BelowL1Result below =
+          AccessBelowL1(core, line, is_store, ref.function, l1_probe);
       double penalty = below.penalty_cycles / config_.mlp;
       if (is_store) penalty *= config_.store_penalty_factor;
       cycles += penalty;
       if (below.llc_miss) ++profile.llc_misses;
     }
 
-    for (Addr target : l1_prefetches) {
+    for (Addr target : core.l1_prefetch_scratch) {
       HandlePrefetchFill(core, target, /*level=*/1,
                          TrafficClass::kHwPrefetch);
     }

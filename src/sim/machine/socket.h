@@ -171,8 +171,13 @@ class Socket {
     bool exhausted = false;
     std::uint64_t active_cycles = 0;
     std::uint64_t instructions = 0;
-    // Scratch buffer reused across accesses to avoid reallocation.
-    std::vector<Addr> prefetch_buffer;
+    // Scratch buffers reused across accesses so the steady-state access
+    // loop never allocates (bench_socket --check-allocs enforces this).
+    // L1 and L2 engine output need separate buffers: AccessBelowL1 runs
+    // (and fills l2_prefetch_scratch) while ProcessAccess still holds
+    // unissued prefetches in l1_prefetch_scratch.
+    std::vector<Addr> l1_prefetch_scratch;
+    std::vector<Addr> l2_prefetch_scratch;
   };
 
   // Runs one access on a core; returns the cycles it consumed.
@@ -184,8 +189,11 @@ class Socket {
     double penalty_cycles = 0.0;
     bool llc_miss = false;
   };
+  // l1_probe is the (missed) L1 probe from ProcessAccess, consumed by the
+  // L1 fills here so the L1 tags are scanned once per access.
   BelowL1Result AccessBelowL1(CoreState& core, Addr line, bool is_store,
-                              FunctionId function);
+                              FunctionId function,
+                              const Cache::ProbeResult& l1_probe);
 
   // Installs a prefetch at the given level (1 = into L1, 2 = into L2),
   // walking down the hierarchy and consuming memory bandwidth on LLC miss.

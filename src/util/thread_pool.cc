@@ -10,6 +10,26 @@ namespace {
 
 std::atomic<int> g_default_thread_count{0};
 
+// One iteration of a polite spin: a pause hint for SMT siblings early on,
+// then yields so an oversubscribed (or single-core) host can run the lane
+// we are waiting for instead of burning the timeslice.
+inline void SpinPause(int spin) {
+  if (spin < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+// Spin budget before falling back to a condition-variable sleep. Small on
+// purpose: past this point the other side is not imminent and a futex
+// sleep is cheaper than further yielding.
+constexpr int kSpinBudget = 256;
+
 int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -70,25 +90,41 @@ void ThreadPool::DrainJob(const std::function<void(std::int64_t)>* fn,
 void ThreadPool::WorkerLoop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    // Spin-then-sleep pickup: back-to-back jobs (one per fleet tick) are
+    // caught here without a futex round trip. The spin is bounded, so a
+    // shutdown during the spin still reaches the condvar below.
+    for (int spin = 0;
+         spin < kSpinBudget &&
+         job_generation_.load(std::memory_order_acquire) == seen_generation;
+         ++spin) {
+      SpinPause(spin);
+    }
     const std::function<void(std::int64_t)>* fn = nullptr;
     std::int64_t end = 0;
     std::int64_t grain = 1;
     {
       MutexLock lock(&mu_);
       job_cv_.Wait(&mu_, [&]() LIMONCELLO_REQUIRES(mu_) {
-        return shutdown_ || job_generation_ != seen_generation;
+        return shutdown_ ||
+               job_generation_.load(std::memory_order_relaxed) !=
+                   seen_generation;
       });
       if (shutdown_) return;
-      seen_generation = job_generation_;
+      seen_generation = job_generation_.load(std::memory_order_relaxed);
       fn = job_fn_;
       end = job_end_;
       grain = job_grain_;
-      ++workers_in_job_;
+      // Joining the job is published in the same critical section that
+      // read its parameters, so the caller cannot observe a drained
+      // cursor with this worker unaccounted for.
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
     }
     DrainJob(fn, end, grain);
     {
+      // Leave under mu_ so the caller's slow-path predicate cannot miss
+      // the transition between its check and its sleep.
       MutexLock lock(&mu_);
-      --workers_in_job_;
+      active_workers_.fetch_sub(1, std::memory_order_release);
     }
     done_cv_.NotifyOne();
   }
@@ -99,8 +135,9 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
                              std::int64_t grain) {
   if (begin >= end) return;
   LIMONCELLO_CHECK_GE(grain, 1);
-  if (num_threads_ == 1) {
-    // Exact serial path: no cursor, no synchronization.
+  if (num_threads_ == 1 || end - begin <= grain) {
+    // Exact serial path (single lane, or the whole job fits in one
+    // grain): no cursor, no synchronization, no worker wakeup.
     for (std::int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -109,15 +146,24 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
     job_fn_ = &fn;
     job_end_ = end;
     job_grain_ = grain;
-    job_cursor_.store(begin);
-    ++job_generation_;
+    job_cursor_.store(begin, std::memory_order_relaxed);
+    job_generation_.fetch_add(1, std::memory_order_release);
   }
   job_cv_.NotifyAll();
   DrainJob(&fn, end, grain);  // the caller is a lane too
+  // The cursor is exhausted; wait for workers still finishing their last
+  // chunk. Spin first — chunks are short — then sleep.
+  bool idle = active_workers_.load(std::memory_order_acquire) == 0;
+  for (int spin = 0; spin < kSpinBudget && !idle; ++spin) {
+    SpinPause(spin);
+    idle = active_workers_.load(std::memory_order_acquire) == 0;
+  }
   MutexLock lock(&mu_);
-  done_cv_.Wait(&mu_, [&]() LIMONCELLO_REQUIRES(mu_) {
-    return workers_in_job_ == 0;
-  });
+  if (!idle) {
+    done_cv_.Wait(&mu_, [&]() LIMONCELLO_REQUIRES(mu_) {
+      return active_workers_.load(std::memory_order_acquire) == 0;
+    });
+  }
   job_fn_ = nullptr;
 }
 

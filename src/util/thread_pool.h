@@ -56,7 +56,8 @@ class ThreadPool {
   // all calls have returned. fn is invoked concurrently for distinct i and
   // must not throw. grain is the number of consecutive indices claimed per
   // atomic cursor step (load-balance knob only — it never changes which
-  // calls are made).
+  // calls are made). A job no larger than one grain runs inline on the
+  // caller without waking the pool at all.
   void ParallelFor(std::int64_t begin, std::int64_t end,
                    const std::function<void(std::int64_t)>& fn,
                    std::int64_t grain = 1) LIMONCELLO_EXCLUDES(mu_);
@@ -74,17 +75,28 @@ class ThreadPool {
 
   Mutex mu_;
   CondVar job_cv_;   // workers wait for a new job
-  CondVar done_cv_;  // caller waits for job completion
-  std::uint64_t job_generation_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+  CondVar done_cv_;  // caller waits for job completion (slow path)
   bool shutdown_ LIMONCELLO_GUARDED_BY(mu_) = false;
 
-  // Current job (valid while workers_in_job_ > 0 or cursor not drained).
+  // Bumped under mu_ per job but also read lock-free: workers spin on it
+  // briefly before sleeping on job_cv_, and the caller spins on
+  // active_workers_ before sleeping on done_cv_. The fleet tick loop
+  // issues one job per tick back-to-back, so in steady state both
+  // rendezvous hit the spin fast path and the per-tick barrier costs no
+  // futex sleep/wake round trips.
+  std::atomic<std::uint64_t> job_generation_{0};
+  // Workers currently inside DrainJob for the published job. Incremented
+  // under mu_ (in the same critical section that reads the job
+  // parameters), decremented under mu_ after the drain; the caller may
+  // not return while this is nonzero.
+  std::atomic<int> active_workers_{0};
+
+  // Current job (valid while active_workers_ > 0 or cursor not drained).
   const std::function<void(std::int64_t)>* job_fn_
       LIMONCELLO_GUARDED_BY(mu_) = nullptr;
   std::int64_t job_end_ LIMONCELLO_GUARDED_BY(mu_) = 0;
   std::int64_t job_grain_ LIMONCELLO_GUARDED_BY(mu_) = 1;
   std::atomic<std::int64_t> job_cursor_{0};
-  int workers_in_job_ LIMONCELLO_GUARDED_BY(mu_) = 0;
 };
 
 // Runs the given thunks concurrently — thunks[0] on the calling thread,
