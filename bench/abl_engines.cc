@@ -10,6 +10,7 @@
 
 #include "msr/prefetch_control.h"
 #include "sim/machine/socket.h"
+#include "util/check.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workloads/function_catalog.h"
@@ -38,9 +39,12 @@ Row RunConfig(const std::string& label, int disabled_engine /* -1 none,
                           PlatformMsrLayout::kIntelStyle, 0,
                           config.num_cores);
   if (disabled_engine == 4) {
-    control.DisableAll();
+    LIMONCELLO_CHECK_EQ(control.DisableAll(), config.num_cores);
   } else if (disabled_engine >= 0) {
-    control.SetEngine(static_cast<PrefetchEngine>(disabled_engine), false);
+    LIMONCELLO_CHECK_EQ(
+        control.SetEngine(static_cast<PrefetchEngine>(disabled_engine),
+                          false),
+        config.num_cores);
   }
   for (int core = 0; core < config.num_cores; ++core) {
     socket.SetWorkload(core, catalog.MakeFleetMix(Rng(123).Fork(

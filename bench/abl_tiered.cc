@@ -12,6 +12,7 @@
 
 #include "core/tiered_policy.h"
 #include "sim/machine/socket.h"
+#include "util/check.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workloads/function_catalog.h"
@@ -39,12 +40,20 @@ Result RunTier(int tier, double peak_gbps) {
                           PlatformMsrLayout::kIntelStyle, 0,
                           config.num_cores);
   if (tier >= 1) {
-    control.SetEngine(PrefetchEngine::kDcuStreamer, false);
-    control.SetEngine(PrefetchEngine::kL2AdjacentLine, false);
+    LIMONCELLO_CHECK_EQ(
+        control.SetEngine(PrefetchEngine::kDcuStreamer, false),
+        config.num_cores);
+    LIMONCELLO_CHECK_EQ(
+        control.SetEngine(PrefetchEngine::kL2AdjacentLine, false),
+        config.num_cores);
   }
   if (tier >= 2) {
-    control.SetEngine(PrefetchEngine::kDcuIpStride, false);
-    control.SetEngine(PrefetchEngine::kL2Stream, false);
+    LIMONCELLO_CHECK_EQ(
+        control.SetEngine(PrefetchEngine::kDcuIpStride, false),
+        config.num_cores);
+    LIMONCELLO_CHECK_EQ(
+        control.SetEngine(PrefetchEngine::kL2Stream, false),
+        config.num_cores);
   }
   for (int core = 0; core < config.num_cores; ++core) {
     socket.SetWorkload(core, catalog.MakeFleetMix(Rng(321).Fork(

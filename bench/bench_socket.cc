@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/daemon.h"
+#include "faults/fault_injector.h"
+#include "msr/simulated_msr_device.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workloads/generators.h"
@@ -140,6 +143,81 @@ SocketArmResult RunSocketArm(bool prefetchers_on, int epochs) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Daemon fault-path overhead guard: the control loop with the fault
+// decorators in place (but an empty FaultPlan) must allocate exactly as
+// much as the bare loop in steady state — the no-fault path through
+// FaultyUtilizationSource / FaultyMsrDevice is allocation-free.
+
+struct DaemonArmResult {
+  bool with_fault_layer = false;
+  std::uint64_t ticks = 0;
+  double seconds = 0.0;
+  double ticks_per_sec = 0.0;
+  std::uint64_t steady_state_allocs = 0;
+};
+
+// Sawtooth utilization sweeping through both thresholds so the daemon
+// keeps actuating (period 200 ticks, 0.55 <-> 0.9).
+class SawtoothTelemetry : public UtilizationSource {
+ public:
+  std::optional<double> SampleUtilization() override {
+    const int phase = tick_++ % 200;
+    const double frac =
+        phase < 100 ? phase / 100.0 : (200 - phase) / 100.0;
+    return 0.55 + 0.35 * frac;
+  }
+
+ private:
+  int tick_ = 0;
+};
+
+DaemonArmResult RunDaemonArm(bool with_fault_layer, int ticks) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kCpus = 8;
+  SimulatedMsrDevice device(kCpus);
+  FaultPlan plan;  // empty: the fault layer is present but never fires
+  FaultInjector injector(&plan);
+  FaultyMsrDevice faulty_device(&device, &injector);
+  MsrDevice* msr =
+      with_fault_layer ? static_cast<MsrDevice*>(&faulty_device) : &device;
+  PrefetchControl control(msr, PlatformMsrLayout::kIntelStyle, 0, kCpus);
+  MsrPrefetchActuator actuator(&control, kCpus);
+  SawtoothTelemetry inner_telemetry;
+  FaultyUtilizationSource faulty_telemetry(&inner_telemetry, &injector);
+  UtilizationSource* telemetry =
+      with_fault_layer ? static_cast<UtilizationSource*>(&faulty_telemetry)
+                       : &inner_telemetry;
+  ControllerConfig config;
+  config.sustain_duration_ns = 3 * kNsPerSec;
+  LimoncelloDaemon daemon(config, telemetry, &actuator);
+
+  // Warm-up: grows the daemon's trace buffers past the timed window.
+  for (int t = 0; t < 256; ++t) {
+    if (with_fault_layer) injector.BeginTick();
+    daemon.RunTick(static_cast<SimTimeNs>(t) * kNsPerSec);
+  }
+
+  g_heap_allocs.store(0);
+  g_count_allocs.store(true);
+  const auto start = Clock::now();
+  for (int t = 256; t < 256 + ticks; ++t) {
+    if (with_fault_layer) injector.BeginTick();
+    daemon.RunTick(static_cast<SimTimeNs>(t) * kNsPerSec);
+  }
+  const auto end = Clock::now();
+  g_count_allocs.store(false);
+
+  DaemonArmResult result;
+  result.with_fault_layer = with_fault_layer;
+  result.ticks = static_cast<std::uint64_t>(ticks);
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.ticks_per_sec =
+      result.seconds > 0.0 ? ticks / result.seconds : 0.0;
+  result.steady_state_allocs = g_heap_allocs.load();
+  return result;
+}
+
 int Run(const FlagParser& flags) {
   const bool smoke = flags.GetBool("smoke").value_or(false);
   const int epochs =
@@ -157,6 +235,10 @@ int Run(const FlagParser& flags) {
 
   const SocketArmResult arms[] = {RunSocketArm(true, epochs),
                                   RunSocketArm(false, epochs)};
+  const int daemon_ticks = smoke ? 512 : 4096;
+  const DaemonArmResult daemon_arms[] = {
+      RunDaemonArm(/*with_fault_layer=*/false, daemon_ticks),
+      RunDaemonArm(/*with_fault_layer=*/true, daemon_ticks)};
 
   Table table({"prefetchers", "Mlines/sec", "MIPS", "steady_allocs"});
   for (const SocketArmResult& arm : arms) {
@@ -169,6 +251,16 @@ int Run(const FlagParser& flags) {
                       arm.steady_state_allocs))});
   }
   table.Print("Socket::ProcessAccess throughput (demand lines/sec)");
+
+  Table daemon_table({"daemon arm", "Mticks/sec", "steady_allocs"});
+  for (const DaemonArmResult& arm : daemon_arms) {
+    daemon_table.AddRow({arm.with_fault_layer ? "fault layer (empty plan)"
+                                              : "bare",
+                         Table::Num(arm.ticks_per_sec / 1e6, 2),
+                         Table::Num(static_cast<std::int64_t>(
+                             arm.steady_state_allocs))});
+  }
+  daemon_table.Print("Daemon control loop (fault-injection overhead)");
   std::printf("\ncache llc/lru/demand_hit: %.1f M accesses/sec",
               cache_hit.accesses_per_sec / 1e6);
   if (cache_baseline > 0.0) {
@@ -206,6 +298,19 @@ int Run(const FlagParser& flags) {
                  i + 1 < 2 ? "," : "");
   }
   std::fprintf(f,
+               "  ],\n  \"daemon_fault_overhead\": [\n");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const DaemonArmResult& arm = daemon_arms[i];
+    std::fprintf(
+        f,
+        "    {\"arm\": \"%s\", \"ticks_per_sec\": %.1f, "
+        "\"steady_state_allocs\": %llu}%s\n",
+        arm.with_fault_layer ? "fault_layer_empty_plan" : "bare",
+        arm.ticks_per_sec,
+        static_cast<unsigned long long>(arm.steady_state_allocs),
+        i + 1 < 2 ? "," : "");
+  }
+  std::fprintf(f,
                "  ],\n  \"pre_refactor_lines_per_sec_on\": %.1f,\n"
                "  \"socket_speedup_vs_pre_refactor\": %.3f\n}\n",
                socket_baseline,
@@ -227,6 +332,18 @@ int Run(const FlagParser& flags) {
                      arm.prefetchers_on ? "on" : "off");
         return 1;
       }
+    }
+    if (daemon_arms[0].steady_state_allocs !=
+        daemon_arms[1].steady_state_allocs) {
+      std::fprintf(stderr,
+                   "FAIL: the empty-plan fault layer changed the daemon "
+                   "loop's allocation count (bare %llu vs fault layer "
+                   "%llu); the no-fault path must add zero allocations\n",
+                   static_cast<unsigned long long>(
+                       daemon_arms[0].steady_state_allocs),
+                   static_cast<unsigned long long>(
+                       daemon_arms[1].steady_state_allocs));
+      return 1;
     }
     std::printf("steady-state allocation check: clean\n");
   }

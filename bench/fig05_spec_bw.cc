@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "util/check.h"
 #include "util/table.h"
 #include "workloads/generators.h"
 
@@ -74,7 +75,9 @@ void Run() {
         PrefetchControl control(&socket.msr_device(),
                                 PlatformMsrLayout::kIntelStyle, 0,
                                 config.num_cores);
-        control.SetEngine(PrefetchEngine::kL2AdjacentLine, false);
+        LIMONCELLO_CHECK_EQ(
+            control.SetEngine(PrefetchEngine::kL2AdjacentLine, false),
+            config.num_cores);
       }
       for (int core = 0; core < config.num_cores; ++core) {
         socket.SetWorkload(

@@ -19,4 +19,8 @@ bool MsrPrefetchActuator::EnablePrefetchers() {
   return control_->EnableAll() == expected_cpus_;
 }
 
+std::optional<bool> MsrPrefetchActuator::StateMatches(bool want_enabled) {
+  return want_enabled ? control_->AllEnabled() : control_->AllDisabled();
+}
+
 }  // namespace limoncello

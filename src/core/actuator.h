@@ -13,8 +13,17 @@ class PrefetchActuator {
   virtual ~PrefetchActuator() = default;
 
   // Returns true when the new state was applied to every core.
-  virtual bool DisablePrefetchers() = 0;
-  virtual bool EnablePrefetchers() = 0;
+  [[nodiscard]] virtual bool DisablePrefetchers() = 0;
+  [[nodiscard]] virtual bool EnablePrefetchers() = 0;
+
+  // Readback: does the hardware state match `want_enabled`? nullopt when
+  // the actuator cannot read back (test doubles, dry-run). The daemon
+  // polls this periodically to detect reboots that silently restored the
+  // BIOS default.
+  virtual std::optional<bool> StateMatches(bool want_enabled) {
+    (void)want_enabled;
+    return std::nullopt;
+  }
 };
 
 // Actuates through per-core MSR writes (the deployment path, paper §3
@@ -25,8 +34,9 @@ class MsrPrefetchActuator : public PrefetchActuator {
   // CPUs that must acknowledge a write for it to count as success.
   MsrPrefetchActuator(PrefetchControl* control, int expected_cpus);
 
-  bool DisablePrefetchers() override;
-  bool EnablePrefetchers() override;
+  [[nodiscard]] bool DisablePrefetchers() override;
+  [[nodiscard]] bool EnablePrefetchers() override;
+  std::optional<bool> StateMatches(bool want_enabled) override;
 
  private:
   PrefetchControl* control_;

@@ -24,10 +24,27 @@ struct ControllerConfig {
   // telemetry samples, force prefetchers back on and reset.
   int max_missed_samples = 5;
 
+  // Failed actuations are retried with exponential backoff: 1 tick after
+  // the first failure, then doubling up to this cap (1 = retry every
+  // tick, the pre-backoff behaviour).
+  int retry_backoff_cap_ticks = 8;
+
+  // A sample bit-identical to the previous one this many consecutive
+  // times is treated as a frozen exporter and rejected (counts toward
+  // max_missed_samples). Real utilization telemetry always jitters.
+  int max_stale_samples = 8;
+
+  // Every this many ticks the daemon reads the prefetcher state back
+  // through the actuator and re-asserts its intent on mismatch (detects
+  // reboots that silently restored the BIOS default). 0 disables.
+  int readback_period_ticks = 16;
+
   bool Valid() const {
     return upper_threshold > lower_threshold && lower_threshold >= 0.0 &&
            upper_threshold <= 1.5 && sustain_duration_ns >= 0 &&
-           tick_period_ns > 0 && max_missed_samples > 0;
+           tick_period_ns > 0 && max_missed_samples > 0 &&
+           retry_backoff_cap_ticks > 0 && max_stale_samples > 0 &&
+           readback_period_ticks >= 0;
   }
 };
 

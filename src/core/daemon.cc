@@ -1,8 +1,21 @@
 #include "core/daemon.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
 #include "util/check.h"
 
 namespace limoncello {
+
+namespace {
+
+// Utilization is a fraction of the saturation threshold; sockets can
+// burst past 1.0, but an order of magnitude beyond is telemetry garbage
+// (matches FileUtilizationSource's accepted range).
+constexpr double kMaxPlausibleUtilization = 10.0;
+
+}  // namespace
 
 LimoncelloDaemon::LimoncelloDaemon(const ControllerConfig& config,
                                    UtilizationSource* telemetry,
@@ -35,6 +48,91 @@ bool LimoncelloDaemon::Actuate(ControllerAction action) {
   return false;
 }
 
+void LimoncelloDaemon::ArmRetry(ControllerAction action) {
+  ++stats_.actuation_failures;
+  pending_retry_ = action;
+  retry_delay_ticks_ = 1;
+  retry_wait_ticks_ = 0;  // first retry on the very next tick
+}
+
+void LimoncelloDaemon::TickPendingRetry() {
+  if (pending_retry_ == ControllerAction::kNone) return;
+  if (retry_wait_ticks_ > 0) {
+    --retry_wait_ticks_;
+    ++stats_.retry_backoff_skips;
+    return;
+  }
+  if (Actuate(pending_retry_)) {
+    pending_retry_ = ControllerAction::kNone;
+    retry_delay_ticks_ = 1;
+    return;
+  }
+  // Still failing: back off exponentially up to the cap so a persistent
+  // fault does not turn every tick into an MSR write storm.
+  ++stats_.actuation_failures;
+  retry_delay_ticks_ =
+      std::min(retry_delay_ticks_ * 2, config_.retry_backoff_cap_ticks);
+  retry_wait_ticks_ = retry_delay_ticks_ - 1;
+}
+
+std::optional<double> LimoncelloDaemon::ValidateSample(
+    std::optional<double> sample) {
+  if (!sample.has_value()) {
+    // A gap breaks a stale run: the detector targets a pipeline that
+    // keeps returning the same reading every single tick.
+    stale_run_ = 0;
+    have_last_sample_ = false;
+    return std::nullopt;
+  }
+  if (!std::isfinite(*sample) || *sample < 0.0 ||
+      *sample > kMaxPlausibleUtilization) {
+    ++stats_.invalid_samples;
+    return std::nullopt;
+  }
+  // Frozen-exporter detection: real utilization telemetry always
+  // jitters, so a long bit-identical run means the value is stale even
+  // though it still parses. Compare bit patterns, not values, so e.g.
+  // a legitimately saturated 1.0 plateau with real jitter still passes.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double));
+  std::memcpy(&bits, &*sample, sizeof(bits));
+  if (have_last_sample_ && bits == last_sample_bits_) {
+    if (++stale_run_ >= config_.max_stale_samples) {
+      ++stats_.stale_samples;
+      return std::nullopt;
+    }
+  } else {
+    stale_run_ = 0;
+    last_sample_bits_ = bits;
+    have_last_sample_ = true;
+  }
+  return sample;
+}
+
+void LimoncelloDaemon::MaybeReadback() {
+  if (config_.readback_period_ticks <= 0) return;
+  if (pending_retry_ != ControllerAction::kNone) return;  // already known
+  if (stats_.ticks %
+          static_cast<std::uint64_t>(config_.readback_period_ticks) !=
+      0) {
+    return;
+  }
+  const bool want = controller_.PrefetchersShouldBeEnabled();
+  const std::optional<bool> matches = actuator_->StateMatches(want);
+  if (!matches.has_value() || *matches) return;
+  // The hardware lost our state (most likely a reboot restored the BIOS
+  // default): re-assert the FSM's intent.
+  ++stats_.reboots_detected;
+  const ControllerAction reassert =
+      want ? ControllerAction::kEnablePrefetchers
+           : ControllerAction::kDisablePrefetchers;
+  if (Actuate(reassert)) {
+    ++stats_.state_reasserts;
+  } else {
+    ArmRetry(reassert);
+  }
+}
+
 LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
   TickRecord record;
   record.time_ns = now_ns;
@@ -42,16 +140,11 @@ LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
 
   // Retry a previously failed actuation before anything else so the
   // hardware state converges to the FSM's view.
-  if (pending_retry_ != ControllerAction::kNone) {
-    if (Actuate(pending_retry_)) {
-      pending_retry_ = ControllerAction::kNone;
-    } else {
-      ++stats_.actuation_failures;
-    }
-  }
+  TickPendingRetry();
 
-  const std::optional<double> sample = telemetry_->SampleUtilization();
-  if (!sample.has_value() || *sample < 0.0) {
+  const std::optional<double> sample =
+      ValidateSample(telemetry_->SampleUtilization());
+  if (!sample.has_value()) {
     ++stats_.missed_samples;
     ++consecutive_missed_;
     if (consecutive_missed_ >= config_.max_missed_samples) {
@@ -62,9 +155,9 @@ LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
           pending_retry_ != ControllerAction::kNone) {
         if (Actuate(ControllerAction::kEnablePrefetchers)) {
           pending_retry_ = ControllerAction::kNone;
+          retry_delay_ticks_ = 1;
         } else {
-          ++stats_.actuation_failures;
-          pending_retry_ = ControllerAction::kEnablePrefetchers;
+          ArmRetry(ControllerAction::kEnablePrefetchers);
         }
       }
       controller_.Reset();
@@ -83,11 +176,15 @@ LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
   record.state = controller_.state();
   if (record.action != ControllerAction::kNone) {
     record.actuation_ok = Actuate(record.action);
-    if (!record.actuation_ok) {
-      ++stats_.actuation_failures;
-      pending_retry_ = record.action;
+    if (record.actuation_ok) {
+      // A fresh successful actuation supersedes any backed-off retry.
+      pending_retry_ = ControllerAction::kNone;
+      retry_delay_ticks_ = 1;
+    } else {
+      ArmRetry(record.action);
     }
   }
+  MaybeReadback();
   utilization_trace_.Add(now_ns, *sample);
   state_trace_.Add(now_ns,
                    controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);

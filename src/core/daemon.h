@@ -5,12 +5,20 @@
 // applies any resulting prefetcher toggle via the actuator.
 //
 // Robustness behaviour (beyond the paper's happy path, but required for a
-// deployable daemon):
-//   * Missing/invalid telemetry: after max_missed_samples consecutive
+// deployable daemon — exercised by the fault injector in src/faults/):
+//   * Missing/invalid telemetry: non-finite, negative, or implausibly
+//     large samples are rejected; after max_missed_samples consecutive
 //     failures the daemon fails safe — prefetchers are forced back on
 //     (the hardware default) and the FSM resets.
+//   * Stale telemetry: a sample bit-identical to the previous one
+//     max_stale_samples times in a row is treated as a frozen exporter
+//     and rejected (feeding the same fail-safe path).
 //   * Failed actuation (core offline, MSR write error): the intent is
-//     remembered and retried on subsequent ticks until it succeeds.
+//     remembered and retried with capped exponential backoff until it
+//     succeeds.
+//   * Silent state loss (reboot to BIOS default): every
+//     readback_period_ticks the hardware state is read back through the
+//     actuator and the FSM's intent re-asserted on mismatch.
 #ifndef LIMONCELLO_CORE_DAEMON_H_
 #define LIMONCELLO_CORE_DAEMON_H_
 
@@ -37,8 +45,13 @@ class LimoncelloDaemon {
   struct Stats {
     std::uint64_t ticks = 0;
     std::uint64_t missed_samples = 0;
+    std::uint64_t invalid_samples = 0;  // non-finite / out of range
+    std::uint64_t stale_samples = 0;    // frozen-exporter rejections
     std::uint64_t failsafe_resets = 0;
     std::uint64_t actuation_failures = 0;
+    std::uint64_t retry_backoff_skips = 0;  // ticks spent waiting to retry
+    std::uint64_t reboots_detected = 0;     // readback mismatches
+    std::uint64_t state_reasserts = 0;      // successful re-assertions
     std::uint64_t disables = 0;
     std::uint64_t enables = 0;
   };
@@ -67,6 +80,16 @@ class LimoncelloDaemon {
 
  private:
   bool Actuate(ControllerAction action);
+  // Runs the pending-retry state machine (backoff countdown + retry).
+  void TickPendingRetry();
+  // Records a fresh actuation failure and arms the first retry.
+  void ArmRetry(ControllerAction action);
+  // Sample validation: non-finite/out-of-range and frozen-exporter
+  // rejection. Returns nullopt (and bumps the matching counter) when the
+  // sample must be treated as missed.
+  std::optional<double> ValidateSample(std::optional<double> sample);
+  // Periodic MSR readback: detect a silently reset state and re-assert.
+  void MaybeReadback();
 
   ControllerConfig config_;
   UtilizationSource* telemetry_;
@@ -76,6 +99,13 @@ class LimoncelloDaemon {
   int consecutive_missed_ = 0;
   // Pending actuation that previously failed and must be retried.
   ControllerAction pending_retry_ = ControllerAction::kNone;
+  int retry_delay_ticks_ = 1;  // current backoff step
+  int retry_wait_ticks_ = 0;   // ticks left before the next attempt
+  // Stale-sample detection: bit pattern of the last accepted sample and
+  // the length of the current identical run.
+  std::uint64_t last_sample_bits_ = 0;
+  bool have_last_sample_ = false;
+  int stale_run_ = 0;
   StateListener state_listener_;
   TimeSeries state_trace_;
   TimeSeries utilization_trace_;

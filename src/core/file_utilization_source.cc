@@ -1,5 +1,6 @@
 #include "core/file_utilization_source.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -29,6 +30,9 @@ std::optional<double> ParseLastUtilizationLine(
   for (const char* p = parse_end; *p != '\0'; ++p) {
     if (*p != ' ' && *p != '\t') return std::nullopt;
   }
+  // strtod happily parses "nan" and "inf" (and overflow yields HUGE_VAL);
+  // none of these are utilization readings.
+  if (!std::isfinite(value)) return std::nullopt;
   if (value < 0.0 || value >= 10.0) return std::nullopt;
   return value;
 }

@@ -1,5 +1,6 @@
 #include "core/perf_csv_source.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -23,6 +24,9 @@ std::optional<double> ParseDouble(const std::string& s) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str()) return std::nullopt;
+  // strtod accepts "nan"/"inf" spellings and saturates overflow to
+  // HUGE_VAL; a corrupted exporter must not propagate either.
+  if (!std::isfinite(v)) return std::nullopt;
   return v;
 }
 
@@ -30,6 +34,7 @@ std::optional<double> ParseDouble(const std::string& s) {
 // controller counters in MiB (or as raw cacheline counts with an empty
 // unit on some kernels).
 std::optional<double> ToBytes(double value, const std::string& unit) {
+  if (value < 0.0) return std::nullopt;  // counters never run backwards
   if (unit == "MiB") return value * 1024.0 * 1024.0;
   if (unit == "KiB") return value * 1024.0;
   if (unit == "GiB") return value * 1024.0 * 1024.0 * 1024.0;

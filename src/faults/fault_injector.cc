@@ -1,0 +1,132 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+FaultInjector::FaultInjector(const FaultPlan* plan) : plan_(plan) {
+  LIMONCELLO_CHECK(plan != nullptr);
+}
+
+void FaultInjector::BeginTick() {
+  ++tick_;
+
+  if (down_ && tick_ >= down_end_) {
+    down_ = false;
+    ++stats_.reboots;
+    if (reboot_callback_) reboot_callback_();
+  }
+  const std::vector<CrashFault>& crashes = plan_->crashes();
+  if (!down_ && crash_next_ < crashes.size() &&
+      crashes[crash_next_].tick <= tick_) {
+    down_ = true;
+    down_end_ = tick_ + std::max(1, crashes[crash_next_].down_ticks);
+    ++crash_next_;
+    ++stats_.crashes;
+  }
+
+  if (telemetry_active_ && tick_ >= telemetry_end_) {
+    telemetry_active_ = false;
+  }
+  const std::vector<TelemetryFault>& telemetry = plan_->telemetry_faults();
+  if (!telemetry_active_ && telemetry_next_ < telemetry.size() &&
+      telemetry[telemetry_next_].tick <= tick_) {
+    telemetry_fault_ = telemetry[telemetry_next_];
+    telemetry_active_ = true;
+    telemetry_end_ = tick_ + std::max(1, telemetry_fault_.duration_ticks);
+    ++telemetry_next_;
+  }
+
+  if (msr_active_ && tick_ >= msr_end_) msr_active_ = false;
+  const std::vector<MsrWriteFault>& msr = plan_->msr_faults();
+  if (!msr_active_ && msr_next_ < msr.size() &&
+      msr[msr_next_].tick <= tick_) {
+    msr_fault_ = msr[msr_next_];
+    msr_active_ = true;
+    msr_end_ = tick_ + std::max(1, msr_fault_.duration_ticks);
+    ++msr_next_;
+  }
+}
+
+std::optional<double> FaultInjector::FilterSample(
+    std::optional<double> sample) {
+  if (!telemetry_active_) {
+    if (sample.has_value()) last_good_sample_ = sample;
+    return sample;
+  }
+  ++stats_.telemetry_faults;
+  switch (telemetry_fault_.kind) {
+    case TelemetryFaultKind::kDropout:
+      return std::nullopt;
+    case TelemetryFaultKind::kNan:
+      return std::numeric_limits<double>::quiet_NaN();
+    case TelemetryFaultKind::kInf:
+      return std::numeric_limits<double>::infinity();
+    case TelemetryFaultKind::kStale:
+      // Bit-for-bit repeat of the last good sample — exactly what a
+      // frozen exporter produces. nullopt if nothing good was ever seen.
+      return last_good_sample_;
+    case TelemetryFaultKind::kSpike:
+      if (!sample.has_value()) return sample;
+      return *sample * telemetry_fault_.magnitude;
+  }
+  LIMONCELLO_CHECK(false);
+  return std::nullopt;
+}
+
+bool FaultInjector::MsrFaultHits(int cpu, int num_cpus,
+                                 bool is_write) const {
+  if (!msr_active_) return false;
+  if (msr_fault_.cpu < 0) return is_write;  // transient: all writes fail
+  LIMONCELLO_CHECK_GT(num_cpus, 0);
+  return cpu == msr_fault_.cpu % num_cpus;
+}
+
+bool FaultInjector::WriteFaulted(int cpu, int num_cpus) {
+  if (!MsrFaultHits(cpu, num_cpus, /*is_write=*/true)) return false;
+  ++stats_.msr_write_faults;
+  return true;
+}
+
+bool FaultInjector::ReadFaulted(int cpu, int num_cpus) {
+  if (!MsrFaultHits(cpu, num_cpus, /*is_write=*/false)) return false;
+  ++stats_.msr_read_faults;
+  return true;
+}
+
+FaultyUtilizationSource::FaultyUtilizationSource(UtilizationSource* inner,
+                                                 FaultInjector* injector)
+    : inner_(inner), injector_(injector) {
+  LIMONCELLO_CHECK(inner != nullptr);
+  LIMONCELLO_CHECK(injector != nullptr);
+}
+
+std::optional<double> FaultyUtilizationSource::SampleUtilization() {
+  return injector_->FilterSample(inner_->SampleUtilization());
+}
+
+FaultyMsrDevice::FaultyMsrDevice(MsrDevice* inner, FaultInjector* injector)
+    : inner_(inner), injector_(injector) {
+  LIMONCELLO_CHECK(inner != nullptr);
+  LIMONCELLO_CHECK(injector != nullptr);
+}
+
+int FaultyMsrDevice::num_cpus() const { return inner_->num_cpus(); }
+
+std::optional<std::uint64_t> FaultyMsrDevice::Read(int cpu,
+                                                   MsrRegister reg) {
+  if (injector_->MachineDown()) return std::nullopt;
+  if (injector_->ReadFaulted(cpu, inner_->num_cpus())) return std::nullopt;
+  return inner_->Read(cpu, reg);
+}
+
+bool FaultyMsrDevice::Write(int cpu, MsrRegister reg, std::uint64_t value) {
+  if (injector_->MachineDown()) return false;
+  if (injector_->WriteFaulted(cpu, inner_->num_cpus())) return false;
+  return inner_->Write(cpu, reg, value);
+}
+
+}  // namespace limoncello

@@ -1,0 +1,132 @@
+// Replays a FaultPlan against one machine's telemetry and MSR paths.
+//
+// The injector is a tick-synchronous window machine: BeginTick() opens
+// and closes the plan's fault windows, and two decorators consult it —
+// FaultyUtilizationSource corrupts the daemon's utilization samples and
+// FaultyMsrDevice fails reads/writes — so faults arrive through the same
+// interfaces production failures would. Crash windows mark the machine
+// down; when the downtime ends the injector fires a reboot callback (the
+// machine model uses it to silently reset the MSRs to the BIOS default,
+// the condition the daemon's readback path must detect).
+//
+// Everything is deterministic: the plan is fixed up front and the
+// injector holds no randomness, so two runs of the same plan are
+// bit-identical regardless of thread count.
+#ifndef LIMONCELLO_FAULTS_FAULT_INJECTOR_H_
+#define LIMONCELLO_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "faults/fault_plan.h"
+#include "msr/msr_device.h"
+#include "telemetry/telemetry.h"
+
+namespace limoncello {
+
+class FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t telemetry_faults = 0;  // samples corrupted or dropped
+    std::uint64_t msr_write_faults = 0;  // writes failed by injection
+    std::uint64_t msr_read_faults = 0;   // reads failed by injection
+    std::uint64_t crashes = 0;
+    std::uint64_t reboots = 0;
+
+    bool Any() const {
+      return telemetry_faults > 0 || msr_write_faults > 0 ||
+             msr_read_faults > 0 || crashes > 0;
+    }
+  };
+
+  // `plan` must outlive the injector.
+  explicit FaultInjector(const FaultPlan* plan);
+
+  // Advances to the next tick (0, 1, ... — numbering matches the plan's
+  // tick field): opens windows scheduled to start, closes expired ones,
+  // and fires the reboot callback when a crash's downtime ends.
+  void BeginTick();
+
+  // True while a crash window is open: the machine is off, nothing runs.
+  bool MachineDown() const { return down_; }
+
+  // Invoked once per crash, on the tick the machine comes back up —
+  // before that tick's work runs. Wire the BIOS reset here.
+  void SetRebootCallback(std::function<void()> callback) {
+    reboot_callback_ = std::move(callback);
+  }
+
+  // Telemetry path: passes the sample through the active fault window
+  // (if any) and tracks the last good sample for stale freezes.
+  std::optional<double> FilterSample(std::optional<double> sample);
+
+  // MSR path: whether an injected fault fails this access. `cpu` is the
+  // caller's CPU index; per-core faults target (raw draw % num_cpus).
+  bool WriteFaulted(int cpu, int num_cpus);
+  bool ReadFaulted(int cpu, int num_cpus);
+
+  const Stats& stats() const { return stats_; }
+  int tick() const { return tick_; }
+
+ private:
+  bool MsrFaultHits(int cpu, int num_cpus, bool is_write) const;
+
+  const FaultPlan* plan_;
+  int tick_ = -1;
+
+  // Open-window state, one slot per category.
+  std::size_t telemetry_next_ = 0;
+  bool telemetry_active_ = false;
+  int telemetry_end_ = 0;
+  TelemetryFault telemetry_fault_;
+
+  std::size_t msr_next_ = 0;
+  bool msr_active_ = false;
+  int msr_end_ = 0;
+  MsrWriteFault msr_fault_;
+
+  std::size_t crash_next_ = 0;
+  bool down_ = false;
+  int down_end_ = 0;
+
+  std::optional<double> last_good_sample_;
+  std::function<void()> reboot_callback_;
+  Stats stats_;
+};
+
+// UtilizationSource decorator: samples the inner source every tick (so
+// any randomness it consumes advances identically with or without an
+// active fault) and passes the result through the injector.
+class FaultyUtilizationSource : public UtilizationSource {
+ public:
+  // Both pointers must outlive this object.
+  FaultyUtilizationSource(UtilizationSource* inner, FaultInjector* injector);
+
+  std::optional<double> SampleUtilization() override;
+
+ private:
+  UtilizationSource* inner_;
+  FaultInjector* injector_;
+};
+
+// MsrDevice decorator: fails accesses per the injector's open MSR fault
+// window, and fails everything while the machine is down.
+class FaultyMsrDevice : public MsrDevice {
+ public:
+  // Both pointers must outlive this object.
+  FaultyMsrDevice(MsrDevice* inner, FaultInjector* injector);
+
+  int num_cpus() const override;
+  std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) override;
+  [[nodiscard]] bool Write(int cpu, MsrRegister reg,
+                           std::uint64_t value) override;
+
+ private:
+  MsrDevice* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,134 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+const char* TelemetryFaultKindName(TelemetryFaultKind kind) {
+  switch (kind) {
+    case TelemetryFaultKind::kDropout:
+      return "dropout";
+    case TelemetryFaultKind::kNan:
+      return "nan";
+    case TelemetryFaultKind::kInf:
+      return "inf";
+    case TelemetryFaultKind::kStale:
+      return "stale";
+    case TelemetryFaultKind::kSpike:
+      return "spike";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Ticks until a category is free again after an event at `tick`.
+int WindowEnd(int tick, int duration_ticks) {
+  return tick + std::max(1, duration_ticks);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Generate(const FaultSpec& spec, int horizon_ticks,
+                              Rng rng) {
+  LIMONCELLO_CHECK_GT(horizon_ticks, 0);
+  FaultPlan plan;
+  const int last =
+      spec.max_fault_tick >= 0
+          ? std::min(spec.max_fault_tick, horizon_ticks - 1)
+          : horizon_ticks - 1;
+  int telemetry_free = 0;
+  int msr_free = 0;
+  int crash_free = 0;
+  for (int t = 0; t <= last; ++t) {
+    if (t >= telemetry_free) {
+      TelemetryFault fault;
+      fault.tick = t;
+      bool fired = true;
+      if (rng.NextBernoulli(spec.telemetry_dropout_rate)) {
+        fault.kind = TelemetryFaultKind::kDropout;
+        fault.duration_ticks = spec.telemetry_dropout_ticks;
+      } else if (rng.NextBernoulli(spec.telemetry_nan_rate)) {
+        fault.kind = rng.NextBernoulli(0.5) ? TelemetryFaultKind::kNan
+                                            : TelemetryFaultKind::kInf;
+        fault.duration_ticks = 1;
+      } else if (rng.NextBernoulli(spec.telemetry_stale_rate)) {
+        fault.kind = TelemetryFaultKind::kStale;
+        fault.duration_ticks = spec.telemetry_stale_ticks;
+      } else if (rng.NextBernoulli(spec.telemetry_spike_rate)) {
+        fault.kind = TelemetryFaultKind::kSpike;
+        fault.duration_ticks = 1;
+        fault.magnitude = spec.telemetry_spike_multiplier;
+      } else {
+        fired = false;
+      }
+      if (fired) {
+        plan.AddTelemetryFault(fault);
+        telemetry_free = WindowEnd(t, fault.duration_ticks);
+      }
+    }
+    if (t >= msr_free) {
+      MsrWriteFault fault;
+      fault.tick = t;
+      bool fired = true;
+      if (rng.NextBernoulli(spec.msr_transient_rate)) {
+        fault.cpu = -1;
+        fault.duration_ticks = 1;
+      } else if (rng.NextBernoulli(spec.msr_core_fault_rate)) {
+        fault.cpu = static_cast<int>(rng.NextBounded(1 << 20));
+        fault.duration_ticks = spec.msr_core_fault_ticks;
+      } else {
+        fired = false;
+      }
+      if (fired) {
+        plan.AddMsrWriteFault(fault);
+        msr_free = WindowEnd(t, fault.duration_ticks);
+      }
+    }
+    if (t >= crash_free && rng.NextBernoulli(spec.crash_rate)) {
+      CrashFault fault;
+      fault.tick = t;
+      fault.down_ticks = std::max(1, spec.crash_down_ticks);
+      plan.AddCrash(fault);
+      // +1: the reboot tick itself separates consecutive crashes.
+      crash_free = WindowEnd(t, fault.down_ticks) + 1;
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::AddTelemetryFault(const TelemetryFault& fault) {
+  LIMONCELLO_CHECK_GE(fault.tick, 0);
+  LIMONCELLO_CHECK_GT(fault.duration_ticks, 0);
+  if (!telemetry_faults_.empty()) {
+    const TelemetryFault& prev = telemetry_faults_.back();
+    LIMONCELLO_CHECK_GE(fault.tick,
+                        WindowEnd(prev.tick, prev.duration_ticks));
+  }
+  telemetry_faults_.push_back(fault);
+}
+
+void FaultPlan::AddMsrWriteFault(const MsrWriteFault& fault) {
+  LIMONCELLO_CHECK_GE(fault.tick, 0);
+  LIMONCELLO_CHECK_GT(fault.duration_ticks, 0);
+  if (!msr_faults_.empty()) {
+    const MsrWriteFault& prev = msr_faults_.back();
+    LIMONCELLO_CHECK_GE(fault.tick,
+                        WindowEnd(prev.tick, prev.duration_ticks));
+  }
+  msr_faults_.push_back(fault);
+}
+
+void FaultPlan::AddCrash(const CrashFault& fault) {
+  LIMONCELLO_CHECK_GE(fault.tick, 0);
+  LIMONCELLO_CHECK_GT(fault.down_ticks, 0);
+  if (!crashes_.empty()) {
+    const CrashFault& prev = crashes_.back();
+    LIMONCELLO_CHECK_GE(fault.tick, WindowEnd(prev.tick, prev.down_ticks));
+  }
+  crashes_.push_back(fault);
+}
+
+}  // namespace limoncello

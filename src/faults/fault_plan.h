@@ -1,0 +1,126 @@
+// Deterministic fault schedules for chaos testing the control plane.
+//
+// A FaultPlan is a pre-drawn, immutable schedule of fault windows for one
+// machine: telemetry corruption (dropout, NaN/Inf, stale freeze, spike),
+// MSR write failures (transient all-CPU or per-core partial), and machine
+// crashes (downtime followed by a reboot that silently resets the
+// prefetchers to the BIOS default). Plans are generated up front from a
+// seeded Rng, so a chaos run is a pure function of (spec, horizon, seed)
+// — the fleet's bit-identical-at-any-thread-count contract extends to
+// fault injection unchanged. The FaultInjector (fault_injector.h) replays
+// a plan tick by tick.
+#ifndef LIMONCELLO_FAULTS_FAULT_PLAN_H_
+#define LIMONCELLO_FAULTS_FAULT_PLAN_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace limoncello {
+
+// Per-tick Bernoulli probabilities of a new fault window *starting*, plus
+// window shapes. All rates default to zero: a default FaultSpec injects
+// nothing. Windows of the same category never overlap — while one is
+// open, no new one of that category is drawn.
+struct FaultSpec {
+  // Telemetry: the daemon's utilization sample goes missing entirely.
+  double telemetry_dropout_rate = 0.0;
+  int telemetry_dropout_ticks = 3;
+  // Telemetry: a single corrupted sample (NaN or Inf, 50/50).
+  double telemetry_nan_rate = 0.0;
+  // Telemetry: the exporter freezes — the last good sample is repeated
+  // bit for bit for the whole window.
+  double telemetry_stale_rate = 0.0;
+  int telemetry_stale_ticks = 12;
+  // Telemetry: a single sample multiplied far out of range.
+  double telemetry_spike_rate = 0.0;
+  double telemetry_spike_multiplier = 25.0;
+
+  // Actuation: every CPU's MSR write fails for one tick (e.g. the msr
+  // module briefly unloaded).
+  double msr_transient_rate = 0.0;
+  // Actuation: one CPU's MSR interface disappears (core offline) — reads
+  // and writes to it fail for the window.
+  double msr_core_fault_rate = 0.0;
+  int msr_core_fault_ticks = 10;
+
+  // Lifecycle: the machine crashes, stays down, then reboots with the
+  // prefetchers silently back at the BIOS default.
+  double crash_rate = 0.0;
+  int crash_down_ticks = 5;
+
+  // Last tick (inclusive) at which a new fault window may start; -1 means
+  // no limit. A quiet tail lets chaos runs assert full reconvergence.
+  int max_fault_tick = -1;
+
+  bool Any() const {
+    return telemetry_dropout_rate > 0.0 || telemetry_nan_rate > 0.0 ||
+           telemetry_stale_rate > 0.0 || telemetry_spike_rate > 0.0 ||
+           msr_transient_rate > 0.0 || msr_core_fault_rate > 0.0 ||
+           crash_rate > 0.0;
+  }
+};
+
+enum class TelemetryFaultKind { kDropout, kNan, kInf, kStale, kSpike };
+
+const char* TelemetryFaultKindName(TelemetryFaultKind kind);
+
+struct TelemetryFault {
+  int tick = 0;
+  int duration_ticks = 1;
+  TelemetryFaultKind kind = TelemetryFaultKind::kDropout;
+  double magnitude = 0.0;  // spike multiplier (kSpike only)
+};
+
+struct MsrWriteFault {
+  int tick = 0;
+  int duration_ticks = 1;
+  // Raw CPU draw, reduced modulo the device's CPU count by the injector;
+  // -1 means every CPU (writes only). A per-core fault (cpu >= 0) fails
+  // reads too — the core's MSR interface is gone, not one write.
+  int cpu = -1;
+};
+
+struct CrashFault {
+  int tick = 0;
+  int down_ticks = 1;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Draws a schedule from the per-tick rates: a pure function of (spec,
+  // horizon_ticks, rng state). Per category, events are sorted by tick
+  // and never overlap.
+  static FaultPlan Generate(const FaultSpec& spec, int horizon_ticks,
+                            Rng rng);
+
+  // Scripted construction for tests. Within a category, events must be
+  // appended in order and must not overlap (checked).
+  void AddTelemetryFault(const TelemetryFault& fault);
+  void AddMsrWriteFault(const MsrWriteFault& fault);
+  void AddCrash(const CrashFault& fault);
+
+  const std::vector<TelemetryFault>& telemetry_faults() const {
+    return telemetry_faults_;
+  }
+  const std::vector<MsrWriteFault>& msr_faults() const {
+    return msr_faults_;
+  }
+  const std::vector<CrashFault>& crashes() const { return crashes_; }
+
+  bool Empty() const {
+    return telemetry_faults_.empty() && msr_faults_.empty() &&
+           crashes_.empty();
+  }
+
+ private:
+  std::vector<TelemetryFault> telemetry_faults_;
+  std::vector<MsrWriteFault> msr_faults_;
+  std::vector<CrashFault> crashes_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FAULTS_FAULT_PLAN_H_

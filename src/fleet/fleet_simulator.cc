@@ -1,5 +1,6 @@
 #include "fleet/fleet_simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -46,6 +47,19 @@ void FleetMetrics::Merge(const FleetMetrics& other) {
   machine_ticks += other.machine_ticks;
   prefetcher_off_ticks += other.prefetcher_off_ticks;
   controller_toggles += other.controller_toggles;
+  down_machine_ticks += other.down_machine_ticks;
+  diverged_machine_ticks += other.diverged_machine_ticks;
+  reconverge_events += other.reconverge_events;
+  reconverge_ticks_sum += other.reconverge_ticks_sum;
+  max_reconverge_ticks =
+      std::max(max_reconverge_ticks, other.max_reconverge_ticks);
+  telemetry_faults_injected += other.telemetry_faults_injected;
+  msr_write_faults_injected += other.msr_write_faults_injected;
+  crashes_injected += other.crashes_injected;
+  reboots_completed += other.reboots_completed;
+  failsafe_resets += other.failsafe_resets;
+  reboots_detected += other.reboots_detected;
+  state_reasserts += other.state_reasserts;
 }
 
 FleetSimulator::FleetSimulator(const PlatformConfig& platform,
@@ -82,11 +96,23 @@ FleetSimulator::FleetSimulator(const PlatformConfig& platform,
         std::make_unique<LoadProcess>(lp, rng_.Fork(0x700 + s)));
   }
 
+  // Fault plans are drawn fully before any machine is built (machines
+  // hold pointers into the vector, so it must never reallocate after).
+  if (options.faults.Any()) {
+    fault_plans_.reserve(static_cast<std::size_t>(options.num_machines));
+    for (int m = 0; m < options.num_machines; ++m) {
+      fault_plans_.push_back(FaultPlan::Generate(
+          options.faults, options.ticks,
+          rng_.Fork(0xFA000 + static_cast<std::uint64_t>(m))));
+    }
+  }
   machines_.reserve(static_cast<std::size_t>(options.num_machines));
   for (int m = 0; m < options.num_machines; ++m) {
     machines_.push_back(std::make_unique<MachineModel>(
         platform, mode, controller,
-        rng_.Fork(0x9000 + static_cast<std::uint64_t>(m))));
+        rng_.Fork(0x9000 + static_cast<std::uint64_t>(m)),
+        fault_plans_.empty() ? nullptr
+                             : &fault_plans_[static_cast<std::size_t>(m)]));
   }
   pool_ = std::make_unique<ThreadPool>(
       ResolveThreadCount(options.num_threads));
@@ -197,28 +223,35 @@ FleetMetrics FleetSimulator::Run() {
         for (std::size_t m = first; m < last; ++m) {
           const MachineModel::TickResult r =
               machines_[m]->Tick(now, load_factors);
+          ++partial.machine_ticks;
+          partial.offered_qps_sum += r.offered_qps;
+          MachineAggregate& agg = metrics.machines[m];
+          agg.offered_qps_sum += r.offered_qps;
+          ++agg.ticks;
+          if (r.down) {
+            // Offered load counts (it was sent and lost); nothing else
+            // is observable from a machine that is off. Down ticks drag
+            // the machine's averages toward zero, which is correct.
+            ++partial.down_machine_ticks;
+            continue;
+          }
           partial.bandwidth_gbps.Add(r.bandwidth_gbps);
           partial.bandwidth_utilization.Add(r.bandwidth_utilization);
           partial.latency_ns.Add(r.latency_ns);
           partial.served_qps_sum += r.served_qps;
-          partial.offered_qps_sum += r.offered_qps;
           for (int c = 0; c < kNumCategories; ++c) {
             partial.category_cycles[static_cast<size_t>(c)] +=
                 r.category_cycles[static_cast<size_t>(c)];
           }
-          ++partial.machine_ticks;
           if (r.bandwidth_utilization >= 0.95) {
             ++partial.saturated_machine_ticks;
           }
           if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
 
-          MachineAggregate& agg = metrics.machines[m];
           agg.cpu_utilization_sum += r.cpu_utilization;
           agg.bw_utilization_sum += r.bandwidth_utilization;
           agg.latency_ns_sum += r.latency_ns;
           agg.served_qps_sum += r.served_qps;
-          agg.offered_qps_sum += r.offered_qps;
-          ++agg.ticks;
           if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
         }
       };
@@ -246,7 +279,24 @@ FleetMetrics FleetSimulator::Run() {
     if (machine->daemon() != nullptr) {
       metrics.controller_toggles +=
           machine->daemon()->controller().toggle_count();
+      const LimoncelloDaemon::Stats& ds = machine->daemon()->stats();
+      metrics.failsafe_resets += ds.failsafe_resets;
+      metrics.reboots_detected += ds.reboots_detected;
+      metrics.state_reasserts += ds.state_reasserts;
     }
+    if (machine->injector() != nullptr) {
+      const FaultInjector::Stats& is = machine->injector()->stats();
+      metrics.telemetry_faults_injected += is.telemetry_faults;
+      metrics.msr_write_faults_injected += is.msr_write_faults;
+      metrics.crashes_injected += is.crashes;
+      metrics.reboots_completed += is.reboots;
+    }
+    const MachineModel::FaultRecovery& rec = machine->fault_recovery();
+    metrics.diverged_machine_ticks += rec.diverged_ticks;
+    metrics.reconverge_events += rec.reconverge_events;
+    metrics.reconverge_ticks_sum += rec.reconverge_ticks_sum;
+    metrics.max_reconverge_ticks =
+        std::max(metrics.max_reconverge_ticks, rec.max_reconverge_ticks);
   }
   return metrics;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/controller_config.h"
+#include "faults/fault_plan.h"
 #include "fleet/machine_model.h"
 #include "fleet/platform.h"
 #include "fleet/scheduler.h"
@@ -48,6 +49,11 @@ struct FleetOptions {
   // static contiguous shards whose partial metrics are reduced in shard
   // order, independent of which thread ran which shard.
   int num_threads = 0;
+  // Chaos testing: when any rate is set, every machine gets its own
+  // deterministic FaultPlan drawn from the fleet seed (label 0xFA000+m),
+  // so fault load is bit-identical across runs and thread counts too.
+  // Placement shadows stay fault-free (placement is an arm invariant).
+  FaultSpec faults;
 };
 
 // Per-machine aggregates over a run (for bucketed comparisons).
@@ -82,6 +88,21 @@ struct FleetMetrics {
   std::uint64_t machine_ticks = 0;
   std::uint64_t prefetcher_off_ticks = 0;
   std::uint64_t controller_toggles = 0;
+  // Fault-load metrics (all zero on a fault-free run). Injected-fault
+  // counters come from the per-machine injectors; the daemon counters
+  // aggregate the hardening paths (see LimoncelloDaemon::Stats).
+  std::uint64_t down_machine_ticks = 0;
+  std::uint64_t diverged_machine_ticks = 0;
+  std::uint64_t reconverge_events = 0;
+  std::uint64_t reconverge_ticks_sum = 0;
+  std::uint64_t max_reconverge_ticks = 0;
+  std::uint64_t telemetry_faults_injected = 0;
+  std::uint64_t msr_write_faults_injected = 0;
+  std::uint64_t crashes_injected = 0;
+  std::uint64_t reboots_completed = 0;
+  std::uint64_t failsafe_resets = 0;
+  std::uint64_t reboots_detected = 0;
+  std::uint64_t state_reasserts = 0;
   std::vector<MachineAggregate> machines;
 
   // Folds another partial into this one: histograms via Histogram::Merge,
@@ -99,6 +120,18 @@ struct FleetMetrics {
     double total = 0.0;
     for (double c : category_cycles) total += c;
     return total;
+  }
+  // Fraction of machine-ticks the fleet was up (1.0 without faults).
+  double Availability() const {
+    return machine_ticks ? 1.0 - static_cast<double>(down_machine_ticks) /
+                                     static_cast<double>(machine_ticks)
+                         : 1.0;
+  }
+  double MeanTicksToReconverge() const {
+    return reconverge_events
+               ? static_cast<double>(reconverge_ticks_sum) /
+                     static_cast<double>(reconverge_events)
+               : 0.0;
   }
 };
 
@@ -129,6 +162,9 @@ class FleetSimulator {
   Rng rng_;
   std::vector<ServiceSpec> services_;
   std::vector<std::unique_ptr<LoadProcess>> load_processes_;
+  // Per-machine fault schedules; empty when options.faults has no rates.
+  // Stable storage: machines hold pointers into this vector.
+  std::vector<FaultPlan> fault_plans_;
   std::vector<std::unique_ptr<MachineModel>> machines_;
   ClusterScheduler scheduler_;
   std::unique_ptr<ThreadPool> pool_;

@@ -33,12 +33,22 @@ std::optional<double> MachineModel::TelemetryAdapter::SampleUtilization() {
 MachineModel::MachineModel(const PlatformConfig& platform,
                            DeploymentMode mode,
                            const ControllerConfig& controller_config,
-                           Rng rng)
+                           Rng rng, const FaultPlan* fault_plan)
     : platform_(platform),
       mode_(mode),
       rng_(rng),
       msr_(platform.cores),
-      prefetch_control_(&msr_, platform.msr_layout, 0, platform.cores) {
+      injector_(fault_plan != nullptr
+                    ? std::make_unique<FaultInjector>(fault_plan)
+                    : nullptr),
+      faulty_msr_(injector_ != nullptr
+                      ? std::make_unique<FaultyMsrDevice>(&msr_,
+                                                          injector_.get())
+                      : nullptr),
+      prefetch_control_(faulty_msr_ != nullptr
+                            ? static_cast<MsrDevice*>(faulty_msr_.get())
+                            : &msr_,
+                        platform.msr_layout, 0, platform.cores) {
   // Wire register bits to the machine's prefetcher state: the machine is
   // "on" only when every engine on every core is enabled. (One observer
   // per machine; reads back through PrefetchControl.)
@@ -46,9 +56,25 @@ MachineModel::MachineModel(const PlatformConfig& platform,
     const std::optional<bool> all_on = prefetch_control_.AllEnabled();
     prefetchers_on_ = all_on.value_or(true);
   });
+  if (injector_ != nullptr) {
+    // Reboot: the register file silently reverts to the BIOS default
+    // (all prefetchers enabled). The reset acts on the *inner* device —
+    // firmware does not route through the fault decorator — and the
+    // power-on writes cannot fail there.
+    injector_->SetRebootCallback([this] {
+      msr_.ResetToPowerOn();
+      const PrefetchMsrMap& map = prefetch_control_.msr_map();
+      const std::uint64_t power_on =
+          map.set_bit_disables ? 0 : map.engine_mask;
+      for (int cpu = 0; cpu < platform_.cores; ++cpu) {
+        LIMONCELLO_CHECK(msr_.Write(cpu, map.reg, power_on));
+      }
+    });
+  }
   // Power-on state: prefetchers enabled. On enable-bit layouts this
-  // requires setting the bits (the register file zero-initializes).
-  prefetch_control_.EnableAll();
+  // requires setting the bits (the register file zero-initializes). This
+  // happens before any injector tick, so the writes cannot fail.
+  LIMONCELLO_CHECK_EQ(prefetch_control_.EnableAll(), platform.cores);
   prefetchers_on_ = true;
 
   switch (mode_) {
@@ -56,18 +82,25 @@ MachineModel::MachineModel(const PlatformConfig& platform,
       prefetchers_on_ = true;
       break;
     case DeploymentMode::kAblationOff:
-      prefetch_control_.DisableAll();
+      LIMONCELLO_CHECK_EQ(prefetch_control_.DisableAll(), platform.cores);
       break;
     case DeploymentMode::kFullLimoncello:
       soft_prefetch_on_ = true;
       [[fallthrough]];
-    case DeploymentMode::kHardLimoncello:
+    case DeploymentMode::kHardLimoncello: {
       telemetry_ = std::make_unique<TelemetryAdapter>(this);
       actuator_ = std::make_unique<MsrPrefetchActuator>(&prefetch_control_,
                                                         platform_.cores);
-      daemon_ = std::make_unique<LimoncelloDaemon>(
-          controller_config, telemetry_.get(), actuator_.get());
+      UtilizationSource* source = telemetry_.get();
+      if (injector_ != nullptr) {
+        faulty_telemetry_ = std::make_unique<FaultyUtilizationSource>(
+            telemetry_.get(), injector_.get());
+        source = faulty_telemetry_.get();
+      }
+      daemon_ = std::make_unique<LimoncelloDaemon>(controller_config,
+                                                   source, actuator_.get());
       break;
+    }
   }
 }
 
@@ -116,9 +149,49 @@ double MachineModel::EstimateCpuCost(const ServiceSpec& spec,
 
 MachineModel::TickResult MachineModel::Tick(
     SimTimeNs now_ns, const std::vector<double>& load_factors) {
+  // 0. Fault windows open/close before anything observes them; a crash
+  // window (or its ending reboot) short-circuits the whole tick.
+  if (injector_ != nullptr) {
+    injector_->BeginTick();
+    if (injector_->MachineDown()) {
+      TickResult down_result;
+      down_result.down = true;
+      down_result.prefetchers_on = prefetchers_on_;
+      // Load is still routed here and all of it fails.
+      for (const Task& task : tasks_) {
+        const double factor =
+            task.service_index < static_cast<int>(load_factors.size())
+                ? load_factors[static_cast<std::size_t>(task.service_index)]
+                : 1.0;
+        down_result.offered_qps +=
+            task.spec->nominal_qps * task.share * factor;
+      }
+      ++recovery_.down_ticks;
+      last_utilization_ = 0.0;
+      last_cpu_utilization_ = 0.0;
+      return down_result;
+    }
+  }
+
   // 1. Control plane: the daemon observes last tick's telemetry and may
   // toggle the prefetchers via MSR writes before this tick's work runs.
-  if (daemon_ != nullptr) daemon_->RunTick(now_ns);
+  if (daemon_ != nullptr) {
+    daemon_->RunTick(now_ns);
+    // Divergence accounting: ticks where the hardware state disagrees
+    // with the FSM's intent (injected MSR failures, post-reboot BIOS
+    // state) — the reconvergence metric the chaos tests assert on.
+    const bool intent = daemon_->controller().PrefetchersShouldBeEnabled();
+    if (prefetchers_on_ != intent) {
+      ++recovery_.diverged_ticks;
+      ++divergence_run_;
+    } else if (divergence_run_ > 0) {
+      ++recovery_.reconverge_events;
+      recovery_.reconverge_ticks_sum += divergence_run_;
+      recovery_.max_reconverge_ticks =
+          std::max(recovery_.max_reconverge_ticks, divergence_run_);
+      divergence_run_ = 0;
+    }
+  }
 
   TickResult result;
   result.prefetchers_on = prefetchers_on_;

@@ -22,6 +22,8 @@
 #include "core/actuator.h"
 #include "core/controller_config.h"
 #include "core/daemon.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "fleet/platform.h"
 #include "fleet/service.h"
 #include "msr/simulated_msr_device.h"
@@ -57,12 +59,31 @@ class MachineModel {
     double offered_qps = 0.0;
     double served_qps = 0.0;
     bool prefetchers_on = true;
+    // True while a crash window keeps the machine off: offered load is
+    // dropped on the floor and no daemon/demand modelling runs.
+    bool down = false;
     // Cycles spent per function category this tick (for Fig. 20).
     std::array<double, kNumCategories> category_cycles{};
   };
 
+  // Availability/reconvergence accounting under injected faults.
+  struct FaultRecovery {
+    // Ticks (machine up, daemon present) where the hardware prefetcher
+    // state disagreed with the FSM's intent.
+    std::uint64_t diverged_ticks = 0;
+    // Completed divergence episodes (state came back in line).
+    std::uint64_t reconverge_events = 0;
+    std::uint64_t reconverge_ticks_sum = 0;
+    std::uint64_t max_reconverge_ticks = 0;
+    std::uint64_t down_ticks = 0;
+  };
+
+  // `fault_plan`, when non-null, must outlive the machine; it inserts the
+  // fault-injection decorators into the telemetry and MSR paths and
+  // enables crash/reboot modelling.
   MachineModel(const PlatformConfig& platform, DeploymentMode mode,
-               const ControllerConfig& controller_config, Rng rng);
+               const ControllerConfig& controller_config, Rng rng,
+               const FaultPlan* fault_plan = nullptr);
 
   // Non-copyable, non-movable: the MSR observer and telemetry adapter
   // hold back-pointers to this object.
@@ -81,6 +102,9 @@ class MachineModel {
   DeploymentMode mode() const { return mode_; }
   const PlatformConfig& platform() const { return platform_; }
   const LimoncelloDaemon* daemon() const { return daemon_.get(); }
+  // Null unless a FaultPlan was supplied.
+  const FaultInjector* injector() const { return injector_.get(); }
+  const FaultRecovery& fault_recovery() const { return recovery_; }
 
   // Estimated additional CPU-utilization cost of adding `share` of the
   // given service (used by the scheduler for placement).
@@ -129,12 +153,21 @@ class MachineModel {
   // per machine-tick (assign() keeps the capacity).
   std::vector<TaskLoad> tick_loads_;
 
-  // Control plane (real Limoncello components).
+  // Control plane (real Limoncello components). The fault decorators sit
+  // between the daemon and the real device/telemetry when a plan is
+  // given; declaration order matters (prefetch_control_ may point at the
+  // decorator, which wraps msr_).
   SimulatedMsrDevice msr_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<FaultyMsrDevice> faulty_msr_;
   PrefetchControl prefetch_control_;
   std::unique_ptr<TelemetryAdapter> telemetry_;
+  std::unique_ptr<FaultyUtilizationSource> faulty_telemetry_;
   std::unique_ptr<MsrPrefetchActuator> actuator_;
   std::unique_ptr<LimoncelloDaemon> daemon_;
+  FaultRecovery recovery_;
+  // Length of the currently open divergence episode, in ticks.
+  std::uint64_t divergence_run_ = 0;
 
   bool prefetchers_on_ = true;
   bool soft_prefetch_on_ = false;

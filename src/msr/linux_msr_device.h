@@ -21,7 +21,8 @@ class LinuxMsrDevice : public MsrDevice {
 
   int num_cpus() const override { return num_cpus_; }
   std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) override;
-  bool Write(int cpu, MsrRegister reg, std::uint64_t value) override;
+  [[nodiscard]] bool Write(int cpu, MsrRegister reg,
+                           std::uint64_t value) override;
 
   // True if at least one MSR device node could be opened for reading.
   bool available() const { return num_cpus_ > 0; }

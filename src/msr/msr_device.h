@@ -25,8 +25,11 @@ class MsrDevice {
   // Reads the register on the given CPU. nullopt on failure.
   virtual std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) = 0;
 
-  // Writes the register on the given CPU. false on failure.
-  virtual bool Write(int cpu, MsrRegister reg, std::uint64_t value) = 0;
+  // Writes the register on the given CPU. false on failure. Callers must
+  // check the result (enforced by limolint's unchecked-msr-write rule):
+  // cores go offline and MSR writes fail in production.
+  [[nodiscard]] virtual bool Write(int cpu, MsrRegister reg,
+                                   std::uint64_t value) = 0;
 };
 
 }  // namespace limoncello

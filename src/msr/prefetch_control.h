@@ -55,10 +55,12 @@ class PrefetchControl {
   PrefetchControl(MsrDevice* device, PlatformMsrLayout layout, int first_cpu,
                   int num_cpus);
 
-  // Returns the number of CPUs successfully written.
-  int DisableAll();
-  int EnableAll();
-  int SetEngine(PrefetchEngine engine, bool enabled);
+  // Returns the number of CPUs successfully written. Callers must check
+  // the count against the expected CPU total (limolint's
+  // unchecked-msr-write rule flags silently dropped results).
+  [[nodiscard]] int DisableAll();
+  [[nodiscard]] int EnableAll();
+  [[nodiscard]] int SetEngine(PrefetchEngine engine, bool enabled);
 
   // True iff every engine is enabled on every (readable) CPU. nullopt if no
   // CPU could be read.

@@ -38,6 +38,10 @@ void SimulatedMsrDevice::AddWriteObserver(WriteObserver observer) {
   observers_.push_back(std::move(observer));
 }
 
+void SimulatedMsrDevice::ResetToPowerOn() {
+  for (auto& file : regs_) file.clear();
+}
+
 void SimulatedMsrDevice::FailCpu(int cpu) {
   LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
   failed_[static_cast<std::size_t>(cpu)] = true;

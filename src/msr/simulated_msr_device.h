@@ -26,13 +26,19 @@ class SimulatedMsrDevice : public MsrDevice {
 
   int num_cpus() const override { return static_cast<int>(regs_.size()); }
   std::optional<std::uint64_t> Read(int cpu, MsrRegister reg) override;
-  bool Write(int cpu, MsrRegister reg, std::uint64_t value) override;
+  [[nodiscard]] bool Write(int cpu, MsrRegister reg,
+                           std::uint64_t value) override;
 
   void AddWriteObserver(WriteObserver observer);
 
   // Failure injection: reads/writes to the given CPU fail until cleared.
   void FailCpu(int cpu);
   void UnfailCpu(int cpu);
+
+  // Clears every register file back to the unwritten state, as a reboot
+  // does (observers and failure flags are kept; no observers fire — the
+  // reset is silent, which is exactly what makes reboots dangerous).
+  void ResetToPowerOn();
 
   // Test introspection: value last written (0 if never), write count.
   std::uint64_t PeekRaw(int cpu, MsrRegister reg) const;

@@ -44,7 +44,9 @@ Socket::Socket(const SocketConfig& config, std::size_t num_functions,
   // bits must be set to match (the register file zero-initializes).
   if (!msr_map_.set_bit_disables) {
     for (int cpu = 0; cpu < config_.num_cores; ++cpu) {
-      msr_.Write(cpu, msr_map_.reg, msr_map_.engine_mask);
+      // The device was just constructed with no failed CPUs, so the
+      // power-on writes cannot fail.
+      LIMONCELLO_CHECK(msr_.Write(cpu, msr_map_.reg, msr_map_.engine_mask));
     }
   }
 }

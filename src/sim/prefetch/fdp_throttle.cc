@@ -88,7 +88,9 @@ int FdpThrottle::Tick() {
     ++adjustments_;
     const std::uint64_t bits = DisableBitsForLevel(level_);
     for (int cpu = 0; cpu < socket_->config().num_cores; ++cpu) {
-      socket_->msr_device().Write(cpu, 0x1a4, bits);
+      // A core whose write fails keeps its previous throttle level; the
+      // next adjustment interval writes the then-current level again.
+      if (!socket_->msr_device().Write(cpu, 0x1a4, bits)) continue;
     }
   }
   return level_;

@@ -1,0 +1,264 @@
+// Robustness-path tests for LimoncelloDaemon: invalid/stale sample
+// rejection, capped exponential actuation backoff, and reboot detection
+// via MSR readback. The happy path lives in daemon_test.cc.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <limits>
+
+#include "core/daemon.h"
+#include "msr/simulated_msr_device.h"
+
+namespace limoncello {
+namespace {
+
+// Scripted telemetry; once the script is drained, returns the fallback
+// with a tiny growing jitter so constant-load tests don't trip the
+// frozen-exporter detector by accident.
+class FakeTelemetry : public UtilizationSource {
+ public:
+  std::optional<double> SampleUtilization() override {
+    if (!samples_.empty()) {
+      const std::optional<double> s = samples_.front();
+      samples_.pop_front();
+      return s;
+    }
+    jitter_ += 1e-9;
+    return fallback_ + jitter_;
+  }
+
+  void Push(std::optional<double> sample) { samples_.push_back(sample); }
+  void PushN(std::optional<double> sample, int n) {
+    for (int i = 0; i < n; ++i) Push(sample);
+  }
+  void set_fallback(double f) { fallback_ = f; }
+
+ private:
+  std::deque<std::optional<double>> samples_;
+  double fallback_ = 0.7;
+  double jitter_ = 0.0;
+};
+
+// Actuator with failure injection and a scriptable readback result.
+class FakeActuator : public PrefetchActuator {
+ public:
+  bool DisablePrefetchers() override {
+    ++disable_calls;
+    if (fail_next > 0) {
+      --fail_next;
+      return false;
+    }
+    enabled = false;
+    return true;
+  }
+  bool EnablePrefetchers() override {
+    ++enable_calls;
+    if (fail_next > 0) {
+      --fail_next;
+      return false;
+    }
+    enabled = true;
+    return true;
+  }
+  std::optional<bool> StateMatches(bool want_enabled) override {
+    ++state_match_calls;
+    if (!matches.has_value()) return std::nullopt;
+    (void)want_enabled;
+    return matches;
+  }
+
+  int disable_calls = 0;
+  int enable_calls = 0;
+  int state_match_calls = 0;
+  int fail_next = 0;
+  bool enabled = true;
+  std::optional<bool> matches;  // readback result; nullopt = unknown
+};
+
+ControllerConfig RobustConfig() {
+  ControllerConfig config;
+  config.upper_threshold = 0.8;
+  config.lower_threshold = 0.6;
+  config.sustain_duration_ns = 2 * kNsPerSec;
+  config.tick_period_ns = kNsPerSec;
+  config.max_missed_samples = 3;
+  config.retry_backoff_cap_ticks = 8;
+  config.max_stale_samples = 4;
+  config.readback_period_ticks = 0;  // off unless a test enables it
+  return config;
+}
+
+void RunTicks(LimoncelloDaemon& daemon, int first, int count) {
+  for (int i = 0; i < count; ++i) {
+    daemon.RunTick(static_cast<SimTimeNs>(first + i) * kNsPerSec);
+  }
+}
+
+TEST(DaemonFaultTest, InvalidSamplesAreRejectedWithoutActuating) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  telemetry.Push(std::numeric_limits<double>::quiet_NaN());
+  telemetry.Push(0.70);
+  telemetry.Push(std::numeric_limits<double>::infinity());
+  telemetry.Push(0.71);
+  telemetry.Push(-0.5);
+  telemetry.Push(0.72);
+  telemetry.Push(20.0);  // an order of magnitude past saturation
+  telemetry.Push(0.73);
+  RunTicks(daemon, 0, 8);
+  EXPECT_EQ(daemon.stats().invalid_samples, 4u);
+  EXPECT_EQ(daemon.stats().missed_samples, 4u);
+  EXPECT_EQ(daemon.stats().failsafe_resets, 0u);  // never 3 in a row
+  EXPECT_EQ(actuator.disable_calls, 0);
+  EXPECT_EQ(actuator.enable_calls, 0);
+}
+
+TEST(DaemonFaultTest, ConsecutiveInvalidSamplesFeedTheFailsafe) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  telemetry.Push(0.9);
+  telemetry.Push(0.91);
+  RunTicks(daemon, 0, 2);
+  ASSERT_FALSE(actuator.enabled);  // driven to disabled
+
+  telemetry.Push(std::numeric_limits<double>::quiet_NaN());
+  telemetry.Push(std::numeric_limits<double>::infinity());
+  telemetry.Push(99.0);
+  RunTicks(daemon, 2, 3);
+  EXPECT_EQ(daemon.stats().invalid_samples, 3u);
+  EXPECT_EQ(daemon.stats().failsafe_resets, 1u);
+  EXPECT_TRUE(actuator.enabled);  // failed safe back to the default
+}
+
+TEST(DaemonFaultTest, FrozenExporterIsRejectedAfterStaleThreshold) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  telemetry.PushN(0.7, 12);  // bit-identical run
+  RunTicks(daemon, 0, 12);
+  // Samples 5.. are rejected (run >= max_stale_samples), so the missed
+  // path accumulates and the failsafe fires.
+  EXPECT_GE(daemon.stats().stale_samples, 3u);
+  EXPECT_GE(daemon.stats().failsafe_resets, 1u);
+}
+
+TEST(DaemonFaultTest, JitteringTelemetryIsNeverStale) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  RunTicks(daemon, 0, 50);  // fallback jitters on every sample
+  EXPECT_EQ(daemon.stats().stale_samples, 0u);
+  EXPECT_EQ(daemon.stats().missed_samples, 0u);
+}
+
+TEST(DaemonFaultTest, GapBreaksAStaleRun) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  for (int i = 0; i < 10; ++i) {
+    telemetry.PushN(0.7, 2);  // short identical runs...
+    telemetry.Push(std::nullopt);  // ...separated by dropouts
+  }
+  RunTicks(daemon, 0, 30);
+  EXPECT_EQ(daemon.stats().stale_samples, 0u);
+  EXPECT_EQ(daemon.stats().missed_samples, 10u);
+  EXPECT_EQ(daemon.stats().failsafe_resets, 0u);
+}
+
+TEST(DaemonFaultTest, RetryBacksOffExponentiallyUpToTheCap) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  actuator.fail_next = 1000;  // persistent actuation failure
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  telemetry.Push(0.9);
+  telemetry.Push(0.91);
+  // Attempt schedule: tick 1 (fresh), then retries at 2, 4, 8, 16, 24
+  // (delays 1, 2, 4, 8, 8 — capped).
+  RunTicks(daemon, 0, 25);
+  EXPECT_EQ(actuator.disable_calls, 6);
+  EXPECT_EQ(daemon.stats().actuation_failures, 6u);
+  EXPECT_EQ(daemon.stats().retry_backoff_skips, 18u);
+  EXPECT_TRUE(actuator.enabled);  // still never took effect
+
+  // The fault clears: the next scheduled retry (tick 32) lands.
+  actuator.fail_next = 0;
+  RunTicks(daemon, 25, 8);
+  EXPECT_EQ(actuator.disable_calls, 7);
+  EXPECT_FALSE(actuator.enabled);
+  // Converged: no further retries.
+  RunTicks(daemon, 33, 5);
+  EXPECT_EQ(actuator.disable_calls, 7);
+}
+
+TEST(DaemonFaultTest, RebootIsDetectedByReadbackAndStateReasserted) {
+  SimulatedMsrDevice device(4);
+  PrefetchControl control(&device, PlatformMsrLayout::kIntelStyle, 0, 4);
+  MsrPrefetchActuator actuator(&control, 4);
+  FakeTelemetry telemetry;
+  ControllerConfig config = RobustConfig();
+  config.readback_period_ticks = 4;
+  LimoncelloDaemon daemon(config, &telemetry, &actuator);
+
+  telemetry.Push(0.9);
+  telemetry.Push(0.91);
+  RunTicks(daemon, 0, 2);
+  ASSERT_EQ(control.AllDisabled(), true);
+
+  // A reboot silently restores the BIOS default (Intel: all enabled) —
+  // no observer fires, the daemon is not told.
+  device.ResetToPowerOn();
+  ASSERT_EQ(control.AllEnabled(), true);
+
+  // The next readback tick (stats.ticks % 4 == 0) catches the mismatch
+  // and re-asserts the FSM's intent.
+  RunTicks(daemon, 2, 2);
+  EXPECT_EQ(daemon.stats().reboots_detected, 1u);
+  EXPECT_EQ(daemon.stats().state_reasserts, 1u);
+  EXPECT_EQ(control.AllDisabled(), true);
+}
+
+TEST(DaemonFaultTest, ReadbackIsSkippedWhileARetryIsPending) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  actuator.matches = true;
+  actuator.fail_next = 1000;
+  ControllerConfig config = RobustConfig();
+  config.readback_period_ticks = 1;  // would otherwise fire every tick
+  LimoncelloDaemon daemon(config, &telemetry, &actuator);
+  telemetry.Push(0.9);
+  telemetry.Push(0.91);
+  RunTicks(daemon, 0, 2);  // disable fails, retry armed
+  ASSERT_GT(daemon.stats().actuation_failures, 0u);
+
+  actuator.matches = false;  // a consulted readback would cry reboot
+  const int calls_before = actuator.state_match_calls;
+  RunTicks(daemon, 2, 8);
+  EXPECT_EQ(actuator.state_match_calls, calls_before);
+  EXPECT_EQ(daemon.stats().reboots_detected, 0u);
+  EXPECT_GT(daemon.stats().retry_backoff_skips, 0u);
+}
+
+TEST(DaemonFaultTest, StateListenerFiresOnlyOnSuccessfulActuation) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  actuator.fail_next = 1;
+  LimoncelloDaemon daemon(RobustConfig(), &telemetry, &actuator);
+  int listener_calls = 0;
+  bool last_state = true;
+  daemon.SetStateListener([&](bool enabled) {
+    ++listener_calls;
+    last_state = enabled;
+  });
+  telemetry.Push(0.9);
+  telemetry.Push(0.91);
+  RunTicks(daemon, 0, 2);
+  EXPECT_EQ(listener_calls, 0);  // the failed write must not notify
+  RunTicks(daemon, 2, 1);  // retry succeeds
+  EXPECT_EQ(listener_calls, 1);
+  EXPECT_FALSE(last_state);
+}
+
+}  // namespace
+}  // namespace limoncello

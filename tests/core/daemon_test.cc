@@ -65,6 +65,9 @@ ControllerConfig FastConfig() {
   config.sustain_duration_ns = 2 * kNsPerSec;
   config.tick_period_ns = kNsPerSec;
   config.max_missed_samples = 3;
+  // Legacy every-tick retry; exponential backoff is exercised separately
+  // in daemon_fault_test.
+  config.retry_backoff_cap_ticks = 1;
   return config;
 }
 

@@ -1,0 +1,187 @@
+#include "faults/fault_injector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "msr/simulated_msr_device.h"
+
+namespace limoncello {
+namespace {
+
+constexpr MsrRegister kReg = 0x1a4;
+
+TEST(FaultInjectorTest, EmptyPlanIsTransparent) {
+  const FaultPlan plan;
+  FaultInjector injector(&plan);
+  for (int t = 0; t < 10; ++t) {
+    injector.BeginTick();
+    EXPECT_FALSE(injector.MachineDown());
+    EXPECT_EQ(injector.FilterSample(0.5), 0.5);
+    EXPECT_FALSE(injector.WriteFaulted(0, 4));
+    EXPECT_FALSE(injector.ReadFaulted(3, 4));
+  }
+  EXPECT_FALSE(injector.stats().Any());
+  EXPECT_EQ(injector.tick(), 9);
+}
+
+TEST(FaultInjectorTest, DropoutWindowDropsSamples) {
+  FaultPlan plan;
+  plan.AddTelemetryFault({2, 3, TelemetryFaultKind::kDropout, 0.0});
+  FaultInjector injector(&plan);
+  for (int t = 0; t < 7; ++t) {
+    injector.BeginTick();
+    const std::optional<double> out = injector.FilterSample(0.5);
+    if (t >= 2 && t < 5) {
+      EXPECT_FALSE(out.has_value()) << "tick " << t;
+    } else {
+      EXPECT_EQ(out, 0.5) << "tick " << t;
+    }
+  }
+  EXPECT_EQ(injector.stats().telemetry_faults, 3u);
+}
+
+TEST(FaultInjectorTest, NanAndInfCorruptSingleSamples) {
+  FaultPlan plan;
+  plan.AddTelemetryFault({1, 1, TelemetryFaultKind::kNan, 0.0});
+  plan.AddTelemetryFault({3, 1, TelemetryFaultKind::kInf, 0.0});
+  FaultInjector injector(&plan);
+  injector.BeginTick();  // tick 0
+  EXPECT_EQ(injector.FilterSample(0.4), 0.4);
+  injector.BeginTick();  // tick 1
+  const std::optional<double> nan = injector.FilterSample(0.4);
+  ASSERT_TRUE(nan.has_value());
+  EXPECT_TRUE(std::isnan(*nan));
+  injector.BeginTick();  // tick 2
+  EXPECT_EQ(injector.FilterSample(0.4), 0.4);
+  injector.BeginTick();  // tick 3
+  const std::optional<double> inf = injector.FilterSample(0.4);
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_TRUE(std::isinf(*inf));
+}
+
+TEST(FaultInjectorTest, StaleWindowFreezesLastGoodSampleBitwise) {
+  FaultPlan plan;
+  plan.AddTelemetryFault({1, 3, TelemetryFaultKind::kStale, 0.0});
+  FaultInjector injector(&plan);
+  injector.BeginTick();
+  EXPECT_EQ(injector.FilterSample(0.25), 0.25);  // last good = 0.25
+  const double fresh[] = {0.5, 0.6, 0.7};
+  for (double sample : fresh) {
+    injector.BeginTick();
+    EXPECT_EQ(injector.FilterSample(sample), 0.25);
+  }
+  injector.BeginTick();
+  EXPECT_EQ(injector.FilterSample(0.8), 0.8);  // window over
+}
+
+TEST(FaultInjectorTest, SpikeMultipliesTheSample) {
+  FaultPlan plan;
+  plan.AddTelemetryFault({0, 1, TelemetryFaultKind::kSpike, 25.0});
+  FaultInjector injector(&plan);
+  injector.BeginTick();
+  EXPECT_EQ(injector.FilterSample(0.5), 12.5);
+  injector.BeginTick();
+  EXPECT_EQ(injector.FilterSample(0.5), 0.5);
+}
+
+TEST(FaultInjectorTest, TransientMsrFaultFailsAllWritesButNoReads) {
+  FaultPlan plan;
+  plan.AddMsrWriteFault({1, 1, -1});
+  FaultInjector injector(&plan);
+  injector.BeginTick();  // tick 0
+  EXPECT_FALSE(injector.WriteFaulted(0, 4));
+  injector.BeginTick();  // tick 1
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_TRUE(injector.WriteFaulted(cpu, 4));
+    EXPECT_FALSE(injector.ReadFaulted(cpu, 4));
+  }
+  injector.BeginTick();  // tick 2
+  EXPECT_FALSE(injector.WriteFaulted(0, 4));
+  EXPECT_EQ(injector.stats().msr_write_faults, 4u);
+  EXPECT_EQ(injector.stats().msr_read_faults, 0u);
+}
+
+TEST(FaultInjectorTest, CoreFaultFailsReadsAndWritesOnOneCpuOnly) {
+  FaultPlan plan;
+  plan.AddMsrWriteFault({0, 2, /*cpu=*/5});  // 5 % 4 == 1
+  FaultInjector injector(&plan);
+  for (int t = 0; t < 2; ++t) {
+    injector.BeginTick();
+    for (int cpu = 0; cpu < 4; ++cpu) {
+      EXPECT_EQ(injector.WriteFaulted(cpu, 4), cpu == 1);
+      EXPECT_EQ(injector.ReadFaulted(cpu, 4), cpu == 1);
+    }
+  }
+  injector.BeginTick();
+  EXPECT_FALSE(injector.WriteFaulted(1, 4));
+  EXPECT_EQ(injector.stats().msr_write_faults, 2u);
+  EXPECT_EQ(injector.stats().msr_read_faults, 2u);
+}
+
+TEST(FaultInjectorTest, CrashMarksDownThenFiresRebootCallback) {
+  FaultPlan plan;
+  plan.AddCrash({2, 2});
+  FaultInjector injector(&plan);
+  int reboots = 0;
+  injector.SetRebootCallback([&] { ++reboots; });
+  for (int t = 0; t < 6; ++t) {
+    injector.BeginTick();
+    EXPECT_EQ(injector.MachineDown(), t == 2 || t == 3) << "tick " << t;
+    if (t < 4) EXPECT_EQ(reboots, 0);
+  }
+  EXPECT_EQ(reboots, 1);  // fired once, at the start of tick 4
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().reboots, 1u);
+}
+
+TEST(FaultInjectorTest, FaultyMsrDeviceFailsEverythingWhileDown) {
+  FaultPlan plan;
+  plan.AddCrash({1, 1});
+  FaultInjector injector(&plan);
+  SimulatedMsrDevice inner(2);
+  FaultyMsrDevice device(&inner, &injector);
+  EXPECT_EQ(device.num_cpus(), 2);
+
+  injector.BeginTick();  // tick 0: up
+  EXPECT_TRUE(device.Write(0, kReg, 0xf));
+  EXPECT_EQ(device.Read(0, kReg), 0xfu);
+
+  injector.BeginTick();  // tick 1: down
+  EXPECT_FALSE(device.Write(0, kReg, 0x0));
+  EXPECT_FALSE(device.Read(0, kReg).has_value());
+  // Downtime failures are not injected-MSR-fault stats: the machine is
+  // simply off.
+  EXPECT_EQ(injector.stats().msr_write_faults, 0u);
+
+  injector.BeginTick();  // tick 2: back up, register survived
+  EXPECT_EQ(device.Read(0, kReg), 0xfu);
+}
+
+TEST(FaultInjectorTest, FaultyUtilizationSourceAlwaysSamplesInner) {
+  // The decorator must sample the inner source even while a fault is
+  // active, so any RNG the source consumes advances identically with and
+  // without faults.
+  class CountingSource : public UtilizationSource {
+   public:
+    std::optional<double> SampleUtilization() override {
+      ++samples;
+      return 0.5;
+    }
+    int samples = 0;
+  };
+  FaultPlan plan;
+  plan.AddTelemetryFault({0, 2, TelemetryFaultKind::kDropout, 0.0});
+  FaultInjector injector(&plan);
+  CountingSource inner;
+  FaultyUtilizationSource source(&inner, &injector);
+  for (int t = 0; t < 4; ++t) {
+    injector.BeginTick();
+    const std::optional<double> out = source.SampleUtilization();
+    EXPECT_EQ(out.has_value(), t >= 2);
+  }
+  EXPECT_EQ(inner.samples, 4);
+}
+
+}  // namespace
+}  // namespace limoncello

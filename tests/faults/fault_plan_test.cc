@@ -1,0 +1,172 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace limoncello {
+namespace {
+
+FaultSpec BusySpec() {
+  FaultSpec spec;
+  spec.telemetry_dropout_rate = 0.05;
+  spec.telemetry_nan_rate = 0.05;
+  spec.telemetry_stale_rate = 0.03;
+  spec.telemetry_spike_rate = 0.03;
+  spec.msr_transient_rate = 0.05;
+  spec.msr_core_fault_rate = 0.03;
+  spec.crash_rate = 0.02;
+  return spec;
+}
+
+void ExpectPlansEqual(const FaultPlan& a, const FaultPlan& b) {
+  ASSERT_EQ(a.telemetry_faults().size(), b.telemetry_faults().size());
+  for (std::size_t i = 0; i < a.telemetry_faults().size(); ++i) {
+    const TelemetryFault& x = a.telemetry_faults()[i];
+    const TelemetryFault& y = b.telemetry_faults()[i];
+    EXPECT_EQ(x.tick, y.tick);
+    EXPECT_EQ(x.duration_ticks, y.duration_ticks);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.magnitude, y.magnitude);
+  }
+  ASSERT_EQ(a.msr_faults().size(), b.msr_faults().size());
+  for (std::size_t i = 0; i < a.msr_faults().size(); ++i) {
+    EXPECT_EQ(a.msr_faults()[i].tick, b.msr_faults()[i].tick);
+    EXPECT_EQ(a.msr_faults()[i].duration_ticks,
+              b.msr_faults()[i].duration_ticks);
+    EXPECT_EQ(a.msr_faults()[i].cpu, b.msr_faults()[i].cpu);
+  }
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].tick, b.crashes()[i].tick);
+    EXPECT_EQ(a.crashes()[i].down_ticks, b.crashes()[i].down_ticks);
+  }
+}
+
+TEST(FaultPlanTest, DefaultSpecGeneratesNothing) {
+  const FaultPlan plan = FaultPlan::Generate(FaultSpec{}, 1000, Rng(7));
+  EXPECT_TRUE(plan.Empty());
+  EXPECT_FALSE(FaultSpec{}.Any());
+  EXPECT_TRUE(BusySpec().Any());
+}
+
+TEST(FaultPlanTest, GenerateIsAPureFunctionOfSpecHorizonAndSeed) {
+  const FaultPlan a = FaultPlan::Generate(BusySpec(), 500, Rng(99));
+  const FaultPlan b = FaultPlan::Generate(BusySpec(), 500, Rng(99));
+  EXPECT_FALSE(a.Empty());
+  ExpectPlansEqual(a, b);
+}
+
+TEST(FaultPlanTest, DifferentSeedsGiveDifferentSchedules) {
+  const FaultPlan a = FaultPlan::Generate(BusySpec(), 500, Rng(1));
+  const FaultPlan b = FaultPlan::Generate(BusySpec(), 500, Rng(2));
+  // With these rates over 500 ticks, identical schedules would require an
+  // astronomically unlikely collision.
+  const bool same_sizes =
+      a.telemetry_faults().size() == b.telemetry_faults().size() &&
+      a.msr_faults().size() == b.msr_faults().size() &&
+      a.crashes().size() == b.crashes().size();
+  bool identical = same_sizes;
+  if (same_sizes) {
+    for (std::size_t i = 0; i < a.telemetry_faults().size(); ++i) {
+      identical &= a.telemetry_faults()[i].tick ==
+                   b.telemetry_faults()[i].tick;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(FaultPlanTest, EventsStayWithinHorizonAndMaxFaultTick) {
+  FaultSpec spec = BusySpec();
+  spec.max_fault_tick = 60;
+  const FaultPlan plan = FaultPlan::Generate(spec, 400, Rng(13));
+  ASSERT_FALSE(plan.Empty());
+  for (const TelemetryFault& f : plan.telemetry_faults()) {
+    EXPECT_GE(f.tick, 0);
+    EXPECT_LE(f.tick, 60);
+  }
+  for (const MsrWriteFault& f : plan.msr_faults()) EXPECT_LE(f.tick, 60);
+  for (const CrashFault& f : plan.crashes()) EXPECT_LE(f.tick, 60);
+
+  const FaultPlan unbounded = FaultPlan::Generate(BusySpec(), 400, Rng(13));
+  for (const TelemetryFault& f : unbounded.telemetry_faults()) {
+    EXPECT_LT(f.tick, 400);
+  }
+}
+
+TEST(FaultPlanTest, WindowsOfOneCategoryNeverOverlap) {
+  FaultSpec spec = BusySpec();
+  // Push the rates up so overlap would certainly occur without the
+  // per-category window accounting.
+  spec.telemetry_dropout_rate = 0.5;
+  spec.msr_core_fault_rate = 0.5;
+  spec.crash_rate = 0.5;
+  const FaultPlan plan = FaultPlan::Generate(spec, 300, Rng(21));
+  for (std::size_t i = 1; i < plan.telemetry_faults().size(); ++i) {
+    const TelemetryFault& prev = plan.telemetry_faults()[i - 1];
+    EXPECT_GE(plan.telemetry_faults()[i].tick,
+              prev.tick + std::max(1, prev.duration_ticks));
+  }
+  for (std::size_t i = 1; i < plan.msr_faults().size(); ++i) {
+    const MsrWriteFault& prev = plan.msr_faults()[i - 1];
+    EXPECT_GE(plan.msr_faults()[i].tick,
+              prev.tick + std::max(1, prev.duration_ticks));
+  }
+  for (std::size_t i = 1; i < plan.crashes().size(); ++i) {
+    const CrashFault& prev = plan.crashes()[i - 1];
+    // Crashes additionally leave a one-tick gap for the reboot.
+    EXPECT_GE(plan.crashes()[i].tick,
+              prev.tick + std::max(1, prev.down_ticks) + 1);
+  }
+}
+
+TEST(FaultPlanTest, HigherRatesYieldMoreEvents) {
+  FaultSpec sparse;
+  sparse.telemetry_dropout_rate = 0.005;
+  FaultSpec dense;
+  dense.telemetry_dropout_rate = 0.2;
+  const FaultPlan a = FaultPlan::Generate(sparse, 2000, Rng(5));
+  const FaultPlan b = FaultPlan::Generate(dense, 2000, Rng(5));
+  EXPECT_GT(b.telemetry_faults().size(), a.telemetry_faults().size());
+}
+
+TEST(FaultPlanTest, NanRateProducesBothNanAndInfSamples) {
+  FaultSpec spec;
+  spec.telemetry_nan_rate = 0.3;
+  const FaultPlan plan = FaultPlan::Generate(spec, 1000, Rng(3));
+  int nans = 0;
+  int infs = 0;
+  for (const TelemetryFault& f : plan.telemetry_faults()) {
+    nans += f.kind == TelemetryFaultKind::kNan ? 1 : 0;
+    infs += f.kind == TelemetryFaultKind::kInf ? 1 : 0;
+  }
+  EXPECT_GT(nans, 0);
+  EXPECT_GT(infs, 0);
+  EXPECT_EQ(nans + infs,
+            static_cast<int>(plan.telemetry_faults().size()));
+}
+
+TEST(FaultPlanTest, ScriptedConstructionKeepsEventsInOrder) {
+  FaultPlan plan;
+  plan.AddTelemetryFault({2, 3, TelemetryFaultKind::kDropout, 0.0});
+  plan.AddTelemetryFault({10, 1, TelemetryFaultKind::kSpike, 25.0});
+  plan.AddMsrWriteFault({4, 2, -1});
+  plan.AddCrash({20, 5});
+  EXPECT_FALSE(plan.Empty());
+  ASSERT_EQ(plan.telemetry_faults().size(), 2u);
+  EXPECT_EQ(plan.telemetry_faults()[1].tick, 10);
+  EXPECT_EQ(plan.telemetry_faults()[1].kind, TelemetryFaultKind::kSpike);
+  ASSERT_EQ(plan.msr_faults().size(), 1u);
+  ASSERT_EQ(plan.crashes().size(), 1u);
+  EXPECT_EQ(plan.crashes()[0].down_ticks, 5);
+}
+
+TEST(FaultPlanTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(TelemetryFaultKindName(TelemetryFaultKind::kDropout),
+               TelemetryFaultKindName(TelemetryFaultKind::kNan));
+  EXPECT_STRNE(TelemetryFaultKindName(TelemetryFaultKind::kStale),
+               TelemetryFaultKindName(TelemetryFaultKind::kSpike));
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,160 @@
+// Fleet-scale chaos test: a deterministic fault load (telemetry
+// corruption, MSR write failures, crash/reboot cycles) across the fleet
+// must complete cleanly, every daemon must reconverge once the fault
+// window closes, and the run must stay bit-identical at any thread count
+// — the determinism contract extends to fault injection.
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_simulator.h"
+
+namespace limoncello {
+namespace {
+
+FaultSpec ChaosSpec() {
+  FaultSpec faults;
+  faults.telemetry_dropout_rate = 0.01;
+  faults.telemetry_nan_rate = 0.005;
+  faults.telemetry_stale_rate = 0.004;
+  faults.telemetry_spike_rate = 0.004;
+  faults.msr_transient_rate = 0.008;
+  faults.msr_core_fault_rate = 0.004;
+  faults.crash_rate = 0.004;
+  // Quiet tail: no new fault may start after tick 340, so by the end of
+  // the run every machine has had time to reconverge.
+  faults.max_fault_tick = 340;
+  return faults;
+}
+
+FleetOptions ChaosFleet(int num_threads) {
+  FleetOptions options;
+  options.num_machines = 48;
+  options.ticks = 400;
+  options.fill = 0.75;  // high enough that controllers actually toggle
+  options.seed = 42;
+  options.diurnal_period_ns = 400LL * kNsPerSec;
+  options.num_threads = num_threads;
+  options.faults = ChaosSpec();
+  return options;
+}
+
+ControllerConfig ChaosController() {
+  ControllerConfig config;
+  config.sustain_duration_ns = 3 * kNsPerSec;
+  return config;
+}
+
+// Bit-identical comparison (EXPECT_EQ on doubles is deliberate),
+// covering the fault-load metrics on top of the performance ones.
+void ExpectIdenticalChaos(const FleetMetrics& a, const FleetMetrics& b) {
+  EXPECT_EQ(a.machine_ticks, b.machine_ticks);
+  EXPECT_EQ(a.saturated_machine_ticks, b.saturated_machine_ticks);
+  EXPECT_EQ(a.prefetcher_off_ticks, b.prefetcher_off_ticks);
+  EXPECT_EQ(a.controller_toggles, b.controller_toggles);
+  EXPECT_EQ(a.served_qps_sum, b.served_qps_sum);
+  EXPECT_EQ(a.offered_qps_sum, b.offered_qps_sum);
+  EXPECT_EQ(a.down_machine_ticks, b.down_machine_ticks);
+  EXPECT_EQ(a.diverged_machine_ticks, b.diverged_machine_ticks);
+  EXPECT_EQ(a.reconverge_events, b.reconverge_events);
+  EXPECT_EQ(a.reconverge_ticks_sum, b.reconverge_ticks_sum);
+  EXPECT_EQ(a.max_reconverge_ticks, b.max_reconverge_ticks);
+  EXPECT_EQ(a.telemetry_faults_injected, b.telemetry_faults_injected);
+  EXPECT_EQ(a.msr_write_faults_injected, b.msr_write_faults_injected);
+  EXPECT_EQ(a.crashes_injected, b.crashes_injected);
+  EXPECT_EQ(a.reboots_completed, b.reboots_completed);
+  EXPECT_EQ(a.failsafe_resets, b.failsafe_resets);
+  EXPECT_EQ(a.reboots_detected, b.reboots_detected);
+  EXPECT_EQ(a.state_reasserts, b.state_reasserts);
+  for (auto histogram_member :
+       {&FleetMetrics::bandwidth_gbps, &FleetMetrics::bandwidth_utilization,
+        &FleetMetrics::latency_ns}) {
+    const Histogram& x = a.*histogram_member;
+    const Histogram& y = b.*histogram_member;
+    EXPECT_EQ(x.Count(), y.Count());
+    EXPECT_EQ(x.Mean(), y.Mean());
+    EXPECT_EQ(x.Stddev(), y.Stddev());
+    EXPECT_EQ(x.Percentile(99), y.Percentile(99));
+  }
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (std::size_t m = 0; m < a.machines.size(); ++m) {
+    EXPECT_EQ(a.machines[m].cpu_utilization_sum,
+              b.machines[m].cpu_utilization_sum);
+    EXPECT_EQ(a.machines[m].offered_qps_sum, b.machines[m].offered_qps_sum);
+    EXPECT_EQ(a.machines[m].ticks, b.machines[m].ticks);
+    EXPECT_EQ(a.machines[m].prefetcher_off_ticks,
+              b.machines[m].prefetcher_off_ticks);
+  }
+}
+
+TEST(FleetChaosTest, FaultFreeRunReportsNoFaultMetrics) {
+  FleetOptions options;
+  options.num_machines = 10;
+  options.ticks = 30;
+  options.diurnal_period_ns = 30LL * kNsPerSec;
+  options.num_threads = 1;
+  FleetSimulator sim(PlatformConfig::Platform1(),
+                     DeploymentMode::kHardLimoncello, ChaosController(),
+                     options);
+  for (const auto& machine : sim.machines()) {
+    EXPECT_EQ(machine->injector(), nullptr);
+  }
+  const FleetMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.down_machine_ticks, 0u);
+  EXPECT_EQ(metrics.telemetry_faults_injected, 0u);
+  EXPECT_EQ(metrics.crashes_injected, 0u);
+  EXPECT_DOUBLE_EQ(metrics.Availability(), 1.0);
+}
+
+TEST(FleetChaosTest, ChaosRunSurvivesAndReconverges) {
+  FleetSimulator sim(PlatformConfig::Platform1(),
+                     DeploymentMode::kHardLimoncello, ChaosController(),
+                     ChaosFleet(0));
+  const FleetMetrics metrics = sim.Run();
+
+  // The fault load actually landed, and broadly across the fleet.
+  EXPECT_GT(metrics.telemetry_faults_injected, 0u);
+  EXPECT_GT(metrics.msr_write_faults_injected, 0u);
+  EXPECT_GT(metrics.crashes_injected, 0u);
+  int machines_faulted = 0;
+  for (const auto& machine : sim.machines()) {
+    ASSERT_NE(machine->injector(), nullptr);
+    machines_faulted += machine->injector()->stats().Any() ? 1 : 0;
+  }
+  EXPECT_GE(machines_faulted, static_cast<int>(sim.machines().size()) / 10)
+      << "fault load should hit well over 10% of the fleet";
+
+  // Every crash completed its reboot inside the run (quiet tail).
+  EXPECT_EQ(metrics.reboots_completed, metrics.crashes_injected);
+  EXPECT_GT(metrics.down_machine_ticks, 0u);
+  EXPECT_GT(metrics.Availability(), 0.9);
+  EXPECT_LT(metrics.Availability(), 1.0);
+
+  // The hardening paths fired and the fleet healed: every divergence
+  // episode eventually reconverged.
+  EXPECT_GT(metrics.reconverge_events, 0u);
+  EXPECT_GT(metrics.diverged_machine_ticks, 0u);
+  EXPECT_GE(metrics.MeanTicksToReconverge(), 1.0);
+
+  // After the quiet tail every machine is up and its hardware state
+  // agrees with its daemon's intent.
+  for (const auto& machine : sim.machines()) {
+    EXPECT_FALSE(machine->injector()->MachineDown());
+    ASSERT_NE(machine->daemon(), nullptr);
+    EXPECT_EQ(machine->prefetchers_on(),
+              machine->daemon()->controller().PrefetchersShouldBeEnabled());
+  }
+}
+
+TEST(FleetChaosTest, ChaosRunIsBitIdenticalAtAnyThreadCount) {
+  const FleetMetrics serial = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kHardLimoncello,
+      ChaosController(), ChaosFleet(1));
+  const FleetMetrics parallel = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kHardLimoncello,
+      ChaosController(), ChaosFleet(4));
+  ASSERT_GT(serial.machine_ticks, 0u);
+  ASSERT_GT(serial.telemetry_faults_injected, 0u);
+  ExpectIdenticalChaos(serial, parallel);
+}
+
+}  // namespace
+}  // namespace limoncello

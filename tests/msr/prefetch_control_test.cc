@@ -31,23 +31,23 @@ TEST_P(PrefetchControlTest, DisableAllThenAllDisabled) {
 }
 
 TEST_P(PrefetchControlTest, EnableAllAfterDisable) {
-  control_.DisableAll();
+  ASSERT_EQ(control_.DisableAll(), 4);
   EXPECT_EQ(control_.EnableAll(), 4);
   EXPECT_EQ(control_.AllEnabled(), true);
   EXPECT_EQ(control_.AllDisabled(), false);
 }
 
 TEST_P(PrefetchControlTest, ToggleIsIdempotent) {
-  control_.DisableAll();
+  ASSERT_EQ(control_.DisableAll(), 4);
   const std::uint64_t writes_after_first = dev_.write_count();
-  control_.DisableAll();
+  EXPECT_EQ(control_.DisableAll(), 4);
   // Second disable changes nothing: no further writes needed.
   EXPECT_EQ(dev_.write_count(), writes_after_first);
 }
 
 TEST_P(PrefetchControlTest, PerEngineToggle) {
-  control_.EnableAll();
-  control_.SetEngine(PrefetchEngine::kL2Stream, false);
+  ASSERT_EQ(control_.EnableAll(), 4);
+  ASSERT_EQ(control_.SetEngine(PrefetchEngine::kL2Stream, false), 4);
   EXPECT_EQ(control_.EngineEnabled(0, PrefetchEngine::kL2Stream), false);
   EXPECT_EQ(control_.EngineEnabled(0, PrefetchEngine::kL2AdjacentLine),
             true);
@@ -55,7 +55,7 @@ TEST_P(PrefetchControlTest, PerEngineToggle) {
   EXPECT_EQ(control_.AllEnabled(), false);
   EXPECT_EQ(control_.AllDisabled(), false);
 
-  control_.SetEngine(PrefetchEngine::kL2Stream, true);
+  ASSERT_EQ(control_.SetEngine(PrefetchEngine::kL2Stream, true), 4);
   EXPECT_EQ(control_.AllEnabled(), true);
 }
 
@@ -79,9 +79,9 @@ TEST_P(PrefetchControlTest, AllCpusFailedReturnsNullopt) {
 TEST_P(PrefetchControlTest, PreservesUnrelatedRegisterBits) {
   // Other feature bits in the same register must survive the toggles.
   const MsrRegister reg = control_.msr_map().reg;
-  dev_.Write(0, reg, 0xabcd0000u);
-  control_.DisableAll();
-  control_.EnableAll();
+  ASSERT_TRUE(dev_.Write(0, reg, 0xabcd0000u));
+  ASSERT_EQ(control_.DisableAll(), 4);
+  ASSERT_EQ(control_.EnableAll(), 4);
   EXPECT_EQ(dev_.PeekRaw(0, reg) & 0xffff0000u, 0xabcd0000u);
 }
 

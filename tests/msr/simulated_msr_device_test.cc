@@ -48,7 +48,7 @@ TEST(SimulatedMsrDeviceTest, ObserverSeesWrites) {
     last_value = value;
     EXPECT_EQ(reg, kReg);
   });
-  dev.Write(1, kReg, 0xa);
+  EXPECT_TRUE(dev.Write(1, kReg, 0xa));
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(last_cpu, 1);
   EXPECT_EQ(last_value, 0xau);
@@ -59,16 +59,16 @@ TEST(SimulatedMsrDeviceTest, ObserverNotCalledOnFailedWrite) {
   int calls = 0;
   dev.AddWriteObserver([&](int, MsrRegister, std::uint64_t) { ++calls; });
   dev.FailCpu(0);
-  dev.Write(0, kReg, 1);
+  EXPECT_FALSE(dev.Write(0, kReg, 1));
   EXPECT_EQ(calls, 0);
 }
 
 TEST(SimulatedMsrDeviceTest, WriteCountTracksSuccesses) {
   SimulatedMsrDevice dev(2);
-  dev.Write(0, kReg, 1);
-  dev.Write(1, kReg, 1);
+  EXPECT_TRUE(dev.Write(0, kReg, 1));
+  EXPECT_TRUE(dev.Write(1, kReg, 1));
   dev.FailCpu(0);
-  dev.Write(0, kReg, 2);
+  EXPECT_FALSE(dev.Write(0, kReg, 2));
   EXPECT_EQ(dev.write_count(), 2u);
 }
 

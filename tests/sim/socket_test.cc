@@ -121,7 +121,7 @@ TEST(SocketTest, MsrPathAffectsTraffic) {
           TrafficClass::kHwPrefetch)];
   EXPECT_GT(pf_bytes_before, 0u);
   for (int cpu = 0; cpu < socket.config().num_cores; ++cpu) {
-    socket.msr_device().Write(cpu, 0x1a4, 0xf);
+    ASSERT_TRUE(socket.msr_device().Write(cpu, 0x1a4, 0xf));
   }
   RunEpochs(socket, 30);
   const std::uint64_t pf_bytes_after =

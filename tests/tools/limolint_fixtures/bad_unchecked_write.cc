@@ -1,0 +1,22 @@
+// Deliberate violations of unchecked-msr-write: bare call statements
+// that drop MSR write / actuation results on the floor.
+struct Control {
+  bool Write(int cpu, unsigned reg, unsigned value);
+  int DisableAll();
+  int EnableAll();
+  int SetEngine(int engine, bool enabled);
+};
+
+struct Machine {
+  Control& control();
+};
+
+void Exercise(Control& control, Control* remote, Machine& machine) {
+  control.Write(0, 0x1a4, 0xf);
+  control.DisableAll();
+  remote->EnableAll();
+  machine.control().Write(1, 0x1a4, 0x0);
+  control.SetEngine(0,
+                    false);
+  control.SetEngine(1, true);  // limolint:allow(unchecked-msr-write)
+}

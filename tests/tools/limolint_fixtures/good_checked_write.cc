@@ -1,0 +1,23 @@
+// Every actuation result here is checked or consumed: none of these
+// statements may fire unchecked-msr-write.
+struct Control {
+  bool Write(int cpu, unsigned reg, unsigned value);
+  int DisableAll();
+  int EnableAll();
+  int SetEngine(int engine, bool enabled);
+};
+
+bool MustSucceed(bool ok);
+
+bool Exercise(Control& control, Control* remote) {
+  if (!control.Write(0, 0x1a4, 0xf)) return false;
+  const int disabled = control.DisableAll();
+  int enabled = 0;
+  enabled = control.EnableAll();
+  (void)control.SetEngine(0, false);
+  const bool ok =
+      control.Write(1, 0x1a4, 0x0);
+  MustSucceed(remote->Write(2, 0x1a4, 0x0));
+  if (control.SetEngine(1, true) != 4) return false;
+  return ok && disabled == enabled;
+}

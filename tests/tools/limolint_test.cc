@@ -137,6 +137,36 @@ TEST(LimolintGuard, CanonicalGuardIsClean) {
   EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
 }
 
+TEST(LimolintMsrWrite, DroppedActuationResultsAreFlagged) {
+  const auto findings =
+      Lint("bad_unchecked_write.cc", "src/fleet/bad_unchecked_write.cc");
+  // Write, DisableAll, EnableAll (->), chained receiver, multi-line call.
+  EXPECT_EQ(CountRule(findings, "unchecked-msr-write"), 5)
+      << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "unchecked-msr-write"),
+            static_cast<int>(findings.size()))
+      << "only unchecked-msr-write should fire: "
+      << FormatFindings(findings);
+}
+
+TEST(LimolintMsrWrite, MultiLineCallIsFlaggedAtItsFirstLine) {
+  const auto findings =
+      Lint("bad_unchecked_write.cc", "src/fleet/bad_unchecked_write.cc");
+  bool found_opening_line = false;
+  for (const Finding& f : findings) {
+    found_opening_line |= f.line == 19;  // control.SetEngine(0,
+    EXPECT_NE(f.line, 20) << "continuation line is not a statement start";
+    EXPECT_NE(f.line, 21) << "allow(unchecked-msr-write) must suppress";
+  }
+  EXPECT_TRUE(found_opening_line) << FormatFindings(findings);
+}
+
+TEST(LimolintMsrWrite, CheckedAndConsumedResultsAreClean) {
+  const auto findings =
+      Lint("good_checked_write.cc", "tests/msr/good_checked_write.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
 TEST(LimolintAllow, MatchingAllowSuppressesAndWrongRuleDoesNot) {
   const auto findings = Lint("allow_escape.cc", "src/fleet/allow_escape.cc");
   ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
@@ -162,6 +192,10 @@ TEST(LimolintMeta, EveryRuleHasAFailingFixture) {
     caught.insert(f.rule);
   }
   for (const Finding& f : Lint("bad_guard.h", "src/sim/bad_guard.h")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f :
+       Lint("bad_unchecked_write.cc", "src/fleet/bad_unchecked_write.cc")) {
     caught.insert(f.rule);
   }
   for (const Rule& rule : Rules()) {

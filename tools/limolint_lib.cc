@@ -41,7 +41,7 @@ bool InThreadingExemptDir(const std::string& rel) {
 // are banned outright.
 bool InDeterministicDir(const std::string& rel) {
   return StartsWith(rel, "src/sim/") || StartsWith(rel, "src/fleet/") ||
-         StartsWith(rel, "src/core/");
+         StartsWith(rel, "src/core/") || StartsWith(rel, "src/faults/");
 }
 
 // One source line split into its code text and its comment text, with
@@ -237,6 +237,97 @@ constexpr const char* kNondeterministicCalls[] = {
     "rand", "srand", "rand_r", "time", "clock", "gettimeofday",
     "clock_gettime", "localtime", "gmtime"};
 
+// Methods whose return value reports whether an MSR write / prefetcher
+// actuation took effect. Dropping it silently is how a daemon ends up
+// believing prefetchers are off while the hardware says otherwise.
+constexpr const char* kActuationMethods[] = {
+    "Write",  "DisableAll",         "EnableAll",
+    "SetEngine", "DisablePrefetchers", "EnablePrefetchers"};
+
+bool IsActuationMethod(const std::string& name) {
+  for (const char* method : kActuationMethods) {
+    if (name == method) return true;
+  }
+  return false;
+}
+
+// Skips the balanced parenthesized group starting at code[pos] == '('.
+// Returns the index just past the closing ')', or npos if the group does
+// not close on this line (the call continues on the next one).
+std::size_t SkipParens(const std::string& code, std::size_t pos) {
+  int depth = 0;
+  for (; pos < code.size(); ++pos) {
+    if (code[pos] == '(') {
+      ++depth;
+    } else if (code[pos] == ')') {
+      if (--depth == 0) return pos + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// True if `code` — a line known to start a new statement — is a bare
+// method-call statement (`obj.Method(...);` / `obj->Method(...);`,
+// possibly through a chain like `sock.msr_device().Write(...)`) whose
+// terminal callee is a watched actuation method. Anything that consumes
+// the value bails out early: an assignment (`ok = ...`), a wrapping call
+// (`EXPECT_TRUE(...)`, `LIMONCELLO_CHECK(...)`), `return ...`, an `if`
+// condition, or a `(void)` cast — in each case the statement's first
+// token is not an identifier followed by '.', '->' or '('-then-';'.
+bool UncheckedActuationCall(const std::string& code) {
+  std::size_t pos = code.find_first_not_of(" \t");
+  if (pos == std::string::npos || !IsIdentChar(code[pos]) ||
+      std::isdigit(static_cast<unsigned char>(code[pos])) != 0) {
+    return false;
+  }
+  bool have_sep = false;  // saw '.' or '->': a method call on an object
+  for (;;) {
+    std::size_t end = pos;
+    while (end < code.size() && IsIdentChar(code[end])) ++end;
+    const std::string name = code.substr(pos, end - pos);
+    while (end < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[end]))) {
+      ++end;
+    }
+    bool called = false;
+    if (end < code.size() && code[end] == '(') {
+      const std::size_t after = SkipParens(code, end);
+      if (after == std::string::npos) {
+        // The argument list spans lines, so nothing on this line can
+        // consume the result: the call itself is the whole statement.
+        return have_sep && IsActuationMethod(name);
+      }
+      called = true;
+      end = after;
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+    }
+    if (end >= code.size() || code[end] == ';') {
+      return called && have_sep && IsActuationMethod(name);
+    }
+    if (code[end] == '.') {
+      have_sep = true;
+      pos = end + 1;
+    } else if (code[end] == '-' && end + 1 < code.size() &&
+               code[end + 1] == '>') {
+      have_sep = true;
+      pos = end + 2;
+    } else {
+      return false;  // operator, '=', '<<', ... — the value is consumed
+    }
+    while (pos < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[pos]))) {
+      ++pos;
+    }
+    if (pos >= code.size() || !IsIdentChar(code[pos]) ||
+        std::isdigit(static_cast<unsigned char>(code[pos])) != 0) {
+      return false;
+    }
+  }
+}
+
 void Emit(std::vector<Finding>* findings, const std::string& rel_path,
           int line, const std::string& rule, const std::string& message,
           const std::string& comment) {
@@ -293,6 +384,9 @@ const std::vector<Rule>& Rules() {
        "#include <iostream> in a header; log via util/logging.h in a .cc"},
       {"include-guard", "all headers",
        "include guard must be LIMONCELLO_<PATH>_H_ (src/ prefix dropped)"},
+      {"unchecked-msr-write", "everywhere",
+       "discarded MsrDevice::Write / prefetcher actuation result; check "
+       "it or annotate the line"},
   };
   return *rules;
 }
@@ -306,11 +400,26 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   const bool check_determinism = InDeterministicDir(rel_path);
   const bool check_iostream = header && StartsWith(rel_path, "src/");
 
+  // Tail of the previous non-blank code line; a line starts a fresh
+  // statement when that tail ends one (';', '{', '}', or a label ':').
+  char prev_tail = ';';
   for (std::size_t n = 0; n < lines.size(); ++n) {
     const std::string& code = lines[n].code;
     const std::string& comment = lines[n].comment;
     const int line = static_cast<int>(n + 1);
     if (code.empty()) continue;
+    const std::size_t tail = code.find_last_not_of(" \t");
+    const bool statement_start = prev_tail == ';' || prev_tail == '{' ||
+                                 prev_tail == '}' || prev_tail == ':';
+    if (tail != std::string::npos) prev_tail = code[tail];
+    else continue;  // comment-only line: statement state is unchanged
+
+    if (statement_start && UncheckedActuationCall(code)) {
+      Emit(&findings, rel_path, line, "unchecked-msr-write",
+           "MSR writes and prefetcher actuation can fail; check the "
+           "returned status instead of dropping it",
+           comment);
+    }
 
     if (check_raw_thread) {
       for (const char* token : kRawThreadTokens) {

@@ -43,6 +43,11 @@ class LoggingActuator : public PrefetchActuator {
                         dry_run_ ? " (dry run)" : "");
     return dry_run_ ? true : inner_->EnablePrefetchers();
   }
+  std::optional<bool> StateMatches(bool want_enabled) override {
+    // Dry runs never touched the MSRs, so a readback would always
+    // disagree with the FSM; report "unknown" instead.
+    return dry_run_ ? std::nullopt : inner_->StateMatches(want_enabled);
+  }
 
  private:
   PrefetchActuator* inner_;
@@ -69,9 +74,35 @@ int RunSim(const FlagParser& flags) {
     return 2;
   }
 
+  // Optional chaos mode: a deterministic fault schedule (telemetry
+  // corruption, MSR write failures, crash/reboot) driven by --chaos-seed,
+  // exercising the daemon's hardening paths end to end.
+  const bool chaos = flags.GetBool("chaos").value_or(false);
+  FaultPlan fault_plan;
+  if (chaos) {
+    FaultSpec spec;
+    spec.telemetry_dropout_rate = 0.02;
+    spec.telemetry_nan_rate = 0.01;
+    spec.telemetry_stale_rate = 0.008;
+    spec.telemetry_spike_rate = 0.008;
+    spec.msr_transient_rate = 0.015;
+    spec.msr_core_fault_rate = 0.008;
+    spec.crash_rate = 0.008;
+    const std::uint64_t chaos_seed = static_cast<std::uint64_t>(
+        flags.GetInt("chaos-seed").value_or(1));
+    fault_plan = FaultPlan::Generate(spec, ticks, Rng(chaos_seed));
+    LIMONCELLO_LOG_INFO(
+        "chaos mode: seed %llu -> %zu telemetry faults, %zu MSR faults, "
+        "%zu crashes scheduled",
+        static_cast<unsigned long long>(chaos_seed),
+        fault_plan.telemetry_faults().size(), fault_plan.msr_faults().size(),
+        fault_plan.crashes().size());
+  }
+
   // A machine under bursty diurnal load; its daemon is the one we run.
   MachineModel machine(PlatformConfig::Platform1(),
-                       DeploymentMode::kHardLimoncello, config, Rng(42));
+                       DeploymentMode::kHardLimoncello, config, Rng(42),
+                       chaos ? &fault_plan : nullptr);
   const auto services = ServiceSpec::FleetArchetypes();
   for (int i = 0; i < 5; ++i) {
     MachineModel::Task task;
@@ -96,12 +127,18 @@ int RunSim(const FlagParser& flags) {
 
   std::vector<double> factors(services.size(), 1.0);
   bool last_state = true;
+  bool last_down = false;
   for (int t = 0; t < ticks; ++t) {
     const SimTimeNs now = static_cast<SimTimeNs>(t) * config.tick_period_ns;
     for (std::size_t s = 0; s < services.size(); ++s) {
       factors[s] = loads[s]->Tick(now);
     }
     const auto r = machine.Tick(now, factors);
+    if (r.down != last_down) {
+      LIMONCELLO_LOG_INFO("t=%4d s  machine %s", t,
+                          r.down ? "DOWN (crash)" : "rebooted");
+      last_down = r.down;
+    }
     if (r.prefetchers_on != last_state) {
       LIMONCELLO_LOG_INFO("t=%4d s  prefetchers -> %s", t,
                           r.prefetchers_on ? "ON" : "OFF");
@@ -121,6 +158,29 @@ int RunSim(const FlagParser& flags) {
       static_cast<unsigned long long>(daemon->stats().enables),
       static_cast<unsigned long long>(daemon->stats().missed_samples),
       static_cast<unsigned long long>(daemon->stats().failsafe_resets));
+  if (machine.injector() != nullptr) {
+    const FaultInjector::Stats& injected = machine.injector()->stats();
+    const MachineModel::FaultRecovery& recovery = machine.fault_recovery();
+    LIMONCELLO_LOG_INFO(
+        "chaos: injected %llu telemetry / %llu MSR-write faults, "
+        "%llu crashes (%llu reboots); daemon saw %llu invalid + %llu "
+        "stale samples, %llu actuation failures, detected %llu reboots",
+        static_cast<unsigned long long>(injected.telemetry_faults),
+        static_cast<unsigned long long>(injected.msr_write_faults),
+        static_cast<unsigned long long>(injected.crashes),
+        static_cast<unsigned long long>(injected.reboots),
+        static_cast<unsigned long long>(daemon->stats().invalid_samples),
+        static_cast<unsigned long long>(daemon->stats().stale_samples),
+        static_cast<unsigned long long>(daemon->stats().actuation_failures),
+        static_cast<unsigned long long>(daemon->stats().reboots_detected));
+    LIMONCELLO_LOG_INFO(
+        "chaos: %llu down ticks, %llu diverged ticks over %llu episodes "
+        "(max %llu ticks to reconverge)",
+        static_cast<unsigned long long>(recovery.down_ticks),
+        static_cast<unsigned long long>(recovery.diverged_ticks),
+        static_cast<unsigned long long>(recovery.reconverge_events),
+        static_cast<unsigned long long>(recovery.max_reconverge_ticks));
+  }
   return 0;
 }
 
@@ -210,6 +270,10 @@ int Main(int argc, char** argv) {
       .Define("sustain-sec", "sustain duration in seconds (5)")
       .Define("tick-sec", "telemetry period in seconds (1)")
       .Define("max-missed-samples", "missed samples before fail-safe (5)")
+      .Define("chaos",
+              "sim mode: inject a deterministic fault load (telemetry "
+              "corruption, MSR failures, crash/reboot)")
+      .Define("chaos-seed", "sim mode with --chaos: fault schedule seed (1)")
       .Define("telemetry-file", "real mode: file with utilization samples")
       .Define("perf-csv", "real mode: perf stat -I -x, output file")
       .Define("saturation-gbps",

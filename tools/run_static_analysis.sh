@@ -72,8 +72,10 @@ fi
 echo
 echo "=== [3/3] sanitizer pass ($SANITIZER) ==="
 # Matches the discovered gtest names (SuiteName.Case) plus the limolint
-# tree check itself.
-SAN_TESTS_REGEX='^(MutexTest|CondVarTest|ThreadPoolTest|FleetParallelTest|Limolint|limolint)'
+# tree check itself. The fault-injection suites ride along: the chaos
+# paths (decorators, reboot callbacks, retry/backoff state) must be as
+# data-race- and UB-clean as the happy path.
+SAN_TESTS_REGEX='^(MutexTest|CondVarTest|ThreadPoolTest|FleetParallelTest|FleetChaosTest|DaemonFaultTest|FaultPlanTest|FaultInjectorTest|Limolint|limolint)'
 case "$SANITIZER" in
   none)
     stage sanitizer SKIP "disabled via --sanitizer=none"
@@ -85,7 +87,8 @@ case "$SANITIZER" in
       stage sanitizer FAIL "configure with ${SAN_OPT}=ON failed"
     elif ! cmake --build "$SAN_DIR" -j "$JOBS" --target \
         mutex_test thread_pool_test fleet_parallel_test \
-        limolint limolint_test >/dev/null; then
+        fleet_chaos_test daemon_fault_test fault_plan_test \
+        fault_injector_test limolint limolint_test >/dev/null; then
       stage sanitizer FAIL "build under ${SAN_OPT} failed"
     elif (cd "$SAN_DIR" && ctest -R "$SAN_TESTS_REGEX" \
         --output-on-failure -j "$JOBS"); then
