@@ -11,7 +11,9 @@
 //                [--socket-baseline=LPS]
 //
 // --check-allocs exits non-zero if the steady-state tick loop performed
-// any heap allocation (the zero-alloc invariant of the access loop).
+// any heap allocation (the zero-alloc invariant of the access loop), or
+// if the journaled daemon arm allocates more than the bare one (the
+// StateJournal append path must stay off the heap too).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +27,7 @@
 #include "core/daemon.h"
 #include "faults/fault_injector.h"
 #include "msr/simulated_msr_device.h"
+#include "recovery/recovery_manager.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workloads/generators.h"
@@ -218,6 +221,82 @@ DaemonArmResult RunDaemonArm(bool with_fault_layer, int ticks) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Recovery-overhead guard: the control loop journaling its state through
+// a RecoveryManager (worst case: an append every tick, periodic
+// compaction) must allocate exactly as much as the bare loop in steady
+// state — StateJournal serializes into a preallocated buffer and writes
+// to a kept-open descriptor, so persistence costs I/O, never heap.
+
+struct RecoveryArmResult {
+  bool with_journal = false;
+  std::uint64_t ticks = 0;
+  double seconds = 0.0;
+  double ticks_per_sec = 0.0;
+  std::uint64_t steady_state_allocs = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_compactions = 0;
+};
+
+RecoveryArmResult RunRecoveryArm(bool with_journal, int ticks,
+                                 const std::string& journal_path) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kCpus = 8;
+  SimulatedMsrDevice device(kCpus);
+  PrefetchControl control(&device, PlatformMsrLayout::kIntelStyle, 0, kCpus);
+  MsrPrefetchActuator actuator(&control, kCpus);
+  SawtoothTelemetry telemetry;
+  ControllerConfig config;
+  config.sustain_duration_ns = 3 * kNsPerSec;
+  LimoncelloDaemon daemon(config, &telemetry, &actuator);
+
+  std::unique_ptr<RecoveryManager> recovery;
+  if (with_journal) {
+    (void)std::remove(journal_path.c_str());
+    RecoveryOptions options;
+    options.state_file = journal_path;
+    options.snapshot_period_ticks = 1;  // worst case: journal every tick
+    options.compact_every_appends = 64;
+    recovery = std::make_unique<RecoveryManager>(options, &daemon);
+    (void)recovery->RecoverAndReconcile();
+  }
+
+  // Warm-up covers trace-buffer growth, the journal's lazy open, and at
+  // least one compaction cycle, so the timed window sees only the
+  // steady-state append path.
+  for (int t = 0; t < 256; ++t) {
+    const LimoncelloDaemon::TickRecord record =
+        daemon.RunTick(static_cast<SimTimeNs>(t) * kNsPerSec);
+    if (recovery != nullptr) recovery->OnTickComplete(record);
+  }
+
+  g_heap_allocs.store(0);
+  g_count_allocs.store(true);
+  const auto start = Clock::now();
+  for (int t = 256; t < 256 + ticks; ++t) {
+    const LimoncelloDaemon::TickRecord record =
+        daemon.RunTick(static_cast<SimTimeNs>(t) * kNsPerSec);
+    if (recovery != nullptr) recovery->OnTickComplete(record);
+  }
+  const auto end = Clock::now();
+  g_count_allocs.store(false);
+
+  RecoveryArmResult result;
+  result.with_journal = with_journal;
+  result.ticks = static_cast<std::uint64_t>(ticks);
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.ticks_per_sec =
+      result.seconds > 0.0 ? ticks / result.seconds : 0.0;
+  result.steady_state_allocs = g_heap_allocs.load();
+  if (recovery != nullptr) {
+    result.journal_appends = recovery->journal().stats().appends;
+    result.journal_compactions = recovery->journal().stats().compactions;
+    recovery.reset();
+    (void)std::remove(journal_path.c_str());
+  }
+  return result;
+}
+
 int Run(const FlagParser& flags) {
   const bool smoke = flags.GetBool("smoke").value_or(false);
   const int epochs =
@@ -239,6 +318,11 @@ int Run(const FlagParser& flags) {
   const DaemonArmResult daemon_arms[] = {
       RunDaemonArm(/*with_fault_layer=*/false, daemon_ticks),
       RunDaemonArm(/*with_fault_layer=*/true, daemon_ticks)};
+  const RecoveryArmResult recovery_arms[] = {
+      RunRecoveryArm(/*with_journal=*/false, daemon_ticks,
+                     "bench_socket_state.journal"),
+      RunRecoveryArm(/*with_journal=*/true, daemon_ticks,
+                     "bench_socket_state.journal")};
 
   Table table({"prefetchers", "Mlines/sec", "MIPS", "steady_allocs"});
   for (const SocketArmResult& arm : arms) {
@@ -261,6 +345,17 @@ int Run(const FlagParser& flags) {
                              arm.steady_state_allocs))});
   }
   daemon_table.Print("Daemon control loop (fault-injection overhead)");
+
+  Table recovery_table(
+      {"recovery arm", "Mticks/sec", "steady_allocs", "appends"});
+  for (const RecoveryArmResult& arm : recovery_arms) {
+    recovery_table.AddRow(
+        {arm.with_journal ? "journal (period 1)" : "bare",
+         Table::Num(arm.ticks_per_sec / 1e6, 2),
+         Table::Num(static_cast<std::int64_t>(arm.steady_state_allocs)),
+         Table::Num(static_cast<std::int64_t>(arm.journal_appends))});
+  }
+  recovery_table.Print("Daemon control loop (state-journal overhead)");
   std::printf("\ncache llc/lru/demand_hit: %.1f M accesses/sec",
               cache_hit.accesses_per_sec / 1e6);
   if (cache_baseline > 0.0) {
@@ -310,6 +405,20 @@ int Run(const FlagParser& flags) {
         static_cast<unsigned long long>(arm.steady_state_allocs),
         i + 1 < 2 ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"recovery_overhead\": [\n");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const RecoveryArmResult& arm = recovery_arms[i];
+    std::fprintf(
+        f,
+        "    {\"arm\": \"%s\", \"ticks_per_sec\": %.1f, "
+        "\"steady_state_allocs\": %llu, \"journal_appends\": %llu, "
+        "\"journal_compactions\": %llu}%s\n",
+        arm.with_journal ? "journal_every_tick" : "bare", arm.ticks_per_sec,
+        static_cast<unsigned long long>(arm.steady_state_allocs),
+        static_cast<unsigned long long>(arm.journal_appends),
+        static_cast<unsigned long long>(arm.journal_compactions),
+        i + 1 < 2 ? "," : "");
+  }
   std::fprintf(f,
                "  ],\n  \"pre_refactor_lines_per_sec_on\": %.1f,\n"
                "  \"socket_speedup_vs_pre_refactor\": %.3f\n}\n",
@@ -343,6 +452,18 @@ int Run(const FlagParser& flags) {
                        daemon_arms[0].steady_state_allocs),
                    static_cast<unsigned long long>(
                        daemon_arms[1].steady_state_allocs));
+      return 1;
+    }
+    if (recovery_arms[0].steady_state_allocs !=
+        recovery_arms[1].steady_state_allocs) {
+      std::fprintf(stderr,
+                   "FAIL: journaling changed the daemon loop's allocation "
+                   "count (bare %llu vs journal %llu); the StateJournal "
+                   "append path must be allocation-free\n",
+                   static_cast<unsigned long long>(
+                       recovery_arms[0].steady_state_allocs),
+                   static_cast<unsigned long long>(
+                       recovery_arms[1].steady_state_allocs));
       return 1;
     }
     std::printf("steady-state allocation check: clean\n");

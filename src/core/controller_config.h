@@ -2,6 +2,9 @@
 #ifndef LIMONCELLO_CORE_CONTROLLER_CONFIG_H_
 #define LIMONCELLO_CORE_CONTROLLER_CONFIG_H_
 
+#include <string>
+#include <vector>
+
 #include "util/units.h"
 
 namespace limoncello {
@@ -39,13 +42,62 @@ struct ControllerConfig {
   // reboots that silently restored the BIOS default). 0 disables.
   int readback_period_ticks = 16;
 
-  bool Valid() const {
-    return upper_threshold > lower_threshold && lower_threshold >= 0.0 &&
-           upper_threshold <= 1.5 && sustain_duration_ns >= 0 &&
-           tick_period_ns > 0 && max_missed_samples > 0 &&
-           retry_backoff_cap_ticks > 0 && max_stale_samples > 0 &&
-           readback_period_ticks >= 0;
+  // Every constraint violated, as a human-readable message naming the
+  // field and the bound. Empty means the config is usable. limoncellod
+  // prints this list and refuses to start rather than misbehave at tick
+  // time with, say, an inverted hysteresis band.
+  std::vector<std::string> Validate() const {
+    std::vector<std::string> errors;
+    if (!(upper_threshold > lower_threshold)) {
+      errors.push_back(
+          "upper_threshold (" + std::to_string(upper_threshold) +
+          ") must be strictly greater than lower_threshold (" +
+          std::to_string(lower_threshold) + ")");
+    }
+    if (lower_threshold < 0.0) {
+      errors.push_back("lower_threshold (" +
+                       std::to_string(lower_threshold) +
+                       ") must be >= 0");
+    }
+    if (upper_threshold > 1.5) {
+      errors.push_back("upper_threshold (" +
+                       std::to_string(upper_threshold) +
+                       ") must be <= 1.5 (fraction of saturation)");
+    }
+    if (sustain_duration_ns < 0) {
+      errors.push_back("sustain_duration_ns (" +
+                       std::to_string(sustain_duration_ns) +
+                       ") must be >= 0");
+    }
+    if (tick_period_ns <= 0) {
+      errors.push_back("tick_period_ns (" +
+                       std::to_string(tick_period_ns) +
+                       ") must be > 0");
+    }
+    if (max_missed_samples <= 0) {
+      errors.push_back("max_missed_samples (" +
+                       std::to_string(max_missed_samples) +
+                       ") must be >= 1");
+    }
+    if (retry_backoff_cap_ticks < 1) {
+      errors.push_back("retry_backoff_cap_ticks (" +
+                       std::to_string(retry_backoff_cap_ticks) +
+                       ") must be >= 1 (1 = retry every tick)");
+    }
+    if (max_stale_samples <= 0) {
+      errors.push_back("max_stale_samples (" +
+                       std::to_string(max_stale_samples) +
+                       ") must be >= 1");
+    }
+    if (readback_period_ticks < 0) {
+      errors.push_back("readback_period_ticks (" +
+                       std::to_string(readback_period_ticks) +
+                       ") must be >= 0 (0 disables readback)");
+    }
+    return errors;
   }
+
+  bool Valid() const { return Validate().empty(); }
 };
 
 }  // namespace limoncello

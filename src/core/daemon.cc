@@ -17,6 +17,20 @@ constexpr double kMaxPlausibleUtilization = 10.0;
 
 }  // namespace
 
+const char* ReconcileStatusName(ReconcileStatus status) {
+  switch (status) {
+    case ReconcileStatus::kUnknown:
+      return "unknown";
+    case ReconcileStatus::kMatched:
+      return "matched";
+    case ReconcileStatus::kReasserted:
+      return "reasserted";
+    case ReconcileStatus::kRetryArmed:
+      return "retry_armed";
+  }
+  return "invalid";
+}
+
 LimoncelloDaemon::LimoncelloDaemon(const ControllerConfig& config,
                                    UtilizationSource* telemetry,
                                    PrefetchActuator* actuator)
@@ -131,6 +145,93 @@ void LimoncelloDaemon::MaybeReadback() {
   } else {
     ArmRetry(reassert);
   }
+}
+
+LimoncelloDaemon::PersistentState LimoncelloDaemon::ExportState() const {
+  PersistentState state;
+  state.controller_state = controller_.state();
+  state.timer_ns = controller_.timer_ns();
+  state.toggle_count = controller_.toggle_count();
+  state.pending_retry = pending_retry_;
+  state.retry_delay_ticks = retry_delay_ticks_;
+  state.retry_wait_ticks = retry_wait_ticks_;
+  state.consecutive_missed = consecutive_missed_;
+  state.last_sample_bits = last_sample_bits_;
+  state.have_last_sample = have_last_sample_;
+  state.stale_run = stale_run_;
+  state.stats = stats_;
+  return state;
+}
+
+bool LimoncelloDaemon::StateRestorable(const PersistentState& state) const {
+  switch (state.pending_retry) {
+    case ControllerAction::kNone:
+    case ControllerAction::kDisablePrefetchers:
+    case ControllerAction::kEnablePrefetchers:
+      break;
+    default:
+      return false;  // decoded from disk; may be any bit pattern
+  }
+  if (state.retry_delay_ticks < 1 ||
+      state.retry_delay_ticks > config_.retry_backoff_cap_ticks) {
+    return false;
+  }
+  // The wait countdown is always armed below the current delay step.
+  if (state.retry_wait_ticks < 0 ||
+      state.retry_wait_ticks >= state.retry_delay_ticks) {
+    return false;
+  }
+  // consecutive_missed_ resets the instant it reaches the trip point, so
+  // a persisted value at or past it is impossible. stale_run_ by contrast
+  // keeps counting through a long freeze — only its sign is constrained.
+  if (state.consecutive_missed < 0 ||
+      state.consecutive_missed >= config_.max_missed_samples) {
+    return false;
+  }
+  if (state.stale_run < 0) return false;
+  return true;
+}
+
+bool LimoncelloDaemon::RestoreState(const PersistentState& state) {
+  if (!StateRestorable(state)) return false;
+  // Controller last: its RestoreState mutates on success, so every other
+  // field must already have been vetted.
+  if (!controller_.RestoreState(state.controller_state, state.timer_ns,
+                                state.toggle_count)) {
+    return false;
+  }
+  pending_retry_ = state.pending_retry;
+  retry_delay_ticks_ = state.retry_delay_ticks;
+  retry_wait_ticks_ = state.retry_wait_ticks;
+  consecutive_missed_ = state.consecutive_missed;
+  last_sample_bits_ = state.last_sample_bits;
+  have_last_sample_ = state.have_last_sample;
+  stale_run_ = state.stale_run;
+  stats_ = state.stats;
+  ++stats_.warm_restores;
+  if (state_listener_) {
+    state_listener_(controller_.PrefetchersShouldBeEnabled());
+  }
+  return true;
+}
+
+ReconcileStatus LimoncelloDaemon::ReconcileHardwareState() {
+  const bool want = controller_.PrefetchersShouldBeEnabled();
+  const std::optional<bool> matches = actuator_->StateMatches(want);
+  if (!matches.has_value()) return ReconcileStatus::kUnknown;
+  if (*matches) return ReconcileStatus::kMatched;
+  ++stats_.recovery_reconciles;
+  const ControllerAction reassert =
+      want ? ControllerAction::kEnablePrefetchers
+           : ControllerAction::kDisablePrefetchers;
+  if (Actuate(reassert)) {
+    // A successful re-assert supersedes any restored pending retry.
+    pending_retry_ = ControllerAction::kNone;
+    retry_delay_ticks_ = 1;
+    return ReconcileStatus::kReasserted;
+  }
+  ArmRetry(reassert);
+  return ReconcileStatus::kRetryArmed;
 }
 
 LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {

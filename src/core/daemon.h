@@ -31,6 +31,17 @@
 
 namespace limoncello {
 
+// Outcome of reconciling journal-recovered intent against the hardware
+// on warm restart (LimoncelloDaemon::ReconcileHardwareState).
+enum class ReconcileStatus {
+  kUnknown,     // actuator cannot read back; the restored intent stands
+  kMatched,     // hardware already agrees with the restored intent
+  kReasserted,  // mismatch: the intent was re-applied successfully
+  kRetryArmed,  // mismatch: re-apply failed, backoff retry armed
+};
+
+const char* ReconcileStatusName(ReconcileStatus status);
+
 class LimoncelloDaemon {
  public:
   struct TickRecord {
@@ -54,6 +65,30 @@ class LimoncelloDaemon {
     std::uint64_t state_reasserts = 0;      // successful re-assertions
     std::uint64_t disables = 0;
     std::uint64_t enables = 0;
+    std::uint64_t warm_restores = 0;        // journal snapshots adopted
+    std::uint64_t recovery_reconciles = 0;  // restored intent != hardware
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  // Everything a warm restart must carry across a daemon process death:
+  // the FSM, the actuation-retry machinery, the sample-validation state,
+  // and the cumulative Stats. Plain data; src/recovery/ serializes it.
+  // Restored values are validated field by field, never trusted.
+  struct PersistentState {
+    ControllerState controller_state = ControllerState::kEnabledSteady;
+    SimTimeNs timer_ns = 0;
+    std::uint64_t toggle_count = 0;
+    ControllerAction pending_retry = ControllerAction::kNone;
+    int retry_delay_ticks = 1;
+    int retry_wait_ticks = 0;
+    int consecutive_missed = 0;
+    std::uint64_t last_sample_bits = 0;
+    bool have_last_sample = false;
+    int stale_run = 0;
+    Stats stats;
+
+    bool operator==(const PersistentState&) const = default;
   };
 
   // `telemetry` and `actuator` must outlive the daemon.
@@ -62,6 +97,26 @@ class LimoncelloDaemon {
 
   // Executes one controller tick at the given simulated time.
   TickRecord RunTick(SimTimeNs now_ns);
+
+  // Snapshot of the state a warm restart needs (journaled by
+  // RecoveryManager after actuations and periodically).
+  PersistentState ExportState() const;
+
+  // Adopts a recovered snapshot. Every field is validated against the
+  // config's invariants (enum ranges, backoff <= cap, counters below
+  // their trip points); on any violation the daemon is left in its
+  // cold-start state and false is returned — corrupt journals degrade
+  // to a cold start, never to a daemon running impossible state.
+  // On success the state listener (if any) is told the restored intent.
+  bool RestoreState(const PersistentState& state);
+
+  // Warm-restart reconciliation: reads the hardware prefetcher state
+  // back through the actuator and compares it with the FSM's (possibly
+  // just-restored) intent. The journal holds *intent* distilled from
+  // telemetry history, so on mismatch the hardware is moved to match
+  // the journal, not vice versa (see DESIGN.md §11); a failed re-assert
+  // arms the standard backoff retry. Call before resuming RunTick.
+  ReconcileStatus ReconcileHardwareState();
 
   // Observer invoked after every *successful* prefetcher-state change
   // (true = enabled). This is how Soft Limoncello learns the hardware
@@ -90,6 +145,10 @@ class LimoncelloDaemon {
   std::optional<double> ValidateSample(std::optional<double> sample);
   // Periodic MSR readback: detect a silently reset state and re-assert.
   void MaybeReadback();
+
+  // Validation helper for RestoreState: true when every field of the
+  // snapshot satisfies this daemon's config invariants.
+  bool StateRestorable(const PersistentState& state) const;
 
   ControllerConfig config_;
   UtilizationSource* telemetry_;

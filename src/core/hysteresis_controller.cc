@@ -28,6 +28,31 @@ void HysteresisController::Reset() {
   timer_ns_ = 0;
 }
 
+bool HysteresisController::RestoreState(ControllerState state,
+                                        SimTimeNs timer_ns,
+                                        std::uint64_t toggle_count) {
+  bool arming = false;
+  switch (state) {
+    case ControllerState::kEnabledSteady:
+    case ControllerState::kDisabledSteady:
+      break;
+    case ControllerState::kEnabledArming:
+    case ControllerState::kDisabledArming:
+      arming = true;
+      break;
+    default:
+      return false;  // decoded from disk; may be any bit pattern
+  }
+  if (timer_ns < 0) return false;
+  if (!arming && timer_ns != 0) return false;
+  // An arming timer at or past Δ would have already transitioned.
+  if (arming && timer_ns >= config_.sustain_duration_ns) return false;
+  state_ = state;
+  timer_ns_ = timer_ns;
+  toggle_count_ = toggle_count;
+  return true;
+}
+
 ControllerAction HysteresisController::Tick(double utilization) {
   LIMONCELLO_DCHECK(utilization >= 0.0);
   const double ut = config_.upper_threshold;

@@ -47,6 +47,14 @@ class HysteresisController {
   // Used by the daemon's fail-safe path.
   void Reset();
 
+  // Adopts a state snapshot recovered from a journal. The snapshot is
+  // untrusted input: the enum must name a real state and the timer must
+  // satisfy the FSM's invariants (zero in steady states, inside the
+  // sustain window while arming). Returns false — leaving the controller
+  // untouched — on any violation.
+  bool RestoreState(ControllerState state, SimTimeNs timer_ns,
+                    std::uint64_t toggle_count);
+
   ControllerState state() const { return state_; }
   bool PrefetchersShouldBeEnabled() const {
     return state_ == ControllerState::kEnabledSteady ||

@@ -28,6 +28,22 @@ void FaultInjector::BeginTick() {
     ++stats_.crashes;
   }
 
+  if (daemon_down_ && tick_ >= daemon_down_end_) {
+    daemon_down_ = false;
+    ++stats_.daemon_restarts;
+    if (daemon_restart_callback_) daemon_restart_callback_();
+  }
+  const std::vector<DaemonRestartFault>& restarts =
+      plan_->daemon_restarts();
+  if (!daemon_down_ && daemon_restart_next_ < restarts.size() &&
+      restarts[daemon_restart_next_].tick <= tick_) {
+    daemon_down_ = true;
+    daemon_down_end_ =
+        tick_ + std::max(1, restarts[daemon_restart_next_].down_ticks);
+    ++daemon_restart_next_;
+    ++stats_.daemon_kills;
+  }
+
   if (telemetry_active_ && tick_ >= telemetry_end_) {
     telemetry_active_ = false;
   }

@@ -33,10 +33,12 @@ class FaultInjector {
     std::uint64_t msr_read_faults = 0;   // reads failed by injection
     std::uint64_t crashes = 0;
     std::uint64_t reboots = 0;
+    std::uint64_t daemon_kills = 0;     // daemon-down windows opened
+    std::uint64_t daemon_restarts = 0;  // windows closed (restart due)
 
     bool Any() const {
       return telemetry_faults > 0 || msr_write_faults > 0 ||
-             msr_read_faults > 0 || crashes > 0;
+             msr_read_faults > 0 || crashes > 0 || daemon_kills > 0;
     }
   };
 
@@ -55,6 +57,18 @@ class FaultInjector {
   // before that tick's work runs. Wire the BIOS reset here.
   void SetRebootCallback(std::function<void()> callback) {
     reboot_callback_ = std::move(callback);
+  }
+
+  // True while a daemon-restart window is open: the controller process
+  // is dead but the machine (and its telemetry exporter) keeps serving
+  // on the frozen hardware prefetcher state.
+  bool DaemonDown() const { return daemon_down_; }
+
+  // Invoked once per daemon-restart window, on the tick the supervisor
+  // brings the daemon back — before that tick's work runs. Wire the
+  // daemon rebuild + journal recovery here.
+  void SetDaemonRestartCallback(std::function<void()> callback) {
+    daemon_restart_callback_ = std::move(callback);
   }
 
   // Telemetry path: passes the sample through the active fault window
@@ -90,8 +104,13 @@ class FaultInjector {
   bool down_ = false;
   int down_end_ = 0;
 
+  std::size_t daemon_restart_next_ = 0;
+  bool daemon_down_ = false;
+  int daemon_down_end_ = 0;
+
   std::optional<double> last_good_sample_;
   std::function<void()> reboot_callback_;
+  std::function<void()> daemon_restart_callback_;
   Stats stats_;
 };
 

@@ -42,6 +42,7 @@ FaultPlan FaultPlan::Generate(const FaultSpec& spec, int horizon_ticks,
   int telemetry_free = 0;
   int msr_free = 0;
   int crash_free = 0;
+  int restart_free = 0;
   for (int t = 0; t <= last; ++t) {
     if (t >= telemetry_free) {
       TelemetryFault fault;
@@ -95,6 +96,18 @@ FaultPlan FaultPlan::Generate(const FaultSpec& spec, int horizon_ticks,
       // +1: the reboot tick itself separates consecutive crashes.
       crash_free = WindowEnd(t, fault.down_ticks) + 1;
     }
+    // The rate guard keeps the draw stream byte-identical to plans
+    // generated before daemon restarts existed (NextBernoulli consumes
+    // a draw even at rate 0).
+    if (spec.daemon_restart_rate > 0.0 && t >= restart_free &&
+        rng.NextBernoulli(spec.daemon_restart_rate)) {
+      DaemonRestartFault fault;
+      fault.tick = t;
+      fault.down_ticks = std::max(1, spec.daemon_restart_down_ticks);
+      plan.AddDaemonRestart(fault);
+      // +1: the restart tick itself separates consecutive windows.
+      restart_free = WindowEnd(t, fault.down_ticks) + 1;
+    }
   }
   return plan;
 }
@@ -129,6 +142,16 @@ void FaultPlan::AddCrash(const CrashFault& fault) {
     LIMONCELLO_CHECK_GE(fault.tick, WindowEnd(prev.tick, prev.down_ticks));
   }
   crashes_.push_back(fault);
+}
+
+void FaultPlan::AddDaemonRestart(const DaemonRestartFault& fault) {
+  LIMONCELLO_CHECK_GE(fault.tick, 0);
+  LIMONCELLO_CHECK_GT(fault.down_ticks, 0);
+  if (!daemon_restarts_.empty()) {
+    const DaemonRestartFault& prev = daemon_restarts_.back();
+    LIMONCELLO_CHECK_GE(fault.tick, WindowEnd(prev.tick, prev.down_ticks));
+  }
+  daemon_restarts_.push_back(fault);
 }
 
 }  // namespace limoncello

@@ -49,6 +49,14 @@ struct FaultSpec {
   double crash_rate = 0.0;
   int crash_down_ticks = 5;
 
+  // Lifecycle: the controller *daemon* dies (OOM kill, rollout restart)
+  // and its supervisor brings it back a few ticks later. Distinct from a
+  // crash: the machine and its workload keep running on the frozen
+  // hardware prefetcher state, and the restarted daemon must recover
+  // its FSM from the journal (or cold-start) and reconcile.
+  double daemon_restart_rate = 0.0;
+  int daemon_restart_down_ticks = 2;
+
   // Last tick (inclusive) at which a new fault window may start; -1 means
   // no limit. A quiet tail lets chaos runs assert full reconvergence.
   int max_fault_tick = -1;
@@ -57,7 +65,7 @@ struct FaultSpec {
     return telemetry_dropout_rate > 0.0 || telemetry_nan_rate > 0.0 ||
            telemetry_stale_rate > 0.0 || telemetry_spike_rate > 0.0 ||
            msr_transient_rate > 0.0 || msr_core_fault_rate > 0.0 ||
-           crash_rate > 0.0;
+           crash_rate > 0.0 || daemon_restart_rate > 0.0;
   }
 };
 
@@ -86,6 +94,11 @@ struct CrashFault {
   int down_ticks = 1;
 };
 
+struct DaemonRestartFault {
+  int tick = 0;
+  int down_ticks = 1;
+};
+
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -101,6 +114,7 @@ class FaultPlan {
   void AddTelemetryFault(const TelemetryFault& fault);
   void AddMsrWriteFault(const MsrWriteFault& fault);
   void AddCrash(const CrashFault& fault);
+  void AddDaemonRestart(const DaemonRestartFault& fault);
 
   const std::vector<TelemetryFault>& telemetry_faults() const {
     return telemetry_faults_;
@@ -109,16 +123,20 @@ class FaultPlan {
     return msr_faults_;
   }
   const std::vector<CrashFault>& crashes() const { return crashes_; }
+  const std::vector<DaemonRestartFault>& daemon_restarts() const {
+    return daemon_restarts_;
+  }
 
   bool Empty() const {
     return telemetry_faults_.empty() && msr_faults_.empty() &&
-           crashes_.empty();
+           crashes_.empty() && daemon_restarts_.empty();
   }
 
  private:
   std::vector<TelemetryFault> telemetry_faults_;
   std::vector<MsrWriteFault> msr_faults_;
   std::vector<CrashFault> crashes_;
+  std::vector<DaemonRestartFault> daemon_restarts_;
 };
 
 }  // namespace limoncello

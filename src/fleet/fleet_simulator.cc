@@ -60,6 +60,11 @@ void FleetMetrics::Merge(const FleetMetrics& other) {
   failsafe_resets += other.failsafe_resets;
   reboots_detected += other.reboots_detected;
   state_reasserts += other.state_reasserts;
+  daemon_kills_injected += other.daemon_kills_injected;
+  daemon_restarts_completed += other.daemon_restarts_completed;
+  daemon_down_machine_ticks += other.daemon_down_machine_ticks;
+  warm_restores += other.warm_restores;
+  recovery_reconciles += other.recovery_reconciles;
 }
 
 FleetSimulator::FleetSimulator(const PlatformConfig& platform,
@@ -112,7 +117,8 @@ FleetSimulator::FleetSimulator(const PlatformConfig& platform,
         platform, mode, controller,
         rng_.Fork(0x9000 + static_cast<std::uint64_t>(m)),
         fault_plans_.empty() ? nullptr
-                             : &fault_plans_[static_cast<std::size_t>(m)]));
+                             : &fault_plans_[static_cast<std::size_t>(m)],
+        fault_plans_.empty() ? 0 : options.daemon_snapshot_period_ticks));
   }
   pool_ = std::make_unique<ThreadPool>(
       ResolveThreadCount(options.num_threads));
@@ -279,10 +285,15 @@ FleetMetrics FleetSimulator::Run() {
     if (machine->daemon() != nullptr) {
       metrics.controller_toggles +=
           machine->daemon()->controller().toggle_count();
+      // Daemon stats survive restarts: Stats rides in PersistentState,
+      // so a warm restore carries the counters of every predecessor
+      // process (a cold restart forfeits them — visible as a drop).
       const LimoncelloDaemon::Stats& ds = machine->daemon()->stats();
       metrics.failsafe_resets += ds.failsafe_resets;
       metrics.reboots_detected += ds.reboots_detected;
       metrics.state_reasserts += ds.state_reasserts;
+      metrics.warm_restores += ds.warm_restores;
+      metrics.recovery_reconciles += ds.recovery_reconciles;
     }
     if (machine->injector() != nullptr) {
       const FaultInjector::Stats& is = machine->injector()->stats();
@@ -290,6 +301,7 @@ FleetMetrics FleetSimulator::Run() {
       metrics.msr_write_faults_injected += is.msr_write_faults;
       metrics.crashes_injected += is.crashes;
       metrics.reboots_completed += is.reboots;
+      metrics.daemon_kills_injected += is.daemon_kills;
     }
     const MachineModel::FaultRecovery& rec = machine->fault_recovery();
     metrics.diverged_machine_ticks += rec.diverged_ticks;
@@ -297,6 +309,8 @@ FleetMetrics FleetSimulator::Run() {
     metrics.reconverge_ticks_sum += rec.reconverge_ticks_sum;
     metrics.max_reconverge_ticks =
         std::max(metrics.max_reconverge_ticks, rec.max_reconverge_ticks);
+    metrics.daemon_restarts_completed += rec.daemon_restarts;
+    metrics.daemon_down_machine_ticks += rec.daemon_down_ticks;
   }
   return metrics;
 }

@@ -54,6 +54,11 @@ struct FleetOptions {
   // so fault load is bit-identical across runs and thread counts too.
   // Placement shadows stay fault-free (placement is an arm invariant).
   FaultSpec faults;
+  // Journal cadence for the in-memory daemon state snapshots that back
+  // daemon-restart recovery (see MachineModel). Only active on chaos
+  // runs (faults.Any()); <= 0 disables snapshots, so restarted daemons
+  // cold-start.
+  int daemon_snapshot_period_ticks = 8;
 };
 
 // Per-machine aggregates over a run (for bucketed comparisons).
@@ -103,6 +108,12 @@ struct FleetMetrics {
   std::uint64_t failsafe_resets = 0;
   std::uint64_t reboots_detected = 0;
   std::uint64_t state_reasserts = 0;
+  // Daemon-lifecycle metrics (daemon-restart fault windows).
+  std::uint64_t daemon_kills_injected = 0;
+  std::uint64_t daemon_restarts_completed = 0;
+  std::uint64_t daemon_down_machine_ticks = 0;
+  std::uint64_t warm_restores = 0;
+  std::uint64_t recovery_reconciles = 0;
   std::vector<MachineAggregate> machines;
 
   // Folds another partial into this one: histograms via Histogram::Merge,

@@ -33,7 +33,8 @@ std::optional<double> MachineModel::TelemetryAdapter::SampleUtilization() {
 MachineModel::MachineModel(const PlatformConfig& platform,
                            DeploymentMode mode,
                            const ControllerConfig& controller_config,
-                           Rng rng, const FaultPlan* fault_plan)
+                           Rng rng, const FaultPlan* fault_plan,
+                           int daemon_snapshot_period_ticks)
     : platform_(platform),
       mode_(mode),
       rng_(rng),
@@ -99,9 +100,35 @@ MachineModel::MachineModel(const PlatformConfig& platform,
       }
       daemon_ = std::make_unique<LimoncelloDaemon>(controller_config,
                                                    source, actuator_.get());
+      controller_config_ = controller_config;
+      snapshot_period_ticks_ = daemon_snapshot_period_ticks;
+      daemon_source_ = source;
+      if (injector_ != nullptr) {
+        // The restart itself runs from Tick (not from inside BeginTick):
+        // the window may close while the machine is crashed, in which
+        // case the supervisor's restart waits for the reboot.
+        injector_->SetDaemonRestartCallback(
+            [this] { daemon_restart_pending_ = true; });
+      }
       break;
     }
   }
+}
+
+void MachineModel::RestartDaemon() {
+  ++recovery_.daemon_restarts;
+  // A new process: every bit of in-memory daemon state is gone. Only
+  // the journal snapshot (if any) and the hardware registers survive.
+  daemon_ = std::make_unique<LimoncelloDaemon>(controller_config_,
+                                               daemon_source_,
+                                               actuator_.get());
+  if (journal_snapshot_.has_value()) {
+    // Rejected snapshots degrade to a cold start, same as limoncellod.
+    (void)daemon_->RestoreState(*journal_snapshot_);
+  }
+  // Cold or warm, the fresh daemon asserts its intent against whatever
+  // state the hardware froze at while it was dead.
+  (void)daemon_->ReconcileHardwareState();
 }
 
 void MachineModel::AddTask(const Task& task) {
@@ -175,8 +202,23 @@ MachineModel::TickResult MachineModel::Tick(
 
   // 1. Control plane: the daemon observes last tick's telemetry and may
   // toggle the prefetchers via MSR writes before this tick's work runs.
-  if (daemon_ != nullptr) {
-    daemon_->RunTick(now_ns);
+  if (daemon_ != nullptr && daemon_restart_pending_ &&
+      (injector_ == nullptr || !injector_->DaemonDown())) {
+    RestartDaemon();
+    daemon_restart_pending_ = false;
+  }
+  if (daemon_ != nullptr && injector_ != nullptr &&
+      injector_->DaemonDown()) {
+    // The controller process is dead but the machine keeps serving on
+    // the frozen prefetcher state. The telemetry exporter outlives the
+    // daemon, so burn this tick's sample: the machine rng advances
+    // exactly as it would with a live daemon, keeping the run
+    // comparable sample-for-sample with a restart-free control arm.
+    (void)daemon_source_->SampleUtilization();
+    ++recovery_.daemon_down_ticks;
+  } else if (daemon_ != nullptr) {
+    const LimoncelloDaemon::TickRecord tick_record =
+        daemon_->RunTick(now_ns);
     // Divergence accounting: ticks where the hardware state disagrees
     // with the FSM's intent (injected MSR failures, post-reboot BIOS
     // state) — the reconvergence metric the chaos tests assert on.
@@ -190,6 +232,15 @@ MachineModel::TickResult MachineModel::Tick(
       recovery_.max_reconverge_ticks =
           std::max(recovery_.max_reconverge_ticks, divergence_run_);
       divergence_run_ = 0;
+    }
+    // In-memory journal: same cadence as RecoveryManager (every
+    // actuation, plus every period ticks).
+    if (snapshot_period_ticks_ > 0 &&
+        (tick_record.action != ControllerAction::kNone ||
+         daemon_->stats().ticks %
+                 static_cast<std::uint64_t>(snapshot_period_ticks_) ==
+             0)) {
+      journal_snapshot_ = daemon_->ExportState();
     }
   }
 

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/actuator.h"
@@ -76,14 +77,27 @@ class MachineModel {
     std::uint64_t reconverge_ticks_sum = 0;
     std::uint64_t max_reconverge_ticks = 0;
     std::uint64_t down_ticks = 0;
+    // Ticks the machine served with its controller daemon dead (daemon-
+    // restart fault windows; distinct from machine down_ticks).
+    std::uint64_t daemon_down_ticks = 0;
+    // Daemon restarts actually performed (a window whose end falls
+    // inside machine downtime restarts once the machine is back).
+    std::uint64_t daemon_restarts = 0;
   };
 
   // `fault_plan`, when non-null, must outlive the machine; it inserts the
   // fault-injection decorators into the telemetry and MSR paths and
-  // enables crash/reboot modelling.
+  // enables crash/reboot modelling. daemon_snapshot_period_ticks > 0
+  // models the state journal in-memory: the daemon's state is
+  // snapshotted after actuations and every period ticks, and a daemon
+  // restarted by a fault window warm-restores from the snapshot and
+  // reconciles against the hardware — the same lifecycle limoncellod
+  // runs with a real journal file (src/recovery/), kept in-memory here
+  // so fleet ticks stay deterministic and IO-free.
   MachineModel(const PlatformConfig& platform, DeploymentMode mode,
                const ControllerConfig& controller_config, Rng rng,
-               const FaultPlan* fault_plan = nullptr);
+               const FaultPlan* fault_plan = nullptr,
+               int daemon_snapshot_period_ticks = 0);
 
   // Non-copyable, non-movable: the MSR observer and telemetry adapter
   // hold back-pointers to this object.
@@ -145,6 +159,11 @@ class MachineModel {
   void CategoryMissModel(int category, double base_misses,
                          CategoryLoad* out) const;
 
+  // Rebuilds the daemon after a restart window closes: fresh process
+  // state, warm restore from the in-memory snapshot when one exists,
+  // then hardware reconciliation (cold or warm).
+  void RestartDaemon();
+
   PlatformConfig platform_;
   DeploymentMode mode_;
   Rng rng_;
@@ -168,6 +187,16 @@ class MachineModel {
   FaultRecovery recovery_;
   // Length of the currently open divergence episode, in ticks.
   std::uint64_t divergence_run_ = 0;
+
+  // Daemon-restart modelling (active when a plan schedules restarts).
+  ControllerConfig controller_config_;
+  int snapshot_period_ticks_ = 0;
+  // The telemetry source the daemon reads (post-decorator); kept so a
+  // rebuilt daemon wires to the same chain and down ticks can burn one
+  // sample to keep the rng stream aligned with a restart-free arm.
+  UtilizationSource* daemon_source_ = nullptr;
+  std::optional<LimoncelloDaemon::PersistentState> journal_snapshot_;
+  bool daemon_restart_pending_ = false;
 
   bool prefetchers_on_ = true;
   bool soft_prefetch_on_ = false;

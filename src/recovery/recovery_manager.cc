@@ -1,0 +1,54 @@
+#include "recovery/recovery_manager.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+StateJournal::Options JournalOptions(const RecoveryOptions& options) {
+  StateJournal::Options jopts;
+  jopts.path = options.state_file;
+  jopts.compact_every_appends = options.compact_every_appends;
+  jopts.fsync_each_append = options.fsync_each_append;
+  return jopts;
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(const RecoveryOptions& options,
+                                 LimoncelloDaemon* daemon)
+    : options_(options), daemon_(daemon), journal_(JournalOptions(options)) {
+  LIMONCELLO_CHECK(daemon != nullptr);
+  LIMONCELLO_CHECK_GE(options.snapshot_period_ticks, 1);
+}
+
+RecoveryResult RecoveryManager::RecoverAndReconcile() {
+  RecoveryResult result;
+  result.replay = StateJournal::Replay(options_.state_file);
+  if (result.replay.state.has_value()) {
+    result.warm = daemon_->RestoreState(*result.replay.state);
+    result.rejected_state = !result.warm;
+  }
+  // Reconcile on cold starts too: a fresh daemon asserting its power-on
+  // intent fixes hardware left disabled by a predecessor whose journal
+  // was lost — exactly the silent divergence recovery exists to close.
+  result.reconcile = daemon_->ReconcileHardwareState();
+  last_recovery_ = result;
+  return result;
+}
+
+void RecoveryManager::OnTickComplete(
+    const LimoncelloDaemon::TickRecord& record) {
+  const bool actuated = record.action != ControllerAction::kNone;
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(options_.snapshot_period_ticks);
+  if (!actuated && daemon_->stats().ticks % period != 0) return;
+  (void)journal_.Append(daemon_->ExportState());
+}
+
+bool RecoveryManager::FlushSnapshot() {
+  return journal_.WriteSnapshot(daemon_->ExportState());
+}
+
+}  // namespace limoncello

@@ -1,0 +1,287 @@
+#include "recovery/state_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <vector>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+// Fixed little-endian layout, independent of host endianness.
+void StoreU32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void StoreU64(unsigned char* p, std::uint64_t v) {
+  StoreU32(p, static_cast<std::uint32_t>(v));
+  StoreU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t LoadU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t LoadU64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(LoadU32(p)) |
+         static_cast<std::uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+bool WriteFully(int fd, const unsigned char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Upper bound on the size field accepted during replay: a corrupted size
+// must not make the scanner index past the buffer or misinterpret
+// gigabytes of garbage as one record.
+constexpr std::uint32_t kMaxPayloadBytes = 4096;
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void StateJournal::EncodeRecord(
+    const LimoncelloDaemon::PersistentState& state, unsigned char* out) {
+  StoreU32(out, kMagic);
+  StoreU32(out + 4, kVersion);
+  StoreU32(out + 8, static_cast<std::uint32_t>(kPayloadBytes));
+  unsigned char* p = out + kHeaderBytes;
+  p[0] = static_cast<unsigned char>(state.controller_state);
+  p[1] = static_cast<unsigned char>(state.pending_retry);
+  p[2] = state.have_last_sample ? 1 : 0;
+  p[3] = 0;  // reserved
+  StoreU64(p + 4, static_cast<std::uint64_t>(state.timer_ns));
+  StoreU64(p + 12, state.toggle_count);
+  StoreU64(p + 20, state.last_sample_bits);
+  StoreU32(p + 28, static_cast<std::uint32_t>(state.retry_delay_ticks));
+  StoreU32(p + 32, static_cast<std::uint32_t>(state.retry_wait_ticks));
+  StoreU32(p + 36, static_cast<std::uint32_t>(state.consecutive_missed));
+  StoreU32(p + 40, static_cast<std::uint32_t>(state.stale_run));
+  const LimoncelloDaemon::Stats& s = state.stats;
+  const std::uint64_t stats_fields[] = {
+      s.ticks,           s.missed_samples,     s.invalid_samples,
+      s.stale_samples,   s.failsafe_resets,    s.actuation_failures,
+      s.retry_backoff_skips, s.reboots_detected, s.state_reasserts,
+      s.disables,        s.enables,            s.warm_restores,
+      s.recovery_reconciles};
+  static_assert(sizeof(stats_fields) == 13 * sizeof(std::uint64_t));
+  static_assert(kPayloadBytes == 44 + sizeof(stats_fields));
+  for (std::size_t i = 0; i < 13; ++i) {
+    StoreU64(p + 44 + 8 * i, stats_fields[i]);
+  }
+  // The CRC covers version + size + payload; the magic is the frame
+  // sync, not data.
+  const std::uint32_t crc = Crc32(out + 4, 8 + kPayloadBytes);
+  StoreU32(out + kHeaderBytes + kPayloadBytes, crc);
+}
+
+bool StateJournal::DecodePayload(const unsigned char* p,
+                                 LimoncelloDaemon::PersistentState* out) {
+  if (p[3] != 0) return false;  // reserved byte must be zero in v1
+  out->controller_state = static_cast<ControllerState>(p[0]);
+  out->pending_retry = static_cast<ControllerAction>(p[1]);
+  out->have_last_sample = p[2] != 0;
+  out->timer_ns = static_cast<SimTimeNs>(LoadU64(p + 4));
+  out->toggle_count = LoadU64(p + 12);
+  out->last_sample_bits = LoadU64(p + 20);
+  out->retry_delay_ticks = static_cast<int>(LoadU32(p + 28));
+  out->retry_wait_ticks = static_cast<int>(LoadU32(p + 32));
+  out->consecutive_missed = static_cast<int>(LoadU32(p + 36));
+  out->stale_run = static_cast<int>(LoadU32(p + 40));
+  LimoncelloDaemon::Stats& s = out->stats;
+  std::uint64_t* stats_fields[] = {
+      &s.ticks,           &s.missed_samples,     &s.invalid_samples,
+      &s.stale_samples,   &s.failsafe_resets,    &s.actuation_failures,
+      &s.retry_backoff_skips, &s.reboots_detected, &s.state_reasserts,
+      &s.disables,        &s.enables,            &s.warm_restores,
+      &s.recovery_reconciles};
+  for (std::size_t i = 0; i < 13; ++i) {
+    *stats_fields[i] = LoadU64(p + 44 + 8 * i);
+  }
+  return true;
+}
+
+StateJournal::StateJournal(const Options& options)
+    : options_(options), tmp_path_(options.path + ".tmp") {
+  LIMONCELLO_CHECK(!options.path.empty());
+  LIMONCELLO_CHECK_GE(options.compact_every_appends, 1);
+}
+
+StateJournal::~StateJournal() { CloseAppendFd(); }
+
+bool StateJournal::EnsureOpenForAppend() {
+  if (fd_ >= 0) return true;
+  fd_ = ::open(options_.path.c_str(),
+               O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  return fd_ >= 0;
+}
+
+void StateJournal::CloseAppendFd() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool StateJournal::Append(
+    const LimoncelloDaemon::PersistentState& state) {
+  if (appends_since_compaction_ >= options_.compact_every_appends) {
+    // Compaction folds the newest state in: the snapshot IS the record.
+    return WriteSnapshot(state);
+  }
+  if (!EnsureOpenForAppend()) {
+    ++stats_.io_errors;
+    return false;
+  }
+  EncodeRecord(state, scratch_.data());
+  if (!WriteFully(fd_, scratch_.data(), kRecordBytes)) {
+    ++stats_.io_errors;
+    return false;
+  }
+  if (options_.fsync_each_append && ::fsync(fd_) != 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.appends;
+  ++appends_since_compaction_;
+  return true;
+}
+
+bool StateJournal::WriteSnapshot(
+    const LimoncelloDaemon::PersistentState& state) {
+  // The rename below replaces the journal's inode; a kept-open append
+  // descriptor would keep writing to the orphaned old file.
+  CloseAppendFd();
+  EncodeRecord(state, scratch_.data());
+  const int fd = ::open(tmp_path_.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  bool ok = WriteFully(fd, scratch_.data(), kRecordBytes);
+  // fsync before rename: the atomicity argument needs the new contents
+  // durable before the new name points at them.
+  ok = ::fsync(fd) == 0 && ok;
+  ok = ::close(fd) == 0 && ok;
+  if (ok) {
+    ok = std::rename(tmp_path_.c_str(), options_.path.c_str()) == 0;
+  }
+  if (!ok) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.compactions;
+  appends_since_compaction_ = 0;
+  return true;
+}
+
+JournalReplay StateJournal::Replay(const std::string& path) {
+  JournalReplay replay;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return replay;  // no file: plain cold start
+  replay.file_found = true;
+  std::vector<unsigned char> data;
+  unsigned char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ++replay.corrupt_records;  // unreadable counts as corrupt
+      (void)::close(fd);
+      return replay;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  (void)::close(fd);
+
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t remaining = data.size() - off;
+    if (remaining < kHeaderBytes) {
+      ++replay.torn_records;
+      break;
+    }
+    if (LoadU32(&data[off]) != kMagic) {
+      ++replay.corrupt_records;
+      break;
+    }
+    const std::uint32_t version = LoadU32(&data[off + 4]);
+    const std::uint32_t payload_size = LoadU32(&data[off + 8]);
+    if (payload_size > kMaxPayloadBytes) {
+      ++replay.corrupt_records;
+      break;
+    }
+    if (remaining < kHeaderBytes + payload_size + 4) {
+      ++replay.torn_records;
+      break;
+    }
+    const std::uint32_t crc = Crc32(&data[off + 4], 8 + payload_size);
+    if (crc != LoadU32(&data[off + kHeaderBytes + payload_size])) {
+      // Framing beyond a checksum failure cannot be trusted: stop and
+      // keep whatever was valid before it.
+      ++replay.corrupt_records;
+      break;
+    }
+    if (version != kVersion || payload_size != kPayloadBytes) {
+      // Intact record from another binary version: skip it, keep
+      // scanning — framing is still sound.
+      ++replay.version_mismatches;
+      off += kHeaderBytes + payload_size + 4;
+      continue;
+    }
+    LimoncelloDaemon::PersistentState state;
+    if (!StateJournal::DecodePayload(&data[off + kHeaderBytes], &state)) {
+      ++replay.corrupt_records;
+      break;
+    }
+    replay.state = state;
+    ++replay.valid_records;
+    off += kRecordBytes;
+  }
+  return replay;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,130 @@
+// Crash-safe persistence for the controller daemon's state.
+//
+// A StateJournal is an append-only file of CRC32-protected, versioned
+// records, each one a full LimoncelloDaemon::PersistentState snapshot.
+// Appends are cheap (one write(2) of a fixed-size record from a
+// preallocated buffer — the steady-state path never allocates); the
+// durability point is the atomic snapshot: serialize to a temp file,
+// fsync, rename over the journal. rename(2) is atomic on POSIX, so a
+// reader sees either the old journal or the new one, never a half-
+// written file. Periodic compaction (every compact_every_appends
+// appends) rewrites the journal down to its single newest record via
+// the same snapshot path, bounding both file size and replay time.
+//
+// Replay walks the records front to back and keeps the last fully valid
+// one. Anything wrong — a torn tail from a crash mid-append, a record
+// whose CRC fails, a version from a different binary, a size field
+// pointing past the file — is counted and the scan degrades safely:
+// torn/corrupt data stops the scan (framing past it cannot be trusted),
+// while a version mismatch with an intact CRC skips just that record.
+// Replay never crashes on any input; the worst outcome is "no state",
+// which callers treat as a cold start.
+#ifndef LIMONCELLO_RECOVERY_STATE_JOURNAL_H_
+#define LIMONCELLO_RECOVERY_STATE_JOURNAL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/daemon.h"
+
+namespace limoncello {
+
+// IEEE CRC-32 (reflected, polynomial 0xEDB88320) — the checksum guarding
+// every journal record. Exposed for tests and corruption fixtures.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+// Outcome of replaying a journal file.
+struct JournalReplay {
+  // The newest record that framed, checksummed, and decoded cleanly.
+  std::optional<LimoncelloDaemon::PersistentState> state;
+  std::uint64_t valid_records = 0;
+  std::uint64_t version_mismatches = 0;  // intact frame, foreign version
+  std::uint64_t corrupt_records = 0;     // bad magic/size/CRC: scan stops
+  std::uint64_t torn_records = 0;        // file ends mid-record
+  bool file_found = false;
+
+  bool Clean() const {
+    return version_mismatches == 0 && corrupt_records == 0 &&
+           torn_records == 0;
+  }
+};
+
+class StateJournal {
+ public:
+  // On-disk framing constants (also used by tests to build fixtures).
+  static constexpr std::uint32_t kMagic = 0x4C4D4A31;  // "LMJ1"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 12;  // magic|version|size
+  static constexpr std::size_t kPayloadBytes = 148;
+  static constexpr std::size_t kRecordBytes =
+      kHeaderBytes + kPayloadBytes + 4 /* CRC */;
+
+  struct Options {
+    std::string path;
+    // Rewrite the journal down to one record every this many appends
+    // (bounds file growth and replay time). Must be >= 1.
+    int compact_every_appends = 64;
+    // fsync(2) after every append. Off by default: the atomic-rename
+    // snapshot is the durability point, and a torn append tail is
+    // recovered by replay — per-append fsync buys little and costs a
+    // device flush on the tick path.
+    bool fsync_each_append = false;
+  };
+
+  struct Stats {
+    std::uint64_t appends = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t io_errors = 0;
+  };
+
+  explicit StateJournal(const Options& options);
+  ~StateJournal();
+
+  StateJournal(const StateJournal&) = delete;
+  StateJournal& operator=(const StateJournal&) = delete;
+
+  // Appends one record, compacting first when the period is due.
+  // Zero-allocation: serializes into a fixed member buffer and writes to
+  // the kept-open descriptor. Returns false on IO failure (counted in
+  // stats; the journal keeps trying on later calls).
+  bool Append(const LimoncelloDaemon::PersistentState& state);
+
+  // Atomically replaces the journal with a single record of `state`:
+  // write temp + fsync + rename. This is the graceful-shutdown flush and
+  // the compaction mechanism.
+  bool WriteSnapshot(const LimoncelloDaemon::PersistentState& state);
+
+  // Replays the journal at `path`. Tolerates every malformed input
+  // (missing, empty, torn, corrupt, truncated, foreign-versioned) —
+  // failures are reported in the result, never thrown or crashed on.
+  static JournalReplay Replay(const std::string& path);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& path() const { return options_.path; }
+
+  // Serialization of one full record into/out of a buffer of at least
+  // kRecordBytes. Exposed for tests that hand-craft corrupt files.
+  static void EncodeRecord(const LimoncelloDaemon::PersistentState& state,
+                           unsigned char* out);
+  static bool DecodePayload(const unsigned char* payload,
+                            LimoncelloDaemon::PersistentState* out);
+
+ private:
+  bool EnsureOpenForAppend();
+  void CloseAppendFd();
+
+  Options options_;
+  std::string tmp_path_;  // precomputed: options_.path + ".tmp"
+  int fd_ = -1;           // append descriptor, opened lazily
+  int appends_since_compaction_ = 0;
+  Stats stats_;
+  // Scratch for Append/WriteSnapshot so the hot path never allocates.
+  std::array<unsigned char, kRecordBytes> scratch_{};
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_RECOVERY_STATE_JOURNAL_H_

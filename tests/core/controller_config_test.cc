@@ -1,0 +1,118 @@
+// ControllerConfig::Validate(): every violated constraint is reported as
+// a structured error naming the field, and Valid() is exactly
+// "no errors". limoncellod prints this list and refuses to start on any
+// error (see tools/limoncellod.cc), so the messages must be actionable.
+#include "core/controller_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace limoncello {
+namespace {
+
+bool AnyMentions(const std::vector<std::string>& errors,
+                 const std::string& needle) {
+  for (const std::string& error : errors) {
+    if (error.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ControllerConfigTest, DefaultsAreValid) {
+  ControllerConfig config;
+  EXPECT_TRUE(config.Validate().empty());
+  EXPECT_TRUE(config.Valid());
+}
+
+TEST(ControllerConfigTest, InvertedHysteresisBandNamesBothThresholds) {
+  ControllerConfig config;
+  config.upper_threshold = 0.5;
+  config.lower_threshold = 0.7;
+  const auto errors = config.Validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("upper_threshold"), std::string::npos);
+  EXPECT_NE(errors[0].find("lower_threshold"), std::string::npos);
+  EXPECT_FALSE(config.Valid());
+}
+
+TEST(ControllerConfigTest, EqualThresholdsAreInvalid) {
+  // The band must be strict: equal thresholds would toggle on noise.
+  ControllerConfig config;
+  config.upper_threshold = 0.7;
+  config.lower_threshold = 0.7;
+  EXPECT_FALSE(config.Valid());
+}
+
+TEST(ControllerConfigTest, EachFieldViolationNamesItsField) {
+  {
+    ControllerConfig config;
+    config.lower_threshold = -0.1;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "lower_threshold"));
+  }
+  {
+    ControllerConfig config;
+    config.upper_threshold = 2.0;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "upper_threshold"));
+  }
+  {
+    ControllerConfig config;
+    config.sustain_duration_ns = -1;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "sustain_duration_ns"));
+  }
+  {
+    ControllerConfig config;
+    config.tick_period_ns = 0;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "tick_period_ns"));
+  }
+  {
+    ControllerConfig config;
+    config.max_missed_samples = 0;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "max_missed_samples"));
+  }
+  {
+    ControllerConfig config;
+    config.retry_backoff_cap_ticks = 0;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "retry_backoff_cap_ticks"));
+  }
+  {
+    ControllerConfig config;
+    config.max_stale_samples = 0;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "max_stale_samples"));
+  }
+  {
+    ControllerConfig config;
+    config.readback_period_ticks = -1;
+    EXPECT_TRUE(AnyMentions(config.Validate(), "readback_period_ticks"));
+  }
+}
+
+TEST(ControllerConfigTest, ErrorMessagesIncludeTheOffendingValue) {
+  ControllerConfig config;
+  config.max_missed_samples = -3;
+  const auto errors = config.Validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("-3"), std::string::npos) << errors[0];
+}
+
+TEST(ControllerConfigTest, MultipleViolationsAreAllReported) {
+  ControllerConfig config;
+  config.upper_threshold = 0.4;  // inverted band
+  config.tick_period_ns = -5;
+  config.retry_backoff_cap_ticks = 0;
+  const auto errors = config.Validate();
+  EXPECT_EQ(errors.size(), 3u);
+  EXPECT_TRUE(AnyMentions(errors, "upper_threshold"));
+  EXPECT_TRUE(AnyMentions(errors, "tick_period_ns"));
+  EXPECT_TRUE(AnyMentions(errors, "retry_backoff_cap_ticks"));
+}
+
+TEST(ControllerConfigTest, ZeroReadbackPeriodMeansDisabledAndIsValid) {
+  ControllerConfig config;
+  config.readback_period_ticks = 0;
+  EXPECT_TRUE(config.Valid());
+}
+
+}  // namespace
+}  // namespace limoncello

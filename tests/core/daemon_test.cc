@@ -191,6 +191,117 @@ TEST(DaemonTest, StatsCountTicks) {
   EXPECT_EQ(daemon.stats().ticks, 7u);
 }
 
+// FakeActuator with working readback, for reconcile tests.
+class ReadbackFakeActuator : public FakeActuator {
+ public:
+  std::optional<bool> StateMatches(bool want_enabled) override {
+    return enabled == want_enabled;
+  }
+};
+
+TEST(DaemonTest, ExportRestoreRoundTripsTheFullState) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(FastConfig(), &telemetry, &actuator);
+  telemetry.PushN(0.9, 3);  // disable, then one steady tick
+  for (int i = 0; i < 3; ++i) daemon.RunTick(i * kNsPerSec);
+  ASSERT_EQ(daemon.controller().state(), ControllerState::kDisabledSteady);
+  const LimoncelloDaemon::PersistentState exported = daemon.ExportState();
+  EXPECT_EQ(exported.controller_state, ControllerState::kDisabledSteady);
+  EXPECT_EQ(exported.toggle_count, 1u);
+  EXPECT_EQ(exported.stats.ticks, 3u);
+
+  FakeTelemetry telemetry2;
+  FakeActuator actuator2;
+  LimoncelloDaemon restarted(FastConfig(), &telemetry2, &actuator2);
+  EXPECT_TRUE(restarted.RestoreState(exported));
+  EXPECT_EQ(restarted.controller().state(),
+            ControllerState::kDisabledSteady);
+  EXPECT_EQ(restarted.controller().toggle_count(), 1u);
+  EXPECT_EQ(restarted.stats().ticks, 3u);
+  EXPECT_EQ(restarted.stats().warm_restores, 1u);
+  // Round trip again: apart from the warm-restore count the snapshot is
+  // unchanged.
+  LimoncelloDaemon::PersistentState again = restarted.ExportState();
+  again.stats.warm_restores = exported.stats.warm_restores;
+  EXPECT_EQ(again, exported);
+}
+
+TEST(DaemonTest, RestoreStateFiresTheStateListener) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(FastConfig(), &telemetry, &actuator);
+  std::optional<bool> heard;
+  daemon.SetStateListener([&heard](bool enabled) { heard = enabled; });
+  LimoncelloDaemon::PersistentState state;
+  state.controller_state = ControllerState::kDisabledSteady;
+  ASSERT_TRUE(daemon.RestoreState(state));
+  ASSERT_TRUE(heard.has_value());
+  EXPECT_FALSE(*heard);
+}
+
+TEST(DaemonTest, RestoreRejectsStatesViolatingConfigInvariants) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;
+  LimoncelloDaemon daemon(FastConfig(), &telemetry, &actuator);
+
+  LimoncelloDaemon::PersistentState bad;
+  bad.controller_state = static_cast<ControllerState>(9);  // no such state
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  bad = {};
+  bad.pending_retry = static_cast<ControllerAction>(42);
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  bad = {};
+  bad.timer_ns = -1;
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  bad = {};  // steady state must have a clear timer
+  bad.controller_state = ControllerState::kEnabledSteady;
+  bad.timer_ns = kNsPerSec;
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  bad = {};  // arming timer must be inside the sustain window (2 s)
+  bad.controller_state = ControllerState::kEnabledArming;
+  bad.timer_ns = 5 * kNsPerSec;
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  bad = {};  // backoff beyond the config cap (1)
+  bad.retry_delay_ticks = 4;
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  bad = {};  // missed-sample run at/past the fail-safe trip point (3)
+  bad.consecutive_missed = 3;
+  EXPECT_FALSE(daemon.RestoreState(bad));
+
+  // Nothing was adopted: the daemon is still at its cold-start state.
+  EXPECT_EQ(daemon.stats().warm_restores, 0u);
+  EXPECT_EQ(daemon.controller().state(), ControllerState::kEnabledSteady);
+}
+
+TEST(DaemonTest, ReconcileWithoutReadbackIsUnknown) {
+  FakeTelemetry telemetry;
+  FakeActuator actuator;  // base fake: StateMatches returns nullopt
+  LimoncelloDaemon daemon(FastConfig(), &telemetry, &actuator);
+  EXPECT_EQ(daemon.ReconcileHardwareState(), ReconcileStatus::kUnknown);
+  EXPECT_EQ(daemon.stats().recovery_reconciles, 0u);
+}
+
+TEST(DaemonTest, ReconcileReassertsMismatchedHardware) {
+  FakeTelemetry telemetry;
+  ReadbackFakeActuator actuator;
+  actuator.enabled = false;  // hardware disagrees with cold-start intent
+  LimoncelloDaemon daemon(FastConfig(), &telemetry, &actuator);
+  EXPECT_EQ(daemon.ReconcileHardwareState(), ReconcileStatus::kReasserted);
+  EXPECT_TRUE(actuator.enabled);
+  EXPECT_EQ(daemon.stats().recovery_reconciles, 1u);
+
+  // A second reconcile now matches and is side-effect free.
+  EXPECT_EQ(daemon.ReconcileHardwareState(), ReconcileStatus::kMatched);
+  EXPECT_EQ(daemon.stats().recovery_reconciles, 1u);
+}
+
 TEST(DaemonTest, MsrBackedActuatorEndToEnd) {
   // Full integration of daemon -> MsrPrefetchActuator -> PrefetchControl
   // -> SimulatedMsrDevice.

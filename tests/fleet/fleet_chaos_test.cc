@@ -19,6 +19,8 @@ FaultSpec ChaosSpec() {
   faults.msr_transient_rate = 0.008;
   faults.msr_core_fault_rate = 0.004;
   faults.crash_rate = 0.004;
+  faults.daemon_restart_rate = 0.004;
+  faults.daemon_restart_down_ticks = 3;
   // Quiet tail: no new fault may start after tick 340, so by the end of
   // the run every machine has had time to reconverge.
   faults.max_fault_tick = 340;
@@ -34,6 +36,7 @@ FleetOptions ChaosFleet(int num_threads) {
   options.diurnal_period_ns = 400LL * kNsPerSec;
   options.num_threads = num_threads;
   options.faults = ChaosSpec();
+  options.daemon_snapshot_period_ticks = 4;
   return options;
 }
 
@@ -64,6 +67,11 @@ void ExpectIdenticalChaos(const FleetMetrics& a, const FleetMetrics& b) {
   EXPECT_EQ(a.failsafe_resets, b.failsafe_resets);
   EXPECT_EQ(a.reboots_detected, b.reboots_detected);
   EXPECT_EQ(a.state_reasserts, b.state_reasserts);
+  EXPECT_EQ(a.daemon_kills_injected, b.daemon_kills_injected);
+  EXPECT_EQ(a.daemon_restarts_completed, b.daemon_restarts_completed);
+  EXPECT_EQ(a.daemon_down_machine_ticks, b.daemon_down_machine_ticks);
+  EXPECT_EQ(a.warm_restores, b.warm_restores);
+  EXPECT_EQ(a.recovery_reconciles, b.recovery_reconciles);
   for (auto histogram_member :
        {&FleetMetrics::bandwidth_gbps, &FleetMetrics::bandwidth_utilization,
         &FleetMetrics::latency_ns}) {
@@ -134,10 +142,38 @@ TEST(FleetChaosTest, ChaosRunSurvivesAndReconverges) {
   EXPECT_GT(metrics.diverged_machine_ticks, 0u);
   EXPECT_GE(metrics.MeanTicksToReconverge(), 1.0);
 
+  // Daemon-restart windows opened, closed, and warm-restarted from the
+  // in-memory journal snapshots (period 4, so every kill has a snapshot).
+  EXPECT_GT(metrics.daemon_kills_injected, 0u);
+  EXPECT_EQ(metrics.daemon_restarts_completed, metrics.daemon_kills_injected);
+  EXPECT_GT(metrics.daemon_down_machine_ticks, 0u);
+  EXPECT_GT(metrics.warm_restores, 0u);
+
   // After the quiet tail every machine is up and its hardware state
   // agrees with its daemon's intent.
   for (const auto& machine : sim.machines()) {
     EXPECT_FALSE(machine->injector()->MachineDown());
+    EXPECT_FALSE(machine->injector()->DaemonDown());
+    ASSERT_NE(machine->daemon(), nullptr);
+    EXPECT_EQ(machine->prefetchers_on(),
+              machine->daemon()->controller().PrefetchersShouldBeEnabled());
+  }
+}
+
+TEST(FleetChaosTest, ColdRestartsStillReconvergeWithoutSnapshots) {
+  // Snapshots disabled: every daemon restart is a cold start. The fleet
+  // must still heal — the reconcile path re-asserts cold intent against
+  // whatever the frozen hardware was left holding.
+  FleetOptions options = ChaosFleet(1);
+  options.daemon_snapshot_period_ticks = 0;
+  FleetSimulator sim(PlatformConfig::Platform1(),
+                     DeploymentMode::kHardLimoncello, ChaosController(),
+                     options);
+  const FleetMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.daemon_kills_injected, 0u);
+  EXPECT_EQ(metrics.daemon_restarts_completed, metrics.daemon_kills_injected);
+  EXPECT_EQ(metrics.warm_restores, 0u);
+  for (const auto& machine : sim.machines()) {
     ASSERT_NE(machine->daemon(), nullptr);
     EXPECT_EQ(machine->prefetchers_on(),
               machine->daemon()->controller().PrefetchersShouldBeEnabled());

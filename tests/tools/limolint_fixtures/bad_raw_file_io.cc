@@ -1,0 +1,16 @@
+// Deliberate raw-file-io violations: bare stdio/POSIX file calls whose
+// results are dropped on the floor. Linted as a src/fleet/ path by
+// limolint_test; each numbered line below must be flagged.
+#include <cstdio>
+
+void Persist(int fd, const char* path, const void* buf, FILE* stream) {
+  fopen(path, "w");                 // 1: dropped FILE*
+  write(fd, buf, 8);                // 2: dropped byte count
+  std::fwrite(buf, 1, 8, stream);   // 3: std::-qualified, still dropped
+  pwrite(fd, buf, 8, 0);            // 4: dropped byte count
+  open(path,                        // 5: multi-line call, flagged here
+       0);
+  fwrite(buf, 1, 8, stream);  // limolint:allow(raw-file-io)
+  const long n = static_cast<long>(fwrite(buf, 1, 8, stream));
+  (void)n;  // the assignment above consumes the result: clean
+}

@@ -1,0 +1,13 @@
+// Checked / consumed file-I/O results: nothing here should fire.
+#include <cstdio>
+#include <fstream>
+
+bool Save(int fd, const char* path, const void* buf) {
+  FILE* f = fopen(path, "w");  // consumed: assigned
+  if (f == nullptr) return false;
+  if (std::fwrite(buf, 1, 8, f) != 8) return false;  // consumed: compared
+  std::ofstream out(path, std::ios::binary);
+  out.write(static_cast<const char*>(buf), 8);  // member call, not POSIX
+  const long wrote = write(fd, buf, 8);  // consumed: assigned
+  return wrote == 8;
+}

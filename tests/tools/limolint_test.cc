@@ -167,6 +167,42 @@ TEST(LimolintMsrWrite, CheckedAndConsumedResultsAreClean) {
   EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
 }
 
+TEST(LimolintRawFileIo, DroppedFileIoResultsAreFlagged) {
+  const auto findings =
+      Lint("bad_raw_file_io.cc", "src/fleet/bad_raw_file_io.cc");
+  // fopen, write, std::fwrite, pwrite, multi-line open.
+  EXPECT_EQ(CountRule(findings, "raw-file-io"), 5)
+      << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "raw-file-io"),
+            static_cast<int>(findings.size()))
+      << "only raw-file-io should fire: " << FormatFindings(findings);
+}
+
+TEST(LimolintRawFileIo, MultiLineCallIsFlaggedAtItsFirstLineAndAllowWorks) {
+  const auto findings =
+      Lint("bad_raw_file_io.cc", "src/fleet/bad_raw_file_io.cc");
+  bool found_opening_line = false;
+  for (const Finding& f : findings) {
+    found_opening_line |= f.line == 11;  // open(path,
+    EXPECT_NE(f.line, 12) << "continuation line is not a statement start";
+    EXPECT_NE(f.line, 13) << "allow(raw-file-io) must suppress";
+  }
+  EXPECT_TRUE(found_opening_line) << FormatFindings(findings);
+}
+
+TEST(LimolintRawFileIo, CheckedAndMemberCallsAreClean) {
+  const auto findings =
+      Lint("good_checked_file_io.cc", "tests/msr/good_checked_file_io.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintRawFileIo, RecoveryDirectoryIsExempt) {
+  // The journal implementation owns the raw-fd write path; the same code
+  // linted under src/recovery/ must pass untouched.
+  EXPECT_TRUE(
+      Lint("bad_raw_file_io.cc", "src/recovery/bad_raw_file_io.cc").empty());
+}
+
 TEST(LimolintAllow, MatchingAllowSuppressesAndWrongRuleDoesNot) {
   const auto findings = Lint("allow_escape.cc", "src/fleet/allow_escape.cc");
   ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
@@ -196,6 +232,10 @@ TEST(LimolintMeta, EveryRuleHasAFailingFixture) {
   }
   for (const Finding& f :
        Lint("bad_unchecked_write.cc", "src/fleet/bad_unchecked_write.cc")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f :
+       Lint("bad_raw_file_io.cc", "src/fleet/bad_raw_file_io.cc")) {
     caught.insert(f.rule);
   }
   for (const Rule& rule : Rules()) {

@@ -237,6 +237,27 @@ constexpr const char* kNondeterministicCalls[] = {
     "rand", "srand", "rand_r", "time", "clock", "gettimeofday",
     "clock_gettime", "localtime", "gmtime"};
 
+// Persistence code may touch raw stdio/POSIX file descriptors only in
+// src/recovery/, which owns the journaled write path (StateJournal) and
+// checks every short write. Its direct tests drive corrupt fixtures.
+bool InFileIoExemptDir(const std::string& rel) {
+  return StartsWith(rel, "src/recovery/");
+}
+
+// Raw file-I/O entry points whose return values report the opened handle
+// or the number of bytes actually written. A bare call drops partial
+// writes and open failures on the floor — exactly the torn-journal bug
+// the recovery subsystem exists to survive.
+constexpr const char* kRawFileIoCalls[] = {"fopen",  "open",  "creat",
+                                           "fwrite", "write", "pwrite"};
+
+bool IsRawFileIoCall(const std::string& name) {
+  for (const char* call : kRawFileIoCalls) {
+    if (name == call) return true;
+  }
+  return false;
+}
+
 // Methods whose return value reports whether an MSR write / prefetcher
 // actuation took effect. Dropping it silently is how a daemon ends up
 // believing prefetchers are off while the hardware says otherwise.
@@ -328,6 +349,41 @@ bool UncheckedActuationCall(const std::string& code) {
   }
 }
 
+// True if `code` — a line known to start a new statement — is a bare
+// call to one of the raw file-I/O free functions (optionally ::- or
+// std::-qualified) whose result is dropped. Member calls like
+// `out.write(...)` are stream methods, not the POSIX/stdio entry points,
+// and never match: the first token would be the receiver, not the call.
+// Any consumption — assignment, `if (...)`, `return`, a wrapping check
+// macro, `(void)` — puts a different token first and bails out. A call
+// whose argument list spans lines is the whole statement, so it is a
+// dropped result too.
+bool UncheckedFileIoCall(const std::string& code) {
+  std::size_t pos = code.find_first_not_of(" \t");
+  if (pos == std::string::npos) return false;
+  if (code.compare(pos, 5, "std::") == 0) {
+    pos += 5;
+  } else if (code.compare(pos, 2, "::") == 0) {
+    pos += 2;
+  }
+  if (pos >= code.size() || !IsIdentChar(code[pos]) ||
+      std::isdigit(static_cast<unsigned char>(code[pos])) != 0) {
+    return false;
+  }
+  std::size_t end = pos;
+  while (end < code.size() && IsIdentChar(code[end])) ++end;
+  if (!IsRawFileIoCall(code.substr(pos, end - pos))) return false;
+  while (end < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[end]))) {
+    ++end;
+  }
+  if (end >= code.size() || code[end] != '(') return false;
+  const std::size_t after = SkipParens(code, end);
+  if (after == std::string::npos) return true;  // spans lines: bare call
+  const std::size_t rest = code.find_first_not_of(" \t", after);
+  return rest == std::string::npos || code[rest] == ';';
+}
+
 void Emit(std::vector<Finding>* findings, const std::string& rel_path,
           int line, const std::string& rule, const std::string& message,
           const std::string& comment) {
@@ -387,6 +443,9 @@ const std::vector<Rule>& Rules() {
       {"unchecked-msr-write", "everywhere",
        "discarded MsrDevice::Write / prefetcher actuation result; check "
        "it or annotate the line"},
+      {"raw-file-io", "all but src/recovery/",
+       "bare fopen/open/creat/fwrite/write/pwrite with dropped result; "
+       "check it or persist through src/recovery/ (StateJournal)"},
   };
   return *rules;
 }
@@ -397,6 +456,7 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   const std::vector<ScannedLine> lines = Scan(content);
   const bool header = IsHeaderPath(rel_path);
   const bool check_raw_thread = !InThreadingExemptDir(rel_path);
+  const bool check_raw_file_io = !InFileIoExemptDir(rel_path);
   const bool check_determinism = InDeterministicDir(rel_path);
   const bool check_iostream = header && StartsWith(rel_path, "src/");
 
@@ -418,6 +478,13 @@ std::vector<Finding> LintFile(const std::string& rel_path,
       Emit(&findings, rel_path, line, "unchecked-msr-write",
            "MSR writes and prefetcher actuation can fail; check the "
            "returned status instead of dropping it",
+           comment);
+    }
+
+    if (check_raw_file_io && statement_start && UncheckedFileIoCall(code)) {
+      Emit(&findings, rel_path, line, "raw-file-io",
+           "raw file I/O can open-fail or short-write; check the result "
+           "or persist through src/recovery/ (StateJournal)",
            comment);
     }
 

@@ -12,6 +12,7 @@
 // Examples:
 //   limoncellod --ticks=120 --upper=0.8 --lower=0.6 --sustain-sec=5
 //   limoncellod --mode=real --telemetry-file=/run/membw.txt --dry-run
+#include <csignal>
 #include <cstdio>
 #include <memory>
 
@@ -20,12 +21,64 @@
 #include "core/perf_csv_source.h"
 #include "fleet/machine_model.h"
 #include "msr/linux_msr_device.h"
+#include "recovery/recovery_manager.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace limoncello {
 namespace {
+
+// SIGTERM/SIGINT request a graceful exit: finish the current tick, flush
+// a final journal snapshot, print the stats summary, return 0. Installed
+// without SA_RESTART so the tick-period nanosleep wakes immediately.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void HandleShutdownSignal(int signum) { g_shutdown_signal = signum; }
+
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+}
+
+// End-of-run stats summary, printed on both bounded completion and
+// signal-driven shutdown.
+void PrintDaemonSummary(const LimoncelloDaemon::Stats& stats) {
+  LIMONCELLO_LOG_INFO(
+      "summary: %llu ticks, %llu disables, %llu enables, %llu missed / "
+      "%llu invalid / %llu stale samples, %llu fail-safes, %llu "
+      "actuation failures, %llu reboots detected, %llu warm restores, "
+      "%llu recovery reconciles",
+      static_cast<unsigned long long>(stats.ticks),
+      static_cast<unsigned long long>(stats.disables),
+      static_cast<unsigned long long>(stats.enables),
+      static_cast<unsigned long long>(stats.missed_samples),
+      static_cast<unsigned long long>(stats.invalid_samples),
+      static_cast<unsigned long long>(stats.stale_samples),
+      static_cast<unsigned long long>(stats.failsafe_resets),
+      static_cast<unsigned long long>(stats.actuation_failures),
+      static_cast<unsigned long long>(stats.reboots_detected),
+      static_cast<unsigned long long>(stats.warm_restores),
+      static_cast<unsigned long long>(stats.recovery_reconciles));
+}
+
+// Satellite of the recovery work: an invalid config is now a startup
+// error with every violated constraint spelled out, not a CHECK crash
+// (or silent misbehaviour) at tick time.
+bool ValidateConfigOrLog(const ControllerConfig& config) {
+  const std::vector<std::string> errors = config.Validate();
+  if (errors.empty()) return true;
+  LIMONCELLO_LOG_ERROR("invalid controller configuration (%zu error%s):",
+                       errors.size(), errors.size() == 1 ? "" : "s");
+  for (const std::string& error : errors) {
+    LIMONCELLO_LOG_ERROR("  - %s", error.c_str());
+  }
+  return false;
+}
 
 // Wraps an actuator to log (and optionally suppress) MSR writes.
 class LoggingActuator : public PrefetchActuator {
@@ -69,10 +122,7 @@ ControllerConfig ConfigFromFlags(const FlagParser& flags) {
 int RunSim(const FlagParser& flags) {
   const int ticks = static_cast<int>(flags.GetInt("ticks").value_or(120));
   const ControllerConfig config = ConfigFromFlags(flags);
-  if (!config.Valid()) {
-    LIMONCELLO_LOG_ERROR("invalid controller configuration");
-    return 2;
-  }
+  if (!ValidateConfigOrLog(config)) return 2;
 
   // Optional chaos mode: a deterministic fault schedule (telemetry
   // corruption, MSR write failures, crash/reboot) driven by --chaos-seed,
@@ -129,6 +179,11 @@ int RunSim(const FlagParser& flags) {
   bool last_state = true;
   bool last_down = false;
   for (int t = 0; t < ticks; ++t) {
+    if (g_shutdown_signal != 0) {
+      LIMONCELLO_LOG_INFO("signal %d: stopping at tick %d",
+                          static_cast<int>(g_shutdown_signal), t);
+      break;
+    }
     const SimTimeNs now = static_cast<SimTimeNs>(t) * config.tick_period_ns;
     for (std::size_t s = 0; s < services.size(); ++s) {
       factors[s] = loads[s]->Tick(now);
@@ -150,14 +205,7 @@ int RunSim(const FlagParser& flags) {
         r.prefetchers_on ? "on" : "off");
   }
   const LimoncelloDaemon* daemon = machine.daemon();
-  LIMONCELLO_LOG_INFO(
-      "done: %llu ticks, %llu disables, %llu enables, %llu missed "
-      "samples, %llu fail-safes",
-      static_cast<unsigned long long>(daemon->stats().ticks),
-      static_cast<unsigned long long>(daemon->stats().disables),
-      static_cast<unsigned long long>(daemon->stats().enables),
-      static_cast<unsigned long long>(daemon->stats().missed_samples),
-      static_cast<unsigned long long>(daemon->stats().failsafe_resets));
+  PrintDaemonSummary(daemon->stats());
   if (machine.injector() != nullptr) {
     const FaultInjector::Stats& injected = machine.injector()->stats();
     const MachineModel::FaultRecovery& recovery = machine.fault_recovery();
@@ -195,10 +243,7 @@ int RunReal(const FlagParser& flags) {
   }
   const bool dry_run = flags.GetBool("dry-run").value_or(false);
   const ControllerConfig config = ConfigFromFlags(flags);
-  if (!config.Valid()) {
-    LIMONCELLO_LOG_ERROR("invalid controller configuration");
-    return 2;
-  }
+  if (!ValidateConfigOrLog(config)) return 2;
 
   LinuxMsrDevice device;
   if (!device.available() && !dry_run) {
@@ -229,6 +274,55 @@ int RunReal(const FlagParser& flags) {
   }
   LimoncelloDaemon daemon(config, telemetry.get(), &actuator);
 
+  // Crash-safe state: with --state-file the daemon journals its FSM +
+  // retry state and warm-restarts from the newest valid record,
+  // reconciling the recovered intent against the hardware before the
+  // first tick (DESIGN.md §11).
+  std::unique_ptr<RecoveryManager> recovery;
+  const auto state_file = flags.GetString("state-file");
+  if (state_file.has_value()) {
+    RecoveryOptions recovery_options;
+    recovery_options.state_file = *state_file;
+    recovery_options.snapshot_period_ticks = static_cast<int>(
+        flags.GetInt("snapshot-period-ticks").value_or(8));
+    if (recovery_options.snapshot_period_ticks < 1) {
+      LIMONCELLO_LOG_ERROR("--snapshot-period-ticks must be >= 1");
+      return 2;
+    }
+    recovery = std::make_unique<RecoveryManager>(recovery_options, &daemon);
+    const RecoveryResult result = recovery->RecoverAndReconcile();
+    const JournalReplay& replay = result.replay;
+    if (result.warm) {
+      LIMONCELLO_LOG_INFO(
+          "warm restart from %s: restored %s @ tick %llu "
+          "(prefetchers %s, %llu toggles); hardware %s",
+          state_file->c_str(),
+          ControllerStateName(daemon.controller().state()),
+          static_cast<unsigned long long>(daemon.stats().ticks),
+          daemon.controller().PrefetchersShouldBeEnabled() ? "on" : "off",
+          static_cast<unsigned long long>(
+              daemon.controller().toggle_count()),
+          ReconcileStatusName(result.reconcile));
+    } else {
+      LIMONCELLO_LOG_INFO(
+          "cold start (%s): %s; hardware %s", state_file->c_str(),
+          !replay.file_found ? "no journal"
+          : result.rejected_state
+              ? "journal record failed state validation"
+              : "journal held no valid record",
+          ReconcileStatusName(result.reconcile));
+    }
+    if (!replay.Clean()) {
+      LIMONCELLO_LOG_WARN(
+          "journal damage tolerated: %llu torn, %llu corrupt, %llu "
+          "version-mismatched record(s); kept %llu valid",
+          static_cast<unsigned long long>(replay.torn_records),
+          static_cast<unsigned long long>(replay.corrupt_records),
+          static_cast<unsigned long long>(replay.version_mismatches),
+          static_cast<unsigned long long>(replay.valid_records));
+    }
+  }
+
   const int ticks = static_cast<int>(flags.GetInt("ticks").value_or(0));
   LIMONCELLO_LOG_INFO(
       "real mode (%s): %d cpus, telemetry from %s, %s",
@@ -236,10 +330,18 @@ int RunReal(const FlagParser& flags) {
       ticks > 0 ? "bounded run" : "running until interrupted");
 
   // NOTE: this loop uses wall-clock sleeps; a bounded --ticks run is
-  // provided for testing.
+  // provided for testing. SIGTERM/SIGINT exit it cleanly: the handler
+  // interrupts the nanosleep (no SA_RESTART) and the loop breaks at the
+  // next check, flushing a final journal snapshot on the way out.
   for (int t = 0; ticks == 0 || t < ticks; ++t) {
+    if (g_shutdown_signal != 0) {
+      LIMONCELLO_LOG_INFO("signal %d: stopping at tick %d",
+                          static_cast<int>(g_shutdown_signal), t);
+      break;
+    }
     const auto record =
         daemon.RunTick(static_cast<SimTimeNs>(t) * config.tick_period_ns);
+    if (recovery != nullptr) recovery->OnTickComplete(record);
     if (record.sample_ok) {
       LIMONCELLO_LOG_DEBUG("t=%d util=%.1f%% state=%s", t,
                            100.0 * record.utilization,
@@ -251,13 +353,24 @@ int RunReal(const FlagParser& flags) {
     // Sleep one tick period between samples.
     const auto seconds =
         static_cast<unsigned>(config.tick_period_ns / kNsPerSec);
-    if (seconds > 0 && !(ticks > 0 && t + 1 >= ticks)) {
+    if (seconds > 0 && !(ticks > 0 && t + 1 >= ticks) &&
+        g_shutdown_signal == 0) {
       // std::this_thread would drag in <thread>; keep it POSIX.
       struct timespec ts = {static_cast<time_t>(seconds), 0};
       nanosleep(&ts, nullptr);
     }
 #endif
   }
+  if (recovery != nullptr) {
+    if (recovery->FlushSnapshot()) {
+      LIMONCELLO_LOG_INFO("flushed final state snapshot to %s",
+                          recovery->journal().path().c_str());
+    } else {
+      LIMONCELLO_LOG_WARN("failed to flush final state snapshot to %s",
+                          recovery->journal().path().c_str());
+    }
+  }
+  PrintDaemonSummary(daemon.stats());
   return 0;
 }
 
@@ -275,6 +388,12 @@ int Main(int argc, char** argv) {
               "corruption, MSR failures, crash/reboot)")
       .Define("chaos-seed", "sim mode with --chaos: fault schedule seed (1)")
       .Define("telemetry-file", "real mode: file with utilization samples")
+      .Define("state-file",
+              "real mode: CRC-protected state journal enabling warm "
+              "restart (see DESIGN.md section 11)")
+      .Define("snapshot-period-ticks",
+              "real mode with --state-file: journal cadence on quiet "
+              "ticks (8; actuations always journal)")
       .Define("perf-csv", "real mode: perf stat -I -x, output file")
       .Define("saturation-gbps",
               "real mode with --perf-csv: socket saturation bandwidth (100)")
@@ -296,6 +415,7 @@ int Main(int argc, char** argv) {
   if (flags.GetBool("verbose").value_or(false)) {
     SetLogLevel(LogLevel::kDebug);
   }
+  InstallShutdownHandlers();
   // Process-wide default thread count: any FleetSimulator created with
   // num_threads = 0 (auto) picks this up ahead of the environment.
   SetDefaultThreadCount(

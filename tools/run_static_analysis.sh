@@ -74,8 +74,10 @@ echo "=== [3/3] sanitizer pass ($SANITIZER) ==="
 # Matches the discovered gtest names (SuiteName.Case) plus the limolint
 # tree check itself. The fault-injection suites ride along: the chaos
 # paths (decorators, reboot callbacks, retry/backoff state) must be as
-# data-race- and UB-clean as the happy path.
-SAN_TESTS_REGEX='^(MutexTest|CondVarTest|ThreadPoolTest|FleetParallelTest|FleetChaosTest|DaemonFaultTest|FaultPlanTest|FaultInjectorTest|Limolint|limolint)'
+# data-race- and UB-clean as the happy path. So must the recovery paths:
+# journal replay parses attacker-grade bytes (torn/corrupt fixtures), so
+# it runs under every sanitizer too.
+SAN_TESTS_REGEX='^(MutexTest|CondVarTest|ThreadPoolTest|FleetParallelTest|FleetChaosTest|DaemonFaultTest|FaultPlanTest|FaultInjectorTest|StateJournalTest|RecoveryManagerTest|WarmRestartTest|ControllerConfigTest|Limolint|limolint)'
 case "$SANITIZER" in
   none)
     stage sanitizer SKIP "disabled via --sanitizer=none"
@@ -88,7 +90,9 @@ case "$SANITIZER" in
     elif ! cmake --build "$SAN_DIR" -j "$JOBS" --target \
         mutex_test thread_pool_test fleet_parallel_test \
         fleet_chaos_test daemon_fault_test fault_plan_test \
-        fault_injector_test limolint limolint_test >/dev/null; then
+        fault_injector_test state_journal_test recovery_manager_test \
+        warm_restart_test controller_config_test \
+        limolint limolint_test >/dev/null; then
       stage sanitizer FAIL "build under ${SAN_OPT} failed"
     elif (cd "$SAN_DIR" && ctest -R "$SAN_TESTS_REGEX" \
         --output-on-failure -j "$JOBS"); then
