@@ -77,10 +77,21 @@ FleetEngineTiming TimeFleetEngine(const PlatformConfig& platform,
                                   FleetOptions options, int threads);
 
 // Writes the timing sweep as JSON (one object, results array ordered as
-// given) so CI can diff machine-ticks/sec across PRs.
+// given) so CI can diff machine-ticks/sec across PRs. Headline fields:
+// "speedup_4t" (4-thread rate over serial, 0 when either arm is absent)
+// and "serial_speedup_vs_baseline" (serial rate over the pre-SoA
+// engine's recorded rate, so single-core hosts still show the win).
+// hardware_threads records the host so a flat curve on a 1-core CI box
+// is not misread as a regression. big_run, when non-null, is the
+// 100k-machine x 600-tick arm (ROADMAP's fleet-scale target) with its
+// own options in big_options.
 bool WriteFleetBenchJson(const std::string& path,
                          const FleetOptions& options,
-                         const std::vector<FleetEngineTiming>& results);
+                         const std::vector<FleetEngineTiming>& results,
+                         int hardware_threads,
+                         double serial_baseline_machine_ticks_per_sec,
+                         const FleetEngineTiming* big_run,
+                         const FleetOptions* big_options);
 
 // ---------------------------------------------------------------------------
 // Cache hot-path microbench (bench_cache / bench_socket, BENCH_socket.json

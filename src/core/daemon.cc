@@ -265,8 +265,10 @@ LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
     }
     record.sample_ok = false;
     record.state = controller_.state();
-    state_trace_.Add(now_ns,
-                     controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);
+    if (trace_recording_) {
+      state_trace_.Add(
+          now_ns, controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);
+    }
     return record;
   }
 
@@ -286,9 +288,11 @@ LimoncelloDaemon::TickRecord LimoncelloDaemon::RunTick(SimTimeNs now_ns) {
     }
   }
   MaybeReadback();
-  utilization_trace_.Add(now_ns, *sample);
-  state_trace_.Add(now_ns,
-                   controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);
+  if (trace_recording_) {
+    utilization_trace_.Add(now_ns, *sample);
+    state_trace_.Add(now_ns,
+                     controller_.PrefetchersShouldBeEnabled() ? 1.0 : 0.0);
+  }
   return record;
 }
 

@@ -133,6 +133,12 @@ class LimoncelloDaemon {
   const TimeSeries& state_trace() const { return state_trace_; }
   const TimeSeries& utilization_trace() const { return utilization_trace_; }
 
+  // Trace recording is on by default (figure tools and tests read the
+  // traces). The fleet simulator turns it off: appending two TimeSeries
+  // points per tick is the only allocation in an otherwise alloc-free
+  // machine-tick, and at fleet scale the buffers would grow unbounded.
+  void set_trace_recording(bool enabled) { trace_recording_ = enabled; }
+
  private:
   bool Actuate(ControllerAction action);
   // Runs the pending-retry state machine (backoff countdown + retry).
@@ -166,6 +172,7 @@ class LimoncelloDaemon {
   bool have_last_sample_ = false;
   int stale_run_ = 0;
   StateListener state_listener_;
+  bool trace_recording_ = true;
   TimeSeries state_trace_;
   TimeSeries utilization_trace_;
 };

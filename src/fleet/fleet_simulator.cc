@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -10,26 +11,13 @@ namespace limoncello {
 
 namespace {
 
-// Machines per tick shard. Fixed (never derived from the thread count) so
-// the shard decomposition — and therefore every floating-point reduction
-// order — is identical no matter how many workers execute the shards.
-constexpr std::size_t kMachinesPerShard = 8;
-
-std::size_t NumShards(std::size_t num_machines) {
-  return (num_machines + kMachinesPerShard - 1) / kMachinesPerShard;
-}
-
-// Scheduling grain: each cursor claim hands a thread its proportional
-// slice of the shards (~machines/threads machines), so a tick costs O(1)
-// cursor operations per thread instead of one per shard. The grain only
-// changes how shards are batched onto threads — every shard still
-// accumulates into its own fixed partial, so results stay bit-identical
-// at any thread count (and any grain).
-std::int64_t ShardGrain(std::size_t num_shards, int num_threads) {
-  const std::size_t threads =
-      static_cast<std::size_t>(num_threads > 0 ? num_threads : 1);
-  return static_cast<std::int64_t>((num_shards + threads - 1) / threads);
-}
+// One slice's partial metrics, padded to its own cache line(s) so two
+// workers accumulating adjacent slices never write the same line. (The
+// histograms' bucket storage lives in separate per-partial heap blocks,
+// so the scalar counters here are the only false-sharing hazard.)
+struct alignas(64) SlicePartial {
+  FleetMetrics metrics;
+};
 
 }  // namespace
 
@@ -77,6 +65,9 @@ FleetSimulator::FleetSimulator(const PlatformConfig& platform,
       options_(options),
       rng_(options.seed),
       services_(ServiceSpec::FleetArchetypes()),
+      state_(std::make_unique<FleetState>(
+          static_cast<std::size_t>(std::max(1, options.num_machines)))),
+      lut_(platform.latency),
       scheduler_(options.scheduler, rng_.Fork(0x5c)) {
   LIMONCELLO_CHECK_GT(options.num_machines, 0);
   LIMONCELLO_CHECK_GT(options.ticks, 0);
@@ -118,7 +109,8 @@ FleetSimulator::FleetSimulator(const PlatformConfig& platform,
         rng_.Fork(0x9000 + static_cast<std::uint64_t>(m)),
         fault_plans_.empty() ? nullptr
                              : &fault_plans_[static_cast<std::size_t>(m)],
-        fault_plans_.empty() ? 0 : options.daemon_snapshot_period_ticks));
+        fault_plans_.empty() ? 0 : options.daemon_snapshot_period_ticks,
+        state_.get(), static_cast<std::size_t>(m), &lut_));
   }
   pool_ = std::make_unique<ThreadPool>(
       ResolveThreadCount(options.num_threads));
@@ -155,18 +147,21 @@ void FleetSimulator::PlaceWorkloads() {
   // a pure function of the seed: every deployment arm starts from the
   // identical pre-rollout placement, and only runtime behaviour (and
   // later rebalancing) differs.
+  FleetState shadow_state(machines_.size());
   std::vector<std::unique_ptr<MachineModel>> shadows;
   std::vector<MachineModel*> shadow_raw;
   shadows.reserve(machines_.size());
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     shadows.push_back(std::make_unique<MachineModel>(
         platform_, DeploymentMode::kBaseline, controller_,
-        rng_.Fork(0x9000 + m)));
+        rng_.Fork(0x9000 + m), nullptr, 0, &shadow_state, m, &lut_));
     shadow_raw.push_back(shadows.back().get());
   }
 
   constexpr int kWaves = 6;
+  constexpr int kWarmTicks = 4;
   const std::vector<double> unit_load(services_.size(), 1.0);
+  const FleetSlicePlan plan = FleetSlicePlan::For(shadows.size());
   int placed_rounds = 0;
   for (int wave = 0; wave < kWaves; ++wave) {
     const int wave_rounds =
@@ -177,21 +172,25 @@ void FleetSimulator::PlaceWorkloads() {
                               wave_rounds, shadow_raw);
     }
     // Warm-up ticks on the shadows: telemetry catches up. Shadows are
-    // independent, so each warm-up tick is a parallel region (no metrics
-    // are collected here — only per-machine state advances).
-    const std::int64_t warm_grain =
-        ShardGrain(shadows.size(), pool_->num_threads());
-    for (int t = 0; t < 4; ++t) {
-      const SimTimeNs warm_now =
-          -kNsPerSec * (4LL * kWaves - 4 * wave - t);
-      pool_->ParallelFor(
-          0, static_cast<std::int64_t>(shadows.size()),
-          [&](std::int64_t m) {
-            shadows[static_cast<std::size_t>(m)]->Tick(warm_now,
-                                                       unit_load);
-          },
-          warm_grain);
-    }
+    // independent, so the whole wave's warm-up is one parallel region
+    // walked machine-major (no metrics are collected here — only
+    // per-machine state advances, so the machine-major order is safe).
+    pool_->ParallelFor(
+        0, static_cast<std::int64_t>(plan.num_slices),
+        [&](std::int64_t s) {
+          const std::size_t first =
+              plan.SliceBegin(static_cast<std::size_t>(s));
+          const std::size_t last = plan.SliceEnd(
+              static_cast<std::size_t>(s), shadows.size());
+          for (std::size_t m = first; m < last; ++m) {
+            for (int t = 0; t < kWarmTicks; ++t) {
+              const SimTimeNs warm_now =
+                  -kNsPerSec * (4LL * kWaves - 4 * wave - t);
+              shadows[m]->Tick(warm_now, unit_load);
+            }
+          }
+        },
+        1);
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     for (const MachineModel::Task& task : shadows[m]->tasks()) {
@@ -207,80 +206,119 @@ FleetMetrics FleetSimulator::Run() {
   raw.reserve(machines_.size());
   for (auto& machine : machines_) raw.push_back(machine.get());
 
-  // Per-shard partial metrics, accumulated across the whole run and
-  // reduced in shard order at the end. A shard only ever touches its own
-  // partial and its own machines' aggregates, so the arithmetic — and
-  // the result — is independent of thread scheduling.
-  const std::size_t num_shards = NumShards(machines_.size());
-  std::vector<FleetMetrics> partials(num_shards);
+  // Per-slice partial metrics, accumulated across the whole run and
+  // reduced in slice order at the end. A slice only ever touches its own
+  // (cache-line-padded) partial and its own machines' aggregates, so the
+  // arithmetic — and the result — is independent of thread scheduling.
+  const FleetSlicePlan plan = FleetSlicePlan::For(machines_.size());
+  std::vector<SlicePartial> partials(plan.num_slices);
 
-  std::vector<double> load_factors(services_.size(), 1.0);
-  // The tick body is hoisted out of the loop (it captures `now` and
-  // `load_factors` by reference) so the std::function is constructed —
-  // and any capture storage allocated — once per run, not once per tick.
-  SimTimeNs now = 0;
-  const std::function<void(std::int64_t)> tick_shard =
+  // Per-epoch load factors, precomputed serially ([tick - epoch_start]
+  // -> per-service factor) so the parallel region reads immutable data.
+  // Sized once; epochs never exceed kMaxEpochTicks.
+  std::vector<std::vector<double>> epoch_factors(
+      static_cast<std::size_t>(kMaxEpochTicks),
+      std::vector<double>(services_.size(), 1.0));
+
+  // The epoch body is hoisted out of the loop (it captures epoch_start /
+  // epoch_len by reference) so the std::function is constructed — and
+  // any capture storage allocated — once per run, not once per epoch.
+  int epoch_start = 0;
+  int epoch_len = 0;
+  const std::function<void(std::int64_t)> run_slice =
       [&](std::int64_t s) {
-        const std::size_t shard = static_cast<std::size_t>(s);
-        FleetMetrics& partial = partials[shard];
-        const std::size_t first = shard * kMachinesPerShard;
-        const std::size_t last = std::min(first + kMachinesPerShard,
-                                          machines_.size());
+        const std::size_t slice = static_cast<std::size_t>(s);
+        FleetMetrics& partial = partials[slice].metrics;
+        const std::size_t first = plan.SliceBegin(slice);
+        const std::size_t last =
+            plan.SliceEnd(slice, machines_.size());
+        // Machine-major: each machine runs the whole epoch before the
+        // next machine starts, so its hot SoA state stays cache-resident
+        // across the epoch's ticks. Machines are independent between
+        // rebalance boundaries (and epochs never span one), so this
+        // order change is invisible to the model.
         for (std::size_t m = first; m < last; ++m) {
-          const MachineModel::TickResult r =
-              machines_[m]->Tick(now, load_factors);
-          ++partial.machine_ticks;
-          partial.offered_qps_sum += r.offered_qps;
+          MachineModel& machine = *machines_[m];
           MachineAggregate& agg = metrics.machines[m];
-          agg.offered_qps_sum += r.offered_qps;
-          ++agg.ticks;
-          if (r.down) {
-            // Offered load counts (it was sent and lost); nothing else
-            // is observable from a machine that is off. Down ticks drag
-            // the machine's averages toward zero, which is correct.
-            ++partial.down_machine_ticks;
-            continue;
-          }
-          partial.bandwidth_gbps.Add(r.bandwidth_gbps);
-          partial.bandwidth_utilization.Add(r.bandwidth_utilization);
-          partial.latency_ns.Add(r.latency_ns);
-          partial.served_qps_sum += r.served_qps;
-          for (int c = 0; c < kNumCategories; ++c) {
-            partial.category_cycles[static_cast<size_t>(c)] +=
-                r.category_cycles[static_cast<size_t>(c)];
-          }
-          if (r.bandwidth_utilization >= 0.95) {
-            ++partial.saturated_machine_ticks;
-          }
-          if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
+          for (int t = 0; t < epoch_len; ++t) {
+            const SimTimeNs now =
+                static_cast<SimTimeNs>(epoch_start + t) *
+                options_.tick_ns;
+            const MachineModel::TickResult r = machine.Tick(
+                now, epoch_factors[static_cast<std::size_t>(t)]);
+            ++partial.machine_ticks;
+            partial.offered_qps_sum += r.offered_qps;
+            agg.offered_qps_sum += r.offered_qps;
+            ++agg.ticks;
+            if (r.down) {
+              // Offered load counts (it was sent and lost); nothing
+              // else is observable from a machine that is off. Down
+              // ticks drag the machine's averages toward zero, which
+              // is correct.
+              ++partial.down_machine_ticks;
+              continue;
+            }
+            partial.bandwidth_gbps.Add(r.bandwidth_gbps);
+            partial.bandwidth_utilization.Add(r.bandwidth_utilization);
+            partial.latency_ns.Add(r.latency_ns);
+            partial.served_qps_sum += r.served_qps;
+            for (int c = 0; c < kNumCategories; ++c) {
+              partial.category_cycles[static_cast<size_t>(c)] +=
+                  r.category_cycles[static_cast<size_t>(c)];
+            }
+            if (r.bandwidth_utilization >= 0.95) {
+              ++partial.saturated_machine_ticks;
+            }
+            if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
 
-          agg.cpu_utilization_sum += r.cpu_utilization;
-          agg.bw_utilization_sum += r.bandwidth_utilization;
-          agg.latency_ns_sum += r.latency_ns;
-          agg.served_qps_sum += r.served_qps;
-          if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
+            agg.cpu_utilization_sum += r.cpu_utilization;
+            agg.bw_utilization_sum += r.bandwidth_utilization;
+            agg.latency_ns_sum += r.latency_ns;
+            agg.served_qps_sum += r.served_qps;
+            if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
+          }
         }
       };
-  const std::int64_t grain = ShardGrain(num_shards, pool_->num_threads());
-  for (int tick = 0; tick < options_.ticks; ++tick) {
-    now = static_cast<SimTimeNs>(tick) * options_.tick_ns;
-    // Serial barrier phase: the load processes and the scheduler see a
-    // consistent fleet (every machine has finished the previous tick).
-    for (std::size_t s = 0; s < services_.size(); ++s) {
-      load_factors[s] = load_processes_[s]->Tick(now);
-    }
+
+  int tick = 0;
+  while (tick < options_.ticks) {
+    // Serial phase at the epoch boundary: every machine has finished the
+    // previous epoch, so the scheduler sees a consistent fleet.
     if (options_.rebalance_period_ticks > 0 && tick > 0 &&
         tick % options_.rebalance_period_ticks == 0) {
       scheduler_.Rebalance(raw);
     }
-    // Parallel tick region: machines advance shard by shard, each thread
-    // claiming its proportional slice of shards per cursor step.
-    pool_->ParallelFor(0, static_cast<std::int64_t>(num_shards),
-                       tick_shard, grain);
+    // The epoch runs to the next rebalance boundary (task lists must not
+    // change inside an epoch) or the cap, whichever is sooner.
+    int epoch_end = std::min(options_.ticks, tick + kMaxEpochTicks);
+    if (options_.rebalance_period_ticks > 0) {
+      const int next_boundary =
+          (tick / options_.rebalance_period_ticks + 1) *
+          options_.rebalance_period_ticks;
+      epoch_end = std::min(epoch_end, next_boundary);
+    }
+    epoch_start = tick;
+    epoch_len = epoch_end - tick;
+    // Load processes advance serially (they are a single stateful stream
+    // per service); the factors become immutable epoch input.
+    for (int t = 0; t < epoch_len; ++t) {
+      const SimTimeNs now =
+          static_cast<SimTimeNs>(tick + t) * options_.tick_ns;
+      for (std::size_t s = 0; s < services_.size(); ++s) {
+        epoch_factors[static_cast<std::size_t>(t)][s] =
+            load_processes_[s]->Tick(now);
+      }
+    }
+    // One parallel region — and one barrier — per epoch, not per tick.
+    pool_->ParallelFor(0, static_cast<std::int64_t>(plan.num_slices),
+                       run_slice, 1);
+    tick = epoch_end;
   }
-  // Shard-order reduction (serial): fixed order regardless of thread
+  // Slice-order reduction (serial): fixed order regardless of thread
   // count, so the merged metrics are bit-identical to the serial engine.
-  for (const FleetMetrics& partial : partials) metrics.Merge(partial);
+  for (const SlicePartial& partial : partials) {
+    metrics.Merge(partial.metrics);
+  }
   for (const auto& machine : machines_) {
     if (machine->daemon() != nullptr) {
       metrics.controller_toggles +=

@@ -18,10 +18,12 @@
 
 #include "core/controller_config.h"
 #include "faults/fault_plan.h"
+#include "fleet/fleet_state.h"
 #include "fleet/machine_model.h"
 #include "fleet/platform.h"
 #include "fleet/scheduler.h"
 #include "fleet/service.h"
+#include "sim/memory/latency_curve.h"
 #include "stats/histogram.h"
 #include "util/rng.h"
 
@@ -46,8 +48,9 @@ struct FleetOptions {
   // Worker threads for the tick loop. 0 = auto (LIMONCELLO_THREADS env,
   // else hardware_concurrency); 1 = exact serial path (no workers).
   // Results are bit-identical at any thread count: machines tick in
-  // static contiguous shards whose partial metrics are reduced in shard
-  // order, independent of which thread ran which shard.
+  // static contiguous slices (FleetSlicePlan, a pure function of the
+  // machine count) whose partial metrics are reduced in slice order,
+  // independent of which thread ran which slice. See DESIGN.md §12.
   int num_threads = 0;
   // Chaos testing: when any rate is set, every machine gets its own
   // deterministic FaultPlan drawn from the fleet seed (label 0xFA000+m),
@@ -61,8 +64,10 @@ struct FleetOptions {
   int daemon_snapshot_period_ticks = 8;
 };
 
-// Per-machine aggregates over a run (for bucketed comparisons).
-struct MachineAggregate {
+// Per-machine aggregates over a run (for bucketed comparisons). Aligned
+// to a cache line: adjacent machines may be written by different worker
+// threads when a slice boundary falls between them.
+struct alignas(64) MachineAggregate {
   double cpu_utilization_sum = 0.0;
   double bw_utilization_sum = 0.0;
   double latency_ns_sum = 0.0;
@@ -153,11 +158,17 @@ class FleetSimulator {
                  const FleetOptions& options);
   ~FleetSimulator();
 
-  // Runs the configured span and returns the collected metrics. Machines
-  // tick concurrently (options.num_threads lanes) between serial barrier
-  // phases (load-process update, scheduler rebalance); see
-  // FleetOptions::num_threads for the determinism contract.
+  // Runs the configured span and returns the collected metrics. The run
+  // is epoch-batched: ticks are grouped into epochs that end at scheduler
+  // rebalance boundaries (capped at kMaxEpochTicks), the serial phases
+  // (load-process update, rebalance) run once per epoch boundary, and a
+  // single parallel region per epoch walks each machine slice through
+  // the whole epoch machine-major — one barrier per epoch instead of one
+  // per tick. See FleetOptions::num_threads for the determinism contract.
   FleetMetrics Run();
+
+  // Ticks per parallel epoch when no rebalance boundary cuts earlier.
+  static constexpr int kMaxEpochTicks = 64;
 
   const std::vector<std::unique_ptr<MachineModel>>& machines() const {
     return machines_;
@@ -176,6 +187,10 @@ class FleetSimulator {
   // Per-machine fault schedules; empty when options.faults has no rates.
   // Stable storage: machines hold pointers into this vector.
   std::vector<FaultPlan> fault_plans_;
+  // Hot per-machine state (SoA) and the shared latency table; must be
+  // declared before machines_ (machines hold pointers into both).
+  std::unique_ptr<FleetState> state_;
+  LatencyLut lut_;
   std::vector<std::unique_ptr<MachineModel>> machines_;
   ClusterScheduler scheduler_;
   std::unique_ptr<ThreadPool> pool_;

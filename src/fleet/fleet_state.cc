@@ -1,0 +1,17 @@
+#include "fleet/fleet_state.h"
+
+namespace limoncello {
+
+FleetSlicePlan FleetSlicePlan::For(std::size_t num_machines) {
+  LIMONCELLO_CHECK_GT(num_machines, 0u);
+  std::size_t per_slice = num_machines / 64;
+  per_slice = (per_slice + 7) / 8 * 8;  // multiple of 8 (line tiling)
+  if (per_slice < 8) per_slice = 8;
+  if (per_slice > 2048) per_slice = 2048;
+  FleetSlicePlan plan;
+  plan.machines_per_slice = per_slice;
+  plan.num_slices = (num_machines + per_slice - 1) / per_slice;
+  return plan;
+}
+
+}  // namespace limoncello

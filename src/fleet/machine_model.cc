@@ -22,10 +22,10 @@ const char* DeploymentModeName(DeploymentMode mode) {
 }
 
 std::optional<double> MachineModel::TelemetryAdapter::SampleUtilization() {
-  double u = machine_->last_utilization_;
+  double u = machine_->state_->last_bw_utilization[machine_->slot_];
   if (machine_->telemetry_noise_stddev_ > 0.0) {
-    u += machine_->rng_.NextGaussian(0.0,
-                                     machine_->telemetry_noise_stddev_);
+    u += machine_->rng().NextGaussian(0.0,
+                                      machine_->telemetry_noise_stddev_);
   }
   return std::max(0.0, u);
 }
@@ -34,10 +34,17 @@ MachineModel::MachineModel(const PlatformConfig& platform,
                            DeploymentMode mode,
                            const ControllerConfig& controller_config,
                            Rng rng, const FaultPlan* fault_plan,
-                           int daemon_snapshot_period_ticks)
+                           int daemon_snapshot_period_ticks,
+                           FleetState* fleet_state, std::size_t slot,
+                           const LatencyLut* latency_lut)
     : platform_(platform),
       mode_(mode),
-      rng_(rng),
+      own_state_(fleet_state != nullptr ? nullptr : new FleetState(1)),
+      state_(fleet_state != nullptr ? fleet_state : own_state_.get()),
+      slot_(fleet_state != nullptr ? slot : 0),
+      own_lut_(latency_lut != nullptr ? nullptr
+                                      : new LatencyLut(platform.latency)),
+      lut_(latency_lut != nullptr ? latency_lut : own_lut_.get()),
       msr_(platform.cores),
       injector_(fault_plan != nullptr
                     ? std::make_unique<FaultInjector>(fault_plan)
@@ -50,12 +57,23 @@ MachineModel::MachineModel(const PlatformConfig& platform,
                             ? static_cast<MsrDevice*>(faulty_msr_.get())
                             : &msr_,
                         platform.msr_layout, 0, platform.cores) {
+  LIMONCELLO_CHECK_LT(slot_, state_->size());
+  // Claim the hot-state slot: the machine's RNG stream and zeroed
+  // telemetry scalars (a fleet-shared FleetState may be reused across
+  // machine generations in principle, so never trust the slot's bits).
+  this->rng() = rng;
+  state_->last_bw_utilization[slot_] = 0.0;
+  state_->last_cpu_utilization[slot_] = 0.0;
+  state_->utilization_ewma[slot_] = 0.0;
+  state_->last_offered_qps[slot_] = 0.0;
+  state_->last_served_qps[slot_] = 0.0;
+  state_->controller_state[slot_] = 0;
   // Wire register bits to the machine's prefetcher state: the machine is
   // "on" only when every engine on every core is enabled. (One observer
   // per machine; reads back through PrefetchControl.)
   msr_.AddWriteObserver([this](int, MsrRegister, std::uint64_t) {
     const std::optional<bool> all_on = prefetch_control_.AllEnabled();
-    prefetchers_on_ = all_on.value_or(true);
+    SetPrefetchersOn(all_on.value_or(true));
   });
   if (injector_ != nullptr) {
     // Reboot: the register file silently reverts to the BIOS default
@@ -76,11 +94,11 @@ MachineModel::MachineModel(const PlatformConfig& platform,
   // requires setting the bits (the register file zero-initializes). This
   // happens before any injector tick, so the writes cannot fail.
   LIMONCELLO_CHECK_EQ(prefetch_control_.EnableAll(), platform.cores);
-  prefetchers_on_ = true;
+  SetPrefetchersOn(true);
 
   switch (mode_) {
     case DeploymentMode::kBaseline:
-      prefetchers_on_ = true;
+      SetPrefetchersOn(true);
       break;
     case DeploymentMode::kAblationOff:
       LIMONCELLO_CHECK_EQ(prefetch_control_.DisableAll(), platform.cores);
@@ -100,6 +118,11 @@ MachineModel::MachineModel(const PlatformConfig& platform,
       }
       daemon_ = std::make_unique<LimoncelloDaemon>(controller_config,
                                                    source, actuator_.get());
+      // Fleet machines never read the daemon's per-tick traces, and at
+      // 100k machines x 600 ticks the TimeSeries appends would dominate
+      // both allocation and memory. Tools that want traces own their
+      // daemons directly.
+      daemon_->set_trace_recording(false);
       controller_config_ = controller_config;
       snapshot_period_ticks_ = daemon_snapshot_period_ticks;
       daemon_source_ = source;
@@ -113,6 +136,14 @@ MachineModel::MachineModel(const PlatformConfig& platform,
       break;
     }
   }
+  MirrorControllerState();
+}
+
+void MachineModel::MirrorControllerState() {
+  state_->controller_state[slot_] =
+      daemon_ != nullptr
+          ? static_cast<std::uint64_t>(daemon_->controller().state())
+          : 0;
 }
 
 void MachineModel::RestartDaemon() {
@@ -122,6 +153,7 @@ void MachineModel::RestartDaemon() {
   daemon_ = std::make_unique<LimoncelloDaemon>(controller_config_,
                                                daemon_source_,
                                                actuator_.get());
+  daemon_->set_trace_recording(false);
   if (journal_snapshot_.has_value()) {
     // Rejected snapshots degrade to a cold start, same as limoncellod.
     (void)daemon_->RestoreState(*journal_snapshot_);
@@ -144,7 +176,7 @@ void MachineModel::CategoryMissModel(int category, double base_misses,
   const PrefetchResponse& r = platform_.prefetch;
   const bool tax = category != kNonTaxCategoryIndex;
   double misses = base_misses;
-  if (prefetchers_on_) {
+  if (prefetchers_on()) {
     const double coverage =
         tax ? r.hw_coverage_tax : r.hw_coverage_nontax;
     const double covered = misses * coverage;
@@ -183,7 +215,7 @@ MachineModel::TickResult MachineModel::Tick(
     if (injector_->MachineDown()) {
       TickResult down_result;
       down_result.down = true;
-      down_result.prefetchers_on = prefetchers_on_;
+      down_result.prefetchers_on = prefetchers_on();
       // Load is still routed here and all of it fails.
       for (const Task& task : tasks_) {
         const double factor =
@@ -194,8 +226,10 @@ MachineModel::TickResult MachineModel::Tick(
             task.spec->nominal_qps * task.share * factor;
       }
       ++recovery_.down_ticks;
-      last_utilization_ = 0.0;
-      last_cpu_utilization_ = 0.0;
+      state_->last_bw_utilization[slot_] = 0.0;
+      state_->last_cpu_utilization[slot_] = 0.0;
+      state_->last_offered_qps[slot_] = down_result.offered_qps;
+      state_->last_served_qps[slot_] = 0.0;
       return down_result;
     }
   }
@@ -223,7 +257,7 @@ MachineModel::TickResult MachineModel::Tick(
     // with the FSM's intent (injected MSR failures, post-reboot BIOS
     // state) — the reconvergence metric the chaos tests assert on.
     const bool intent = daemon_->controller().PrefetchersShouldBeEnabled();
-    if (prefetchers_on_ != intent) {
+    if (prefetchers_on() != intent) {
       ++recovery_.diverged_ticks;
       ++divergence_run_;
     } else if (divergence_run_ > 0) {
@@ -243,37 +277,60 @@ MachineModel::TickResult MachineModel::Tick(
       journal_snapshot_ = daemon_->ExportState();
     }
   }
+  MirrorControllerState();
 
   TickResult result;
-  result.prefetchers_on = prefetchers_on_;
+  result.prefetchers_on = prefetchers_on();
 
-  // 2. Demand model: per-task miss mix (latency-independent).
-  tick_loads_.assign(tasks_.size(), TaskLoad{});
-  std::vector<TaskLoad>& loads = tick_loads_;
-
-  const PrefetchResponse& r = platform_.prefetch;
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    const Task& task = tasks_[i];
-    TaskLoad& load = loads[i];
+  // 2. Demand model: one pass over the tasks reduces the whole machine
+  // to a handful of scalar coefficients. Per-task demand at an assumed
+  // utilization u factors as
+  //   required_cores(u) = cores_base + cores_miss * penalty(u)
+  //   bytes(u)          = bytes_at_full * scale(u)
+  // where penalty(u) = L(u) * freq / mlp is the only u-dependent term,
+  // so the fixed-point bisection below runs on pure scalars instead of
+  // re-walking the task list ~21 times (the old per-task scratch vector
+  // — and its per-tick allocation — is gone entirely).
+  const PrefetchResponse& pr = platform_.prefetch;
+  double offered_total = 0.0;
+  double cores_base = 0.0;   // Σ instr_rate * base_cpi / (freq_hz)
+  double cores_miss = 0.0;   // Σ instr_rate * mpki_eff / 1000 / freq_hz
+  double bytes_at_full = 0.0;
+  // Per-category instruction and miss rates (for the cycle accounting).
+  std::array<double, kNumCategories> cat_instr{};
+  std::array<double, kNumCategories> cat_miss{};
+  for (const Task& task : tasks_) {
     const double factor =
         task.service_index < static_cast<int>(load_factors.size())
             ? load_factors[static_cast<std::size_t>(task.service_index)]
             : 1.0;
-    load.offered_qps = task.spec->nominal_qps * task.share * factor;
-    load.instr_per_req = task.spec->instructions_per_request;
+    const double offered = task.spec->nominal_qps * task.share * factor;
+    const double instr_rate =
+        offered * task.spec->instructions_per_request;
+    offered_total += offered;
+    double mpki_eff = 0.0;
+    double traffic_per_kinstr = 0.0;
     for (int c = 0; c < kNumCategories; ++c) {
-      const double mix = task.spec->category_mix[static_cast<size_t>(c)];
-      CategoryLoad& cat = load.categories[static_cast<size_t>(c)];
-      cat.instructions = mix;  // provisional: per-instruction weights
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const double mix = task.spec->category_mix[ci];
+      CategoryLoad cat;
+      cat.instructions = mix;  // per-instruction weight
       CategoryMissModel(c, task.spec->base_mpki * mix, &cat);
       const bool tax = c != kNonTaxCategoryIndex;
-      load.mpki_eff += cat.misses;
-      load.traffic_per_kinstr +=
+      mpki_eff += cat.misses;
+      traffic_per_kinstr +=
           cat.misses +
           cat.hw_covered /
-              (tax ? r.hw_accuracy_tax : r.hw_accuracy_nontax) +
-          cat.sw_covered / r.sw_accuracy;
+              (tax ? pr.hw_accuracy_tax : pr.hw_accuracy_nontax) +
+          cat.sw_covered / pr.sw_accuracy;
+      cat_instr[ci] += instr_rate * cat.instructions;
+      cat_miss[ci] += instr_rate * cat.misses / 1000.0;
     }
+    const double core_rate = instr_rate / (platform_.freq_ghz * 1e9);
+    cores_base += core_rate * platform_.base_cpi;
+    cores_miss += core_rate * mpki_eff / 1000.0;
+    bytes_at_full += instr_rate * traffic_per_kinstr / 1000.0 *
+                     static_cast<double>(kCacheLineBytes);
   }
 
   // 3. Fixed point: latency depends on utilization, utilization depends
@@ -285,28 +342,19 @@ MachineModel::TickResult MachineModel::Tick(
   const double saturation_bytes = platform_.saturation_gbps * 1e9;
   // Memory-bandwidth ceiling: the qualification threshold is a derated
   // operating point, not the physical channel limit — sockets can burst
-  // well past it (at terrible latency) before throughput hard-caps.
-  const double max_ratio = 1.35;
+  // well past it (at terrible latency) before throughput hard-caps. The
+  // ceiling equals the latency LUT's domain bound by construction.
+  const double max_ratio = LatencyLut::kMaxUtilization;
 
   double required_cores = 0.0;
   double scale = 1.0;
   double total_bytes = 0.0;
   // Evaluates served load and traffic at the given assumed utilization;
   // returns the utilization that load would actually generate.
-  auto evaluate = [&](double u_assumed) {
-    const double latency =
-        LatencyAtUtilization(platform_.latency, u_assumed);
-    const double penalty = latency * platform_.freq_ghz / platform_.mlp;
-    required_cores = 0.0;
-    double bytes_at_full = 0.0;
-    for (TaskLoad& load : loads) {
-      load.cpi = platform_.base_cpi + load.mpki_eff / 1000.0 * penalty;
-      required_cores += load.offered_qps * load.instr_per_req * load.cpi /
-                        (platform_.freq_ghz * 1e9);
-      bytes_at_full += load.offered_qps * load.instr_per_req *
-                       load.traffic_per_kinstr / 1000.0 *
-                       static_cast<double>(kCacheLineBytes);
-    }
+  const auto evaluate = [&](double u_assumed) {
+    const double penalty =
+        lut_->At(u_assumed) * platform_.freq_ghz / platform_.mlp;
+    required_cores = cores_base + cores_miss * penalty;
     scale = required_cores > cores ? cores / required_cores : 1.0;
     total_bytes = bytes_at_full * scale;
     if (total_bytes > saturation_bytes * max_ratio) {
@@ -331,28 +379,22 @@ MachineModel::TickResult MachineModel::Tick(
     }
   }
   const double u_star = hi;
-  (void)evaluate(u_star);  // leave loads/scale/total_bytes at the solution
-  const double latency_ns =
-      LatencyAtUtilization(platform_.latency, u_star);
+  (void)evaluate(u_star);  // leave scale/total_bytes at the solution
+  const double latency_ns = lut_->At(u_star);
   result.latency_ns = latency_ns;
   const double miss_penalty_cycles =
       latency_ns * platform_.freq_ghz / platform_.mlp;
 
   // 4. Outputs.
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    const TaskLoad& load = loads[i];
-    result.offered_qps += load.offered_qps;
-    result.served_qps += load.offered_qps * scale;
-    const double instr_rate = load.offered_qps * scale * load.instr_per_req;
-    for (int c = 0; c < kNumCategories; ++c) {
-      const CategoryLoad& cat = load.categories[static_cast<size_t>(c)];
-      // cycles = instructions * base_cpi + misses * penalty
-      const double instr_cat = instr_rate * cat.instructions;
-      const double misses_cat = instr_rate * cat.misses / 1000.0;
-      result.category_cycles[static_cast<size_t>(c)] +=
-          instr_cat * platform_.base_cpi +
-          misses_cat * miss_penalty_cycles;
-    }
+  result.offered_qps = offered_total;
+  result.served_qps = offered_total * scale;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    // cycles = instructions * base_cpi + misses * penalty, at the served
+    // (scaled) instruction rate.
+    result.category_cycles[ci] =
+        scale * (cat_instr[ci] * platform_.base_cpi +
+                 cat_miss[ci] * miss_penalty_cycles);
   }
   const double busy_cores = std::min(required_cores * scale, cores);
   result.cpu_utilization = busy_cores / cores;
@@ -360,10 +402,13 @@ MachineModel::TickResult MachineModel::Tick(
   result.bandwidth_utilization = total_bytes / saturation_bytes;
 
   // 5. Close the loop for the next tick.
-  last_utilization_ = result.bandwidth_utilization;
-  last_cpu_utilization_ = result.cpu_utilization;
-  utilization_ewma_ += 0.35 * (result.bandwidth_utilization -
-                               utilization_ewma_);
+  state_->last_bw_utilization[slot_] = result.bandwidth_utilization;
+  state_->last_cpu_utilization[slot_] = result.cpu_utilization;
+  state_->last_offered_qps[slot_] = result.offered_qps;
+  state_->last_served_qps[slot_] = result.served_qps;
+  state_->utilization_ewma[slot_] +=
+      0.35 * (result.bandwidth_utilization -
+              state_->utilization_ewma[slot_]);
   return result;
 }
 

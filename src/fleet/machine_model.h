@@ -12,6 +12,13 @@
 // register through PrefetchControl, and the machine derives its
 // prefetchers-on/off state from those register bits — the same
 // actuation chain as the detailed simulator and real hardware.
+//
+// Hot-state layout: the scalars the tick loop touches every tick live in
+// a FleetState structure-of-arrays (fleet_state.h), indexed by this
+// machine's slot. A machine constructed without a FleetState owns a
+// private single-slot instance, so standalone use (tests, figure tools)
+// is unchanged; fleets pass one shared FleetState so 100k machines' hot
+// state packs into contiguous cache-line-aligned arrays.
 #ifndef LIMONCELLO_FLEET_MACHINE_MODEL_H_
 #define LIMONCELLO_FLEET_MACHINE_MODEL_H_
 
@@ -25,9 +32,11 @@
 #include "core/daemon.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
+#include "fleet/fleet_state.h"
 #include "fleet/platform.h"
 #include "fleet/service.h"
 #include "msr/simulated_msr_device.h"
+#include "sim/memory/latency_curve.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -43,6 +52,9 @@ enum class DeploymentMode {
 
 const char* DeploymentModeName(DeploymentMode mode);
 
+// limolint:hot-struct — MachineModel is ticked 60M times per default
+// bench run; new per-tick state belongs in FleetState's SoA arrays, not
+// in std::vector members here (see fleet_state.h).
 class MachineModel {
  public:
   struct Task {
@@ -94,10 +106,18 @@ class MachineModel {
   // reconciles against the hardware — the same lifecycle limoncellod
   // runs with a real journal file (src/recovery/), kept in-memory here
   // so fleet ticks stay deterministic and IO-free.
+  //
+  // `fleet_state` + `slot`, when given, place this machine's hot scalars
+  // in the shared SoA arrays (fleet_state must outlive the machine);
+  // null means the machine owns a single-slot FleetState. `latency_lut`,
+  // when given, must be built from `platform.latency` and outlive the
+  // machine; null means the machine builds its own table.
   MachineModel(const PlatformConfig& platform, DeploymentMode mode,
                const ControllerConfig& controller_config, Rng rng,
                const FaultPlan* fault_plan = nullptr,
-               int daemon_snapshot_period_ticks = 0);
+               int daemon_snapshot_period_ticks = 0,
+               FleetState* fleet_state = nullptr, std::size_t slot = 0,
+               const LatencyLut* latency_lut = nullptr);
 
   // Non-copyable, non-movable: the MSR observer and telemetry adapter
   // hold back-pointers to this object.
@@ -112,7 +132,9 @@ class MachineModel {
   TickResult Tick(SimTimeNs now_ns,
                   const std::vector<double>& load_factors);
 
-  bool prefetchers_on() const { return prefetchers_on_; }
+  bool prefetchers_on() const {
+    return state_->prefetchers_on[slot_] != 0;
+  }
   DeploymentMode mode() const { return mode_; }
   const PlatformConfig& platform() const { return platform_; }
   const LimoncelloDaemon* daemon() const { return daemon_.get(); }
@@ -123,8 +145,12 @@ class MachineModel {
   // Estimated additional CPU-utilization cost of adding `share` of the
   // given service (used by the scheduler for placement).
   double EstimateCpuCost(const ServiceSpec& spec, double share) const;
-  double last_bandwidth_utilization() const { return last_utilization_; }
-  double last_cpu_utilization() const { return last_cpu_utilization_; }
+  double last_bandwidth_utilization() const {
+    return state_->last_bw_utilization[slot_];
+  }
+  double last_cpu_utilization() const {
+    return state_->last_cpu_utilization[slot_];
+  }
 
  private:
   // Telemetry adapter: reports the last completed tick's utilization.
@@ -144,16 +170,6 @@ class MachineModel {
     double sw_covered = 0.0;    // misses covered by SW prefetch
   };
 
-  // Per-task demand computed during a tick (miss mix, traffic, CPI).
-  struct TaskLoad {
-    double offered_qps = 0.0;
-    double instr_per_req = 0.0;
-    double mpki_eff = 0.0;
-    double traffic_per_kinstr = 0.0;  // demand + prefetch lines
-    double cpi = 0.0;
-    std::array<CategoryLoad, kNumCategories> categories{};
-  };
-
   // Effective per-category miss multiplier given the current prefetcher
   // state and deployment mode.
   void CategoryMissModel(int category, double base_misses,
@@ -164,13 +180,26 @@ class MachineModel {
   // then hardware reconciliation (cold or warm).
   void RestartDaemon();
 
+  // SoA slot accessors (hot scalars live in *state_, not in members).
+  Rng& rng() { return state_->rng[slot_]; }
+  void SetPrefetchersOn(bool on) {
+    state_->prefetchers_on[slot_] = on ? 1 : 0;
+  }
+  // Mirrors the daemon FSM state into the SoA array (no-op reader side
+  // for machines without a daemon, which stay at kEnabledSteady = 0).
+  void MirrorControllerState();
+
   PlatformConfig platform_;
   DeploymentMode mode_;
-  Rng rng_;
-  std::vector<Task> tasks_;
-  // Tick-scratch buffer, reused so the fleet tick loop does not allocate
-  // per machine-tick (assign() keeps the capacity).
-  std::vector<TaskLoad> tick_loads_;
+  // Owned single-slot state for standalone machines; null when the
+  // machine lives in a fleet-shared FleetState.
+  std::unique_ptr<FleetState> own_state_;
+  FleetState* state_;
+  std::size_t slot_;
+  std::unique_ptr<LatencyLut> own_lut_;
+  const LatencyLut* lut_;
+  // Cold: mutated only at placement/rebalance, read-only inside Tick.
+  std::vector<Task> tasks_;  // limolint:allow(hot-struct-vector)
 
   // Control plane (real Limoncello components). The fault decorators sit
   // between the daemon and the real device/telemetry when a plan is
@@ -198,11 +227,7 @@ class MachineModel {
   std::optional<LimoncelloDaemon::PersistentState> journal_snapshot_;
   bool daemon_restart_pending_ = false;
 
-  bool prefetchers_on_ = true;
   bool soft_prefetch_on_ = false;
-  double utilization_ewma_ = 0.0;
-  double last_utilization_ = 0.0;
-  double last_cpu_utilization_ = 0.0;
   double telemetry_noise_stddev_ = 0.01;
 };
 

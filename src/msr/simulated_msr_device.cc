@@ -5,30 +5,50 @@
 namespace limoncello {
 
 SimulatedMsrDevice::SimulatedMsrDevice(int num_cpus)
-    : regs_(static_cast<std::size_t>(num_cpus)),
+    : num_cpus_(num_cpus),
       failed_(static_cast<std::size_t>(num_cpus), false) {
   LIMONCELLO_CHECK_GT(num_cpus, 0);
 }
 
 bool SimulatedMsrDevice::CpuOk(int cpu) const {
-  return cpu >= 0 && cpu < num_cpus() &&
+  return cpu >= 0 && cpu < num_cpus_ &&
          !failed_[static_cast<std::size_t>(cpu)];
+}
+
+const SimulatedMsrDevice::RegisterFile* SimulatedMsrDevice::FindFile(
+    MsrRegister reg) const {
+  for (const RegisterFile& file : files_) {
+    if (file.reg == reg) return &file;
+  }
+  return nullptr;
+}
+
+SimulatedMsrDevice::RegisterFile* SimulatedMsrDevice::FindOrCreateFile(
+    MsrRegister reg) {
+  for (RegisterFile& file : files_) {
+    if (file.reg == reg) return &file;
+  }
+  RegisterFile file;
+  file.reg = reg;
+  file.per_cpu.assign(static_cast<std::size_t>(num_cpus_), 0);
+  files_.push_back(std::move(file));
+  return &files_.back();
 }
 
 std::optional<std::uint64_t> SimulatedMsrDevice::Read(int cpu,
                                                       MsrRegister reg) {
   if (!CpuOk(cpu)) return std::nullopt;
-  const auto& file = regs_[static_cast<std::size_t>(cpu)];
-  const auto it = file.find(reg);
+  const RegisterFile* file = FindFile(reg);
   // Unwritten registers read as zero, matching the "all prefetchers
   // enabled" power-on default of Intel's 0x1A4 (disable bits clear).
-  return it == file.end() ? 0 : it->second;
+  return file == nullptr ? 0
+                         : file->per_cpu[static_cast<std::size_t>(cpu)];
 }
 
 bool SimulatedMsrDevice::Write(int cpu, MsrRegister reg,
                                std::uint64_t value) {
   if (!CpuOk(cpu)) return false;
-  regs_[static_cast<std::size_t>(cpu)][reg] = value;
+  FindOrCreateFile(reg)->per_cpu[static_cast<std::size_t>(cpu)] = value;
   ++write_count_;
   for (const auto& observer : observers_) observer(cpu, reg, value);
   return true;
@@ -39,24 +59,28 @@ void SimulatedMsrDevice::AddWriteObserver(WriteObserver observer) {
 }
 
 void SimulatedMsrDevice::ResetToPowerOn() {
-  for (auto& file : regs_) file.clear();
+  // Zeroing the value arrays is indistinguishable from forgetting the
+  // registers entirely: both read back as the power-on default.
+  for (RegisterFile& file : files_) {
+    file.per_cpu.assign(file.per_cpu.size(), 0);
+  }
 }
 
 void SimulatedMsrDevice::FailCpu(int cpu) {
-  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
+  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus_);
   failed_[static_cast<std::size_t>(cpu)] = true;
 }
 
 void SimulatedMsrDevice::UnfailCpu(int cpu) {
-  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
+  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus_);
   failed_[static_cast<std::size_t>(cpu)] = false;
 }
 
 std::uint64_t SimulatedMsrDevice::PeekRaw(int cpu, MsrRegister reg) const {
-  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus());
-  const auto& file = regs_[static_cast<std::size_t>(cpu)];
-  const auto it = file.find(reg);
-  return it == file.end() ? 0 : it->second;
+  LIMONCELLO_CHECK(cpu >= 0 && cpu < num_cpus_);
+  const RegisterFile* file = FindFile(reg);
+  return file == nullptr ? 0
+                         : file->per_cpu[static_cast<std::size_t>(cpu)];
 }
 
 }  // namespace limoncello

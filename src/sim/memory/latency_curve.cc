@@ -27,4 +27,13 @@ double LatencyAtUtilization(const LatencyCurveConfig& config,
   return latency;
 }
 
+LatencyLut::LatencyLut(const LatencyCurveConfig& config) {
+  const double step = kMaxUtilization / static_cast<double>(kPoints);
+  inv_step_ = static_cast<double>(kPoints) / kMaxUtilization;
+  for (int i = 0; i <= kPoints; ++i) {
+    values_[static_cast<std::size_t>(i)] =
+        LatencyAtUtilization(config, static_cast<double>(i) * step);
+  }
+}
+
 }  // namespace limoncello

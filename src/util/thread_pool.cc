@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "util/check.h"
@@ -25,10 +26,33 @@ inline void SpinPause(int spin) {
   }
 }
 
-// Spin budget before falling back to a condition-variable sleep. Small on
-// purpose: past this point the other side is not imminent and a futex
-// sleep is cheaper than further yielding.
-constexpr int kSpinBudget = 256;
+// Default spin budget before falling back to a condition-variable sleep.
+// Small on purpose: past this point the other side is not imminent and a
+// futex sleep is cheaper than further yielding. Tunable via
+// SetSpinBudgetUs / LIMONCELLO_SPIN_US (see thread_pool.h).
+constexpr int kDefaultSpinBudgetUs = 50;
+
+std::atomic<int> g_spin_budget_us{-1};
+
+// Spins until pred() holds or the budget expires; returns pred()'s final
+// value. The clock is only consulted every 32 iterations so the fast
+// path (pred flips within a few pauses) never pays for a clock read.
+template <typename Pred>
+bool SpinUntil(const Pred& pred, int budget_us) {
+  if (pred()) return true;
+  if (budget_us <= 0) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(budget_us);
+  int spin = 0;
+  for (;;) {
+    SpinPause(spin++);
+    if (pred()) return true;
+    if ((spin & 31) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return pred();
+    }
+  }
+}
 
 int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -41,6 +65,15 @@ int EnvThreadCount() {
   char* end = nullptr;
   const long v = std::strtol(env, &end, 10);
   if (end == env || *end != '\0' || v <= 0) return 0;
+  return static_cast<int>(v);
+}
+
+int EnvSpinBudgetUs() {
+  const char* env = std::getenv("LIMONCELLO_SPIN_US");
+  if (env == nullptr || *env == '\0') return -1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return -1;
   return static_cast<int>(v);
 }
 
@@ -57,6 +90,18 @@ int ResolveThreadCount(int requested) {
 
 void SetDefaultThreadCount(int count) {
   g_default_thread_count.store(count < 0 ? 0 : count);
+}
+
+int ResolveSpinBudgetUs() {
+  const int overridden = g_spin_budget_us.load(std::memory_order_relaxed);
+  if (overridden >= 0) return overridden;
+  const int env = EnvSpinBudgetUs();
+  if (env >= 0) return env;
+  return kDefaultSpinBudgetUs;
+}
+
+void SetSpinBudgetUs(int us) {
+  g_spin_budget_us.store(us < 0 ? -1 : us, std::memory_order_relaxed);
 }
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
@@ -90,15 +135,16 @@ void ThreadPool::DrainJob(const std::function<void(std::int64_t)>* fn,
 void ThreadPool::WorkerLoop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    // Spin-then-sleep pickup: back-to-back jobs (one per fleet tick) are
-    // caught here without a futex round trip. The spin is bounded, so a
-    // shutdown during the spin still reaches the condvar below.
-    for (int spin = 0;
-         spin < kSpinBudget &&
-         job_generation_.load(std::memory_order_acquire) == seen_generation;
-         ++spin) {
-      SpinPause(spin);
-    }
+    // Spin-then-sleep pickup: back-to-back jobs (one per fleet epoch) are
+    // caught here without a futex round trip. The spin is time-bounded
+    // (ResolveSpinBudgetUs), so a shutdown during the spin still reaches
+    // the condvar below.
+    (void)SpinUntil(
+        [&] {
+          return job_generation_.load(std::memory_order_acquire) !=
+                 seen_generation;
+        },
+        ResolveSpinBudgetUs());
     const std::function<void(std::int64_t)>* fn = nullptr;
     std::int64_t end = 0;
     std::int64_t grain = 1;
@@ -153,11 +199,11 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
   DrainJob(&fn, end, grain);  // the caller is a lane too
   // The cursor is exhausted; wait for workers still finishing their last
   // chunk. Spin first — chunks are short — then sleep.
-  bool idle = active_workers_.load(std::memory_order_acquire) == 0;
-  for (int spin = 0; spin < kSpinBudget && !idle; ++spin) {
-    SpinPause(spin);
-    idle = active_workers_.load(std::memory_order_acquire) == 0;
-  }
+  const bool idle = SpinUntil(
+      [&] {
+        return active_workers_.load(std::memory_order_acquire) == 0;
+      },
+      ResolveSpinBudgetUs());
   MutexLock lock(&mu_);
   if (!idle) {
     done_cv_.Wait(&mu_, [&]() LIMONCELLO_REQUIRES(mu_) {

@@ -39,6 +39,19 @@ int ResolveThreadCount(int requested);
 // environment / hardware).
 void SetDefaultThreadCount(int count);
 
+// Spin budget (microseconds) a pool rendezvous burns before falling back
+// to a condition-variable sleep. Bigger budgets absorb longer gaps
+// between jobs without a futex round trip (lower barrier latency, more
+// busy CPU); 0 sleeps immediately (kindest to oversubscribed hosts).
+// Resolution order: SetSpinBudgetUs(>= 0) > LIMONCELLO_SPIN_US env >
+// built-in default (50 us). See DESIGN.md §12 for the tradeoff.
+int ResolveSpinBudgetUs();
+
+// Process-wide override for ResolveSpinBudgetUs; tools wire their
+// --spin-us flag through this. Negative clears the override (back to the
+// environment / default).
+void SetSpinBudgetUs(int us);
+
 class ThreadPool {
  public:
   // num_threads must be >= 1 (pass through ResolveThreadCount first).

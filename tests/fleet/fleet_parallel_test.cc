@@ -2,9 +2,17 @@
 // tick loop must produce bit-identical FleetMetrics at any thread count
 // (the serial engine, num_threads = 1, is the reference). See
 // FleetOptions::num_threads for the contract.
+//
+// Also pins the SoA layout goldens the contract rests on: the slice plan
+// (a pure function of the machine count), the cache-line alignment of
+// every FleetState array, and the ascending-slice Welford merge order.
+#include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "fleet/fleet_simulator.h"
+#include "fleet/fleet_state.h"
+#include "stats/histogram.h"
 
 namespace limoncello {
 namespace {
@@ -104,6 +112,182 @@ TEST(FleetParallelTest, OddThreadCountAlsoIdentical) {
       RunFleetArm(PlatformConfig::Platform1(), DeploymentMode::kBaseline,
                   DefaultController(), ParallelFleet(3, 9));
   ExpectIdentical(serial, parallel);
+}
+
+// Same fault rates as fleet_chaos_test's ChaosSpec: every fault family
+// active at once. No quiet tail — the run is 4 ticks long; the point is
+// bit-identity under fault load, not reconvergence.
+FaultSpec HundredKChaosSpec() {
+  FaultSpec faults;
+  faults.telemetry_dropout_rate = 0.01;
+  faults.telemetry_nan_rate = 0.005;
+  faults.telemetry_stale_rate = 0.004;
+  faults.telemetry_spike_rate = 0.004;
+  faults.msr_transient_rate = 0.008;
+  faults.msr_core_fault_rate = 0.004;
+  faults.crash_rate = 0.004;
+  faults.daemon_restart_rate = 0.004;
+  faults.daemon_restart_down_ticks = 3;
+  return faults;
+}
+
+// Fleet-scale short run: DefaultFleetOptions' machine count with only a
+// few ticks, so the test exercises the 64-slice plan and the epoch loop
+// (rebalance_period_ticks = 2 forces epoch boundaries mid-run) without
+// fleet-scale wall time.
+FleetOptions HundredKFleet(int num_threads, bool chaos) {
+  FleetOptions options;
+  options.num_machines = 100000;
+  options.ticks = 4;
+  options.rebalance_period_ticks = 2;
+  options.fill = 0.60;
+  options.seed = 42;
+  options.diurnal_period_ns = 4LL * kNsPerSec;
+  options.num_threads = num_threads;
+  if (chaos) {
+    options.faults = HundredKChaosSpec();
+    options.daemon_snapshot_period_ticks = 2;
+  }
+  return options;
+}
+
+TEST(FleetParallelTest, HundredKMachinesSerialVsEightThreadsBitIdentical) {
+  const FleetMetrics serial = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), HundredKFleet(1, /*chaos=*/false));
+  const FleetMetrics parallel = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), HundredKFleet(8, /*chaos=*/false));
+  ASSERT_EQ(serial.machine_ticks, 400000u);
+  ExpectIdentical(serial, parallel);
+}
+
+TEST(FleetParallelTest, HundredKMachinesChaosSerialVsEightThreadsIdentical) {
+  const FleetMetrics serial = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), HundredKFleet(1, /*chaos=*/true));
+  const FleetMetrics parallel = RunFleetArm(
+      PlatformConfig::Platform1(), DeploymentMode::kFullLimoncello,
+      DefaultController(), HundredKFleet(8, /*chaos=*/true));
+  ASSERT_EQ(serial.machine_ticks, 400000u);
+  ExpectIdentical(serial, parallel);
+}
+
+// --- SoA layout goldens -------------------------------------------------
+
+TEST(FleetSlicePlanTest, PlanIsAPureFunctionOfMachineCount) {
+  // Pinned values: a plan change silently regroups the floating-point
+  // reduction, which is a (legal but) result-changing event that must
+  // show up in review, not sneak through.
+  const FleetSlicePlan tiny = FleetSlicePlan::For(50);
+  EXPECT_EQ(tiny.machines_per_slice, 8u);
+  EXPECT_EQ(tiny.num_slices, 7u);
+  const FleetSlicePlan figure = FleetSlicePlan::For(1000);
+  EXPECT_EQ(figure.machines_per_slice, 16u);
+  EXPECT_EQ(figure.num_slices, 63u);
+  const FleetSlicePlan fleet = FleetSlicePlan::For(100000);
+  EXPECT_EQ(fleet.machines_per_slice, 1568u);
+  EXPECT_EQ(fleet.num_slices, 64u);
+  // Slices tile [0, n) contiguously, and every boundary is a multiple of
+  // 8 machines (the cache-line tiling unit for 8- and 48-byte elements).
+  EXPECT_EQ(figure.SliceBegin(0), 0u);
+  EXPECT_EQ(figure.SliceEnd(figure.num_slices - 1, 1000), 1000u);
+  for (std::size_t s = 0; s + 1 < figure.num_slices; ++s) {
+    EXPECT_EQ(figure.SliceEnd(s, 1000), figure.SliceBegin(s + 1));
+    EXPECT_EQ(figure.SliceBegin(s + 1) % 8, 0u);
+  }
+}
+
+TEST(FleetStateTest, SoAArraysAreCacheLineAligned) {
+  FleetState state(100);
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % kFleetCacheLineBytes == 0;
+  };
+  EXPECT_TRUE(aligned(state.last_bw_utilization.data()));
+  EXPECT_TRUE(aligned(state.last_cpu_utilization.data()));
+  EXPECT_TRUE(aligned(state.utilization_ewma.data()));
+  EXPECT_TRUE(aligned(state.last_offered_qps.data()));
+  EXPECT_TRUE(aligned(state.last_served_qps.data()));
+  EXPECT_TRUE(aligned(state.prefetchers_on.data()));
+  EXPECT_TRUE(aligned(state.controller_state.data()));
+  EXPECT_TRUE(aligned(state.rng.data()));
+  // Slice boundaries land on cache lines for every element type, so two
+  // slices never share a line (the no-false-sharing argument).
+  const FleetSlicePlan plan = FleetSlicePlan::For(state.size());
+  for (std::size_t s = 0; s < plan.num_slices; ++s) {
+    EXPECT_EQ(plan.SliceBegin(s) * sizeof(double) % kFleetCacheLineBytes,
+              0u);
+    EXPECT_EQ(plan.SliceBegin(s) * sizeof(Rng) % kFleetCacheLineBytes, 0u);
+  }
+}
+
+TEST(FleetMergeOrderTest, AscendingSliceMergeArithmeticIsPinned) {
+  // Per-slice Welford summaries combine order-sensitively in floating
+  // point. The engine merges partials in ascending slice order at every
+  // thread count; this golden replicates that exact arithmetic so a
+  // reordering (or a formula change in Summary::Merge) trips EXPECT_EQ
+  // on bits, not on tolerance.
+  // Unequal counts and incommensurate steps: chosen so ascending vs
+  // descending merge demonstrably differ in the last bits of m2.
+  constexpr int kCounts[3] = {7, 13, 5};
+  constexpr double kBases[3] = {0.3, 7.7, 123.4};
+  constexpr double kSteps[3] = {0.1, 0.31, 0.17};
+  Histogram parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < kCounts[p]; ++i) {
+      parts[p].Add(kBases[p] + kSteps[p] * i);
+    }
+  }
+
+  Histogram ascending;
+  for (const Histogram& p : parts) ascending.Merge(p);
+  Histogram descending;
+  for (int i = 2; i >= 0; --i) descending.Merge(parts[i]);
+  // Order sensitivity is real for these inputs: if this ever becomes
+  // EQ, the golden below stops pinning anything.
+  EXPECT_NE(ascending.Stddev(), descending.Stddev());
+
+  // Hand-rolled replication of Summary::Add / Summary::Merge, applied in
+  // ascending order.
+  struct Welford {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    void Add(double x) {
+      ++count;
+      const double delta = x - mean;
+      mean += delta / static_cast<double>(count);
+      m2 += delta * (x - mean);
+    }
+    void Merge(const Welford& other) {
+      if (other.count == 0) return;
+      if (count == 0) {
+        *this = other;
+        return;
+      }
+      const double delta = other.mean - mean;
+      const auto n1 = static_cast<double>(count);
+      const auto n2 = static_cast<double>(other.count);
+      const double n = n1 + n2;
+      m2 += other.m2 + delta * delta * n1 * n2 / n;
+      mean = (n1 * mean + n2 * other.mean) / n;
+      count += other.count;
+    }
+  };
+  Welford expected_parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < kCounts[p]; ++i) {
+      expected_parts[p].Add(kBases[p] + kSteps[p] * i);
+    }
+  }
+  Welford expected;
+  for (const Welford& p : expected_parts) expected.Merge(p);
+
+  EXPECT_EQ(ascending.Count(), expected.count);
+  EXPECT_EQ(ascending.Mean(), expected.mean);
+  EXPECT_EQ(ascending.Stddev(),
+            std::sqrt(expected.m2 /
+                      static_cast<double>(expected.count - 1)));
 }
 
 TEST(FleetParallelTest, MetricsMergeAccumulatesPartials) {

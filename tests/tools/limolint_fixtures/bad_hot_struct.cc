@@ -1,0 +1,24 @@
+// Deliberately bad: per-tick state regrown as vector members after the
+// SoA refactor (see src/fleet/fleet_state.h).
+#include <vector>
+
+namespace limoncello {
+
+// limolint:hot-struct — per-tick state must stay in the SoA arrays.
+struct BadHotState {
+  int num_machines = 0;
+  std::vector<double> utilization;
+  std::vector<int> controller_state;
+  std::vector<double> cold_cache;  // limolint:allow(hot-struct-vector)
+  struct Nested {
+    std::vector<double> deep;
+  };
+  const std::vector<double>& util() const { return utilization; }
+};
+
+// An unmarked struct may hold whatever it likes.
+struct ColdConfig {
+  std::vector<double> thresholds;
+};
+
+}  // namespace limoncello

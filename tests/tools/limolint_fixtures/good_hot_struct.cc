@@ -1,0 +1,27 @@
+// Clean hot-struct usage: scalar arrays only, accessor signatures that
+// mention std::vector, and vectors confined to unmarked cold types.
+#include <cstddef>
+#include <vector>
+
+namespace limoncello {
+
+struct AlignedDoubles {
+  double* data = nullptr;
+  std::size_t size = 0;
+};
+
+// limolint:hot-struct — per-tick scalars only.
+struct GoodHotState {
+  AlignedDoubles utilization;
+  AlignedDoubles served_qps;
+  std::size_t num_machines = 0;
+  // Signatures may mention the type; only members are new state.
+  void CopyTo(std::vector<double>* out) const;
+  std::vector<double> Snapshot() const;
+};
+
+struct ColdPlacementScratch {
+  std::vector<double> shares;
+};
+
+}  // namespace limoncello

@@ -203,6 +203,38 @@ TEST(LimolintRawFileIo, RecoveryDirectoryIsExempt) {
       Lint("bad_raw_file_io.cc", "src/recovery/bad_raw_file_io.cc").empty());
 }
 
+TEST(LimolintHotStruct, VectorMembersInMarkedStructAreFlagged) {
+  const auto findings =
+      Lint("bad_hot_struct.cc", "src/fleet/bad_hot_struct.cc");
+  // Two direct members plus one in a nested struct (depth tracking).
+  EXPECT_EQ(CountRule(findings, "hot-struct-vector"), 3)
+      << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "hot-struct-vector"),
+            static_cast<int>(findings.size()))
+      << "only hot-struct-vector should fire: " << FormatFindings(findings);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.line, 12) << "allow(hot-struct-vector) must suppress";
+    EXPECT_NE(f.line, 16) << "accessor signatures are not members";
+    EXPECT_NE(f.line, 21) << "unmarked structs are out of scope";
+  }
+}
+
+TEST(LimolintHotStruct, ScalarsAccessorsAndUnmarkedStructsAreClean) {
+  const auto findings =
+      Lint("good_hot_struct.cc", "src/fleet/good_hot_struct.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintHotStruct, RegionClosesWithTheStructBody) {
+  // After the marked struct's closing brace the rule must disarm: the
+  // cold struct at the bottom of the bad fixture carries a vector too.
+  const auto findings =
+      Lint("bad_hot_struct.cc", "src/fleet/bad_hot_struct.cc");
+  for (const Finding& f : findings) {
+    EXPECT_LT(f.line, 18) << FormatFindings(findings);
+  }
+}
+
 TEST(LimolintAllow, MatchingAllowSuppressesAndWrongRuleDoesNot) {
   const auto findings = Lint("allow_escape.cc", "src/fleet/allow_escape.cc");
   ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
@@ -236,6 +268,10 @@ TEST(LimolintMeta, EveryRuleHasAFailingFixture) {
   }
   for (const Finding& f :
        Lint("bad_raw_file_io.cc", "src/fleet/bad_raw_file_io.cc")) {
+    caught.insert(f.rule);
+  }
+  for (const Finding& f :
+       Lint("bad_hot_struct.cc", "src/fleet/bad_hot_struct.cc")) {
     caught.insert(f.rule);
   }
   for (const Rule& rule : Rules()) {

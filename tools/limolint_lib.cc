@@ -384,6 +384,54 @@ bool UncheckedFileIoCall(const std::string& code) {
   return rest == std::string::npos || code[rest] == ';';
 }
 
+// Marker comment opening a hot-struct region: the next brace-balanced
+// type body holds per-tick state, and growing it a std::vector member
+// reintroduces exactly the pointer chase the SoA FleetState removed.
+// (The allow escape spells "limolint:allow(hot-struct-vector)", which
+// does not contain this marker, so the two never collide on one line.)
+constexpr const char* kHotStructMarker = "limolint:hot-struct";
+
+// Tracks whether each line sits inside a marked hot-struct body. The
+// marker arms the tracker; the first '{' after it opens the region and
+// brace depth closes it. Lines are classified by their state on entry,
+// so the opening `struct X {` line itself is not part of the region.
+class HotStructTracker {
+ public:
+  // Returns true if `code` (with `comment`) lies inside a hot region.
+  // Call once per line, in file order.
+  bool Advance(const std::string& code, const std::string& comment) {
+    const bool inside = depth_ > 0;
+    if (comment.find(kHotStructMarker) != std::string::npos) {
+      armed_ = true;
+    }
+    for (const char c : code) {
+      if (armed_ && c == '{') {
+        armed_ = false;
+        depth_ = 1;
+      } else if (depth_ > 0 && c == '{') {
+        ++depth_;
+      } else if (depth_ > 0 && c == '}') {
+        --depth_;
+      }
+    }
+    return inside;
+  }
+
+ private:
+  bool armed_ = false;
+  int depth_ = 0;
+};
+
+// A member declaration of std::vector inside a hot struct. Lines with a
+// paren are method signatures or calls that merely *mention* the type
+// (accessors, parameters — including continuation lines of a multi-line
+// signature, which carry only the closing paren), not new state.
+bool HotStructVectorMember(const std::string& code) {
+  return code.find("std::vector<") != std::string::npos &&
+         code.find('(') == std::string::npos &&
+         code.find(')') == std::string::npos;
+}
+
 void Emit(std::vector<Finding>* findings, const std::string& rel_path,
           int line, const std::string& rule, const std::string& message,
           const std::string& comment) {
@@ -446,6 +494,9 @@ const std::vector<Rule>& Rules() {
       {"raw-file-io", "all but src/recovery/",
        "bare fopen/open/creat/fwrite/write/pwrite with dropped result; "
        "check it or persist through src/recovery/ (StateJournal)"},
+      {"hot-struct-vector", "types marked limolint:hot-struct",
+       "std::vector member in a per-tick hot struct; put the state in "
+       "FleetState's SoA arrays or annotate a cold member"},
   };
   return *rules;
 }
@@ -463,11 +514,23 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   // Tail of the previous non-blank code line; a line starts a fresh
   // statement when that tail ends one (';', '{', '}', or a label ':').
   char prev_tail = ';';
+  HotStructTracker hot_tracker;
   for (std::size_t n = 0; n < lines.size(); ++n) {
     const std::string& code = lines[n].code;
     const std::string& comment = lines[n].comment;
     const int line = static_cast<int>(n + 1);
+    // The tracker must see every line: the marker usually sits on a
+    // comment-only line that the statement scanner below skips.
+    const bool in_hot_struct = hot_tracker.Advance(code, comment);
     if (code.empty()) continue;
+
+    if (in_hot_struct && HotStructVectorMember(code)) {
+      Emit(&findings, rel_path, line, "hot-struct-vector",
+           "per-tick hot struct grew a std::vector member; hot state "
+           "belongs in FleetState's SoA arrays (fleet_state.h), or mark "
+           "a cold member with limolint:allow(hot-struct-vector)",
+           comment);
+    }
     const std::size_t tail = code.find_last_not_of(" \t");
     const bool statement_start = prev_tail == ';' || prev_tail == '{' ||
                                  prev_tail == '}' || prev_tail == ':';
