@@ -37,6 +37,8 @@ std::optional<double> ParseLastUtilizationLine(
   return value;
 }
 
+// limolint:cold-path — production telemetry read at daemon cadence (~1
+// Hz); the fleet hot loop dispatches to the simulated source instead.
 std::optional<double> FileUtilizationSource::SampleUtilization() {
   std::ifstream in(path_, std::ios::binary);
   if (!in.is_open()) return std::nullopt;

@@ -95,6 +95,8 @@ PerfCsvUtilizationSource::PerfCsvUtilizationSource(
   LIMONCELLO_CHECK_GT(options.saturation_gbps, 0.0);
 }
 
+// limolint:cold-path — production telemetry read at daemon cadence (~1
+// Hz); the fleet hot loop dispatches to the simulated source instead.
 std::optional<double> PerfCsvUtilizationSource::SampleUtilization() {
   std::ifstream in(path_, std::ios::binary);
   if (!in.is_open()) return std::nullopt;

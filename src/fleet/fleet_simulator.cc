@@ -199,6 +199,60 @@ void FleetSimulator::PlaceWorkloads() {
   }
 }
 
+// limolint:hot-path — the fleet engine's parallel inner loop: every
+// machine-tick in a run flows through here, and bench_fleet_gate requires
+// the steady state to stay allocation-free.
+void FleetSimulator::TickEpochSlice(
+    std::size_t first, std::size_t last, int epoch_start, int epoch_len,
+    const std::vector<std::vector<double>>& epoch_factors,
+    FleetMetrics& partial, std::vector<MachineAggregate>& aggregates) {
+  // Machine-major: each machine runs the whole epoch before the
+  // next machine starts, so its hot SoA state stays cache-resident
+  // across the epoch's ticks. Machines are independent between
+  // rebalance boundaries (and epochs never span one), so this
+  // order change is invisible to the model.
+  for (std::size_t m = first; m < last; ++m) {
+    MachineModel& machine = *machines_[m];
+    MachineAggregate& agg = aggregates[m];
+    for (int t = 0; t < epoch_len; ++t) {
+      const SimTimeNs now =
+          static_cast<SimTimeNs>(epoch_start + t) * options_.tick_ns;
+      const MachineModel::TickResult r = machine.Tick(
+          now, epoch_factors[static_cast<std::size_t>(t)]);
+      ++partial.machine_ticks;
+      partial.offered_qps_sum += r.offered_qps;
+      agg.offered_qps_sum += r.offered_qps;
+      ++agg.ticks;
+      if (r.down) {
+        // Offered load counts (it was sent and lost); nothing
+        // else is observable from a machine that is off. Down
+        // ticks drag the machine's averages toward zero, which
+        // is correct.
+        ++partial.down_machine_ticks;
+        continue;
+      }
+      partial.bandwidth_gbps.Add(r.bandwidth_gbps);
+      partial.bandwidth_utilization.Add(r.bandwidth_utilization);
+      partial.latency_ns.Add(r.latency_ns);
+      partial.served_qps_sum += r.served_qps;
+      for (int c = 0; c < kNumCategories; ++c) {
+        partial.category_cycles[static_cast<size_t>(c)] +=
+            r.category_cycles[static_cast<size_t>(c)];
+      }
+      if (r.bandwidth_utilization >= 0.95) {
+        ++partial.saturated_machine_ticks;
+      }
+      if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
+
+      agg.cpu_utilization_sum += r.cpu_utilization;
+      agg.bw_utilization_sum += r.bandwidth_utilization;
+      agg.latency_ns_sum += r.latency_ns;
+      agg.served_qps_sum += r.served_qps;
+      if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
+    }
+  }
+}
+
 FleetMetrics FleetSimulator::Run() {
   FleetMetrics metrics;
   metrics.machines.resize(machines_.size());
@@ -228,56 +282,10 @@ FleetMetrics FleetSimulator::Run() {
   const std::function<void(std::int64_t)> run_slice =
       [&](std::int64_t s) {
         const std::size_t slice = static_cast<std::size_t>(s);
-        FleetMetrics& partial = partials[slice].metrics;
-        const std::size_t first = plan.SliceBegin(slice);
-        const std::size_t last =
-            plan.SliceEnd(slice, machines_.size());
-        // Machine-major: each machine runs the whole epoch before the
-        // next machine starts, so its hot SoA state stays cache-resident
-        // across the epoch's ticks. Machines are independent between
-        // rebalance boundaries (and epochs never span one), so this
-        // order change is invisible to the model.
-        for (std::size_t m = first; m < last; ++m) {
-          MachineModel& machine = *machines_[m];
-          MachineAggregate& agg = metrics.machines[m];
-          for (int t = 0; t < epoch_len; ++t) {
-            const SimTimeNs now =
-                static_cast<SimTimeNs>(epoch_start + t) *
-                options_.tick_ns;
-            const MachineModel::TickResult r = machine.Tick(
-                now, epoch_factors[static_cast<std::size_t>(t)]);
-            ++partial.machine_ticks;
-            partial.offered_qps_sum += r.offered_qps;
-            agg.offered_qps_sum += r.offered_qps;
-            ++agg.ticks;
-            if (r.down) {
-              // Offered load counts (it was sent and lost); nothing
-              // else is observable from a machine that is off. Down
-              // ticks drag the machine's averages toward zero, which
-              // is correct.
-              ++partial.down_machine_ticks;
-              continue;
-            }
-            partial.bandwidth_gbps.Add(r.bandwidth_gbps);
-            partial.bandwidth_utilization.Add(r.bandwidth_utilization);
-            partial.latency_ns.Add(r.latency_ns);
-            partial.served_qps_sum += r.served_qps;
-            for (int c = 0; c < kNumCategories; ++c) {
-              partial.category_cycles[static_cast<size_t>(c)] +=
-                  r.category_cycles[static_cast<size_t>(c)];
-            }
-            if (r.bandwidth_utilization >= 0.95) {
-              ++partial.saturated_machine_ticks;
-            }
-            if (!r.prefetchers_on) ++partial.prefetcher_off_ticks;
-
-            agg.cpu_utilization_sum += r.cpu_utilization;
-            agg.bw_utilization_sum += r.bandwidth_utilization;
-            agg.latency_ns_sum += r.latency_ns;
-            agg.served_qps_sum += r.served_qps;
-            if (!r.prefetchers_on) ++agg.prefetcher_off_ticks;
-          }
-        }
+        TickEpochSlice(plan.SliceBegin(slice),
+                       plan.SliceEnd(slice, machines_.size()), epoch_start,
+                       epoch_len, epoch_factors, partials[slice].metrics,
+                       metrics.machines);
       };
 
   int tick = 0;

@@ -177,6 +177,17 @@ class FleetSimulator {
  private:
   void PlaceWorkloads();
 
+  // The parallel epoch body: walks machines [first, last) through the
+  // whole epoch machine-major, accumulating into this slice's partial
+  // and the per-machine aggregates. Extracted from Run()'s slice lambda
+  // so the hot loop is a named call-graph node (limolint:hot-path);
+  // bit-identical to the original in-lambda form.
+  void TickEpochSlice(std::size_t first, std::size_t last, int epoch_start,
+                      int epoch_len,
+                      const std::vector<std::vector<double>>& epoch_factors,
+                      FleetMetrics& partial,
+                      std::vector<MachineAggregate>& aggregates);
+
   PlatformConfig platform_;
   DeploymentMode mode_;
   ControllerConfig controller_;

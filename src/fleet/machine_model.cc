@@ -146,6 +146,8 @@ void MachineModel::MirrorControllerState() {
           : 0;
 }
 
+// limolint:cold-path — crash recovery: runs only when a fault window
+// killed the daemon, a designed rarity that may allocate freely.
 void MachineModel::RestartDaemon() {
   ++recovery_.daemon_restarts;
   // A new process: every bit of in-memory daemon state is gone. Only
@@ -206,6 +208,9 @@ double MachineModel::EstimateCpuCost(const ServiceSpec& spec,
   return cores_needed / static_cast<double>(platform_.cores);
 }
 
+// limolint:hot-path — per-machine per-tick entry point; the fleet engine
+// calls this 100k times per simulated tick, and bench_fleet_gate pins its
+// steady-state allocation rate below 0.05/machine-tick.
 MachineModel::TickResult MachineModel::Tick(
     SimTimeNs now_ns, const std::vector<double>& load_factors) {
   // 0. Fault windows open/close before anything observes them; a crash

@@ -27,6 +27,8 @@ LinuxMsrDevice::LinuxMsrDevice() {
   }
 }
 
+// limolint:cold-path — real /dev/cpu/*/msr node I/O; runs at actuation
+// cadence on hardware, never in the simulated fleet hot loop.
 std::optional<std::uint64_t> LinuxMsrDevice::Read(int cpu, MsrRegister reg) {
   if (cpu < 0 || cpu >= num_cpus_) return std::nullopt;
   const int fd = OpenMsrNode(cpu, O_RDONLY);
@@ -38,6 +40,8 @@ std::optional<std::uint64_t> LinuxMsrDevice::Read(int cpu, MsrRegister reg) {
   return value;
 }
 
+// limolint:cold-path — real /dev/cpu/*/msr node I/O; runs at actuation
+// cadence on hardware, never in the simulated fleet hot loop.
 bool LinuxMsrDevice::Write(int cpu, MsrRegister reg, std::uint64_t value) {
   if (cpu < 0 || cpu >= num_cpus_) return false;
   const int fd = OpenMsrNode(cpu, O_WRONLY);

@@ -55,7 +55,10 @@ std::uint64_t LoadU64(const unsigned char* p) {
 bool WriteFully(int fd, const unsigned char* data, std::size_t size) {
   std::size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
+    // The journal's designed append syscall: short writes loop, EINTR
+    // retries.
+    const ssize_t n = ::write(  // limolint:allow(hot-path-blocking)
+        fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -152,8 +155,11 @@ StateJournal::~StateJournal() { CloseAppendFd(); }
 
 bool StateJournal::EnsureOpenForAppend() {
   if (fd_ >= 0) return true;
-  fd_ = ::open(options_.path.c_str(),
-               O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  // One open per journal lifetime (or per compaction); the descriptor
+  // is cached across appends.
+  fd_ = ::open(  // limolint:allow(hot-path-blocking)
+      options_.path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+      0644);
   return fd_ >= 0;
 }
 
@@ -164,6 +170,9 @@ void StateJournal::CloseAppendFd() {
   }
 }
 
+// limolint:hot-path — the journaled persistence path runs on every daemon
+// tick; it must stay allocation-free (the designed ::write/::fsync pair is
+// the one blocking exception, annotated at the call sites).
 bool StateJournal::Append(
     const LimoncelloDaemon::PersistentState& state) {
   if (appends_since_compaction_ >= options_.compact_every_appends) {
@@ -179,7 +188,10 @@ bool StateJournal::Append(
     ++stats_.io_errors;
     return false;
   }
-  if (options_.fsync_each_append && ::fsync(fd_) != 0) {
+  // The designed durability point: an append is not an append until it
+  // is on stable storage.
+  if (options_.fsync_each_append &&
+      ::fsync(fd_) != 0) {  // limolint:allow(hot-path-blocking)
     ++stats_.io_errors;
     return false;
   }
@@ -188,6 +200,9 @@ bool StateJournal::Append(
   return true;
 }
 
+// limolint:cold-path — compaction: one snapshot per compact_every_appends
+// appends (or shutdown), a designed heavyweight rarity whose tmp+fsync+
+// rename dance is the crash-safety mechanism itself.
 bool StateJournal::WriteSnapshot(
     const LimoncelloDaemon::PersistentState& state) {
   // The rename below replaces the journal's inode; a kept-open append

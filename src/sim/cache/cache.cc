@@ -228,6 +228,8 @@ Cache::Cache(const CacheConfig& config, std::string name)
   Flush();
 }
 
+// limolint:hot-path — one probe per memory reference per level; the
+// packed-word SIMD layout exists so this never touches the heap.
 Cache::ProbeResult Cache::Probe(Addr line_addr) const {
   const std::uint64_t* set = &words_[SetBase(line_addr)];
   ProbeResult result;

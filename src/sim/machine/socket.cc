@@ -226,6 +226,8 @@ Socket::BelowL1Result Socket::AccessBelowL1(
   return result;
 }
 
+// limolint:hot-path — per-memory-reference entry point of the cache sim;
+// bench_socket gates its steady-state allocation count at exactly zero.
 double Socket::ProcessAccess(CoreState& core, const MemRef& ref) {
   // Compute gap preceding the access.
   double cycles = static_cast<double>(ref.gap_instructions) *

@@ -71,7 +71,10 @@ void BestOffsetPrefetcher::Observe(const PrefetchObservation& obs,
 
   // Prefetch with the offset selected by the previous round.
   if (current_offset_ > 0) {
-    out->push_back(obs.line_addr + static_cast<Addr>(current_offset_));
+    // The socket's reusable scratch vector keeps its capacity across
+    // ticks, so steady-state pushes never reallocate.
+    out->push_back(  // limolint:allow(hot-path-alloc)
+        obs.line_addr + static_cast<Addr>(current_offset_));
     CountIssued(1);
   }
 }

@@ -34,7 +34,11 @@ void Histogram::AddN(double value, std::uint64_t n) {
   if (n == 0) return;
   LIMONCELLO_DCHECK(value >= 0.0);
   const std::size_t b = BucketFor(value);
-  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  // Buckets grow lazily to the largest observed value; once the range is
+  // seen, adds are in-place.
+  if (b >= buckets_.size()) {
+    buckets_.resize(b + 1, 0);  // limolint:allow(hot-path-alloc)
+  }
   buckets_[b] += n;
   for (std::uint64_t i = 0; i < n; ++i) summary_.Add(value);
 }

@@ -4,6 +4,9 @@
 
 namespace limoncello {
 
+// limolint:cold-path — trace buffers grow by design; fleet runs disable
+// trace recording (Daemon::set_trace_recording) and standalone daemons
+// record at daemon cadence, so the hot loop never lands here.
 void TimeSeries::Add(SimTimeNs time_ns, double value) {
   if (!points_.empty()) {
     LIMONCELLO_CHECK_GE(time_ns, points_.back().time_ns);

@@ -70,6 +70,8 @@ const std::array<std::uint32_t, 256>& Crc32cTable() {
 
 }  // namespace
 
+// limolint:hot-path — datacenter-tax kernel; reads the block, never the
+// heap.
 std::uint64_t BlockHash64(const void* data, std::size_t n,
                           std::uint64_t seed,
                           const SoftPrefetchConfig& config) {

@@ -29,6 +29,7 @@ inline void PrefetchSpanWrite(char* addr, std::size_t degree, char* limit) {
 // Forward copy in chunks with periodic source prefetch: every time the
 // cursor crosses a degree boundary, the next `degree` bytes at `distance`
 // ahead are requested.
+// limolint:hot-path — datacenter-tax kernel; pure pointer arithmetic.
 void CopyForwardPrefetched(char* dst, const char* src, std::size_t n,
                            std::size_t distance, std::size_t degree) {
   const char* const src_end = src + n;
@@ -45,6 +46,7 @@ void CopyForwardPrefetched(char* dst, const char* src, std::size_t n,
   }
 }
 
+// limolint:hot-path — datacenter-tax kernel; pure pointer arithmetic.
 void CopyBackwardPrefetched(char* dst, const char* src, std::size_t n,
                             std::size_t distance, std::size_t degree) {
   std::size_t remaining = n;

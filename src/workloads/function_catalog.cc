@@ -24,6 +24,8 @@ bool IsTaxCategory(FunctionCategory category) {
   return category != FunctionCategory::kNonTax;
 }
 
+// limolint:cold-path — setup-time registration; catalogs are frozen
+// before any tick runs.
 FunctionId FunctionCatalog::Add(FunctionSpec spec) {
   LIMONCELLO_CHECK_LT(specs_.size(), kInvalidFunctionId);
   specs_.push_back(std::move(spec));

@@ -1,0 +1,22 @@
+// Deliberate violations: allocating constructs reachable from a function
+// tagged limolint:hot-path — directly and through a callee.
+#include <string>
+#include <vector>
+
+namespace fx {
+
+int Helper(std::vector<int>* out) {
+  out->push_back(1);  // flagged: container growth in a hot callee
+  return static_cast<int>(out->size());
+}
+
+// limolint:hot-path
+int HotLoop(std::vector<int>* out) {
+  std::string name = "x";  // flagged: std::string construction
+  int* p = new int(7);     // flagged: new expression
+  int r = Helper(out);     // pulls Helper into the hot set
+  delete p;
+  return r + static_cast<int>(name.size());
+}
+
+}  // namespace fx

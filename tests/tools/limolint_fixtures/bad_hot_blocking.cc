@@ -1,0 +1,20 @@
+// Deliberate violations: blocking calls reachable from a hot root — file
+// I/O and fsync through a callee, a sleep in the root itself.
+#include <unistd.h>
+
+namespace fx {
+
+bool Persist(int fd, const char* buf, long n) {
+  if (::write(fd, buf, static_cast<unsigned long>(n)) != n) {  // flagged
+    return false;
+  }
+  return ::fsync(fd) == 0;  // flagged
+}
+
+// limolint:hot-path
+bool HotTick(int fd, const char* buf, long n) {
+  usleep(10);  // flagged: sleeping on the hot path
+  return Persist(fd, buf, n);
+}
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Deliberate violations: two methods acquire the same pair of locks in
+// opposite orders (a cycle), and a third holds a lock across a ThreadPool
+// rendezvous.
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace fx {
+
+struct Engine {
+  limoncello::Mutex a_;
+  limoncello::Mutex b_;
+  limoncello::ThreadPool* pool_ = nullptr;
+
+  void Forward() {
+    limoncello::MutexLock hold_a(&a_);
+    limoncello::MutexLock hold_b(&b_);  // order a_ -> b_
+  }
+
+  void Backward() {
+    limoncello::MutexLock hold_b(&b_);
+    limoncello::MutexLock hold_a(&a_);  // order b_ -> a_: cycle
+  }
+
+  void FanOut(long n) {
+    limoncello::MutexLock hold_a(&a_);
+    pool_->ParallelFor(0, n, [](long) {}, 1);  // flagged: held across
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Clean: the hot root stays scalar; the designed allocations are either
+// behind a cold-path callee or allowed at the construct line.
+#include <vector>
+
+namespace fx {
+
+// limolint:cold-path — setup-time only; the tick loop never lands here.
+void Setup(std::vector<int>* out) {
+  out->resize(64);
+}
+
+int Scalar(int x) { return x * 2 + 1; }
+
+// limolint:hot-path
+int HotLoop(std::vector<int>* out) {
+  Setup(out);  // edge not traversed: the callee is cold
+  // Reserved scratch: capacity survives across ticks.
+  out->push_back(3);  // limolint:allow(hot-path-alloc)
+  return Scalar(static_cast<int>(out->size()));
+}
+
+}  // namespace fx

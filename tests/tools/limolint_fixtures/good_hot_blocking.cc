@@ -1,0 +1,19 @@
+// Clean: the designed append syscall is allowed at its line, and the
+// flush helper is both cold and unreachable from the root.
+#include <unistd.h>
+
+namespace fx {
+
+// limolint:cold-path — shutdown-only.
+void FlushAll(int fd) {
+  (void)::fsync(fd);
+}
+
+// limolint:hot-path
+bool HotTick(int fd, const char* buf, long n) {
+  const long wrote = ::write(  // limolint:allow(hot-path-blocking)
+      fd, buf, static_cast<unsigned long>(n));
+  return wrote == n;
+}
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+// Clean: every method acquires in the one global order, and the guard is
+// scoped shut before the pool rendezvous.
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace fx {
+
+struct Engine {
+  limoncello::Mutex a_;
+  limoncello::Mutex b_;
+  limoncello::ThreadPool* pool_ = nullptr;
+
+  void First() {
+    limoncello::MutexLock hold_a(&a_);
+    limoncello::MutexLock hold_b(&b_);
+  }
+
+  void Second() {
+    limoncello::MutexLock hold_a(&a_);
+    limoncello::MutexLock hold_b(&b_);
+  }
+
+  void FanOut(long n) {
+    {
+      limoncello::MutexLock hold_a(&a_);
+    }
+    pool_->ParallelFor(0, n, [](long) {}, 1);
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Cross-TU half 2: the allocation xtu_caller.cc's hot root reaches.
+#include <vector>
+
+namespace fx {
+
+std::vector<int> MakeScratch(int n) {
+  std::vector<int> v(static_cast<unsigned long>(n), 0);  // flagged
+  return v;
+}
+
+int XtuHelper(int x) {
+  return static_cast<int>(MakeScratch(x).size());
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Cross-TU half 1: the hot root lives here; the allocation it reaches is
+// defined in xtu_callee.cc. Only meaningful when both files are analyzed
+// as one program.
+namespace fx {
+
+int XtuHelper(int x);
+
+// limolint:hot-path
+int XtuHot(int x) { return XtuHelper(x) + 1; }
+
+}  // namespace fx

@@ -9,7 +9,10 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "limolint_callgraph.h"
 
 #include <gtest/gtest.h>
 
@@ -36,6 +39,26 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
     if (f.rule == rule) ++n;
   }
   return n;
+}
+
+// The call-graph rules never run through LintFile; program-rule fixtures
+// are analyzed whole-program style, each fixture mapped to a synthetic
+// repo path like real sources.
+std::vector<Finding> Analyze(
+    const std::vector<std::pair<std::string, std::string>>& fixtures) {
+  std::vector<SourceFile> sources;
+  for (const auto& fx : fixtures) {
+    sources.push_back(SourceFile{fx.second, ReadFixture(fx.first)});
+  }
+  return AnalyzeProgram(sources);
+}
+
+bool AnyMessageContains(const std::vector<Finding>& findings,
+                        const std::string& needle) {
+  for (const Finding& f : findings) {
+    if (f.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
 }
 
 TEST(LimolintRawThread, RawMutexOutsideUtilIsFlagged) {
@@ -94,6 +117,18 @@ TEST(LimolintDeterminism, ScopeIsLimitedToSimFleetCore) {
   EXPECT_TRUE(Lint("bad_wallclock.cc", "bench/bad_wallclock.cc").empty());
   EXPECT_TRUE(
       Lint("good_bench_clock.cc", "bench/good_bench_clock.cc").empty());
+}
+
+TEST(LimolintDeterminism, FaultsAndRecoveryAreInScope) {
+  // Fault schedules and the recovery journal replay on fixed seeds; wall
+  // clocks there break reproducibility just like in the simulator.
+  EXPECT_EQ(CountRule(Lint("bad_wallclock.cc", "src/faults/bad_wallclock.cc"),
+                      "determinism"),
+            2);
+  EXPECT_EQ(
+      CountRule(Lint("bad_wallclock.cc", "src/recovery/bad_wallclock.cc"),
+                "determinism"),
+      2);
 }
 
 TEST(LimolintDeterminism, WordBoundedMatcherIgnoresSubstrings) {
@@ -242,6 +277,164 @@ TEST(LimolintAllow, MatchingAllowSuppressesAndWrongRuleDoesNot) {
   EXPECT_EQ(findings[0].line, 12);  // the allow(no-assert) line still fires
 }
 
+TEST(LimolintHotPathAlloc, ReachableAllocationsAreFlaggedWithAPath) {
+  const auto findings =
+      Analyze({{"bad_hot_alloc.cc", "src/fleet/bad_hot_alloc.cc"}});
+  // push_back in the callee, std::string construction and new in the root.
+  EXPECT_EQ(CountRule(findings, "hot-path-alloc"), 3)
+      << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "hot-path-alloc"),
+            static_cast<int>(findings.size()))
+      << "only hot-path-alloc should fire: " << FormatFindings(findings);
+  EXPECT_TRUE(AnyMessageContains(findings, "HotLoop -> Helper"))
+      << "finding in a callee must carry the call path: "
+      << FormatFindings(findings);
+}
+
+TEST(LimolintHotPathAlloc, ColdCalleesAndAllowedLinesAreClean) {
+  const auto findings =
+      Analyze({{"good_hot_alloc.cc", "src/fleet/good_hot_alloc.cc"}});
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintHotPathBlocking, ReachableBlockingCallsAreFlagged) {
+  const auto findings =
+      Analyze({{"bad_hot_blocking.cc", "src/fleet/bad_hot_blocking.cc"}});
+  // write + fsync through the callee, usleep in the root itself.
+  EXPECT_EQ(CountRule(findings, "hot-path-blocking"), 3)
+      << FormatFindings(findings);
+  EXPECT_TRUE(AnyMessageContains(findings, "HotTick -> Persist"))
+      << FormatFindings(findings);
+}
+
+TEST(LimolintHotPathBlocking, AllowedAppendAndUnreachableFlushAreClean) {
+  const auto findings =
+      Analyze({{"good_hot_blocking.cc", "src/fleet/good_hot_blocking.cc"}});
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintLockCycle, OppositeOrdersAndHeldRendezvousAreFlagged) {
+  const auto findings =
+      Analyze({{"bad_lock_cycle.cc", "src/fleet/bad_lock_cycle.cc"}});
+  EXPECT_EQ(CountRule(findings, "lock-cycle"), 2) << FormatFindings(findings);
+  EXPECT_TRUE(AnyMessageContains(findings, "lock order cycle"))
+      << FormatFindings(findings);
+  EXPECT_TRUE(AnyMessageContains(findings, "held across"))
+      << FormatFindings(findings);
+  // Lock names are qualified by their owning type.
+  EXPECT_TRUE(AnyMessageContains(findings, "Engine::a_"))
+      << FormatFindings(findings);
+}
+
+TEST(LimolintLockCycle, ConsistentOrderAndScopedGuardAreClean) {
+  const auto findings =
+      Analyze({{"good_lock_cycle.cc", "src/fleet/good_lock_cycle.cc"}});
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LimolintProgramAllow, AllowIsPerRuleOnADualViolationLine) {
+  // One line allocates AND blocks; only the alloc carries an allow, so
+  // exactly the blocking finding must survive.
+  const auto findings =
+      Analyze({{"allow_two_rules.cc", "src/fleet/allow_two_rules.cc"}});
+  ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "hot-path-blocking");
+  EXPECT_EQ(findings[0].line, 11);
+}
+
+TEST(LimolintCrossTu, ReachabilitySpansTranslationUnits) {
+  // Alone, each half is clean: the caller has no constructs, the callee
+  // has no hot root.
+  EXPECT_TRUE(
+      Analyze({{"xtu_caller.cc", "src/fleet/xtu_caller.cc"}}).empty());
+  EXPECT_TRUE(
+      Analyze({{"xtu_callee.cc", "src/core/xtu_callee.cc"}}).empty());
+  // Together the hot root in one file reaches the allocation in the other.
+  const auto findings =
+      Analyze({{"xtu_caller.cc", "src/fleet/xtu_caller.cc"},
+               {"xtu_callee.cc", "src/core/xtu_callee.cc"}});
+  ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "hot-path-alloc");
+  EXPECT_EQ(findings[0].file, "src/core/xtu_callee.cc");
+  EXPECT_TRUE(
+      AnyMessageContains(findings, "XtuHot -> XtuHelper -> MakeScratch"))
+      << FormatFindings(findings);
+}
+
+TEST(LimolintCallGraph, MarkersAttachToTheTaggedFunctions) {
+  ProgramModel model = ProgramModel::Build(
+      {SourceFile{"src/fleet/good_hot_alloc.cc",
+                  ReadFixture("good_hot_alloc.cc")}});
+  bool saw_hot = false, saw_cold = false, saw_plain = false;
+  for (const FunctionSummary& fn : model.Functions()) {
+    if (fn.qualified == "HotLoop") {
+      saw_hot = true;
+      EXPECT_TRUE(fn.hot_root);
+      EXPECT_FALSE(fn.cold_path);
+      EXPECT_GE(fn.num_calls, 2u);  // Setup and Scalar
+    } else if (fn.qualified == "Setup") {
+      saw_cold = true;
+      EXPECT_TRUE(fn.cold_path);
+      EXPECT_FALSE(fn.hot_root);
+    } else if (fn.qualified == "Scalar") {
+      saw_plain = true;
+      EXPECT_FALSE(fn.hot_root);
+      EXPECT_FALSE(fn.cold_path);
+    }
+  }
+  EXPECT_TRUE(saw_hot && saw_cold && saw_plain);
+}
+
+TEST(LimolintJson, FindingsRoundTripThroughABaselineFile) {
+  const auto findings =
+      Analyze({{"bad_hot_alloc.cc", "src/fleet/bad_hot_alloc.cc"},
+               {"bad_lock_cycle.cc", "src/fleet/bad_lock_cycle.cc"}});
+  ASSERT_FALSE(findings.empty());
+  const std::string path =
+      testing::TempDir() + "/limolint_roundtrip.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << FindingsJson(findings);
+  }
+  std::vector<Finding> baseline;
+  ASSERT_TRUE(LoadBaselineFile(path, &baseline));
+  ASSERT_EQ(baseline.size(), findings.size());
+  std::size_t matched = 0;
+  const auto fresh = SubtractBaseline(findings, baseline, &matched);
+  EXPECT_TRUE(fresh.empty())
+      << "a findings file must baseline itself: " << FormatFindings(fresh);
+  EXPECT_EQ(matched, findings.size());
+}
+
+TEST(LimolintJson, BaselineEntriesAbsorbAtMostOneFindingEach) {
+  Finding f;
+  f.file = "src/fleet/x.cc";
+  f.line = 7;
+  f.rule = "hot-path-alloc";
+  f.message = "push_back() on a hot path";
+  // Two identical findings against a one-entry baseline: one survives.
+  const auto fresh = SubtractBaseline({f, f}, {f});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].line, 7);
+  // A baseline entry with a different line matches nothing.
+  Finding moved = f;
+  moved.line = 8;
+  EXPECT_EQ(SubtractBaseline({f}, {moved}).size(), 1u);
+}
+
+TEST(LimolintJson, MalformedBaselineIsRejected) {
+  const std::string path = testing::TempDir() + "/limolint_bad.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"version\":1,\"findings\":[{\"file\":\"a\",";  // truncated
+  }
+  std::vector<Finding> baseline;
+  EXPECT_FALSE(LoadBaselineFile(path, &baseline));
+  EXPECT_TRUE(baseline.empty());
+  EXPECT_FALSE(LoadBaselineFile(testing::TempDir() + "/does_not_exist.json",
+                                &baseline));
+}
+
 TEST(LimolintMeta, EveryRuleHasAFailingFixture) {
   std::set<std::string> caught;
   for (const Finding& f :
@@ -272,6 +465,13 @@ TEST(LimolintMeta, EveryRuleHasAFailingFixture) {
   }
   for (const Finding& f :
        Lint("bad_hot_struct.cc", "src/fleet/bad_hot_struct.cc")) {
+    caught.insert(f.rule);
+  }
+  // The call-graph rules only fire at program level.
+  for (const Finding& f :
+       Analyze({{"bad_hot_alloc.cc", "src/fleet/bad_hot_alloc.cc"},
+                {"bad_hot_blocking.cc", "src/fleet/bad_hot_blocking.cc"},
+                {"bad_lock_cycle.cc", "src/fleet/bad_lock_cycle.cc"}})) {
     caught.insert(f.rule);
   }
   for (const Rule& rule : Rules()) {

@@ -3,12 +3,21 @@
 // new violation; tools/run_static_analysis.sh runs it as stage 1.
 //
 // Usage:
-//   limolint [--root=DIR] [--quiet] [FILE...]
+//   limolint [--root=DIR] [--quiet] [--json=PATH] [--baseline=PATH]
+//            [FILE...]
 //
 // With no FILE arguments, walks src/ tests/ bench/ tools/ under --root
-// (default: the current directory), skipping limolint_fixtures/. Explicit
-// FILE arguments are linted as-is; their path relative to --root decides
-// which rules apply. Exits 0 when clean, 1 on findings, 2 on usage or
+// (default: the current directory), skipping limolint_fixtures/, and runs
+// both the line rules and the whole-program call-graph rules. Explicit
+// FILE arguments are linted with the line rules only; their path relative
+// to --root decides which rules apply.
+//
+// --json=PATH writes ALL findings (before baseline subtraction) as a
+// stable JSON artifact — the same document format the baseline uses, so
+// a clean review of the artifact can be committed verbatim as
+// tools/limolint_baseline.json. --baseline=PATH subtracts accepted legacy
+// findings: only findings NOT in the baseline are printed and fail the
+// run. Exits 0 when clean, 1 on (non-baselined) findings, 2 on usage or
 // I/O errors.
 #include <cstdio>
 #include <filesystem>
@@ -24,10 +33,14 @@ namespace {
 namespace lint = limoncello::limolint;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: limolint [--root=DIR] [--quiet] [FILE...]\n"
-               "  --root=DIR  repo root to scan (default: .)\n"
-               "  --quiet     suppress the per-rule summary table\n");
+  std::fprintf(
+      stderr,
+      "usage: limolint [--root=DIR] [--quiet] [--json=PATH]\n"
+      "                [--baseline=PATH] [FILE...]\n"
+      "  --root=DIR      repo root to scan (default: .)\n"
+      "  --quiet         suppress the per-rule summary table\n"
+      "  --json=PATH     write all findings (pre-baseline) as JSON\n"
+      "  --baseline=PATH subtract accepted findings; only new ones fail\n");
   return 2;
 }
 
@@ -35,6 +48,8 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string json_path;
+  std::string baseline_path;
   bool quiet = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -43,6 +58,14 @@ int main(int argc, char** argv) {
       root = arg.substr(7);
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
@@ -82,12 +105,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The JSON artifact always carries the full picture: baselined findings
+  // included, so the artifact itself can seed or refresh the baseline.
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "limolint: could not write: %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << lint::FindingsJson(findings);
+  }
+
+  std::size_t baselined = 0;
+  if (!baseline_path.empty()) {
+    std::vector<lint::Finding> baseline;
+    if (!lint::LoadBaselineFile(baseline_path, &baseline)) {
+      std::fprintf(stderr, "limolint: could not parse baseline: %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    findings = lint::SubtractBaseline(findings, baseline, &baselined);
+  }
+
   if (!findings.empty()) {
     std::fputs(lint::FormatFindings(findings).c_str(), stdout);
   }
   if (!quiet) {
-    std::printf("%s\n%zu finding(s)\n",
-                lint::SummaryTable(findings).c_str(), findings.size());
+    std::printf("%s\n%zu finding(s)", lint::SummaryTable(findings).c_str(),
+                findings.size());
+    if (baselined > 0) {
+      std::printf(", %zu baselined", baselined);
+    }
+    std::printf("\n");
   }
   return findings.empty() ? 0 : 1;
 }

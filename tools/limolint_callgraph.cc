@@ -1,0 +1,1209 @@
+#include "limolint_callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace limoncello::limolint {
+
+namespace {
+
+bool IsIdent(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ALL_CAPS_WITH_UNDERSCORE tokens are treated as annotation macros
+// (LIMONCELLO_ACQUIRE(...), attributes) when parsing signatures.
+bool LooksLikeMacro(const std::string& token) {
+  if (token.find('_') == std::string::npos) return false;
+  for (char c : token) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+  }
+  return !token.empty();
+}
+
+bool IsControlKeyword(const std::string& name) {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "alignof", "alignas", "decltype", "noexcept", "throw", "delete",
+      "co_await", "co_return", "static_assert", "defined", "requires"};
+  return kw->count(name) != 0;
+}
+
+// Allocating constructs -----------------------------------------------------
+
+// Method / free calls that (can) allocate: container growth, string
+// building, smart-pointer factories.
+bool IsAllocCall(const std::string& name) {
+  static const std::set<std::string>* calls = new std::set<std::string>{
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "emplace", "emplace_hint", "resize", "reserve", "insert", "assign",
+      "append", "make_unique", "make_shared", "to_string", "substr",
+      "shrink_to_fit"};
+  return calls->count(name) != 0;
+}
+
+// Type spellings whose value construction allocates (or may allocate on
+// first growth). Matched as `std::X` optionally followed by a template
+// argument list; references/pointers/nested-name uses are skipped at the
+// match site.
+const char* const kAllocTypes[] = {
+    "string",  "vector",        "map",           "set",
+    "deque",   "list",          "unordered_map", "unordered_set",
+    "function", "ostringstream", "stringstream",  "istringstream",
+    "multimap", "multiset"};
+
+// Blocking constructs -------------------------------------------------------
+
+// Free-function calls that block: file I/O, syncing, sleeping, polling,
+// logging. `Logf` is util/logging.h's engine; the LIMONCELLO_LOG_* macro
+// names are matched too because macros are invisible post-lex.
+bool IsBlockingCall(const std::string& name) {
+  static const std::set<std::string>* calls = new std::set<std::string>{
+      "write",      "pwrite",    "read",       "pread",
+      "fsync",      "fdatasync", "open",       "fopen",
+      "creat",      "close",     "fclose",     "fwrite",
+      "fread",      "fflush",    "fprintf",    "printf",
+      "vfprintf",   "fputs",     "puts",       "fgets",
+      "sleep",      "usleep",    "nanosleep",  "sleep_for",
+      "sleep_until", "poll",     "select",     "epoll_wait",
+      "rename",     "remove",    "unlink",     "system",
+      "Logf",       "LIMONCELLO_LOG_DEBUG",    "LIMONCELLO_LOG_INFO",
+      "LIMONCELLO_LOG_WARN",     "LIMONCELLO_LOG_ERROR"};
+  return calls->count(name) != 0;
+}
+
+// Method calls that block: pool rendezvous, condvar waits, explicit lock
+// acquisition. (MutexLock guard declarations are detected separately.)
+bool IsBlockingMethod(const std::string& name) {
+  return name == "ParallelFor" || name == "ParallelInvoke" ||
+         name == "Wait" || name == "Lock" || name == "join";
+}
+
+// Extraction ---------------------------------------------------------------
+
+struct CallSite {
+  std::string callee;  // as written: "Tick" or "FaultPlan::Generate"
+  int line = 0;
+  // Locks held (static names) at this call site, for lock-cycle.
+  std::vector<std::string> held;
+  // Rules for which a limolint:allow(...) on this line prunes the edge.
+  bool allow_alloc = false;
+  bool allow_blocking = false;
+  bool allow_lock = false;
+};
+
+struct Construct {
+  const char* rule;  // "hot-path-alloc" or "hot-path-blocking"
+  std::string what;  // e.g. "push_back", "new", "std::string value"
+  int line = 0;
+};
+
+struct LockAcquire {
+  std::string lock;  // normalized static name, e.g. "ThreadPool::mu_"
+  int line = 0;
+  bool allowed = false;  // limolint:allow(lock-cycle) on the line
+};
+
+struct Function {
+  std::string name;       // last component, e.g. "Tick"
+  std::string qualified;  // e.g. "MachineModel::Tick"
+  std::string file;
+  int line = 0;
+  bool hot_root = false;
+  bool cold_path = false;
+  std::vector<CallSite> calls;
+  std::vector<Construct> constructs;
+  // Direct lock-order edges (acquired b while a held) with their site.
+  struct LockEdge {
+    std::string from, to;
+    int line = 0;
+  };
+  std::vector<LockEdge> lock_edges;
+  std::vector<LockAcquire> acquires;
+  // ParallelFor/ParallelInvoke called directly with these locks held.
+  std::vector<CallSite> rendezvous_under_lock;
+};
+
+bool HasAllow(const std::string& comment, const char* rule) {
+  return comment.find(std::string("limolint:allow(") + rule + ")") !=
+         std::string::npos;
+}
+
+// An active scoped lock guard inside a function body.
+struct ActiveGuard {
+  std::string lock;
+  int depth = 0;  // brace depth at declaration; released when depth drops
+  bool allowed = false;
+  bool manual = false;  // mu.Lock(): released only by Unlock()/body end
+};
+
+// Per-function state while its body is being scanned.
+struct OpenFunction {
+  std::size_t index = 0;  // into functions vector
+  int entry_depth = 0;    // brace depth at which the body opened
+  std::vector<ActiveGuard> guards;
+};
+
+// One scope on the extractor's stack.
+struct Scope {
+  enum Kind { kNamespace, kType, kFunction, kOther } kind = kOther;
+  std::string name;  // type name for kType
+};
+
+class Extractor {
+ public:
+  explicit Extractor(std::vector<Function>* out) : functions_(out) {}
+
+  void File(const std::string& rel_path, const std::string& content) {
+    file_ = rel_path;
+    file_stem_ = rel_path;
+    const std::size_t slash = file_stem_.find_last_of('/');
+    if (slash != std::string::npos) file_stem_.erase(0, slash + 1);
+    const std::size_t dot = file_stem_.find_last_of('.');
+    if (dot != std::string::npos) file_stem_.resize(dot);
+    scopes_.clear();
+    open_functions_.clear();
+    pending_.clear();
+    pending_comment_.clear();
+    depth_ = 0;
+    last_code_char_ = ';';
+    in_preprocessor_ = false;
+
+    const std::vector<ScannedLine> lines = ScanLines(content);
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      Line(static_cast<int>(n + 1), lines[n].code, lines[n].comment);
+    }
+  }
+
+ private:
+  void Line(int line_no, const std::string& code,
+            const std::string& comment) {
+    // Preprocessor lines (and their backslash continuations) are opaque:
+    // macro bodies must not contribute braces or call sites.
+    bool preprocessor = in_preprocessor_;
+    if (!preprocessor) {
+      const std::size_t first = code.find_first_not_of(" \t");
+      preprocessor = first != std::string::npos && code[first] == '#';
+    }
+    if (preprocessor) {
+      in_preprocessor_ = !code.empty() && code.back() == '\\';
+      return;
+    }
+
+    line_ = line_no;
+    comment_ = &comment;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      if (!open_functions_.empty()) {
+        i = BodyStep(code, i);
+      } else {
+        i = TopStep(code, i);
+      }
+    }
+    // Comments attach after the line's code so `}  // marker` applies to
+    // what FOLLOWS the brace, and marker comments above a signature
+    // accumulate with it.
+    if (open_functions_.empty() && !comment.empty()) {
+      pending_comment_ += comment;
+      pending_comment_ += '\n';
+    }
+  }
+
+  // --- outside any function body ---------------------------------------
+
+  std::size_t TopStep(const std::string& code, std::size_t i) {
+    const char c = code[i];
+    if (c == '{') {
+      OpenBrace();
+      return i + 1;
+    }
+    if (c == '}') {
+      CloseBrace();
+      last_code_char_ = '}';
+      return i + 1;
+    }
+    if (c == ';') {
+      pending_.clear();
+      pending_comment_.clear();
+      last_code_char_ = ';';
+      return i + 1;
+    }
+    pending_ += c;
+    if (!std::isspace(static_cast<unsigned char>(c))) last_code_char_ = c;
+    return i + 1;
+  }
+
+  void OpenBrace() {
+    Scope scope;
+    std::string trimmed = Trim(pending_);
+    if (init_brace_depth_ > 0 ||
+        (CtorColonSplit(trimmed) && IsIdentTail(last_code_char_))) {
+      // A brace inside a constructor's member-init list (`: a_{1}`), not
+      // the body: transparent, just track nesting.
+      ++init_brace_depth_;
+      ++depth_;
+      return;
+    }
+    if (ContainsWord(trimmed, "namespace")) {
+      scope.kind = Scope::kNamespace;
+    } else if (ContainsWord(trimmed, "enum")) {
+      scope.kind = Scope::kOther;
+    } else if (TopLevelEquals(trimmed)) {
+      scope.kind = Scope::kOther;  // initializer: `= {...}`
+    } else if (ContainsWord(trimmed, "class") ||
+               ContainsWord(trimmed, "struct") ||
+               ContainsWord(trimmed, "union")) {
+      scope.kind = Scope::kType;
+      scope.name = TypeName(trimmed);
+    } else {
+      std::string name = FunctionName(trimmed);
+      if (!name.empty()) {
+        scope.kind = Scope::kFunction;
+        scope.name = name;
+        StartFunction(name);
+      } else {
+        scope.kind = Scope::kOther;
+      }
+    }
+    pending_.clear();
+    pending_comment_.clear();
+    scopes_.push_back(scope);
+    ++depth_;
+    last_code_char_ = '{';
+  }
+
+  void CloseBrace() {
+    if (depth_ > 0) --depth_;
+    if (init_brace_depth_ > 0) {
+      --init_brace_depth_;
+      return;
+    }
+    if (!scopes_.empty()) scopes_.pop_back();
+    pending_.clear();
+    pending_comment_.clear();
+  }
+
+  void StartFunction(const std::string& name) {
+    Function fn;
+    const std::size_t last_sep = name.rfind("::");
+    fn.name = last_sep == std::string::npos ? name
+                                            : name.substr(last_sep + 2);
+    std::string prefix;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::kType && !s.name.empty()) {
+        prefix += s.name;
+        prefix += "::";
+      }
+    }
+    fn.qualified = prefix + name;
+    fn.file = file_;
+    fn.line = line_;
+    fn.hot_root =
+        pending_comment_.find("limolint:hot-path") != std::string::npos;
+    fn.cold_path =
+        pending_comment_.find("limolint:cold-path") != std::string::npos;
+    OpenFunction open;
+    open.index = functions_->size();
+    open.entry_depth = depth_;  // body opens at depth_ (incremented after)
+    functions_->push_back(std::move(fn));
+    open_functions_.push_back(std::move(open));
+  }
+
+  // --- inside a function body -------------------------------------------
+
+  std::size_t BodyStep(const std::string& code, std::size_t i) {
+    OpenFunction& open = open_functions_.back();
+    Function& fn = (*functions_)[open.index];
+    const char c = code[i];
+    if (c == '{') {
+      ++depth_;
+      return i + 1;
+    }
+    if (c == '}') {
+      if (depth_ > 0) --depth_;
+      // Release scoped guards whose block just closed.
+      auto& guards = open.guards;
+      guards.erase(std::remove_if(guards.begin(), guards.end(),
+                                  [&](const ActiveGuard& g) {
+                                    return !g.manual && g.depth > depth_;
+                                  }),
+                   guards.end());
+      if (depth_ == open.entry_depth) {
+        open_functions_.pop_back();
+        if (!scopes_.empty() &&
+            scopes_.back().kind == Scope::kFunction) {
+          scopes_.pop_back();
+        }
+        last_code_char_ = '}';
+      }
+      return i + 1;
+    }
+    if (IsIdent(c) && (i == 0 || !IsIdent(code[i - 1])) &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      return Token(fn, open, code, i);
+    }
+    return i + 1;
+  }
+
+  // Reads the identifier chain at code[i] (`A::B::name`), classifies it,
+  // and returns the index to resume scanning at.
+  std::size_t Token(Function& fn, OpenFunction& open,
+                    const std::string& code, std::size_t i) {
+    std::size_t end = i;
+    std::string chain;
+    for (;;) {
+      std::size_t tok_end = end;
+      while (tok_end < code.size() && IsIdent(code[tok_end])) ++tok_end;
+      chain.append(code, end, tok_end - end);
+      end = tok_end;
+      if (end + 1 < code.size() && code[end] == ':' &&
+          code[end + 1] == ':' && end + 2 < code.size() &&
+          IsIdent(code[end + 2])) {
+        chain += "::";
+        end += 2;
+        continue;
+      }
+      break;
+    }
+
+    // `new` expression.
+    if (chain == "new") {
+      AddConstruct(fn, "hot-path-alloc", "new expression");
+      return end;
+    }
+
+    // Value construction of an allocating std:: type?
+    if (StartsWith(chain, "std::")) {
+      const std::string tail = chain.substr(5);
+      for (const char* type : kAllocTypes) {
+        if (tail == type) {
+          const std::size_t after = SkipTemplateArgs(code, end);
+          if (IsValueConstruction(code, after)) {
+            AddConstruct(fn, "hot-path-alloc",
+                         "std::" + tail + " construction");
+          }
+          return after;
+        }
+      }
+    }
+
+    std::size_t after_ws = end;
+    while (after_ws < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[after_ws]))) {
+      ++after_ws;
+    }
+    // A template argument list between name and '(' — Foo<T>(...) — is a
+    // call too; SkipTemplateArgs returns its input unless a balanced <...>
+    // group follows, so bare comparisons fall through unchanged.
+    if (after_ws < code.size() && code[after_ws] == '<') {
+      const std::size_t after_args = SkipTemplateArgs(code, after_ws);
+      if (after_args != after_ws && after_args < code.size()) {
+        std::size_t p = after_args;
+        while (p < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[p]))) {
+          ++p;
+        }
+        if (p < code.size() && code[p] == '(') after_ws = p;
+      }
+    }
+    const bool is_call = after_ws < code.size() && code[after_ws] == '(';
+
+    // MutexLock guard declaration: `MutexLock lock(&mu_);` (or a direct
+    // temporary `MutexLock(&mu_)`).
+    if (chain == "MutexLock" || chain == "limoncello::MutexLock") {
+      const std::size_t paren = FindGuardParen(code, after_ws);
+      if (paren != std::string::npos) {
+        Acquire(fn, open, LockNameFromArg(code, paren), /*manual=*/false);
+        AddConstruct(fn, "hot-path-blocking", "MutexLock acquisition");
+        return SkipParenGroup(code, paren);
+      }
+      return end;
+    }
+
+    if (!is_call) return end;
+    if (IsControlKeyword(chain)) return end;
+
+    // Receiver context: `.name(` / `->name(` marks a method call.
+    std::size_t before = i;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+      --before;
+    }
+    const bool method =
+        before > 0 && (code[before - 1] == '.' ||
+                       (before > 1 && code[before - 2] == '-' &&
+                        code[before - 1] == '>'));
+
+    const std::string last = chain.rfind("::") == std::string::npos
+                                 ? chain
+                                 : chain.substr(chain.rfind("::") + 2);
+
+    if (method && last == "Lock") {
+      Acquire(fn, open, ReceiverBefore(code, before), /*manual=*/true);
+      AddConstruct(fn, "hot-path-blocking", "Mutex::Lock acquisition");
+      return after_ws + 1;
+    }
+    if (method && last == "Unlock") {
+      Release(open, ReceiverBefore(code, before));
+      return after_ws + 1;
+    }
+
+    // Constructs.
+    if (method && IsAllocCall(last)) {
+      AddConstruct(fn, "hot-path-alloc", last + "()");
+    } else if (!method && (last == "make_unique" || last == "make_shared" ||
+                           last == "to_string")) {
+      AddConstruct(fn, "hot-path-alloc", last + "()");
+    }
+    if (IsBlockingCall(last) || (method && IsBlockingMethod(last))) {
+      AddConstruct(fn, "hot-path-blocking", last + "()");
+    }
+
+    // Record the call site (for reachability and lock propagation).
+    CallSite site;
+    site.callee = chain;
+    site.line = line_;
+    site.allow_alloc = HasAllow(*comment_, "hot-path-alloc");
+    site.allow_blocking = HasAllow(*comment_, "hot-path-blocking");
+    site.allow_lock = HasAllow(*comment_, "lock-cycle");
+    for (const ActiveGuard& g : open.guards) site.held.push_back(g.lock);
+    if ((last == "ParallelFor" || last == "ParallelInvoke") &&
+        !site.held.empty() && !site.allow_lock) {
+      fn.rendezvous_under_lock.push_back(site);
+    }
+    fn.calls.push_back(std::move(site));
+    return after_ws + 1;  // continue inside the argument list
+  }
+
+  void AddConstruct(Function& fn, const char* rule,
+                    const std::string& what) {
+    if (HasAllow(*comment_, rule)) return;
+    fn.constructs.push_back(Construct{rule, what, line_});
+  }
+
+  void Acquire(Function& fn, OpenFunction& open, const std::string& raw,
+               bool manual) {
+    if (raw.empty()) return;
+    ActiveGuard guard;
+    guard.lock = QualifyLock(fn, raw);
+    guard.depth = depth_;
+    guard.allowed = HasAllow(*comment_, "lock-cycle");
+    guard.manual = manual;
+    LockAcquire acq{guard.lock, line_, guard.allowed};
+    if (!guard.allowed) {
+      // Direct order edges: every lock already held precedes this one.
+      for (const ActiveGuard& held : open.guards) {
+        if (held.allowed) continue;
+        fn.lock_edges.push_back(
+            Function::LockEdge{held.lock, guard.lock, line_});
+      }
+      fn.acquires.push_back(acq);
+    }
+    open.guards.push_back(std::move(guard));
+  }
+
+  void Release(OpenFunction& open, const std::string& raw) {
+    if (raw.empty()) return;
+    auto& guards = open.guards;
+    for (std::size_t g = guards.size(); g > 0; --g) {
+      if (guards[g - 1].manual &&
+          guards[g - 1].lock.find(LastComponent(raw)) !=
+              std::string::npos) {
+        guards.erase(guards.begin() + static_cast<std::ptrdiff_t>(g - 1));
+        return;
+      }
+    }
+  }
+
+  // Static lock name: a bare identifier is qualified by the enclosing
+  // class (or the file stem for free functions) so `mu_` in ThreadPool
+  // and `mu_` in another class stay distinct nodes.
+  std::string QualifyLock(const Function& fn, const std::string& raw) {
+    std::string name = raw;
+    if (StartsWith(name, "this->")) name.erase(0, 6);
+    bool bare = true;
+    for (char c : name) {
+      if (!IsIdent(c)) {
+        bare = false;
+        break;
+      }
+    }
+    if (!bare) return name;
+    const std::size_t sep = fn.qualified.rfind("::");
+    const std::string owner = sep == std::string::npos
+                                  ? file_stem_
+                                  : fn.qualified.substr(0, sep);
+    return owner + "::" + name;
+  }
+
+  static std::string LastComponent(const std::string& s) {
+    const std::size_t sep = s.rfind("::");
+    return sep == std::string::npos ? s : s.substr(sep + 2);
+  }
+
+  // --- small parsing helpers --------------------------------------------
+
+  static std::string Trim(const std::string& s) {
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+  }
+
+  static bool IsIdentTail(char c) { return IsIdent(c) || c == '>'; }
+
+  static bool ContainsWord(const std::string& s, const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    std::size_t pos = 0;
+    while ((pos = s.find(word, pos)) != std::string::npos) {
+      const bool left = pos == 0 || !IsIdent(s[pos - 1]);
+      const bool right =
+          pos + len >= s.size() || !IsIdent(s[pos + len]);
+      if (left && right) return true;
+      pos += len;
+    }
+    return false;
+  }
+
+  // True if `s` has a top-level (paren-depth-0) '=' that is not part of
+  // ==, <=, >=, != or operator spelling.
+  static bool TopLevelEquals(const std::string& s) {
+    int paren = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (paren != 0 || c != '=') continue;
+      const char prev = i > 0 ? s[i - 1] : '\0';
+      const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+      if (prev == '=' || prev == '!' || prev == '<' || prev == '>' ||
+          next == '=') {
+        continue;
+      }
+      // `operator=` definitions are functions, not initializers.
+      if (i >= 8 && s.compare(i - 8, 8, "operator") == 0) continue;
+      return true;
+    }
+    return false;
+  }
+
+  // If `s` is a constructor signature with a member-init list, truncates
+  // at the top-level ':' and returns true. Access-specifier colons
+  // (public:) are removed and scanning continues.
+  static bool CtorColonSplit(std::string& s) {
+    int paren = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (paren != 0 || c != ':') continue;
+      if (i + 1 < s.size() && s[i + 1] == ':') {
+        ++i;
+        continue;
+      }
+      if (i > 0 && s[i - 1] == ':') continue;
+      const std::string before = Trim(s.substr(0, i));
+      if (EndsWithWord(before, "public") ||
+          EndsWithWord(before, "private") ||
+          EndsWithWord(before, "protected")) {
+        s = Trim(s.substr(i + 1));
+        return CtorColonSplit(s);
+      }
+      s = before;
+      return true;
+    }
+    return false;
+  }
+
+  static bool EndsWithWord(const std::string& s, const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (s.size() < len || s.compare(s.size() - len, len, word) != 0) {
+      return false;
+    }
+    return s.size() == len || !IsIdent(s[s.size() - len - 1]);
+  }
+
+  // Class/struct name: the first non-macro identifier after the keyword,
+  // skipping alignas(...) and annotation macros with arguments.
+  static std::string TypeName(const std::string& s) {
+    std::size_t pos = 0;
+    for (const char* kw : {"class", "struct", "union"}) {
+      std::size_t k = s.find(kw);
+      while (k != std::string::npos) {
+        const std::size_t len = std::char_traits<char>::length(kw);
+        if ((k == 0 || !IsIdent(s[k - 1])) &&
+            (k + len >= s.size() || !IsIdent(s[k + len]))) {
+          pos = k + len;
+          goto found;
+        }
+        k = s.find(kw, k + 1);
+      }
+    }
+    return "";
+  found:
+    for (;;) {
+      while (pos < s.size() &&
+             !IsIdent(s[pos])) {
+        ++pos;
+      }
+      if (pos >= s.size()) return "";
+      std::size_t end = pos;
+      while (end < s.size() && IsIdent(s[end])) ++end;
+      const std::string token = s.substr(pos, end - pos);
+      // Skip alignas(...)/macro(...) groups and macro-like tokens.
+      std::size_t after = end;
+      while (after < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[after]))) {
+        ++after;
+      }
+      if (after < s.size() && s[after] == '(') {
+        int depth = 0;
+        while (after < s.size()) {
+          if (s[after] == '(') ++depth;
+          if (s[after] == ')' && --depth == 0) break;
+          ++after;
+        }
+        pos = after + 1;
+        continue;
+      }
+      if (token == "alignas" || token == "final" ||
+          LooksLikeMacro(token)) {
+        pos = end;
+        continue;
+      }
+      return token;
+    }
+  }
+
+  // Extracts the function name from a signature whose body brace was just
+  // reached, or "" if `s` does not look like a function definition.
+  static std::string FunctionName(std::string s) {
+    CtorColonSplit(s);
+    s = Trim(s);
+    if (s.empty() || TopLevelEquals(s)) return "";
+    // Find the parameter list: the last balanced paren group, walking
+    // back over trailing annotation/qualifier groups like
+    // LIMONCELLO_ACQUIRE() or noexcept(...).
+    std::size_t search_end = s.size();
+    for (int hops = 0; hops < 8; ++hops) {
+      const std::size_t close = s.find_last_of(')', search_end - 1);
+      if (close == std::string::npos) return "";
+      int depth = 0;
+      std::size_t open = close;
+      for (;; --open) {
+        if (s[open] == ')') ++depth;
+        if (s[open] == '(' && --depth == 0) break;
+        if (open == 0) return "";
+      }
+      // Name ends just before the '(' group.
+      std::size_t name_end = open;
+      while (name_end > 0 &&
+             std::isspace(static_cast<unsigned char>(s[name_end - 1]))) {
+        --name_end;
+      }
+      if (name_end == 0) return "";
+      // Skip a template-argument list on the name (f<int>).
+      if (s[name_end - 1] == '>') {
+        int tdepth = 0;
+        std::size_t t = name_end;
+        for (; t > 0; --t) {
+          if (s[t - 1] == '>') ++tdepth;
+          if (s[t - 1] == '<' && --tdepth == 0) break;
+        }
+        if (t == 0) return "";
+        name_end = t - 1;
+      }
+      std::size_t name_begin = name_end;
+      while (name_begin > 0 &&
+             (IsIdent(s[name_begin - 1]) || s[name_begin - 1] == '~')) {
+        --name_begin;
+      }
+      // Extend over :: chains.
+      while (name_begin > 1 && s[name_begin - 1] == ':' &&
+             s[name_begin - 2] == ':') {
+        name_begin -= 2;
+        while (name_begin > 0 &&
+               (IsIdent(s[name_begin - 1]) || s[name_begin - 1] == '~')) {
+          --name_begin;
+        }
+      }
+      std::string name = s.substr(name_begin, name_end - name_begin);
+      if (name.empty()) return "";
+      const std::string last =
+          name.rfind("::") == std::string::npos
+              ? name
+              : name.substr(name.rfind("::") + 2);
+      if (IsControlKeyword(last) || LooksLikeMacro(last) ||
+          last == "operator") {
+        // Annotation macro / qualifier group: step back past it.
+        if (open == 0) return "";
+        search_end = name_begin == 0 ? open : name_begin;
+        continue;
+      }
+      return name;
+    }
+    return "";
+  }
+
+  static std::size_t SkipParenGroup(const std::string& code,
+                                    std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')' && --depth == 0) return i + 1;
+    }
+    return code.size();
+  }
+
+  // After `std::vector` etc., skips a template argument list if present.
+  static std::size_t SkipTemplateArgs(const std::string& code,
+                                      std::size_t i) {
+    std::size_t p = i;
+    while (p < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[p]))) {
+      ++p;
+    }
+    if (p >= code.size() || code[p] != '<') return i;
+    int depth = 0;
+    for (; p < code.size(); ++p) {
+      if (code[p] == '<') ++depth;
+      if (code[p] == '>' && --depth == 0) return p + 1;
+    }
+    return code.size();
+  }
+
+  // A type use constructs a value when followed by an identifier (a
+  // declaration), '(' or '{' (a temporary); references, pointers,
+  // nested-name uses (std::string::npos) and template nesting are not
+  // constructions.
+  static bool IsValueConstruction(const std::string& code, std::size_t i) {
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i]))) {
+      ++i;
+    }
+    if (i >= code.size()) return false;  // declaration continues: assume ref
+    const char c = code[i];
+    if (c == ':' || c == '&' || c == '*' || c == '>' || c == ')' ||
+        c == ',' || c == ';' || c == '=') {
+      return false;
+    }
+    return IsIdent(c) || c == '(' || c == '{';
+  }
+
+  // For `MutexLock guard(&mu_)` / `MutexLock(&mu_)`: finds the arg paren.
+  static std::size_t FindGuardParen(const std::string& code,
+                                    std::size_t i) {
+    if (i < code.size() && code[i] == '(') return i;
+    // Skip the guard's variable name.
+    while (i < code.size() && IsIdent(code[i])) ++i;
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i]))) {
+      ++i;
+    }
+    return i < code.size() && code[i] == '(' ? i : std::string::npos;
+  }
+
+  // First argument of the guard: `&mu_` -> "mu_", `&sock->mu_` ->
+  // "sock->mu_".
+  static std::string LockNameFromArg(const std::string& code,
+                                     std::size_t paren) {
+    std::size_t i = paren + 1;
+    int depth = 1;
+    std::string arg;
+    for (; i < code.size() && depth > 0; ++i) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')') --depth;
+      if (depth == 0 || (code[i] == ',' && depth == 1)) break;
+      arg += code[i];
+    }
+    arg = Trim(arg);
+    if (!arg.empty() && arg[0] == '&') arg.erase(0, 1);
+    return Trim(arg);
+  }
+
+  // The identifier chain that precedes `.` / `->` at code[sep_end - 1].
+  static std::string ReceiverBefore(const std::string& code,
+                                    std::size_t sep_end) {
+    std::size_t end = sep_end;
+    if (end > 0 && code[end - 1] == '.') {
+      --end;
+    } else if (end > 1 && code[end - 1] == '>' && code[end - 2] == '-') {
+      end -= 2;
+    } else {
+      return "";
+    }
+    std::size_t begin = end;
+    while (begin > 0 && (IsIdent(code[begin - 1]) ||
+                         code[begin - 1] == '_')) {
+      --begin;
+    }
+    return code.substr(begin, end - begin);
+  }
+
+  std::vector<Function>* functions_;
+  std::string file_;
+  std::string file_stem_;
+  std::vector<Scope> scopes_;
+  std::vector<OpenFunction> open_functions_;
+  std::string pending_;
+  std::string pending_comment_;
+  int depth_ = 0;
+  int init_brace_depth_ = 0;
+  char last_code_char_ = ';';
+  bool in_preprocessor_ = false;
+  int line_ = 0;
+  const std::string* comment_ = nullptr;
+};
+
+}  // namespace
+
+// Graph + rules -------------------------------------------------------------
+
+struct ProgramModel::Impl {
+  std::vector<Function> functions;
+  // simple name -> function indices; qualified name -> indices.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  std::map<std::string, std::vector<std::size_t>> by_qualified;
+
+  std::vector<std::size_t> Resolve(const std::string& callee) const {
+    if (callee.find("::") != std::string::npos) {
+      std::vector<std::size_t> out;
+      // Suffix match on components: `MachineModel::Tick` resolves both
+      // the exact qualified name and longer nestings ending in it.
+      for (const auto& [qualified, ids] : by_qualified) {
+        if (qualified == callee ||
+            (qualified.size() > callee.size() + 2 &&
+             qualified.compare(qualified.size() - callee.size() - 2, 2,
+                               "::") == 0 &&
+             qualified.compare(qualified.size() - callee.size(),
+                               callee.size(), callee) == 0)) {
+          out.insert(out.end(), ids.begin(), ids.end());
+        }
+      }
+      if (!out.empty()) return out;
+      // Fall back to the last component (out-of-line helpers).
+      const std::string last = callee.substr(callee.rfind("::") + 2);
+      const auto it = by_name.find(last);
+      return it == by_name.end() ? std::vector<std::size_t>{}
+                                 : it->second;
+    }
+    const auto it = by_name.find(callee);
+    return it == by_name.end() ? std::vector<std::size_t>{} : it->second;
+  }
+
+  // BFS over call edges from hot roots for one rule; emits findings for
+  // every matching construct in a reachable function.
+  void HotPathRule(const char* rule, std::vector<Finding>* findings) const {
+    const bool alloc = std::string(rule) == "hot-path-alloc";
+    std::vector<int> parent(functions.size(), -2);  // -2 unvisited
+    std::vector<std::size_t> queue;
+    for (std::size_t f = 0; f < functions.size(); ++f) {
+      if (functions[f].hot_root && !functions[f].cold_path) {
+        parent[f] = -1;
+        queue.push_back(f);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t f = queue[head];
+      for (const CallSite& site : functions[f].calls) {
+        if (alloc ? site.allow_alloc : site.allow_blocking) continue;
+        for (std::size_t callee : Resolve(site.callee)) {
+          if (parent[callee] != -2 || functions[callee].cold_path) {
+            continue;
+          }
+          parent[callee] = static_cast<int>(f);
+          queue.push_back(callee);
+        }
+      }
+    }
+    for (std::size_t f : queue) {
+      for (const Construct& construct : functions[f].constructs) {
+        if (std::string(construct.rule) != rule) continue;
+        findings->push_back(Finding{
+            functions[f].file, construct.line, rule,
+            construct.what + " on a hot path (" + PathTo(parent, f) +
+                "); restructure, move off the hot path, or annotate the "
+                "line with limolint:allow(" +
+                rule + ")"});
+      }
+    }
+  }
+
+  std::string PathTo(const std::vector<int>& parent, std::size_t f) const {
+    std::vector<std::string> hops;
+    for (int cur = static_cast<int>(f); cur >= 0;
+         cur = parent[static_cast<std::size_t>(cur)]) {
+      hops.push_back(Display(functions[static_cast<std::size_t>(cur)]));
+      if (hops.size() > 12) {
+        hops.push_back("...");
+        break;
+      }
+    }
+    std::reverse(hops.begin(), hops.end());
+    std::string out;
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      if (h > 0) out += " -> ";
+      out += hops[h];
+    }
+    return out;
+  }
+
+  static std::string Display(const Function& fn) {
+    return fn.qualified.empty() ? fn.name : fn.qualified;
+  }
+
+  void LockCycleRule(std::vector<Finding>* findings) const {
+    // 1. Transitive lock set per function (locks acquired by it or any
+    // callee), via fixpoint — the graphs are tiny.
+    std::vector<std::set<std::string>> all_locks(functions.size());
+    for (std::size_t f = 0; f < functions.size(); ++f) {
+      for (const LockAcquire& acq : functions[f].acquires) {
+        all_locks[f].insert(acq.lock);
+      }
+    }
+    // Also: which functions transitively reach a pool rendezvous.
+    std::vector<char> reaches_rendezvous(functions.size(), 0);
+    for (std::size_t f = 0; f < functions.size(); ++f) {
+      if (functions[f].name == "ParallelFor" ||
+          functions[f].name == "ParallelInvoke") {
+        reaches_rendezvous[f] = 1;
+      }
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t f = 0; f < functions.size(); ++f) {
+        for (const CallSite& site : functions[f].calls) {
+          if (site.allow_lock) continue;
+          for (std::size_t callee : Resolve(site.callee)) {
+            for (const std::string& lock : all_locks[callee]) {
+              if (all_locks[f].insert(lock).second) changed = true;
+            }
+            if (reaches_rendezvous[callee] != 0 &&
+                reaches_rendezvous[f] == 0) {
+              reaches_rendezvous[f] = 1;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+
+    // 2. Order edges: direct (two guards in one scope) and via calls made
+    // while holding a lock.
+    struct EdgeSite {
+      std::string file;
+      int line = 0;
+    };
+    std::map<std::pair<std::string, std::string>, EdgeSite> edges;
+    auto add_edge = [&](const std::string& a, const std::string& b,
+                        const std::string& file, int line) {
+      const auto key = std::make_pair(a, b);
+      if (edges.find(key) == edges.end()) {
+        edges[key] = EdgeSite{file, line};
+      }
+    };
+    for (const Function& fn : functions) {
+      for (const Function::LockEdge& e : fn.lock_edges) {
+        add_edge(e.from, e.to, fn.file, e.line);
+      }
+    }
+    for (const Function& fn : functions) {
+      for (const CallSite& site : fn.calls) {
+        if (site.held.empty() || site.allow_lock) continue;
+        for (std::size_t callee : Resolve(site.callee)) {
+          for (const std::string& to : all_locks[callee]) {
+            for (const std::string& from : site.held) {
+              if (from != to) add_edge(from, to, fn.file, site.line);
+            }
+          }
+          // Self-deadlock: calling into code that re-acquires a held
+          // non-reentrant lock.
+          for (const std::string& held : site.held) {
+            if (all_locks[callee].count(held) != 0) {
+              add_edge(held, held, fn.file, site.line);
+            }
+          }
+        }
+      }
+    }
+
+    // 3. Cycle detection over the lock graph (DFS, deterministic order).
+    std::set<std::string> nodes;
+    for (const auto& [key, site] : edges) {
+      nodes.insert(key.first);
+      nodes.insert(key.second);
+    }
+    std::map<std::string, int> state;  // 0 new, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          state[node] = 1;
+          stack.push_back(node);
+          for (const auto& [key, site] : edges) {
+            if (key.first != node) continue;
+            const std::string& next = key.second;
+            if (state[next] == 1) {
+              // Cycle: stack suffix from `next` + this closing edge.
+              std::string cycle;
+              bool in = false;
+              for (const std::string& hop : stack) {
+                if (hop == next) in = true;
+                if (!in) continue;
+                cycle += hop;
+                cycle += " -> ";
+              }
+              cycle += next;
+              if (reported.insert(cycle).second) {
+                findings->push_back(Finding{
+                    site.file, site.line, "lock-cycle",
+                    "lock order cycle " + cycle +
+                        " (closing edge acquired here); establish one "
+                        "global acquisition order or annotate with "
+                        "limolint:allow(lock-cycle)"});
+              }
+            } else if (state[next] == 0) {
+              dfs(next);
+            }
+          }
+          stack.pop_back();
+          state[node] = 2;
+        };
+    for (const std::string& node : nodes) {
+      if (state[node] == 0) dfs(node);
+    }
+
+    // 4. Locks held across a pool rendezvous: a worker lane needs the
+    // same locks' critical sections to make progress, so holding one
+    // across the barrier is a deadlock (or at best a full-fleet stall).
+    for (const Function& fn : functions) {
+      for (const CallSite& site : fn.rendezvous_under_lock) {
+        std::string held;
+        for (const std::string& lock : site.held) {
+          if (!held.empty()) held += ", ";
+          held += lock;
+        }
+        findings->push_back(Finding{
+            fn.file, site.line, "lock-cycle",
+            "lock(s) " + held + " held across " + site.callee +
+                " in " + Display(fn) +
+                "; release before the rendezvous or annotate with "
+                "limolint:allow(lock-cycle)"});
+      }
+      for (const CallSite& site : fn.calls) {
+        if (site.held.empty() || site.allow_lock) continue;
+        for (std::size_t callee : Resolve(site.callee)) {
+          if (reaches_rendezvous[callee] == 0) continue;
+          if (functions[callee].name == "ParallelFor" ||
+              functions[callee].name == "ParallelInvoke") {
+            continue;  // direct case already reported above
+          }
+          std::string held;
+          for (const std::string& lock : site.held) {
+            if (!held.empty()) held += ", ";
+            held += lock;
+          }
+          findings->push_back(Finding{
+              fn.file, site.line, "lock-cycle",
+              "lock(s) " + held + " held across a call to " +
+                  Display(functions[callee]) +
+                  ", which reaches a ThreadPool rendezvous; release "
+                  "before the call or annotate with "
+                  "limolint:allow(lock-cycle)"});
+        }
+      }
+    }
+  }
+};
+
+ProgramModel::ProgramModel() : impl_(new Impl) {}
+ProgramModel::~ProgramModel() { delete impl_; }
+ProgramModel::ProgramModel(ProgramModel&& other) noexcept
+    : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+ProgramModel& ProgramModel::operator=(ProgramModel&& other) noexcept {
+  std::swap(impl_, other.impl_);
+  return *this;
+}
+
+ProgramModel ProgramModel::Build(const std::vector<SourceFile>& files) {
+  ProgramModel model;
+  Extractor extractor(&model.impl_->functions);
+  for (const SourceFile& file : files) {
+    extractor.File(file.rel_path, file.content);
+  }
+  for (std::size_t f = 0; f < model.impl_->functions.size(); ++f) {
+    const Function& fn = model.impl_->functions[f];
+    if (fn.name.empty()) continue;
+    model.impl_->by_name[fn.name].push_back(f);
+    model.impl_->by_qualified[fn.qualified].push_back(f);
+  }
+  return model;
+}
+
+std::vector<Finding> ProgramModel::Analyze() const {
+  std::vector<Finding> findings;
+  impl_->HotPathRule("hot-path-alloc", &findings);
+  impl_->HotPathRule("hot-path-blocking", &findings);
+  impl_->LockCycleRule(&findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file &&
+                                      a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+std::vector<FunctionSummary> ProgramModel::Functions() const {
+  std::vector<FunctionSummary> out;
+  for (const Function& fn : impl_->functions) {
+    FunctionSummary summary;
+    summary.qualified = fn.qualified.empty() ? fn.name : fn.qualified;
+    summary.file = fn.file;
+    summary.line = fn.line;
+    summary.hot_root = fn.hot_root;
+    summary.cold_path = fn.cold_path;
+    summary.num_calls = fn.calls.size();
+    summary.num_constructs = fn.constructs.size();
+    out.push_back(std::move(summary));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FunctionSummary& a, const FunctionSummary& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return out;
+}
+
+std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files) {
+  return ProgramModel::Build(files).Analyze();
+}
+
+bool InProgramScope(const std::string& rel_path) {
+  if (!StartsWith(rel_path, "src/") && !StartsWith(rel_path, "tools/") &&
+      !StartsWith(rel_path, "bench/")) {
+    return false;
+  }
+  return rel_path.find("limolint_fixtures") == std::string::npos;
+}
+
+}  // namespace limoncello::limolint

@@ -1,0 +1,96 @@
+// limolint call-graph layer — whole-program rules on top of the per-line
+// scanner (limolint_lib.h).
+//
+// A lightweight C++ function extractor walks every program file (comments
+// and string literals blanked by the shared lexer, brace depth tracked,
+// preprocessor lines skipped) and records function definitions, the call
+// sites inside each body, allocating / blocking constructs, and lock
+// acquisitions through util/mutex.h. The cross-TU call graph built from
+// those records drives three rules the line scanner cannot express:
+//
+//   hot-path-alloc     no allocating construct (new/make_unique, vector
+//                      growth, string/map/set/function construction)
+//                      reachable from a function tagged limolint:hot-path
+//   hot-path-blocking  no blocking call (file I/O, fsync, sleep, lock
+//                      acquisition, logging) reachable from a hot root
+//   lock-cycle         no cycle in the lock-acquisition order graph, and
+//                      no lock held across ThreadPool::ParallelFor
+//
+// Tagging and escapes (all comment markers, per line):
+//   // limolint:hot-path            on/above a definition: a hot root
+//   // limolint:cold-path           on/above a definition: reachability
+//                                   never traverses INTO this function
+//                                   (designed rare path; the runtime
+//                                   gates still cover it)
+//   // limolint:allow(<rule>)       at a construct site: accept it; at a
+//                                   call site: prune that edge for <rule>
+//
+// The extractor is a token scanner, not a compiler: overload resolution
+// collapses to name matching (a call `Tick(...)` reaches every function
+// named Tick), virtual calls reach every same-named method, lambdas are
+// attributed to their enclosing function, and code behind both arms of an
+// #if is analyzed. That over-approximation is the point — the rules are
+// reachability contracts, and the escape hatches above plus the committed
+// baseline (tools/limolint_baseline.json) absorb the deliberate cases.
+// See DESIGN.md §13 for limits and the baseline workflow.
+#ifndef LIMONCELLO_TOOLS_LIMOLINT_CALLGRAPH_H_
+#define LIMONCELLO_TOOLS_LIMOLINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "limolint_lib.h"
+
+namespace limoncello::limolint {
+
+// One program file: repo-relative path + full content.
+struct SourceFile {
+  std::string rel_path;
+  std::string content;
+};
+
+// Extracted function summary (exposed for tests and --dump-graph).
+struct FunctionSummary {
+  std::string qualified;  // e.g. "MachineModel::Tick"
+  std::string file;
+  int line = 0;  // 1-based line of the body's opening brace
+  bool hot_root = false;
+  bool cold_path = false;
+  std::size_t num_calls = 0;       // call sites recorded in the body
+  std::size_t num_constructs = 0;  // alloc+blocking constructs recorded
+};
+
+class ProgramModel {
+ public:
+  // Extracts every function from `files` and builds the call graph.
+  static ProgramModel Build(const std::vector<SourceFile>& files);
+
+  // Runs hot-path-alloc, hot-path-blocking, and lock-cycle. Findings are
+  // sorted by (file, line, rule) and deduplicated.
+  std::vector<Finding> Analyze() const;
+
+  // Extraction introspection, ordered by (file, line).
+  std::vector<FunctionSummary> Functions() const;
+
+  ProgramModel(ProgramModel&&) noexcept;
+  ProgramModel& operator=(ProgramModel&&) noexcept;
+  ~ProgramModel();
+
+ private:
+  ProgramModel();
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience: Build + Analyze.
+std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files);
+
+// True if rel_path participates in whole-program analysis: C++ files
+// under src/, tools/, or bench/ (tests/ holds gtest macro bodies the
+// extractor would mis-attribute, and fixtures are deliberate violations).
+bool InProgramScope(const std::string& rel_path);
+
+}  // namespace limoncello::limolint
+
+#endif  // LIMONCELLO_TOOLS_LIMOLINT_CALLGRAPH_H_

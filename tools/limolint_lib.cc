@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "limolint_callgraph.h"
 #include "util/table.h"
 
 namespace limoncello::limolint {
@@ -38,23 +41,21 @@ bool InThreadingExemptDir(const std::string& rel) {
 
 // Directories under the determinism contract: simulation results must be a
 // pure function of (config, seed), so ambient randomness and host clocks
-// are banned outright.
+// are banned outright. Fault plans are pre-scheduled from a seed and
+// journal replay must reproduce the run, so src/faults/ and src/recovery/
+// are in scope too.
 bool InDeterministicDir(const std::string& rel) {
   return StartsWith(rel, "src/sim/") || StartsWith(rel, "src/fleet/") ||
-         StartsWith(rel, "src/core/") || StartsWith(rel, "src/faults/");
+         StartsWith(rel, "src/core/") || StartsWith(rel, "src/faults/") ||
+         StartsWith(rel, "src/recovery/");
 }
 
-// One source line split into its code text and its comment text, with
-// string/char literals blanked out of the code portion.
-struct ScannedLine {
-  std::string code;
-  std::string comment;
-};
+}  // namespace
 
 // Splits content into lines, routing comments into .comment and blanking
 // string/char literals so matchers only ever see real code tokens. Handles
 // // and /*...*/ comments, escapes, raw strings, and digit separators.
-std::vector<ScannedLine> Scan(const std::string& content) {
+std::vector<ScannedLine> ScanLines(const std::string& content) {
   std::vector<ScannedLine> lines;
   lines.emplace_back();
   enum class State { kCode, kBlockComment, kString, kChar, kRawString };
@@ -145,6 +146,8 @@ std::vector<ScannedLine> Scan(const std::string& content) {
   }
   return lines;
 }
+
+namespace {
 
 // Word-bounded search: the match must not be preceded or followed by an
 // identifier character. `word` may itself contain "::".
@@ -482,7 +485,7 @@ const std::vector<Rule>& Rules() {
        "util/mutex.h or util/thread_pool.h"},
       {"no-assert", "everywhere",
        "assert(); use LIMONCELLO_CHECK / LIMONCELLO_DCHECK (util/check.h)"},
-      {"determinism", "src/{sim,fleet,core}/",
+      {"determinism", "src/{sim,fleet,core,faults,recovery}/",
        "ambient RNG or host clocks; use util/rng.h and simulated time"},
       {"iostream-header", "src/ headers",
        "#include <iostream> in a header; log via util/logging.h in a .cc"},
@@ -497,6 +500,15 @@ const std::vector<Rule>& Rules() {
       {"hot-struct-vector", "types marked limolint:hot-struct",
        "std::vector member in a per-tick hot struct; put the state in "
        "FleetState's SoA arrays or annotate a cold member"},
+      {"hot-path-alloc", "reachable from limolint:hot-path roots",
+       "allocating construct (new/make_unique, container growth, "
+       "string/function construction) on a hot call path"},
+      {"hot-path-blocking", "reachable from limolint:hot-path roots",
+       "blocking call (file I/O, fsync, sleep, lock acquisition, "
+       "logging, pool rendezvous) on a hot call path"},
+      {"lock-cycle", "whole program (util/mutex.h locks)",
+       "cycle in the lock-acquisition order graph, or a lock held "
+       "across a ThreadPool rendezvous"},
   };
   return *rules;
 }
@@ -504,7 +516,7 @@ const std::vector<Rule>& Rules() {
 std::vector<Finding> LintFile(const std::string& rel_path,
                               const std::string& content) {
   std::vector<Finding> findings;
-  const std::vector<ScannedLine> lines = Scan(content);
+  const std::vector<ScannedLine> lines = ScanLines(content);
   const bool header = IsHeaderPath(rel_path);
   const bool check_raw_thread = !InThreadingExemptDir(rel_path);
   const bool check_raw_file_io = !InFileIoExemptDir(rel_path);
@@ -658,6 +670,7 @@ std::vector<Finding> LintTree(const std::string& root) {
   std::sort(rel_paths.begin(), rel_paths.end());
 
   std::vector<Finding> findings;
+  std::vector<SourceFile> program_files;
   for (const std::string& rel : rel_paths) {
     std::ifstream in(fs::path(root) / rel, std::ios::binary);
     if (!in) {
@@ -669,7 +682,18 @@ std::vector<Finding> LintTree(const std::string& root) {
     std::vector<Finding> file_findings = LintFile(rel, buf.str());
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
+    if (InProgramScope(rel)) {
+      program_files.push_back(SourceFile{rel, buf.str()});
+    }
   }
+  std::vector<Finding> program_findings = AnalyzeProgram(program_files);
+  findings.insert(findings.end(), program_findings.begin(),
+                  program_findings.end());
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
   return findings;
 }
 
@@ -692,6 +716,249 @@ std::string SummaryTable(const std::vector<Finding>& findings) {
     table.AddRow({rule.name, Table::Num(count), rule.scope});
   }
   return table.ToAligned();
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Minimal tolerant reader for the JSON subset FindingsJson emits. Tracks
+// just enough structure to pull "file"/"line"/"rule" out of each object
+// in the "findings" array; unknown keys are skipped.
+struct JsonReader {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool ReadString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        ++pos;
+        switch (text[pos]) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'u':
+            pos += 4;  // findings never need non-ASCII round-trips
+            out->push_back('?');
+            break;
+          default:
+            out->push_back(text[pos]);
+        }
+      } else {
+        out->push_back(text[pos]);
+      }
+      ++pos;
+    }
+    if (pos >= text.size()) return false;
+    ++pos;
+    return true;
+  }
+  bool ReadInt(int* out) {
+    SkipWs();
+    std::size_t end = pos;
+    if (end < text.size() && text[end] == '-') ++end;
+    std::size_t digits = end;
+    while (digits < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[digits]))) {
+      ++digits;
+    }
+    if (digits == end) return false;
+    *out = std::atoi(text.substr(pos, digits - pos).c_str());
+    pos = digits;
+    return true;
+  }
+  // Skips any JSON value (string/number/true/false/null/array/object).
+  bool SkipValue() {
+    SkipWs();
+    if (pos >= text.size()) return false;
+    const char c = text[pos];
+    if (c == '"') {
+      std::string tmp;
+      return ReadString(&tmp);
+    }
+    if (c == '[' || c == '{') {
+      const char close = c == '[' ? ']' : '}';
+      int depth = 0;
+      bool in_string = false;
+      for (; pos < text.size(); ++pos) {
+        const char d = text[pos];
+        if (in_string) {
+          if (d == '\\') {
+            ++pos;
+          } else if (d == '"') {
+            in_string = false;
+          }
+          continue;
+        }
+        if (d == '"') in_string = true;
+        if (d == c) ++depth;
+        if (d == close && --depth == 0) {
+          ++pos;
+          return true;
+        }
+      }
+      return false;
+    }
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           text[pos] != ']') {
+      ++pos;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string FindingsJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"version\":1,\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"file\":";
+    AppendJsonString(f.file, &out);
+    out += ",\"line\":" + std::to_string(f.line) + ",\"rule\":";
+    AppendJsonString(f.rule, &out);
+    out += ",\"message\":";
+    AppendJsonString(f.message, &out);
+    out += '}';
+  }
+  out += findings.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool LoadBaselineFile(const std::string& path,
+                      std::vector<Finding>* baseline) {
+  baseline->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonReader reader{text};
+  if (!reader.Eat('{')) return false;
+  // Top-level object: find the "findings" array, skipping other keys.
+  for (;;) {
+    std::string key;
+    if (!reader.ReadString(&key)) return false;
+    if (!reader.Eat(':')) return false;
+    if (key != "findings") {
+      if (!reader.SkipValue()) return false;
+      if (reader.Eat(',')) continue;
+      return reader.Eat('}');  // no findings array: empty baseline
+    }
+    break;
+  }
+  if (!reader.Eat('[')) return false;
+  if (reader.Eat(']')) return true;  // empty array
+  for (;;) {
+    if (!reader.Eat('{')) return false;
+    Finding f;
+    for (;;) {
+      std::string key;
+      if (!reader.ReadString(&key)) return false;
+      if (!reader.Eat(':')) return false;
+      if (key == "file") {
+        if (!reader.ReadString(&f.file)) return false;
+      } else if (key == "rule") {
+        if (!reader.ReadString(&f.rule)) return false;
+      } else if (key == "message") {
+        if (!reader.ReadString(&f.message)) return false;
+      } else if (key == "line") {
+        if (!reader.ReadInt(&f.line)) return false;
+      } else {
+        if (!reader.SkipValue()) return false;
+      }
+      if (reader.Eat(',')) continue;
+      if (reader.Eat('}')) break;
+      return false;
+    }
+    baseline->push_back(std::move(f));
+    if (reader.Eat(',')) continue;
+    if (reader.Eat(']')) return true;
+    return false;
+  }
+}
+
+std::vector<Finding> SubtractBaseline(const std::vector<Finding>& findings,
+                                      const std::vector<Finding>& baseline,
+                                      std::size_t* matched_out) {
+  // Multiset consume: each baseline (file, line, rule) triple absorbs at
+  // most one finding, so a *second* violation on a baselined line still
+  // fails.
+  std::vector<char> used(baseline.size(), 0);
+  std::vector<Finding> remaining;
+  std::size_t matched = 0;
+  for (const Finding& f : findings) {
+    bool absorbed = false;
+    for (std::size_t b = 0; b < baseline.size(); ++b) {
+      if (used[b] != 0) continue;
+      if (baseline[b].file == f.file && baseline[b].line == f.line &&
+          baseline[b].rule == f.rule) {
+        used[b] = 1;
+        absorbed = true;
+        ++matched;
+        break;
+      }
+    }
+    if (!absorbed) remaining.push_back(f);
+  }
+  if (matched_out != nullptr) *matched_out = matched;
+  return remaining;
 }
 
 }  // namespace limoncello::limolint

@@ -11,9 +11,16 @@
 // word-bounded, so `std::this_thread` or a mention of assert() in prose
 // never fires. A finding on a line carrying `// limolint:allow(<rule>)`
 // is suppressed — the escape hatch is per-line and per-rule.
+//
+// On top of the line rules sits a whole-program layer (see
+// limolint_callgraph.h): a function extractor + cross-TU call graph that
+// proves hot-path contracts — hot-path-alloc, hot-path-blocking, and
+// lock-cycle. LintTree runs both layers; accepted legacy findings live in
+// tools/limolint_baseline.json and are subtracted by the CLI.
 #ifndef LIMONCELLO_TOOLS_LIMOLINT_LIB_H_
 #define LIMONCELLO_TOOLS_LIMOLINT_LIB_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -32,6 +39,19 @@ struct Rule {
   std::string description;  // what it enforces
 };
 
+// One source line split into its code text and its comment text, with
+// string/char literals blanked out of the code portion. Produced by the
+// shared lexer; consumed by both the line rules and the call-graph layer.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+// Splits content into lines, routing comments into .comment and blanking
+// string/char literals so matchers only ever see real code tokens. Handles
+// // and /*...*/ comments, escapes, raw strings, and digit separators.
+std::vector<ScannedLine> ScanLines(const std::string& content);
+
 // The full rule set, in reporting order.
 const std::vector<Rule>& Rules();
 
@@ -42,9 +62,10 @@ std::vector<Finding> LintFile(const std::string& rel_path,
                               const std::string& content);
 
 // Walks src/ tests/ bench/ tools/ under root (deterministic order),
-// linting every C++ file. Directories named "limolint_fixtures" are
-// skipped: they hold deliberate violations for the self-tests. Missing
-// top-level directories are ignored.
+// linting every C++ file, then runs the whole-program call-graph rules
+// over the src/ tools/ bench/ subset. Directories named
+// "limolint_fixtures" are skipped: they hold deliberate violations for
+// the self-tests. Missing top-level directories are ignored.
 std::vector<Finding> LintTree(const std::string& root);
 
 // Renders findings one per line as "path:line: [rule] message".
@@ -52,6 +73,27 @@ std::string FormatFindings(const std::vector<Finding>& findings);
 
 // Per-rule summary using util/table (rule, findings, scope).
 std::string SummaryTable(const std::vector<Finding>& findings);
+
+// Renders findings as a stable JSON document:
+//   {"version":1,"findings":[{"file":...,"line":...,"rule":...,
+//    "message":...},...]}
+// Field order is fixed and paths are repo-relative, so CI diffs and the
+// baseline mechanism consume the same artifact byte-for-byte.
+std::string FindingsJson(const std::vector<Finding>& findings);
+
+// Parses a baseline produced by FindingsJson (messages are ignored;
+// only file/line/rule triples matter). Returns false on unreadable or
+// malformed input, leaving *baseline empty.
+bool LoadBaselineFile(const std::string& path,
+                      std::vector<Finding>* baseline);
+
+// Removes findings matched by the baseline. Matching is by exact
+// (file, line, rule) triple; each baseline entry absorbs at most one
+// finding. Returns the findings that remain (the ones that fail CI).
+// If matched_out is non-null it receives the count of absorbed findings.
+std::vector<Finding> SubtractBaseline(const std::vector<Finding>& findings,
+                                      const std::vector<Finding>& baseline,
+                                      std::size_t* matched_out = nullptr);
 
 }  // namespace limoncello::limolint
 

@@ -9,6 +9,14 @@
 # Usage:
 #   tools/run_static_analysis.sh [--sanitizer=asan|ubsan|tsan|none]
 #                                [--build-dir=DIR] [--jobs=N]
+#                                [--json=PATH]
+#
+# The limolint stage checks the whole tree — per-line rules plus the
+# call-graph hot-path contracts (hot-path-alloc / hot-path-blocking /
+# lock-cycle) — against the committed baseline
+# (tools/limolint_baseline.json). --json=PATH additionally writes the
+# full pre-baseline findings as JSON (CI uploads this as an artifact;
+# it is also the input for regenerating the baseline).
 #
 # The sanitizer stage configures a dedicated build tree
 # (<build-dir>-<sanitizer>) with the matching LIMONCELLO_* option and runs
@@ -22,13 +30,15 @@ REPO_ROOT=$(pwd)
 SANITIZER=asan
 BUILD_DIR=build
 JOBS=$(nproc 2>/dev/null || echo 4)
+JSON_OUT=
 for arg in "$@"; do
   case "$arg" in
     --sanitizer=*) SANITIZER="${arg#*=}" ;;
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     --jobs=*) JOBS="${arg#*=}" ;;
+    --json=*) JSON_OUT="${arg#*=}" ;;
     *)
-      echo "usage: $0 [--sanitizer=asan|ubsan|tsan|none] [--build-dir=DIR] [--jobs=N]" >&2
+      echo "usage: $0 [--sanitizer=asan|ubsan|tsan|none] [--build-dir=DIR] [--jobs=N] [--json=PATH]" >&2
       exit 2
       ;;
   esac
@@ -43,12 +53,16 @@ stage() { # name status detail
 }
 
 echo "=== [1/3] limolint ==="
+LINT_ARGS=(--root "$REPO_ROOT" --baseline "$REPO_ROOT/tools/limolint_baseline.json")
+if [ -n "$JSON_OUT" ]; then
+  LINT_ARGS+=(--json "$JSON_OUT")
+fi
 if ! cmake -B "$BUILD_DIR" -S . >/dev/null; then
   stage limolint FAIL "cmake configure failed"
 elif ! cmake --build "$BUILD_DIR" --target limolint -j "$JOBS" >/dev/null; then
   stage limolint FAIL "limolint failed to build"
-elif "$BUILD_DIR/tools/limolint" --root "$REPO_ROOT"; then
-  stage limolint OK "tree is clean"
+elif "$BUILD_DIR/tools/limolint" "${LINT_ARGS[@]}"; then
+  stage limolint OK "tree is clean vs tools/limolint_baseline.json"
 else
   stage limolint FAIL "findings above (per-rule table printed by limolint)"
 fi
