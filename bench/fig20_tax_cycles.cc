@@ -6,13 +6,54 @@
 // tax functions lose their hardware prefetch coverage while prefetchers
 // are off); adding software prefetching pulls them back below baseline.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
+#include "softpf/size_class.h"
+#include "softpf/tax_kernel.h"
+#include "tax/tax_tuner.h"
+#include "tax/tuned_params.h"
 #include "util/table.h"
 #include "workloads/function_catalog.h"
 
 namespace limoncello::bench {
 namespace {
+
+// The same story on the native kernels: warm working sets (hardware
+// prefetchers covering) vs cold page-scattered working sets (the
+// post-actuation regime) without and with the committed tuned software
+// prefetch parameters. Large size class.
+void RunNativeSuite() {
+  MeasuredProbeOptions options;
+  options.reps = 2;
+  options.budget_ms = 10.0;
+  options.arena_bytes = std::size_t{384} << 20;
+  options.join_footprint_scale = 0.25;
+  MeasuredProbe probe(options);
+
+  const int sc = kNumSizeClasses - 1;
+  Table table({"kernel", "warm untuned MB/s", "cold untuned MB/s",
+               "cold tuned MB/s", "cold loss", "tuned recovery"});
+  for (std::size_t i = 0; i < TunedParamsCount(); ++i) {
+    const TunedParam& p = TunedParamsBegin()[i];
+    if (p.size_class != sc) continue;
+    const double warm = probe.Measure(p.kernel, sc,
+                                      SoftPrefetchConfig::Disabled(),
+                                      TuneRegime::kHwOn);
+    const double cold = probe.Measure(p.kernel, sc,
+                                      SoftPrefetchConfig::Disabled(),
+                                      TuneRegime::kHwOffEmulated);
+    const double tuned = probe.Measure(p.kernel, sc, p.config,
+                                       TuneRegime::kHwOffEmulated);
+    table.AddRow({TaxKernelSiteName(p.kernel), Table::Num(warm, 1),
+                  Table::Num(cold, 1), Table::Num(tuned, 1),
+                  Table::Num(warm > 0 ? cold / warm : 0.0, 3),
+                  Table::Num(cold > 0 ? tuned / cold : 0.0, 3)});
+  }
+  table.Print(
+      "Native tax suite: cold-regime loss and tuned-prefetch recovery "
+      "(large class)");
+}
 
 void Run() {
   FleetOptions options = DefaultFleetOptions(47);
@@ -56,7 +97,12 @@ void Run() {
 }  // namespace
 }  // namespace limoncello::bench
 
-int main() {
+int main(int argc, char** argv) {
   limoncello::bench::Run();
+  // The native measurement takes ~a minute; skip with --sim-only.
+  if (!(argc > 1 && std::strcmp(argv[1], "--sim-only") == 0)) {
+    std::printf("\n");
+    limoncello::bench::RunNativeSuite();
+  }
   return 0;
 }

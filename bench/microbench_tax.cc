@@ -12,7 +12,10 @@
 #include "softpf/soft_prefetch_config.h"
 #include "tax/block_compressor.h"
 #include "tax/block_hash.h"
+#include "tax/dict_compressor.h"
+#include "tax/hash_join.h"
 #include "tax/prefetching_memcpy.h"
+#include "tax/varint_codec.h"
 #include "tax/wire_serializer.h"
 #include "util/rng.h"
 
@@ -159,6 +162,121 @@ void BM_Parse(benchmark::State& state) {
                           static_cast<std::int64_t>(wire.size()));
 }
 BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
+
+void BM_VarintEncode(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  Rng rng(count);
+  std::vector<std::uint64_t> values(count);
+  for (auto& v : values) v = rng.NextU64() >> rng.NextBounded(57);
+  std::string out;
+  for (auto _ : state) {
+    VarintEncodeStream(values.data(), values.size(), config, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(count * sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_VarintEncode)->ArgsProduct({{8192, 131072}, {0, 1}});
+
+void BM_VarintDecode(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  Rng rng(count);
+  std::vector<std::uint64_t> values(count);
+  for (auto& v : values) v = rng.NextU64() >> rng.NextBounded(57);
+  std::string encoded;
+  VarintEncodeStream(values.data(), values.size(), &encoded);
+  std::vector<std::uint64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VarintDecodeStream(encoded, config, &out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_VarintDecode)->ArgsProduct({{8192, 131072}, {0, 1}});
+
+void BM_DictCompress(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  DictCompressor codec(MakePayload(64 * 1024, true));
+  const std::string input = MakePayload(size, true);
+  std::string out;
+  for (auto _ : state) {
+    codec.Compress(input, config, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_DictCompress)->ArgsProduct({{65536, 1 << 20}, {0, 1}});
+
+void BM_DictDecompress(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  DictCompressor codec(MakePayload(64 * 1024, true));
+  const std::string input = MakePayload(size, true);
+  std::string compressed;
+  codec.Compress(input, SoftPrefetchConfig::Disabled(), &compressed);
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decompress(compressed, config, &out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_DictDecompress)->ArgsProduct({{1 << 20}, {0, 1}});
+
+void BM_HashJoinBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  Rng rng(n);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.NextU64();
+    values[i] = i;
+  }
+  HashJoinTable table;
+  for (auto _ : state) {
+    table.Build(keys.data(), values.data(), n, config);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n * sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_HashJoinBuild)->ArgsProduct({{1 << 16, 1 << 20}, {0, 1}});
+
+void BM_HashJoinProbe(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const SoftPrefetchConfig config = SweepConfig(state.range(1) != 0);
+  Rng rng(n);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.NextU64();
+    values[i] = i;
+  }
+  HashJoinTable table;
+  table.Build(keys.data(), values.data(), n);
+  // Probe stream: half hits, half misses, shuffled order.
+  std::vector<std::uint64_t> probes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    probes[i] = rng.NextBernoulli(0.5) ? keys[rng.NextBounded(n)]
+                                       : rng.NextU64();
+  }
+  std::vector<std::uint64_t> sums(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Probe(probes.data(), probes.size(), sums.data(), config));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n * sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_HashJoinProbe)->ArgsProduct({{1 << 16, 1 << 20}, {0, 1}});
 
 }  // namespace
 }  // namespace limoncello

@@ -1,0 +1,78 @@
+// Locality-hint-dispatched software prefetch primitives.
+//
+// __builtin_prefetch requires compile-time-constant rw/locality arguments,
+// but the tuner sweeps the locality hint (T0/T1/T2/NTA — how high in the
+// hierarchy the line lands and whether it is marked non-temporal) as a
+// third tuning axis alongside distance and degree. These helpers dispatch
+// a runtime SoftPrefetchConfig locality value onto the four constant
+// instruction forms; the switch compiles to a short jump table and is
+// negligible next to the memory access it hides.
+#ifndef LIMONCELLO_SOFTPF_PREFETCH_H_
+#define LIMONCELLO_SOFTPF_PREFETCH_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace limoncello {
+
+// Locality hints mirror the _MM_HINT_* levels: 3 = T0 (all levels,
+// the default), 2 = T1, 1 = T2, 0 = NTA (non-temporal).
+inline void PrefetchRead(const void* p, std::uint8_t locality) {
+  switch (locality) {
+    case 0:
+      __builtin_prefetch(p, /*rw=*/0, /*locality=*/0);
+      break;
+    case 1:
+      __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+      break;
+    case 2:
+      __builtin_prefetch(p, /*rw=*/0, /*locality=*/2);
+      break;
+    default:
+      __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+      break;
+  }
+}
+
+inline void PrefetchWrite(const void* p, std::uint8_t locality) {
+  switch (locality) {
+    case 0:
+      __builtin_prefetch(p, /*rw=*/1, /*locality=*/0);
+      break;
+    case 1:
+      __builtin_prefetch(p, /*rw=*/1, /*locality=*/1);
+      break;
+    case 2:
+      __builtin_prefetch(p, /*rw=*/1, /*locality=*/2);
+      break;
+    default:
+      __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+      break;
+  }
+}
+
+// Issues read prefetches covering [addr, addr + degree) line by line,
+// clamped to `limit` (prefetching past the buffer is harmless but wastes
+// slots the tuner is trying to spend well).
+inline void PrefetchReadSpan(const char* addr, std::uint32_t degree,
+                             const char* limit, std::uint8_t locality) {
+  for (std::uint32_t off = 0; off < degree; off += kCacheLineBytes) {
+    const char* p = addr + off;
+    if (p >= limit) break;
+    PrefetchRead(p, locality);
+  }
+}
+
+inline void PrefetchWriteSpan(char* addr, std::uint32_t degree, char* limit,
+                              std::uint8_t locality) {
+  for (std::uint32_t off = 0; off < degree; off += kCacheLineBytes) {
+    char* p = addr + off;
+    if (p >= limit) break;
+    PrefetchWrite(p, locality);
+  }
+}
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SOFTPF_PREFETCH_H_

@@ -2,6 +2,13 @@
 
 namespace limoncello {
 
+SizeClassConfigs UniformSizeClassConfigs(const SoftPrefetchConfig& config) {
+  SizeClassConfigs table;
+  table.fill(config);
+  table[0] = SoftPrefetchConfig::Disabled();
+  return table;
+}
+
 PrefetchSiteRegistry PrefetchSiteRegistry::DeployedDefault() {
   PrefetchSiteRegistry registry;
   SoftPrefetchConfig movement = SoftPrefetchConfig::DeployedDefault();
@@ -18,6 +25,10 @@ PrefetchSiteRegistry PrefetchSiteRegistry::DeployedDefault() {
   registry.Register("snappy_compress", compression);
   registry.Register("snappy_uncompress", compression);
   registry.Register("zlib_inflate", compression);
+  // The dictionary codec shares the compression shape; match copies add
+  // scattered window reads on top of the sequential input stream.
+  registry.Register("dict_compress", compression);
+  registry.Register("dict_uncompress", compression);
 
   SoftPrefetchConfig hashing;
   hashing.distance_bytes = 512;
@@ -25,6 +36,14 @@ PrefetchSiteRegistry PrefetchSiteRegistry::DeployedDefault() {
   hashing.min_size_bytes = 2048;
   registry.Register("crc32c", hashing);
   registry.Register("fingerprint2011", hashing);
+  // Hash-join build/probe: distance here is lookahead into the key
+  // stream; each prefetch targets a bucket head line.
+  SoftPrefetchConfig join;
+  join.distance_bytes = 256;
+  join.degree_bytes = 128;
+  join.min_size_bytes = 4096;
+  registry.Register("hashjoin_build", join);
+  registry.Register("hashjoin_probe", join);
 
   SoftPrefetchConfig transmission;
   transmission.distance_bytes = 256;
@@ -32,12 +51,19 @@ PrefetchSiteRegistry PrefetchSiteRegistry::DeployedDefault() {
   transmission.min_size_bytes = 1024;
   registry.Register("proto_serialize", transmission);
   registry.Register("proto_parse", transmission);
+  registry.Register("varint_encode", transmission);
+  registry.Register("varint_decode", transmission);
   return registry;
 }
 
 void PrefetchSiteRegistry::Register(const std::string& function_name,
                                     const SoftPrefetchConfig& config) {
-  sites_[function_name] = config;
+  sites_[function_name] = UniformSizeClassConfigs(config);
+}
+
+void PrefetchSiteRegistry::RegisterTable(const std::string& function_name,
+                                         const SizeClassConfigs& table) {
+  sites_[function_name] = table;
 }
 
 void PrefetchSiteRegistry::Unregister(const std::string& function_name) {
@@ -48,7 +74,21 @@ std::optional<SoftPrefetchConfig> PrefetchSiteRegistry::Lookup(
     const std::string& function_name) const {
   const auto it = sites_.find(function_name);
   if (it == sites_.end()) return std::nullopt;
-  return it->second;
+  return it->second[kNumSizeClasses - 1];
+}
+
+std::optional<SoftPrefetchConfig> PrefetchSiteRegistry::Lookup(
+    const std::string& function_name, std::uint64_t call_size) const {
+  const auto it = sites_.find(function_name);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second[static_cast<std::size_t>(SizeClassFor(call_size))];
+}
+
+const SizeClassConfigs* PrefetchSiteRegistry::LookupTable(
+    const std::string& function_name) const {
+  const auto it = sites_.find(function_name);
+  if (it == sites_.end()) return nullptr;
+  return &it->second;
 }
 
 }  // namespace limoncello

@@ -1,19 +1,31 @@
 // Registry of software-prefetch insertion sites.
 //
 // Maps target function names (the data-center-tax functions surfaced by the
-// ablation study, §4.1) to their tuned SoftPrefetchConfig. The fleet
-// deployment consults this registry when Soft Limoncello is active; the
-// native tax library reads per-call configs directly.
+// ablation study, §4.1) to their tuned prefetch parameters. Since the
+// autotuner, each site carries a per-size-class table rather than one
+// config: the tuner sweeps distance/degree/locality per size class and the
+// deployed table is consulted per call. The fleet deployment reads this
+// registry when Soft Limoncello is active; the native tax library goes
+// through the runtime's flat fast-path copy of it.
 #ifndef LIMONCELLO_SOFTPF_PREFETCH_SITE_REGISTRY_H_
 #define LIMONCELLO_SOFTPF_PREFETCH_SITE_REGISTRY_H_
 
+#include <array>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "softpf/size_class.h"
 #include "softpf/soft_prefetch_config.h"
 
 namespace limoncello {
+
+// One config per call-size class (see softpf/size_class.h).
+using SizeClassConfigs = std::array<SoftPrefetchConfig, kNumSizeClasses>;
+
+// Broadcasts one config to every swept size class; the tiny class is
+// pinned disabled (paper §4.3: small calls are never prefetched).
+SizeClassConfigs UniformSizeClassConfigs(const SoftPrefetchConfig& config);
 
 class PrefetchSiteRegistry {
  public:
@@ -21,18 +33,31 @@ class PrefetchSiteRegistry {
   // each with the tuned deployment parameters.
   static PrefetchSiteRegistry DeployedDefault();
 
+  // Registers `config` for every size class of the site (tiny stays
+  // disabled). Overwrites any existing entry.
   void Register(const std::string& function_name,
                 const SoftPrefetchConfig& config);
+  // Registers a full per-size-class table (the autotuner's output shape).
+  void RegisterTable(const std::string& function_name,
+                     const SizeClassConfigs& table);
   void Unregister(const std::string& function_name);
 
   // nullopt when the function is not a software-prefetch target.
+  // The size-less overload returns the large-class config (the
+  // deployment-representative parameters).
   std::optional<SoftPrefetchConfig> Lookup(
+      const std::string& function_name) const;
+  std::optional<SoftPrefetchConfig> Lookup(const std::string& function_name,
+                                           std::uint64_t call_size) const;
+  // Full table, nullptr when unregistered (used to build the runtime's
+  // flat fast path).
+  const SizeClassConfigs* LookupTable(
       const std::string& function_name) const;
 
   std::size_t size() const { return sites_.size(); }
 
  private:
-  std::map<std::string, SoftPrefetchConfig> sites_;
+  std::map<std::string, SizeClassConfigs> sites_;
 };
 
 }  // namespace limoncello

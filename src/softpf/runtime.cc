@@ -5,7 +5,22 @@ namespace limoncello {
 SoftPrefetchRuntime::SoftPrefetchRuntime(PrefetchSiteRegistry registry,
                                          SoftPrefetchActivation activation)
     : registry_(std::move(registry)),
-      activation_(static_cast<int>(activation)) {}
+      activation_(static_cast<int>(activation)) {
+  RebuildFastPath();
+}
+
+void SoftPrefetchRuntime::RebuildFastPath() {
+  for (int k = 0; k < kNumTaxKernels; ++k) {
+    const SizeClassConfigs* table =
+        registry_.LookupTable(TaxKernelSiteName(TaxKernelAt(k)));
+    if (table != nullptr) {
+      fast_path_[static_cast<std::size_t>(k)] = *table;
+    } else {
+      fast_path_[static_cast<std::size_t>(k)].fill(
+          SoftPrefetchConfig::Disabled());
+    }
+  }
+}
 
 SoftPrefetchConfig SoftPrefetchRuntime::ConfigFor(
     const std::string& function_name, std::uint64_t call_size) const {
@@ -17,7 +32,7 @@ SoftPrefetchConfig SoftPrefetchRuntime::ConfigFor(
       hw_prefetchers_enabled()) {
     return SoftPrefetchConfig::Disabled();
   }
-  const auto config = registry_.Lookup(function_name);
+  const auto config = registry_.Lookup(function_name, call_size);
   if (!config.has_value() || !config->AppliesTo(call_size)) {
     return SoftPrefetchConfig::Disabled();
   }
@@ -27,7 +42,7 @@ SoftPrefetchConfig SoftPrefetchRuntime::ConfigFor(
 SoftPrefetchRuntime& SoftPrefetchRuntime::Global() {
   // Function-local static reference: constructed on first use, never
   // destroyed (safe against shutdown ordering).
-  static auto& instance = *new SoftPrefetchRuntime();
+  static auto& instance = *new SoftPrefetchRuntime();  // limolint:allow(hot-path-alloc)
   return instance;
 }
 

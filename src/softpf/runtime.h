@@ -14,15 +14,21 @@
 // Activation policies let a site prefetch always, only while hardware
 // prefetching is off, or never (kill switch). All state is atomic and
 // lock-free on the read path: tax functions are the hottest code in the
-// fleet and must not take locks.
+// fleet and must not take locks. The hot lookup is enum-indexed into a
+// flat kernel × size-class table (no map, no string, no allocation); the
+// string-keyed registry remains the cold-path / control-plane view and is
+// mirrored into the flat table by RebuildFastPath().
 #ifndef LIMONCELLO_SOFTPF_RUNTIME_H_
 #define LIMONCELLO_SOFTPF_RUNTIME_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
 #include "softpf/prefetch_site_registry.h"
+#include "softpf/size_class.h"
 #include "softpf/soft_prefetch_config.h"
+#include "softpf/tax_kernel.h"
 
 namespace limoncello {
 
@@ -56,22 +62,46 @@ class SoftPrefetchRuntime {
         activation_.load(std::memory_order_relaxed));
   }
 
-  // Hot path: the configuration a site should use for a call of
-  // `call_size` bytes right now. Disabled config when the site is not
-  // registered, the size gate fails, or the activation policy says no.
+  // Hot path: the configuration `kernel` should use for a call of
+  // `call_size` bytes right now. Flat table + size-class index; never
+  // allocates, never touches the registry map.
+  // limolint:hot-path — per-call lookup inside every tax kernel.
+  SoftPrefetchConfig ConfigFor(TaxKernel kernel,
+                               std::uint64_t call_size) const {
+    const SoftPrefetchActivation policy = activation();
+    if (policy == SoftPrefetchActivation::kNever) {
+      return SoftPrefetchConfig::Disabled();
+    }
+    if (policy == SoftPrefetchActivation::kWhenHwOff &&
+        hw_prefetchers_enabled()) {
+      return SoftPrefetchConfig::Disabled();
+    }
+    const SoftPrefetchConfig& config =
+        fast_path_[static_cast<std::size_t>(kernel)]
+                  [static_cast<std::size_t>(SizeClassFor(call_size))];
+    if (!config.AppliesTo(call_size)) return SoftPrefetchConfig::Disabled();
+    return config;
+  }
+
+  // Cold path: string-keyed lookup for sites outside the dense kernel
+  // suite (fleet catalog names). Same gating as the enum overload.
   SoftPrefetchConfig ConfigFor(const std::string& function_name,
                                std::uint64_t call_size) const;
 
   // Registry management (cold path; not thread-safe against ConfigFor —
-  // reconfigure at startup or behind external synchronization).
+  // reconfigure at startup or behind external synchronization). Call
+  // RebuildFastPath() after mutating the registry so the flat table the
+  // enum hot path reads catches up.
   PrefetchSiteRegistry& registry() { return registry_; }
   const PrefetchSiteRegistry& registry() const { return registry_; }
+  void RebuildFastPath();
 
   // The process-wide instance used by the instrumented tax wrappers.
   static SoftPrefetchRuntime& Global();
 
  private:
   PrefetchSiteRegistry registry_;
+  std::array<SizeClassConfigs, kNumTaxKernels> fast_path_;
   std::atomic<bool> hw_prefetchers_enabled_{true};
   std::atomic<int> activation_;
 };

@@ -1,0 +1,41 @@
+// Call-size classes for per-kernel prefetch tuning.
+//
+// Paper §4.3 conditions inserted prefetches on call size: a single tuned
+// (distance, degree) pair is a compromise across the size distribution of
+// Fig. 14, so the autotuner instead tunes per size class and the deployed
+// table is consulted per call via a branch-free class lookup. Class 0
+// (tiny) is pinned untuned: calls that small neither need nor reward
+// prefetching, matching the paper's min-size gate.
+#ifndef LIMONCELLO_SOFTPF_SIZE_CLASS_H_
+#define LIMONCELLO_SOFTPF_SIZE_CLASS_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace limoncello {
+
+inline constexpr int kNumSizeClasses = 4;
+
+// Class boundaries (upper bounds, exclusive) and the representative call
+// size the tuner microbenchmarks for each class. Tiny is never swept.
+inline constexpr std::uint64_t kSizeClassUpperBytes[kNumSizeClasses] = {
+    4 * kKiB, 64 * kKiB, 1 * kMiB, UINT64_MAX};
+inline constexpr std::uint64_t kSizeClassRepBytes[kNumSizeClasses] = {
+    1 * kKiB, 16 * kKiB, 256 * kKiB, 4 * kMiB};
+inline constexpr const char* kSizeClassNames[kNumSizeClasses] = {
+    "tiny", "small", "medium", "large"};
+
+// First swept class (tiny is pinned to the disabled config).
+inline constexpr int kFirstTunedSizeClass = 1;
+
+inline constexpr int SizeClassFor(std::uint64_t call_size_bytes) {
+  if (call_size_bytes < kSizeClassUpperBytes[0]) return 0;
+  if (call_size_bytes < kSizeClassUpperBytes[1]) return 1;
+  if (call_size_bytes < kSizeClassUpperBytes[2]) return 2;
+  return 3;
+}
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SOFTPF_SIZE_CLASS_H_

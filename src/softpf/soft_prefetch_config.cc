@@ -32,4 +32,20 @@ std::vector<SweepPoint> DegreeSweep(
   return points;
 }
 
+std::vector<SweepPoint> LocalitySweep(
+    std::uint32_t fixed_distance, std::uint32_t fixed_degree,
+    const std::vector<std::uint8_t>& localities) {
+  std::vector<SweepPoint> points;
+  points.reserve(localities.size());
+  for (std::uint8_t l : localities) {
+    SoftPrefetchConfig config;
+    config.distance_bytes = fixed_distance;
+    config.degree_bytes = fixed_degree;
+    config.min_size_bytes = 0;
+    config.locality = l;
+    points.push_back({config, "locality=" + std::to_string(l)});
+  }
+  return points;
+}
+
 }  // namespace limoncello

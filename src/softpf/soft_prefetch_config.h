@@ -22,6 +22,13 @@ struct SoftPrefetchConfig {
   std::uint32_t degree_bytes = 256;
   // Calls smaller than this are left to the hardware (or to nothing).
   std::uint64_t min_size_bytes = 2048;
+  // Cache-level hint, _MM_HINT_* style: 3 = T0 (all levels, the deployed
+  // default), 2 = T1, 1 = T2, 0 = NTA. The autotuner sweeps this as a
+  // third axis: streaming kernels that use each line once can prefer
+  // lower levels to reduce L1/L2 pollution.
+  std::uint8_t locality = 3;
+
+  bool operator==(const SoftPrefetchConfig&) const = default;
 
   static SoftPrefetchConfig Disabled() {
     SoftPrefetchConfig config;
@@ -52,6 +59,10 @@ std::vector<SweepPoint> DistanceSweep(
     const std::vector<std::uint32_t>& distances, std::uint32_t fixed_degree);
 std::vector<SweepPoint> DegreeSweep(std::uint32_t fixed_distance,
                                     const std::vector<std::uint32_t>& degrees);
+// Third axis (autotuner): locality hints at fixed distance/degree.
+std::vector<SweepPoint> LocalitySweep(
+    std::uint32_t fixed_distance, std::uint32_t fixed_degree,
+    const std::vector<std::uint8_t>& localities);
 
 }  // namespace limoncello
 

@@ -1,0 +1,48 @@
+#include "softpf/tax_kernel.h"
+
+#include "util/check.h"
+
+namespace limoncello {
+
+const char* TaxKernelSiteName(TaxKernel kernel) {
+  switch (kernel) {
+    case TaxKernel::kMemcpy:
+      return "memcpy";
+    case TaxKernel::kMemmove:
+      return "memmove";
+    case TaxKernel::kMemset:
+      return "memset";
+    case TaxKernel::kBlockHash:
+      return "fingerprint2011";
+    case TaxKernel::kCrc32c:
+      return "crc32c";
+    case TaxKernel::kCompress:
+      return "snappy_compress";
+    case TaxKernel::kDecompress:
+      return "snappy_uncompress";
+    case TaxKernel::kSerialize:
+      return "proto_serialize";
+    case TaxKernel::kParse:
+      return "proto_parse";
+    case TaxKernel::kVarintEncode:
+      return "varint_encode";
+    case TaxKernel::kVarintDecode:
+      return "varint_decode";
+    case TaxKernel::kDictCompress:
+      return "dict_compress";
+    case TaxKernel::kDictDecompress:
+      return "dict_uncompress";
+    case TaxKernel::kHashJoinBuild:
+      return "hashjoin_build";
+    case TaxKernel::kHashJoinProbe:
+      return "hashjoin_probe";
+  }
+  return "unknown";
+}
+
+TaxKernel TaxKernelAt(int index) {
+  LIMONCELLO_CHECK(index >= 0 && index < kNumTaxKernels);
+  return static_cast<TaxKernel>(index);
+}
+
+}  // namespace limoncello

@@ -1,0 +1,50 @@
+// The data-center-tax kernel suite, as a dense enum.
+//
+// The Adaptive* entry points are the hottest code the runtime serves, so
+// their per-call configuration lookup must not touch a string-keyed map
+// (constructing a >15-char std::string key would even allocate). Each tax
+// kernel gets a dense id; the runtime keeps a flat kernel × size-class
+// table the hot path indexes directly. The string site names remain the
+// cold-path / fleet-catalog identity of each kernel.
+#ifndef LIMONCELLO_SOFTPF_TAX_KERNEL_H_
+#define LIMONCELLO_SOFTPF_TAX_KERNEL_H_
+
+namespace limoncello {
+
+enum class TaxKernel : int {
+  // Data movement.
+  kMemcpy,
+  kMemmove,
+  kMemset,
+  // Hashing.
+  kBlockHash,
+  kCrc32c,
+  // Compression (block codec).
+  kCompress,
+  kDecompress,
+  // Data transmission (wire serializer).
+  kSerialize,
+  kParse,
+  // Data transmission (varint stream codec).
+  kVarintEncode,
+  kVarintDecode,
+  // Compression (dictionary/LZ-window codec).
+  kDictCompress,
+  kDictDecompress,
+  // Hashing (hash-join bucketed table).
+  kHashJoinBuild,
+  kHashJoinProbe,
+};
+
+inline constexpr int kNumTaxKernels = 15;
+
+// Registry site name (also the fleet-catalog function name where the
+// kernel appears in the simulated fleet mix).
+const char* TaxKernelSiteName(TaxKernel kernel);
+
+// All kernels, in enum order, for sweeping.
+TaxKernel TaxKernelAt(int index);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_SOFTPF_TAX_KERNEL_H_

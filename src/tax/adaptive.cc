@@ -1,51 +1,113 @@
 #include "tax/adaptive.h"
 
 #include "softpf/runtime.h"
+#include "softpf/tax_kernel.h"
 #include "tax/block_compressor.h"
 #include "tax/block_hash.h"
 #include "tax/prefetching_memcpy.h"
+#include "tax/tuned_params.h"
+#include "tax/varint_codec.h"
 
 namespace limoncello {
 
 namespace {
 
-SoftPrefetchConfig ConfigFor(const char* site, std::size_t n) {
-  return SoftPrefetchRuntime::Global().ConfigFor(site, n);
+// limolint:hot-path — per-call config lookup for every adaptive wrapper.
+SoftPrefetchConfig ConfigFor(TaxKernel kernel, std::size_t n) {
+  // First adaptive call anywhere installs the committed tuned table
+  // (thread-safe magic static; a handful of instructions afterwards).
+  static const bool installed = InstallTunedParams();
+  (void)installed;
+  return SoftPrefetchRuntime::Global().ConfigFor(kernel, n);
 }
 
 }  // namespace
 
 void* AdaptiveMemcpy(void* dst, const void* src, std::size_t n) {
-  return PrefetchingMemcpy(dst, src, n, ConfigFor("memcpy", n));
+  return PrefetchingMemcpy(dst, src, n, ConfigFor(TaxKernel::kMemcpy, n));
 }
 
 void* AdaptiveMemmove(void* dst, const void* src, std::size_t n) {
-  return PrefetchingMemmove(dst, src, n, ConfigFor("memmove", n));
+  return PrefetchingMemmove(dst, src, n, ConfigFor(TaxKernel::kMemmove, n));
 }
 
 void* AdaptiveMemset(void* dst, int value, std::size_t n) {
-  return PrefetchingMemset(dst, value, n, ConfigFor("memset", n));
+  return PrefetchingMemset(dst, value, n, ConfigFor(TaxKernel::kMemset, n));
 }
 
 std::uint64_t AdaptiveBlockHash64(const void* data, std::size_t n,
                                   std::uint64_t seed) {
-  return BlockHash64(data, n, seed, ConfigFor("fingerprint2011", n));
+  return BlockHash64(data, n, seed, ConfigFor(TaxKernel::kBlockHash, n));
 }
 
 std::uint32_t AdaptiveCrc32c(const void* data, std::size_t n) {
-  return Crc32c(data, n, ConfigFor("crc32c", n));
+  return Crc32c(data, n, ConfigFor(TaxKernel::kCrc32c, n));
 }
 
 void AdaptiveCompress(std::string_view input, std::string* output) {
   const BlockCompressor codec(
-      ConfigFor("snappy_compress", input.size()));
+      ConfigFor(TaxKernel::kCompress, input.size()));
   codec.Compress(input, output);
 }
 
 bool AdaptiveDecompress(std::string_view compressed, std::string* output) {
   const BlockCompressor codec(
-      ConfigFor("snappy_uncompress", compressed.size()));
+      ConfigFor(TaxKernel::kDecompress, compressed.size()));
   return codec.Decompress(compressed, output);
+}
+
+void AdaptiveWireSerialize(const WireMessage& message, std::string* out) {
+  const WireSerializer serializer(
+      ConfigFor(TaxKernel::kSerialize, WireSerializer::EncodedSize(message)));
+  serializer.Serialize(message, out);
+}
+
+bool AdaptiveWireParse(std::string_view data, WireMessage* message) {
+  const WireSerializer serializer(
+      ConfigFor(TaxKernel::kParse, data.size()));
+  return serializer.Parse(data, message);
+}
+
+void AdaptiveVarintEncode(const std::uint64_t* values, std::size_t count,
+                          std::string* out) {
+  VarintEncodeStream(
+      values, count,
+      ConfigFor(TaxKernel::kVarintEncode, count * sizeof(std::uint64_t)),
+      out);
+}
+
+bool AdaptiveVarintDecode(std::string_view in,
+                          std::vector<std::uint64_t>* out) {
+  return VarintDecodeStream(
+      in, ConfigFor(TaxKernel::kVarintDecode, in.size()), out);
+}
+
+void AdaptiveDictCompress(DictCompressor& codec, std::string_view input,
+                          std::string* out) {
+  codec.Compress(input, ConfigFor(TaxKernel::kDictCompress, input.size()),
+                 out);
+}
+
+bool AdaptiveDictDecompress(const DictCompressor& codec,
+                            std::string_view compressed, std::string* out) {
+  return codec.Decompress(
+      compressed, ConfigFor(TaxKernel::kDictDecompress, compressed.size()),
+      out);
+}
+
+void AdaptiveHashJoinBuild(HashJoinTable& table, const std::uint64_t* keys,
+                           const std::uint64_t* values, std::size_t n) {
+  table.Build(
+      keys, values, n,
+      ConfigFor(TaxKernel::kHashJoinBuild, n * sizeof(std::uint64_t)));
+}
+
+std::uint64_t AdaptiveHashJoinProbe(const HashJoinTable& table,
+                                    const std::uint64_t* keys, std::size_t n,
+                                    std::uint64_t* out_sums) {
+  return table.Probe(
+      keys, n, out_sums,
+      ConfigFor(TaxKernel::kHashJoinProbe, n * sizeof(std::uint64_t)));
 }
 
 }  // namespace limoncello

@@ -1,8 +1,17 @@
 // Adaptive tax-function entry points: the drop-in wrappers applications
-// link against. Each call consults the global SoftPrefetchRuntime, so
+// link against. Each call consults the global SoftPrefetchRuntime through
+// the enum-indexed fast path (no strings, no map, no allocation), so
 // software prefetching switches on exactly when the Limoncello daemon
 // disables the hardware prefetchers (and off again when they return) —
-// the full hardware/software collaboration loop of the paper.
+// the full hardware/software collaboration loop of the paper. The first
+// adaptive call installs the committed tuned parameter table
+// (tax/tuned_params.h) into the runtime, so every call after that runs
+// with host-tuned per-size-class parameters.
+//
+// Steady-state allocation contract: with caller-reused output buffers (and
+// kernel instances where the API takes one), none of these entry points
+// allocate — bench_tax_tuner --gate enforces this with a counting
+// operator new.
 #ifndef LIMONCELLO_TAX_ADAPTIVE_H_
 #define LIMONCELLO_TAX_ADAPTIVE_H_
 
@@ -10,6 +19,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "tax/dict_compressor.h"
+#include "tax/hash_join.h"
+#include "tax/wire_serializer.h"
 
 namespace limoncello {
 
@@ -21,9 +35,31 @@ std::uint64_t AdaptiveBlockHash64(const void* data, std::size_t n,
                                   std::uint64_t seed = 0);
 std::uint32_t AdaptiveCrc32c(const void* data, std::size_t n);
 
-// Compression/serialization take their config per call internally.
+// Block codec (snappy-shaped); config resolved per call from input size.
 void AdaptiveCompress(std::string_view input, std::string* output);
 bool AdaptiveDecompress(std::string_view compressed, std::string* output);
+
+// Wire serializer (protobuf-shaped length-delimited messages).
+void AdaptiveWireSerialize(const WireMessage& message, std::string* out);
+bool AdaptiveWireParse(std::string_view data, WireMessage* message);
+
+// Varint stream codec.
+void AdaptiveVarintEncode(const std::uint64_t* values, std::size_t count,
+                          std::string* out);
+bool AdaptiveVarintDecode(std::string_view in,
+                          std::vector<std::uint64_t>* out);
+
+// Dictionary codec / hash join operate on a caller-owned instance (the
+// dictionary and table are per-use-site state, not process globals).
+void AdaptiveDictCompress(DictCompressor& codec, std::string_view input,
+                          std::string* out);
+bool AdaptiveDictDecompress(const DictCompressor& codec,
+                            std::string_view compressed, std::string* out);
+void AdaptiveHashJoinBuild(HashJoinTable& table, const std::uint64_t* keys,
+                           const std::uint64_t* values, std::size_t n);
+std::uint64_t AdaptiveHashJoinProbe(const HashJoinTable& table,
+                                    const std::uint64_t* keys, std::size_t n,
+                                    std::uint64_t* out_sums);
 
 }  // namespace limoncello
 

@@ -1,8 +1,10 @@
 #include "tax/block_compressor.h"
 
+#include <array>
 #include <cstring>
 #include <vector>
 
+#include "softpf/prefetch.h"
 #include "util/check.h"
 #include "util/units.h"
 
@@ -23,25 +25,49 @@ inline std::uint32_t Hash4(const char* p) {
   return (v * 0x9e3779b1u) >> (32 - kHashBits);
 }
 
-inline void PrefetchAhead(const char* cursor, const char* end,
-                          const SoftPrefetchConfig& config) {
-  const char* target = cursor + config.distance_bytes;
-  for (std::uint32_t off = 0; off < config.degree_bytes;
-       off += kCacheLineBytes) {
-    if (target + off >= end) return;
-    __builtin_prefetch(target + off, 0, 3);
-  }
+inline std::uint64_t Load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
 }
 
+// Length of the common prefix of [a, a + limit) and [b, b + limit),
+// compared a word at a time (the byte position of the first difference
+// falls out of the XOR's trailing zero count on little-endian).
+inline std::size_t CommonPrefix(const char* a, const char* b,
+                                std::size_t limit) {
+  std::size_t len = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  while (len + 8 <= limit) {
+    const std::uint64_t diff = Load64(a + len) ^ Load64(b + len);
+    if (diff != 0) {
+      return len +
+             static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
+    }
+    len += 8;
+  }
+#endif
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+inline void PrefetchAhead(const char* cursor, const char* end,
+                          const SoftPrefetchConfig& config) {
+  PrefetchReadSpan(cursor + config.distance_bytes, config.degree_bytes, end,
+                   config.locality);
+}
+
+// Token emission appends into the reserved, caller-reused output buffer;
+// growth is amortized and free at steady capacity.
 void EmitLiterals(const char* begin, std::size_t len, std::string* out) {
   if (len == 0) return;
-  out->push_back(static_cast<char>(kLiteralTag));
+  out->push_back(static_cast<char>(kLiteralTag));  // limolint:allow(hot-path-alloc)
   AppendVarint(len, out);
-  out->append(begin, len);
+  out->append(begin, len);  // limolint:allow(hot-path-alloc)
 }
 
 void EmitMatch(std::size_t offset, std::size_t len, std::string* out) {
-  out->push_back(static_cast<char>(kMatchTag));
+  out->push_back(static_cast<char>(kMatchTag));  // limolint:allow(hot-path-alloc)
   AppendVarint(offset, out);
   AppendVarint(len, out);
 }
@@ -50,10 +76,10 @@ void EmitMatch(std::size_t offset, std::size_t len, std::string* out) {
 
 void AppendVarint(std::uint64_t value, std::string* out) {
   while (value >= 0x80) {
-    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));  // limolint:allow(hot-path-alloc)
     value >>= 7;
   }
-  out->push_back(static_cast<char>(value));
+  out->push_back(static_cast<char>(value));  // limolint:allow(hot-path-alloc)
 }
 
 std::size_t ParseVarint(std::string_view in, std::uint64_t* value) {
@@ -77,38 +103,38 @@ std::size_t BlockCompressor::MaxCompressedSize(std::size_t input_size) {
   return input_size + input_size / 128 + 32;
 }
 
-void BlockCompressor::Compress(std::string_view input,
-                               std::string* output) const {
-  output->clear();
-  output->reserve(input.size() / 2 + 32);
-  AppendVarint(input.size(), output);
-  if (input.empty()) return;
+namespace {
 
+// The greedy match loop, generic over the hash-table index type so the
+// common case (< 2 GiB inputs) runs on a stack table with no heap traffic.
+template <typename Index, typename Table>
+void CompressLoop(std::string_view input, const SoftPrefetchConfig& config,
+                  Table& table, std::string* output) {
   const char* const base = input.data();
   const char* const end = base + input.size();
-  const bool prefetch = config_.AppliesTo(input.size());
+  const bool prefetch = config.AppliesTo(input.size());
 
-  std::vector<std::int64_t> table(1u << kHashBits, -1);
   const char* cursor = base;
   const char* literal_start = base;
   std::size_t since_prefetch = 0;
 
   while (cursor + kMinMatch <= end) {
-    if (prefetch && since_prefetch >= config_.degree_bytes) {
-      PrefetchAhead(cursor, end, config_);
+    if (prefetch && since_prefetch >= config.degree_bytes) {
+      PrefetchAhead(cursor, end, config);
       since_prefetch = 0;
     }
     const std::uint32_t h = Hash4(cursor);
-    const std::int64_t candidate = table[h];
-    table[h] = cursor - base;
+    const Index candidate = table[h];
+    table[h] = static_cast<Index>(cursor - base);
     if (candidate >= 0 &&
         std::memcmp(base + candidate, cursor, kMinMatch) == 0) {
-      // Extend the match forward.
+      // Extend the match forward, a word at a time.
       const char* match = base + candidate;
-      std::size_t len = kMinMatch;
       const std::size_t max_len = std::min<std::size_t>(
           kMaxMatch, static_cast<std::size_t>(end - cursor));
-      while (len < max_len && match[len] == cursor[len]) ++len;
+      const std::size_t len =
+          kMinMatch + CommonPrefix(match + kMinMatch, cursor + kMinMatch,
+                                   max_len - kMinMatch);
 
       EmitLiterals(literal_start,
                    static_cast<std::size_t>(cursor - literal_start),
@@ -117,7 +143,7 @@ void BlockCompressor::Compress(std::string_view input,
       // Seed the table sparsely inside the match for future references.
       for (std::size_t i = 1; i < len && cursor + i + kMinMatch <= end;
            i += 7) {
-        table[Hash4(cursor + i)] = (cursor + i) - base;
+        table[Hash4(cursor + i)] = static_cast<Index>((cursor + i) - base);
       }
       cursor += len;
       since_prefetch += len;
@@ -129,6 +155,27 @@ void BlockCompressor::Compress(std::string_view input,
   }
   EmitLiterals(literal_start, static_cast<std::size_t>(end - literal_start),
                output);
+}
+
+}  // namespace
+
+void BlockCompressor::Compress(std::string_view input,
+                               std::string* output) const {
+  output->clear();
+  output->reserve(input.size() / 2 + 32);
+  AppendVarint(input.size(), output);
+  if (input.empty()) return;
+
+  if (input.size() <= static_cast<std::size_t>(INT32_MAX)) {
+    // 64 KiB stack table: keeps steady-state Compress calls allocation-free
+    // (the old per-call heap vector dominated small-payload latency).
+    std::array<std::int32_t, 1u << kHashBits> table;
+    table.fill(-1);
+    CompressLoop<std::int32_t>(input, config_, table, output);
+  } else {
+    std::vector<std::int64_t> table(1u << kHashBits, -1);
+    CompressLoop<std::int64_t>(input, config_, table, output);
+  }
 }
 
 bool BlockCompressor::Decompress(std::string_view compressed,
@@ -174,10 +221,26 @@ bool BlockCompressor::Decompress(std::string_view compressed,
       compressed.remove_prefix(consumed);
       if (offset == 0 || offset > output->size()) return false;
       if (output->size() + len > uncompressed_size) return false;
-      // Byte-wise copy: offsets smaller than len self-overlap (RLE).
-      std::size_t src = output->size() - offset;
-      for (std::uint64_t i = 0; i < len; ++i) {
-        output->push_back((*output)[src + i]);
+      // Bulk match copy into the reserved tail (the resize never
+      // reallocates: capacity was reserved to uncompressed_size up
+      // front). Offsets smaller than len self-overlap (RLE), which the
+      // period-doubling loop handles with memcpy-safe chunks: after the
+      // first `offset` bytes the copied region itself holds whole
+      // periods, so each round can double what is copied from it.
+      const std::size_t start = output->size();
+      output->resize(start + len);  // limolint:allow(hot-path-alloc)
+      char* dst = output->data() + start;
+      if (offset >= len) {
+        std::memcpy(dst, dst - offset, len);
+      } else {
+        std::memcpy(dst, dst - offset, offset);
+        std::size_t copied = offset;
+        while (copied < len) {
+          const std::size_t chunk =
+              std::min<std::size_t>(copied, len - copied);
+          std::memcpy(dst + copied, dst, chunk);
+          copied += chunk;
+        }
       }
       since_prefetch += len;
     } else {

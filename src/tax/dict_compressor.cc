@@ -1,0 +1,255 @@
+#include "tax/dict_compressor.h"
+
+#include <cstring>
+
+#include "softpf/prefetch.h"
+#include "tax/block_compressor.h"  // varint helpers
+#include "util/check.h"
+
+namespace limoncello {
+
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1 << 16;
+constexpr int kMaxChainDepth = 16;
+
+constexpr std::uint8_t kLiteralTag = 0x00;
+constexpr std::uint8_t kMatchTag = 0x01;
+
+inline std::uint32_t Load32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t Hash4(const char* p) {
+  return (Load32(p) * 0x9e3779b1u) >> (32 - kHashBits);
+}
+
+// Token emission appends into the reserved, caller-reused output buffer;
+// growth is amortized and free at steady capacity.
+void EmitLiterals(const char* begin, std::size_t len, std::string* out) {
+  if (len == 0) return;
+  out->push_back(static_cast<char>(kLiteralTag));  // limolint:allow(hot-path-alloc)
+  AppendVarint(len, out);
+  out->append(begin, len);  // limolint:allow(hot-path-alloc)
+}
+
+void EmitMatch(std::size_t offset, std::size_t len, std::string* out) {
+  out->push_back(static_cast<char>(kMatchTag));  // limolint:allow(hot-path-alloc)
+  AppendVarint(offset, out);
+  AppendVarint(len, out);
+}
+
+}  // namespace
+
+DictCompressor::DictCompressor(std::string_view dictionary) {
+  if (dictionary.size() > kMaxDictionaryBytes) {
+    dictionary.remove_prefix(dictionary.size() - kMaxDictionaryBytes);
+  }
+  dict_.assign(dictionary.data(), dictionary.size());
+  InsertDictionary();
+}
+
+void DictCompressor::InsertDictionary() {
+  dict_heads_.assign(1u << kHashBits, -1);
+  dict_chain_prefix_ = dict_.size();
+  chain_.assign(dict_.size(), -1);
+  if (dict_.size() < kMinMatch) return;
+  for (std::size_t pos = 0; pos + kMinMatch <= dict_.size(); ++pos) {
+    const std::uint32_t h = Hash4(dict_.data() + pos);
+    chain_[pos] = dict_heads_[h];
+    dict_heads_[h] = static_cast<std::int32_t>(pos);
+  }
+}
+
+// limolint:hot-path — datacenter-tax kernel; hash-chain match finder over
+// the dictionary + window.
+void DictCompressor::Compress(std::string_view input,
+                              const SoftPrefetchConfig& config,
+                              std::string* out) {
+  // Virtual positions: [0, dict) is the dictionary, [dict, dict + input)
+  // is the input as it is consumed. chain_ spans both.
+  LIMONCELLO_CHECK_LE(input.size(), static_cast<std::size_t>(INT32_MAX) -
+                                        dict_.size());
+  out->clear();
+  out->reserve(input.size() / 2 + 32);  // limolint:allow(hot-path-alloc)
+  AppendVarint(input.size(), out);
+  if (input.empty()) return;
+
+  // Start the match finder from the dictionary-only snapshot (same-size
+  // assign; scratch reuses capacity across calls).
+  heads_ = dict_heads_;
+  chain_.resize(dict_.size() + input.size());  // limolint:allow(hot-path-alloc)
+
+  const char* const base = input.data();
+  const char* const end = base + input.size();
+  const std::size_t dict_size = dict_.size();
+  const bool prefetch = config.AppliesTo(input.size());
+
+  // Byte at a virtual position (dictionary or already-seen input).
+  const auto byte_at = [&](std::size_t vpos) -> char {
+    return vpos < dict_size ? dict_[vpos] : base[vpos - dict_size];
+  };
+  const auto ptr_at = [&](std::size_t vpos) -> const char* {
+    return vpos < dict_size ? dict_.data() + vpos
+                            : base + (vpos - dict_size);
+  };
+
+  const char* cursor = base;
+  const char* literal_start = base;
+  std::size_t since_prefetch = 0;
+
+  while (cursor + kMinMatch <= end) {
+    if (prefetch && since_prefetch >= config.degree_bytes) {
+      PrefetchReadSpan(cursor + config.distance_bytes, config.degree_bytes,
+                       end, config.locality);
+      since_prefetch = 0;
+    }
+    const std::size_t vpos =
+        dict_size + static_cast<std::size_t>(cursor - base);
+    const std::uint32_t h = Hash4(cursor);
+    const std::uint32_t first4 = Load32(cursor);
+
+    // Walk the chain: newest candidate first, bounded depth. Candidate
+    // lines are scattered across the window/dictionary — prefetch each
+    // before touching it.
+    std::size_t best_len = 0;
+    std::size_t best_vpos = 0;
+    std::int32_t candidate = heads_[h];
+    const std::size_t max_len = std::min<std::size_t>(
+        kMaxMatch, static_cast<std::size_t>(end - cursor));
+    for (int depth = 0; candidate >= 0 && depth < kMaxChainDepth; ++depth) {
+      const auto cpos = static_cast<std::size_t>(candidate);
+      const std::int32_t next = chain_[cpos];
+      if (prefetch && next >= 0) {
+        PrefetchRead(ptr_at(static_cast<std::size_t>(next)),
+                     config.locality);
+      }
+      if (Load32(ptr_at(cpos)) == first4) {
+        std::size_t len = kMinMatch;
+        while (len < max_len && byte_at(cpos + len) == cursor[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_vpos = cpos;
+          if (len == max_len) break;
+        }
+      }
+      candidate = next;
+    }
+
+    chain_[vpos] = heads_[h];
+    heads_[h] = static_cast<std::int32_t>(vpos);
+
+    if (best_len >= kMinMatch) {
+      EmitLiterals(literal_start,
+                   static_cast<std::size_t>(cursor - literal_start), out);
+      EmitMatch(vpos - best_vpos, best_len, out);
+      // Index positions inside the match sparsely for future references.
+      for (std::size_t i = 1; i < best_len && cursor + i + kMinMatch <= end;
+           i += 5) {
+        const std::uint32_t hh = Hash4(cursor + i);
+        chain_[vpos + i] = heads_[hh];
+        heads_[hh] = static_cast<std::int32_t>(vpos + i);
+      }
+      cursor += best_len;
+      since_prefetch += best_len;
+      literal_start = cursor;
+    } else {
+      ++cursor;
+      ++since_prefetch;
+    }
+  }
+  EmitLiterals(literal_start, static_cast<std::size_t>(end - literal_start),
+               out);
+}
+
+// limolint:hot-path — datacenter-tax kernel; match copies gather from
+// scattered window/dictionary offsets.
+bool DictCompressor::Decompress(std::string_view compressed,
+                                const SoftPrefetchConfig& config,
+                                std::string* out) const {
+  out->clear();
+  std::uint64_t uncompressed_size = 0;
+  std::size_t consumed = ParseVarint(compressed, &uncompressed_size);
+  if (consumed == 0) return false;
+  if (uncompressed_size > (1ULL << 36)) return false;  // corrupt header
+  compressed.remove_prefix(consumed);
+  // Single reserve of the caller-reused output; free at steady capacity.
+  out->reserve(uncompressed_size);  // limolint:allow(hot-path-alloc)
+
+  const std::size_t dict_size = dict_.size();
+  const bool prefetch = config.AppliesTo(compressed.size());
+  std::size_t since_prefetch = 0;
+
+  while (!compressed.empty()) {
+    if (prefetch && since_prefetch >= config.degree_bytes) {
+      PrefetchReadSpan(compressed.data(), config.degree_bytes,
+                       compressed.data() + compressed.size(),
+                       config.locality);
+      since_prefetch = 0;
+    }
+    const auto tag = static_cast<std::uint8_t>(compressed[0]);
+    compressed.remove_prefix(1);
+    if (tag == kLiteralTag) {
+      std::uint64_t len = 0;
+      consumed = ParseVarint(compressed, &len);
+      if (consumed == 0) return false;
+      compressed.remove_prefix(consumed);
+      if (len > compressed.size()) return false;
+      if (out->size() + len > uncompressed_size) return false;
+      out->append(compressed.data(), len);  // limolint:allow(hot-path-alloc)
+      compressed.remove_prefix(len);
+      since_prefetch += len;
+    } else if (tag == kMatchTag) {
+      std::uint64_t offset = 0;
+      std::uint64_t len = 0;
+      consumed = ParseVarint(compressed, &offset);
+      if (consumed == 0) return false;
+      compressed.remove_prefix(consumed);
+      consumed = ParseVarint(compressed, &len);
+      if (consumed == 0) return false;
+      compressed.remove_prefix(consumed);
+      if (offset == 0 || offset > out->size() + dict_size) return false;
+      if (out->size() + len > uncompressed_size) return false;
+      if (offset > out->size()) {
+        // Source starts in the dictionary: copy the dictionary part (no
+        // self-overlap possible there), then fall through to the window
+        // part if the match runs past the dictionary end.
+        std::size_t dict_src = dict_size - (offset - out->size());
+        std::size_t from_dict =
+            std::min<std::uint64_t>(len, dict_size - dict_src);
+        if (prefetch) {
+          PrefetchReadSpan(dict_.data() + dict_src,
+                           static_cast<std::uint32_t>(std::min<std::size_t>(
+                               from_dict, config.degree_bytes)),
+                           dict_.data() + dict_size, config.locality);
+        }
+        out->append(dict_.data() + dict_src, from_dict);  // limolint:allow(hot-path-alloc)
+        len -= from_dict;
+        offset = out->size();  // continue right at the window start
+      }
+      if (len > 0) {
+        // Byte-wise window copy: offsets smaller than len self-overlap.
+        std::size_t src = out->size() - offset;
+        if (prefetch) {
+          PrefetchReadSpan(out->data() + src,
+                           static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                               len, config.degree_bytes)),
+                           out->data() + out->size(), config.locality);
+        }
+        for (std::uint64_t i = 0; i < len; ++i) {
+          out->push_back((*out)[src + i]);  // limolint:allow(hot-path-alloc)
+        }
+      }
+      since_prefetch += len;
+    } else {
+      return false;
+    }
+  }
+  return out->size() == uncompressed_size;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,78 @@
+// Dictionary/LZ-window compressor — the second "compression" tax kernel.
+//
+// An LZ77 codec with hash-chain match finding over a sliding window that
+// extends backwards into a preset shared dictionary (the zstd/brotli
+// "dictionary compression" shape used for small RPC payloads: both sides
+// hold the dictionary out of band, match offsets may reach into it).
+// Unlike the greedy single-probe BlockCompressor, the chain walk visits
+// several candidate positions per cursor — scattered reads over the
+// window that the configured prefetch policy covers, on top of the
+// sequential input stream. Decompression's match copies likewise gather
+// from random window/dictionary offsets and prefetch the match source.
+//
+// Wire format: varint(uncompressed_size), then tokens
+//   0x00 varint(len) <len raw bytes>          literal run
+//   0x01 varint(offset) varint(len)           match; offset counts back
+//                                             from the write position and
+//                                             may extend into the
+//                                             dictionary (offset > pos).
+//
+// A DictCompressor instance owns the dictionary plus reusable match-finder
+// scratch, so Compress is not const and an instance must not be shared
+// across threads without external synchronization. Steady-state calls
+// reuse the scratch without allocating.
+#ifndef LIMONCELLO_TAX_DICT_COMPRESSOR_H_
+#define LIMONCELLO_TAX_DICT_COMPRESSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+class DictCompressor {
+ public:
+  // The dictionary may be empty (plain LZ-window compression). Longer
+  // than kMaxDictionaryBytes is truncated to its trailing bytes (the most
+  // recent context, as zstd does).
+  explicit DictCompressor(std::string_view dictionary = {});
+
+  static constexpr std::size_t kMaxDictionaryBytes = 1u << 20;
+
+  // Compresses `input`, replacing *out.
+  void Compress(std::string_view input, const SoftPrefetchConfig& config,
+                std::string* out);
+  void Compress(std::string_view input, std::string* out) {
+    Compress(input, SoftPrefetchConfig::Disabled(), out);
+  }
+
+  // Decompresses, replacing *out; false on malformed input. Must be
+  // called with the same dictionary the compressor used.
+  bool Decompress(std::string_view compressed,
+                  const SoftPrefetchConfig& config, std::string* out) const;
+  bool Decompress(std::string_view compressed, std::string* out) const {
+    return Decompress(compressed, SoftPrefetchConfig::Disabled(), out);
+  }
+
+  const std::string& dictionary() const { return dict_; }
+
+ private:
+  void InsertDictionary();
+
+  std::string dict_;
+  // Hash-chain match finder over virtual positions 0..dict+input: heads_
+  // maps a 4-byte hash to the most recent position, chain_ links back to
+  // older ones. dict_head_/dict_chain_ snapshot the dictionary-only state
+  // so each Compress starts from it without rehashing the dictionary.
+  std::vector<std::int32_t> heads_;
+  std::vector<std::int32_t> chain_;
+  std::vector<std::int32_t> dict_heads_;
+  std::size_t dict_chain_prefix_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_DICT_COMPRESSOR_H_

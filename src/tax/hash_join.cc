@@ -1,0 +1,178 @@
+#include "tax/hash_join.h"
+
+#include "softpf/prefetch.h"
+
+namespace limoncello {
+
+namespace {
+
+// Stateless SplitMix64-style finalizer: cheap, well-mixed bucket hash.
+inline std::uint64_t HashKey(std::uint64_t k) {
+  k ^= k >> 30;
+  k *= 0xbf58476d1ce4e5b9ULL;
+  k ^= k >> 27;
+  k *= 0x94d049bb133111ebULL;
+  return k ^ (k >> 31);
+}
+
+inline std::size_t BucketCountFor(std::size_t n) {
+  // Next power of two >= 2n (load factor <= 0.5 keeps chains short).
+  std::size_t buckets = 16;
+  while (buckets < 2 * n) buckets <<= 1;
+  return buckets;
+}
+
+// The key-stream lookahead (in keys) encoded by a byte distance.
+inline std::size_t LookaheadKeys(std::uint32_t distance_bytes) {
+  const std::size_t keys = distance_bytes / sizeof(std::uint64_t);
+  return keys < 1 ? 1 : keys;
+}
+
+}  // namespace
+
+// limolint:hot-path — datacenter-tax kernel; insertion is pure array
+// writes after the one-time reserve.
+void HashJoinTable::Build(const std::uint64_t* keys,
+                          const std::uint64_t* values, std::size_t n,
+                          const SoftPrefetchConfig& config) {
+  const std::size_t buckets = BucketCountFor(n);
+  bucket_mask_ = buckets - 1;
+  // Table storage: reused without allocating at steady state, when the
+  // instance is rebuilt with an equal-or-smaller build side.
+  heads_.assign(buckets, -1);  // limolint:allow(hot-path-alloc)
+  next_.resize(n);  // limolint:allow(hot-path-alloc)
+  keys_.assign(keys, keys + n);  // limolint:allow(hot-path-alloc)
+  values_.assign(values, values + n);  // limolint:allow(hot-path-alloc)
+
+  const bool prefetch = config.AppliesTo(n * sizeof(std::uint64_t));
+  if (!prefetch) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t bucket =
+          static_cast<std::size_t>(HashKey(keys[i])) & bucket_mask_;
+      next_[i] = heads_[bucket];
+      heads_[bucket] = static_cast<std::int32_t>(i);
+    }
+    return;
+  }
+
+  // Group-prefetched insertion, same shape as Probe: hash a block of keys
+  // and prefetch every bucket head slot for write (pass 1), then insert
+  // (pass 2). The inserts read-modify-write random head slots; issuing
+  // the block's ownership prefetches back-to-back overlaps the misses
+  // instead of paying one serial RFO per insert. Inserts stay in key
+  // order within the block, so chain order (newest first) is identical
+  // to the scalar loop.
+  constexpr std::size_t kMaxBlock = 256;
+  std::size_t block = LookaheadKeys(config.distance_bytes);
+  if (block < 8) block = 8;
+  if (block > kMaxBlock) block = kMaxBlock;
+  std::uint32_t slots[kMaxBlock];
+  for (std::size_t base = 0; base < n; base += block) {
+    const std::size_t count = n - base < block ? n - base : block;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t b =
+          static_cast<std::size_t>(HashKey(keys[base + j])) & bucket_mask_;
+      slots[j] = static_cast<std::uint32_t>(b);
+      PrefetchWrite(heads_.data() + b, config.locality);
+    }
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t i = base + j;
+      next_[i] = heads_[slots[j]];
+      heads_[slots[j]] = static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+// limolint:hot-path — datacenter-tax kernel; group-prefetched chain walk,
+// zero allocation.
+//
+// Probes are processed in blocks of `distance_bytes / 8` keys with three
+// passes per block: (1) hash every key and prefetch its bucket head slot,
+// (2) read the (now cached) heads and prefetch the entry lines they point
+// to, (3) walk the chains. Each pass issues a block's worth of independent
+// cache misses back-to-back, so the random accesses overlap to the
+// memory system's full miss-level parallelism instead of serializing one
+// dependent miss per probe — the group-prefetch shape the paper's §4.1
+// "computable far ahead" observation enables. degree_bytes extends pass-2
+// coverage from the key line to the value (>= 128) and next-link (>= 192)
+// arrays.
+std::uint64_t HashJoinTable::Probe(const std::uint64_t* keys, std::size_t n,
+                                   std::uint64_t* out_sums,
+                                   const SoftPrefetchConfig& config) const {
+  if (heads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out_sums[i] = 0;
+    return 0;
+  }
+  std::uint64_t matches = 0;
+  const bool prefetch = config.AppliesTo(n * sizeof(std::uint64_t));
+
+  if (!prefetch) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = keys[i];
+      const std::size_t bucket =
+          static_cast<std::size_t>(HashKey(key)) & bucket_mask_;
+      std::uint64_t sum = 0;
+      for (std::int32_t e = heads_[bucket]; e >= 0;
+           e = next_[static_cast<std::size_t>(e)]) {
+        const auto idx = static_cast<std::size_t>(e);
+        if (keys_[idx] == key) {
+          sum += values_[idx];
+          ++matches;
+        }
+      }
+      out_sums[i] = sum;
+    }
+    return matches;
+  }
+
+  // Fixed-capacity stack scratch bounds the block size (and with it the
+  // number of in-flight prefetches) regardless of the configured distance.
+  constexpr std::size_t kMaxBlock = 256;
+  std::size_t block = LookaheadKeys(config.distance_bytes);
+  if (block < 8) block = 8;
+  if (block > kMaxBlock) block = kMaxBlock;
+  std::uint32_t buckets[kMaxBlock];
+  std::int32_t entries[kMaxBlock];
+  const bool cover_values = config.degree_bytes >= 2 * kCacheLineBytes;
+  const bool cover_next = config.degree_bytes >= 3 * kCacheLineBytes;
+
+  for (std::size_t base = 0; base < n; base += block) {
+    const std::size_t count = n - base < block ? n - base : block;
+    // Pass 1: hash, prefetch every bucket head slot in the block.
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t b =
+          static_cast<std::size_t>(HashKey(keys[base + j])) & bucket_mask_;
+      buckets[j] = static_cast<std::uint32_t>(b);
+      PrefetchRead(heads_.data() + b, config.locality);
+    }
+    // Pass 2: read the heads, prefetch the entry lines they point to.
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::int32_t head = heads_[buckets[j]];
+      entries[j] = head;
+      if (head >= 0) {
+        const auto e = static_cast<std::size_t>(head);
+        PrefetchRead(keys_.data() + e, config.locality);
+        if (cover_values) PrefetchRead(values_.data() + e, config.locality);
+        if (cover_next) PrefetchRead(next_.data() + e, config.locality);
+      }
+    }
+    // Pass 3: walk the chains (first entry is prefetched; chains are short
+    // at load factor <= 0.5).
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint64_t key = keys[base + j];
+      std::uint64_t sum = 0;
+      for (std::int32_t e = entries[j]; e >= 0;
+           e = next_[static_cast<std::size_t>(e)]) {
+        const auto idx = static_cast<std::size_t>(e);
+        if (keys_[idx] == key) {
+          sum += values_[idx];
+          ++matches;
+        }
+      }
+      out_sums[base + j] = sum;
+    }
+  }
+  return matches;
+}
+
+}  // namespace limoncello

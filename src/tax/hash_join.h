@@ -1,0 +1,76 @@
+// Hash-join-style bucketed probing — the third "hashing" tax kernel.
+//
+// Build: keys/values go into a bucketed table (power-of-two bucket array
+// of chain heads, entries appended to flat arrays with next-links — the
+// radix-free equi-join build side). Probe: each probe key hashes to a
+// bucket and walks the chain summing matched values.
+//
+// Probing is the canonical software-prefetch workload: the bucket
+// addresses are computable far ahead of their use, but the accesses are
+// random, so hardware prefetchers cannot help — exactly the coverage gap
+// Soft Limoncello fills while Hard Limoncello has the hardware prefetchers
+// off. The probe loop runs a two-stage software pipeline: at
+// `distance_bytes` of key-stream lookahead it prefetches the bucket head
+// slot, at half that lookahead it prefetches the entry the head points to
+// (degree_bytes controls how many entry arrays are covered).
+#ifndef LIMONCELLO_TAX_HASH_JOIN_H_
+#define LIMONCELLO_TAX_HASH_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "softpf/soft_prefetch_config.h"
+#include "util/huge_page.h"
+
+namespace limoncello {
+
+class HashJoinTable {
+ public:
+  // Replaces the table contents with the given build side. Duplicate keys
+  // are kept (multiset semantics). Steady-state zero-alloc when the
+  // instance is reused with an equal-or-smaller build side.
+  void Build(const std::uint64_t* keys, const std::uint64_t* values,
+             std::size_t n, const SoftPrefetchConfig& config);
+  void Build(const std::uint64_t* keys, const std::uint64_t* values,
+             std::size_t n) {
+    Build(keys, values, n, SoftPrefetchConfig::Disabled());
+  }
+
+  // For each probe key i, writes the sum of values of matching build
+  // entries to out_sums[i] (0 when unmatched) and returns the total number
+  // of matching entries. out_sums must hold n elements. Never allocates.
+  std::uint64_t Probe(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t* out_sums,
+                      const SoftPrefetchConfig& config) const;
+  std::uint64_t Probe(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t* out_sums) const {
+    return Probe(keys, n, out_sums, SoftPrefetchConfig::Disabled());
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  std::size_t bucket_count() const { return heads_.size(); }
+  // Approximate resident bytes (for sizing tuning working sets).
+  std::size_t FootprintBytes() const {
+    return heads_.size() * sizeof(std::int32_t) +
+           keys_.size() * (2 * sizeof(std::uint64_t) +
+                           sizeof(std::int32_t));
+  }
+
+ private:
+  // Hugepage-backed storage: at fleet-realistic sizes the probe addresses
+  // would otherwise miss the DTLB on every access, which both serializes
+  // the walk and drops the inserted prefetches (see util/huge_page.h).
+  template <typename T>
+  using TableVector = std::vector<T, HugePageAllocator<T>>;
+
+  TableVector<std::int32_t> heads_;  // bucket -> newest entry index, -1 end
+  TableVector<std::int32_t> next_;   // entry -> older entry in bucket
+  TableVector<std::uint64_t> keys_;
+  TableVector<std::uint64_t> values_;
+  std::uint64_t bucket_mask_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_HASH_JOIN_H_

@@ -2,42 +2,32 @@
 
 #include <cstring>
 
+#include "softpf/prefetch.h"
 #include "util/units.h"
 
 namespace limoncello {
 
 namespace {
 
-// Issues prefetches covering [addr, addr + degree) line by line.
-inline void PrefetchSpan(const char* addr, std::size_t degree,
-                         const char* limit) {
-  for (std::size_t off = 0; off < degree; off += kCacheLineBytes) {
-    const char* p = addr + off;
-    if (p >= limit) break;
-    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
-  }
-}
-
-inline void PrefetchSpanWrite(char* addr, std::size_t degree, char* limit) {
-  for (std::size_t off = 0; off < degree; off += kCacheLineBytes) {
-    char* p = addr + off;
-    if (p >= limit) break;
-    __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
-  }
-}
-
 // Forward copy in chunks with periodic source prefetch: every time the
 // cursor crosses a degree boundary, the next `degree` bytes at `distance`
-// ahead are requested.
+// ahead are requested. Only the source is prefetched: the chunked
+// std::memcpy writes whole destination lines through the fast-string
+// path, which elides the read-for-ownership entirely, and a write
+// prefetch would force those lines into cache and reinstate the RFO
+// traffic it was meant to hide (measured as a net loss on this host).
 // limolint:hot-path — datacenter-tax kernel; pure pointer arithmetic.
 void CopyForwardPrefetched(char* dst, const char* src, std::size_t n,
-                           std::size_t distance, std::size_t degree) {
+                           std::size_t distance, std::size_t degree,
+                           std::uint8_t locality) {
   const char* const src_end = src + n;
   std::size_t offset = 0;
   std::size_t next_prefetch = 0;
   while (offset < n) {
     if (offset >= next_prefetch) {
-      PrefetchSpan(src + offset + distance, degree, src_end);
+      PrefetchReadSpan(src + offset + distance,
+                       static_cast<std::uint32_t>(degree), src_end,
+                       locality);
       next_prefetch = offset + degree;
     }
     const std::size_t chunk = std::min<std::size_t>(degree, n - offset);
@@ -48,7 +38,8 @@ void CopyForwardPrefetched(char* dst, const char* src, std::size_t n,
 
 // limolint:hot-path — datacenter-tax kernel; pure pointer arithmetic.
 void CopyBackwardPrefetched(char* dst, const char* src, std::size_t n,
-                            std::size_t distance, std::size_t degree) {
+                            std::size_t distance, std::size_t degree,
+                            std::uint8_t locality) {
   std::size_t remaining = n;
   std::size_t next_prefetch = n;
   while (remaining > 0) {
@@ -56,7 +47,8 @@ void CopyBackwardPrefetched(char* dst, const char* src, std::size_t n,
       // Prefetch the span `distance` *behind* the (backward-moving) cursor.
       const std::size_t ahead =
           remaining > distance + degree ? remaining - distance - degree : 0;
-      PrefetchSpan(src + ahead, degree, src + n);
+      PrefetchReadSpan(src + ahead, static_cast<std::uint32_t>(degree),
+                       src + n, locality);
       next_prefetch = remaining > degree ? remaining - degree : 0;
     }
     const std::size_t chunk = std::min<std::size_t>(degree, remaining);
@@ -72,7 +64,8 @@ void* PrefetchingMemcpy(void* dst, const void* src, std::size_t n,
   if (!config.AppliesTo(n)) return std::memcpy(dst, src, n);
   CopyForwardPrefetched(static_cast<char*>(dst),
                         static_cast<const char*>(src), n,
-                        config.distance_bytes, config.degree_bytes);
+                        config.distance_bytes, config.degree_bytes,
+                        config.locality);
   return dst;
 }
 
@@ -84,10 +77,10 @@ void* PrefetchingMemmove(void* dst, const void* src, std::size_t n,
   if (d == s || n == 0) return dst;
   if (d < s || d >= s + n) {
     CopyForwardPrefetched(d, s, n, config.distance_bytes,
-                          config.degree_bytes);
+                          config.degree_bytes, config.locality);
   } else {
     CopyBackwardPrefetched(d, s, n, config.distance_bytes,
-                           config.degree_bytes);
+                           config.degree_bytes, config.locality);
   }
   return dst;
 }
@@ -101,8 +94,8 @@ void* PrefetchingMemset(void* dst, int value, std::size_t n,
   std::size_t next_prefetch = 0;
   while (offset < n) {
     if (offset >= next_prefetch) {
-      PrefetchSpanWrite(d + offset + config.distance_bytes,
-                        config.degree_bytes, end);
+      PrefetchWriteSpan(d + offset + config.distance_bytes,
+                        config.degree_bytes, end, config.locality);
       next_prefetch = offset + config.degree_bytes;
     }
     const std::size_t chunk =

@@ -1,0 +1,46 @@
+// The committed per-kernel tuned prefetch parameter table.
+//
+// The autotuner (tax/tax_tuner.h, driven by bench_tax_tuner) sweeps
+// distance/degree/locality per kernel x size class against the self-timer
+// and emits this table; the Adaptive* entry points install it into the
+// global SoftPrefetchRuntime on first use, so every adaptive call runs
+// with host-tuned parameters rather than the paper's one-size deployment
+// compromise. Regenerate with `bench_tax_tuner --emit-params`.
+#ifndef LIMONCELLO_TAX_TUNED_PARAMS_H_
+#define LIMONCELLO_TAX_TUNED_PARAMS_H_
+
+#include <cstddef>
+
+#include "softpf/prefetch_site_registry.h"
+#include "softpf/soft_prefetch_config.h"
+#include "softpf/tax_kernel.h"
+
+namespace limoncello {
+
+struct TunedParam {
+  TaxKernel kernel;
+  int size_class;  // kFirstTunedSizeClass .. kNumSizeClasses - 1
+  SoftPrefetchConfig config;
+  // Throughput the tuner measured for this cell in the
+  // hardware-prefetchers-off regime (MB/s); zero for hand-seeded entries.
+  float untuned_mbps;
+  float tuned_mbps;
+};
+
+// The committed table, in (kernel, size_class) order.
+const TunedParam* TunedParamsBegin();
+std::size_t TunedParamsCount();
+
+// Overwrites the registry's per-size-class entries for every kernel the
+// tuned table covers. Size classes the table does not mention keep their
+// registry values; the tiny class stays disabled.
+void ApplyTunedParams(PrefetchSiteRegistry* registry);
+
+// Applies the tuned table to the global runtime's registry and rebuilds
+// its fast path. Runs once per process (idempotent; thread-safe when
+// reached through a magic static, as the Adaptive* wrappers do).
+bool InstallTunedParams();
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_TUNED_PARAMS_H_

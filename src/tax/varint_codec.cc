@@ -1,0 +1,129 @@
+#include "tax/varint_codec.h"
+
+#include "softpf/prefetch.h"
+
+namespace limoncello {
+
+std::size_t VarintSizeOf(std::uint64_t value) {
+#if defined(__GNUC__) || defined(__clang__)
+  // Branch-free: a value with b significant bits needs ceil(b / 7) bytes.
+  // (value | 1) pins zero to one significant bit. The multiply-shift is
+  // ceil division by 7 for the 1..64 range.
+  const int bits = 64 - __builtin_clzll(value | 1);
+  return static_cast<std::size_t>((bits * 9 + 64) >> 6);
+#else
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+#endif
+}
+
+// limolint:hot-path — datacenter-tax kernel; pure arithmetic over the
+// value array.
+std::size_t VarintStreamSize(const std::uint64_t* values,
+                             std::size_t count) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) total += VarintSizeOf(values[i]);
+  return total;
+}
+
+// limolint:hot-path — datacenter-tax kernel; raw-pointer encode into a
+// pre-sized buffer.
+void VarintEncodeStream(const std::uint64_t* values, std::size_t count,
+                        const SoftPrefetchConfig& config, std::string* out) {
+  const std::size_t input_bytes = count * sizeof(std::uint64_t);
+  const bool prefetch = config.AppliesTo(input_bytes);
+  const char* const src = reinterpret_cast<const char*>(values);
+  const char* const src_end = src + input_bytes;
+
+  // Exact-size pass first so the encode loop writes through a raw cursor
+  // (no per-byte append; at steady capacity the resize is free). This
+  // pass is the one that streams the cold input — the encode pass below
+  // revisits it cache-warm — so the software prefetches belong here.
+  std::size_t total = 0;
+  std::size_t next_prefetch = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (prefetch && i * sizeof(std::uint64_t) >= next_prefetch) {
+      PrefetchReadSpan(src + i * sizeof(std::uint64_t) +
+                           config.distance_bytes,
+                       config.degree_bytes, src_end, config.locality);
+      next_prefetch = i * sizeof(std::uint64_t) + config.degree_bytes;
+    }
+    total += VarintSizeOf(values[i]);
+  }
+  out->resize(total);  // limolint:allow(hot-path-alloc) — caller-reused
+  char* cursor = out->data();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = values[i];
+    while (v >= 0x80) {
+      *cursor++ = static_cast<char>((v & 0x7f) | 0x80);
+      v >>= 7;
+    }
+    *cursor++ = static_cast<char>(v);
+  }
+}
+
+// limolint:hot-path — datacenter-tax kernel; streams the byte buffer.
+bool VarintDecodeStream(std::string_view in,
+                        const SoftPrefetchConfig& config,
+                        std::vector<std::uint64_t>* out) {
+  out->clear();
+  // A varint is at most 10 bytes, so the stream holds at least size/10
+  // values; reserving input/2 (typical small values are 1-2 bytes) keeps
+  // early growth rare without overshooting wildly.
+  out->reserve(in.size() / 2 + 1);  // limolint:allow(hot-path-alloc)
+
+  const bool prefetch = config.AppliesTo(in.size());
+  const char* const base = in.data();
+  const char* const end = base + in.size();
+  const char* p = base;
+  std::size_t next_prefetch = 0;
+  while (p < end) {
+    if (prefetch &&
+        static_cast<std::size_t>(p - base) >= next_prefetch) {
+      PrefetchReadSpan(p + config.distance_bytes, config.degree_bytes, end,
+                       config.locality);
+      next_prefetch =
+          static_cast<std::size_t>(p - base) + config.degree_bytes;
+    }
+    std::uint64_t result = 0;
+    int shift = 0;
+    bool done = false;
+    // Fast path: single-byte varint (the common case for field keys and
+    // small scalars).
+    std::uint8_t byte = static_cast<std::uint8_t>(*p++);
+    if ((byte & 0x80) == 0) {
+      result = byte;
+      done = true;
+    } else {
+      result = byte & 0x7f;
+      shift = 7;
+      while (p < end && shift < 63) {
+        byte = static_cast<std::uint8_t>(*p++);
+        result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        shift += 7;
+        if ((byte & 0x80) == 0) {
+          done = true;
+          break;
+        }
+      }
+      if (!done && p < end && shift == 63) {
+        // 10th byte: only its low bit fits in a uint64; anything else is
+        // an over-long encoding.
+        byte = static_cast<std::uint8_t>(*p++);
+        if ((byte & 0x80) != 0 || byte > 1) return false;
+        result |= static_cast<std::uint64_t>(byte) << 63;
+        done = true;
+      }
+    }
+    if (!done) return false;  // truncated mid-varint
+    out->push_back(result);  // limolint:allow(hot-path-alloc) — reserved above
+  }
+  return true;
+}
+
+}  // namespace limoncello

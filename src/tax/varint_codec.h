@@ -1,0 +1,50 @@
+// Varint stream codec — protobuf-flavoured base-128 serialization, the
+// second "data transmission" tax kernel.
+//
+// Encodes/decodes a stream of unsigned 64-bit values in little-endian
+// base-128 (7 payload bits per byte, high bit = continuation), exactly the
+// wire shape protobuf uses for scalar fields. Encoding streams the value
+// array; decoding streams the byte buffer — both sequential shapes §4.1
+// identifies as prefetch-friendly, and both prefetch their input at the
+// configured distance/degree/locality.
+#ifndef LIMONCELLO_TAX_VARINT_CODEC_H_
+#define LIMONCELLO_TAX_VARINT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "softpf/soft_prefetch_config.h"
+
+namespace limoncello {
+
+// Exact encoded size of one value / of a value stream.
+std::size_t VarintSizeOf(std::uint64_t value);
+std::size_t VarintStreamSize(const std::uint64_t* values, std::size_t count);
+
+// Encodes `count` values, replacing *out. Steady-state zero-alloc when
+// *out is reused and already has capacity.
+void VarintEncodeStream(const std::uint64_t* values, std::size_t count,
+                        const SoftPrefetchConfig& config, std::string* out);
+
+// Decodes an encoded stream, replacing *out. Returns false on truncated
+// input (buffer ends mid-varint) or over-long encodings (more than 10
+// bytes, or a 10th byte contributing bits beyond 2^64).
+bool VarintDecodeStream(std::string_view in,
+                        const SoftPrefetchConfig& config,
+                        std::vector<std::uint64_t>* out);
+
+inline void VarintEncodeStream(const std::uint64_t* values,
+                               std::size_t count, std::string* out) {
+  VarintEncodeStream(values, count, SoftPrefetchConfig::Disabled(), out);
+}
+inline bool VarintDecodeStream(std::string_view in,
+                               std::vector<std::uint64_t>* out) {
+  return VarintDecodeStream(in, SoftPrefetchConfig::Disabled(), out);
+}
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TAX_VARINT_CODEC_H_

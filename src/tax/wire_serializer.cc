@@ -45,7 +45,10 @@ void WireSerializer::Serialize(const WireMessage& message,
 
 bool WireSerializer::Parse(std::string_view data,
                            WireMessage* message) const {
-  message->clear();
+  // Fields are decoded into the caller's message in place: a reused
+  // message of the same shape keeps its payload-string capacity, so
+  // steady-state parsing of like-shaped messages never allocates.
+  std::size_t count = 0;
   while (!data.empty()) {
     std::uint64_t field_number = 0;
     std::size_t consumed = ParseVarint(data, &field_number);
@@ -58,13 +61,15 @@ bool WireSerializer::Parse(std::string_view data,
     data.remove_prefix(consumed);
     if (length > data.size()) return false;
 
-    WireField field;
+    if (count == message->size()) message->emplace_back();
+    WireField& field = (*message)[count];
+    ++count;
     field.field_number = static_cast<std::uint32_t>(field_number);
     field.payload.resize(length);
     PrefetchingMemcpy(field.payload.data(), data.data(), length, config_);
     data.remove_prefix(length);
-    message->push_back(std::move(field));
   }
+  message->resize(count);
   return true;
 }
 

@@ -1,0 +1,116 @@
+// Hugepage-backed allocation for large random-access tables.
+//
+// A multi-hundred-MB table probed at random addresses misses the DTLB on
+// nearly every access with 4 KiB pages, and software prefetches whose
+// address misses the TLB are dropped — the page walk (two-dimensional
+// under virtualization), not the data fetch, becomes the serial
+// bottleneck, and no (distance, degree) choice can fix it. Backing the
+// table with 2 MiB pages cuts the page count 512x so the second-level TLB
+// covers the whole table; the walk disappears and the inserted prefetches
+// actually overlap misses.
+//
+// Allocation strategy for >= one-hugepage requests, best first:
+//   1. mmap(MAP_HUGETLB): explicit hugetlb pool pages (reserve with
+//      `echo N > /proc/sys/vm/nr_hugepages`); fails cleanly if the pool
+//      is empty or the kernel lacks hugetlb.
+//   2. anonymous mmap + madvise(MADV_HUGEPAGE): transparent hugepages
+//      where THP is enabled; plain 4 KiB pages otherwise.
+// Either way the caller gets working memory — hugepages are a perf
+// opportunity, never a requirement.
+#ifndef LIMONCELLO_UTIL_HUGE_PAGE_H_
+#define LIMONCELLO_UTIL_HUGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace limoncello {
+
+inline constexpr std::size_t kHugePageBytes = 2u << 20;
+
+// Requests 2 MiB pages for [p, p + len); best-effort, never fails.
+inline void AdviseHugePages(void* p, std::size_t len) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  madvise(p, len, MADV_HUGEPAGE);
+#else
+  (void)p;
+  (void)len;
+#endif
+}
+
+inline constexpr std::size_t RoundUpToHugePage(std::size_t bytes) {
+  return (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+}
+
+// Maps `bytes` (rounded up to a hugepage multiple) via the strategy above.
+// Returns nullptr only when every mmap path fails.
+inline void* MapHugePages(std::size_t bytes) {
+#if defined(__linux__)
+  const std::size_t rounded = RoundUpToHugePage(bytes);
+#if defined(MAP_HUGETLB)
+  void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+  if (p != MAP_FAILED) return p;
+#endif
+  void* fallback = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (fallback == MAP_FAILED) return nullptr;
+  AdviseHugePages(fallback, rounded);
+  return fallback;
+#else
+  return std::malloc(RoundUpToHugePage(bytes));
+#endif
+}
+
+inline void UnmapHugePages(void* p, std::size_t bytes) {
+#if defined(__linux__)
+  munmap(p, RoundUpToHugePage(bytes));
+#else
+  std::free(p);
+#endif
+}
+
+// Minimal std::allocator replacement: hugepage-mapped for allocations of
+// at least one huge page, plain operator new below that.
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  HugePageAllocator() = default;
+  template <typename U>
+  explicit HugePageAllocator(const HugePageAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes >= kHugePageBytes) {
+      if (void* p = MapHugePages(bytes)) return static_cast<T*>(p);
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes >= kHugePageBytes) {
+      UnmapHugePages(p, bytes);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  template <typename U>
+  bool operator==(const HugePageAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const HugePageAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_HUGE_PAGE_H_

@@ -137,6 +137,12 @@ FunctionCatalog FunctionCatalog::FleetDefault() {
       0.7, 1, 64 * kMiB, 2.5, 4.0);
   add("zlib_inflate", FC::kCompression, AP::kSequentialStream, 10 * 1024, 0.5,
       1, 48 * kMiB, 4.0, 2.0);
+  // Dictionary codec (shared-dictionary LZ window; the match finder still
+  // streams the input, the dictionary mostly stays resident).
+  add("dict_compress", FC::kCompression, AP::kSequentialStream, 12 * 1024,
+      0.4, 1, 48 * kMiB, 3.5, 1.5);
+  add("dict_uncompress", FC::kCompression, AP::kSequentialStream, 18 * 1024,
+      0.7, 1, 48 * kMiB, 3.0, 1.5);
   // Hashing (block-sequenced data processing).
   add("crc32c", FC::kHashing, AP::kSequentialStream, 8 * 1024, 0.0, 1,
       64 * kMiB, 2.0, 2.5);
@@ -147,6 +153,16 @@ FunctionCatalog FunctionCatalog::FleetDefault() {
       3 * 1024, 0.8, 1, 48 * kMiB, 5.0, 4.5);
   add("proto_parse", FC::kDataTransmission, AP::kSequentialStream, 3 * 1024,
       0.4, 1, 48 * kMiB, 5.0, 4.5);
+  // Varint stream codec (scalar-field packing; short dense streams).
+  add("varint_encode", FC::kDataTransmission, AP::kSequentialStream,
+      2 * 1024, 0.6, 1, 32 * kMiB, 4.0, 1.5);
+  add("varint_decode", FC::kDataTransmission, AP::kSequentialStream,
+      2 * 1024, 0.3, 1, 32 * kMiB, 4.0, 1.5);
+  // hashjoin_build / hashjoin_probe are deliberately NOT catalog entries:
+  // probing is random-access, so it gains (not regresses) when the
+  // hardware prefetchers go off — it would break the tax-category
+  // ablation invariants the fleet model asserts. The native tuner covers
+  // it directly.
 
   // --- Non-tax: scattered access over large working sets; hardware
   // prefetchers guess poorly here and mostly add pollution + traffic.

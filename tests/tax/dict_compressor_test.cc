@@ -1,0 +1,183 @@
+#include "tax/dict_compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+SoftPrefetchConfig EnabledConfig() {
+  SoftPrefetchConfig config;
+  config.distance_bytes = 512;
+  config.degree_bytes = 256;
+  config.min_size_bytes = 0;
+  return config;
+}
+
+std::string MakeCompressible(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string s;
+  s.reserve(n + 40);
+  const char* phrase = "the quick brown limoncello daemon ";
+  while (s.size() < n) {
+    if (rng.NextBernoulli(0.7)) {
+      s += phrase;
+    } else {
+      s += static_cast<char>('a' + rng.NextBounded(26));
+    }
+  }
+  s.resize(n);
+  return s;
+}
+
+std::string MakeIncompressible(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.NextU64());
+  return s;
+}
+
+TEST(DictCompressorTest, RoundTripCompressibleNoDictionary) {
+  DictCompressor codec("");
+  const std::string input = MakeCompressible(200 * 1024, 1);
+  std::string compressed;
+  std::string output;
+  for (const bool prefetch : {false, true}) {
+    const SoftPrefetchConfig config =
+        prefetch ? EnabledConfig() : SoftPrefetchConfig::Disabled();
+    codec.Compress(input, config, &compressed);
+    EXPECT_LT(compressed.size(), input.size() / 2)
+        << "repetitive input should compress well";
+    ASSERT_TRUE(codec.Decompress(compressed, config, &output));
+    EXPECT_EQ(output, input);
+  }
+}
+
+TEST(DictCompressorTest, RoundTripIncompressible) {
+  DictCompressor codec("");
+  const std::string input = MakeIncompressible(64 * 1024, 2);
+  std::string compressed;
+  codec.Compress(input, EnabledConfig(), &compressed);
+  // Random bytes should expand only by the token framing overhead.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 16 + 64);
+  std::string output;
+  ASSERT_TRUE(codec.Decompress(compressed, EnabledConfig(), &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(DictCompressorTest, DictionaryMatchesShrinkOutput) {
+  // Input built mostly from dictionary substrings: the dictionary-aware
+  // codec must beat the dictionary-free one on the very first bytes.
+  const std::string dictionary = MakeCompressible(32 * 1024, 3);
+  Rng rng(4);
+  std::string input;
+  while (input.size() < 100 * 1024) {
+    const std::size_t len = 32 + rng.NextBounded(200);
+    const std::size_t pos = rng.NextBounded(dictionary.size() - len);
+    input.append(dictionary, pos, len);
+  }
+
+  DictCompressor with_dict(dictionary);
+  DictCompressor without_dict("");
+  std::string a;
+  std::string b;
+  with_dict.Compress(input, SoftPrefetchConfig::Disabled(), &a);
+  without_dict.Compress(input, SoftPrefetchConfig::Disabled(), &b);
+  EXPECT_LT(a.size(), b.size());
+
+  std::string output;
+  ASSERT_TRUE(with_dict.Decompress(a, SoftPrefetchConfig::Disabled(),
+                                   &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(DictCompressorTest, MatchCrossingDictionaryBoundary) {
+  // A match that starts in the dictionary and continues into the window:
+  // input begins with the dictionary's tail followed by the input's own
+  // start, so the second copy can reference across the boundary.
+  const std::string dictionary = "abcdefghijklmnopqrstuvwxyz0123456789";
+  DictCompressor codec(dictionary);
+  std::string input = dictionary.substr(20);  // "uvwxyz0123456789"
+  input += "XYZ";
+  input += dictionary.substr(20) + "XYZ";  // repeat: crosses into window
+  std::string compressed;
+  codec.Compress(input, SoftPrefetchConfig::Disabled(), &compressed);
+  std::string output;
+  ASSERT_TRUE(codec.Decompress(compressed, SoftPrefetchConfig::Disabled(),
+                               &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(DictCompressorTest, DecompressWithWrongDictionaryFailsOrDiffers) {
+  const std::string dictionary = MakeCompressible(16 * 1024, 5);
+  DictCompressor codec(dictionary);
+  Rng rng(6);
+  std::string input;
+  while (input.size() < 32 * 1024) {
+    const std::size_t len = 16 + rng.NextBounded(100);
+    const std::size_t pos = rng.NextBounded(dictionary.size() - len);
+    input.append(dictionary, pos, len);
+  }
+  std::string compressed;
+  codec.Compress(input, SoftPrefetchConfig::Disabled(), &compressed);
+
+  DictCompressor other(MakeCompressible(16 * 1024, 7));
+  std::string output;
+  const bool ok =
+      other.Decompress(compressed, SoftPrefetchConfig::Disabled(), &output);
+  EXPECT_TRUE(!ok || output != input);
+}
+
+TEST(DictCompressorTest, RejectsCorruptStreams) {
+  DictCompressor codec("");
+  std::string output;
+  // Unknown token tag.
+  EXPECT_FALSE(codec.Decompress(std::string("\x05\x07junk", 6),
+                                SoftPrefetchConfig::Disabled(), &output));
+  // Literal length past the end of the stream.
+  std::string bad;
+  bad.push_back(0x10);  // uncompressed size 16
+  bad.push_back(0x00);  // literal tag
+  bad.push_back(0x10);  // claims 16 literal bytes
+  bad += "abc";         // only 3 present
+  EXPECT_FALSE(
+      codec.Decompress(bad, SoftPrefetchConfig::Disabled(), &output));
+  // Match offset pointing before the start of dictionary + window.
+  std::string bad_offset;
+  bad_offset.push_back(0x08);
+  bad_offset.push_back(0x01);  // match tag
+  bad_offset.push_back(0x7f);  // offset 127: nothing that far back
+  bad_offset.push_back(0x08);  // length 8
+  EXPECT_FALSE(codec.Decompress(bad_offset, SoftPrefetchConfig::Disabled(),
+                                &output));
+}
+
+TEST(DictCompressorTest, EmptyInputRoundTrips) {
+  DictCompressor codec("dictionary");
+  std::string compressed;
+  codec.Compress("", SoftPrefetchConfig::Disabled(), &compressed);
+  std::string output = "stale";
+  ASSERT_TRUE(codec.Decompress(compressed, SoftPrefetchConfig::Disabled(),
+                               &output));
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(DictCompressorTest, InstanceReuseAcrossPayloads) {
+  // The match-finder scratch is reused across calls; later calls must not
+  // see stale chains from earlier (larger) payloads.
+  DictCompressor codec(MakeCompressible(8 * 1024, 8));
+  std::string compressed;
+  std::string output;
+  for (const std::size_t size : {64 * 1024, 1024, 128 * 1024, 32}) {
+    const std::string input = MakeCompressible(size, size);
+    codec.Compress(input, EnabledConfig(), &compressed);
+    ASSERT_TRUE(codec.Decompress(compressed, EnabledConfig(), &output));
+    EXPECT_EQ(output, input) << "size=" << size;
+  }
+}
+
+}  // namespace
+}  // namespace limoncello

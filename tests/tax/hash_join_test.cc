@@ -1,0 +1,142 @@
+#include "tax/hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+SoftPrefetchConfig EnabledConfig() {
+  SoftPrefetchConfig config;
+  config.distance_bytes = 256;
+  config.degree_bytes = 128;
+  config.min_size_bytes = 0;
+  return config;
+}
+
+struct Reference {
+  std::unordered_multimap<std::uint64_t, std::uint64_t> map;
+
+  std::uint64_t Probe(const std::vector<std::uint64_t>& keys,
+                      std::vector<std::uint64_t>* sums) const {
+    sums->assign(keys.size(), 0);
+    std::uint64_t matches = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto [lo, hi] = map.equal_range(keys[i]);
+      for (auto it = lo; it != hi; ++it) {
+        (*sums)[i] += it->second;
+        ++matches;
+      }
+    }
+    return matches;
+  }
+};
+
+TEST(HashJoinTest, MatchesUnorderedMultimapReference) {
+  Rng gen(0x1011);
+  const std::size_t n = 20000;
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint64_t> values(n);
+  Reference ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Narrow key space: plenty of duplicates (multiset semantics).
+    keys[i] = gen.NextBounded(n / 2);
+    values[i] = gen.NextBounded(1000);
+    ref.map.emplace(keys[i], values[i]);
+  }
+
+  std::vector<std::uint64_t> probes(3 * n);
+  for (auto& p : probes) p = gen.NextBounded(n);  // ~50% hit rate
+
+  std::vector<std::uint64_t> expected_sums;
+  const std::uint64_t expected_matches = ref.Probe(probes, &expected_sums);
+
+  for (const bool prefetch : {false, true}) {
+    const SoftPrefetchConfig config =
+        prefetch ? EnabledConfig() : SoftPrefetchConfig::Disabled();
+    HashJoinTable table;
+    table.Build(keys.data(), values.data(), n, config);
+    EXPECT_EQ(table.size(), n);
+    std::vector<std::uint64_t> sums(probes.size());
+    const std::uint64_t matches =
+        table.Probe(probes.data(), probes.size(), sums.data(), config);
+    EXPECT_EQ(matches, expected_matches) << "prefetch=" << prefetch;
+    EXPECT_EQ(sums, expected_sums) << "prefetch=" << prefetch;
+  }
+}
+
+TEST(HashJoinTest, EmptyTableProbesReturnZero) {
+  HashJoinTable table;
+  table.Build(nullptr, nullptr, 0);
+  EXPECT_EQ(table.size(), 0u);
+  std::vector<std::uint64_t> probes = {1, 2, 3};
+  std::vector<std::uint64_t> sums(probes.size(), 77);
+  EXPECT_EQ(table.Probe(probes.data(), probes.size(), sums.data()), 0u);
+  for (const std::uint64_t s : sums) EXPECT_EQ(s, 0u);
+}
+
+TEST(HashJoinTest, UnmatchedProbesWriteZero) {
+  const std::vector<std::uint64_t> keys = {10, 20, 30};
+  const std::vector<std::uint64_t> values = {1, 2, 3};
+  HashJoinTable table;
+  table.Build(keys.data(), values.data(), keys.size());
+  const std::vector<std::uint64_t> probes = {20, 999, 10, 10};
+  std::vector<std::uint64_t> sums(probes.size(), 123);
+  const std::uint64_t matches =
+      table.Probe(probes.data(), probes.size(), sums.data());
+  EXPECT_EQ(matches, 3u);
+  EXPECT_EQ(sums, (std::vector<std::uint64_t>{2, 0, 1, 1}));
+}
+
+TEST(HashJoinTest, DuplicateKeysSumAllValues) {
+  const std::vector<std::uint64_t> keys = {7, 7, 7, 8};
+  const std::vector<std::uint64_t> values = {100, 10, 1, 5};
+  HashJoinTable table;
+  table.Build(keys.data(), values.data(), keys.size());
+  std::vector<std::uint64_t> sums(2);
+  const std::vector<std::uint64_t> probes = {7, 8};
+  EXPECT_EQ(table.Probe(probes.data(), probes.size(), sums.data()), 4u);
+  EXPECT_EQ(sums[0], 111u);
+  EXPECT_EQ(sums[1], 5u);
+}
+
+TEST(HashJoinTest, RebuildReplacesContents) {
+  HashJoinTable table;
+  const std::vector<std::uint64_t> keys1 = {1, 2, 3, 4};
+  const std::vector<std::uint64_t> vals1 = {10, 20, 30, 40};
+  table.Build(keys1.data(), vals1.data(), keys1.size());
+
+  // Smaller rebuild: old entries must be gone, capacity reuse or not.
+  const std::vector<std::uint64_t> keys2 = {5, 6};
+  const std::vector<std::uint64_t> vals2 = {50, 60};
+  table.Build(keys2.data(), vals2.data(), keys2.size());
+  EXPECT_EQ(table.size(), 2u);
+  const std::vector<std::uint64_t> probes = {1, 2, 5, 6};
+  std::vector<std::uint64_t> sums(probes.size());
+  EXPECT_EQ(table.Probe(probes.data(), probes.size(), sums.data()), 2u);
+  EXPECT_EQ(sums, (std::vector<std::uint64_t>{0, 0, 50, 60}));
+}
+
+TEST(HashJoinTest, FootprintGrowsWithBuildSide) {
+  HashJoinTable small;
+  HashJoinTable large;
+  std::vector<std::uint64_t> keys(4096);
+  std::vector<std::uint64_t> values(4096);
+  Rng rng(9);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.NextU64();
+    values[i] = i;
+  }
+  small.Build(keys.data(), values.data(), 128);
+  large.Build(keys.data(), values.data(), keys.size());
+  EXPECT_GT(large.FootprintBytes(), small.FootprintBytes());
+  EXPECT_GE(large.bucket_count(), 2 * keys.size());
+}
+
+}  // namespace
+}  // namespace limoncello

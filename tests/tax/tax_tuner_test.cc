@@ -1,0 +1,157 @@
+#include "tax/tax_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "softpf/prefetch_site_registry.h"
+#include "softpf/size_class.h"
+
+namespace limoncello {
+namespace {
+
+std::vector<TuneRegime> BothRegimes() {
+  return {TuneRegime::kHwOn, TuneRegime::kHwOffEmulated};
+}
+
+TEST(ModelProbeTest, PureFunctionOfInputs) {
+  ModelProbe a(42);
+  ModelProbe b(42);
+  SoftPrefetchConfig config;
+  config.distance_bytes = 512;
+  config.degree_bytes = 128;
+  for (int k = 0; k < kNumTaxKernels; ++k) {
+    for (int sc = kFirstTunedSizeClass; sc < kNumSizeClasses; ++sc) {
+      for (const TuneRegime regime : BothRegimes()) {
+        const double va = a.Measure(TaxKernelAt(k), sc, config, regime);
+        const double vb = b.Measure(TaxKernelAt(k), sc, config, regime);
+        EXPECT_EQ(va, vb) << "kernel=" << k << " sc=" << sc;
+        EXPECT_GT(va, 0.0);
+      }
+    }
+  }
+}
+
+TEST(ModelProbeTest, SeedChangesTheSurface) {
+  ModelProbe a(1);
+  ModelProbe b(2);
+  SoftPrefetchConfig config;
+  config.distance_bytes = 1024;
+  config.degree_bytes = 256;
+  int differing = 0;
+  for (int k = 0; k < kNumTaxKernels; ++k) {
+    if (a.Measure(TaxKernelAt(k), 2, config, TuneRegime::kHwOffEmulated) !=
+        b.Measure(TaxKernelAt(k), 2, config, TuneRegime::kHwOffEmulated)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// The headline determinism contract: the same grid and the same seed must
+// choose identical parameters on every cell, run to run. The chosen config
+// is what ships in tuned_params.cc, so any nondeterminism here would make
+// --emit-params output churn.
+TEST(TunerSweepTest, SameGridAndSeedChooseIdenticalParams) {
+  const TunerGrid grid = TunerGrid::Reduced();
+  const PrefetchSiteRegistry registry =
+      PrefetchSiteRegistry::DeployedDefault();
+
+  ModelProbe probe1(0xfeed);
+  ModelProbe probe2(0xfeed);
+  const TunerReport r1 =
+      RunTunerSweep(probe1, grid, BothRegimes(), registry);
+  const TunerReport r2 =
+      RunTunerSweep(probe2, grid, BothRegimes(), registry);
+
+  ASSERT_EQ(r1.cells.size(), r2.cells.size());
+  ASSERT_FALSE(r1.cells.empty());
+  for (std::size_t i = 0; i < r1.cells.size(); ++i) {
+    const TunedCell& a = r1.cells[i];
+    const TunedCell& b = r2.cells[i];
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.size_class, b.size_class);
+    EXPECT_EQ(a.regime, b.regime);
+    EXPECT_EQ(a.best.enabled, b.best.enabled) << "cell " << i;
+    EXPECT_EQ(a.best.distance_bytes, b.best.distance_bytes) << "cell " << i;
+    EXPECT_EQ(a.best.degree_bytes, b.best.degree_bytes) << "cell " << i;
+    EXPECT_EQ(a.best.locality, b.best.locality) << "cell " << i;
+    EXPECT_EQ(a.tuned_mbps, b.tuned_mbps) << "cell " << i;
+  }
+  EXPECT_EQ(r1.geomean_speedup_hw_off, r2.geomean_speedup_hw_off);
+  EXPECT_EQ(r1.geomean_speedup_hw_on, r2.geomean_speedup_hw_on);
+}
+
+TEST(TunerSweepTest, CoversEveryKernelAndTunedSizeClass) {
+  const TunerGrid grid = TunerGrid::Reduced();
+  ModelProbe probe(7);
+  const TunerReport report = RunTunerSweep(
+      probe, grid, {TuneRegime::kHwOffEmulated},
+      PrefetchSiteRegistry::DeployedDefault());
+  const int tuned_classes = kNumSizeClasses - kFirstTunedSizeClass;
+  EXPECT_EQ(report.cells.size(),
+            static_cast<std::size_t>(kNumTaxKernels * tuned_classes));
+  // The model surface guarantees attainable gains in the hw-off regime, so
+  // a correct sweep must find a geomean above the hysteresis floor.
+  EXPECT_GT(report.geomean_speedup_hw_off, 1.0);
+}
+
+TEST(TunerSweepTest, ChosenConfigNeverLosesToDisabledOnTheModel) {
+  // On a noise-free surface the sweep's hysteresis guarantees: either the
+  // cell ships disabled, or tuned throughput beats untuned by min_gain.
+  const TunerGrid grid = TunerGrid::Reduced();
+  ModelProbe probe(99);
+  const TunerReport report = RunTunerSweep(
+      probe, grid, {TuneRegime::kHwOffEmulated},
+      PrefetchSiteRegistry::DeployedDefault());
+  for (const TunedCell& cell : report.cells) {
+    if (cell.best.enabled) {
+      EXPECT_GE(cell.tuned_mbps, cell.untuned_mbps * grid.min_gain);
+    } else {
+      EXPECT_EQ(cell.tuned_mbps, cell.untuned_mbps);
+    }
+  }
+}
+
+TEST(SelectTunedParamsTest, KeepsOnlyHwOffCellsInOrder) {
+  const TunerGrid grid = TunerGrid::Reduced();
+  ModelProbe probe(3);
+  const TunerReport report =
+      RunTunerSweep(probe, grid, BothRegimes(),
+                    PrefetchSiteRegistry::DeployedDefault());
+  const std::vector<TunedParam> params = SelectTunedParams(report);
+  const int tuned_classes = kNumSizeClasses - kFirstTunedSizeClass;
+  EXPECT_EQ(params.size(),
+            static_cast<std::size_t>(kNumTaxKernels * tuned_classes));
+  for (std::size_t i = 1; i < params.size(); ++i) {
+    const bool ordered =
+        static_cast<int>(params[i - 1].kernel) <
+            static_cast<int>(params[i].kernel) ||
+        (params[i - 1].kernel == params[i].kernel &&
+         params[i - 1].size_class < params[i].size_class);
+    EXPECT_TRUE(ordered) << "param " << i << " out of (kernel, size) order";
+  }
+}
+
+TEST(EmitTunedParamsCcTest, RendersACompilableLookingTable) {
+  const TunerGrid grid = TunerGrid::Reduced();
+  ModelProbe probe(5);
+  const TunerReport report = RunTunerSweep(
+      probe, grid, {TuneRegime::kHwOffEmulated},
+      PrefetchSiteRegistry::DeployedDefault());
+  const std::string cc = EmitTunedParamsCc(SelectTunedParams(report));
+  EXPECT_NE(cc.find("tax/tuned_params.h"), std::string::npos);
+  EXPECT_NE(cc.find("TaxKernel::kMemcpy"), std::string::npos);
+  EXPECT_NE(cc.find("TaxKernel::kHashJoinProbe"), std::string::npos);
+  EXPECT_NE(cc.find("TunedParamsBegin"), std::string::npos);
+  // Emission must be a pure function of the table.
+  EXPECT_EQ(cc, EmitTunedParamsCc(SelectTunedParams(report)));
+}
+
+TEST(GeomeanSpeedupTest, EmptyCellsYieldOne) {
+  EXPECT_EQ(GeomeanSpeedup({}, TuneRegime::kHwOffEmulated), 1.0);
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,139 @@
+#include "tax/varint_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace limoncello {
+namespace {
+
+SoftPrefetchConfig EnabledConfig() {
+  SoftPrefetchConfig config;
+  config.distance_bytes = 256;
+  config.degree_bytes = 128;
+  config.min_size_bytes = 0;
+  return config;
+}
+
+TEST(VarintCodecTest, SizeOfBoundaryValues) {
+  // Each length-k encoding covers [2^(7(k-1)), 2^(7k) - 1].
+  EXPECT_EQ(VarintSizeOf(0), 1u);
+  EXPECT_EQ(VarintSizeOf(0x7f), 1u);
+  EXPECT_EQ(VarintSizeOf(0x80), 2u);
+  EXPECT_EQ(VarintSizeOf(0x3fff), 2u);
+  EXPECT_EQ(VarintSizeOf(0x4000), 3u);
+  EXPECT_EQ(VarintSizeOf((1ull << 35) - 1), 5u);
+  EXPECT_EQ(VarintSizeOf(1ull << 35), 6u);
+  EXPECT_EQ(VarintSizeOf((1ull << 63) - 1), 9u);
+  EXPECT_EQ(VarintSizeOf(1ull << 63), 10u);
+  EXPECT_EQ(VarintSizeOf(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(VarintCodecTest, RoundTripBoundaryValues) {
+  const std::vector<std::uint64_t> values = {
+      0,
+      1,
+      0x7f,                                       // 1-byte max
+      0x80,                                       // 2-byte min
+      0x3fff,                                     // 2-byte max
+      0x4000,                                     // 3-byte min
+      (1ull << 35) - 1,                           // 5-byte max
+      1ull << 35,                                 // 6-byte min
+      (1ull << 63) - 1,                           // 9-byte max
+      1ull << 63,                                 // 10-byte min
+      std::numeric_limits<std::uint64_t>::max(),  // 10-byte max
+  };
+  std::string encoded;
+  VarintEncodeStream(values.data(), values.size(), &encoded);
+  EXPECT_EQ(encoded.size(), VarintStreamSize(values.data(), values.size()));
+
+  std::vector<std::uint64_t> decoded;
+  ASSERT_TRUE(VarintDecodeStream(encoded, &decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(VarintCodecTest, RoundTripRandomStreamWithPrefetchArms) {
+  Rng rng(0xbeef);
+  std::vector<std::uint64_t> values(5000);
+  for (auto& v : values) v = rng.NextU64() >> rng.NextBounded(64);
+
+  for (const bool prefetch : {false, true}) {
+    const SoftPrefetchConfig config =
+        prefetch ? EnabledConfig() : SoftPrefetchConfig::Disabled();
+    std::string encoded;
+    VarintEncodeStream(values.data(), values.size(), config, &encoded);
+    std::vector<std::uint64_t> decoded;
+    ASSERT_TRUE(VarintDecodeStream(encoded, config, &decoded));
+    EXPECT_EQ(decoded, values) << "prefetch=" << prefetch;
+  }
+}
+
+TEST(VarintCodecTest, EmptyStream) {
+  std::string encoded;
+  VarintEncodeStream(nullptr, 0, &encoded);
+  EXPECT_TRUE(encoded.empty());
+  std::vector<std::uint64_t> decoded = {42};
+  ASSERT_TRUE(VarintDecodeStream(encoded, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(VarintCodecTest, RejectsTruncationAtEveryPosition) {
+  const std::vector<std::uint64_t> values = {
+      0x80, 0x4000, 1ull << 35,
+      std::numeric_limits<std::uint64_t>::max()};
+  std::string encoded;
+  VarintEncodeStream(values.data(), values.size(), &encoded);
+
+  std::vector<std::uint64_t> decoded;
+  for (std::size_t cut = 1; cut < encoded.size(); ++cut) {
+    const std::string_view truncated(encoded.data(), cut);
+    // Only cuts that land mid-varint are malformed; cuts on a value
+    // boundary decode a shorter valid stream.
+    std::size_t boundary = 0;
+    bool on_boundary = false;
+    for (const std::uint64_t v : values) {
+      boundary += VarintSizeOf(v);
+      if (boundary == cut) on_boundary = true;
+    }
+    EXPECT_EQ(VarintDecodeStream(truncated, &decoded), on_boundary)
+        << "cut=" << cut;
+  }
+}
+
+TEST(VarintCodecTest, RejectsOverlongEncodings) {
+  // 11 continuation bytes: no terminator within the 10-byte limit.
+  const std::string too_long(11, static_cast<char>(0x80));
+  std::vector<std::uint64_t> decoded;
+  EXPECT_FALSE(VarintDecodeStream(too_long, &decoded));
+
+  // 10th byte with bits beyond 2^64 (value would overflow).
+  std::string overflow(9, static_cast<char>(0xff));
+  overflow.push_back(0x02);  // bit 65
+  EXPECT_FALSE(VarintDecodeStream(overflow, &decoded));
+
+  // Maximal legal 10-byte encoding still decodes.
+  std::string max_legal(9, static_cast<char>(0xff));
+  max_legal.push_back(0x01);
+  ASSERT_TRUE(VarintDecodeStream(max_legal, &decoded));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(VarintCodecTest, SteadyStateReuseKeepsContents) {
+  // Decoding into a reused vector with stale contents must fully replace
+  // them (the adaptive path reuses buffers).
+  std::vector<std::uint64_t> values = {1, 2, 3};
+  std::string encoded;
+  VarintEncodeStream(values.data(), values.size(), &encoded);
+  std::vector<std::uint64_t> decoded(100, 9999);
+  ASSERT_TRUE(VarintDecodeStream(encoded, &decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+}  // namespace
+}  // namespace limoncello
