@@ -1,0 +1,136 @@
+#include "control/bounded_queue.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+BoundedControlQueue::BoundedControlQueue(const Options& options)
+    : capacity_(options.capacity),
+      watermark_slots_(static_cast<int>(
+          static_cast<double>(options.capacity) *
+          options.backpressure_watermark)) {
+  LIMONCELLO_CHECK_GE(options.capacity, 2);
+  LIMONCELLO_CHECK_GT(options.backpressure_watermark, 0.0);
+  LIMONCELLO_CHECK_LE(options.backpressure_watermark, 1.0);
+  // Both rings are sized to the full budget: either class may, at an
+  // extreme, hold every slot. All allocation happens here, once.
+  telemetry_ring_.resize(static_cast<std::size_t>(capacity_));
+  command_ring_.resize(static_cast<std::size_t>(capacity_));
+}
+
+void BoundedControlQueue::DropOldestTelemetry() {
+  LIMONCELLO_DCHECK(telemetry_count_ > 0);
+  telemetry_head_ = (telemetry_head_ + 1) % capacity_;
+  --telemetry_count_;
+  ++counters_.telemetry_shed;
+}
+
+PushResult BoundedControlQueue::AdmissionResult() {
+  if (telemetry_count_ + command_count_ >= watermark_slots_) {
+    ++counters_.backpressure_signals;
+    return PushResult::kOkBackpressure;
+  }
+  return PushResult::kOk;
+}
+
+// limolint:hot-path — producer side of the ingest path: one bounded
+// critical section copying a frame into a preallocated ring slot. The
+// lock is the queue's designed synchronization point: O(1) work held,
+// no allocation, no IO, no nested locks.
+PushResult BoundedControlQueue::PushTelemetry(
+    const unsigned char* data, std::size_t size,
+    std::uint64_t enqueue_time_ns) {
+  if (data == nullptr || size == 0 || size > kMaxTelemetryFrameBytes) {
+    MutexLock lock(&mu_);  // limolint:allow(hot-path-blocking)
+    ++counters_.telemetry_rejected;
+    return PushResult::kRejected;
+  }
+  MutexLock lock(&mu_);  // limolint:allow(hot-path-blocking)
+  bool shed = false;
+  if (TotalFull()) {
+    if (telemetry_count_ == 0) {
+      // Every slot holds a command; a measurement never evicts one.
+      ++counters_.telemetry_rejected;
+      return PushResult::kRejected;
+    }
+    DropOldestTelemetry();
+    shed = true;
+  }
+  const int tail = (telemetry_head_ + telemetry_count_) % capacity_;
+  ControlMessage& slot = telemetry_ring_[static_cast<std::size_t>(tail)];
+  slot.kind = ControlMessage::Kind::kTelemetryFrame;
+  slot.frame_bytes = static_cast<std::uint32_t>(size);
+  slot.enqueue_time_ns = enqueue_time_ns;
+  std::memcpy(slot.frame.data(), data, size);
+  ++telemetry_count_;
+  ++counters_.telemetry_pushed;
+  if (shed) return PushResult::kShedOldest;
+  return AdmissionResult();
+}
+
+PushResult BoundedControlQueue::PushCommand(
+    const ControlCommand& command, std::uint64_t enqueue_time_ns) {
+  MutexLock lock(&mu_);
+  bool shed = false;
+  if (TotalFull()) {
+    if (telemetry_count_ == 0) {
+      // Commands already own the whole budget: the consumer is gone.
+      ++counters_.command_overflows;
+      return PushResult::kRejected;
+    }
+    // The policy's core clause: oldest telemetry dies before any
+    // command is refused.
+    DropOldestTelemetry();
+    shed = true;
+  }
+  const int tail = (command_head_ + command_count_) % capacity_;
+  ControlMessage& slot = command_ring_[static_cast<std::size_t>(tail)];
+  slot.kind = ControlMessage::Kind::kCommand;
+  slot.frame_bytes = 0;
+  slot.enqueue_time_ns = enqueue_time_ns;
+  slot.command = command;
+  ++command_count_;
+  ++counters_.commands_pushed;
+  if (shed) return PushResult::kShedOldest;
+  return AdmissionResult();
+}
+
+// limolint:hot-path — consumer side: one slot copy out under the same
+// bounded critical section as the pushes.
+bool BoundedControlQueue::Pop(ControlMessage* out) {
+  MutexLock lock(&mu_);  // limolint:allow(hot-path-blocking)
+  if (command_count_ > 0) {
+    *out = command_ring_[static_cast<std::size_t>(command_head_)];
+    command_head_ = (command_head_ + 1) % capacity_;
+    --command_count_;
+    ++counters_.commands_popped;
+    return true;
+  }
+  if (telemetry_count_ > 0) {
+    *out = telemetry_ring_[static_cast<std::size_t>(telemetry_head_)];
+    telemetry_head_ = (telemetry_head_ + 1) % capacity_;
+    --telemetry_count_;
+    ++counters_.telemetry_popped;
+    return true;
+  }
+  return false;
+}
+
+int BoundedControlQueue::Depth() {
+  MutexLock lock(&mu_);
+  return telemetry_count_ + command_count_;
+}
+
+bool BoundedControlQueue::UnderBackpressure() {
+  MutexLock lock(&mu_);
+  return telemetry_count_ + command_count_ >= watermark_slots_;
+}
+
+BoundedControlQueue::Counters BoundedControlQueue::SnapshotCounters() {
+  MutexLock lock(&mu_);
+  return counters_;
+}
+
+}  // namespace limoncello

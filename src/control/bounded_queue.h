@@ -1,0 +1,160 @@
+// Fixed-capacity MPSC ingest queue with backpressure and load-shedding.
+//
+// The control daemon's front door: transport threads (many producers)
+// push raw telemetry frames and actuation/operator commands; one drain
+// loop per shard (single consumer) pops them. Capacity is fixed at
+// construction — the queue never allocates after its rings are built, so
+// a telemetry storm translates into shed samples and a backpressure
+// signal, never into unbounded memory.
+//
+// Shed policy (priority-aware, oldest-first):
+//   * Telemetry and commands share one slot budget. When the budget is
+//     exhausted, the OLDEST queued telemetry frame is dropped to make
+//     room — for telemetry pushes because newer samples supersede older
+//     ones, and for command pushes because a command (an actuation or
+//     operator decision) must never lose to a measurement.
+//   * A command is rejected only when the queue holds nothing but
+//     commands — at that point the consumer is dead or the capacity is
+//     misconfigured, and the overflow counter says so.
+//   * Every shed and overflow is counted (saturating); nothing is
+//     dropped silently.
+//
+// Backpressure: pushes that land the queue at or above the watermark
+// return kOkBackpressure — accepted, but the producer should slow down.
+// Producers poll under_backpressure() for the same signal.
+//
+// Synchronization is one Mutex with clang thread-safety annotations;
+// critical sections are O(1) slot copies (no allocation, no IO, no
+// nested locks), so the lock is a rendezvous, not a bottleneck: the
+// bench sustains >1M samples/sec through it (BENCH_control.json).
+#ifndef LIMONCELLO_CONTROL_BOUNDED_QUEUE_H_
+#define LIMONCELLO_CONTROL_BOUNDED_QUEUE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "control/telemetry_batch.h"
+#include "stats/saturating.h"
+#include "util/mutex.h"
+
+namespace limoncello {
+
+// Operator / actuation commands routed through the same queue as
+// telemetry (so the shed policy can rank them). kForce* pins an
+// endpoint's prefetcher state regardless of its FSM; kClearForce returns
+// the endpoint to closed-loop control.
+enum class CommandKind : std::uint8_t {
+  kForceEnable,
+  kForceDisable,
+  kClearForce,
+};
+
+struct ControlCommand {
+  std::uint32_t endpoint_id = 0;
+  CommandKind kind = CommandKind::kClearForce;
+};
+
+// One queue slot. Telemetry rides as raw wire bytes — the queue is
+// transport, not parser; frames are validated by the consumer at decode
+// time (after any shedding, so a storm of garbage frames costs pushes a
+// memcpy, not a CRC walk under the lock).
+struct ControlMessage {
+  enum class Kind : std::uint8_t { kTelemetryFrame, kCommand };
+
+  Kind kind = Kind::kTelemetryFrame;
+  std::uint32_t frame_bytes = 0;
+  // Producer-stamped enqueue time for end-to-end latency accounting
+  // (bench clock; plumbed through untouched, never read by the queue).
+  std::uint64_t enqueue_time_ns = 0;
+  ControlCommand command;
+  std::array<unsigned char, kMaxTelemetryFrameBytes> frame;
+};
+
+enum class PushResult {
+  kOk,              // accepted, queue healthy
+  kOkBackpressure,  // accepted, but depth is at/above the watermark
+  kShedOldest,      // accepted by dropping the oldest queued telemetry
+  kRejected,        // dropped: no telemetry left to shed (or bad input)
+};
+
+class BoundedControlQueue {
+ public:
+  struct Options {
+    // Total slots shared by telemetry and commands. Must be >= 2.
+    int capacity = 1024;
+    // Depth fraction at which pushes start signaling backpressure.
+    double backpressure_watermark = 0.75;
+  };
+
+  struct Counters {
+    SatCounter telemetry_pushed;      // accepted telemetry frames
+    SatCounter commands_pushed;       // accepted commands
+    SatCounter telemetry_shed;        // oldest-telemetry drops
+    SatCounter telemetry_rejected;    // telemetry pushes refused outright
+    SatCounter command_overflows;     // commands refused (queue all-command)
+    SatCounter backpressure_signals;  // pushes returning kOkBackpressure
+    SatCounter telemetry_popped;
+    SatCounter commands_popped;
+
+    bool operator==(const Counters&) const = default;
+  };
+
+  explicit BoundedControlQueue(const Options& options);
+
+  BoundedControlQueue(const BoundedControlQueue&) = delete;
+  BoundedControlQueue& operator=(const BoundedControlQueue&) = delete;
+
+  // Copies `size` wire bytes into a slot. Rejects frames larger than a
+  // slot (kMaxTelemetryFrameBytes) or empty — counted, never silent.
+  PushResult PushTelemetry(const unsigned char* data, std::size_t size,
+                           std::uint64_t enqueue_time_ns)
+      LIMONCELLO_EXCLUDES(mu_);
+
+  PushResult PushCommand(const ControlCommand& command,
+                         std::uint64_t enqueue_time_ns)
+      LIMONCELLO_EXCLUDES(mu_);
+
+  // Pops the next message into *out: all queued commands drain before
+  // any telemetry (actuation outranks measurement at the consumer too);
+  // within a class, FIFO. Returns false when the queue is empty.
+  bool Pop(ControlMessage* out) LIMONCELLO_EXCLUDES(mu_);
+
+  // Total queued messages (telemetry + commands).
+  int Depth() LIMONCELLO_EXCLUDES(mu_);
+  bool UnderBackpressure() LIMONCELLO_EXCLUDES(mu_);
+
+  // Consumer-side counter snapshot. Racing pushes land in either the
+  // snapshot or the next one — each event exactly once.
+  Counters SnapshotCounters() LIMONCELLO_EXCLUDES(mu_);
+
+  int capacity() const { return capacity_; }
+  int watermark_slots() const { return watermark_slots_; }
+
+ private:
+  // Ring helpers; all require mu_.
+  bool TotalFull() const LIMONCELLO_REQUIRES(mu_) {
+    return telemetry_count_ + command_count_ == capacity_;
+  }
+  void DropOldestTelemetry() LIMONCELLO_REQUIRES(mu_);
+  PushResult AdmissionResult() LIMONCELLO_REQUIRES(mu_);
+
+  const int capacity_;
+  const int watermark_slots_;
+
+  Mutex mu_;
+  // Two FIFO rings over fixed storage, sharing the capacity_ budget.
+  // Separate rings make "drop oldest telemetry, keep every command"
+  // an O(1) head bump instead of a compaction.
+  std::vector<ControlMessage> telemetry_ring_ LIMONCELLO_GUARDED_BY(mu_);
+  std::vector<ControlMessage> command_ring_ LIMONCELLO_GUARDED_BY(mu_);
+  int telemetry_head_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+  int telemetry_count_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+  int command_head_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+  int command_count_ LIMONCELLO_GUARDED_BY(mu_) = 0;
+  Counters counters_ LIMONCELLO_GUARDED_BY(mu_);
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CONTROL_BOUNDED_QUEUE_H_

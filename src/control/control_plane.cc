@@ -1,0 +1,473 @@
+#include "control/control_plane.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/check.h"
+#include "util/wire.h"
+
+namespace limoncello {
+
+void IngestLatencyHistogram::Record(std::uint64_t latency_ns) {
+  const int bucket =
+      latency_ns == 0 ? 0 : 63 - std::countl_zero(latency_ns);
+  ++buckets_[static_cast<std::size_t>(bucket)];
+  ++count_;
+}
+
+void IngestLatencyHistogram::Merge(const IngestLatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)].value();
+  }
+  count_ += other.count_.value();
+}
+
+std::uint64_t IngestLatencyHistogram::ApproxQuantileNs(double q) const {
+  if (count_.value() == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(count_.value() - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].value();
+    if (seen > rank) {
+      return i >= 63 ? ~0ULL : (2ULL << i) - 1;  // bucket upper edge
+    }
+  }
+  return ~0ULL;
+}
+
+namespace {
+
+// Deterministic endpoint -> shard hash (Fibonacci mix). Any fixed
+// function works; mixing avoids pinning consecutive ids to one shard.
+std::uint32_t MixEndpointId(std::uint32_t endpoint_id) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(endpoint_id) * 0x9E3779B97F4A7C15ULL) >>
+      33);
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(const ControlPlaneOptions& options,
+                           ActuateFn actuate)
+    : options_(options), actuate_(std::move(actuate)) {
+  LIMONCELLO_CHECK_GE(options_.num_endpoints, 1);
+  LIMONCELLO_CHECK_GE(options_.num_shards, 1);
+  LIMONCELLO_CHECK(options_.config.Valid());
+  LIMONCELLO_CHECK(actuate_ != nullptr);
+  shards_.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue));
+  }
+  // Partition endpoints across shards once; every per-endpoint slot is
+  // allocated here so the ingest/drain paths never grow a vector.
+  slot_of_.resize(static_cast<std::size_t>(options_.num_endpoints));
+  for (std::uint32_t id = 0;
+       id < static_cast<std::uint32_t>(options_.num_endpoints); ++id) {
+    Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(id))];
+    MutexLock lock(&shard.mu);
+    slot_of_[id] = static_cast<std::uint32_t>(shard.endpoints.size());
+    shard.endpoints.emplace_back(options_.config);
+    shard.endpoints.back().endpoint_id = id;
+  }
+}
+
+int ControlPlane::ShardOf(std::uint32_t endpoint_id) const {
+  return static_cast<int>(MixEndpointId(endpoint_id) %
+                          static_cast<std::uint32_t>(options_.num_shards));
+}
+
+// limolint:hot-path — producer side: one endpoint-id peek plus one
+// queue push; no decode, no shard-state lock, no allocation.
+PushResult ControlPlane::IngestFrame(const unsigned char* data,
+                                     std::size_t size,
+                                     std::uint64_t enqueue_time_ns) {
+  // Route by a fixed-offset peek at the payload's endpoint id. A frame
+  // too short to peek goes to shard 0, where decode rejects and counts
+  // it; a corrupt id mis-routes a frame that decode will reject anyway
+  // (the CRC protects the id, so a *valid* frame never mis-routes).
+  std::uint32_t endpoint_id = 0;
+  if (data != nullptr && size >= kTelemetryBatchHeaderBytes + 4) {
+    endpoint_id = LoadU32(data + kTelemetryBatchHeaderBytes);
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(endpoint_id))];
+  return shard.queue.PushTelemetry(data, size, enqueue_time_ns);
+}
+
+PushResult ControlPlane::SubmitCommand(const ControlCommand& command,
+                                       std::uint64_t enqueue_time_ns) {
+  Shard& shard =
+      *shards_[static_cast<std::size_t>(ShardOf(command.endpoint_id))];
+  return shard.queue.PushCommand(command, enqueue_time_ns);
+}
+
+ControlPlane::EndpointState& ControlPlane::StateFor(
+    Shard& shard, std::uint32_t endpoint_id) {
+  LIMONCELLO_DCHECK(endpoint_id <
+                    static_cast<std::uint32_t>(options_.num_endpoints));
+  return shard.endpoints[slot_of_[endpoint_id]];
+}
+
+void ControlPlane::ApplyIntent(Shard& shard, EndpointState& endpoint) {
+  if (endpoint.hardware_enabled == endpoint.intent_enabled) {
+    endpoint.retry_pending = false;
+    return;
+  }
+  const bool enable = endpoint.intent_enabled;
+  if (actuate_(endpoint.endpoint_id, enable)) {
+    endpoint.hardware_enabled = enable;
+    endpoint.retry_pending = false;
+    endpoint.retry_delay_ticks = 1;
+    if (enable) {
+      ++shard.stats.enables;
+    } else {
+      ++shard.stats.disables;
+    }
+    endpoint.journal_dirty = true;
+    return;
+  }
+  ++shard.stats.actuation_failures;
+  if (endpoint.retry_pending && endpoint.retry_enable == enable) {
+    // A retry just failed: double the backoff up to the cap.
+    endpoint.retry_delay_ticks =
+        std::min(endpoint.retry_delay_ticks * 2,
+                 options_.config.retry_backoff_cap_ticks);
+  } else {
+    endpoint.retry_delay_ticks = 1;
+  }
+  endpoint.retry_pending = true;
+  endpoint.retry_enable = enable;
+  endpoint.retry_wait_ticks = endpoint.retry_delay_ticks;
+}
+
+void ControlPlane::ApplyBatch(Shard& shard, const TelemetryBatch& batch,
+                              std::uint64_t enqueue_time_ns,
+                              std::uint64_t now_ns) {
+  if (batch.endpoint_id >=
+      static_cast<std::uint32_t>(options_.num_endpoints)) {
+    ++shard.stats.unknown_endpoints;
+    return;
+  }
+  EndpointState& endpoint = StateFor(shard, batch.endpoint_id);
+  // At-most-once: a duplicate, stale, or reordered-behind frame carries
+  // a sequence number the endpoint has already consumed. Rejecting it
+  // here is what makes transport duplication/replay harmless.
+  if (endpoint.have_sequence && batch.sequence <= endpoint.last_sequence) {
+    ++shard.stats.sequence_rejects;
+    return;
+  }
+  endpoint.last_sequence = batch.sequence;
+  endpoint.have_sequence = true;
+  endpoint.last_update_tick = tick_;
+  endpoint.failsafe_active = false;
+  for (std::uint32_t i = 0; i < batch.num_samples; ++i) {
+    const ControllerAction action =
+        endpoint.controller.Tick(batch.utilization[i]);
+    ++shard.stats.samples_accepted;
+    if (action == ControllerAction::kNone) continue;
+    const bool enable = action == ControllerAction::kEnablePrefetchers;
+    if (endpoint.force_active) {
+      // The FSM keeps tracking utilization while forced, but the pin
+      // owns the intent until kClearForce.
+      continue;
+    }
+    endpoint.intent_enabled = enable;
+    endpoint.journal_dirty = true;
+    ApplyIntent(shard, endpoint);
+  }
+  if (now_ns > enqueue_time_ns) {
+    shard.latency.Record(now_ns - enqueue_time_ns);
+  }
+}
+
+void ControlPlane::ApplyCommand(Shard& shard,
+                                const ControlCommand& command) {
+  if (command.endpoint_id >=
+      static_cast<std::uint32_t>(options_.num_endpoints)) {
+    ++shard.stats.unknown_endpoints;
+    return;
+  }
+  EndpointState& endpoint = StateFor(shard, command.endpoint_id);
+  switch (command.kind) {
+    case CommandKind::kForceEnable:
+      endpoint.force_active = true;
+      endpoint.force_enabled = true;
+      endpoint.intent_enabled = true;
+      break;
+    case CommandKind::kForceDisable:
+      endpoint.force_active = true;
+      endpoint.force_enabled = false;
+      endpoint.intent_enabled = false;
+      break;
+    case CommandKind::kClearForce:
+      endpoint.force_active = false;
+      // Hand intent back to the FSM's current opinion.
+      endpoint.intent_enabled =
+          endpoint.controller.PrefetchersShouldBeEnabled();
+      break;
+  }
+  ++shard.stats.commands_applied;
+  endpoint.journal_dirty = true;
+  ApplyIntent(shard, endpoint);
+}
+
+// limolint:hot-path — consumer side: pop, decode, FSM tick, actuate.
+// Bounded stack scratch; zero heap allocation (gated by
+// bench_control_plane --gate).
+int ControlPlane::DrainShard(int shard_index, std::uint64_t now_ns) {
+  LIMONCELLO_DCHECK(shard_index >= 0 &&
+                    shard_index < options_.num_shards);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  ControlMessage message;
+  TelemetryBatch batch;
+  int consumed = 0;
+  MutexLock lock(&shard.mu);  // limolint:allow(hot-path-blocking)
+  while (shard.queue.Pop(&message)) {
+    ++consumed;
+    if (message.kind == ControlMessage::Kind::kCommand) {
+      ApplyCommand(shard, message.command);
+      continue;
+    }
+    const BatchDecodeStatus status = DecodeTelemetryBatch(
+        message.frame.data(), message.frame_bytes, &batch);
+    if (status != BatchDecodeStatus::kOk) {
+      ++shard.stats.decode_failures;
+      continue;
+    }
+    ++shard.stats.frames_decoded;
+    ApplyBatch(shard, batch, message.enqueue_time_ns, now_ns);
+  }
+  return consumed;
+}
+
+int ControlPlane::DrainAll(std::uint64_t now_ns) {
+  int consumed = 0;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    consumed += DrainShard(s, now_ns);
+  }
+  return consumed;
+}
+
+void ControlPlane::AdvanceTick() {
+  ++tick_;
+  const std::uint64_t stale_after =
+      static_cast<std::uint64_t>(options_.config.max_missed_samples);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(&shard.mu);
+    for (EndpointState& endpoint : shard.endpoints) {
+      // Retry countdown first: a due retry may fix the hardware before
+      // the staleness check piles a fail-safe on top.
+      if (endpoint.retry_pending) {
+        if (endpoint.retry_wait_ticks > 0) {
+          --endpoint.retry_wait_ticks;
+          ++shard.stats.retry_backoff_skips;
+        }
+        if (endpoint.retry_wait_ticks == 0) {
+          ApplyIntent(shard, endpoint);
+        }
+      }
+      // Staleness fail-safe: an endpoint the plane has not heard from
+      // for max_missed_samples ticks gets the hardware default back —
+      // prefetchers ON — and a reset FSM, exactly like the single-
+      // socket daemon's missing-telemetry path. Operator-forced
+      // endpoints are exempt: a force pin is an explicit decision, not
+      // a decision starved of data.
+      if (!endpoint.force_active && !endpoint.failsafe_active &&
+          tick_ - endpoint.last_update_tick > stale_after) {
+        endpoint.failsafe_active = true;
+        endpoint.controller.Reset();
+        endpoint.intent_enabled = true;
+        endpoint.journal_dirty = true;
+        ++shard.stats.stale_endpoint_failsafes;
+        ApplyIntent(shard, endpoint);
+      }
+    }
+  }
+}
+
+EndpointPersistentState ControlPlane::ExportEndpoint(
+    std::uint32_t endpoint_id) {
+  LIMONCELLO_CHECK(endpoint_id <
+                   static_cast<std::uint32_t>(options_.num_endpoints));
+  Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(endpoint_id))];
+  MutexLock lock(&shard.mu);
+  const EndpointState& endpoint = StateFor(shard, endpoint_id);
+  EndpointPersistentState record;
+  record.endpoint_id = endpoint_id;
+  record.controller_state = endpoint.controller.state();
+  record.timer_ns = endpoint.controller.timer_ns();
+  record.toggle_count = endpoint.controller.toggle_count();
+  record.intent_enabled = endpoint.intent_enabled;
+  record.force_active = endpoint.force_active;
+  record.force_enabled = endpoint.force_enabled;
+  record.last_sequence = endpoint.last_sequence;
+  record.have_sequence = endpoint.have_sequence;
+  record.last_update_tick = endpoint.last_update_tick;
+  return record;
+}
+
+std::vector<EndpointPersistentState> ControlPlane::ExportAllEndpoints() {
+  std::vector<EndpointPersistentState> records;
+  records.reserve(static_cast<std::size_t>(options_.num_endpoints));
+  for (std::uint32_t id = 0;
+       id < static_cast<std::uint32_t>(options_.num_endpoints); ++id) {
+    records.push_back(ExportEndpoint(id));
+  }
+  return records;
+}
+
+void ControlPlane::CollectDirtyEndpoints(
+    std::vector<EndpointPersistentState>* out) {
+  for (std::uint32_t id = 0;
+       id < static_cast<std::uint32_t>(options_.num_endpoints); ++id) {
+    Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(id))];
+    bool dirty = false;
+    {
+      MutexLock lock(&shard.mu);
+      EndpointState& endpoint = StateFor(shard, id);
+      dirty = endpoint.journal_dirty;
+      endpoint.journal_dirty = false;
+    }
+    if (dirty) out->push_back(ExportEndpoint(id));
+  }
+}
+
+int ControlPlane::RestoreEndpoints(
+    const std::vector<EndpointPersistentState>& records) {
+  int adopted = 0;
+  for (const EndpointPersistentState& record : records) {
+    if (record.endpoint_id >=
+        static_cast<std::uint32_t>(options_.num_endpoints)) {
+      continue;
+    }
+    Shard& shard =
+        *shards_[static_cast<std::size_t>(ShardOf(record.endpoint_id))];
+    MutexLock lock(&shard.mu);
+    EndpointState& endpoint = StateFor(shard, record.endpoint_id);
+    // The FSM validates its own snapshot (enum range, timer inside the
+    // sustain window); a violation leaves this endpoint cold-started.
+    if (!endpoint.controller.RestoreState(record.controller_state,
+                                          record.timer_ns,
+                                          record.toggle_count)) {
+      continue;
+    }
+    // A forced record must pin the same intent it claims.
+    if (record.force_active &&
+        record.force_enabled != record.intent_enabled) {
+      endpoint.controller.Reset();
+      continue;
+    }
+    endpoint.intent_enabled = record.intent_enabled;
+    endpoint.force_active = record.force_active;
+    endpoint.force_enabled = record.force_enabled;
+    endpoint.last_sequence = record.last_sequence;
+    endpoint.have_sequence = record.have_sequence;
+    // Restart resets the staleness clock: the endpoint gets a full
+    // window to be heard from before the fail-safe fires.
+    endpoint.last_update_tick = tick_;
+    endpoint.failsafe_active = false;
+    ++shard.stats.warm_restores;
+    ++adopted;
+    // Journal intent wins over whatever the hardware drifted to while
+    // the plane was down: re-assert unconditionally.
+    endpoint.hardware_enabled = !endpoint.intent_enabled;
+    ApplyIntent(shard, endpoint);
+  }
+  return adopted;
+}
+
+ControlPlane::Stats ControlPlane::SnapshotStats() {
+  Stats total;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const BoundedControlQueue::Counters queue =
+        shard.queue.SnapshotCounters();
+    MutexLock lock(&shard.mu);
+    total.frames_ingested += queue.telemetry_pushed.value();
+    total.frames_shed += queue.telemetry_shed.value();
+    total.frames_rejected += queue.telemetry_rejected.value();
+    total.commands_ingested += queue.commands_pushed.value();
+    total.command_overflows += queue.command_overflows.value();
+    total.backpressure_signals += queue.backpressure_signals.value();
+    const Stats& s = shard.stats;
+    total.frames_decoded += s.frames_decoded.value();
+    total.decode_failures += s.decode_failures.value();
+    total.sequence_rejects += s.sequence_rejects.value();
+    total.unknown_endpoints += s.unknown_endpoints.value();
+    total.samples_accepted += s.samples_accepted.value();
+    total.disables += s.disables.value();
+    total.enables += s.enables.value();
+    total.actuation_failures += s.actuation_failures.value();
+    total.retry_backoff_skips += s.retry_backoff_skips.value();
+    total.stale_endpoint_failsafes += s.stale_endpoint_failsafes.value();
+    total.commands_applied += s.commands_applied.value();
+    total.warm_restores += s.warm_restores.value();
+  }
+  return total;
+}
+
+IngestLatencyHistogram ControlPlane::SnapshotLatency() {
+  IngestLatencyHistogram total;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(&shard.mu);
+    total.Merge(shard.latency);
+  }
+  return total;
+}
+
+BoundedControlQueue::Counters ControlPlane::SnapshotQueueCounters() {
+  BoundedControlQueue::Counters total;
+  for (auto& shard_ptr : shards_) {
+    const BoundedControlQueue::Counters c =
+        shard_ptr->queue.SnapshotCounters();
+    total.telemetry_pushed += c.telemetry_pushed.value();
+    total.commands_pushed += c.commands_pushed.value();
+    total.telemetry_shed += c.telemetry_shed.value();
+    total.telemetry_rejected += c.telemetry_rejected.value();
+    total.command_overflows += c.command_overflows.value();
+    total.backpressure_signals += c.backpressure_signals.value();
+    total.telemetry_popped += c.telemetry_popped.value();
+    total.commands_popped += c.commands_popped.value();
+  }
+  return total;
+}
+
+bool ControlPlane::EndpointIntentEnabled(std::uint32_t endpoint_id) {
+  LIMONCELLO_CHECK(endpoint_id <
+                   static_cast<std::uint32_t>(options_.num_endpoints));
+  Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(endpoint_id))];
+  MutexLock lock(&shard.mu);
+  return StateFor(shard, endpoint_id).intent_enabled;
+}
+
+ControllerState ControlPlane::EndpointControllerState(
+    std::uint32_t endpoint_id) {
+  LIMONCELLO_CHECK(endpoint_id <
+                   static_cast<std::uint32_t>(options_.num_endpoints));
+  Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(endpoint_id))];
+  MutexLock lock(&shard.mu);
+  return StateFor(shard, endpoint_id).controller.state();
+}
+
+bool ControlPlane::EndpointInFailsafe(std::uint32_t endpoint_id) {
+  LIMONCELLO_CHECK(endpoint_id <
+                   static_cast<std::uint32_t>(options_.num_endpoints));
+  Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(endpoint_id))];
+  MutexLock lock(&shard.mu);
+  return StateFor(shard, endpoint_id).failsafe_active;
+}
+
+bool ControlPlane::EndpointForced(std::uint32_t endpoint_id) {
+  LIMONCELLO_CHECK(endpoint_id <
+                   static_cast<std::uint32_t>(options_.num_endpoints));
+  Shard& shard = *shards_[static_cast<std::size_t>(ShardOf(endpoint_id))];
+  MutexLock lock(&shard.mu);
+  return StateFor(shard, endpoint_id).force_active;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,67 @@
+#include "control/endpoint_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+SimulatedEndpoint::SimulatedEndpoint(const Options& options, Rng rng)
+    : options_(options), rng_(rng) {
+  LIMONCELLO_CHECK_GE(options_.samples_per_batch, 1);
+  LIMONCELLO_CHECK_LE(options_.samples_per_batch,
+                      static_cast<int>(TelemetryBatch::kMaxSamples));
+  LIMONCELLO_CHECK_GT(options_.diurnal_period_ticks, 0);
+  pending_.endpoint_id = options_.endpoint_id;
+  pending_.num_samples = 0;
+}
+
+double SimulatedEndpoint::NextUtilization() {
+  if (burst_ticks_left_ == 0 && rng_.NextBernoulli(options_.burst_rate)) {
+    burst_ticks_left_ = options_.burst_ticks;
+  }
+  double u;
+  if (burst_ticks_left_ > 0) {
+    --burst_ticks_left_;
+    u = options_.burst_utilization;
+  } else {
+    const double phase =
+        2.0 * std::numbers::pi *
+        static_cast<double>(tick_ % static_cast<std::uint64_t>(
+                                        options_.diurnal_period_ticks)) /
+        static_cast<double>(options_.diurnal_period_ticks);
+    u = options_.base_utilization +
+        options_.diurnal_amplitude * std::sin(phase);
+  }
+  u += rng_.NextDouble(-options_.jitter, options_.jitter);
+  return std::clamp(u, 0.0, kMaxPlausibleBatchUtilization);
+}
+
+std::size_t SimulatedEndpoint::Tick(unsigned char* out) {
+  if (pending_.num_samples == 0) {
+    pending_.base_tick = static_cast<std::uint32_t>(tick_);
+  }
+  pending_.utilization[pending_.num_samples] = NextUtilization();
+  ++pending_.num_samples;
+  ++tick_;
+  if (pending_.num_samples <
+      static_cast<std::uint32_t>(options_.samples_per_batch)) {
+    return 0;
+  }
+  pending_.sequence = sequence_++;
+  const std::size_t size = EncodeTelemetryBatch(pending_, out);
+  LIMONCELLO_DCHECK(size > 0);
+  pending_.num_samples = 0;
+  ++batches_exported_;
+  return size;
+}
+
+bool SimulatedEndpoint::Actuate(bool enable) {
+  if (options_.actuation_faulty) return false;
+  prefetchers_enabled_ = enable;
+  return true;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,79 @@
+// Simulated telemetry endpoints for control-plane experiments.
+//
+// A SimulatedEndpoint is the machine-side half of the control plane: it
+// produces one utilization sample per tick (diurnal swell + Poisson
+// bursts + jitter, all from a forked deterministic Rng), accumulates
+// samples into TelemetryBatch frames, and plays the actuation target —
+// the plane's ActuateFn lands on set_prefetchers_enabled(), optionally
+// failing to exercise the retry path.
+//
+// Determinism: an endpoint's sample stream is a pure function of its
+// Options and the Rng it was constructed with, so chaos experiments
+// replay bit-for-bit.
+#ifndef LIMONCELLO_CONTROL_ENDPOINT_SIM_H_
+#define LIMONCELLO_CONTROL_ENDPOINT_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "control/telemetry_batch.h"
+#include "util/rng.h"
+
+namespace limoncello {
+
+class SimulatedEndpoint {
+ public:
+  struct Options {
+    std::uint32_t endpoint_id = 0;
+    // Samples accumulated before a frame is exported. [1, kMaxSamples].
+    int samples_per_batch = 8;
+    // Utilization model (fractions of bandwidth saturation).
+    double base_utilization = 0.45;
+    double diurnal_amplitude = 0.25;
+    int diurnal_period_ticks = 512;
+    double burst_rate = 0.01;  // chance per tick that a burst starts
+    int burst_ticks = 32;
+    double burst_utilization = 0.95;
+    double jitter = 0.02;  // uniform +/- noise (keeps samples non-stale)
+    // Every actuation fails while this is set (chaos hook).
+    bool actuation_faulty = false;
+  };
+
+  SimulatedEndpoint(const Options& options, Rng rng);
+
+  // Advances one tick. When the tick completes a batch, encodes it into
+  // `out` (capacity >= kMaxTelemetryFrameBytes) and returns the frame
+  // size; otherwise returns 0.
+  std::size_t Tick(unsigned char* out);
+
+  // Actuation target: returns false (failure) while actuation_faulty.
+  bool Actuate(bool enable);
+
+  bool prefetchers_enabled() const { return prefetchers_enabled_; }
+  void set_prefetchers_enabled(bool enabled) {
+    prefetchers_enabled_ = enabled;
+  }
+  void set_actuation_faulty(bool faulty) {
+    options_.actuation_faulty = faulty;
+  }
+
+  std::uint64_t ticks() const { return tick_; }
+  std::uint64_t batches_exported() const { return batches_exported_; }
+  std::uint64_t next_sequence() const { return sequence_; }
+
+ private:
+  double NextUtilization();
+
+  Options options_;
+  Rng rng_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t batches_exported_ = 0;
+  int burst_ticks_left_ = 0;
+  bool prefetchers_enabled_ = true;
+  TelemetryBatch pending_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_CONTROL_ENDPOINT_SIM_H_

@@ -1,0 +1,125 @@
+#include "control/telemetry_batch.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/wire.h"
+
+namespace limoncello {
+
+const char* BatchDecodeStatusName(BatchDecodeStatus status) {
+  switch (status) {
+    case BatchDecodeStatus::kOk:
+      return "ok";
+    case BatchDecodeStatus::kTruncated:
+      return "truncated";
+    case BatchDecodeStatus::kBadMagic:
+      return "bad_magic";
+    case BatchDecodeStatus::kBadVersion:
+      return "bad_version";
+    case BatchDecodeStatus::kBadLength:
+      return "bad_length";
+    case BatchDecodeStatus::kBadCrc:
+      return "bad_crc";
+    case BatchDecodeStatus::kBadSampleCount:
+      return "bad_sample_count";
+    case BatchDecodeStatus::kInvalidSample:
+      return "invalid_sample";
+  }
+  return "invalid";
+}
+
+// limolint:hot-path — exporter-side encode: pure byte stores into a
+// caller-provided buffer, one frame per batch window.
+std::size_t EncodeTelemetryBatch(const TelemetryBatch& batch,
+                                 unsigned char* out) {
+  if (batch.num_samples < 1 ||
+      batch.num_samples > TelemetryBatch::kMaxSamples) {
+    return 0;
+  }
+  const std::size_t payload_bytes =
+      kTelemetryBatchFixedPayloadBytes + 8 * batch.num_samples;
+  StoreU32(out, kTelemetryBatchMagic);
+  StoreU32(out + 4, kTelemetryBatchVersion);
+  StoreU32(out + 8, static_cast<std::uint32_t>(payload_bytes));
+  unsigned char* p = out + kTelemetryBatchHeaderBytes;
+  StoreU32(p, batch.endpoint_id);
+  StoreU64(p + 4, batch.sequence);
+  StoreU32(p + 12, batch.base_tick);
+  StoreU32(p + 16, batch.num_samples);
+  for (std::uint32_t i = 0; i < batch.num_samples; ++i) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(double));
+    std::memcpy(&bits, &batch.utilization[i], sizeof(bits));
+    StoreU64(p + kTelemetryBatchFixedPayloadBytes + 8 * i, bits);
+  }
+  // CRC covers version + size + payload; the magic is frame sync, not
+  // data (same convention as the state journal).
+  const std::uint32_t crc = Crc32(out + 4, 8 + payload_bytes);
+  StoreU32(out + kTelemetryBatchHeaderBytes + payload_bytes, crc);
+  return TelemetryFrameBytes(batch.num_samples);
+}
+
+// limolint:hot-path — the ingest trust boundary: every frame the
+// transport delivers runs through here before any byte reaches
+// controller state. Pure reads of the input buffer; never allocates.
+BatchDecodeStatus DecodeTelemetryBatch(const unsigned char* data,
+                                       std::size_t size,
+                                       TelemetryBatch* out) {
+  if (size < kTelemetryBatchHeaderBytes) {
+    return BatchDecodeStatus::kTruncated;
+  }
+  if (LoadU32(data) != kTelemetryBatchMagic) {
+    return BatchDecodeStatus::kBadMagic;
+  }
+  if (LoadU32(data + 4) != kTelemetryBatchVersion) {
+    return BatchDecodeStatus::kBadVersion;
+  }
+  const std::uint32_t payload_bytes = LoadU32(data + 8);
+  // Bound the size field before using it for anything: a corrupted
+  // length must not index past the buffer or conjure a giant frame.
+  if (payload_bytes < kTelemetryBatchFixedPayloadBytes + 8 ||
+      payload_bytes > kTelemetryBatchFixedPayloadBytes +
+                          8 * TelemetryBatch::kMaxSamples) {
+    return BatchDecodeStatus::kBadLength;
+  }
+  if (size < kTelemetryBatchHeaderBytes + payload_bytes + 4) {
+    return BatchDecodeStatus::kTruncated;
+  }
+  const std::uint32_t crc = Crc32(data + 4, 8 + payload_bytes);
+  if (crc != LoadU32(data + kTelemetryBatchHeaderBytes + payload_bytes)) {
+    return BatchDecodeStatus::kBadCrc;
+  }
+  const unsigned char* p = data + kTelemetryBatchHeaderBytes;
+  const std::uint32_t num_samples = LoadU32(p + 16);
+  if (num_samples < 1 || num_samples > TelemetryBatch::kMaxSamples) {
+    return BatchDecodeStatus::kBadSampleCount;
+  }
+  // The CRC already vouched for the bytes; this ties the two redundant
+  // length encodings (size field vs sample count) together.
+  if (payload_bytes !=
+      kTelemetryBatchFixedPayloadBytes + 8 * num_samples) {
+    return BatchDecodeStatus::kBadLength;
+  }
+  out->endpoint_id = LoadU32(p);
+  out->sequence = LoadU64(p + 4);
+  out->base_tick = LoadU32(p + 12);
+  out->num_samples = num_samples;
+  for (std::uint32_t i = 0; i < num_samples; ++i) {
+    const std::uint64_t bits =
+        LoadU64(p + kTelemetryBatchFixedPayloadBytes + 8 * i);
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    // Value validation is part of the trust boundary: a CRC-clean frame
+    // from a buggy exporter must not feed NaN into an FSM.
+    if (!std::isfinite(value) || value < 0.0 ||
+        value > kMaxPlausibleBatchUtilization) {
+      return BatchDecodeStatus::kInvalidSample;
+    }
+    out->utilization[i] = value;
+  }
+  return BatchDecodeStatus::kOk;
+}
+
+}  // namespace limoncello

@@ -26,6 +26,7 @@
 
 #include "core/actuator.h"
 #include "core/hysteresis_controller.h"
+#include "stats/saturating.h"
 #include "stats/time_series.h"
 #include "telemetry/telemetry.h"
 
@@ -53,20 +54,23 @@ class LimoncelloDaemon {
     bool actuation_ok = true;
   };
 
+  // Counters saturate at 2^64-1 instead of silently wrapping: a pinned
+  // max value in a fleet dashboard is a visible anomaly, a wrapped small
+  // value is a plausible lie (stats/saturating.h).
   struct Stats {
-    std::uint64_t ticks = 0;
-    std::uint64_t missed_samples = 0;
-    std::uint64_t invalid_samples = 0;  // non-finite / out of range
-    std::uint64_t stale_samples = 0;    // frozen-exporter rejections
-    std::uint64_t failsafe_resets = 0;
-    std::uint64_t actuation_failures = 0;
-    std::uint64_t retry_backoff_skips = 0;  // ticks spent waiting to retry
-    std::uint64_t reboots_detected = 0;     // readback mismatches
-    std::uint64_t state_reasserts = 0;      // successful re-assertions
-    std::uint64_t disables = 0;
-    std::uint64_t enables = 0;
-    std::uint64_t warm_restores = 0;        // journal snapshots adopted
-    std::uint64_t recovery_reconciles = 0;  // restored intent != hardware
+    SatCounter ticks;
+    SatCounter missed_samples;
+    SatCounter invalid_samples;  // non-finite / out of range
+    SatCounter stale_samples;    // frozen-exporter rejections
+    SatCounter failsafe_resets;
+    SatCounter actuation_failures;
+    SatCounter retry_backoff_skips;  // ticks spent waiting to retry
+    SatCounter reboots_detected;     // readback mismatches
+    SatCounter state_reasserts;      // successful re-assertions
+    SatCounter disables;
+    SatCounter enables;
+    SatCounter warm_restores;        // journal snapshots adopted
+    SatCounter recovery_reconciles;  // restored intent != hardware
 
     bool operator==(const Stats&) const = default;
   };

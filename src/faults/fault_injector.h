@@ -21,6 +21,7 @@
 
 #include "faults/fault_plan.h"
 #include "msr/msr_device.h"
+#include "stats/saturating.h"
 #include "telemetry/telemetry.h"
 
 namespace limoncello {
@@ -28,13 +29,13 @@ namespace limoncello {
 class FaultInjector {
  public:
   struct Stats {
-    std::uint64_t telemetry_faults = 0;  // samples corrupted or dropped
-    std::uint64_t msr_write_faults = 0;  // writes failed by injection
-    std::uint64_t msr_read_faults = 0;   // reads failed by injection
-    std::uint64_t crashes = 0;
-    std::uint64_t reboots = 0;
-    std::uint64_t daemon_kills = 0;     // daemon-down windows opened
-    std::uint64_t daemon_restarts = 0;  // windows closed (restart due)
+    SatCounter telemetry_faults;  // samples corrupted or dropped
+    SatCounter msr_write_faults;  // writes failed by injection
+    SatCounter msr_read_faults;   // reads failed by injection
+    SatCounter crashes;
+    SatCounter reboots;
+    SatCounter daemon_kills;     // daemon-down windows opened
+    SatCounter daemon_restarts;  // windows closed (restart due)
 
     bool Any() const {
       return telemetry_faults > 0 || msr_write_faults > 0 ||

@@ -6,6 +6,22 @@
 
 namespace limoncello {
 
+const char* TransportFaultKindName(TransportFaultKind kind) {
+  switch (kind) {
+    case TransportFaultKind::kDrop:
+      return "drop";
+    case TransportFaultKind::kReorder:
+      return "reorder";
+    case TransportFaultKind::kDuplicate:
+      return "duplicate";
+    case TransportFaultKind::kTruncate:
+      return "truncate";
+    case TransportFaultKind::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
 const char* TelemetryFaultKindName(TelemetryFaultKind kind) {
   switch (kind) {
     case TelemetryFaultKind::kDropout:
@@ -108,6 +124,28 @@ FaultPlan FaultPlan::Generate(const FaultSpec& spec, int horizon_ticks,
       // +1: the restart tick itself separates consecutive windows.
       restart_free = WindowEnd(t, fault.down_ticks) + 1;
     }
+    // The AnyTransport guard keeps the draw stream byte-identical to
+    // plans generated before transport faults existed (same discipline
+    // as the daemon-restart guard above).
+    if (spec.AnyTransport()) {
+      TransportFault fault;
+      fault.frame_index = t;
+      bool fired = true;
+      if (rng.NextBernoulli(spec.transport_drop_rate)) {
+        fault.kind = TransportFaultKind::kDrop;
+      } else if (rng.NextBernoulli(spec.transport_reorder_rate)) {
+        fault.kind = TransportFaultKind::kReorder;
+      } else if (rng.NextBernoulli(spec.transport_duplicate_rate)) {
+        fault.kind = TransportFaultKind::kDuplicate;
+      } else if (rng.NextBernoulli(spec.transport_truncate_rate)) {
+        fault.kind = TransportFaultKind::kTruncate;
+      } else if (rng.NextBernoulli(spec.transport_stale_rate)) {
+        fault.kind = TransportFaultKind::kStale;
+      } else {
+        fired = false;
+      }
+      if (fired) plan.AddTransportFault(fault);
+    }
   }
   return plan;
 }
@@ -142,6 +180,16 @@ void FaultPlan::AddCrash(const CrashFault& fault) {
     LIMONCELLO_CHECK_GE(fault.tick, WindowEnd(prev.tick, prev.down_ticks));
   }
   crashes_.push_back(fault);
+}
+
+void FaultPlan::AddTransportFault(const TransportFault& fault) {
+  LIMONCELLO_CHECK_GE(fault.frame_index, 0);
+  if (!transport_faults_.empty()) {
+    // Strictly increasing: at most one fault per frame.
+    LIMONCELLO_CHECK_GT(fault.frame_index,
+                        transport_faults_.back().frame_index);
+  }
+  transport_faults_.push_back(fault);
 }
 
 void FaultPlan::AddDaemonRestart(const DaemonRestartFault& fault) {

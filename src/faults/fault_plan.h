@@ -57,15 +57,33 @@ struct FaultSpec {
   double daemon_restart_rate = 0.0;
   int daemon_restart_down_ticks = 2;
 
+  // Transport: per-frame faults on the control plane's wire (telemetry
+  // batches from endpoint to daemon). Unlike the tick-windowed
+  // categories above, these key on the *send index* — fault i hits the
+  // i-th frame pushed through a ChaosTransport — so the schedule is
+  // independent of wall timing. At most one transport fault per frame.
+  double transport_drop_rate = 0.0;       // frame vanishes
+  double transport_reorder_rate = 0.0;    // frame swaps with its successor
+  double transport_duplicate_rate = 0.0;  // frame delivered twice
+  double transport_truncate_rate = 0.0;   // frame cut mid-payload
+  double transport_stale_rate = 0.0;      // previous frame re-delivered late
+
   // Last tick (inclusive) at which a new fault window may start; -1 means
   // no limit. A quiet tail lets chaos runs assert full reconvergence.
   int max_fault_tick = -1;
+
+  bool AnyTransport() const {
+    return transport_drop_rate > 0.0 || transport_reorder_rate > 0.0 ||
+           transport_duplicate_rate > 0.0 ||
+           transport_truncate_rate > 0.0 || transport_stale_rate > 0.0;
+  }
 
   bool Any() const {
     return telemetry_dropout_rate > 0.0 || telemetry_nan_rate > 0.0 ||
            telemetry_stale_rate > 0.0 || telemetry_spike_rate > 0.0 ||
            msr_transient_rate > 0.0 || msr_core_fault_rate > 0.0 ||
-           crash_rate > 0.0 || daemon_restart_rate > 0.0;
+           crash_rate > 0.0 || daemon_restart_rate > 0.0 ||
+           AnyTransport();
   }
 };
 
@@ -99,6 +117,23 @@ struct DaemonRestartFault {
   int down_ticks = 1;
 };
 
+enum class TransportFaultKind {
+  kDrop,
+  kReorder,
+  kDuplicate,
+  kTruncate,
+  kStale,
+};
+
+const char* TransportFaultKindName(TransportFaultKind kind);
+
+struct TransportFault {
+  // The send index this fault hits: the i-th frame pushed through the
+  // transport (not a tick — frame cadence is the exporter's business).
+  int frame_index = 0;
+  TransportFaultKind kind = TransportFaultKind::kDrop;
+};
+
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -115,6 +150,7 @@ class FaultPlan {
   void AddMsrWriteFault(const MsrWriteFault& fault);
   void AddCrash(const CrashFault& fault);
   void AddDaemonRestart(const DaemonRestartFault& fault);
+  void AddTransportFault(const TransportFault& fault);
 
   const std::vector<TelemetryFault>& telemetry_faults() const {
     return telemetry_faults_;
@@ -126,10 +162,14 @@ class FaultPlan {
   const std::vector<DaemonRestartFault>& daemon_restarts() const {
     return daemon_restarts_;
   }
+  const std::vector<TransportFault>& transport_faults() const {
+    return transport_faults_;
+  }
 
   bool Empty() const {
     return telemetry_faults_.empty() && msr_faults_.empty() &&
-           crashes_.empty() && daemon_restarts_.empty();
+           crashes_.empty() && daemon_restarts_.empty() &&
+           transport_faults_.empty();
   }
 
  private:
@@ -137,6 +177,7 @@ class FaultPlan {
   std::vector<MsrWriteFault> msr_faults_;
   std::vector<CrashFault> crashes_;
   std::vector<DaemonRestartFault> daemon_restarts_;
+  std::vector<TransportFault> transport_faults_;
 };
 
 }  // namespace limoncello

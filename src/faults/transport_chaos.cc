@@ -1,0 +1,118 @@
+#include "faults/transport_chaos.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace limoncello {
+
+ChaosTransport::ChaosTransport(const FaultPlan* plan, DeliverFn deliver)
+    : plan_(plan), deliver_(std::move(deliver)) {
+  LIMONCELLO_CHECK(deliver_ != nullptr);
+}
+
+const TransportFault* ChaosTransport::FaultForCurrentFrame() {
+  if (plan_ == nullptr) return nullptr;
+  const std::vector<TransportFault>& faults = plan_->transport_faults();
+  while (next_fault_ < faults.size() &&
+         faults[next_fault_].frame_index < frame_index_) {
+    ++next_fault_;
+  }
+  if (next_fault_ < faults.size() &&
+      faults[next_fault_].frame_index == frame_index_) {
+    return &faults[next_fault_];
+  }
+  return nullptr;
+}
+
+void ChaosTransport::Deliver(const unsigned char* data, std::size_t size) {
+  ++stats_.delivered;
+  deliver_(data, size);
+}
+
+void ChaosTransport::RememberLast(const unsigned char* data,
+                                  std::size_t size) {
+  std::memcpy(last_.data(), data, size);
+  last_size_ = size;
+  last_valid_ = true;
+}
+
+void ChaosTransport::Send(const unsigned char* data, std::size_t size) {
+  LIMONCELLO_CHECK(data != nullptr);
+  LIMONCELLO_CHECK_GT(size, static_cast<std::size_t>(0));
+  LIMONCELLO_CHECK_LE(size, kMaxFrameBytes);
+  const TransportFault* fault = FaultForCurrentFrame();
+  ++frame_index_;
+  ++stats_.sent;
+
+  // A frame parked for reorder is released right after its successor:
+  // the pair arrives swapped. The successor's own fault (if any) was
+  // already consumed above, so a reorder chain can't cascade.
+  const bool release_held = held_valid_;
+
+  if (fault == nullptr) {
+    Deliver(data, size);
+    RememberLast(data, size);
+  } else {
+    switch (fault->kind) {
+      case TransportFaultKind::kDrop:
+        ++stats_.dropped;
+        break;
+      case TransportFaultKind::kReorder:
+        if (release_held) {
+          // Slot already occupied — deliver in order rather than hold
+          // two frames; counted as a reorder that degenerated.
+          Deliver(data, size);
+          RememberLast(data, size);
+        } else {
+          std::memcpy(held_.data(), data, size);
+          held_size_ = size;
+          held_valid_ = true;
+          ++stats_.reordered;
+        }
+        break;
+      case TransportFaultKind::kDuplicate:
+        Deliver(data, size);
+        Deliver(data, size);
+        ++stats_.duplicated;
+        RememberLast(data, size);
+        break;
+      case TransportFaultKind::kTruncate: {
+        // Cut mid-payload: past the header if possible so the receiver
+        // exercises its length check, not just the header-size check.
+        const std::size_t cut = size > 16 ? size / 2 : size - 1;
+        if (cut > 0) Deliver(data, cut);
+        ++stats_.truncated;
+        break;
+      }
+      case TransportFaultKind::kStale:
+        Deliver(data, size);
+        if (last_valid_) {
+          // The *previous* frame shows up again, late — the receiver
+          // must reject its regressed sequence number. Replayed before
+          // RememberLast overwrites the stored copy.
+          Deliver(last_.data(), last_size_);
+          ++stats_.staled;
+        }
+        RememberLast(data, size);
+        break;
+    }
+  }
+
+  if (release_held) {
+    held_valid_ = false;
+    Deliver(held_.data(), held_size_);
+    RememberLast(held_.data(), held_size_);
+  }
+}
+
+void ChaosTransport::Flush() {
+  if (held_valid_) {
+    held_valid_ = false;
+    Deliver(held_.data(), held_size_);
+    RememberLast(held_.data(), held_size_);
+  }
+}
+
+}  // namespace limoncello

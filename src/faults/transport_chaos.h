@@ -1,0 +1,93 @@
+// Chaos decorator for the control plane's frame transport.
+//
+// Sits between an exporter (frame producer) and a delivery sink (the
+// control daemon's ingest queue) and replays a FaultPlan's transport
+// schedule against the byte stream: frames are dropped, swapped with
+// their successor, delivered twice, cut mid-payload, or re-delivered
+// late (stale). Faults key on the send index — the i-th Send() call —
+// so a chaos run is a pure function of (plan, frame sequence),
+// independent of wall timing and thread count.
+//
+// The decorator owns two fixed frame buffers (one reorder slot, one
+// last-frame copy for stale re-delivery) and never allocates after
+// construction. Call Flush() at end of stream to release a frame still
+// parked in the reorder slot.
+#ifndef LIMONCELLO_FAULTS_TRANSPORT_CHAOS_H_
+#define LIMONCELLO_FAULTS_TRANSPORT_CHAOS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "faults/fault_plan.h"
+#include "stats/saturating.h"
+
+namespace limoncello {
+
+class ChaosTransport {
+ public:
+  // Largest frame the decorator can park for reorder/stale re-delivery
+  // (comfortably above kMaxTelemetryFrameBytes; checked at Send).
+  static constexpr std::size_t kMaxFrameBytes = 1024;
+
+  // Delivery sink: receives the (possibly faulted) frames in final wire
+  // order. The sink sees exactly what a real receiver would.
+  using DeliverFn =
+      std::function<void(const unsigned char* data, std::size_t size)>;
+
+  struct Stats {
+    SatCounter sent;        // frames offered by the exporter
+    SatCounter delivered;   // sink invocations (incl. dups/stales)
+    SatCounter dropped;
+    SatCounter reordered;   // swaps performed
+    SatCounter duplicated;
+    SatCounter truncated;
+    SatCounter staled;      // late re-deliveries of the previous frame
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  // `plan` must outlive the transport; pass nullptr for a transparent
+  // (fault-free) wire.
+  ChaosTransport(const FaultPlan* plan, DeliverFn deliver);
+
+  ChaosTransport(const ChaosTransport&) = delete;
+  ChaosTransport& operator=(const ChaosTransport&) = delete;
+
+  // Offers one frame to the wire. size must be <= kMaxFrameBytes.
+  void Send(const unsigned char* data, std::size_t size);
+
+  // Delivers a frame still held in the reorder slot (end of stream).
+  void Flush();
+
+  const Stats& stats() const { return stats_; }
+  int frames_sent() const { return frame_index_; }
+
+ private:
+  // The fault scheduled for the current frame index, if any.
+  const TransportFault* FaultForCurrentFrame();
+  void Deliver(const unsigned char* data, std::size_t size);
+  void RememberLast(const unsigned char* data, std::size_t size);
+
+  const FaultPlan* plan_;
+  DeliverFn deliver_;
+  std::size_t next_fault_ = 0;  // cursor into plan_->transport_faults()
+  int frame_index_ = 0;
+
+  // Reorder slot: a frame parked to swap with its successor.
+  bool held_valid_ = false;
+  std::size_t held_size_ = 0;
+  std::array<unsigned char, kMaxFrameBytes> held_{};
+
+  // Last delivered frame, for stale re-delivery.
+  bool last_valid_ = false;
+  std::size_t last_size_ = 0;
+  std::array<unsigned char, kMaxFrameBytes> last_{};
+
+  Stats stats_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_FAULTS_TRANSPORT_CHAOS_H_

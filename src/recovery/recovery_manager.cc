@@ -51,4 +51,17 @@ bool RecoveryManager::FlushSnapshot() {
   return journal_.WriteSnapshot(daemon_->ExportState());
 }
 
+EndpointRecoveryResult RecoverEndpointStates(const std::string& path,
+                                             ControlPlane* plane) {
+  LIMONCELLO_CHECK(plane != nullptr);
+  EndpointRecoveryResult result;
+  result.replay = EndpointStateJournal::Replay(path);
+  if (!result.replay.states.empty()) {
+    result.adopted = plane->RestoreEndpoints(result.replay.states);
+    result.rejected =
+        static_cast<int>(result.replay.states.size()) - result.adopted;
+  }
+  return result;
+}
+
 }  // namespace limoncello

@@ -20,6 +20,7 @@
 #ifndef LIMONCELLO_RECOVERY_RECOVERY_MANAGER_H_
 #define LIMONCELLO_RECOVERY_RECOVERY_MANAGER_H_
 
+#include "control/control_plane.h"
 #include "core/daemon.h"
 #include "recovery/state_journal.h"
 
@@ -70,6 +71,23 @@ class RecoveryManager {
   StateJournal journal_;
   RecoveryResult last_recovery_;
 };
+
+// Warm restart for the sharded control plane: replay the per-endpoint
+// journal at `path` and hand every recovered record to
+// ControlPlane::RestoreEndpoints, which validates each one against the
+// FSM's invariants (invalid records cold-start that endpoint) and
+// re-asserts the restored intent through the actuator — the same
+// journal-wins-over-hardware rule as the single-socket daemon.
+struct EndpointRecoveryResult {
+  int adopted = 0;   // endpoints warm-restored
+  int rejected = 0;  // decoded records that failed plane validation
+  EndpointJournalReplay replay;
+
+  bool Warm() const { return adopted > 0; }
+};
+
+EndpointRecoveryResult RecoverEndpointStates(const std::string& path,
+                                             ControlPlane* plane);
 
 }  // namespace limoncello
 

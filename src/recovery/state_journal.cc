@@ -3,54 +3,18 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <unordered_map>
 #include <vector>
 
 #include "util/check.h"
+#include "util/wire.h"
 
 namespace limoncello {
 
 namespace {
-
-constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
-
-// Fixed little-endian layout, independent of host endianness.
-void StoreU32(unsigned char* p, std::uint32_t v) {
-  p[0] = static_cast<unsigned char>(v);
-  p[1] = static_cast<unsigned char>(v >> 8);
-  p[2] = static_cast<unsigned char>(v >> 16);
-  p[3] = static_cast<unsigned char>(v >> 24);
-}
-
-void StoreU64(unsigned char* p, std::uint64_t v) {
-  StoreU32(p, static_cast<std::uint32_t>(v));
-  StoreU32(p + 4, static_cast<std::uint32_t>(v >> 32));
-}
-
-std::uint32_t LoadU32(const unsigned char* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         static_cast<std::uint32_t>(p[1]) << 8 |
-         static_cast<std::uint32_t>(p[2]) << 16 |
-         static_cast<std::uint32_t>(p[3]) << 24;
-}
-
-std::uint64_t LoadU64(const unsigned char* p) {
-  return static_cast<std::uint64_t>(LoadU32(p)) |
-         static_cast<std::uint64_t>(LoadU32(p + 4)) << 32;
-}
 
 bool WriteFully(int fd, const unsigned char* data, std::size_t size) {
   std::size_t done = 0;
@@ -74,15 +38,6 @@ bool WriteFully(int fd, const unsigned char* data, std::size_t size) {
 constexpr std::uint32_t kMaxPayloadBytes = 4096;
 
 }  // namespace
-
-std::uint32_t Crc32(const void* data, std::size_t size) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 void StateJournal::EncodeRecord(
     const LimoncelloDaemon::PersistentState& state, unsigned char* out) {
@@ -133,14 +88,14 @@ bool StateJournal::DecodePayload(const unsigned char* p,
   out->consecutive_missed = static_cast<int>(LoadU32(p + 36));
   out->stale_run = static_cast<int>(LoadU32(p + 40));
   LimoncelloDaemon::Stats& s = out->stats;
-  std::uint64_t* stats_fields[] = {
+  SatCounter* stats_fields[] = {
       &s.ticks,           &s.missed_samples,     &s.invalid_samples,
       &s.stale_samples,   &s.failsafe_resets,    &s.actuation_failures,
       &s.retry_backoff_skips, &s.reboots_detected, &s.state_reasserts,
       &s.disables,        &s.enables,            &s.warm_restores,
       &s.recovery_reconciles};
   for (std::size_t i = 0; i < 13; ++i) {
-    *stats_fields[i] = LoadU64(p + 44 + 8 * i);
+    *stats_fields[i] = SatCounter(LoadU64(p + 44 + 8 * i));
   }
   return true;
 }
@@ -296,6 +251,195 @@ JournalReplay StateJournal::Replay(const std::string& path) {
     ++replay.valid_records;
     off += kRecordBytes;
   }
+  return replay;
+}
+
+void EndpointStateJournal::EncodeRecord(
+    const EndpointPersistentState& state, unsigned char* out) {
+  StoreU32(out, kMagic);
+  StoreU32(out + 4, kVersion);
+  StoreU32(out + 8, static_cast<std::uint32_t>(kPayloadBytes));
+  unsigned char* p = out + kHeaderBytes;
+  StoreU32(p, state.endpoint_id);
+  StoreU32(p + 4, static_cast<std::uint32_t>(state.controller_state));
+  StoreU64(p + 8, static_cast<std::uint64_t>(state.timer_ns));
+  StoreU64(p + 16, state.toggle_count);
+  std::uint32_t flags = 0;
+  if (state.intent_enabled) flags |= 1u;
+  if (state.force_active) flags |= 2u;
+  if (state.force_enabled) flags |= 4u;
+  if (state.have_sequence) flags |= 8u;
+  StoreU32(p + 24, flags);
+  StoreU64(p + 28, state.last_sequence);
+  StoreU64(p + 36, state.last_update_tick);
+  const std::uint32_t crc = Crc32(out + 4, 8 + kPayloadBytes);
+  StoreU32(out + kHeaderBytes + kPayloadBytes, crc);
+}
+
+bool EndpointStateJournal::DecodePayload(const unsigned char* p,
+                                         EndpointPersistentState* out) {
+  const std::uint32_t flags = LoadU32(p + 24);
+  if ((flags & ~0xFu) != 0) return false;  // reserved bits must be zero
+  out->endpoint_id = LoadU32(p);
+  out->controller_state = static_cast<ControllerState>(LoadU32(p + 4));
+  out->timer_ns = static_cast<SimTimeNs>(LoadU64(p + 8));
+  out->toggle_count = LoadU64(p + 16);
+  out->intent_enabled = (flags & 1u) != 0;
+  out->force_active = (flags & 2u) != 0;
+  out->force_enabled = (flags & 4u) != 0;
+  out->have_sequence = (flags & 8u) != 0;
+  out->last_sequence = LoadU64(p + 28);
+  out->last_update_tick = LoadU64(p + 36);
+  return true;
+}
+
+EndpointStateJournal::EndpointStateJournal(const Options& options)
+    : options_(options), tmp_path_(options.path + ".tmp") {
+  LIMONCELLO_CHECK(!options.path.empty());
+}
+
+EndpointStateJournal::~EndpointStateJournal() { CloseAppendFd(); }
+
+bool EndpointStateJournal::EnsureOpenForAppend() {
+  if (fd_ >= 0) return true;
+  fd_ = ::open(  // limolint:allow(hot-path-blocking)
+      options_.path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+      0644);
+  return fd_ >= 0;
+}
+
+void EndpointStateJournal::CloseAppendFd() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool EndpointStateJournal::Append(const EndpointPersistentState& state) {
+  if (!EnsureOpenForAppend()) {
+    ++stats_.io_errors;
+    return false;
+  }
+  EncodeRecord(state, scratch_.data());
+  if (!WriteFully(fd_, scratch_.data(), kRecordBytes)) {
+    ++stats_.io_errors;
+    return false;
+  }
+  if (options_.fsync_each_append && ::fsync(fd_) != 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.appends;
+  return true;
+}
+
+// limolint:cold-path — caller-driven compaction on the snapshot cadence;
+// the tmp+fsync+rename dance is the crash-safety mechanism itself.
+bool EndpointStateJournal::WriteSnapshot(
+    const std::vector<EndpointPersistentState>& states) {
+  // The rename replaces the journal's inode; a kept-open append
+  // descriptor would keep writing to the orphaned old file.
+  CloseAppendFd();
+  const int fd = ::open(tmp_path_.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  bool ok = true;
+  for (const EndpointPersistentState& state : states) {
+    EncodeRecord(state, scratch_.data());
+    if (!WriteFully(fd, scratch_.data(), kRecordBytes)) {
+      ok = false;
+      break;
+    }
+  }
+  // fsync before rename: the atomicity argument needs the new contents
+  // durable before the new name points at them.
+  ok = ::fsync(fd) == 0 && ok;
+  ok = ::close(fd) == 0 && ok;
+  if (ok) {
+    ok = std::rename(tmp_path_.c_str(), options_.path.c_str()) == 0;
+  }
+  if (!ok) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.snapshots;
+  return true;
+}
+
+EndpointJournalReplay EndpointStateJournal::Replay(
+    const std::string& path) {
+  EndpointJournalReplay replay;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return replay;  // no file: plain cold start
+  replay.file_found = true;
+  std::vector<unsigned char> data;
+  unsigned char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ++replay.corrupt_records;
+      (void)::close(fd);
+      return replay;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  (void)::close(fd);
+
+  // Newest valid record per endpoint: later records in the file
+  // supersede earlier ones (appends land after the snapshot base).
+  std::unordered_map<std::uint32_t, EndpointPersistentState> newest;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t remaining = data.size() - off;
+    if (remaining < kHeaderBytes) {
+      ++replay.torn_records;
+      break;
+    }
+    if (LoadU32(&data[off]) != kMagic) {
+      ++replay.corrupt_records;
+      break;
+    }
+    const std::uint32_t version = LoadU32(&data[off + 4]);
+    const std::uint32_t payload_size = LoadU32(&data[off + 8]);
+    if (payload_size > kMaxPayloadBytes) {
+      ++replay.corrupt_records;
+      break;
+    }
+    if (remaining < kHeaderBytes + payload_size + 4) {
+      ++replay.torn_records;
+      break;
+    }
+    const std::uint32_t crc = Crc32(&data[off + 4], 8 + payload_size);
+    if (crc != LoadU32(&data[off + kHeaderBytes + payload_size])) {
+      ++replay.corrupt_records;
+      break;
+    }
+    if (version != kVersion || payload_size != kPayloadBytes) {
+      ++replay.version_mismatches;
+      off += kHeaderBytes + payload_size + 4;
+      continue;
+    }
+    EndpointPersistentState state;
+    if (!DecodePayload(&data[off + kHeaderBytes], &state)) {
+      ++replay.corrupt_records;
+      break;
+    }
+    newest[state.endpoint_id] = state;
+    ++replay.valid_records;
+    off += kRecordBytes;
+  }
+  replay.states.reserve(newest.size());
+  for (const auto& [id, state] : newest) replay.states.push_back(state);
+  std::sort(replay.states.begin(), replay.states.end(),
+            [](const EndpointPersistentState& a,
+               const EndpointPersistentState& b) {
+              return a.endpoint_id < b.endpoint_id;
+            });
   return replay;
 }
 

@@ -27,14 +27,14 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "control/control_plane.h"
 #include "core/daemon.h"
+#include "stats/saturating.h"
+#include "util/crc32.h"
 
 namespace limoncello {
-
-// IEEE CRC-32 (reflected, polynomial 0xEDB88320) — the checksum guarding
-// every journal record. Exposed for tests and corruption fixtures.
-std::uint32_t Crc32(const void* data, std::size_t size);
 
 // Outcome of replaying a journal file.
 struct JournalReplay {
@@ -75,9 +75,9 @@ class StateJournal {
   };
 
   struct Stats {
-    std::uint64_t appends = 0;
-    std::uint64_t compactions = 0;
-    std::uint64_t io_errors = 0;
+    SatCounter appends;
+    SatCounter compactions;
+    SatCounter io_errors;
   };
 
   explicit StateJournal(const Options& options);
@@ -122,6 +122,95 @@ class StateJournal {
   int appends_since_compaction_ = 0;
   Stats stats_;
   // Scratch for Append/WriteSnapshot so the hot path never allocates.
+  std::array<unsigned char, kRecordBytes> scratch_{};
+};
+
+// Outcome of replaying a per-endpoint control-plane journal.
+struct EndpointJournalReplay {
+  // Newest fully valid record per endpoint, ascending endpoint id.
+  std::vector<EndpointPersistentState> states;
+  std::uint64_t valid_records = 0;
+  std::uint64_t version_mismatches = 0;  // intact frame, foreign version
+  std::uint64_t corrupt_records = 0;     // bad magic/size/CRC: scan stops
+  std::uint64_t torn_records = 0;        // file ends mid-record
+  bool file_found = false;
+
+  bool Clean() const {
+    return version_mismatches == 0 && corrupt_records == 0 &&
+           torn_records == 0;
+  }
+};
+
+// Crash-safe persistence for the sharded control plane: the same framing
+// discipline as StateJournal (CRC-protected fixed records, torn-tail
+// tolerant replay, atomic snapshot-by-rename), but the unit of record is
+// one endpoint's committed state. A record is appended whenever an
+// endpoint's decision state changes (ControlPlane::CollectDirtyEndpoints
+// feeds this); replay keeps the newest valid record per endpoint, so a
+// warm restart recovers every endpoint's last committed decision.
+//
+// Unlike StateJournal there is no automatic compaction: folding the
+// journal down needs the whole fleet's state, which only the caller has.
+// The control loop bounds growth by calling WriteSnapshot with
+// ControlPlane::ExportAllEndpoints() on its snapshot cadence.
+class EndpointStateJournal {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4C454A31;  // "LEJ1"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 12;  // magic|version|size
+  static constexpr std::size_t kPayloadBytes = 44;
+  static constexpr std::size_t kRecordBytes =
+      kHeaderBytes + kPayloadBytes + 4 /* CRC */;
+
+  struct Options {
+    std::string path;
+    bool fsync_each_append = false;
+  };
+
+  struct Stats {
+    SatCounter appends;
+    SatCounter snapshots;
+    SatCounter io_errors;
+  };
+
+  explicit EndpointStateJournal(const Options& options);
+  ~EndpointStateJournal();
+
+  EndpointStateJournal(const EndpointStateJournal&) = delete;
+  EndpointStateJournal& operator=(const EndpointStateJournal&) = delete;
+
+  // Appends one endpoint record. Zero-allocation (fixed scratch buffer,
+  // cached descriptor). Returns false on IO failure (counted).
+  bool Append(const EndpointPersistentState& state);
+
+  // Atomically replaces the journal with one record per entry of
+  // `states`: write temp + fsync + rename. Shutdown flush and the
+  // caller-driven compaction mechanism.
+  bool WriteSnapshot(const std::vector<EndpointPersistentState>& states);
+
+  // Replays the journal at `path`, tolerating every malformed input.
+  // Later records supersede earlier ones for the same endpoint.
+  static EndpointJournalReplay Replay(const std::string& path);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& path() const { return options_.path; }
+
+  // One-record (de)serialization, exposed for corruption fixtures.
+  // DecodePayload validates flag bits; field-level validation against
+  // FSM invariants happens in ControlPlane::RestoreEndpoints.
+  static void EncodeRecord(const EndpointPersistentState& state,
+                           unsigned char* out);
+  static bool DecodePayload(const unsigned char* payload,
+                            EndpointPersistentState* out);
+
+ private:
+  bool EnsureOpenForAppend();
+  void CloseAppendFd();
+
+  Options options_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  Stats stats_;
   std::array<unsigned char, kRecordBytes> scratch_{};
 };
 

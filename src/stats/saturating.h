@@ -1,0 +1,63 @@
+// Saturating event counter for Stats blocks.
+//
+// Every robustness counter in the tree (daemon, fault injector, journal,
+// control plane) is a monotone event count that ends up in a summary
+// banner or a BENCH json. A u64 that silently wraps turns "this daemon
+// shed 2^64 + 5 samples" into "5" — exactly the kind of lie a fleet
+// health dashboard must never tell. SatCounter pins the value at
+// UINT64_MAX instead: a saturated counter is visibly absurd, a wrapped
+// one is plausibly wrong.
+//
+// The counter converts implicitly to std::uint64_t so existing printf /
+// arithmetic / comparison call sites keep working unchanged; only the
+// mutation paths (++ and +=) saturate.
+#ifndef LIMONCELLO_STATS_SATURATING_H_
+#define LIMONCELLO_STATS_SATURATING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace limoncello {
+
+class SatCounter {
+ public:
+  constexpr SatCounter() = default;
+  // Implicit by design: Stats blocks assign raw u64s decoded from
+  // journals, and tests compare against integer literals.
+  constexpr SatCounter(std::uint64_t value) : value_(value) {}
+
+  constexpr SatCounter& operator++() {
+    if (value_ != kMax) ++value_;
+    return *this;
+  }
+  constexpr SatCounter operator++(int) {
+    const SatCounter before = *this;
+    ++*this;
+    return before;
+  }
+  constexpr SatCounter& operator+=(std::uint64_t delta) {
+    value_ = value_ > kMax - delta ? kMax : value_ + delta;
+    return *this;
+  }
+
+  constexpr operator std::uint64_t() const { return value_; }
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool saturated() const { return value_ == kMax; }
+
+  constexpr bool operator==(const SatCounter&) const = default;
+  // Heterogeneous compare: without this, `counter == 5u` is ambiguous
+  // between the defaulted operator (via the implicit constructor) and
+  // the built-in (via the conversion operator).
+  constexpr bool operator==(std::uint64_t other) const {
+    return value_ == other;
+  }
+
+ private:
+  static constexpr std::uint64_t kMax =
+      std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_STATS_SATURATING_H_

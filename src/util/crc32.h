@@ -1,0 +1,20 @@
+// IEEE CRC-32 (reflected, polynomial 0xEDB88320).
+//
+// One checksum for every on-wire / on-disk frame in the tree: state
+// journal records, per-endpoint control-plane records, and telemetry
+// batch frames. Hoisted out of src/recovery/ so the control plane's wire
+// codec shares the exact implementation (and tests can corrupt either
+// format with the same tooling).
+#ifndef LIMONCELLO_UTIL_CRC32_H_
+#define LIMONCELLO_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace limoncello {
+
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_CRC32_H_

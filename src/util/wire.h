@@ -1,0 +1,37 @@
+// Fixed little-endian scalar (de)serialization, independent of host
+// endianness. Shared by every framed format: journal records, telemetry
+// batches, per-endpoint control records.
+#ifndef LIMONCELLO_UTIL_WIRE_H_
+#define LIMONCELLO_UTIL_WIRE_H_
+
+#include <cstdint>
+
+namespace limoncello {
+
+inline void StoreU32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void StoreU64(unsigned char* p, std::uint64_t v) {
+  StoreU32(p, static_cast<std::uint32_t>(v));
+  StoreU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t LoadU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline std::uint64_t LoadU64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(LoadU32(p)) |
+         static_cast<std::uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_WIRE_H_

@@ -1,0 +1,261 @@
+// Bounded MPSC ingest queue: shed policy, backpressure, FIFO ordering,
+// counter accounting, and producer races (run under TSAN in CI).
+#include "control/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "control/telemetry_batch.h"
+#include "util/thread_pool.h"
+#include "util/wire.h"
+
+namespace limoncello {
+namespace {
+
+BoundedControlQueue::Options SmallQueue(int capacity,
+                                        double watermark = 0.75) {
+  BoundedControlQueue::Options options;
+  options.capacity = capacity;
+  options.backpressure_watermark = watermark;
+  return options;
+}
+
+// A distinguishable fake frame: 8 bytes carrying a tag. The queue is
+// transport, not parser — it never inspects the bytes.
+std::vector<unsigned char> TaggedFrame(std::uint64_t tag) {
+  std::vector<unsigned char> frame(8);
+  StoreU64(frame.data(), tag);
+  return frame;
+}
+
+std::uint64_t FrameTag(const ControlMessage& message) {
+  EXPECT_EQ(message.kind, ControlMessage::Kind::kTelemetryFrame);
+  EXPECT_EQ(message.frame_bytes, 8u);
+  return LoadU64(message.frame.data());
+}
+
+PushResult PushTagged(BoundedControlQueue& queue, std::uint64_t tag,
+                      std::uint64_t enqueue_time_ns = 0) {
+  const std::vector<unsigned char> frame = TaggedFrame(tag);
+  return queue.PushTelemetry(frame.data(), frame.size(), enqueue_time_ns);
+}
+
+TEST(BoundedControlQueueTest, FifoWithinTelemetry) {
+  BoundedControlQueue queue(SmallQueue(8));
+  for (std::uint64_t tag = 0; tag < 5; ++tag) {
+    EXPECT_EQ(PushTagged(queue, tag), PushResult::kOk);
+  }
+  ControlMessage message;
+  for (std::uint64_t tag = 0; tag < 5; ++tag) {
+    ASSERT_TRUE(queue.Pop(&message));
+    EXPECT_EQ(FrameTag(message), tag);
+  }
+  EXPECT_FALSE(queue.Pop(&message));
+}
+
+TEST(BoundedControlQueueTest, CommandsDrainBeforeTelemetry) {
+  BoundedControlQueue queue(SmallQueue(8));
+  ASSERT_EQ(PushTagged(queue, 1), PushResult::kOk);
+  ControlCommand command;
+  command.endpoint_id = 9;
+  command.kind = CommandKind::kForceDisable;
+  ASSERT_EQ(queue.PushCommand(command, 0), PushResult::kOk);
+  ASSERT_EQ(PushTagged(queue, 2), PushResult::kOk);
+
+  ControlMessage message;
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_EQ(message.kind, ControlMessage::Kind::kCommand);
+  EXPECT_EQ(message.command.endpoint_id, 9u);
+  EXPECT_EQ(message.command.kind, CommandKind::kForceDisable);
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_EQ(FrameTag(message), 1u);
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_EQ(FrameTag(message), 2u);
+}
+
+TEST(BoundedControlQueueTest, FullQueueShedsOldestTelemetryFirst) {
+  BoundedControlQueue queue(SmallQueue(4, /*watermark=*/1.0));
+  for (std::uint64_t tag = 0; tag < 3; ++tag) {
+    ASSERT_EQ(PushTagged(queue, tag), PushResult::kOk);
+  }
+  // The push that fills the queue is accepted but signals backpressure.
+  ASSERT_EQ(PushTagged(queue, 3), PushResult::kOkBackpressure);
+  // Queue full: the push is accepted by dropping tag 0 (the oldest).
+  EXPECT_EQ(PushTagged(queue, 4), PushResult::kShedOldest);
+  EXPECT_EQ(PushTagged(queue, 5), PushResult::kShedOldest);
+  EXPECT_EQ(queue.Depth(), 4);
+
+  ControlMessage message;
+  std::vector<std::uint64_t> popped;
+  while (queue.Pop(&message)) popped.push_back(FrameTag(message));
+  EXPECT_EQ(popped, (std::vector<std::uint64_t>{2, 3, 4, 5}));
+
+  const BoundedControlQueue::Counters counters = queue.SnapshotCounters();
+  EXPECT_EQ(counters.telemetry_pushed, 6u);
+  EXPECT_EQ(counters.telemetry_shed, 2u);
+  EXPECT_EQ(counters.telemetry_popped, 4u);
+}
+
+TEST(BoundedControlQueueTest, CommandShedsTelemetryButNeverLosesToIt) {
+  BoundedControlQueue queue(SmallQueue(4, /*watermark=*/1.0));
+  for (std::uint64_t tag = 0; tag < 3; ++tag) {
+    ASSERT_EQ(PushTagged(queue, tag), PushResult::kOk);
+  }
+  ASSERT_EQ(PushTagged(queue, 3), PushResult::kOkBackpressure);
+  // A command into a full queue evicts the oldest telemetry.
+  ControlCommand command;
+  command.kind = CommandKind::kForceEnable;
+  EXPECT_EQ(queue.PushCommand(command, 0), PushResult::kShedOldest);
+  EXPECT_EQ(queue.Depth(), 4);
+
+  ControlMessage message;
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_EQ(message.kind, ControlMessage::Kind::kCommand);
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_EQ(FrameTag(message), 1u);  // tag 0 was shed
+}
+
+TEST(BoundedControlQueueTest, CommandRejectedOnlyWhenQueueIsAllCommands) {
+  BoundedControlQueue queue(SmallQueue(2, /*watermark=*/1.0));
+  ControlCommand command;
+  EXPECT_EQ(queue.PushCommand(command, 0), PushResult::kOk);
+  EXPECT_EQ(queue.PushCommand(command, 0), PushResult::kOkBackpressure);
+  // No telemetry left to shed: the overflow is counted, not silent.
+  EXPECT_EQ(queue.PushCommand(command, 0), PushResult::kRejected);
+  EXPECT_EQ(queue.SnapshotCounters().command_overflows, 1u);
+  // Telemetry into an all-command queue is likewise rejected.
+  EXPECT_EQ(PushTagged(queue, 7), PushResult::kRejected);
+  EXPECT_EQ(queue.SnapshotCounters().telemetry_rejected, 1u);
+}
+
+TEST(BoundedControlQueueTest, OversizedAndEmptyFramesRejected) {
+  BoundedControlQueue queue(SmallQueue(4));
+  std::vector<unsigned char> huge(kMaxTelemetryFrameBytes + 1);
+  EXPECT_EQ(queue.PushTelemetry(huge.data(), huge.size(), 0),
+            PushResult::kRejected);
+  EXPECT_EQ(queue.PushTelemetry(huge.data(), 0, 0), PushResult::kRejected);
+  EXPECT_EQ(queue.Depth(), 0);
+  EXPECT_EQ(queue.SnapshotCounters().telemetry_rejected, 2u);
+}
+
+TEST(BoundedControlQueueTest, BackpressureSignalsAtWatermark) {
+  // Capacity 8, watermark 0.5 -> pushes landing depth >= 4 signal.
+  BoundedControlQueue queue(SmallQueue(8, 0.5));
+  EXPECT_EQ(PushTagged(queue, 0), PushResult::kOk);
+  EXPECT_EQ(PushTagged(queue, 1), PushResult::kOk);
+  EXPECT_EQ(PushTagged(queue, 2), PushResult::kOk);
+  EXPECT_FALSE(queue.UnderBackpressure());
+  EXPECT_EQ(PushTagged(queue, 3), PushResult::kOkBackpressure);
+  EXPECT_TRUE(queue.UnderBackpressure());
+
+  // Popping below the watermark clears the signal.
+  ControlMessage message;
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_FALSE(queue.UnderBackpressure());
+  EXPECT_EQ(queue.SnapshotCounters().backpressure_signals, 1u);
+}
+
+TEST(BoundedControlQueueTest, EnqueueTimePlumbedThroughUntouched) {
+  BoundedControlQueue queue(SmallQueue(4));
+  ASSERT_EQ(PushTagged(queue, 1, /*enqueue_time_ns=*/987654321),
+            PushResult::kOk);
+  ControlMessage message;
+  ASSERT_TRUE(queue.Pop(&message));
+  EXPECT_EQ(message.enqueue_time_ns, 987654321u);
+}
+
+// ---------------------------------------------------------------------------
+// Races: many producers, one consumer, live under TSAN. Every pushed
+// message is either popped or accounted shed/rejected — no event lost,
+// none double-counted.
+
+TEST(BoundedControlQueueTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedControlQueue queue(SmallQueue(64));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::function<void()>> thunks;
+  // Consumer drains until every producer finished and the queue is dry.
+  thunks.push_back([&queue, &done, &popped] {
+    ControlMessage message;
+    for (;;) {
+      if (queue.Pop(&message)) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (done.load(std::memory_order_acquire)) break;
+    }
+    // done was set before the last push completed its accounting only if
+    // the producer finished; one final sweep drains any stragglers.
+    while (queue.Pop(&message)) {
+      popped.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::atomic<int> finished{0};
+  for (int p = 0; p < kProducers; ++p) {
+    thunks.push_back([&queue, &done, &finished, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        PushTagged(queue, (static_cast<std::uint64_t>(p) << 32) | i);
+        if ((i & 63) == 0) {
+          ControlCommand command;
+          command.endpoint_id = static_cast<std::uint32_t>(p);
+          queue.PushCommand(command, 0);
+        }
+      }
+      if (finished.fetch_add(1) + 1 == kProducers) {
+        done.store(true, std::memory_order_release);
+      }
+    });
+  }
+  ParallelInvoke(std::move(thunks));
+
+  const BoundedControlQueue::Counters counters = queue.SnapshotCounters();
+  // Consumer-side pops observed == counter pops (popped counts both
+  // telemetry and commands).
+  EXPECT_EQ(counters.telemetry_popped.value() +
+                counters.commands_popped.value(),
+            popped.load());
+  // Conservation: accepted == popped + shed (queue is empty).
+  EXPECT_EQ(queue.Depth(), 0);
+  EXPECT_EQ(counters.telemetry_pushed.value() +
+                counters.commands_pushed.value(),
+            popped.load() + counters.telemetry_shed.value());
+  // All pushes were accounted one way or another.
+  constexpr std::uint64_t kCommandsPerProducer = (kPerProducer + 63) / 64;
+  EXPECT_EQ(counters.telemetry_pushed.value() +
+                counters.telemetry_rejected.value(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(counters.commands_pushed.value() +
+                counters.command_overflows.value(),
+            kProducers * kCommandsPerProducer);
+}
+
+TEST(BoundedControlQueueTest, ConcurrentShedStormStaysBounded) {
+  // Tiny queue, no consumer until the end: a storm must shed, never
+  // grow, and the counters must balance exactly.
+  BoundedControlQueue queue(SmallQueue(8, /*watermark=*/1.0));
+  std::vector<std::function<void()>> thunks;
+  for (int p = 0; p < 4; ++p) {
+    thunks.push_back([&queue, p] {
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        PushTagged(queue, (static_cast<std::uint64_t>(p) << 32) | i);
+      }
+    });
+  }
+  ParallelInvoke(std::move(thunks));
+
+  EXPECT_LE(queue.Depth(), 8);
+  const BoundedControlQueue::Counters counters = queue.SnapshotCounters();
+  EXPECT_EQ(counters.telemetry_pushed, 8000u);
+  EXPECT_EQ(counters.telemetry_shed.value(),
+            8000u - static_cast<std::uint64_t>(queue.Depth()));
+}
+
+}  // namespace
+}  // namespace limoncello

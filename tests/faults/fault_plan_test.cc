@@ -161,6 +161,79 @@ TEST(FaultPlanTest, ScriptedConstructionKeepsEventsInOrder) {
   EXPECT_EQ(plan.crashes()[0].down_ticks, 5);
 }
 
+TEST(FaultPlanTest, TransportRatesGenerateEveryKind) {
+  FaultSpec spec;
+  spec.transport_drop_rate = 0.05;
+  spec.transport_reorder_rate = 0.05;
+  spec.transport_duplicate_rate = 0.05;
+  spec.transport_truncate_rate = 0.05;
+  spec.transport_stale_rate = 0.05;
+  ASSERT_TRUE(spec.AnyTransport());
+  const FaultPlan plan = FaultPlan::Generate(spec, 2000, Rng(5));
+  int by_kind[5] = {0, 0, 0, 0, 0};
+  int last_index = -1;
+  for (const TransportFault& f : plan.transport_faults()) {
+    ASSERT_GE(f.frame_index, 0);
+    ASSERT_LT(f.frame_index, 2000);
+    // At most one fault per frame, strictly ascending.
+    ASSERT_GT(f.frame_index, last_index);
+    last_index = f.frame_index;
+    ++by_kind[static_cast<int>(f.kind)];
+  }
+  for (int k = 0; k < 5; ++k) EXPECT_GT(by_kind[k], 0) << k;
+}
+
+TEST(FaultPlanTest, ScriptedTransportFaultsMustAscend) {
+  FaultPlan plan;
+  plan.AddTransportFault({3, TransportFaultKind::kDrop});
+  plan.AddTransportFault({7, TransportFaultKind::kStale});
+  EXPECT_FALSE(plan.Empty());
+  ASSERT_EQ(plan.transport_faults().size(), 2u);
+  EXPECT_EQ(plan.transport_faults()[1].kind, TransportFaultKind::kStale);
+}
+
+// The AnyTransport guard: a spec with no transport rates consumes no
+// transport draws at all (legacy draw-stream compatibility), and a
+// transport-only spec touches nothing but the transport schedule.
+TEST(FaultPlanTest, TransportGuardIsolatesTheTransportCategory) {
+  FaultSpec base;
+  base.telemetry_nan_rate = 0.02;
+  base.msr_transient_rate = 0.01;
+  base.crash_rate = 0.005;
+  ASSERT_FALSE(base.AnyTransport());
+  const FaultPlan a = FaultPlan::Generate(base, 1000, Rng(17));
+  EXPECT_TRUE(a.transport_faults().empty());
+  EXPECT_FALSE(a.Empty());
+
+  FaultSpec transport_only;
+  transport_only.transport_drop_rate = 0.1;
+  transport_only.transport_truncate_rate = 0.1;
+  ASSERT_TRUE(transport_only.AnyTransport());
+  const FaultPlan b = FaultPlan::Generate(transport_only, 1000, Rng(17));
+  EXPECT_FALSE(b.transport_faults().empty());
+  EXPECT_TRUE(b.telemetry_faults().empty());
+  EXPECT_TRUE(b.msr_faults().empty());
+  EXPECT_TRUE(b.crashes().empty());
+
+  // Same seed, same spec: the transport schedule is reproducible.
+  const FaultPlan c = FaultPlan::Generate(transport_only, 1000, Rng(17));
+  ASSERT_EQ(b.transport_faults().size(), c.transport_faults().size());
+  for (std::size_t i = 0; i < b.transport_faults().size(); ++i) {
+    EXPECT_EQ(b.transport_faults()[i].frame_index,
+              c.transport_faults()[i].frame_index);
+    EXPECT_EQ(b.transport_faults()[i].kind, c.transport_faults()[i].kind);
+  }
+}
+
+TEST(FaultPlanTest, TransportKindNamesAreDistinct) {
+  EXPECT_STRNE(TransportFaultKindName(TransportFaultKind::kDrop),
+               TransportFaultKindName(TransportFaultKind::kReorder));
+  EXPECT_STRNE(TransportFaultKindName(TransportFaultKind::kDuplicate),
+               TransportFaultKindName(TransportFaultKind::kStale));
+  EXPECT_STRNE(TransportFaultKindName(TransportFaultKind::kTruncate),
+               TransportFaultKindName(TransportFaultKind::kDrop));
+}
+
 TEST(FaultPlanTest, KindNamesAreDistinct) {
   EXPECT_STRNE(TelemetryFaultKindName(TelemetryFaultKind::kDropout),
                TelemetryFaultKindName(TelemetryFaultKind::kNan));

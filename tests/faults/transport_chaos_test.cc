@@ -1,0 +1,160 @@
+// ChaosTransport: scripted fault plans applied to a tagged frame stream.
+// Each kind's delivery semantics are pinned exactly — these are the
+// faults the control plane's trust boundary is proven against.
+#include "faults/transport_chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "util/wire.h"
+
+namespace limoncello {
+namespace {
+
+struct Delivery {
+  std::uint64_t tag;
+  std::size_t size;
+};
+
+// Harness: sends 8-byte tagged frames through a transport and records
+// what comes out the other side.
+struct Wire {
+  FaultPlan plan;
+  std::vector<Delivery> delivered;
+  std::unique_ptr<ChaosTransport> transport;
+
+  explicit Wire(FaultPlan p) : plan(std::move(p)) {
+    transport = std::make_unique<ChaosTransport>(
+        &plan, [this](const unsigned char* data, std::size_t size) {
+          Delivery d;
+          d.size = size;
+          d.tag = size >= 8 ? LoadU64(data) : LoadU32(data);
+          delivered.push_back(d);
+        });
+  }
+
+  void SendTagged(std::uint64_t tag) {
+    unsigned char frame[8];
+    StoreU64(frame, tag);
+    transport->Send(frame, sizeof(frame));
+  }
+
+  std::vector<std::uint64_t> Tags() const {
+    std::vector<std::uint64_t> tags;
+    for (const Delivery& d : delivered) tags.push_back(d.tag);
+    return tags;
+  }
+};
+
+TEST(ChaosTransportTest, NullPlanIsTransparent) {
+  std::vector<std::uint64_t> tags;
+  ChaosTransport transport(
+      nullptr, [&tags](const unsigned char* data, std::size_t) {
+        tags.push_back(LoadU64(data));
+      });
+  unsigned char frame[8];
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    StoreU64(frame, t);
+    transport.Send(frame, sizeof(frame));
+  }
+  EXPECT_EQ(tags, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(transport.stats().delivered, 4u);
+}
+
+TEST(ChaosTransportTest, DropSwallowsExactlyTheFaultedFrame) {
+  FaultPlan plan;
+  plan.AddTransportFault({1, TransportFaultKind::kDrop});
+  Wire wire(std::move(plan));
+  for (std::uint64_t t = 0; t < 4; ++t) wire.SendTagged(t);
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{0, 2, 3}));
+  EXPECT_EQ(wire.transport->stats().dropped, 1u);
+  EXPECT_EQ(wire.transport->stats().sent, 4u);
+  EXPECT_EQ(wire.transport->stats().delivered, 3u);
+}
+
+TEST(ChaosTransportTest, ReorderSwapsFrameWithSuccessor) {
+  FaultPlan plan;
+  plan.AddTransportFault({1, TransportFaultKind::kReorder});
+  Wire wire(std::move(plan));
+  for (std::uint64_t t = 0; t < 4; ++t) wire.SendTagged(t);
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{0, 2, 1, 3}));
+  EXPECT_EQ(wire.transport->stats().reordered, 1u);
+}
+
+TEST(ChaosTransportTest, ReorderAtStreamEndReleasedByFlush) {
+  FaultPlan plan;
+  plan.AddTransportFault({2, TransportFaultKind::kReorder});
+  Wire wire(std::move(plan));
+  for (std::uint64_t t = 0; t < 3; ++t) wire.SendTagged(t);
+  // Frame 2 is parked awaiting a successor that never comes.
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{0, 1}));
+  wire.transport->Flush();
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(ChaosTransportTest, DuplicateDeliversTwiceBackToBack) {
+  FaultPlan plan;
+  plan.AddTransportFault({0, TransportFaultKind::kDuplicate});
+  Wire wire(std::move(plan));
+  wire.SendTagged(7);
+  wire.SendTagged(8);
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{7, 7, 8}));
+  EXPECT_EQ(wire.transport->stats().duplicated, 1u);
+}
+
+TEST(ChaosTransportTest, TruncateCutsTheFrameShort) {
+  FaultPlan plan;
+  plan.AddTransportFault({0, TransportFaultKind::kTruncate});
+  Wire wire(std::move(plan));
+  // 32-byte frame (> 16) is cut to half.
+  unsigned char big[32] = {};
+  StoreU64(big, 99);
+  wire.transport->Send(big, sizeof(big));
+  ASSERT_EQ(wire.delivered.size(), 1u);
+  EXPECT_EQ(wire.delivered[0].size, 16u);
+  EXPECT_EQ(wire.transport->stats().truncated, 1u);
+}
+
+TEST(ChaosTransportTest, StaleRedeliversThePreviousFrame) {
+  FaultPlan plan;
+  plan.AddTransportFault({1, TransportFaultKind::kStale});
+  Wire wire(std::move(plan));
+  for (std::uint64_t t = 0; t < 3; ++t) wire.SendTagged(t);
+  // Frame 1 delivered, then frame 0 replayed late, then frame 2.
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{0, 1, 0, 2}));
+  EXPECT_EQ(wire.transport->stats().staled, 1u);
+}
+
+TEST(ChaosTransportTest, StaleOnFirstFrameHasNothingToReplay) {
+  FaultPlan plan;
+  plan.AddTransportFault({0, TransportFaultKind::kStale});
+  Wire wire(std::move(plan));
+  wire.SendTagged(5);
+  wire.SendTagged(6);
+  EXPECT_EQ(wire.Tags(), (std::vector<std::uint64_t>{5, 6}));
+}
+
+TEST(ChaosTransportTest, CountersBalanceUnderMixedFaults) {
+  FaultPlan plan;
+  plan.AddTransportFault({0, TransportFaultKind::kDrop});
+  plan.AddTransportFault({2, TransportFaultKind::kDuplicate});
+  plan.AddTransportFault({4, TransportFaultKind::kStale});
+  plan.AddTransportFault({6, TransportFaultKind::kTruncate});
+  Wire wire(std::move(plan));
+  for (std::uint64_t t = 0; t < 8; ++t) wire.SendTagged(t);
+  wire.transport->Flush();
+  const ChaosTransport::Stats& stats = wire.transport->stats();
+  EXPECT_EQ(stats.sent, 8u);
+  // delivered = sent - drops + duplicates + stale replays.
+  EXPECT_EQ(stats.delivered,
+            stats.sent.value() - stats.dropped.value() +
+                stats.duplicated.value() + stats.staled.value());
+}
+
+}  // namespace
+}  // namespace limoncello

@@ -1,0 +1,76 @@
+// SatCounter: pins at UINT64_MAX instead of wrapping — a saturated
+// counter is visibly absurd, a wrapped one is plausibly wrong.
+#include "stats/saturating.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace limoncello {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(SatCounterTest, StartsAtZeroAndCounts) {
+  SatCounter counter;
+  EXPECT_EQ(counter, 0u);
+  EXPECT_FALSE(counter.saturated());
+  ++counter;
+  counter += 9;
+  EXPECT_EQ(counter, 10u);
+  EXPECT_EQ(counter.value(), 10u);
+}
+
+TEST(SatCounterTest, PostIncrementReturnsPriorValue) {
+  SatCounter counter(5);
+  EXPECT_EQ((counter++).value(), 5u);
+  EXPECT_EQ(counter, 6u);
+}
+
+TEST(SatCounterTest, IncrementSaturatesInsteadOfWrapping) {
+  SatCounter counter(kMax);
+  ++counter;
+  EXPECT_EQ(counter, kMax);
+  EXPECT_TRUE(counter.saturated());
+  counter++;
+  EXPECT_EQ(counter, kMax);
+}
+
+TEST(SatCounterTest, AddSaturatesInsteadOfWrapping) {
+  SatCounter counter(kMax - 3);
+  counter += 2;
+  EXPECT_EQ(counter, kMax - 1);
+  EXPECT_FALSE(counter.saturated());
+  counter += 100;  // would wrap a raw u64
+  EXPECT_EQ(counter, kMax);
+  EXPECT_TRUE(counter.saturated());
+  counter += kMax;
+  EXPECT_EQ(counter, kMax);
+}
+
+TEST(SatCounterTest, ConvertsImplicitlyForExistingCallSites) {
+  const SatCounter counter(42);
+  const std::uint64_t raw = counter;  // printf / arithmetic call sites
+  EXPECT_EQ(raw, 42u);
+  EXPECT_EQ(counter + 8u, 50u);
+  EXPECT_GT(counter, 41u);
+}
+
+TEST(SatCounterTest, ComparesHomogeneouslyAndAgainstLiterals) {
+  const SatCounter a(7);
+  const SatCounter b(7);
+  const SatCounter c(8);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a, 7u);  // the heterogeneous overload gtest needs
+}
+
+TEST(SatCounterTest, AssignsFromDecodedJournalValues) {
+  SatCounter counter;
+  counter = SatCounter(123456789);  // journal decode path
+  EXPECT_EQ(counter, 123456789u);
+}
+
+}  // namespace
+}  // namespace limoncello

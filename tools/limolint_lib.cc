@@ -43,11 +43,13 @@ bool InThreadingExemptDir(const std::string& rel) {
 // pure function of (config, seed), so ambient randomness and host clocks
 // are banned outright. Fault plans are pre-scheduled from a seed and
 // journal replay must reproduce the run, so src/faults/ and src/recovery/
-// are in scope too.
+// are in scope too. The control plane promises bit-identical counters at
+// any drain thread count, so src/control/ joins them.
 bool InDeterministicDir(const std::string& rel) {
   return StartsWith(rel, "src/sim/") || StartsWith(rel, "src/fleet/") ||
          StartsWith(rel, "src/core/") || StartsWith(rel, "src/faults/") ||
-         StartsWith(rel, "src/recovery/");
+         StartsWith(rel, "src/recovery/") ||
+         StartsWith(rel, "src/control/");
 }
 
 }  // namespace
@@ -485,7 +487,7 @@ const std::vector<Rule>& Rules() {
        "util/mutex.h or util/thread_pool.h"},
       {"no-assert", "everywhere",
        "assert(); use LIMONCELLO_CHECK / LIMONCELLO_DCHECK (util/check.h)"},
-      {"determinism", "src/{sim,fleet,core,faults,recovery}/",
+      {"determinism", "src/{sim,fleet,core,faults,recovery,control}/",
        "ambient RNG or host clocks; use util/rng.h and simulated time"},
       {"iostream-header", "src/ headers",
        "#include <iostream> in a header; log via util/logging.h in a .cc"},

@@ -12,13 +12,19 @@
 // Examples:
 //   limoncellod --ticks=120 --upper=0.8 --lower=0.6 --sustain-sec=5
 //   limoncellod --mode=real --telemetry-file=/run/membw.txt --dry-run
+#include <algorithm>
+#include <array>
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "control/control_plane.h"
+#include "control/endpoint_sim.h"
 #include "core/daemon.h"
 #include "core/file_utilization_source.h"
 #include "core/perf_csv_source.h"
+#include "faults/transport_chaos.h"
 #include "fleet/machine_model.h"
 #include "msr/linux_msr_device.h"
 #include "recovery/recovery_manager.h"
@@ -232,6 +238,196 @@ int RunSim(const FlagParser& flags) {
   return 0;
 }
 
+// Multi-endpoint sim: one ControlPlane managing --endpoints simulated
+// machines over the framed wire protocol, with optional transport chaos.
+// The single-socket path (--endpoints=1) never enters here — it stays on
+// RunSim bit for bit.
+int RunControlSim(const FlagParser& flags) {
+  const int ticks = static_cast<int>(flags.GetInt("ticks").value_or(240));
+  const int num_endpoints =
+      static_cast<int>(flags.GetInt("endpoints").value_or(1));
+  const ControllerConfig config = ConfigFromFlags(flags);
+  if (!ValidateConfigOrLog(config)) return 2;
+
+  ControlPlaneOptions options;
+  options.num_endpoints = num_endpoints;
+  options.num_shards = static_cast<int>(
+      flags.GetInt("shards").value_or(std::min(num_endpoints, 8)));
+  options.config = config;
+  const int samples_per_batch =
+      static_cast<int>(flags.GetInt("samples-per-batch").value_or(4));
+  if (options.num_shards < 1 || samples_per_batch < 1 ||
+      samples_per_batch > static_cast<int>(TelemetryBatch::kMaxSamples)) {
+    LIMONCELLO_LOG_ERROR(
+        "--shards must be >= 1 and --samples-per-batch in [1, %u]",
+        TelemetryBatch::kMaxSamples);
+    return 2;
+  }
+
+  // The endpoint fleet: diurnal + bursty utilization, forked per
+  // endpoint from one seed so the run reproduces bit for bit.
+  const Rng root(42);
+  std::vector<std::unique_ptr<SimulatedEndpoint>> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(num_endpoints));
+  for (int i = 0; i < num_endpoints; ++i) {
+    SimulatedEndpoint::Options eo;
+    eo.endpoint_id = static_cast<std::uint32_t>(i);
+    eo.samples_per_batch = samples_per_batch;
+    eo.diurnal_period_ticks = std::max(2, ticks / 2);
+    endpoints.push_back(std::make_unique<SimulatedEndpoint>(
+        eo, root.Fork(static_cast<std::uint64_t>(i))));
+  }
+
+  ControlPlane plane(options, [&endpoints](std::uint32_t id, bool enable) {
+    return endpoints[id]->Actuate(enable);
+  });
+
+  // Optional chaos: per-endpoint transport fault schedules (drop,
+  // reorder, duplicate, truncate, stale) replayed on each wire.
+  const bool chaos = flags.GetBool("chaos").value_or(false);
+  std::vector<FaultPlan> plans;
+  if (chaos) {
+    FaultSpec spec;
+    spec.transport_drop_rate = 0.02;
+    spec.transport_reorder_rate = 0.01;
+    spec.transport_duplicate_rate = 0.01;
+    spec.transport_truncate_rate = 0.01;
+    spec.transport_stale_rate = 0.01;
+    const std::uint64_t chaos_seed = static_cast<std::uint64_t>(
+        flags.GetInt("chaos-seed").value_or(1));
+    const Rng chaos_root(chaos_seed);
+    plans.reserve(static_cast<std::size_t>(num_endpoints));
+    for (int i = 0; i < num_endpoints; ++i) {
+      plans.push_back(FaultPlan::Generate(
+          spec, ticks, chaos_root.Fork(static_cast<std::uint64_t>(i))));
+    }
+  }
+  std::uint64_t now_ns = 0;
+  std::vector<std::unique_ptr<ChaosTransport>> wires;
+  wires.reserve(static_cast<std::size_t>(num_endpoints));
+  for (int i = 0; i < num_endpoints; ++i) {
+    wires.push_back(std::make_unique<ChaosTransport>(
+        chaos ? &plans[static_cast<std::size_t>(i)] : nullptr,
+        [&plane, &now_ns](const unsigned char* data, std::size_t size) {
+          (void)plane.IngestFrame(data, size, now_ns);
+        }));
+  }
+
+  // Optional per-endpoint journal: warm-restart the fleet's committed
+  // decisions, journal dirty endpoints each tick, snapshot on exit.
+  std::unique_ptr<EndpointStateJournal> journal;
+  const auto state_file = flags.GetString("state-file");
+  if (state_file.has_value()) {
+    const EndpointRecoveryResult recovered =
+        RecoverEndpointStates(*state_file, &plane);
+    LIMONCELLO_LOG_INFO(
+        "endpoint journal %s: %d endpoint(s) warm-restored, %d rejected "
+        "(%llu torn, %llu corrupt record(s) tolerated)",
+        state_file->c_str(), recovered.adopted, recovered.rejected,
+        static_cast<unsigned long long>(recovered.replay.torn_records),
+        static_cast<unsigned long long>(recovered.replay.corrupt_records));
+    EndpointStateJournal::Options jo;
+    jo.path = *state_file;
+    journal = std::make_unique<EndpointStateJournal>(jo);
+  }
+
+  LIMONCELLO_LOG_INFO(
+      "control-plane mode: %d endpoints over %d shard(s), %d ticks, "
+      "batch of %d, thresholds %.0f%%/%.0f%%%s",
+      num_endpoints, options.num_shards, ticks, samples_per_batch,
+      100.0 * config.lower_threshold, 100.0 * config.upper_threshold,
+      chaos ? ", transport chaos on" : "");
+
+  std::array<unsigned char, kMaxTelemetryFrameBytes> frame;
+  std::vector<EndpointPersistentState> dirty;
+  for (int t = 0; t < ticks; ++t) {
+    if (g_shutdown_signal != 0) {
+      LIMONCELLO_LOG_INFO("signal %d: stopping at tick %d",
+                          static_cast<int>(g_shutdown_signal), t);
+      break;
+    }
+    now_ns = static_cast<std::uint64_t>(t) *
+             static_cast<std::uint64_t>(config.tick_period_ns);
+    for (int i = 0; i < num_endpoints; ++i) {
+      const std::size_t size = endpoints[static_cast<std::size_t>(i)]->Tick(
+          frame.data());
+      if (size > 0) {
+        wires[static_cast<std::size_t>(i)]->Send(frame.data(), size);
+      }
+    }
+    plane.DrainAll(now_ns);
+    plane.AdvanceTick();
+    if (journal != nullptr) {
+      dirty.clear();
+      plane.CollectDirtyEndpoints(&dirty);
+      for (const EndpointPersistentState& record : dirty) {
+        (void)journal->Append(record);
+      }
+    }
+  }
+  for (auto& wire : wires) wire->Flush();
+  plane.DrainAll(now_ns);
+  if (journal != nullptr) {
+    if (journal->WriteSnapshot(plane.ExportAllEndpoints())) {
+      LIMONCELLO_LOG_INFO("flushed endpoint snapshot to %s",
+                          journal->path().c_str());
+    } else {
+      LIMONCELLO_LOG_WARN("failed to flush endpoint snapshot to %s",
+                          journal->path().c_str());
+    }
+  }
+
+  const ControlPlane::Stats stats = plane.SnapshotStats();
+  LIMONCELLO_LOG_INFO(
+      "summary: %llu ticks, %llu frames ingested (%llu shed, %llu "
+      "rejected, %llu backpressure signals), %llu decoded (%llu decode "
+      "failures, %llu sequence rejects), %llu samples",
+      static_cast<unsigned long long>(plane.tick()),
+      static_cast<unsigned long long>(stats.frames_ingested),
+      static_cast<unsigned long long>(stats.frames_shed),
+      static_cast<unsigned long long>(stats.frames_rejected),
+      static_cast<unsigned long long>(stats.backpressure_signals),
+      static_cast<unsigned long long>(stats.frames_decoded),
+      static_cast<unsigned long long>(stats.decode_failures),
+      static_cast<unsigned long long>(stats.sequence_rejects),
+      static_cast<unsigned long long>(stats.samples_accepted));
+  LIMONCELLO_LOG_INFO(
+      "summary: %llu disables, %llu enables, %llu actuation failures, "
+      "%llu command overflows, %llu stale-endpoint fail-safes, %llu "
+      "warm restores",
+      static_cast<unsigned long long>(stats.disables),
+      static_cast<unsigned long long>(stats.enables),
+      static_cast<unsigned long long>(stats.actuation_failures),
+      static_cast<unsigned long long>(stats.command_overflows),
+      static_cast<unsigned long long>(stats.stale_endpoint_failsafes),
+      static_cast<unsigned long long>(stats.warm_restores));
+  if (chaos) {
+    ChaosTransport::Stats wire_totals;
+    for (const auto& wire : wires) {
+      const ChaosTransport::Stats& s = wire->stats();
+      wire_totals.sent += s.sent.value();
+      wire_totals.delivered += s.delivered.value();
+      wire_totals.dropped += s.dropped.value();
+      wire_totals.reordered += s.reordered.value();
+      wire_totals.duplicated += s.duplicated.value();
+      wire_totals.truncated += s.truncated.value();
+      wire_totals.staled += s.staled.value();
+    }
+    LIMONCELLO_LOG_INFO(
+        "chaos: %llu frames sent -> %llu delivered (%llu dropped, %llu "
+        "reordered, %llu duplicated, %llu truncated, %llu stale "
+        "re-deliveries)",
+        static_cast<unsigned long long>(wire_totals.sent),
+        static_cast<unsigned long long>(wire_totals.delivered),
+        static_cast<unsigned long long>(wire_totals.dropped),
+        static_cast<unsigned long long>(wire_totals.reordered),
+        static_cast<unsigned long long>(wire_totals.duplicated),
+        static_cast<unsigned long long>(wire_totals.truncated),
+        static_cast<unsigned long long>(wire_totals.staled));
+  }
+  return 0;
+}
+
 int RunReal(const FlagParser& flags) {
   const auto telemetry_path = flags.GetString("telemetry-file");
   const auto perf_csv_path = flags.GetString("perf-csv");
@@ -385,12 +581,23 @@ int Main(int argc, char** argv) {
       .Define("max-missed-samples", "missed samples before fail-safe (5)")
       .Define("chaos",
               "sim mode: inject a deterministic fault load (telemetry "
-              "corruption, MSR failures, crash/reboot)")
+              "corruption, MSR failures, crash/reboot; with "
+              "--endpoints>1, transport faults on every wire)")
       .Define("chaos-seed", "sim mode with --chaos: fault schedule seed (1)")
+      .Define("endpoints",
+              "sim mode: machines managed by one control plane (1 = the "
+              "classic single-socket daemon loop)")
+      .Define("shards",
+              "sim mode with --endpoints>1: control-plane shards "
+              "(default min(endpoints, 8))")
+      .Define("samples-per-batch",
+              "sim mode with --endpoints>1: samples per telemetry batch "
+              "frame (4)")
       .Define("telemetry-file", "real mode: file with utilization samples")
       .Define("state-file",
-              "real mode: CRC-protected state journal enabling warm "
-              "restart (see DESIGN.md section 11)")
+              "CRC-protected state journal enabling warm restart: the "
+              "daemon journal in real mode, the per-endpoint journal "
+              "with --endpoints>1 (see DESIGN.md sections 11 and 15)")
       .Define("snapshot-period-ticks",
               "real mode with --state-file: journal cadence on quiet "
               "ticks (8; actuations always journal)")
@@ -421,6 +628,8 @@ int Main(int argc, char** argv) {
   SetDefaultThreadCount(
       static_cast<int>(flags.GetInt("threads").value_or(0)));
   const std::string mode = flags.GetString("mode").value_or("sim");
+  const long long endpoints = flags.GetInt("endpoints").value_or(1);
+  if (mode == "sim" && endpoints > 1) return RunControlSim(flags);
   if (mode == "sim") return RunSim(flags);
   if (mode == "real") return RunReal(flags);
   LIMONCELLO_LOG_ERROR("unknown --mode=%s (want sim or real)",
