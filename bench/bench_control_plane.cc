@@ -21,14 +21,31 @@
 //   - serial ingest throughput falls below the 1M samples/sec floor the
 //     design doc commits to (DESIGN.md §15).
 //
+// Gate mode additionally crosses the process boundary (PR: socket
+// transport): a forked blaster child streams the same pre-encoded
+// workload over a real UNIX socket into a SocketListener-fed plane
+// (ingest + alloc floors must hold there too), and a kill -9 storm
+// spawns the limoncellod / limoncello-exporter / limoncello-flakyproxy
+// trio, SIGKILLs every role at least once, and requires the restarted
+// plane to report full reconvergence and leave a replayable journal.
+//
 //   bench_control_plane [--endpoints=N] [--ticks=N] [--threads=1,2,4]
 //                       [--json=BENCH_control.json] [--gate]
+//                       [--daemon=PATH --exporter=PATH --flakyproxy=PATH]
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <new>
 #include <string>
 #include <vector>
@@ -39,7 +56,11 @@
 #include "core/controller_config.h"
 #include "faults/fault_plan.h"
 #include "faults/transport_chaos.h"
+#include "recovery/state_journal.h"
+#include "transport/socket_addr.h"
+#include "transport/socket_listener.h"
 #include "util/flags.h"
+#include "util/posix_io.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -437,6 +458,322 @@ ChaosResult RunChaos(int endpoints, int ticks, int chaos_ticks,
 }
 
 // ---------------------------------------------------------------------------
+// Multi-process arms (gate only). Everything above exercises the plane
+// in process; these two put the PR's actual deliverable — the socket
+// transport — under the same floors.
+
+// Socket-floor arm: a forked child connects to a real UNIX socket and
+// blasts the pre-encoded workload; the parent runs the production
+// wiring (SocketListener + ControlPlane, actuation routed back through
+// the listener) and must sustain the ingest floor and the allocation
+// budget with the frames arriving as an arbitrarily-split byte stream
+// instead of in-process function calls.
+struct SocketFloorResult {
+  bool completed = false;
+  double samples_per_sec = 0.0;
+  double allocs_per_frame = 0.0;
+  std::uint64_t frames_over_socket = 0;
+};
+
+SocketFloorResult RunSocketFloor(const Workload& w) {
+  SocketFloorResult result;
+  char path[64];
+  std::snprintf(path, sizeof(path), "/tmp/limoncello_gate_%d.sock",
+                static_cast<int>(::getpid()));
+  SocketAddress address;
+  address.kind = SocketAddress::Kind::kUnix;
+  address.path = path;
+
+  SocketListener::Options listener_options;
+  listener_options.address = address;
+  SocketListener listener(listener_options);
+  // Queue capacity x shards exceeds the whole workload, so nothing can
+  // shed: every frame the wire delivers must be accepted, making
+  // samples/sec an honest end-to-end rate.
+  ControlPlane plane(PlaneOptions(w.endpoints, 8, 4096),
+                     [&listener](std::uint32_t id, bool enable) {
+                       return listener.SendActuation(id, enable);
+                     });
+  listener.BindPlane(&plane);
+  if (!listener.Start()) return result;
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    listener.Stop();
+    (void)::unlink(path);
+    return result;
+  }
+  if (child == 0) {
+    // Blaster: the workload bytes are shared copy-on-write and only
+    // read; nothing here allocates. The opportunistic drain keeps the
+    // child's receive buffer from filling with actuation frames.
+    const int fd = ConnectSocket(address);
+    if (fd < 0) _exit(3);
+    unsigned char sink[4096];
+    for (int round = 0; round < w.rounds; ++round) {
+      for (int e = 0; e < w.endpoints; ++e) {
+        if (!SendFully(fd, w.FrameData(round, e), w.FrameSize(round, e))) {
+          _exit(4);
+        }
+      }
+      (void)::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+    }
+    _exit(0);
+  }
+
+  const std::uint64_t expected_frames =
+      static_cast<std::uint64_t>(w.rounds) *
+      static_cast<std::uint64_t>(w.endpoints);
+  // Warmup ends once a full round has crossed the wire: accept, sink
+  // binding, pollfd growth, and first-drain scratch are all excluded —
+  // steady state is the claim, same as the in-process measurement.
+  const std::uint64_t warmup_frames =
+      static_cast<std::uint64_t>(w.endpoints);
+  const std::uint64_t deadline_ns = NowNs() + 30'000'000'000ULL;
+  bool counting = false;
+  std::uint64_t counted_from_frames = 0;
+  std::uint64_t counted_from_samples = 0;
+  std::uint64_t count_start_ns = 0;
+  std::uint64_t frames = 0;
+  while (frames < expected_frames && NowNs() < deadline_ns) {
+    listener.PollOnce(20, NowNs());
+    plane.DrainAll(NowNs());
+    plane.AdvanceTick();
+    frames = listener.SnapshotStats().frames_ingested.value();
+    if (!counting && frames >= warmup_frames) {
+      counting = true;
+      counted_from_frames = frames;
+      counted_from_samples = plane.SnapshotStats().samples_accepted.value();
+      g_heap_allocs.store(0);
+      g_count_allocs.store(true);
+      count_start_ns = NowNs();
+    }
+  }
+  g_count_allocs.store(false);
+  const std::uint64_t count_stop_ns = NowNs();
+
+  int status = 0;
+  (void)::waitpid(child, &status, 0);
+  const bool child_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  listener.Stop();
+  (void)::unlink(path);
+
+  const std::uint64_t counted_frames = frames - counted_from_frames;
+  const std::uint64_t counted_samples =
+      plane.SnapshotStats().samples_accepted.value() - counted_from_samples;
+  const double seconds =
+      static_cast<double>(count_stop_ns - count_start_ns) * 1e-9;
+  result.completed = child_ok && frames == expected_frames && counting;
+  result.frames_over_socket = frames;
+  if (seconds > 0.0) {
+    result.samples_per_sec = static_cast<double>(counted_samples) / seconds;
+  }
+  if (counted_frames > 0) {
+    result.allocs_per_frame = static_cast<double>(g_heap_allocs.load()) /
+                              static_cast<double>(counted_frames);
+  }
+  return result;
+}
+
+// Kill-storm arm: the real binaries, a real chaos proxy on the wire,
+// and SIGKILL for every role — exporters one by one, the proxy, and the
+// plane itself (journal warm-restore on the way back up). The restarted
+// plane's graceful shutdown must report every endpoint reconverged, and
+// the journal it leaves behind must replay to all endpoints.
+
+pid_t SpawnTool(const std::vector<std::string>& argv,
+                const std::string& log_path) {
+  // argv is marshalled before fork: the child only dup2s and execs.
+  std::vector<char*> args;
+  args.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    args.push_back(const_cast<char*>(a.c_str()));
+  }
+  args.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    (void)::dup2(fd, STDOUT_FILENO);
+    (void)::dup2(fd, STDERR_FILENO);
+    if (fd > STDERR_FILENO) (void)::close(fd);
+  }
+  ::execv(args[0], args.data());
+  _exit(127);
+}
+
+void ReapProcess(pid_t pid) {
+  if (pid <= 0) return;
+  int status = 0;
+  (void)::waitpid(pid, &status, 0);
+}
+
+void KillHard(pid_t pid) {
+  if (pid <= 0) return;
+  (void)::kill(pid, SIGKILL);
+  ReapProcess(pid);
+}
+
+void StopSoft(pid_t pid) {
+  if (pid <= 0) return;
+  (void)::kill(pid, SIGTERM);
+  ReapProcess(pid);
+}
+
+void SleepMs(int ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+bool FileContains(const std::string& path, const char* needle) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string contents;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  return contents.find(needle) != std::string::npos;
+}
+
+struct KillStormResult {
+  bool ran = false;          // all three binaries spawned
+  bool reconverged = false;  // plane's final banner says every endpoint
+  bool journal_ok = false;   // journal replays to all endpoints
+  int journal_endpoints = 0;
+  std::uint64_t journal_valid_records = 0;
+};
+
+KillStormResult RunKillStorm(const std::string& daemon_path,
+                             const std::string& exporter_path,
+                             const std::string& proxy_path) {
+  KillStormResult result;
+  constexpr int kEndpoints = 8;
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "/tmp/limoncello_gate_%d",
+                static_cast<int>(::getpid()));
+  const std::string plane_sock = std::string(prefix) + "_plane.sock";
+  const std::string proxy_sock = std::string(prefix) + "_proxy.sock";
+  const std::string journal = std::string(prefix) + ".journal";
+  const std::string plane_log = std::string(prefix) + "_plane.log";
+  const std::string peer_log = std::string(prefix) + "_peers.log";
+  for (const std::string& p :
+       {plane_sock, proxy_sock, journal, plane_log, peer_log}) {
+    (void)::unlink(p.c_str());
+  }
+
+  // Plane tick 10 ms with a 16-tick staleness window: a restarted
+  // exporter (sequence reset to 1) must be re-adopted within 160 ms.
+  auto spawn_plane = [&]() {
+    return SpawnTool({daemon_path, "--listen=" + plane_sock,
+                      "--endpoints=" + std::to_string(kEndpoints),
+                      "--tick-ms=10", "--max-missed-samples=16",
+                      "--state-file=" + journal},
+                     plane_log);
+  };
+  // Mild ambient chaos: every fault category stays live on the wire for
+  // the whole storm, on top of the kills.
+  auto spawn_proxy = [&]() {
+    return SpawnTool({proxy_path, "--listen=" + proxy_sock,
+                      "--upstream=" + plane_sock, "--seed=7",
+                      "--drop=0.02", "--reorder=0.01", "--duplicate=0.02",
+                      "--truncate=0.02", "--stale=0.01"},
+                     peer_log);
+  };
+  auto spawn_exporter = [&](int id) {
+    return SpawnTool({exporter_path, "--connect=" + proxy_sock,
+                      "--endpoint-id=" + std::to_string(id),
+                      "--seed=" + std::to_string(100 + id), "--tick-ms=2",
+                      "--samples-per-batch=2", "--initial-backoff-ms=5",
+                      "--max-backoff-ms=80"},
+                     peer_log);
+  };
+
+  pid_t plane = spawn_plane();
+  pid_t proxy = spawn_proxy();
+  std::vector<pid_t> exporters;
+  for (int i = 0; i < kEndpoints; ++i) {
+    exporters.push_back(spawn_exporter(i));
+  }
+  result.ran = plane > 0 && proxy > 0;
+  for (const pid_t e : exporters) result.ran = result.ran && e > 0;
+  if (!result.ran) {
+    StopSoft(plane);
+    StopSoft(proxy);
+    for (const pid_t e : exporters) StopSoft(e);
+    return result;
+  }
+
+  SleepMs(400);  // steady telemetry through the proxy
+
+  // SIGKILL every exporter in turn; each restart resets its sequence
+  // numbering, forcing the plane through reject -> staleness-forget ->
+  // re-adopt for every endpoint.
+  for (int i = 0; i < kEndpoints; ++i) {
+    KillHard(exporters[static_cast<std::size_t>(i)]);
+    SleepMs(30);
+    exporters[static_cast<std::size_t>(i)] = spawn_exporter(i);
+  }
+  SleepMs(200);
+
+  // SIGKILL the proxy: every connection on both sides dies at once.
+  KillHard(proxy);
+  SleepMs(100);
+  proxy = spawn_proxy();
+  SleepMs(200);
+
+  // SIGKILL the plane itself; the restart warm-restores from the
+  // journal (stale socket file included — no operator cleanup).
+  KillHard(plane);
+  SleepMs(150);
+  plane = spawn_plane();
+
+  // Stabilization: covers reconnect backoff (cap 80 ms), the staleness
+  // window (160 ms), and several clean batches on top.
+  SleepMs(1500);
+
+  // Graceful shutdown prints the reconvergence banner and snapshots the
+  // journal; peers are still alive at that instant, so "fresh" is a
+  // statement about the healed fleet, not about shutdown ordering.
+  StopSoft(plane);
+  for (const pid_t e : exporters) StopSoft(e);
+  StopSoft(proxy);
+
+  char banner[64];
+  std::snprintf(banner, sizeof(banner), "reconverged %d/%d endpoints",
+                kEndpoints, kEndpoints);
+  result.reconverged = FileContains(plane_log, banner);
+
+  const EndpointJournalReplay replay = EndpointStateJournal::Replay(journal);
+  result.journal_endpoints = static_cast<int>(replay.states.size());
+  result.journal_valid_records = replay.valid_records;
+  bool all_sequenced =
+      replay.states.size() == static_cast<std::size_t>(kEndpoints);
+  for (const EndpointPersistentState& state : replay.states) {
+    all_sequenced = all_sequenced && state.have_sequence;
+  }
+  result.journal_ok = replay.file_found && all_sequenced;
+
+  if (result.reconverged && result.journal_ok) {
+    for (const std::string& p :
+         {plane_sock, proxy_sock, journal, plane_log, peer_log}) {
+      (void)::unlink(p.c_str());
+    }
+  } else {
+    std::fprintf(stderr,
+                 "kill-storm evidence kept: %s %s %s\n",
+                 plane_log.c_str(), peer_log.c_str(), journal.c_str());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 
 std::vector<int> ParseThreadList(const std::string& spec) {
   std::vector<int> threads;
@@ -517,7 +854,7 @@ bool WriteJson(const std::string& path, const Workload& w,
 
 // ---------------------------------------------------------------------------
 
-int RunGate() {
+int RunGate(const FlagParser& flags) {
   // Fixed gate configuration: big enough that serial wall time dominates
   // timer noise, small enough to stay an instant ctest. Capacity 64 with
   // drains every 4 rounds makes the queues actually shed, so the
@@ -574,11 +911,59 @@ int RunGate() {
               kGateSamplesPerSecFloor * 1e-6,
               static_cast<unsigned long long>(best.p99_ns));
 
-  return identical && shed_exercised && allocs_ok && fast_enough ? 0 : 1;
+  // The same floors, with a process boundary and a real socket in the
+  // middle: frames arrive as an arbitrarily-split byte stream through
+  // the reassembler instead of as in-process calls.
+  const SocketFloorResult socket_floor = RunSocketFloor(w);
+  const bool socket_fast =
+      socket_floor.completed &&
+      socket_floor.samples_per_sec >= kGateSamplesPerSecFloor;
+  const bool socket_allocs_ok =
+      socket_floor.completed &&
+      socket_floor.allocs_per_frame < kGateAllocsPerFrame;
+  std::printf("[%s] socket ingest %.2fM samples/sec across the process "
+              "boundary (floor %.1fM; %llu frames over the wire)\n",
+              socket_fast ? "pass" : "FAIL",
+              socket_floor.samples_per_sec * 1e-6,
+              kGateSamplesPerSecFloor * 1e-6,
+              static_cast<unsigned long long>(
+                  socket_floor.frames_over_socket));
+  std::printf("[%s] socket heap allocs per frame: %.4f (budget %.2f)\n",
+              socket_allocs_ok ? "pass" : "FAIL",
+              socket_floor.allocs_per_frame, kGateAllocsPerFrame);
+
+  // Kill-storm: needs the tool binaries (ctest passes their paths).
+  // Without them the arm is reported as skipped, never silently green.
+  const std::string daemon_path = flags.GetString("daemon").value_or("");
+  const std::string exporter_path = flags.GetString("exporter").value_or("");
+  const std::string proxy_path = flags.GetString("flakyproxy").value_or("");
+  bool storm_ok = true;
+  if (daemon_path.empty() || exporter_path.empty() || proxy_path.empty()) {
+    std::printf("[skip] kill -9 storm (pass --daemon/--exporter/"
+                "--flakyproxy to run it)\n");
+  } else {
+    const KillStormResult storm =
+        RunKillStorm(daemon_path, exporter_path, proxy_path);
+    storm_ok = storm.ran && storm.reconverged && storm.journal_ok;
+    std::printf("[%s] kill -9 storm: plane, proxy, and all 8 exporters "
+                "each SIGKILLed; restarted plane reconverged 8/8 "
+                "(banner %s) and the journal replays %d endpoint(s) "
+                "from %llu valid record(s)\n",
+                storm_ok ? "pass" : "FAIL",
+                storm.reconverged ? "found" : "MISSING",
+                storm.journal_endpoints,
+                static_cast<unsigned long long>(
+                    storm.journal_valid_records));
+  }
+
+  return identical && shed_exercised && allocs_ok && fast_enough &&
+                 socket_fast && socket_allocs_ok && storm_ok
+             ? 0
+             : 1;
 }
 
 int Run(const FlagParser& flags) {
-  if (flags.GetBool("gate").value_or(false)) return RunGate();
+  if (flags.GetBool("gate").value_or(false)) return RunGate(flags);
 
   const int endpoints =
       static_cast<int>(flags.GetInt("endpoints").value_or(256));
@@ -671,7 +1056,10 @@ int main(int argc, char** argv) {
       .Define("ticks", "exporter ticks to replay (default 4096)")
       .Define("threads", "comma-separated thread counts (default 1,2,4)")
       .Define("json", "output path (default BENCH_control.json)")
-      .Define("gate", "run the CI gate checks and exit");
+      .Define("gate", "run the CI gate checks and exit")
+      .Define("daemon", "limoncellod path (gate kill-storm arm)")
+      .Define("exporter", "limoncello-exporter path (gate kill-storm arm)")
+      .Define("flakyproxy", "limoncello-flakyproxy path (gate kill-storm arm)");
   if (!flags.Parse(argc, argv)) return 2;
   return limoncello::bench::Run(flags);
 }

@@ -1,0 +1,80 @@
+#include "control/actuation_frame.h"
+
+#include "util/crc32.h"
+#include "util/wire.h"
+
+namespace limoncello {
+
+const char* ActuationDecodeStatusName(ActuationDecodeStatus status) {
+  switch (status) {
+    case ActuationDecodeStatus::kOk:
+      return "ok";
+    case ActuationDecodeStatus::kTruncated:
+      return "truncated";
+    case ActuationDecodeStatus::kBadMagic:
+      return "bad_magic";
+    case ActuationDecodeStatus::kBadVersion:
+      return "bad_version";
+    case ActuationDecodeStatus::kBadLength:
+      return "bad_length";
+    case ActuationDecodeStatus::kBadCrc:
+      return "bad_crc";
+    case ActuationDecodeStatus::kBadValue:
+      return "bad_value";
+  }
+  return "invalid";
+}
+
+// limolint:hot-path — runs inside the plane's actuation hook with the
+// shard lock held: pure byte stores into a caller-provided buffer.
+std::size_t EncodeActuationCommand(const ActuationCommandFrame& command,
+                                   unsigned char* out) {
+  StoreU32(out, kActuationFrameMagic);
+  StoreU32(out + 4, kActuationFrameVersion);
+  StoreU32(out + 8, static_cast<std::uint32_t>(kActuationFramePayloadBytes));
+  unsigned char* p = out + kActuationFrameHeaderBytes;
+  StoreU32(p, command.endpoint_id);
+  StoreU32(p + 4, command.enable ? 1u : 0u);
+  // CRC covers version + size + payload; the magic is frame sync (same
+  // convention as the telemetry frames and the state journal).
+  const std::uint32_t crc =
+      Crc32(out + 4, 8 + kActuationFramePayloadBytes);
+  StoreU32(out + kActuationFrameHeaderBytes + kActuationFramePayloadBytes,
+           crc);
+  return kActuationFrameBytes;
+}
+
+ActuationDecodeStatus DecodeActuationCommand(const unsigned char* data,
+                                             std::size_t size,
+                                             ActuationCommandFrame* out) {
+  if (size < kActuationFrameHeaderBytes) {
+    return ActuationDecodeStatus::kTruncated;
+  }
+  if (LoadU32(data) != kActuationFrameMagic) {
+    return ActuationDecodeStatus::kBadMagic;
+  }
+  if (LoadU32(data + 4) != kActuationFrameVersion) {
+    return ActuationDecodeStatus::kBadVersion;
+  }
+  if (LoadU32(data + 8) != kActuationFramePayloadBytes) {
+    return ActuationDecodeStatus::kBadLength;
+  }
+  if (size < kActuationFrameBytes) {
+    return ActuationDecodeStatus::kTruncated;
+  }
+  const std::uint32_t crc = Crc32(data + 4, 8 + kActuationFramePayloadBytes);
+  if (crc != LoadU32(data + kActuationFrameHeaderBytes +
+                     kActuationFramePayloadBytes)) {
+    return ActuationDecodeStatus::kBadCrc;
+  }
+  const unsigned char* p = data + kActuationFrameHeaderBytes;
+  const std::uint32_t enable = LoadU32(p + 4);
+  if (enable > 1) {
+    return ActuationDecodeStatus::kBadValue;
+  }
+  out->endpoint_id = LoadU32(p);
+  out->enable = enable == 1;
+  return ActuationDecodeStatus::kOk;
+}
+
+}  // namespace limoncello

@@ -281,6 +281,15 @@ void ControlPlane::AdvanceTick() {
         endpoint.failsafe_active = true;
         endpoint.controller.Reset();
         endpoint.intent_enabled = true;
+        // Forget the sequence watermark along with the FSM: a silent
+        // endpoint that comes back is usually a restarted exporter
+        // whose sequence numbers begin again at 1, and holding the old
+        // watermark would reject every frame it ever sends. Stale
+        // replays of the *previous* incarnation are already absorbed —
+        // the fail-safe has reset the FSM to the state a fresh stream
+        // would rebuild anyway.
+        endpoint.have_sequence = false;
+        endpoint.last_sequence = 0;
         endpoint.journal_dirty = true;
         ++shard.stats.stale_endpoint_failsafes;
         ApplyIntent(shard, endpoint);

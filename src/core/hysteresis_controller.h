@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/controller_config.h"
+#include "stats/saturating.h"
 #include "util/units.h"
 
 namespace limoncello {
@@ -68,7 +69,7 @@ class HysteresisController {
   ControllerConfig config_;
   ControllerState state_ = ControllerState::kEnabledSteady;
   SimTimeNs timer_ns_ = 0;
-  std::uint64_t toggle_count_ = 0;
+  SatCounter toggle_count_;
 };
 
 }  // namespace limoncello

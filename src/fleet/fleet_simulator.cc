@@ -353,8 +353,8 @@ FleetMetrics FleetSimulator::Run() {
     metrics.diverged_machine_ticks += rec.diverged_ticks;
     metrics.reconverge_events += rec.reconverge_events;
     metrics.reconverge_ticks_sum += rec.reconverge_ticks_sum;
-    metrics.max_reconverge_ticks =
-        std::max(metrics.max_reconverge_ticks, rec.max_reconverge_ticks);
+    metrics.max_reconverge_ticks = std::max<std::uint64_t>(
+        metrics.max_reconverge_ticks, rec.max_reconverge_ticks);
     metrics.daemon_restarts_completed += rec.daemon_restarts;
     metrics.daemon_down_machine_ticks += rec.daemon_down_ticks;
   }

@@ -268,8 +268,8 @@ MachineModel::TickResult MachineModel::Tick(
     } else if (divergence_run_ > 0) {
       ++recovery_.reconverge_events;
       recovery_.reconverge_ticks_sum += divergence_run_;
-      recovery_.max_reconverge_ticks =
-          std::max(recovery_.max_reconverge_ticks, divergence_run_);
+      recovery_.max_reconverge_ticks = std::max<std::uint64_t>(
+          recovery_.max_reconverge_ticks, divergence_run_);
       divergence_run_ = 0;
     }
     // In-memory journal: same cadence as RecoveryManager (every

@@ -37,6 +37,7 @@
 #include "fleet/service.h"
 #include "msr/simulated_msr_device.h"
 #include "sim/memory/latency_curve.h"
+#include "stats/saturating.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -80,21 +81,23 @@ class MachineModel {
   };
 
   // Availability/reconvergence accounting under injected faults.
+  // SatCounter throughout: these feed the chaos-soak summary banners,
+  // where a wrapped count is a lie and a pinned one is visibly absurd.
   struct FaultRecovery {
     // Ticks (machine up, daemon present) where the hardware prefetcher
     // state disagreed with the FSM's intent.
-    std::uint64_t diverged_ticks = 0;
+    SatCounter diverged_ticks;
     // Completed divergence episodes (state came back in line).
-    std::uint64_t reconverge_events = 0;
-    std::uint64_t reconverge_ticks_sum = 0;
-    std::uint64_t max_reconverge_ticks = 0;
-    std::uint64_t down_ticks = 0;
+    SatCounter reconverge_events;
+    SatCounter reconverge_ticks_sum;
+    SatCounter max_reconverge_ticks;
+    SatCounter down_ticks;
     // Ticks the machine served with its controller daemon dead (daemon-
     // restart fault windows; distinct from machine down_ticks).
-    std::uint64_t daemon_down_ticks = 0;
+    SatCounter daemon_down_ticks;
     // Daemon restarts actually performed (a window whose end falls
     // inside machine downtime restarts once the machine is back).
-    std::uint64_t daemon_restarts = 0;
+    SatCounter daemon_restarts;
   };
 
   // `fault_plan`, when non-null, must outlive the machine; it inserts the

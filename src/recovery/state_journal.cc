@@ -10,27 +10,12 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/posix_io.h"
 #include "util/wire.h"
 
 namespace limoncello {
 
 namespace {
-
-bool WriteFully(int fd, const unsigned char* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    // The journal's designed append syscall: short writes loop, EINTR
-    // retries.
-    const ssize_t n = ::write(  // limolint:allow(hot-path-blocking)
-        fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 // Upper bound on the size field accepted during replay: a corrupted size
 // must not make the scanner index past the buffer or misinterpret
@@ -195,9 +180,8 @@ JournalReplay StateJournal::Replay(const std::string& path) {
   std::vector<unsigned char> data;
   unsigned char chunk[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    const ssize_t n = ReadChunk(fd, chunk, sizeof(chunk));
     if (n < 0) {
-      if (errno == EINTR) continue;
       ++replay.corrupt_records;  // unreadable counts as corrupt
       (void)::close(fd);
       return replay;
@@ -378,9 +362,8 @@ EndpointJournalReplay EndpointStateJournal::Replay(
   std::vector<unsigned char> data;
   unsigned char chunk[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    const ssize_t n = ReadChunk(fd, chunk, sizeof(chunk));
     if (n < 0) {
-      if (errno == EINTR) continue;
       ++replay.corrupt_records;
       (void)::close(fd);
       return replay;

@@ -1,0 +1,182 @@
+#include "transport/exporter_client.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "control/actuation_frame.h"
+#include "util/posix_io.h"
+
+namespace limoncello {
+
+namespace {
+
+FrameReassembler::Options ActuationReassembly() {
+  FrameReassembler::Options options;
+  options.magic = kActuationFrameMagic;
+  options.max_payload_bytes = kActuationFramePayloadBytes;
+  options.read_chunk_bytes = 4096;
+  return options;
+}
+
+// Interruptible-enough sleep: poll with no descriptors. A signal cuts
+// it short (EINTR), which is exactly what a stopping exporter wants.
+void SleepMs(int ms) {
+  if (ms <= 0) return;
+  (void)::poll(nullptr, 0, ms);
+}
+
+}  // namespace
+
+ExporterClient::ExporterClient(const Options& options)
+    : options_(options),
+      endpoint_(options.endpoint, Rng(options.seed)),
+      rng_(Rng(options.seed).Fork(0x45585054 /* "EXPT" */)),
+      reassembler_(ActuationReassembly()) {}
+
+ExporterClient::~ExporterClient() { Disconnect(); }
+
+bool ExporterClient::EnsureConnected() {
+  if (fd_ >= 0) return true;
+  fd_ = ConnectSocket(options_.address);
+  if (fd_ < 0) {
+    ++stats_.connect_failures;
+    ++consecutive_failures_;
+    return false;
+  }
+  ++stats_.connects;
+  conn_frames_sent_ = 0;
+  reassembler_.Reset();
+  return true;
+}
+
+void ExporterClient::Disconnect() {
+  if (fd_ < 0) return;
+  (void)::close(fd_);
+  fd_ = -1;
+  ++stats_.disconnects;
+  // A connection that died before proving itself counts toward the
+  // backoff streak. connect(2) succeeding is not proof of a live plane:
+  // a proxy with a dead upstream accepts and then instantly closes, and
+  // treating that as success would turn the backoff loop into a
+  // busy-dial storm.
+  if (conn_frames_sent_ < kHealthyConnFrames) ++consecutive_failures_;
+}
+
+int ExporterClient::NextBackoffMs() {
+  // Capped exponential: initial * 2^(failures-1), saturated at the cap.
+  std::int64_t delay = options_.initial_backoff_ms;
+  for (int i = 1; i < consecutive_failures_ &&
+                  delay < options_.max_backoff_ms;
+       ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.max_backoff_ms) delay = options_.max_backoff_ms;
+  if (delay < 1) delay = 1;
+  // Jitter to [50%, 100%]: a plane restart must not see its whole
+  // exporter fleet redial in the same millisecond.
+  return static_cast<int>(
+      delay - static_cast<std::int64_t>(
+                  rng_.NextBounded(static_cast<std::uint64_t>(delay) / 2 +
+                                   1)));
+}
+
+void ExporterClient::TickOnce() {
+  unsigned char frame[kMaxTelemetryFrameBytes];
+  const std::size_t size = endpoint_.Tick(frame);
+  if (size == 0 || fd_ < 0) return;
+  if (SendFully(fd_, frame, size)) {
+    ++stats_.frames_sent;
+    // The first send into a doomed socket can still succeed out of the
+    // kernel buffer; only a connection that keeps accepting frames
+    // clears the backoff streak.
+    if (++conn_frames_sent_ == kHealthyConnFrames) {
+      consecutive_failures_ = 0;
+    }
+  } else {
+    // EPIPE/ECONNRESET: the plane is gone. The frame is lost — the
+    // protocol is lossy by design; the plane's staleness fail-safe
+    // covers extended gaps.
+    ++stats_.send_failures;
+    Disconnect();
+  }
+}
+
+void ExporterClient::PumpActuation() {
+  if (fd_ < 0) return;
+  const FrameReassembler::FrameSink sink = [this](const unsigned char* frame,
+                                                  std::size_t size) {
+    ActuationCommandFrame command;
+    if (DecodeActuationCommand(frame, size, &command) !=
+        ActuationDecodeStatus::kOk) {
+      return;  // reassembler CRC passed but semantic validation failed
+    }
+    if (command.endpoint_id != options_.endpoint.endpoint_id) {
+      // A stale route on the listener can briefly aim another
+      // endpoint's actuation at this stream; applying it would toggle
+      // the wrong machine's prefetchers.
+      ++stats_.actuations_ignored;
+      return;
+    }
+    (void)endpoint_.Actuate(command.enable);
+    ++stats_.actuations_applied;
+  };
+  for (;;) {
+    pollfd entry{};
+    entry.fd = fd_;
+    entry.events = POLLIN;
+    const int ready = ::poll(&entry, 1, 0);
+    if (ready <= 0) return;  // nothing pending (or EINTR: next pass)
+    if ((entry.revents & (POLLIN | POLLHUP | POLLERR)) == 0) return;
+    unsigned char chunk[4096];
+    const ssize_t n = ReadChunk(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      Disconnect();
+      return;
+    }
+    if (n == 0) {
+      Disconnect();  // plane closed (shutdown or kill): redial next loop
+      return;
+    }
+    (void)reassembler_.Ingest(chunk, static_cast<std::size_t>(n), sink);
+  }
+}
+
+bool ExporterClient::Step() {
+  if (!EnsureConnected()) return false;
+  TickOnce();
+  PumpActuation();
+  return connected();
+}
+
+void ExporterClient::Run(const volatile std::sig_atomic_t* stop,
+                         std::uint64_t max_ticks) {
+  std::uint64_t ticks_done = 0;
+  while ((stop == nullptr || *stop == 0) &&
+         (max_ticks == 0 || ticks_done < max_ticks)) {
+    if (fd_ < 0) {
+      // Back off before the redial, not just after a refused dial: an
+      // accepted-then-reset connection (proxy up, plane down) must pace
+      // exactly like a refused one.
+      if (consecutive_failures_ > 0) SleepMs(NextBackoffMs());
+      if (stop != nullptr && *stop != 0) break;
+      if (!EnsureConnected()) continue;
+    }
+    TickOnce();
+    ++ticks_done;
+    if (fd_ < 0) continue;  // send failure: redial with backoff
+    if (options_.tick_period_ms > 0) {
+      // The pacing sleep doubles as the actuation wait: wake early if
+      // the plane pushes a decision, then let the poll below drain it.
+      pollfd entry{};
+      entry.fd = fd_;
+      entry.events = POLLIN;
+      (void)::poll(&entry, 1, options_.tick_period_ms);
+    }
+    PumpActuation();
+  }
+}
+
+}  // namespace limoncello

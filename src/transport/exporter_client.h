@@ -1,0 +1,103 @@
+// The exporter side of the socket transport: one SimulatedEndpoint
+// shipped over a real connection.
+//
+// An ExporterClient owns the machine-side loop of the control protocol:
+// connect to the plane, tick the endpoint, send each completed
+// telemetry frame, apply any actuation frames the plane pushes back —
+// and survive the plane dying at any point in that cycle. Connection
+// loss (refused, reset, EOF mid-stream) never propagates as an error:
+// the client closes, backs off with capped exponential delay + jitter
+// (so a thousand exporters whose plane restarts do not reconnect in
+// lockstep), redials, and resumes. Re-registration is implicit — the
+// first telemetry frame on the new connection rebinds the endpoint's
+// actuation route on the listener.
+//
+// A restarted exporter *process* begins its sequence numbers at 1
+// again; the plane's staleness fail-safe forgets the old watermark
+// after max_missed_samples silent ticks, which bounds how long the
+// fresh stream is rejected. The client does not try to be clever about
+// this — surviving it is the plane's contract, and the kill-storm gate
+// proves it holds.
+#ifndef LIMONCELLO_TRANSPORT_EXPORTER_CLIENT_H_
+#define LIMONCELLO_TRANSPORT_EXPORTER_CLIENT_H_
+
+#include <csignal>
+#include <cstdint>
+
+#include "control/endpoint_sim.h"
+#include "stats/saturating.h"
+#include "transport/frame_reassembler.h"
+#include "transport/socket_addr.h"
+#include "util/rng.h"
+
+namespace limoncello {
+
+class ExporterClient {
+ public:
+  struct Options {
+    SocketAddress address;
+    SimulatedEndpoint::Options endpoint;
+    std::uint64_t seed = 1;
+    // Wall-clock pacing between endpoint ticks. 0 ticks as fast as the
+    // socket accepts (bench / soak mode).
+    int tick_period_ms = 10;
+    // Reconnect backoff: initial delay doubles per consecutive failure
+    // up to the cap, each delay jittered uniformly in [50%, 100%].
+    int initial_backoff_ms = 10;
+    int max_backoff_ms = 200;
+  };
+
+  struct Stats {
+    SatCounter connects;
+    SatCounter connect_failures;
+    SatCounter disconnects;
+    SatCounter frames_sent;
+    SatCounter send_failures;
+    SatCounter actuations_applied;
+    SatCounter actuations_ignored;  // valid frame for a different endpoint
+  };
+
+  explicit ExporterClient(const Options& options);
+  ~ExporterClient();
+
+  ExporterClient(const ExporterClient&) = delete;
+  ExporterClient& operator=(const ExporterClient&) = delete;
+
+  // Runs the connect/tick/send/apply loop until *stop becomes nonzero
+  // (signal-handler safe) or `max_ticks` endpoint ticks have run
+  // (0 = unbounded).
+  void Run(const volatile std::sig_atomic_t* stop, std::uint64_t max_ticks);
+
+  // Single-step form for tests: ensures a connection (one dial attempt,
+  // no sleeping), runs one endpoint tick, pumps inbound actuation.
+  // Returns true if connected at the end of the step.
+  bool Step();
+
+  const Stats& stats() const { return stats_; }
+  const SimulatedEndpoint& endpoint() const { return endpoint_; }
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool EnsureConnected();  // one attempt; false = caller should back off
+  void Disconnect();
+  void PumpActuation();  // nonblocking drain of plane -> exporter frames
+  void TickOnce();
+  int NextBackoffMs();
+
+  // Sends a connection must survive before it clears the backoff
+  // streak (see Disconnect for why connect(2) success is not enough).
+  static constexpr int kHealthyConnFrames = 2;
+
+  Options options_;
+  SimulatedEndpoint endpoint_;
+  Rng rng_;
+  FrameReassembler reassembler_;
+  int fd_ = -1;
+  int consecutive_failures_ = 0;
+  int conn_frames_sent_ = 0;  // successful sends on this connection
+  Stats stats_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TRANSPORT_EXPORTER_CLIENT_H_

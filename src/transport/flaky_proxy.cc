@@ -1,0 +1,258 @@
+#include "transport/flaky_proxy.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "control/telemetry_batch.h"
+#include "util/check.h"
+#include "util/posix_io.h"
+
+namespace limoncello {
+
+// One proxied exporter: the downstream socket it dialed us on, the
+// upstream socket we dialed the plane on, and the chaos pipeline
+// between them. The FaultPlan lives here so the ChaosTransport's
+// pointer outlives every frame.
+struct FlakyProxy::Pair {
+  Pair(const FrameReassembler::Options& reassembly, FaultPlan fault_plan,
+       ChaosTransport::DeliverFn deliver)
+      : reassembler(reassembly),
+        plan(std::move(fault_plan)),
+        chaos(&plan, std::move(deliver)) {}
+
+  int down_fd = -1;  // exporter side
+  int up_fd = -1;    // plane side
+  FrameReassembler reassembler;
+  FaultPlan plan;
+  ChaosTransport chaos;
+  FrameReassembler::FrameSink sink;  // bound once at accept
+};
+
+FlakyProxy::FlakyProxy(const Options& options) : options_(options) {
+  LIMONCELLO_CHECK_GT(options_.max_connections, 0);
+  LIMONCELLO_CHECK_GT(options_.frames_per_plan, 0);
+  slots_.resize(static_cast<std::size_t>(options_.max_connections));
+}
+
+FlakyProxy::~FlakyProxy() { Stop(); }
+
+bool FlakyProxy::Start() {
+  listen_fd_ = CreateListenSocket(options_.listen_address, 64);
+  if (listen_fd_ < 0) return false;
+  if (!SetNonBlocking(listen_fd_)) {
+    Stop();
+    return false;
+  }
+  if (options_.listen_address.kind == SocketAddress::Kind::kTcp) {
+    sockaddr_in sin{};
+    socklen_t len = sizeof(sin);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sin),
+                      &len) == 0) {
+      bound_port_ = ntohs(sin.sin_port);
+    }
+  }
+  return true;
+}
+
+void FlakyProxy::Stop() {
+  for (int slot = 0; slot < static_cast<int>(slots_.size()); ++slot) {
+    Pair* pair = slots_[static_cast<std::size_t>(slot)].get();
+    if (pair != nullptr && pair->down_fd >= 0) ClosePair(slot);
+  }
+  if (listen_fd_ >= 0) {
+    (void)::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+int FlakyProxy::PollOnce(int timeout_ms) {
+  if (listen_fd_ < 0) return -1;
+  pollfds_.clear();
+  pollfd_tag_.clear();
+  pollfd listener_entry{};
+  listener_entry.fd = listen_fd_;
+  listener_entry.events = POLLIN;
+  pollfds_.push_back(listener_entry);
+  pollfd_tag_.push_back(-1);
+  for (int slot = 0; slot < static_cast<int>(slots_.size()); ++slot) {
+    Pair* pair = slots_[static_cast<std::size_t>(slot)].get();
+    if (pair == nullptr || pair->down_fd < 0) continue;
+    pollfd down{};
+    down.fd = pair->down_fd;
+    down.events = POLLIN;
+    pollfds_.push_back(down);
+    pollfd_tag_.push_back(slot << 1);
+    pollfd up{};
+    up.fd = pair->up_fd;
+    up.events = POLLIN;
+    pollfds_.push_back(up);
+    pollfd_tag_.push_back(slot << 1 | 1);
+  }
+
+  int ready;
+  for (;;) {
+    ready = ::poll(pollfds_.data(),
+                   static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (ready < 0 && errno == EINTR) return 0;  // let the owner re-check
+    break;
+  }
+  if (ready <= 0) return 0;
+
+  for (std::size_t i = 0; i < pollfds_.size(); ++i) {
+    const short revents = pollfds_[i].revents;
+    if (revents == 0) continue;
+    const int tag = pollfd_tag_[i];
+    if (tag < 0) {
+      if (revents & POLLIN) Accept();
+      continue;
+    }
+    const int slot = tag >> 1;
+    Pair* pair = slots_[static_cast<std::size_t>(slot)].get();
+    if (pair == nullptr || pair->down_fd < 0) continue;  // closed earlier
+    if (tag & 1) {
+      RelayUpstream(slot);
+    } else {
+      RelayDownstream(slot);
+    }
+  }
+  return ready;
+}
+
+void FlakyProxy::Accept() {
+  for (;;) {
+    const int down = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (down < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    const int up = ConnectSocket(options_.upstream_address);
+    if (up < 0) {
+      // Plane down: refuse by closing, so the exporter's backoff path
+      // sees the outage immediately instead of a black-holed stream.
+      ++stats_.upstream_dial_failures;
+      (void)::close(down);
+      continue;
+    }
+    int slot = -1;
+    for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
+      Pair* pair = slots_[static_cast<std::size_t>(s)].get();
+      if (pair == nullptr || pair->down_fd < 0) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot < 0) {
+      (void)::close(down);
+      (void)::close(up);
+      continue;
+    }
+    FrameReassembler::Options reassembly;
+    reassembly.magic = kTelemetryBatchMagic;
+    reassembly.max_payload_bytes = kTelemetryBatchFixedPayloadBytes +
+                                   8 * TelemetryBatch::kMaxSamples;
+    reassembly.read_chunk_bytes = options_.read_chunk_bytes;
+    // Every connection replays an independent, deterministic fault
+    // schedule: seed x accept-ordinal. An exporter that reconnects gets
+    // a fresh plan — chaos does not pause just because the victim
+    // redialed.
+    FaultPlan plan =
+        FaultPlan::Generate(options_.spec, options_.frames_per_plan,
+                            Rng(options_.seed).Fork(accepted_total_));
+    ++accepted_total_;
+    auto& entry = slots_[static_cast<std::size_t>(slot)];
+    entry = std::make_unique<Pair>(
+        reassembly, std::move(plan),
+        [this, slot](const unsigned char* data, std::size_t size) {
+          Pair* target = slots_[static_cast<std::size_t>(slot)].get();
+          if (target == nullptr || target->up_fd < 0) return;
+          if (!SendFully(target->up_fd, data, size)) ClosePair(slot);
+        });
+    entry->down_fd = down;
+    entry->up_fd = up;
+    entry->sink = [this, slot](const unsigned char* frame,
+                               std::size_t size) {
+      Pair* target = slots_[static_cast<std::size_t>(slot)].get();
+      if (target == nullptr || target->down_fd < 0) return;
+      target->chaos.Send(frame, size);
+    };
+    ++live_pairs_;
+    ++stats_.accepts;
+  }
+}
+
+void FlakyProxy::RelayDownstream(int slot) {
+  Pair* pair = slots_[static_cast<std::size_t>(slot)].get();
+  unsigned char chunk[8192];
+  const std::size_t cap = options_.read_chunk_bytes < sizeof(chunk)
+                              ? options_.read_chunk_bytes
+                              : sizeof(chunk);
+  const ssize_t n = ReadChunk(pair->down_fd, chunk, cap);
+  if (n <= 0) {
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    ClosePair(slot);
+    return;
+  }
+  (void)pair->reassembler.Ingest(chunk, static_cast<std::size_t>(n),
+                                 pair->sink);
+}
+
+void FlakyProxy::RelayUpstream(int slot) {
+  Pair* pair = slots_[static_cast<std::size_t>(slot)].get();
+  unsigned char chunk[8192];
+  const ssize_t n = ReadChunk(pair->up_fd, chunk, sizeof(chunk));
+  if (n <= 0) {
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    ClosePair(slot);  // plane died: the exporter must see it too
+    return;
+  }
+  // Actuation bytes relay verbatim; the chaos contract under test is
+  // the telemetry ingest direction.
+  if (!SendFully(pair->down_fd, chunk, static_cast<std::size_t>(n))) {
+    ClosePair(slot);
+    return;
+  }
+  stats_.actuation_bytes_relayed += static_cast<std::uint64_t>(n);
+}
+
+void FlakyProxy::ClosePair(int slot) {
+  Pair* pair = slots_[static_cast<std::size_t>(slot)].get();
+  if (pair == nullptr || pair->down_fd < 0) return;
+  (void)::close(pair->down_fd);
+  if (pair->up_fd >= 0) (void)::close(pair->up_fd);
+  pair->down_fd = -1;
+  pair->up_fd = -1;
+  --live_pairs_;
+  ++stats_.pairs_closed;
+  const ChaosTransport::Stats& cs = pair->chaos.stats();
+  stats_.frames_forwarded += cs.delivered;
+  stats_.frames_dropped += cs.dropped;
+  stats_.frames_reordered += cs.reordered;
+  stats_.frames_duplicated += cs.duplicated;
+  stats_.frames_truncated += cs.truncated;
+  stats_.frames_staled += cs.staled;
+  // The Pair object survives until its slot is recycled at accept:
+  // ClosePair can fire from inside this pair's own chaos delivery while
+  // Ingest is still walking the reassembly buffer.
+}
+
+FlakyProxy::Stats FlakyProxy::SnapshotStats() const {
+  Stats merged = stats_;
+  for (const auto& pair : slots_) {
+    if (pair == nullptr || pair->down_fd < 0) continue;
+    const ChaosTransport::Stats& cs = pair->chaos.stats();
+    merged.frames_forwarded += cs.delivered;
+    merged.frames_dropped += cs.dropped;
+    merged.frames_reordered += cs.reordered;
+    merged.frames_duplicated += cs.duplicated;
+    merged.frames_truncated += cs.truncated;
+    merged.frames_staled += cs.staled;
+  }
+  return merged;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,109 @@
+// A chaos proxy for the control plane's socket transport.
+//
+// The flaky proxy sits on the wire between exporters and the plane and
+// replays the PR 9 chaos-transport fault schedule against real byte
+// streams: exporters connect to the proxy, the proxy dials the plane,
+// and every telemetry frame crossing exporter → plane runs through a
+// per-connection ChaosTransport seeded from a FaultPlan — dropped,
+// reordered, duplicated, cut mid-payload, or re-delivered stale, on a
+// genuine socket instead of an in-process function call. A truncated
+// frame leaves the upstream TCP/UNIX stream torn exactly the way a real
+// split write would, which is what the listener's byte-scan resync
+// exists to survive.
+//
+// Faulting needs frame boundaries, so the exporter-side stream is
+// reassembled (same FrameReassembler as the listener) before chaos and
+// re-serialized after. The actuation direction (plane → exporter) is an
+// unmodified byte shuttle: the chaos contract under test is telemetry
+// ingest, and a faulted actuation channel would only re-test the same
+// decode trust boundary from the other side.
+//
+// Connections are paired: either side dying closes both, so exporters
+// observe a plane kill through the proxy exactly as they would
+// directly, and redial through their normal backoff path.
+#ifndef LIMONCELLO_TRANSPORT_FLAKY_PROXY_H_
+#define LIMONCELLO_TRANSPORT_FLAKY_PROXY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "faults/transport_chaos.h"
+#include "stats/saturating.h"
+#include "transport/frame_reassembler.h"
+#include "transport/socket_addr.h"
+
+struct pollfd;  // <poll.h>
+
+namespace limoncello {
+
+class FlakyProxy {
+ public:
+  struct Options {
+    SocketAddress listen_address;    // exporters dial this
+    SocketAddress upstream_address;  // the plane's listener
+    // Transport fault rates; only the transport_* fields matter.
+    FaultSpec spec;
+    std::uint64_t seed = 1;
+    // Frames per connection the fault schedule covers; past it the
+    // wire runs clean (mirrors FaultPlan's quiet-tail convention).
+    int frames_per_plan = 65536;
+    int max_connections = 256;
+    std::size_t read_chunk_bytes = 4096;
+  };
+
+  struct Stats {
+    SatCounter accepts;
+    SatCounter upstream_dial_failures;
+    SatCounter pairs_closed;
+    SatCounter frames_forwarded;   // chaos-surviving exporter frames
+    SatCounter frames_dropped;
+    SatCounter frames_reordered;
+    SatCounter frames_duplicated;
+    SatCounter frames_truncated;
+    SatCounter frames_staled;
+    SatCounter actuation_bytes_relayed;
+  };
+
+  explicit FlakyProxy(const Options& options);
+  ~FlakyProxy();
+
+  FlakyProxy(const FlakyProxy&) = delete;
+  FlakyProxy& operator=(const FlakyProxy&) = delete;
+
+  bool Start();
+  // One readiness cycle over the listener and every pair; waits up to
+  // timeout_ms. Returns descriptors with events, or -1 when the
+  // listener is dead.
+  int PollOnce(int timeout_ms);
+  void Stop();
+
+  std::uint16_t bound_port() const { return bound_port_; }
+  int pair_count() const { return live_pairs_; }
+  Stats SnapshotStats() const;
+
+ private:
+  struct Pair;
+
+  void Accept();
+  void RelayDownstream(int slot);  // exporter -> chaos -> plane
+  void RelayUpstream(int slot);    // plane -> exporter, verbatim
+  void ClosePair(int slot);
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  int live_pairs_ = 0;
+  std::uint64_t accepted_total_ = 0;  // seeds per-connection fault plans
+  std::vector<std::unique_ptr<Pair>> slots_;
+  std::vector<pollfd> pollfds_;
+  // Parallel to pollfds_: (slot << 1) | is_upstream; -1 = listener.
+  std::vector<int> pollfd_tag_;
+  Stats stats_;
+};
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TRANSPORT_FLAKY_PROXY_H_

@@ -1,0 +1,77 @@
+#include "transport/frame_reassembler.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/wire.h"
+
+namespace limoncello {
+
+FrameReassembler::FrameReassembler(const Options& options)
+    : options_(options) {
+  LIMONCELLO_CHECK_GT(options_.max_payload_bytes, 0u);
+  LIMONCELLO_CHECK_GT(options_.read_chunk_bytes, 0u);
+  // Worst case held bytes after a scan: one incomplete frame (less than
+  // a full frame) plus one whole fresh chunk appended before the next
+  // scan runs. Allocated once; Ingest never grows it.
+  buffer_.resize(FrameBytesFor(options_.max_payload_bytes) +
+                 options_.read_chunk_bytes);
+}
+
+// limolint:hot-path — every received byte passes through here; pure
+// scans and memmoves over the preallocated buffer.
+std::size_t FrameReassembler::Ingest(const unsigned char* data,
+                                     std::size_t size,
+                                     const FrameSink& sink) {
+  LIMONCELLO_CHECK(size <= options_.read_chunk_bytes);
+  LIMONCELLO_CHECK(buffered_ + size <= buffer_.size());
+  std::memcpy(buffer_.data() + buffered_, data, size);
+  buffered_ += size;
+
+  std::size_t frames = 0;
+  std::size_t pos = 0;
+  while (buffered_ - pos >= kHeaderBytes) {
+    const unsigned char* head = buffer_.data() + pos;
+    if (LoadU32(head) != options_.magic) {
+      // Not frame-aligned: hunt for the next magic one byte at a time.
+      // A torn frame costs its own bytes and nothing more.
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    const std::size_t payload_bytes = LoadU32(head + 8);
+    if (payload_bytes > options_.max_payload_bytes) {
+      // Rejected from the header alone: the claimed body is never
+      // buffered, so a hostile length cannot make anyone allocate.
+      ++stats_.oversize_rejects;
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    const std::size_t frame_bytes = FrameBytesFor(payload_bytes);
+    if (buffered_ - pos < frame_bytes) break;  // wait for the rest
+    const std::uint32_t crc = Crc32(head + 4, 8 + payload_bytes);
+    if (crc != LoadU32(head + kHeaderBytes + payload_bytes)) {
+      // Framed but corrupt (or a magic found inside torn garbage):
+      // resync rather than trust the length field's claim of where the
+      // next frame starts.
+      ++stats_.corrupt_frames;
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    sink(head, frame_bytes);
+    ++stats_.frames_extracted;
+    ++frames;
+    pos += frame_bytes;
+  }
+
+  if (pos > 0) {
+    buffered_ -= pos;
+    std::memmove(buffer_.data(), buffer_.data() + pos, buffered_);
+  }
+  return frames;
+}
+
+}  // namespace limoncello

@@ -1,0 +1,154 @@
+#include "transport/socket_addr.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace limoncello {
+
+namespace {
+
+// A UNIX path must fit sockaddr_un::sun_path with its terminator.
+constexpr std::size_t kMaxUnixPath = sizeof(sockaddr_un{}.sun_path) - 1;
+
+bool ParsePort(const std::string& text, std::uint16_t* port) {
+  if (text.empty() || text.size() > 5) return false;
+  std::uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value == 0 || value > 65535) return false;
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+// Fills `out` from the parsed host. Numeric IPv4 only, plus the one
+// name every test rig uses.
+bool ResolveHost(const std::string& host, in_addr* out) {
+  if (host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+int NewSocket(int domain) {
+  return ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+SocketAddress ParseSocketAddress(const std::string& text) {
+  SocketAddress address;
+  if (text.empty()) return address;
+  if (text.find('/') != std::string::npos) {
+    if (text.size() > kMaxUnixPath) return address;
+    address.kind = SocketAddress::Kind::kUnix;
+    address.path = text;
+    return address;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return address;
+  std::uint16_t port = 0;
+  if (!ParsePort(text.substr(colon + 1), &port)) return address;
+  const std::string host = text.substr(0, colon);
+  in_addr probe{};
+  if (!ResolveHost(host, &probe)) return address;
+  address.kind = SocketAddress::Kind::kTcp;
+  address.host = host;
+  address.port = port;
+  return address;
+}
+
+int CreateListenSocket(const SocketAddress& address, int backlog) {
+  if (address.kind == SocketAddress::Kind::kUnix) {
+    const int fd = NewSocket(AF_UNIX);
+    if (fd < 0) return -1;
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::memcpy(sun.sun_path, address.path.c_str(), address.path.size());
+    // A previous incarnation killed with -9 leaves its socket file
+    // behind; bind would fail with EADDRINUSE forever. Unlinking is
+    // safe: the path names this daemon's rendezvous point by contract.
+    (void)::unlink(address.path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sun),
+               sizeof(sun)) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      const int saved = errno;
+      (void)::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+  if (address.kind == SocketAddress::Kind::kTcp) {
+    const int fd = NewSocket(AF_INET);
+    if (fd < 0) return -1;
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(address.port);
+    if (!ResolveHost(address.host, &sin.sin_addr) ||
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&sin),
+               sizeof(sin)) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      const int saved = errno;
+      (void)::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+  errno = EINVAL;
+  return -1;
+}
+
+int ConnectSocket(const SocketAddress& address) {
+  if (address.kind == SocketAddress::Kind::kUnix) {
+    const int fd = NewSocket(AF_UNIX);
+    if (fd < 0) return -1;
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::memcpy(sun.sun_path, address.path.c_str(), address.path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sun),
+                  sizeof(sun)) != 0) {
+      const int saved = errno;
+      (void)::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+  if (address.kind == SocketAddress::Kind::kTcp) {
+    const int fd = NewSocket(AF_INET);
+    if (fd < 0) return -1;
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(address.port);
+    if (!ResolveHost(address.host, &sin.sin_addr) ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&sin),
+                  sizeof(sin)) != 0) {
+      const int saved = errno;
+      (void)::close(fd);
+      errno = saved;
+      return -1;
+    }
+    // Telemetry frames are small and latency-sensitive; Nagle would
+    // batch them behind the previous frame's ack.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+  errno = EINVAL;
+  return -1;
+}
+
+}  // namespace limoncello

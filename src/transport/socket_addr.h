@@ -1,0 +1,55 @@
+// Address parsing and socket setup for the control-plane transport.
+//
+// One address grammar serves the daemon (--listen), the exporter
+// (--connect) and the flaky proxy (both sides):
+//
+//   /path/to/socket   UNIX-domain stream socket (any string with a '/')
+//   host:port         TCP, host either a numeric IPv4 address or
+//                     "localhost"
+//
+// Name resolution is deliberately absent: the transport exists so the
+// control plane can cross process and machine boundaries in tests and
+// canary fleets, where addresses are numeric and a DNS dependency is
+// pure failure surface.
+//
+// All returned descriptors are CLOEXEC; listeners and accepted
+// connections are the caller's to make nonblocking (SetNonBlocking in
+// util/posix_io.h).
+#ifndef LIMONCELLO_TRANSPORT_SOCKET_ADDR_H_
+#define LIMONCELLO_TRANSPORT_SOCKET_ADDR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace limoncello {
+
+struct SocketAddress {
+  enum class Kind { kInvalid, kUnix, kTcp };
+
+  Kind kind = Kind::kInvalid;
+  std::string path;  // kUnix: filesystem path (fits sockaddr_un)
+  std::string host;  // kTcp: numeric IPv4 or "localhost"
+  std::uint16_t port = 0;
+
+  bool valid() const { return kind != Kind::kInvalid; }
+};
+
+// Parses the grammar above. Returns an address with kind == kInvalid on
+// any malformed input (empty string, over-long UNIX path, bad port,
+// unresolvable host).
+SocketAddress ParseSocketAddress(const std::string& text);
+
+// Binds + listens on `address` (backlog `backlog`). For UNIX addresses
+// a stale socket file from a dead process is unlinked first — the plane
+// must be restartable after kill -9 without operator cleanup. Returns
+// the listening fd, or -1 with errno set.
+int CreateListenSocket(const SocketAddress& address, int backlog);
+
+// Blocking connect to `address`. Returns the connected fd, or -1 with
+// errno set (ECONNREFUSED / ENOENT while the peer is down — callers
+// own the backoff policy).
+int ConnectSocket(const SocketAddress& address);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_TRANSPORT_SOCKET_ADDR_H_

@@ -1,0 +1,63 @@
+#include "util/posix_io.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace limoncello {
+
+bool WriteFully(int fd, const unsigned char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(  // limolint:allow(hot-path-blocking)
+        fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SendFully(int fd, const unsigned char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t ReadChunk(int fd, unsigned char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, capacity);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+ssize_t SendSome(int fd, const unsigned char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace limoncello

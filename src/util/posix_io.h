@@ -1,0 +1,49 @@
+// EINTR- and short-write-correct wrappers around the raw POSIX fd calls.
+//
+// Every byte-moving syscall in the tree funnels through these helpers:
+// the crash-safe journals (src/recovery/) and the control-plane socket
+// transport (src/transport/) both append to descriptors that can return
+// short counts or EINTR at any time, and treating either as corruption
+// is exactly the torn-journal bug the recovery subsystem exists to
+// survive. Centralizing the retry loops keeps that discipline in one
+// audited place instead of five hand-rolled copies.
+//
+// None of these helpers allocate; all are safe on the journal append
+// hot path.
+#ifndef LIMONCELLO_UTIL_POSIX_IO_H_
+#define LIMONCELLO_UTIL_POSIX_IO_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace limoncello {
+
+// write(2)s the whole buffer: short writes continue from where they
+// stopped, EINTR retries. Returns false on any other error (errno is
+// preserved for the caller's diagnostics). For regular files and pipes.
+bool WriteFully(int fd, const unsigned char* data, std::size_t size);
+
+// send(2)s the whole buffer with MSG_NOSIGNAL: a peer that vanished
+// mid-write surfaces as EPIPE, never as a process-killing SIGPIPE.
+// Short sends continue, EINTR retries. Returns false on any other error.
+// For sockets (blocking mode — a nonblocking socket can return false
+// with errno == EAGAIN; callers owning a poll loop handle that).
+bool SendFully(int fd, const unsigned char* data, std::size_t size);
+
+// One read(2), EINTR retried. Returns the byte count (0 at EOF), or -1
+// on error with errno set — including EAGAIN/EWOULDBLOCK on nonblocking
+// descriptors, which readiness-loop callers treat as "drained".
+ssize_t ReadChunk(int fd, unsigned char* buffer, std::size_t capacity);
+
+// One nonblocking send(2) with MSG_NOSIGNAL, EINTR retried. Returns the
+// byte count actually queued (possibly short), 0 when the socket buffer
+// is full (EAGAIN), or -1 on a connection error with errno set.
+ssize_t SendSome(int fd, const unsigned char* data, std::size_t size);
+
+// Marks the descriptor nonblocking (O_NONBLOCK). Returns false on error.
+bool SetNonBlocking(int fd);
+
+}  // namespace limoncello
+
+#endif  // LIMONCELLO_UTIL_POSIX_IO_H_

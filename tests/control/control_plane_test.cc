@@ -173,6 +173,43 @@ TEST(ControlPlaneTest, StaleEndpointFailsSafeToPrefetchersOn) {
   EXPECT_FALSE(plane.EndpointInFailsafe(0));
 }
 
+TEST(ControlPlaneTest, StalenessFailsafeForgetsSequenceWatermark) {
+  // A restarted exporter process numbers its frames from 1 again. Until
+  // the staleness window expires, those frames look like replays of
+  // long-consumed sequences and are rejected; the fail-safe must reset
+  // the watermark along with the FSM or the endpoint is rejected
+  // forever — reconvergence would be unbounded.
+  FakeFleet fleet(1);
+  ControlPlane plane(SmallPlane(1), fleet.Hook());
+  SendBatch(plane, 0, 900, 0.5);
+  plane.DrainAll(0);
+  ASSERT_EQ(plane.SnapshotStats().samples_accepted, 1u);
+
+  // The exporter dies and restarts: its fresh stream is rejected while
+  // the plane still holds the old watermark...
+  SendBatch(plane, 0, 1, 0.5);
+  plane.DrainAll(0);
+  EXPECT_EQ(plane.SnapshotStats().sequence_rejects, 1u);
+  EXPECT_EQ(plane.SnapshotStats().samples_accepted, 1u);
+
+  // ...and rejected frames do not count as liveness, so the staleness
+  // sweep fires within max_missed_samples ticks and forgets the
+  // watermark.
+  for (int i = 0; i < 6; ++i) {
+    SendBatch(plane, 0, static_cast<std::uint64_t>(2 + i), 0.5);
+    plane.DrainAll(0);
+    plane.AdvanceTick();
+  }
+  EXPECT_EQ(plane.SnapshotStats().stale_endpoint_failsafes, 1u);
+
+  // The restarted stream is now adopted: its next frame is accepted and
+  // clears the fail-safe. Bounded reconvergence.
+  SendBatch(plane, 0, 10, 0.5);
+  plane.DrainAll(0);
+  EXPECT_FALSE(plane.EndpointInFailsafe(0));
+  EXPECT_GE(plane.SnapshotStats().samples_accepted, 2u);
+}
+
 TEST(ControlPlaneTest, ActuationFailureRetriesWithCappedBackoff) {
   FakeFleet fleet(1);
   fleet.faulty[0] = true;

@@ -1,0 +1,134 @@
+// limoncello-exporter — the machine-side telemetry agent, as its own
+// process.
+//
+// One exporter owns one SimulatedEndpoint and ships its telemetry
+// batches to a limoncellod --listen control plane over a UNIX or TCP
+// socket, applying the actuation frames the plane pushes back. The
+// process is deliberately boring: all of the interesting behaviour —
+// reconnect with capped-exponential backoff + jitter, implicit
+// re-registration after a plane restart, surviving kill -9 of either
+// side — lives in ExporterClient so tests and the bench gate drive the
+// exact code this binary runs.
+//
+// Examples:
+//   limoncello-exporter --connect=/tmp/limoncello.sock --endpoint-id=3
+//   limoncello-exporter --connect=127.0.0.1:7077 --tick-ms=20 --ticks=500
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "transport/exporter_client.h"
+#include "transport/socket_addr.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace limoncello {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int signum) { g_stop = signum; }
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("connect",
+               "control plane address: a UNIX socket path or host:port")
+      .Define("endpoint-id", "this machine's endpoint id (0)")
+      .Define("seed", "simulated workload seed (1)")
+      .Define("ticks", "telemetry batches to ship (0 = until signalled)")
+      .Define("tick-ms",
+              "wall-clock period between batches in milliseconds (10; "
+              "0 = as fast as the socket accepts)")
+      .Define("samples-per-batch", "samples per telemetry frame (4)")
+      .Define("initial-backoff-ms", "first reconnect delay (10)")
+      .Define("max-backoff-ms", "reconnect delay cap (200)")
+      .Define("verbose", "log every reconnect attempt")
+      .Define("help", "show this help");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").value_or(false)) {
+    std::fprintf(stdout, "%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+  if (flags.GetBool("verbose").value_or(false)) {
+    SetLogLevel(LogLevel::kDebug);
+  }
+
+  ExporterClient::Options options;
+  const std::string connect_text =
+      flags.GetString("connect").value_or("");
+  options.address = ParseSocketAddress(connect_text);
+  if (!options.address.valid()) {
+    LIMONCELLO_LOG_ERROR(
+        "--connect=%s is not a socket path or host:port address",
+        connect_text.c_str());
+    return 2;
+  }
+  const long long endpoint_id = flags.GetInt("endpoint-id").value_or(0);
+  if (endpoint_id < 0) {
+    LIMONCELLO_LOG_ERROR("--endpoint-id must be >= 0");
+    return 2;
+  }
+  options.endpoint.endpoint_id = static_cast<std::uint32_t>(endpoint_id);
+  options.endpoint.samples_per_batch =
+      static_cast<int>(flags.GetInt("samples-per-batch").value_or(4));
+  options.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed").value_or(1));
+  options.tick_period_ms =
+      static_cast<int>(flags.GetInt("tick-ms").value_or(10));
+  options.initial_backoff_ms =
+      static_cast<int>(flags.GetInt("initial-backoff-ms").value_or(10));
+  options.max_backoff_ms =
+      static_cast<int>(flags.GetInt("max-backoff-ms").value_or(200));
+  if (options.endpoint.samples_per_batch < 1 ||
+      options.tick_period_ms < 0 || options.initial_backoff_ms < 1 ||
+      options.max_backoff_ms < options.initial_backoff_ms) {
+    LIMONCELLO_LOG_ERROR(
+        "need --samples-per-batch >= 1, --tick-ms >= 0, "
+        "--initial-backoff-ms >= 1, --max-backoff-ms >= initial");
+    return 2;
+  }
+  const long long ticks = flags.GetInt("ticks").value_or(0);
+  if (ticks < 0) {
+    LIMONCELLO_LOG_ERROR("--ticks must be >= 0");
+    return 2;
+  }
+
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt the pacing poll
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+  (void)std::signal(SIGPIPE, SIG_IGN);
+
+  LIMONCELLO_LOG_INFO(
+      "exporter: endpoint %lld -> %s, tick %d ms, %s",
+      endpoint_id, connect_text.c_str(), options.tick_period_ms,
+      ticks > 0 ? "bounded run" : "running until signalled");
+
+  ExporterClient client(options);
+  client.Run(&g_stop, static_cast<std::uint64_t>(ticks));
+
+  const ExporterClient::Stats& stats = client.stats();
+  LIMONCELLO_LOG_INFO(
+      "exporter summary: %llu connects (%llu failures, %llu "
+      "disconnects), %llu frames sent (%llu send failures), %llu "
+      "actuations applied, %llu ignored",
+      static_cast<unsigned long long>(stats.connects),
+      static_cast<unsigned long long>(stats.connect_failures),
+      static_cast<unsigned long long>(stats.disconnects),
+      static_cast<unsigned long long>(stats.frames_sent),
+      static_cast<unsigned long long>(stats.send_failures),
+      static_cast<unsigned long long>(stats.actuations_applied),
+      static_cast<unsigned long long>(stats.actuations_ignored));
+  return 0;
+}
+
+}  // namespace
+}  // namespace limoncello
+
+int main(int argc, char** argv) { return limoncello::Main(argc, argv); }

@@ -1,0 +1,147 @@
+// limoncello-flakyproxy — chaos on the wire, as its own process.
+//
+// Sits between exporters and a limoncellod --listen plane and replays
+// the PR 9 transport fault categories (drop, reorder, duplicate,
+// truncate, stale re-delivery) against the real byte streams flowing
+// through it. Exporters point --connect at the proxy; the proxy dials
+// --upstream per accepted connection. Fault schedules are deterministic
+// in --seed and the accept order, so a chaos soak reproduces.
+//
+// Example (plane on /tmp/plane.sock, proxy on /tmp/chaos.sock):
+//   limoncello-flakyproxy --listen=/tmp/chaos.sock
+//       --upstream=/tmp/plane.sock --seed=7 --drop=0.05 --truncate=0.02
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "transport/flaky_proxy.h"
+#include "transport/socket_addr.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace limoncello {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int signum) { g_stop = signum; }
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("listen",
+               "address exporters dial: a UNIX socket path or host:port")
+      .Define("upstream", "the control plane's --listen address")
+      .Define("seed", "fault schedule seed (1)")
+      .Define("drop", "per-frame drop probability (0.02)")
+      .Define("reorder", "per-frame reorder probability (0.01)")
+      .Define("duplicate", "per-frame duplicate probability (0.01)")
+      .Define("truncate", "per-frame mid-payload cut probability (0.01)")
+      .Define("stale", "per-frame stale re-delivery probability (0.01)")
+      .Define("frames-per-plan",
+              "frames each connection's fault schedule covers; the wire "
+              "runs clean past it (65536)")
+      .Define("verbose", "log pair churn")
+      .Define("help", "show this help");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").value_or(false)) {
+    std::fprintf(stdout, "%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+  if (flags.GetBool("verbose").value_or(false)) {
+    SetLogLevel(LogLevel::kDebug);
+  }
+
+  FlakyProxy::Options options;
+  const std::string listen_text = flags.GetString("listen").value_or("");
+  const std::string upstream_text =
+      flags.GetString("upstream").value_or("");
+  options.listen_address = ParseSocketAddress(listen_text);
+  options.upstream_address = ParseSocketAddress(upstream_text);
+  if (!options.listen_address.valid() ||
+      !options.upstream_address.valid()) {
+    LIMONCELLO_LOG_ERROR(
+        "--listen=%s / --upstream=%s: both must be a socket path or "
+        "host:port address",
+        listen_text.c_str(), upstream_text.c_str());
+    return 2;
+  }
+  options.seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed").value_or(1));
+  options.spec.transport_drop_rate =
+      flags.GetDouble("drop").value_or(0.02);
+  options.spec.transport_reorder_rate =
+      flags.GetDouble("reorder").value_or(0.01);
+  options.spec.transport_duplicate_rate =
+      flags.GetDouble("duplicate").value_or(0.01);
+  options.spec.transport_truncate_rate =
+      flags.GetDouble("truncate").value_or(0.01);
+  options.spec.transport_stale_rate =
+      flags.GetDouble("stale").value_or(0.01);
+  options.frames_per_plan =
+      static_cast<int>(flags.GetInt("frames-per-plan").value_or(65536));
+  if (options.frames_per_plan < 1) {
+    LIMONCELLO_LOG_ERROR("--frames-per-plan must be >= 1");
+    return 2;
+  }
+
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt the poll
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+  (void)std::signal(SIGPIPE, SIG_IGN);
+
+  FlakyProxy proxy(options);
+  if (!proxy.Start()) {
+    LIMONCELLO_LOG_ERROR("cannot listen on %s", listen_text.c_str());
+    return 3;
+  }
+  LIMONCELLO_LOG_INFO(
+      "flakyproxy: %s -> %s, seed %llu, rates drop=%.3f reorder=%.3f "
+      "dup=%.3f trunc=%.3f stale=%.3f",
+      listen_text.c_str(), upstream_text.c_str(),
+      static_cast<unsigned long long>(options.seed),
+      options.spec.transport_drop_rate,
+      options.spec.transport_reorder_rate,
+      options.spec.transport_duplicate_rate,
+      options.spec.transport_truncate_rate,
+      options.spec.transport_stale_rate);
+
+  while (g_stop == 0) {
+    if (proxy.PollOnce(500) < 0) {
+      LIMONCELLO_LOG_ERROR("listener socket died; shutting down");
+      break;
+    }
+  }
+  if (g_stop != 0) {
+    LIMONCELLO_LOG_INFO("signal %d: stopping", static_cast<int>(g_stop));
+  }
+
+  const FlakyProxy::Stats stats = proxy.SnapshotStats();
+  LIMONCELLO_LOG_INFO(
+      "flakyproxy summary: %llu accepts (%llu upstream dial failures, "
+      "%llu pairs closed), %llu frames forwarded, %llu dropped, %llu "
+      "reordered, %llu duplicated, %llu truncated, %llu stale "
+      "re-deliveries, %llu actuation bytes relayed",
+      static_cast<unsigned long long>(stats.accepts),
+      static_cast<unsigned long long>(stats.upstream_dial_failures),
+      static_cast<unsigned long long>(stats.pairs_closed),
+      static_cast<unsigned long long>(stats.frames_forwarded),
+      static_cast<unsigned long long>(stats.frames_dropped),
+      static_cast<unsigned long long>(stats.frames_reordered),
+      static_cast<unsigned long long>(stats.frames_duplicated),
+      static_cast<unsigned long long>(stats.frames_truncated),
+      static_cast<unsigned long long>(stats.frames_staled),
+      static_cast<unsigned long long>(stats.actuation_bytes_relayed));
+  return 0;
+}
+
+}  // namespace
+}  // namespace limoncello
+
+int main(int argc, char** argv) { return limoncello::Main(argc, argv); }

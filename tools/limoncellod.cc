@@ -14,8 +14,11 @@
 //   limoncellod --mode=real --telemetry-file=/run/membw.txt --dry-run
 #include <algorithm>
 #include <array>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -28,6 +31,8 @@
 #include "fleet/machine_model.h"
 #include "msr/linux_msr_device.h"
 #include "recovery/recovery_manager.h"
+#include "transport/socket_addr.h"
+#include "transport/socket_listener.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -49,6 +54,10 @@ void InstallShutdownHandlers() {
   action.sa_flags = 0;
   (void)sigaction(SIGTERM, &action, nullptr);
   (void)sigaction(SIGINT, &action, nullptr);
+  // Socket mode writes to peers that can vanish mid-frame. Every send
+  // in the tree already passes MSG_NOSIGNAL; ignoring SIGPIPE as well
+  // means even a future bare write cannot kill the daemon.
+  (void)std::signal(SIGPIPE, SIG_IGN);
 }
 
 // End-of-run stats summary, printed on both bounded completion and
@@ -428,6 +437,205 @@ int RunControlSim(const FlagParser& flags) {
   return 0;
 }
 
+// Socket mode: the same ControlPlane as RunControlSim, but fed by real
+// exporter processes over a UNIX or TCP listener instead of in-process
+// function calls. The in-process --endpoints path above is untouched —
+// it stays bit-identical — while this loop trades determinism for a
+// genuine process boundary: wall-clock ticks, kill -9-able peers, and
+// the journal + staleness fail-safe healing around both.
+int RunListen(const FlagParser& flags) {
+  const std::string listen_text = flags.GetString("listen").value_or("");
+  const SocketAddress address = ParseSocketAddress(listen_text);
+  if (!address.valid()) {
+    LIMONCELLO_LOG_ERROR(
+        "--listen=%s is not a socket path or host:port address",
+        listen_text.c_str());
+    return 2;
+  }
+  const int num_endpoints =
+      static_cast<int>(flags.GetInt("endpoints").value_or(8));
+  if (num_endpoints < 1) {
+    LIMONCELLO_LOG_ERROR("--listen needs --endpoints >= 1");
+    return 2;
+  }
+  ControllerConfig config = ConfigFromFlags(flags);
+  // Socket runs are paced by the wall clock; sub-second ticks keep the
+  // kill-storm reconvergence window short enough for CI.
+  const long long tick_ms = flags.GetInt("tick-ms").value_or(0);
+  if (tick_ms > 0) {
+    config.tick_period_ns = tick_ms * 1000 * 1000;
+    config.sustain_duration_ns = std::max<SimTimeNs>(
+        config.sustain_duration_ns, 2 * config.tick_period_ns);
+  }
+  if (!ValidateConfigOrLog(config)) return 2;
+
+  ControlPlaneOptions options;
+  options.num_endpoints = num_endpoints;
+  options.num_shards = static_cast<int>(
+      flags.GetInt("shards").value_or(std::min(num_endpoints, 8)));
+  options.config = config;
+  if (options.num_shards < 1) {
+    LIMONCELLO_LOG_ERROR("--shards must be >= 1");
+    return 2;
+  }
+
+  SocketListener::Options listener_options;
+  listener_options.address = address;
+  SocketListener listener(listener_options);
+  // The plane actuates through the listener's learned endpoint routes;
+  // a missing route or slow consumer reports failure into the plane's
+  // capped-exponential retry.
+  ControlPlane plane(options, [&listener](std::uint32_t id, bool enable) {
+    return listener.SendActuation(id, enable);
+  });
+  listener.BindPlane(&plane);
+
+  std::unique_ptr<EndpointStateJournal> journal;
+  const auto state_file = flags.GetString("state-file");
+  if (state_file.has_value()) {
+    const EndpointRecoveryResult recovered =
+        RecoverEndpointStates(*state_file, &plane);
+    LIMONCELLO_LOG_INFO(
+        "endpoint journal %s: %d endpoint(s) warm-restored, %d rejected "
+        "(%llu torn, %llu corrupt record(s) tolerated)",
+        state_file->c_str(), recovered.adopted, recovered.rejected,
+        static_cast<unsigned long long>(recovered.replay.torn_records),
+        static_cast<unsigned long long>(recovered.replay.corrupt_records));
+    EndpointStateJournal::Options jo;
+    jo.path = *state_file;
+    journal = std::make_unique<EndpointStateJournal>(jo);
+  }
+
+  if (!listener.Start()) {
+    LIMONCELLO_LOG_ERROR("cannot listen on %s: %s", listen_text.c_str(),
+                         std::strerror(errno));
+    return 3;
+  }
+  LIMONCELLO_LOG_INFO(
+      "listen mode: %s (%s), %d endpoints over %d shard(s), tick %lld ms%s",
+      listen_text.c_str(),
+      address.kind == SocketAddress::Kind::kUnix ? "unix" : "tcp",
+      num_endpoints, options.num_shards,
+      static_cast<long long>(config.tick_period_ns / 1000000),
+      journal != nullptr ? ", journaled" : "");
+
+  using Clock = std::chrono::steady_clock;
+  const auto tick_period =
+      std::chrono::nanoseconds(static_cast<long long>(config.tick_period_ns));
+  const auto started = Clock::now();
+  auto next_tick = started + tick_period;
+  const long long max_ticks = flags.GetInt("ticks").value_or(0);
+  long long ticks_run = 0;
+  std::vector<EndpointPersistentState> dirty;
+  auto now_ns = [&started]() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             started)
+            .count());
+  };
+  while (g_shutdown_signal == 0 &&
+         (max_ticks == 0 || ticks_run < max_ticks)) {
+    const auto now = Clock::now();
+    int timeout_ms = 0;
+    if (now < next_tick) {
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_tick -
+                                                                now)
+              .count() +
+          1);
+    }
+    if (listener.PollOnce(timeout_ms, now_ns()) < 0) {
+      LIMONCELLO_LOG_ERROR("listener socket died; shutting down");
+      break;
+    }
+    if (Clock::now() >= next_tick) {
+      plane.DrainAll(now_ns());
+      plane.AdvanceTick();
+      if (journal != nullptr) {
+        dirty.clear();
+        plane.CollectDirtyEndpoints(&dirty);
+        for (const EndpointPersistentState& record : dirty) {
+          (void)journal->Append(record);
+        }
+      }
+      ++ticks_run;
+      next_tick += tick_period;
+      // A long poll stall (debugger, VM pause) must not cause a tick
+      // sprint that instantly trips every staleness timer.
+      if (Clock::now() > next_tick + 10 * tick_period) {
+        next_tick = Clock::now() + tick_period;
+      }
+    }
+  }
+  if (g_shutdown_signal != 0) {
+    LIMONCELLO_LOG_INFO("signal %d: stopping after %lld tick(s)",
+                        static_cast<int>(g_shutdown_signal), ticks_run);
+  }
+  plane.DrainAll(now_ns());
+  if (journal != nullptr) {
+    if (journal->WriteSnapshot(plane.ExportAllEndpoints())) {
+      LIMONCELLO_LOG_INFO("flushed endpoint snapshot to %s",
+                          journal->path().c_str());
+    } else {
+      LIMONCELLO_LOG_WARN("failed to flush endpoint snapshot to %s",
+                          journal->path().c_str());
+    }
+  }
+
+  // Reconvergence banner: an endpoint is converged when it is out of
+  // fail-safe and its last accepted batch is fresher than the staleness
+  // window. The socket smoke test greps this line.
+  int converged = 0;
+  for (int i = 0; i < num_endpoints; ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    const EndpointPersistentState state = plane.ExportEndpoint(id);
+    const bool fresh =
+        state.have_sequence &&
+        plane.tick() - state.last_update_tick <=
+            static_cast<std::uint64_t>(
+                std::max(1, config.max_missed_samples));
+    if (fresh && !plane.EndpointInFailsafe(id)) ++converged;
+  }
+  LIMONCELLO_LOG_INFO("reconverged %d/%d endpoints", converged,
+                      num_endpoints);
+
+  const ControlPlane::Stats stats = plane.SnapshotStats();
+  const SocketListener::Stats wire = listener.SnapshotStats();
+  LIMONCELLO_LOG_INFO(
+      "summary: %llu ticks, %llu frames ingested (%llu shed, %llu "
+      "rejected), %llu decoded (%llu decode failures, %llu sequence "
+      "rejects), %llu samples, %llu stale-endpoint fail-safes, %llu "
+      "warm restores",
+      static_cast<unsigned long long>(plane.tick()),
+      static_cast<unsigned long long>(stats.frames_ingested),
+      static_cast<unsigned long long>(stats.frames_shed),
+      static_cast<unsigned long long>(stats.frames_rejected),
+      static_cast<unsigned long long>(stats.frames_decoded),
+      static_cast<unsigned long long>(stats.decode_failures),
+      static_cast<unsigned long long>(stats.sequence_rejects),
+      static_cast<unsigned long long>(stats.samples_accepted),
+      static_cast<unsigned long long>(stats.stale_endpoint_failsafes),
+      static_cast<unsigned long long>(stats.warm_restores));
+  LIMONCELLO_LOG_INFO(
+      "transport: %llu accepts, %llu disconnects, %llu bytes in, %llu "
+      "frames (%llu resync bytes, %llu corrupt, %llu oversize, %llu "
+      "partial-frame drops), %llu actuations queued (%llu partial "
+      "flushes, %llu no-route, %llu slow-consumer)",
+      static_cast<unsigned long long>(wire.accepts),
+      static_cast<unsigned long long>(wire.disconnects),
+      static_cast<unsigned long long>(wire.bytes_received),
+      static_cast<unsigned long long>(wire.frames_ingested),
+      static_cast<unsigned long long>(wire.resync_bytes),
+      static_cast<unsigned long long>(wire.corrupt_frames),
+      static_cast<unsigned long long>(wire.oversize_rejects),
+      static_cast<unsigned long long>(wire.partial_frame_drops),
+      static_cast<unsigned long long>(wire.actuations_queued),
+      static_cast<unsigned long long>(wire.actuation_partial_flushes),
+      static_cast<unsigned long long>(wire.actuation_no_route),
+      static_cast<unsigned long long>(wire.actuation_slow_consumer));
+  return 0;
+}
+
 int RunReal(const FlagParser& flags) {
   const auto telemetry_path = flags.GetString("telemetry-file");
   const auto perf_csv_path = flags.GetString("perf-csv");
@@ -587,6 +795,14 @@ int Main(int argc, char** argv) {
       .Define("endpoints",
               "sim mode: machines managed by one control plane (1 = the "
               "classic single-socket daemon loop)")
+      .Define("listen",
+              "run the control plane behind a socket listener: a UNIX "
+              "socket path or host:port; exporters connect with "
+              "limoncello-exporter (see DESIGN.md section 16)")
+      .Define("tick-ms",
+              "with --listen: control tick period in milliseconds "
+              "(overrides --tick-sec; sub-second ticks keep kill-storm "
+              "reconvergence windows short)")
       .Define("shards",
               "sim mode with --endpoints>1: control-plane shards "
               "(default min(endpoints, 8))")
@@ -628,6 +844,7 @@ int Main(int argc, char** argv) {
   SetDefaultThreadCount(
       static_cast<int>(flags.GetInt("threads").value_or(0)));
   const std::string mode = flags.GetString("mode").value_or("sim");
+  if (flags.GetString("listen").has_value()) return RunListen(flags);
   const long long endpoints = flags.GetInt("endpoints").value_or(1);
   if (mode == "sim" && endpoints > 1) return RunControlSim(flags);
   if (mode == "sim") return RunSim(flags);

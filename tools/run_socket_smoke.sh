@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Socket-transport smoke: the real limoncellod / limoncello-exporter /
+# limoncello-flakyproxy trio on UNIX sockets, with a kill -9 of every
+# role at least once. Passes when the restarted plane's graceful
+# shutdown reports all 8 endpoints reconverged and (if limolint was
+# built) the tree is lint-clean against the committed baseline.
+#
+#   tools/run_socket_smoke.sh [BUILD_DIR]   # default: build
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/tools/limoncellod"
+EXPORTER="$BUILD_DIR/tools/limoncello-exporter"
+PROXY="$BUILD_DIR/tools/limoncello-flakyproxy"
+ENDPOINTS=8
+
+for bin in "$DAEMON" "$EXPORTER" "$PROXY"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR first)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d /tmp/limoncello_smoke.XXXXXX)"
+PLANE_SOCK="$WORK/plane.sock"
+PROXY_SOCK="$WORK/proxy.sock"
+JOURNAL="$WORK/endpoints.journal"
+PLANE_LOG="$WORK/plane.log"
+PEER_LOG="$WORK/peers.log"
+
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_plane() {
+  "$DAEMON" --listen="$PLANE_SOCK" --endpoints="$ENDPOINTS" \
+    --tick-ms=10 --max-missed-samples=16 --state-file="$JOURNAL" \
+    >>"$PLANE_LOG" 2>&1 &
+  PLANE_PID=$!
+}
+
+start_proxy() {
+  "$PROXY" --listen="$PROXY_SOCK" --upstream="$PLANE_SOCK" --seed=7 \
+    --drop=0.02 --reorder=0.01 --duplicate=0.02 --truncate=0.02 \
+    --stale=0.01 >>"$PEER_LOG" 2>&1 &
+  PROXY_PID=$!
+}
+
+start_exporter() {  # $1 = endpoint id
+  "$EXPORTER" --connect="$PROXY_SOCK" --endpoint-id="$1" \
+    --seed=$((100 + $1)) --tick-ms=2 --samples-per-batch=2 \
+    --initial-backoff-ms=5 --max-backoff-ms=80 >>"$PEER_LOG" 2>&1 &
+  EXPORTER_PIDS[$1]=$!
+}
+
+hard_kill() {  # $1 = pid
+  kill -9 "$1" 2>/dev/null || true
+  wait "$1" 2>/dev/null || true
+}
+
+declare -a EXPORTER_PIDS
+echo "smoke: plane + flaky proxy + $ENDPOINTS exporters in $WORK"
+start_plane
+start_proxy
+for i in $(seq 0 $((ENDPOINTS - 1))); do start_exporter "$i"; done
+sleep 0.5
+
+echo "smoke: kill -9 every exporter (one at a time), restarting each"
+for i in $(seq 0 $((ENDPOINTS - 1))); do
+  hard_kill "${EXPORTER_PIDS[$i]}"
+  start_exporter "$i"
+done
+sleep 0.3
+
+echo "smoke: kill -9 the chaos proxy, restarting it"
+hard_kill "$PROXY_PID"
+start_proxy
+sleep 0.3
+
+echo "smoke: kill -9 the control plane, restarting it (journal warm restore)"
+hard_kill "$PLANE_PID"
+start_plane
+sleep 2
+
+echo "smoke: graceful plane shutdown"
+kill -TERM "$PLANE_PID"
+wait "$PLANE_PID" || { echo "error: plane exited nonzero" >&2; exit 1; }
+kill -TERM "${EXPORTER_PIDS[@]}" "$PROXY_PID" 2>/dev/null || true
+
+BANNER="reconverged $ENDPOINTS/$ENDPOINTS endpoints"
+if ! grep -q "$BANNER" "$PLANE_LOG"; then
+  echo "error: plane log lacks \"$BANNER\"; log follows" >&2
+  cat "$PLANE_LOG" >&2
+  exit 1
+fi
+echo "smoke: $BANNER"
+
+if ! grep -q "warm-restored" "$PLANE_LOG"; then
+  echo "error: restarted plane never warm-restored from $JOURNAL" >&2
+  cat "$PLANE_LOG" >&2
+  exit 1
+fi
+echo "smoke: journal warm restore observed after plane kill -9"
+
+LINT="$BUILD_DIR/tools/limolint"
+if [ -x "$LINT" ]; then
+  "$LINT" --root "$(pwd)" --baseline tools/limolint_baseline.json
+  echo "smoke: limolint clean"
+fi
+
+rm -rf "$WORK"
+echo "smoke: PASS"
